@@ -1,0 +1,62 @@
+// Ablation: exhaustive sweep vs guided (coordinate-descent) search.
+//
+// The paper chooses the exhaustive sweep deliberately — "using a guided
+// search which skips some areas of the search space represents a form of
+// selection bias" — while acknowledging heuristics reach near-optimal
+// points much faster (§IV). This ablation quantifies that trade on the
+// same space: kernels evaluated and distance from the exhaustive optimum,
+// per matrix size.
+#include <cstdio>
+
+#include "autotune/search.hpp"
+#include "bench_common.hpp"
+
+using namespace ibchol;
+using namespace ibchol::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/4);
+  print_header("Ablation",
+               "exhaustive sweep vs guided coordinate-descent search", cfg);
+
+  ModelEvaluator eval = make_model_evaluator(cfg.noise_sigma);
+
+  TextTable table({"n", "space", "evals", "saved", "exhaustive GF/s",
+                   "guided GF/s", "gap %"});
+  double worst_gap = 0.0, total_saved = 0.0;
+  int rows = 0;
+  for (const int n : cfg.sizes) {
+    SweepOptions sopt;
+    sopt.sizes = {n};
+    sopt.batch = cfg.batch;
+    const SweepDataset ds = run_sweep(eval, sopt);
+    const double exhaustive = ds.best(n)->gflops;
+
+    const SearchResult res = guided_search(eval, n, cfg.batch, {});
+    const double gap = 100.0 * (1.0 - res.best_gflops / exhaustive);
+    const double saved =
+        100.0 * (1.0 - static_cast<double>(res.evaluations) /
+                           static_cast<double>(ds.size()));
+    worst_gap = std::max(worst_gap, gap);
+    total_saved += saved;
+    ++rows;
+    table.add_row({std::to_string(n), std::to_string(ds.size()),
+                   std::to_string(res.evaluations),
+                   TextTable::num(saved, 0) + "%",
+                   TextTable::num(exhaustive, 1),
+                   TextTable::num(res.best_gflops, 1),
+                   TextTable::num(gap, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nclaims (paper §IV discussion):\n");
+  check(total_saved / rows > 50.0,
+        "guided search skips most of the space (mean " +
+            TextTable::num(total_saved / rows, 0) + "% of kernels skipped)");
+  check(worst_gap < 7.0,
+        "guided search lands near the exhaustive optimum (worst gap " +
+            TextTable::num(worst_gap, 2) + "%)");
+  std::printf("  [INFO] the paper still sweeps exhaustively: the skipped "
+              "kernels are exactly the\n         data the §IV analysis "
+              "(Table I, Fig 21) needs — guided search would bias it.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: analytical model vs trace-driven simulation.
+//
+// The repository carries two independent P100 substrates: the closed-form
+// KernelModel (assumed L2 behaviour, calibrated constants) and the
+// TraceSimulator (measured L2 behaviour over the kernel's real address
+// stream). This ablation sweeps a variant grid through both and reports
+// their agreement — per-point GFLOP/s ratios and the rank correlation of
+// the induced kernel orderings. Strong agreement means the figure-level
+// conclusions do not hinge on either substrate's simplifications.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "simt/trace_sim.hpp"
+#include "util/stats.hpp"
+
+using namespace ibchol;
+using namespace ibchol::bench;
+
+namespace {
+
+double rank_correlation(std::vector<double> a, std::vector<double> b) {
+  auto ranks = [](std::vector<double> v) {
+    std::vector<std::size_t> idx(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) r[idx[i]] = static_cast<double>(i);
+    return r;
+  };
+  const auto ra = ranks(std::move(a));
+  const auto rb = ranks(std::move(b));
+  return pearson(ra, rb);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/8);
+  print_header("Ablation", "analytical cost model vs trace-driven simulator",
+               cfg);
+
+  const KernelModel model(GpuSpec::p100());
+  const TraceSimulator sim(GpuSpec::p100());
+
+  TextTable table({"n", "variants", "median sim/model", "rank corr",
+                   "sim L2 hit (med)"});
+  double worst_rank = 1.0;
+  for (const int n : cfg.sizes) {
+    SpaceOptions so;
+    so.chunk_sizes = {32, 64, 256};
+    so.tile_sizes = {1, 2, 4, 8};
+    std::vector<double> g_model, g_sim, ratios, hits;
+    for (const auto& p : enumerate_space(n, so)) {
+      const double gm = model.evaluate(n, cfg.batch, p).gflops;
+      const auto rs = sim.simulate(n, cfg.batch, p);
+      g_model.push_back(gm);
+      g_sim.push_back(rs.gflops);
+      ratios.push_back(rs.gflops / gm);
+      hits.push_back(rs.l2_hit_rate);
+    }
+    const double rc = rank_correlation(g_model, g_sim);
+    worst_rank = std::min(worst_rank, rc);
+    table.add_row({std::to_string(n), std::to_string(g_model.size()),
+                   TextTable::num(median(ratios), 2), TextTable::num(rc, 3),
+                   TextTable::num(median(hits), 3)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nobservations:\n");
+  check(worst_rank > 0.8,
+        "the two substrates order the kernel space consistently (worst rank "
+        "correlation " + TextTable::num(worst_rank, 3) + ")");
+  std::printf(
+      "  [INFO] the simulator derives L2 hit rates of a few percent for the "
+      "streaming\n         kernels — the measured form of the paper's "
+      "'caches only serve the purpose\n         of streaming buffers' "
+      "remark. Known structural difference: the simulator\n         does "
+      "not model instruction supply, so it misses the i-cache cliff that\n"
+      "         retires full unrolling at large n (fig 19; analytical model "
+      "only).\n");
+  return 0;
+}

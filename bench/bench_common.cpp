@@ -1,0 +1,124 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace ibchol::bench {
+
+namespace {
+
+std::vector<int> parse_sizes(const std::string& csv, int step) {
+  std::vector<int> sizes;
+  if (!csv.empty()) {
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) sizes.push_back(std::stoi(tok));
+    return sizes;
+  }
+  for (int n = 4; n <= 64; n += step) sizes.push_back(n);
+  return sizes;
+}
+
+}  // namespace
+
+BenchConfig parse_config(int argc, const char* const* argv,
+                         int default_step) {
+  const Cli cli(argc, argv);
+  BenchConfig cfg;
+  cfg.batch = cli.get_int("batch", 16384);
+  cfg.step = static_cast<int>(cli.get_int("step", default_step));
+  cfg.sizes = parse_sizes(cli.get("sizes", ""), cfg.step);
+  cfg.measure = cli.get_bool("measure", false);
+  cfg.measure_batch = cli.get_int("measure-batch", 4096);
+  cfg.csv_path = cli.get("csv", "");
+  cfg.trees = static_cast<int>(cli.get_int("trees", 500));
+  cfg.noise_sigma = cli.get_double("noise", 0.0);
+  return cfg;
+}
+
+void print_header(const std::string& figure, const std::string& description,
+                  const BenchConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("substrate: P100 SIMT model, batch %lld, single precision\n",
+              static_cast<long long>(config.batch));
+  std::printf("==============================================================\n");
+}
+
+NamedSeries reduce_best(
+    const SweepDataset& dataset, std::string name,
+    const std::function<bool(const SweepRecord&)>& filter) {
+  NamedSeries s;
+  s.name = std::move(name);
+  for (const auto& [n, record] : dataset.best_by_n(filter)) {
+    s.gflops_by_n[n] = record.gflops;
+  }
+  return s;
+}
+
+void print_series_table(const std::vector<NamedSeries>& series) {
+  std::vector<std::string> header{"n"};
+  for (const auto& s : series) header.push_back(s.name);
+  TextTable table(header);
+  if (series.empty()) return;
+  for (const auto& [n, g] : series.front().gflops_by_n) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (const auto& s : series) {
+      const auto it = s.gflops_by_n.find(n);
+      row.push_back(it == s.gflops_by_n.end() ? "-"
+                                              : TextTable::num(it->second, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+void print_series_chart(const std::vector<NamedSeries>& series,
+                        const std::string& title) {
+  std::vector<Series> chart;
+  for (const auto& s : series) {
+    Series cs;
+    cs.name = s.name;
+    for (const auto& [n, g] : s.gflops_by_n) {
+      cs.x.push_back(n);
+      cs.y.push_back(g);
+    }
+    chart.push_back(std::move(cs));
+  }
+  ChartOptions opt;
+  opt.title = title;
+  opt.x_label = "matrix size n";
+  opt.y_label = "GFLOP/s ((1/3)n^3 per matrix)";
+  std::printf("\n%s\n", render_chart(chart, opt).c_str());
+}
+
+void maybe_write_csv(const BenchConfig& config,
+                     const std::vector<NamedSeries>& series) {
+  if (config.csv_path.empty() || series.empty()) return;
+  CsvTable t;
+  t.header = {"n"};
+  for (const auto& s : series) t.header.push_back(s.name);
+  for (const auto& [n, g] : series.front().gflops_by_n) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (const auto& s : series) {
+      const auto it = s.gflops_by_n.find(n);
+      row.push_back(it == s.gflops_by_n.end() ? ""
+                                              : std::to_string(it->second));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  write_csv_file(config.csv_path, t);
+  std::printf("wrote %s\n", config.csv_path.c_str());
+}
+
+void check(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "NOTE", claim.c_str());
+}
+
+ModelEvaluator make_model_evaluator(double noise_sigma) {
+  return ModelEvaluator(KernelModel(GpuSpec::p100()), noise_sigma);
+}
+
+}  // namespace ibchol::bench

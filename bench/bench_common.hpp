@@ -1,0 +1,76 @@
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// Every figX binary follows the same scheme:
+//  * run the exhaustive model sweep the figure needs (P100 SIMT model,
+//    batch 16,384 — the paper's configuration),
+//  * reduce to the "best over everything else" series the figure plots,
+//  * print a machine-readable table, an ASCII rendering of the figure, and
+//    the qualitative checks the paper's text states for it,
+//  * optionally validate orderings on the measured CPU substrate
+//    (--measure), and dump the raw series as CSV (--csv=<path>).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autotune/evaluator.hpp"
+#include "autotune/records.hpp"
+#include "autotune/sweep.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace ibchol::bench {
+
+/// Configuration common to every figure binary, from the command line.
+struct BenchConfig {
+  std::vector<int> sizes;          ///< matrix dimensions
+  std::int64_t batch = 16384;      ///< the paper's batch size
+  double noise_sigma = 0.0;        ///< model jitter (analysis benches)
+  bool measure = false;            ///< run CPU-substrate validation
+  std::int64_t measure_batch = 4096;
+  std::string csv_path;            ///< optional CSV dump
+  int trees = 500;                 ///< forest size (analysis benches)
+  int step = 4;                    ///< size stride for sweep-heavy benches
+};
+
+/// Parses the standard flags:
+///   --batch=N --step=K --measure[=bool] --measure-batch=N --csv=path
+///   --trees=N --noise=sigma --sizes=a,b,c
+BenchConfig parse_config(int argc, const char* const* argv,
+                         int default_step = 2);
+
+/// Prints the standard header for a figure reproduction.
+void print_header(const std::string& figure, const std::string& description,
+                  const BenchConfig& config);
+
+/// One named best-by-n series, ready for table/chart rendering.
+struct NamedSeries {
+  std::string name;
+  std::map<int, double> gflops_by_n;
+};
+
+/// Reduces a dataset to best-by-n under a filter.
+NamedSeries reduce_best(const SweepDataset& dataset, std::string name,
+                        const std::function<bool(const SweepRecord&)>& filter);
+
+/// Prints series as an aligned table (rows = n, one column per series).
+void print_series_table(const std::vector<NamedSeries>& series);
+
+/// Renders series as an ASCII chart (x = n, y = GFLOP/s).
+void print_series_chart(const std::vector<NamedSeries>& series,
+                        const std::string& title);
+
+/// Writes series to CSV if config.csv_path is set.
+void maybe_write_csv(const BenchConfig& config,
+                     const std::vector<NamedSeries>& series);
+
+/// Prints a PASS/NOTE line for a qualitative claim check.
+void check(bool ok, const std::string& claim);
+
+/// The default P100 model evaluator.
+ModelEvaluator make_model_evaluator(double noise_sigma = 0.0);
+
+}  // namespace ibchol::bench

@@ -1,0 +1,106 @@
+// Figure 14: speedup of the interleaved implementation over the
+// traditional implementation (MAGMA 2.2.0 in the paper; here the
+// traditional one-block-per-matrix canonical-layout kernel model, and with
+// --measure the per-matrix canonical CPU path).
+#include <algorithm>
+#include <cstdio>
+
+#include "baseline/traditional_model.hpp"
+#include "bench_common.hpp"
+#include "core/batch_cholesky.hpp"
+#include "cpu/batch_factor.hpp"
+#include "kernels/counts.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/timer.hpp"
+
+using namespace ibchol;
+using namespace ibchol::bench;
+
+namespace {
+
+void measured_validation(const BenchConfig& cfg) {
+  std::printf(
+      "\nCPU-substrate validation (measured, batch %lld): interleaved SIMD "
+      "vs per-matrix canonical\n",
+      static_cast<long long>(cfg.measure_batch));
+  TextTable table({"n", "interleaved GF/s", "canonical GF/s", "speedup"});
+  for (const int n : {4, 8, 16, 32}) {
+    // Interleaved: recommended kernel.
+    const TuningParams p = recommended_params(n);
+    const BatchLayout il = BatchCholesky::make_layout(n, cfg.measure_batch, p);
+    const BatchCholesky chol(il, p);
+    AlignedBuffer<float> ip(il.size_elems());
+    generate_spd_batch<float>(il, ip.span());
+    AlignedBuffer<float> iw(il.size_elems());
+    double t_inter = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      std::copy(ip.begin(), ip.end(), iw.begin());
+      Timer t;
+      (void)chol.factorize<float>(iw.span());
+      t_inter = std::min(t_inter, t.seconds());
+    }
+    // Canonical: per-matrix blocked reference, parallel across the batch.
+    const BatchLayout cl = BatchLayout::canonical(n, cfg.measure_batch);
+    AlignedBuffer<float> cp(cl.size_elems());
+    generate_spd_batch<float>(cl, cp.span());
+    AlignedBuffer<float> cw(cl.size_elems());
+    double t_canon = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      std::copy(cp.begin(), cp.end(), cw.begin());
+      Timer t;
+      (void)factor_batch_cpu<float>(cl, cw.span(), {});
+      t_canon = std::min(t_canon, t.seconds());
+    }
+    const double flops = cfg.measure_batch * nominal_flops_per_matrix(n);
+    table.add_row({std::to_string(n), TextTable::num(flops / t_inter / 1e9, 2),
+                   TextTable::num(flops / t_canon / 1e9, 2),
+                   TextTable::num(t_canon / t_inter, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/2);
+  print_header("Figure 14",
+               "speedup of the interleaved implementation over the "
+               "traditional (MAGMA-like) implementation",
+               cfg);
+
+  ModelEvaluator eval = make_model_evaluator(cfg.noise_sigma);
+  SweepOptions opt;
+  opt.sizes = cfg.sizes;
+  opt.batch = cfg.batch;
+  const SweepDataset ds = run_sweep(eval, opt);
+  const NamedSeries best = reduce_best(ds, "interleaved_best", nullptr);
+
+  const TraditionalModel traditional(GpuSpec::p100());
+  NamedSeries magma{"traditional", {}};
+  NamedSeries speedup{"speedup", {}};
+  for (const auto& [n, g] : best.gflops_by_n) {
+    magma.gflops_by_n[n] = traditional.evaluate(n, cfg.batch).gflops;
+    speedup.gflops_by_n[n] = g / magma.gflops_by_n[n];
+  }
+
+  print_series_table({best, magma, speedup});
+  print_series_chart({speedup}, "Fig 14: speedup over the traditional code");
+
+  const double sp_small = speedup.gflops_by_n.begin()->second;
+  const double sp_large = speedup.gflops_by_n.rbegin()->second;
+  double sp_max = 0.0;
+  for (const auto& [n, s] : speedup.gflops_by_n) sp_max = std::max(sp_max, s);
+  std::printf("\nclaims (paper §III):\n");
+  check(sp_max > 3.0,
+        "several-fold speedup for very small matrices (max " +
+            TextTable::num(sp_max, 1) + "x)");
+  check(sp_small > sp_large, "speedup declines as matrices grow");
+  check(sp_large < 1.25,
+        "traditional implementation catches up / overtakes at the largest "
+        "sizes (speedup " + TextTable::num(sp_large, 2) + "x at n=64)");
+
+  maybe_write_csv(cfg, {best, magma, speedup});
+  if (cfg.measure) measured_validation(cfg);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 15: best performance of the interleaved implementation for
+// different tiling factors n_b = 1…8.
+//
+// Expected shape (paper §III): below n≈20 tiling makes no difference (the
+// winning kernels are fully unrolled and register-resident); between 20 and
+// 40 the register promotion deteriorates; past 40 n_b = 1 collapses to a
+// memory-bound floor while larger tiles recover performance, leveling off
+// around n_b = 8.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace ibchol;
+using namespace ibchol::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/2);
+  print_header("Figure 15",
+               "best interleaved performance per tiling factor n_b", cfg);
+
+  ModelEvaluator eval = make_model_evaluator(cfg.noise_sigma);
+  SweepOptions opt;
+  opt.sizes = cfg.sizes;
+  opt.batch = cfg.batch;
+  const SweepDataset ds = run_sweep(eval, opt);
+
+  std::vector<NamedSeries> series;
+  for (const int nb : standard_tile_sizes()) {
+    series.push_back(reduce_best(ds, "nb=" + std::to_string(nb),
+                                 [nb](const SweepRecord& r) {
+                                   return r.params.nb == nb;
+                                 }));
+  }
+
+  print_series_table(series);
+  // Chart a readable subset.
+  print_series_chart({series[0], series[1], series[3], series[7]},
+                     "Fig 15: best GFLOP/s per tiling factor (nb=1,2,4,8)");
+
+  auto at = [&](int nb, int n) {
+    return series[nb - 1].gflops_by_n.count(n)
+               ? series[nb - 1].gflops_by_n.at(n)
+               : 0.0;
+  };
+  std::printf("\nclaims (paper §III):\n");
+  check(std::abs(at(1, 12) - at(8, 12)) < 0.08 * at(8, 12),
+        "below n~20 tiling makes no difference (n=12: nb=1 within 8% of "
+        "nb=8)");
+  check(at(8, 48) > 2.0 * at(1, 48),
+        "past n~40, nb=1 is memory bound and collapses (n=48: nb=8 > 2x "
+        "nb=1)");
+  check(at(8, 48) > at(4, 48) && at(4, 48) > at(2, 48),
+        "performance increases with tile size at n=48");
+  check(std::abs(at(8, 56) - at(7, 56)) < 0.15 * at(8, 56),
+        "gains level off around nb~8 (nb=7 within 15% of nb=8 at n=56)");
+
+  maybe_write_csv(cfg, series);
+  return 0;
+}

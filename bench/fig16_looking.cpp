@@ -1,0 +1,54 @@
+// Figure 16: best performance of the interleaved implementation for the
+// three orders of evaluation of the outer loops (right / left / top).
+//
+// Expected shape (paper §III): no difference up to n≈20 (the winners there
+// are fully unrolled, and scheduling is the compiler's), then the lazier
+// the evaluation, the faster — right < left < top, because laziness
+// minimizes memory writes while reads are comparable.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace ibchol;
+using namespace ibchol::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/2);
+  print_header("Figure 16",
+               "best interleaved performance per looking order", cfg);
+
+  ModelEvaluator eval = make_model_evaluator(cfg.noise_sigma);
+  SweepOptions opt;
+  opt.sizes = cfg.sizes;
+  opt.batch = cfg.batch;
+  const SweepDataset ds = run_sweep(eval, opt);
+
+  std::vector<NamedSeries> series;
+  for (const Looking looking :
+       {Looking::kRight, Looking::kLeft, Looking::kTop}) {
+    series.push_back(reduce_best(ds, to_string(looking),
+                                 [looking](const SweepRecord& r) {
+                                   return r.params.looking == looking;
+                                 }));
+  }
+
+  print_series_table(series);
+  print_series_chart(series, "Fig 16: best GFLOP/s per looking order");
+
+  auto at = [&](int idx, int n) { return series[idx].gflops_by_n.at(n); };
+  std::printf("\nclaims (paper §III):\n");
+  check(std::abs(at(0, 12) - at(2, 12)) < 0.05 * at(2, 12),
+        "no difference up to n~20 (n=12 within 5%)");
+  bool ordered = true;
+  for (const int n : {40, 48, 56, 64}) {
+    if (!series[0].gflops_by_n.count(n)) continue;
+    ordered = ordered && at(2, n) > at(1, n) && at(1, n) > at(0, n);
+  }
+  check(ordered,
+        "past n~20: top (laziest) > left > right (fewest writes wins)");
+  check(at(2, 48) > 1.1 * at(0, 48),
+        "the top-vs-right gap is substantial at n=48 (>10%)");
+
+  maybe_write_csv(cfg, series);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 18: best performance of the chunked interleaved implementation
+// for chunk sizes 32…512 (the chunk size is also the thread-block size).
+//
+// Expected shape (paper §III): 32 is best — "it is perfectly fine to have
+// thread blocks with a single warp" — 64 performs almost equally well,
+// 128/256 drop slightly, and 512 drops significantly (register pressure
+// per block forces spills; the batch splits into too few blocks to fill
+// the machine).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace ibchol;
+using namespace ibchol::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/2);
+  print_header("Figure 18",
+               "best chunked performance per chunk size (= block size)",
+               cfg);
+
+  ModelEvaluator eval = make_model_evaluator(cfg.noise_sigma);
+  SweepOptions opt;
+  opt.sizes = cfg.sizes;
+  opt.batch = cfg.batch;
+  opt.space.include_non_chunked = false;
+  const SweepDataset ds = run_sweep(eval, opt);
+
+  std::vector<NamedSeries> series;
+  for (const int c : standard_chunk_sizes()) {
+    series.push_back(reduce_best(ds, "chunk=" + std::to_string(c),
+                                 [c](const SweepRecord& r) {
+                                   return r.params.chunk_size == c;
+                                 }));
+  }
+
+  print_series_table(series);
+  print_series_chart(series, "Fig 18: best GFLOP/s per chunk size");
+
+  // Averages across sizes for the ordering claims.
+  auto avg = [&](int idx) {
+    double acc = 0.0;
+    for (const auto& [n, g] : series[idx].gflops_by_n) acc += g;
+    return acc / series[idx].gflops_by_n.size();
+  };
+  const double a32 = avg(0), a64 = avg(1), a128 = avg(2), a256 = avg(3),
+               a512 = avg(4);
+  std::printf("\nmean best GFLOP/s: c32=%.0f c64=%.0f c128=%.0f c256=%.0f "
+              "c512=%.0f\n", a32, a64, a128, a256, a512);
+  std::printf("\nclaims (paper §III):\n");
+  check(a32 >= a64 && a64 >= a128 && a128 >= a256 && a256 >= a512,
+        "ordering 32 >= 64 >= 128 >= 256 >= 512");
+  check(a64 > 0.9 * a32, "64 performs almost equally well as 32");
+  check(a512 < 0.85 * a32, "512 drops significantly");
+
+  maybe_write_csv(cfg, series);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 21: accuracy of the random-forest model — predicted vs observed
+// performance over the autotuning dataset (paper §IV: 500 trees in
+// regression mode, average depth ~11; the point cloud hugs the ideal
+// diagonal).
+#include <cstdio>
+
+#include "autotune/analyze.hpp"
+#include "bench_common.hpp"
+
+using namespace ibchol;
+using namespace ibchol::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = parse_config(argc, argv, /*default_step=*/4);
+  if (cfg.noise_sigma == 0.0) cfg.noise_sigma = 0.02;
+  print_header("Figure 21",
+               "random-forest accuracy: predicted vs observed performance",
+               cfg);
+
+  ModelEvaluator eval = make_model_evaluator(cfg.noise_sigma);
+  SweepOptions opt;
+  opt.sizes = cfg.sizes;
+  opt.batch = cfg.batch;
+  const SweepDataset ds = run_sweep(eval, opt);
+  std::printf("autotuning dataset: %zu measurements\n", ds.size());
+
+  ForestOptions fopt;
+  fopt.num_trees = cfg.trees;
+  const AnalysisResult res = analyze_dataset(ds, fopt);
+
+  // Scatter of (observed, OOB-predicted), subsampled for readability, plus
+  // the ideal diagonal.
+  Series cloud;
+  cloud.name = "kernels (OOB prediction)";
+  const std::size_t stride = std::max<std::size_t>(res.observed.size() / 400,
+                                                   1);
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t i = 0; i < res.observed.size(); i += stride) {
+    cloud.x.push_back(res.observed[i]);
+    cloud.y.push_back(res.predicted[i]);
+    lo = std::min(lo, res.observed[i]);
+    hi = std::max(hi, res.observed[i]);
+  }
+  Series diagonal;
+  diagonal.name = "ideal (predicted = observed)";
+  for (int i = 0; i <= 20; ++i) {
+    diagonal.x.push_back(lo + (hi - lo) * i / 20.0);
+    diagonal.y.push_back(lo + (hi - lo) * i / 20.0);
+  }
+  ChartOptions copt;
+  copt.title = "Fig 21: predicted vs observed GFLOP/s";
+  copt.x_label = "observed";
+  copt.y_label = "predicted";
+  copt.y_from_zero = false;
+  std::printf("\n%s\n", render_scatter({cloud, diagonal}, copt).c_str());
+
+  std::printf("forest: %d trees, average depth %.1f\n", res.num_trees,
+              res.average_depth);
+  std::printf("OOB MSE: %.2f   correlation: %.4f   R^2: %.4f\n", res.oob_mse,
+              res.correlation, res.r_squared);
+
+  std::printf("\nclaims (paper §IV):\n");
+  check(res.correlation > 0.95,
+        "predicted and observed performance are tightly correlated");
+  check(res.average_depth > 6.0 && res.average_depth < 25.0,
+        "tree depth in the paper's regime (paper: avg depth 11; got " +
+            TextTable::num(res.average_depth, 1) + ")");
+  check(res.num_trees == cfg.trees, "forest size as configured (paper: 500)");
+  return 0;
+}

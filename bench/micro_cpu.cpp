@@ -1,0 +1,267 @@
+// Google-benchmark microbenchmarks of the measured CPU substrate: layout
+// conversion, lane-block kernels by variant, whole-matrix registerized
+// execution, the canonical per-matrix baseline, and the batched solve.
+//
+// These are the real-hardware counterpart of the SIMT model benches: the
+// interleave dimension maps to SIMD lanes, so the interleaved-vs-canonical
+// gap measured here is the CPU analog of the paper's coalescing gap.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/batch_cholesky.hpp"
+#include "cpu/batch_factor.hpp"
+#include "cpu/batch_blas.hpp"
+#include "cpu/batch_solve.hpp"
+#include "cpu/refine.hpp"
+#include "cpu/tile_exec.hpp"
+#include "kernels/counts.hpp"
+#include "layout/convert.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace {
+
+using namespace ibchol;
+
+constexpr std::int64_t kBatch = 4096;
+
+void set_flops(benchmark::State& state, int n, std::int64_t batch) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * batch *
+          nominal_flops_per_matrix(n),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+// ------------------------------------------------------------ factor -----
+
+void BM_FactorInterleaved(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int nb = static_cast<int>(state.range(1));
+  const auto looking = static_cast<Looking>(state.range(2));
+  TuningParams p;
+  p.nb = nb;
+  p.looking = looking;
+  p.chunked = true;
+  p.chunk_size = 64;
+  const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
+  const BatchCholesky chol(layout, p);
+  AlignedBuffer<float> pristine(layout.size_elems());
+  generate_spd_batch<float>(layout, pristine.span());
+  AlignedBuffer<float> work(layout.size_elems());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(pristine.begin(), pristine.end(), work.begin());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(chol.factorize<float>(work.span()));
+  }
+  set_flops(state, n, kBatch);
+}
+BENCHMARK(BM_FactorInterleaved)
+    ->ArgsProduct({{8, 16, 32, 48}, {1, 4, 8},
+                   {static_cast<long>(Looking::kTop),
+                    static_cast<long>(Looking::kRight)}})
+    ->ArgNames({"n", "nb", "looking"});
+
+void BM_FactorWholeMatrix(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TuningParams p;
+  p.unroll = Unroll::kFull;
+  p.chunked = true;
+  p.chunk_size = 64;
+  const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
+  const BatchCholesky chol(layout, p);
+  AlignedBuffer<float> pristine(layout.size_elems());
+  generate_spd_batch<float>(layout, pristine.span());
+  AlignedBuffer<float> work(layout.size_elems());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(pristine.begin(), pristine.end(), work.begin());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(chol.factorize<float>(work.span()));
+  }
+  set_flops(state, n, kBatch);
+}
+BENCHMARK(BM_FactorWholeMatrix)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->ArgName("n");
+
+void BM_FactorCanonical(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const BatchLayout layout = BatchLayout::canonical(n, kBatch);
+  AlignedBuffer<float> pristine(layout.size_elems());
+  generate_spd_batch<float>(layout, pristine.span());
+  AlignedBuffer<float> work(layout.size_elems());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(pristine.begin(), pristine.end(), work.begin());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(factor_batch_cpu<float>(layout, work.span(), {}));
+  }
+  set_flops(state, n, kBatch);
+}
+BENCHMARK(BM_FactorCanonical)->Arg(8)->Arg(16)->Arg(32)->Arg(48)
+    ->ArgName("n");
+
+void BM_FactorFastMath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TuningParams p = recommended_params(n);
+  p.math = MathMode::kFastMath;
+  const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
+  const BatchCholesky chol(layout, p);
+  AlignedBuffer<float> pristine(layout.size_elems());
+  generate_spd_batch<float>(layout, pristine.span());
+  AlignedBuffer<float> work(layout.size_elems());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(pristine.begin(), pristine.end(), work.begin());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(chol.factorize<float>(work.span()));
+  }
+  set_flops(state, n, kBatch);
+}
+BENCHMARK(BM_FactorFastMath)->Arg(16)->Arg(32)->ArgName("n");
+
+// ------------------------------------------------------------ layout -----
+
+void BM_ConvertCanonicalToChunked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto from = BatchLayout::canonical(n, kBatch);
+  const auto to = BatchLayout::interleaved_chunked(n, kBatch, 64);
+  AlignedBuffer<float> src(from.size_elems());
+  generate_spd_batch<float>(from, src.span());
+  AlignedBuffer<float> dst(to.size_elems());
+  for (auto _ : state) {
+    convert_layout<float>(from, std::span<const float>(src.span()), to,
+                          dst.span());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          from.size_elems() * sizeof(float));
+}
+BENCHMARK(BM_ConvertCanonicalToChunked)->Arg(8)->Arg(32)->ArgName("n");
+
+// ------------------------------------------------------------- solve -----
+
+void BM_SolveInterleaved(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TuningParams p = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
+  const BatchCholesky chol(layout, p);
+  AlignedBuffer<float> mats(layout.size_elems());
+  generate_spd_batch<float>(layout, mats.span());
+  chol.factorize<float>(mats.span());
+  const auto vlayout = BatchVectorLayout::matching(layout);
+  AlignedBuffer<float> rhs(vlayout.size_elems());
+  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = 1.0f;
+  for (auto _ : state) {
+    chol.solve<float>(std::span<const float>(mats.span()), vlayout,
+                      rhs.span());
+    benchmark::DoNotOptimize(rhs.data());
+  }
+  // 2n^2 flops per solve.
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch * 2.0 * n * n,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_SolveInterleaved)->Arg(8)->Arg(16)->Arg(32)->ArgName("n");
+
+// --------------------------------------------------------- lane block ----
+
+void BM_LaneBlockKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int nb = static_cast<int>(state.range(1));
+  const auto layout = BatchLayout::interleaved(n, kLaneBlock);
+  AlignedBuffer<float> pristine(layout.size_elems());
+  generate_spd_batch<float>(layout, pristine.span());
+  AlignedBuffer<float> work(layout.size_elems());
+  const TileProgram program = build_tile_program(n, nb, Looking::kTop);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(pristine.begin(), pristine.end(), work.begin());
+    state.ResumeTiming();
+    execute_program_lane_block<float>(program, MathMode::kIeee, work.data(),
+                                      layout.chunk(), nullptr);
+    benchmark::DoNotOptimize(work.data());
+  }
+  set_flops(state, n, kLaneBlock);
+}
+BENCHMARK(BM_LaneBlockKernel)
+    ->ArgsProduct({{16, 32, 48}, {2, 8}})
+    ->ArgNames({"n", "nb"});
+
+// -------------------------------------------------------- batched BLAS ---
+
+void BM_BatchPotrsMultiRhs(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int nrhs = static_cast<int>(state.range(1));
+  const TuningParams p = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
+  const BatchCholesky chol(layout, p);
+  AlignedBuffer<float> mats(layout.size_elems());
+  generate_spd_batch<float>(layout, mats.span());
+  chol.factorize<float>(mats.span());
+  const BatchRectLayout rlayout = BatchRectLayout::matching(layout, n, nrhs);
+  AlignedBuffer<float> rhs(rlayout.size_elems());
+  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = 1.0f;
+  for (auto _ : state) {
+    batch_potrs<float>(layout, std::span<const float>(mats.span()), rlayout,
+                       rhs.span());
+    benchmark::DoNotOptimize(rhs.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch * 2.0 * n * n * nrhs,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BatchPotrsMultiRhs)
+    ->ArgsProduct({{8, 16, 32}, {1, 4}})
+    ->ArgNames({"n", "nrhs"});
+
+void BM_BatchGemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const BatchRectLayout cl = BatchRectLayout::interleaved_chunked(
+      n, n, kBatch, 64);
+  AlignedBuffer<float> cs(cl.size_elems()), as(cl.size_elems()),
+      bs(cl.size_elems());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    as[i] = 0.5f;
+    bs[i] = 0.25f;
+  }
+  for (auto _ : state) {
+    batch_gemm_nt<float>(cl, cs.span(), cl, std::span<const float>(as.span()),
+                         cl, std::span<const float>(bs.span()));
+    benchmark::DoNotOptimize(cs.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BatchGemm)->Arg(8)->Arg(16)->ArgName("n");
+
+void BM_RefinedSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TuningParams p = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
+  AlignedBuffer<float> originals(layout.size_elems());
+  SpdOptions gen;
+  gen.kind = SpdKind::kControlledCondition;
+  gen.condition = 1e3;
+  generate_spd_batch<float>(layout, originals.span(), gen);
+  AlignedBuffer<float> factors(layout.size_elems());
+  std::copy(originals.begin(), originals.end(), factors.begin());
+  factor_batch_cpu<float>(layout, factors.span(), {});
+  const auto vlayout = BatchVectorLayout::matching(layout);
+  AlignedBuffer<float> b(vlayout.size_elems()), x(vlayout.size_elems());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0f;
+  for (auto _ : state) {
+    RefineResult res = refine_batch_solve(
+        layout, std::span<const float>(originals.span()),
+        std::span<const float>(factors.span()), vlayout,
+        std::span<const float>(b.span()), x.span());
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_RefinedSolve)->Arg(16)->ArgName("n");
+
+}  // namespace
+
+BENCHMARK_MAIN();

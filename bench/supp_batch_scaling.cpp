@@ -1,0 +1,84 @@
+// Supplementary experiment: batch-size scaling.
+//
+// The paper fixes batch = 16,384 ("when a large set of small linear
+// systems is presented simultaneously, using a batch implementation
+// exposes significant parallelism"). This supplementary sweep varies the
+// batch size to show where that statement kicks in: small batches cannot
+// fill the machine (launch overhead + too few blocks), and throughput
+// saturates once the batch supplies enough warps per SM. Run through the
+// P100 model and, with --measure, the CPU substrate.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/batch_cholesky.hpp"
+#include "kernels/counts.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/timer.hpp"
+
+using namespace ibchol;
+using namespace ibchol::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/2);
+  print_header("Supplementary", "throughput vs batch size (n = 16, 32)",
+               cfg);
+
+  const KernelModel model(GpuSpec::p100());
+  const std::vector<std::int64_t> batches{256,  512,   1024,  2048, 4096,
+                                          8192, 16384, 32768, 65536};
+
+  std::vector<NamedSeries> series;
+  for (const int n : {16, 32}) {
+    NamedSeries s{"n=" + std::to_string(n), {}};
+    const TuningParams params = recommended_params(n);
+    for (const std::int64_t b : batches) {
+      s.gflops_by_n[static_cast<int>(b / 256)] =
+          model.evaluate(n, b, params).gflops;
+    }
+    series.push_back(std::move(s));
+  }
+  std::printf("(x axis: batch / 256)\n");
+  print_series_table(series);
+  print_series_chart(series, "Supplementary: GFLOP/s vs batch (x = batch/256)");
+
+  // Claims: saturation behaviour.
+  auto at = [&](int idx, std::int64_t b) {
+    return series[idx].gflops_by_n.at(static_cast<int>(b / 256));
+  };
+  std::printf("\nclaims:\n");
+  check(at(0, 16384) > 2.0 * at(0, 256),
+        "small batches cannot fill the machine (16k batch > 2x 256 batch at "
+        "n=16)");
+  check(at(0, 65536) < 1.15 * at(0, 16384),
+        "throughput saturates by the paper's batch of 16,384 (65k within "
+        "15% of 16k)");
+  check(at(1, 65536) < 1.15 * at(1, 16384), "same at n=32");
+
+  if (cfg.measure) {
+    std::printf("\nCPU-substrate validation (measured):\n");
+    TextTable table({"batch", "n=16 GF/s"});
+    const int n = 16;
+    const TuningParams params = recommended_params(n);
+    for (const std::int64_t b : {std::int64_t{64}, std::int64_t{1024},
+                                 std::int64_t{8192}}) {
+      const BatchLayout layout = BatchCholesky::make_layout(n, b, params);
+      const BatchCholesky chol(layout, params);
+      AlignedBuffer<float> pristine(layout.size_elems());
+      generate_spd_batch<float>(layout, pristine.span());
+      AlignedBuffer<float> work(layout.size_elems());
+      double best = 1e300;
+      for (int rep = 0; rep < 5; ++rep) {
+        std::copy(pristine.begin(), pristine.end(), work.begin());
+        Timer t;
+        (void)chol.factorize<float>(work.span());
+        best = std::min(best, t.seconds());
+      }
+      table.add_row({std::to_string(b),
+                     TextTable::num(b * nominal_flops_per_matrix(n) / best /
+                                        1e9, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  return 0;
+}

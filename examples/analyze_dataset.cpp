@@ -1,0 +1,57 @@
+// Offline analysis of a stored autotuning dataset (paper §IV as a tool).
+//
+//   $ analyze_dataset sweep.csv [--trees=500]
+//   $ autotune_explore --csv=sweep.csv   # produces the input
+//
+// Reads a sweep CSV (as written by autotune_explore or the table1 bench),
+// fits the random-forest regressor, and prints the Table I predictive-power
+// rows plus the Fig 21 accuracy numbers — the paper's postmortem analysis
+// over an archived measurement database.
+#include <cstdio>
+
+#include "autotune/analyze.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace ibchol;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: analyze_dataset <sweep.csv> [--trees=500]\n"
+                 "create an input with: autotune_explore --csv=sweep.csv\n");
+    return 2;
+  }
+  const std::string path = cli.positional().front();
+
+  try {
+    const SweepDataset dataset =
+        SweepDataset::from_csv(read_csv_file(path));
+    std::printf("dataset: %zu measurements over %zu sizes\n", dataset.size(),
+                dataset.sizes().size());
+
+    ForestOptions opt;
+    opt.num_trees = static_cast<int>(cli.get_int("trees", 500));
+    const AnalysisResult res = analyze_dataset(dataset, opt);
+
+    std::printf("\npredictive power of tuning parameters (Table I):\n");
+    TextTable table({"Parameter", "IncMSE", "Type", "Explanation"});
+    for (const auto& row : res.table) {
+      table.add_row({row.parameter, TextTable::num(row.inc_mse, 1), row.type,
+                     row.explanation});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nrandom-forest accuracy (Fig 21):\n");
+    std::printf("  trees %d, average depth %.1f\n", res.num_trees,
+                res.average_depth);
+    std::printf("  OOB MSE %.2f, correlation %.4f, R^2 %.4f\n", res.oob_mse,
+                res.correlation, res.r_squared);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

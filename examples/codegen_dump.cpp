@@ -1,0 +1,45 @@
+// Emit the generated CUDA kernel source for a tuning point — the artifact
+// the paper's pyexpander pipeline produces (Figures 9-12).
+//
+//   $ codegen_dump [--n=8] [--nb=2] [--looking=top] [--unroll=full]
+//                  [--chunk=64] [--math=ieee] [--out=kernel.cu]
+//
+// Without --out the source is printed to stdout. On a CUDA machine the
+// output compiles with nvcc as-is (add --use_fast_math for math=fast).
+#include <cstdio>
+#include <fstream>
+
+#include "kernels/cuda_codegen.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+using namespace ibchol;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  CodegenConfig cfg;
+  cfg.n = static_cast<int>(cli.get_int("n", 8));
+  cfg.nb = static_cast<int>(cli.get_int("nb", 2));
+  cfg.looking = looking_from_string(cli.get("looking", "top"));
+  cfg.unroll = unroll_from_string(cli.get("unroll", "full"));
+  cfg.chunk = static_cast<int>(cli.get_int("chunk", 64));
+  cfg.math = math_from_string(cli.get("math", "ieee"));
+
+  try {
+    const std::string source = generate_cuda_kernel(cfg);
+    if (cli.has("out")) {
+      const std::string path = cli.get("out", "");
+      std::ofstream out(path);
+      if (!out) throw Error("cannot write " + path);
+      out << source;
+      std::printf("wrote %s (%zu bytes, kernel %s)\n", path.c_str(),
+                  source.size(), kernel_name(cfg).c_str());
+    } else {
+      std::printf("%s", source.c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Batched Kalman filter update — tracking thousands of objects at once.
+//
+//   $ kalman_tracker [--tracks=8192] [--steps=50]
+//
+// Each track maintains a 4-state (position/velocity in 2D) Kalman filter.
+// The measurement update inverts the 2x2..4x4 innovation covariance
+// S = H·P·Hᵀ + R — an SPD solve per track per step. All tracks' solves are
+// batched through the interleaved batch Cholesky with a multi-RHS solve
+// (one column per state dimension), which is exactly the "large set of
+// small linear solves" pattern the paper's introduction motivates.
+//
+// Here H = I (full-state observation), so S = P + R stays 4x4 and the gain
+// is K = P·S^{-1}, computed by solving S·Kᵀ = Pᵀ with the batched solver.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/batch_cholesky.hpp"
+#include "layout/rect_layout.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace ibchol;
+
+namespace {
+
+constexpr int kState = 4;  // [x, y, vx, vy]
+
+struct Track {
+  float x[kState] = {};        // state estimate
+  float p[kState * kState] = {};  // covariance (column-major)
+  float truth[kState] = {};    // simulated ground truth
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t tracks = cli.get_int("tracks", 8192);
+  const int steps = static_cast<int>(cli.get_int("steps", 50));
+  const float dt = 0.1f;
+  const float qpos = 1e-3f, qvel = 1e-2f;  // process noise
+  const float rpos = 0.25f, rvel = 0.5f;   // measurement noise variances
+
+  std::printf("batched Kalman tracking: %lld tracks x %d steps, state dim "
+              "%d\n", static_cast<long long>(tracks), steps, kState);
+
+  // Initialize tracks with random constant-velocity ground truth.
+  Xoshiro256 rng(77);
+  std::vector<Track> fleet(tracks);
+  for (auto& t : fleet) {
+    for (int i = 0; i < kState; ++i) {
+      t.truth[i] = static_cast<float>(rng.normal() * (i < 2 ? 100.0 : 5.0));
+      t.x[i] = 0.0f;  // uninformed start
+      t.p[i + i * kState] = 1e3f;
+    }
+  }
+
+  // Batch layouts: S is kState x kState, the gain RHS is kState x kState.
+  const TuningParams params = recommended_params(kState);
+  const BatchLayout slayout =
+      BatchCholesky::make_layout(kState, tracks, params);
+  const BatchRectLayout klayout =
+      BatchRectLayout::matching(slayout, kState, kState);
+  const BatchCholesky chol(slayout, params);
+  AlignedBuffer<float> sbatch(slayout.size_elems());
+  AlignedBuffer<float> kbatch(klayout.size_elems());
+
+  double solver_seconds = 0.0;
+  double err_initial = 0.0, err_final = 0.0;
+
+  for (int step = 0; step < steps; ++step) {
+    // --- per-track predict + measurement simulation (host side) ---------
+#pragma omp parallel for schedule(static)
+    for (std::int64_t tr = 0; tr < tracks; ++tr) {
+      Track& t = fleet[tr];
+      // Ground truth moves with constant velocity.
+      t.truth[0] += dt * t.truth[2];
+      t.truth[1] += dt * t.truth[3];
+      // Predict: x <- F x, P <- F P Fᵀ + Q with F = [I, dt·I; 0, I].
+      t.x[0] += dt * t.x[2];
+      t.x[1] += dt * t.x[3];
+      for (int c = 0; c < 2; ++c) {
+        // P <- F P Fᵀ expanded for the block structure.
+        const int pos = c, vel = c + 2;
+        const float ppp = t.p[pos + pos * kState];
+        const float ppv = t.p[pos + vel * kState];
+        const float pvv = t.p[vel + vel * kState];
+        t.p[pos + pos * kState] = ppp + 2 * dt * ppv + dt * dt * pvv + qpos;
+        t.p[pos + vel * kState] = ppv + dt * pvv;
+        t.p[vel + pos * kState] = t.p[pos + vel * kState];
+        t.p[vel + vel * kState] = pvv + qvel;
+      }
+    }
+
+    // --- batched gain computation ----------------------------------------
+    // S = P + R (H = I); solve S·Kᵀ = P for Kᵀ (S symmetric).
+#pragma omp parallel for schedule(static)
+    for (std::int64_t tr = 0; tr < tracks; ++tr) {
+      const Track& t = fleet[tr];
+      for (int j = 0; j < kState; ++j) {
+        for (int i = 0; i < kState; ++i) {
+          float s = t.p[i + j * kState];
+          if (i == j) s += (i < 2 ? rpos : rvel);
+          sbatch[slayout.index(tr, i, j)] = s;
+          kbatch[klayout.index(tr, i, j)] = t.p[i + j * kState];
+        }
+      }
+    }
+    Timer timer;
+    const FactorResult fres = chol.factorize<float>(sbatch.span());
+    if (!fres.ok()) {
+      std::printf("!! %lld innovation covariances were not SPD\n",
+                  static_cast<long long>(fres.failed_count));
+      return 1;
+    }
+    chol.solve_multi<float>(std::span<const float>(sbatch.span()), klayout,
+                            kbatch.span());
+    solver_seconds += timer.seconds();
+
+    // --- per-track state/covariance update --------------------------------
+    double err = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : err)
+    for (std::int64_t tr = 0; tr < tracks; ++tr) {
+      Track& t = fleet[tr];
+      // Simulated noisy full-state measurement.
+      Xoshiro256 mrng(0xabcd1234u ^ (tr * 2654435761u) ^ (step * 97u));
+      float z[kState];
+      for (int i = 0; i < kState; ++i) {
+        z[i] = t.truth[i] + static_cast<float>(
+                                mrng.normal() *
+                                std::sqrt(static_cast<double>(i < 2 ? rpos
+                                                                    : rvel)));
+      }
+      // K = (solve result)ᵀ: kbatch holds Kᵀ (S·Kᵀ = P).
+      float k[kState * kState];
+      for (int j = 0; j < kState; ++j) {
+        for (int i = 0; i < kState; ++i) {
+          k[i + j * kState] = kbatch[klayout.index(tr, j, i)];
+        }
+      }
+      // x <- x + K(z - x); P <- (I - K)P.
+      float innov[kState];
+      for (int i = 0; i < kState; ++i) innov[i] = z[i] - t.x[i];
+      for (int i = 0; i < kState; ++i) {
+        float acc = t.x[i];
+        for (int j = 0; j < kState; ++j) acc += k[i + j * kState] * innov[j];
+        t.x[i] = acc;
+      }
+      float pnew[kState * kState];
+      for (int j = 0; j < kState; ++j) {
+        for (int i = 0; i < kState; ++i) {
+          float acc = t.p[i + j * kState];
+          for (int m = 0; m < kState; ++m) {
+            acc -= k[i + m * kState] * t.p[m + j * kState];
+          }
+          pnew[i + j * kState] = acc;
+        }
+      }
+      // Re-symmetrize against drift.
+      for (int j = 0; j < kState; ++j) {
+        for (int i = 0; i < kState; ++i) {
+          t.p[i + j * kState] = 0.5f * (pnew[i + j * kState] +
+                                        pnew[j + i * kState]);
+        }
+      }
+      const double dx = t.x[0] - t.truth[0];
+      const double dy = t.x[1] - t.truth[1];
+      err += dx * dx + dy * dy;
+    }
+    err = std::sqrt(err / static_cast<double>(tracks));
+    if (step == 0) err_initial = err;
+    if (step == steps - 1) err_final = err;
+    if (step == 0 || step == steps - 1 || (step + 1) % 10 == 0) {
+      std::printf("  step %3d: position RMSE %8.3f\n", step + 1, err);
+    }
+  }
+
+  std::printf("\nbatched factor+solve time: %.1f ms total (%.1f us per "
+              "step for %lld 4x4 systems)\n", solver_seconds * 1e3,
+              solver_seconds * 1e6 / steps, static_cast<long long>(tracks));
+  // Success: the filter settles well below the raw measurement noise
+  // (sqrt(rpos) = 0.5) and well below its starting error.
+  const bool converged = err_final < 0.6 * err_initial &&
+                         err_final < std::sqrt(static_cast<double>(rpos));
+  std::printf("%s: RMSE %0.3f -> %0.3f\n", converged ? "OK" : "NOT CONVERGED",
+              err_initial, err_final);
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, run every
+# benchmark binary. This is the command sequence EXPERIMENTS.md expects.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja "$@"
+cmake --build build
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+for b in build/bench/*; do
+  echo "===== ${b}"
+  "${b}"
+done

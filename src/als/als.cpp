@@ -1,0 +1,136 @@
+#include "als/als.hpp"
+
+#include <cmath>
+
+#include "core/batch_cholesky.hpp"
+#include "layout/vector_layout.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ibchol {
+
+AlsRecommender::AlsRecommender(const RatingsDataset& data, AlsOptions options)
+    : data_(data), options_(std::move(options)) {
+  IBCHOL_CHECK(options_.rank >= 1, "rank must be positive");
+  IBCHOL_CHECK(options_.iterations >= 0, "iterations must be non-negative");
+  options_.tuning.validate(options_.rank);
+  Xoshiro256 rng(options_.seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(options_.rank));
+  user_factors_.resize(static_cast<std::size_t>(data_.num_users) *
+                       options_.rank);
+  item_factors_.resize(static_cast<std::size_t>(data_.num_items) *
+                       options_.rank);
+  for (auto& x : user_factors_) x = static_cast<float>(rng.normal() * scale);
+  for (auto& x : item_factors_) x = static_cast<float>(rng.normal() * scale);
+}
+
+double AlsRecommender::update_side(
+    const std::vector<std::vector<std::int32_t>>& adjacency,
+    const std::vector<float>& fixed, std::vector<float>& factors) const {
+  const int f = options_.rank;
+  const std::int64_t batch = static_cast<std::int64_t>(adjacency.size());
+  const BatchLayout layout =
+      BatchCholesky::make_layout(f, batch, options_.tuning);
+  const BatchVectorLayout vlayout = BatchVectorLayout::matching(layout);
+
+  AlignedBuffer<float> mats(layout.size_elems());
+  AlignedBuffer<float> rhs(vlayout.size_elems());
+
+  // Assemble the normal equations A_b = Σ v vᵀ + λ|Ω|I, b_b = Σ r·v,
+  // writing straight into the interleaved layout.
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const auto& obs = adjacency[b];
+    const double reg =
+        options_.lambda * static_cast<double>(std::max<std::size_t>(
+                              obs.size(), 1));
+    // Lower triangle of the Gram matrix.
+    for (int j = 0; j < f; ++j) {
+      for (int i = j; i < f; ++i) {
+        double acc = (i == j) ? reg : 0.0;
+        for (const std::int32_t ridx : obs) {
+          const Rating& r = data_.train[ridx];
+          const std::int32_t other =
+              (&adjacency == &data_.by_user) ? r.item : r.user;
+          const float* vrow = fixed.data() + static_cast<std::size_t>(other) * f;
+          acc += static_cast<double>(vrow[i]) * vrow[j];
+        }
+        mats[layout.index(b, i, j)] = static_cast<float>(acc);
+        mats[layout.index(b, j, i)] = static_cast<float>(acc);
+      }
+    }
+    for (int i = 0; i < f; ++i) {
+      double acc = 0.0;
+      for (const std::int32_t ridx : obs) {
+        const Rating& r = data_.train[ridx];
+        const std::int32_t other =
+            (&adjacency == &data_.by_user) ? r.item : r.user;
+        acc += static_cast<double>(r.value) *
+               fixed[static_cast<std::size_t>(other) * f + i];
+      }
+      rhs[vlayout.index(b, i)] = static_cast<float>(acc);
+    }
+  }
+
+  // Factor and solve the whole side as one batch.
+  Timer timer;
+  const BatchCholesky chol(layout, options_.tuning);
+  const FactorResult result = chol.factorize<float>(mats.span());
+  IBCHOL_CHECK(result.ok(),
+               "ALS normal equations must be SPD (regularized Gram)");
+  chol.solve<float>(std::span<const float>(mats.data(), mats.size()), vlayout,
+                    rhs.span());
+  const double seconds = timer.seconds();
+
+  // Scatter solutions back to the factor matrix.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (int i = 0; i < f; ++i) {
+      factors[static_cast<std::size_t>(b) * f + i] = rhs[vlayout.index(b, i)];
+    }
+  }
+  return seconds;
+}
+
+std::vector<AlsIteration> AlsRecommender::run() {
+  std::vector<AlsIteration> history;
+  for (int it = 0; it < options_.iterations; ++it) {
+    AlsIteration rec;
+    rec.iteration = it + 1;
+    rec.factor_seconds =
+        update_side(data_.by_user, item_factors_, user_factors_);
+    rec.factor_seconds +=
+        update_side(data_.by_item, user_factors_, item_factors_);
+    rec.train_rmse = train_rmse();
+    rec.test_rmse = test_rmse();
+    history.push_back(rec);
+  }
+  return history;
+}
+
+float AlsRecommender::predict(int user, int item) const {
+  const int f = options_.rank;
+  double acc = 0.0;
+  for (int d = 0; d < f; ++d) {
+    acc += static_cast<double>(
+               user_factors_[static_cast<std::size_t>(user) * f + d]) *
+           item_factors_[static_cast<std::size_t>(item) * f + d];
+  }
+  return static_cast<float>(acc);
+}
+
+double AlsRecommender::rmse(const std::vector<Rating>& ratings) const {
+  if (ratings.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Rating& r : ratings) {
+    const double d = static_cast<double>(r.value) - predict(r.user, r.item);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(ratings.size()));
+}
+
+double AlsRecommender::train_rmse() const { return rmse(data_.train); }
+double AlsRecommender::test_rmse() const { return rmse(data_.test); }
+
+}  // namespace ibchol

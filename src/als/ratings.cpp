@@ -1,0 +1,88 @@
+#include "als/ratings.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ibchol {
+
+RatingsDataset generate_ratings(const RatingsOptions& options) {
+  IBCHOL_CHECK(options.num_users > 0 && options.num_items > 0,
+               "dataset must have users and items");
+  IBCHOL_CHECK(options.planted_rank > 0, "planted rank must be positive");
+  Xoshiro256 rng(options.seed);
+
+  // Planted factors with entries ~ N(0, 1/sqrt(rank)) so ratings are O(1).
+  const int f = options.planted_rank;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(f));
+  std::vector<double> u(static_cast<std::size_t>(options.num_users) * f);
+  std::vector<double> v(static_cast<std::size_t>(options.num_items) * f);
+  for (auto& x : u) x = rng.normal() * scale;
+  for (auto& x : v) x = rng.normal() * scale;
+
+  // Zipf item-popularity CDF.
+  std::vector<double> cdf(options.num_items);
+  double acc = 0.0;
+  for (int i = 0; i < options.num_items; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), options.zipf_s);
+    cdf[i] = acc;
+  }
+  for (auto& c : cdf) c /= acc;
+
+  auto sample_item = [&]() {
+    const double r = rng.uniform();
+    return static_cast<std::int32_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+  };
+
+  RatingsDataset ds;
+  ds.num_users = options.num_users;
+  ds.num_items = options.num_items;
+  ds.by_user.resize(options.num_users);
+  ds.by_item.resize(options.num_items);
+
+  std::vector<char> seen(options.num_items);
+  for (int user = 0; user < options.num_users; ++user) {
+    // Poisson-ish count via rounding a positive normal around the mean.
+    int count = static_cast<int>(std::lround(
+        std::max(1.0, rng.normal(options.ratings_per_user,
+                                 std::sqrt(options.ratings_per_user)))));
+    count = std::min(count, options.num_items);
+    std::fill(seen.begin(), seen.end(), 0);
+    for (int k = 0; k < count; ++k) {
+      std::int32_t item = sample_item();
+      // Resolve popularity collisions by linear probing (keeps the draw
+      // cheap and deterministic).
+      int guard = 0;
+      while (seen[item] && guard++ < options.num_items) {
+        item = (item + 1) % options.num_items;
+      }
+      if (seen[item]) break;
+      seen[item] = 1;
+
+      double dot = 0.0;
+      for (int d = 0; d < f; ++d) {
+        dot += u[static_cast<std::size_t>(user) * f + d] *
+               v[static_cast<std::size_t>(item) * f + d];
+      }
+      Rating r;
+      r.user = user;
+      r.item = item;
+      r.value = static_cast<float>(dot + rng.normal() * options.noise);
+
+      if (rng.uniform() < options.test_fraction) {
+        ds.test.push_back(r);
+      } else {
+        const auto idx = static_cast<std::int32_t>(ds.train.size());
+        ds.train.push_back(r);
+        ds.by_user[user].push_back(idx);
+        ds.by_item[item].push_back(idx);
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace ibchol

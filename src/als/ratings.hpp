@@ -1,0 +1,54 @@
+// Synthetic ratings generator for the ALS recommender.
+//
+// The paper's direct motivation is the Alternating Least Squares algorithm
+// for recommender systems [10], where every user and item update solves a
+// small SPD system — a batch Cholesky workload. Real rating datasets are
+// not shipped with this repository, so this module synthesizes one with the
+// statistics that matter for the solver: a planted low-rank structure plus
+// noise (so ALS has something to recover and RMSE is checkable) and a
+// Zipf-like item popularity (so per-user problem assembly has realistic
+// skew).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ibchol {
+
+/// One observed (user, item, rating) triple.
+struct Rating {
+  std::int32_t user = 0;
+  std::int32_t item = 0;
+  float value = 0.0f;
+};
+
+/// Generator options.
+struct RatingsOptions {
+  int num_users = 2000;
+  int num_items = 1000;
+  int planted_rank = 8;          ///< rank of the planted factor model
+  double ratings_per_user = 30;  ///< mean observations per user
+  double noise = 0.1;            ///< observation noise stddev
+  double zipf_s = 1.1;           ///< item popularity exponent
+  double test_fraction = 0.1;    ///< held-out fraction
+  std::uint64_t seed = 1234;
+};
+
+/// A split ratings dataset with per-user and per-item adjacency.
+struct RatingsDataset {
+  int num_users = 0;
+  int num_items = 0;
+  std::vector<Rating> train;
+  std::vector<Rating> test;
+  /// Training ratings grouped by user / by item (indices into `train`).
+  std::vector<std::vector<std::int32_t>> by_user;
+  std::vector<std::vector<std::int32_t>> by_item;
+
+  [[nodiscard]] std::size_t train_size() const { return train.size(); }
+};
+
+/// Generates a dataset; deterministic in the seed.
+[[nodiscard]] RatingsDataset generate_ratings(const RatingsOptions& options);
+
+}  // namespace ibchol

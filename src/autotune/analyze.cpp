@@ -1,0 +1,77 @@
+#include "autotune/analyze.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace ibchol {
+
+const std::vector<std::string>& analysis_feature_names() {
+  static const std::vector<std::string> names{
+      "n", "nb", "looking", "chunking", "chunk_size", "unrolling", "cache"};
+  return names;
+}
+
+AnalysisData build_analysis_data(const SweepDataset& dataset) {
+  AnalysisData data;
+  data.features = FeatureMatrix(analysis_feature_names(), 0);
+  data.target.reserve(dataset.size());
+  for (const auto& r : dataset.records()) {
+    const double row[] = {
+        static_cast<double>(r.n),
+        static_cast<double>(r.params.nb),
+        static_cast<double>(static_cast<int>(r.params.looking)),
+        r.params.chunked ? 1.0 : 0.0,
+        static_cast<double>(r.params.chunk_size),
+        r.params.unroll == Unroll::kFull ? 1.0 : 0.0,
+        r.params.prefer_shared ? 1.0 : 0.0,
+    };
+    data.features.add_row(row);
+    data.target.push_back(r.gflops);
+  }
+  return data;
+}
+
+AnalysisResult analyze_dataset(const SweepDataset& dataset,
+                               const ForestOptions& options) {
+  IBCHOL_CHECK(dataset.size() > 0, "cannot analyze an empty dataset");
+  const AnalysisData data = build_analysis_data(dataset);
+
+  RandomForest forest;
+  forest.fit(data.features, data.target, options);
+
+  AnalysisResult result;
+  result.num_trees = forest.num_trees();
+  result.average_depth = forest.average_depth();
+  result.oob_mse = forest.oob_mse();
+
+  static const char* kTypes[] = {"integer", "integer", "ternary", "binary",
+                                 "integer", "binary",  "binary"};
+  static const char* kExplanations[] = {
+      "size of single matrix", "internal blocking",    "Left, Right, or Top",
+      "yes or no",             "matrix count in chunk", "use unrolling?",
+      "more L1 or shared mem."};
+  const std::vector<double> importance = forest.permutation_importance();
+  for (std::size_t f = 0; f < analysis_feature_names().size(); ++f) {
+    PredictivePower p;
+    p.parameter = analysis_feature_names()[f];
+    p.inc_mse = importance[f];
+    p.type = kTypes[f];
+    p.explanation = kExplanations[f];
+    result.table.push_back(std::move(p));
+  }
+
+  // Fig 21: predicted-vs-observed cloud from the out-of-bag predictions
+  // (rows never out of bag are skipped).
+  const auto& oob = forest.oob_predictions();
+  for (std::size_t i = 0; i < oob.size(); ++i) {
+    if (std::isnan(oob[i])) continue;
+    result.observed.push_back(data.target[i]);
+    result.predicted.push_back(oob[i]);
+  }
+  result.correlation = pearson(result.observed, result.predicted);
+  result.r_squared = r_squared(result.observed, result.predicted);
+  return result;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,53 @@
+// Postmortem analysis of the autotuning dataset (paper §IV).
+//
+// Converts the sweep database into a feature matrix (the seven variables of
+// Table I), fits the random-forest regressor, and computes each variable's
+// predictive power as the permutation increase in out-of-bag MSE — the
+// paper's "predictive power of various tuning parameters on performance in
+// terms of mean square error".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autotune/records.hpp"
+#include "forest/forest.hpp"
+
+namespace ibchol {
+
+/// The Table I feature columns, in order.
+[[nodiscard]] const std::vector<std::string>& analysis_feature_names();
+
+/// Builds the feature matrix + target (GFLOP/s) from a sweep dataset.
+struct AnalysisData {
+  FeatureMatrix features;
+  std::vector<double> target;
+};
+[[nodiscard]] AnalysisData build_analysis_data(const SweepDataset& dataset);
+
+/// One Table I row.
+struct PredictivePower {
+  std::string parameter;
+  double inc_mse = 0.0;     ///< permutation increase in OOB MSE
+  std::string type;         ///< integer / ternary / binary
+  std::string explanation;
+};
+
+/// Full analysis result (Table I + Fig 21 inputs).
+struct AnalysisResult {
+  std::vector<PredictivePower> table;  ///< per-variable predictive power
+  std::vector<double> observed;        ///< measured GFLOP/s per record
+  std::vector<double> predicted;       ///< OOB predictions per record
+  double oob_mse = 0.0;
+  double correlation = 0.0;            ///< Pearson(observed, predicted)
+  double r_squared = 0.0;
+  int num_trees = 0;
+  double average_depth = 0.0;
+};
+
+/// Fits the forest and produces the analysis. `options` defaults follow the
+/// paper (500 trees).
+[[nodiscard]] AnalysisResult analyze_dataset(const SweepDataset& dataset,
+                                             const ForestOptions& options = {});
+
+}  // namespace ibchol

@@ -1,0 +1,92 @@
+#include "autotune/dispatch.hpp"
+
+#include <cstdlib>
+
+#include "core/batch_cholesky.hpp"
+#include "kernels/tile_program.hpp"
+
+namespace ibchol {
+
+TunedDispatch TunedDispatch::from_dataset(const SweepDataset& dataset) {
+  TunedDispatch dispatch;
+  for (const auto& [n, record] : dataset.best_by_n()) {
+    dispatch.table_[n] = record.params;
+  }
+  return dispatch;
+}
+
+void TunedDispatch::set(int n, const TuningParams& params) {
+  params.validate(n);
+  table_[n] = params;
+}
+
+std::optional<TuningParams> TunedDispatch::exact(int n) const {
+  const auto it = table_.find(n);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+TuningParams TunedDispatch::lookup(int n) const {
+  IBCHOL_CHECK(n >= 1, "matrix dimension must be positive");
+  if (table_.empty()) return recommended_params(n);
+  // lower_bound gives the first entry >= n; compare with its predecessor.
+  auto hi = table_.lower_bound(n);
+  if (hi != table_.end() && hi->first == n) return hi->second;
+  if (hi == table_.end()) {
+    TuningParams p = std::prev(hi)->second;
+    p.nb = p.effective_nb(n);
+    return p;
+  }
+  if (hi == table_.begin()) {
+    TuningParams p = hi->second;
+    p.nb = p.effective_nb(n);
+    return p;
+  }
+  const auto lo = std::prev(hi);
+  // Prefer the nearer size; ties go to the larger one.
+  const int dlo = n - lo->first;
+  const int dhi = hi->first - n;
+  TuningParams p = (dhi <= dlo) ? hi->second : lo->second;
+  p.nb = p.effective_nb(n);
+  return p;
+}
+
+CsvTable TunedDispatch::to_csv() const {
+  CsvTable t;
+  t.header = {"n",      "nb",     "looking", "chunked", "chunk_size",
+              "unroll", "math",   "cache"};
+  for (const auto& [n, p] : table_) {
+    t.rows.push_back({std::to_string(n), std::to_string(p.nb),
+                      to_string(p.looking), p.chunked ? "1" : "0",
+                      std::to_string(p.chunk_size), to_string(p.unroll),
+                      to_string(p.math), p.prefer_shared ? "shared" : "l1"});
+  }
+  return t;
+}
+
+TunedDispatch TunedDispatch::from_csv(const CsvTable& table) {
+  TunedDispatch dispatch;
+  const std::size_t cn = table.column("n");
+  const std::size_t cnb = table.column("nb");
+  const std::size_t clook = table.column("looking");
+  const std::size_t cch = table.column("chunked");
+  const std::size_t ccs = table.column("chunk_size");
+  const std::size_t cun = table.column("unroll");
+  const std::size_t cma = table.column("math");
+  const std::size_t cca = table.column("cache");
+  for (const auto& row : table.rows) {
+    TuningParams p;
+    const int n = std::stoi(row[cn]);
+    p.nb = std::stoi(row[cnb]);
+    p.looking = looking_from_string(row[clook]);
+    p.chunked = row[cch] == "1";
+    p.chunk_size = std::stoi(row[ccs]);
+    p.unroll = unroll_from_string(row[cun]);
+    p.math = math_from_string(row[cma]);
+    p.prefer_shared = row[cca] == "shared";
+    dispatch.set(n, p);
+  }
+  return dispatch;
+}
+
+}  // namespace ibchol

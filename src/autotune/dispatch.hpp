@@ -1,0 +1,53 @@
+// Tuned dispatch tables — the autotuner's production output.
+//
+// An exhaustive sweep (or guided search) distills into a small table:
+// matrix size -> winning tuning point. TunedDispatch persists that table
+// as CSV, loads it at run time, and answers "which kernel should size n
+// use?" — with nearest-size fallback for dimensions that were not swept
+// and the paper-derived recommended_params as the last resort. This is the
+// artifact a deployment actually ships (cf. bench/ablation_gpu_arch: the
+// table is per-machine, so it is data, not code).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "autotune/records.hpp"
+#include "kernels/variant.hpp"
+
+namespace ibchol {
+
+/// A size -> tuning-point table with CSV persistence.
+class TunedDispatch {
+ public:
+  TunedDispatch() = default;
+
+  /// Builds a table from a sweep dataset (best GFLOP/s per size).
+  [[nodiscard]] static TunedDispatch from_dataset(const SweepDataset& dataset);
+
+  /// Parses a table previously produced by to_csv().
+  [[nodiscard]] static TunedDispatch from_csv(const CsvTable& table);
+
+  [[nodiscard]] CsvTable to_csv() const;
+
+  /// Inserts/overwrites one entry.
+  void set(int n, const TuningParams& params);
+
+  /// Number of entries.
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// The exact entry for n, if the table has one.
+  [[nodiscard]] std::optional<TuningParams> exact(int n) const;
+
+  /// Tuning point for an n×n batch: the exact entry if present, otherwise
+  /// the entry of the nearest swept size (ties prefer the larger size,
+  /// whose kernel is always valid for smaller n after nb clamping),
+  /// otherwise recommended_params(n). Always valid for n.
+  [[nodiscard]] TuningParams lookup(int n) const;
+
+ private:
+  std::map<int, TuningParams> table_;
+};
+
+}  // namespace ibchol

@@ -1,0 +1,75 @@
+#include "autotune/evaluator.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "core/batch_cholesky.hpp"
+#include "kernels/counts.hpp"
+#include "layout/generate.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ibchol {
+
+double Evaluator::gflops(int n, std::int64_t batch,
+                         const TuningParams& params) {
+  const double s = seconds(n, batch, params);
+  return s <= 0.0 ? 0.0
+                  : static_cast<double>(batch) * nominal_flops_per_matrix(n) /
+                        s / 1e9;
+}
+
+double ModelEvaluator::seconds(int n, std::int64_t batch,
+                               const TuningParams& params) {
+  const double s = model_.evaluate(n, batch, params).seconds;
+  if (noise_sigma_ <= 0.0) return s;
+  // Deterministic per-point jitter: hash the configuration into an RNG
+  // seed so repeated sweeps reproduce bit-identical datasets.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<std::uint64_t>(n);
+  for (const char c : params.key()) {
+    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  }
+  Xoshiro256 rng(h);
+  return s * std::max(0.5, 1.0 + noise_sigma_ * rng.normal());
+}
+
+std::string ModelEvaluator::name() const {
+  return "simt-model(" + model_.gpu().name + ")";
+}
+
+CpuMeasuredEvaluator::CachedBatch& CpuMeasuredEvaluator::batch_for(
+    int n, std::int64_t batch, const TuningParams& p) {
+  const BatchLayout layout = BatchCholesky::make_layout(n, batch, p);
+  const std::string key = layout.to_string();
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto cached = std::make_unique<CachedBatch>();
+    cached->pristine.resize(layout.size_elems());
+    cached->work.resize(layout.size_elems());
+    SpdOptions gen;
+    gen.seed = options_.seed;
+    generate_spd_batch<float>(layout, cached->pristine.span(), gen);
+    it = cache_.emplace(key, std::move(cached)).first;
+  }
+  return *it->second;
+}
+
+double CpuMeasuredEvaluator::seconds(int n, std::int64_t batch,
+                                     const TuningParams& params) {
+  const BatchLayout layout = BatchCholesky::make_layout(n, batch, params);
+  const BatchCholesky chol(layout, params);
+  CachedBatch& data = batch_for(n, batch, params);
+  const std::size_t bytes = layout.size_elems() * sizeof(float);
+
+  double best = 1e300;
+  for (int rep = 0; rep < options_.warmup + options_.reps; ++rep) {
+    std::memcpy(data.work.data(), data.pristine.data(), bytes);
+    Timer t;
+    (void)chol.factorize<float>(data.work.span());
+    const double s = t.seconds();
+    if (rep >= options_.warmup && s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,90 @@
+// Evaluation backends for the autotuner.
+//
+// An Evaluator maps (n, batch, tuning point) to a kernel time. Two backends
+// implement the substitution described in DESIGN.md §2:
+//  * ModelEvaluator — the P100 SIMT cost model (fast, exhaustive sweeps);
+//  * CpuMeasuredEvaluator — real wall-clock measurement of the CPU-SIMD
+//    substrate (slower; used to validate the model's orderings on real
+//    hardware).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kernels/variant.hpp"
+#include "simt/kernel_model.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace ibchol {
+
+/// Interface: kernel time for one tuning point.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Kernel time in seconds for factoring `batch` n×n matrices.
+  virtual double seconds(int n, std::int64_t batch,
+                         const TuningParams& params) = 0;
+
+  /// Backend name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// GFLOP/s with the paper's (1/3)n³ convention.
+  double gflops(int n, std::int64_t batch, const TuningParams& params);
+};
+
+/// Analytical SIMT model backend.
+///
+/// `noise_sigma` adds deterministic, per-point multiplicative jitter
+/// (seeded by the tuning point itself) imitating run-to-run measurement
+/// noise — the paper's dataset is measured, so its §IV analysis sees a
+/// noise floor; a perfectly deterministic model would make the random
+/// forest look unrealistically exact. Set to 0 for pure model output.
+class ModelEvaluator final : public Evaluator {
+ public:
+  explicit ModelEvaluator(KernelModel model, double noise_sigma = 0.0)
+      : model_(std::move(model)), noise_sigma_(noise_sigma) {}
+
+  double seconds(int n, std::int64_t batch,
+                 const TuningParams& params) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const KernelModel& model() const { return model_; }
+
+ private:
+  KernelModel model_;
+  double noise_sigma_ = 0.0;
+};
+
+/// Measured CPU-substrate backend. Caches one pristine SPD batch per
+/// (n, layout) and measures best-of-k factorization time.
+class CpuMeasuredEvaluator final : public Evaluator {
+ public:
+  struct Options {
+    int warmup = 1;
+    int reps = 3;
+    std::uint64_t seed = 42;
+  };
+
+  CpuMeasuredEvaluator() = default;
+  explicit CpuMeasuredEvaluator(Options options) : options_(options) {}
+
+  double seconds(int n, std::int64_t batch,
+                 const TuningParams& params) override;
+  [[nodiscard]] std::string name() const override { return "cpu-measured"; }
+
+ private:
+  struct CachedBatch {
+    AlignedBuffer<float> pristine;
+    AlignedBuffer<float> work;
+  };
+
+  CachedBatch& batch_for(int n, std::int64_t batch, const TuningParams& p);
+
+  Options options_;
+  std::map<std::string, std::unique_ptr<CachedBatch>> cache_;
+};
+
+}  // namespace ibchol

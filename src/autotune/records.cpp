@@ -1,0 +1,87 @@
+#include "autotune/records.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+std::vector<int> SweepDataset::sizes() const {
+  std::set<int> s;
+  for (const auto& r : records_) s.insert(r.n);
+  return {s.begin(), s.end()};
+}
+
+std::optional<SweepRecord> SweepDataset::best(
+    int n, const std::function<bool(const SweepRecord&)>& filter) const {
+  std::optional<SweepRecord> out;
+  for (const auto& r : records_) {
+    if (r.n != n) continue;
+    if (filter && !filter(r)) continue;
+    if (!out || r.gflops > out->gflops) out = r;
+  }
+  return out;
+}
+
+std::map<int, SweepRecord> SweepDataset::best_by_n(
+    const std::function<bool(const SweepRecord&)>& filter) const {
+  std::map<int, SweepRecord> out;
+  for (const auto& r : records_) {
+    if (filter && !filter(r)) continue;
+    auto it = out.find(r.n);
+    if (it == out.end() || r.gflops > it->second.gflops) out[r.n] = r;
+  }
+  return out;
+}
+
+CsvTable SweepDataset::to_csv() const {
+  CsvTable t;
+  t.header = {"n",          "batch",   "nb",     "looking", "chunked",
+              "chunk_size", "unroll",  "math",   "cache",   "seconds",
+              "gflops"};
+  for (const auto& r : records_) {
+    t.rows.push_back({std::to_string(r.n), std::to_string(r.batch),
+                      std::to_string(r.params.nb),
+                      to_string(r.params.looking),
+                      r.params.chunked ? "1" : "0",
+                      std::to_string(r.params.chunk_size),
+                      to_string(r.params.unroll), to_string(r.params.math),
+                      r.params.prefer_shared ? "shared" : "l1",
+                      std::to_string(r.seconds), std::to_string(r.gflops)});
+  }
+  return t;
+}
+
+SweepDataset SweepDataset::from_csv(const CsvTable& table) {
+  SweepDataset ds;
+  const std::size_t cn = table.column("n");
+  const std::size_t cb = table.column("batch");
+  const std::size_t cnb = table.column("nb");
+  const std::size_t clook = table.column("looking");
+  const std::size_t cch = table.column("chunked");
+  const std::size_t ccs = table.column("chunk_size");
+  const std::size_t cun = table.column("unroll");
+  const std::size_t cma = table.column("math");
+  const std::size_t cca = table.column("cache");
+  const std::size_t cs = table.column("seconds");
+  const std::size_t cg = table.column("gflops");
+  for (const auto& row : table.rows) {
+    SweepRecord r;
+    r.n = std::stoi(row[cn]);
+    r.batch = std::stoll(row[cb]);
+    r.params.nb = std::stoi(row[cnb]);
+    r.params.looking = looking_from_string(row[clook]);
+    r.params.chunked = row[cch] == "1";
+    r.params.chunk_size = std::stoi(row[ccs]);
+    r.params.unroll = unroll_from_string(row[cun]);
+    r.params.math = math_from_string(row[cma]);
+    r.params.prefer_shared = row[cca] == "shared";
+    r.seconds = std::stod(row[cs]);
+    r.gflops = std::stod(row[cg]);
+    ds.add(std::move(r));
+  }
+  return ds;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,59 @@
+// The autotuning results database.
+//
+// Mirrors the paper's measurement archive: one record per (n, tuning point)
+// with the achieved time and GFLOP/s. Persisted as CSV for the §IV
+// postmortem analysis; reducers compute the "best over everything else"
+// series every figure plots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "kernels/variant.hpp"
+#include "util/csv.hpp"
+
+namespace ibchol {
+
+/// One sweep measurement.
+struct SweepRecord {
+  int n = 0;
+  std::int64_t batch = 0;
+  TuningParams params;
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+/// The full sweep dataset with CSV round-tripping and figure reducers.
+class SweepDataset {
+ public:
+  void add(SweepRecord record) { records_.push_back(std::move(record)); }
+
+  [[nodiscard]] const std::vector<SweepRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// All distinct matrix sizes, ascending.
+  [[nodiscard]] std::vector<int> sizes() const;
+
+  /// Best GFLOP/s at size n over records satisfying `filter`
+  /// (nullopt if none match).
+  [[nodiscard]] std::optional<SweepRecord> best(
+      int n,
+      const std::function<bool(const SweepRecord&)>& filter = nullptr) const;
+
+  /// Best GFLOP/s per size over records satisfying `filter`.
+  [[nodiscard]] std::map<int, SweepRecord> best_by_n(
+      const std::function<bool(const SweepRecord&)>& filter = nullptr) const;
+
+  [[nodiscard]] CsvTable to_csv() const;
+  [[nodiscard]] static SweepDataset from_csv(const CsvTable& table);
+
+ private:
+  std::vector<SweepRecord> records_;
+};
+
+}  // namespace ibchol

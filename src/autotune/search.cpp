@@ -1,0 +1,139 @@
+#include "autotune/search.hpp"
+
+#include <map>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ibchol {
+
+namespace {
+
+/// One mutable axis of the search space.
+enum class Axis { kNb, kLooking, kChunked, kChunkSize, kUnroll, kCount };
+
+/// All values of one axis, given the space options and the matrix size.
+std::vector<TuningParams> axis_neighbors(const TuningParams& p, Axis axis,
+                                         int n, const SpaceOptions& space) {
+  std::vector<TuningParams> out;
+  auto push = [&](TuningParams q) { out.push_back(q); };
+  switch (axis) {
+    case Axis::kNb:
+      for (const int nb : space.tile_sizes) {
+        if (nb > n) continue;
+        TuningParams q = p;
+        q.nb = nb;
+        push(q);
+      }
+      break;
+    case Axis::kLooking:
+      for (const Looking l :
+           {Looking::kRight, Looking::kLeft, Looking::kTop}) {
+        TuningParams q = p;
+        q.looking = l;
+        push(q);
+      }
+      break;
+    case Axis::kChunked: {
+      if (space.include_non_chunked) {
+        TuningParams q = p;
+        q.chunked = false;
+        q.chunk_size = 0;
+        push(q);
+      }
+      TuningParams q = p;
+      q.chunked = true;
+      q.chunk_size = p.chunked && p.chunk_size > 0 ? p.chunk_size
+                                                   : space.chunk_sizes.front();
+      push(q);
+      break;
+    }
+    case Axis::kChunkSize:
+      if (!p.chunked) {
+        push(p);
+        break;
+      }
+      for (const int c : space.chunk_sizes) {
+        TuningParams q = p;
+        q.chunk_size = c;
+        push(q);
+      }
+      break;
+    case Axis::kUnroll:
+      for (const Unroll u : {Unroll::kPartial, Unroll::kFull}) {
+        TuningParams q = p;
+        q.unroll = u;
+        push(q);
+      }
+      break;
+    case Axis::kCount:
+      break;
+  }
+  return out;
+}
+
+TuningParams random_start(int n, const SpaceOptions& space, Xoshiro256& rng) {
+  TuningParams p;
+  std::vector<int> nbs;
+  for (const int nb : space.tile_sizes) {
+    if (nb <= n) nbs.push_back(nb);
+  }
+  p.nb = nbs[rng.uniform_index(nbs.size())];
+  p.looking = static_cast<Looking>(rng.uniform_index(3));
+  p.unroll = rng.uniform() < 0.5 ? Unroll::kPartial : Unroll::kFull;
+  p.chunked = !space.include_non_chunked || rng.uniform() < 0.8;
+  p.chunk_size =
+      p.chunked
+          ? space.chunk_sizes[rng.uniform_index(space.chunk_sizes.size())]
+          : 0;
+  return p;
+}
+
+}  // namespace
+
+SearchResult guided_search(Evaluator& evaluator, int n, std::int64_t batch,
+                           const SearchOptions& options) {
+  IBCHOL_CHECK(n >= 1 && batch > 0, "invalid problem shape");
+  Xoshiro256 rng(options.seed ^ (0x9e3779b97f4a7c15ULL * n));
+
+  std::map<std::string, double> cache;
+  SearchResult result;
+  auto measure = [&](const TuningParams& p) {
+    const std::string key = p.key();
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    const double g = evaluator.gflops(n, batch, p);
+    cache.emplace(key, g);
+    ++result.evaluations;
+    return g;
+  };
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    TuningParams current = random_start(n, options.space, rng);
+    double current_g = measure(current);
+    for (int round = 0; round < options.max_rounds; ++round) {
+      bool improved = false;
+      for (int a = 0; a < static_cast<int>(Axis::kCount); ++a) {
+        for (const TuningParams& q :
+             axis_neighbors(current, static_cast<Axis>(a), n,
+                            options.space)) {
+          if (q == current) continue;
+          const double g = measure(q);
+          if (g > current_g) {
+            current = q;
+            current_g = g;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;  // local optimum of the coordinate moves
+    }
+    if (current_g > result.best_gflops) {
+      result.best_gflops = current_g;
+      result.best = current;
+    }
+  }
+  return result;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,42 @@
+// Guided (heuristic) autotuning search.
+//
+// The paper deliberately runs an *exhaustive* sweep to enable the §IV
+// analysis, noting that "workable heuristics [exist] to guide the search
+// more efficiently towards a nearly-optimal solution while skipping large
+// portions of suboptimal combinations" — at the price of selection bias.
+// This module implements that alternative: coordinate descent over the
+// five parameter axes with random restarts. The ablation bench
+// (bench/ablation_guided_search) quantifies the trade: evaluations saved
+// vs distance from the exhaustive optimum.
+#pragma once
+
+#include <cstdint>
+
+#include "autotune/evaluator.hpp"
+#include "autotune/space.hpp"
+
+namespace ibchol {
+
+/// Search configuration.
+struct SearchOptions {
+  int restarts = 3;          ///< random starting points
+  int max_rounds = 8;        ///< coordinate-descent sweeps per restart
+  std::uint64_t seed = 7;
+  SpaceOptions space;        ///< axis domains (same as the exhaustive sweep)
+};
+
+/// Search outcome.
+struct SearchResult {
+  TuningParams best;
+  double best_gflops = 0.0;
+  int evaluations = 0;       ///< kernel evaluations spent (cache misses only)
+};
+
+/// Coordinate-descent search for the best tuning point at one matrix size.
+/// Evaluations are memoized, so `evaluations` counts distinct kernels
+/// actually run — the number an on-line autotuner would have to measure.
+[[nodiscard]] SearchResult guided_search(Evaluator& evaluator, int n,
+                                         std::int64_t batch,
+                                         const SearchOptions& options = {});
+
+}  // namespace ibchol

@@ -1,0 +1,48 @@
+#include "autotune/space.hpp"
+
+namespace ibchol {
+
+std::vector<TuningParams> enumerate_space(int n, const SpaceOptions& options) {
+  std::vector<TuningParams> space;
+  std::vector<MathMode> maths{MathMode::kIeee};
+  if (options.include_fast_math) maths.push_back(MathMode::kFastMath);
+  std::vector<bool> caches{false};
+  if (options.include_cache_pref) caches.push_back(true);
+
+  for (const int nb : options.tile_sizes) {
+    if (nb > n) continue;
+    for (const Looking looking :
+         {Looking::kRight, Looking::kLeft, Looking::kTop}) {
+      for (const Unroll unroll : {Unroll::kPartial, Unroll::kFull}) {
+        for (const MathMode math : maths) {
+          for (const bool prefer_shared : caches) {
+            auto add = [&](bool chunked, int chunk_size) {
+              TuningParams p;
+              p.nb = nb;
+              p.looking = looking;
+              p.unroll = unroll;
+              p.math = math;
+              p.prefer_shared = prefer_shared;
+              p.chunked = chunked;
+              p.chunk_size = chunk_size;
+              space.push_back(p);
+            };
+            if (options.include_non_chunked) add(false, 0);
+            for (const int c : options.chunk_sizes) add(true, c);
+          }
+        }
+      }
+    }
+  }
+  return space;
+}
+
+std::vector<int> standard_sizes() {
+  std::vector<int> sizes;
+  for (int n = 2; n <= 64; n += 2) sizes.push_back(n);
+  return sizes;
+}
+
+std::vector<int> quick_sizes() { return {4, 8, 16, 24, 32, 48, 64}; }
+
+}  // namespace ibchol

@@ -1,0 +1,36 @@
+// Enumeration of the tuning-parameter search space (paper §II.D / §IV).
+//
+// The paper performs an *exhaustive* sweep — "our goal is not the minimal
+// search time but rather meaningful exploration of the parameter
+// configurations" — producing the 14,000-measurement dataset analyzed in
+// §IV. enumerate_space generates exactly that grid for one matrix size.
+#pragma once
+
+#include <vector>
+
+#include "kernels/variant.hpp"
+
+namespace ibchol {
+
+/// Controls which axes of the space are enumerated.
+struct SpaceOptions {
+  std::vector<int> tile_sizes = standard_tile_sizes();    ///< n_b (≤ n kept)
+  std::vector<int> chunk_sizes = standard_chunk_sizes();  ///< chunked only
+  bool include_non_chunked = true;
+  bool include_fast_math = false;   ///< add the --use_fast_math variants
+  bool include_cache_pref = false;  ///< add the L1-vs-shared carveout axis
+};
+
+/// All valid tuning points for an n×n batch. Tile sizes larger than n are
+/// skipped (nb == n is kept as the "single tile" configuration when n ≤ 8).
+[[nodiscard]] std::vector<TuningParams> enumerate_space(
+    int n, const SpaceOptions& options = {});
+
+/// The matrix sizes the paper's evaluation sweeps (2…64).
+[[nodiscard]] std::vector<int> standard_sizes();
+
+/// A reduced size list for quick runs (powers of two plus the paper's
+/// featured sizes 24 and 48).
+[[nodiscard]] std::vector<int> quick_sizes();
+
+}  // namespace ibchol

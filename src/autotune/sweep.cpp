@@ -1,0 +1,46 @@
+#include "autotune/sweep.hpp"
+
+#include "kernels/counts.hpp"
+
+namespace ibchol {
+
+SweepDataset run_sweep(Evaluator& evaluator, const SweepOptions& options) {
+  IBCHOL_CHECK(!options.sizes.empty(), "sweep needs at least one size");
+  IBCHOL_CHECK(options.batch > 0, "batch must be positive");
+
+  // Count total points for progress reporting.
+  std::size_t total = 0;
+  for (const int n : options.sizes) {
+    total += enumerate_space(n, options.space).size();
+  }
+
+  SweepDataset dataset;
+  std::size_t done = 0;
+  for (const int n : options.sizes) {
+    for (const TuningParams& params : enumerate_space(n, options.space)) {
+      SweepRecord r;
+      r.n = n;
+      r.batch = options.batch;
+      r.params = params;
+      r.seconds = evaluator.seconds(n, options.batch, params);
+      r.gflops = r.seconds <= 0.0
+                     ? 0.0
+                     : static_cast<double>(options.batch) *
+                           nominal_flops_per_matrix(n) / r.seconds / 1e9;
+      dataset.add(std::move(r));
+      ++done;
+      if (options.progress) options.progress(done, total);
+    }
+  }
+  return dataset;
+}
+
+std::map<int, TuningParams> select_winners(const SweepDataset& dataset) {
+  std::map<int, TuningParams> winners;
+  for (const auto& [n, record] : dataset.best_by_n()) {
+    winners[n] = record.params;
+  }
+  return winners;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,32 @@
+// Exhaustive autotuning sweep driver.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autotune/evaluator.hpp"
+#include "autotune/records.hpp"
+#include "autotune/space.hpp"
+
+namespace ibchol {
+
+/// Sweep configuration.
+struct SweepOptions {
+  std::vector<int> sizes;          ///< matrix dimensions to sweep
+  std::int64_t batch = 16384;      ///< the paper's batch size
+  SpaceOptions space;              ///< which parameter axes to enumerate
+  /// Progress callback: (completed points, total points); may be null.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Runs the exhaustive sweep of `options.space` over `options.sizes`
+/// through the given evaluator and returns the dataset.
+[[nodiscard]] SweepDataset run_sweep(Evaluator& evaluator,
+                                     const SweepOptions& options);
+
+/// Picks the best tuning point per size from a dataset (the autotuner's
+/// final output table).
+[[nodiscard]] std::map<int, TuningParams> select_winners(
+    const SweepDataset& dataset);
+
+}  // namespace ibchol

@@ -1,0 +1,86 @@
+#include "baseline/traditional_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/counts.hpp"
+#include "simt/coalescing.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+
+namespace {
+
+constexpr double kElemBytes = 4.0;
+
+/// Coalescing efficiency of writing the lower triangle of a column-major
+/// matrix: column j is a run of (n-j) consecutive floats, each costing
+/// whole 32-byte sectors.
+double triangle_write_efficiency(int n) {
+  std::int64_t useful = 0;
+  std::int64_t sectors = 0;
+  for (int j = 0; j < n; ++j) {
+    const int run = n - j;
+    useful += run * 4;
+    sectors += (run * 4 + 31) / 32 + ((run * 4) % 32 != 0 ? 0 : 0);
+  }
+  return static_cast<double>(useful) / (static_cast<double>(sectors) * 32.0);
+}
+
+}  // namespace
+
+TraditionalResult TraditionalModel::evaluate(int n, std::int64_t batch) const {
+  IBCHOL_CHECK(n >= 1 && batch > 0, "invalid problem shape");
+  TraditionalResult r;
+
+  // One block per matrix; thread count rounds the dimension up to a warp.
+  r.threads_per_block = std::max(32, (n + 31) / 32 * 32);
+
+  KernelResources res;
+  res.threads_per_block = r.threads_per_block;
+  res.regs_per_thread = cal_.regs_per_thread;
+  res.smem_per_block_bytes = n * n * static_cast<int>(kElemBytes);
+  r.occ = compute_occupancy(gpu_, res);
+  const int resident =
+      std::max(1, std::min(r.occ.blocks_per_sm, cal_.max_resident_blocks));
+
+  // --- memory ---------------------------------------------------------
+  // Read the full matrix (contiguous, fully coalesced), write back the
+  // lower triangle (per-column runs, partially coalesced for small n).
+  r.write_efficiency = triangle_write_efficiency(n);
+  const double read_bytes = static_cast<double>(n) * n * kElemBytes;
+  const double write_useful =
+      static_cast<double>(n) * (n + 1) / 2.0 * kElemBytes;
+  const double write_bytes = write_useful / r.write_efficiency;
+  r.dram_bytes = static_cast<double>(batch) * (read_bytes + write_bytes);
+  r.memory_s = r.dram_bytes / gpu_.dram_bw_bytes;
+
+  // --- compute ----------------------------------------------------------
+  // Per-block critical path: each of the n steps serializes a sqrt and a
+  // reciprocal on one thread plus block-wide barriers; the O(n³) update
+  // work spreads across the block's lanes.
+  const double clock_hz = gpu_.clock_ghz * 1e9;
+  const double serial_cycles =
+      static_cast<double>(n) * (2.0 * cal_.special_latency +
+                                cal_.barriers_per_step * cal_.barrier_latency);
+  const double lanes = static_cast<double>(r.threads_per_block);
+  const double fma_work = static_cast<double>(n) * n * n / 6.0;
+  const double parallel_cycles =
+      fma_work / lanes * cal_.smem_latency_factor * gpu_.warp_size /
+      gpu_.issue_slots_per_sm_cycle();
+  const double block_cycles = serial_cycles + parallel_cycles;
+
+  const double waves = std::ceil(
+      static_cast<double>(batch) /
+      (static_cast<double>(gpu_.sms) * static_cast<double>(resident)));
+  r.compute_s = waves * block_cycles / clock_hz;
+
+  const double tmax = std::max(r.compute_s, r.memory_s);
+  const double tmin = std::min(r.compute_s, r.memory_s);
+  r.seconds = tmax + 0.25 * tmin + cal_.launch_overhead_s;
+  r.gflops = static_cast<double>(batch) * nominal_flops_per_matrix(n) /
+             r.seconds / 1e9;
+  return r;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,65 @@
+// Performance model of the traditional batched Cholesky (the MAGMA 2.2.0
+// comparator of paper Figures 13–14).
+//
+// The traditional design assigns one thread block per matrix on the
+// canonical (contiguous column-major) layout: the block stages its matrix
+// in shared memory, the factorization's diagonal recurrence serializes on a
+// single thread, and column updates parallelize across the block. For very
+// small matrices this structure wastes the machine — partially filled
+// warps, serialized square roots, block-granularity scheduling — which is
+// exactly the gap the interleaved kernels exploit. For larger matrices its
+// shared-memory data reuse pays off and it overtakes the interleaved code
+// (paper §III, final remark).
+//
+// The measured CPU counterpart of this baseline is factor_batch_cpu on a
+// canonical layout (one matrix per task, no cross-matrix SIMD).
+#pragma once
+
+#include <cstdint>
+
+#include "simt/gpu_spec.hpp"
+#include "simt/occupancy.hpp"
+
+namespace ibchol {
+
+/// Calibration constants of the traditional-kernel model.
+struct TraditionalCalibration {
+  double special_latency = 150.0;  ///< serialized sqrt/div sequence (cycles)
+  double barrier_latency = 65.0;   ///< __syncthreads per factorization step
+  int barriers_per_step = 3;       ///< sync points per column step
+  int regs_per_thread = 40;
+  double smem_latency_factor = 1.15;  ///< shared-memory compute overhead
+  /// Practical cap on concurrently executing blocks per SM for this kernel
+  /// family (launch-bounds / scheduling limits in the library kernels).
+  int max_resident_blocks = 8;
+  double launch_overhead_s = 4e-6;
+};
+
+/// Model output for the traditional kernel.
+struct TraditionalResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+  double dram_bytes = 0.0;
+  double write_efficiency = 0.0;  ///< coalescing efficiency of the writes
+  Occupancy occ;
+  int threads_per_block = 0;
+};
+
+/// Analytical model of the traditional batched Cholesky.
+class TraditionalModel {
+ public:
+  explicit TraditionalModel(GpuSpec gpu, TraditionalCalibration cal = {})
+      : gpu_(std::move(gpu)), cal_(cal) {}
+
+  [[nodiscard]] TraditionalResult evaluate(int n, std::int64_t batch) const;
+
+  [[nodiscard]] const GpuSpec& gpu() const { return gpu_; }
+
+ private:
+  GpuSpec gpu_;
+  TraditionalCalibration cal_;
+};
+
+}  // namespace ibchol

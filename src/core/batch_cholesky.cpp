@@ -1,0 +1,135 @@
+#include "core/batch_cholesky.hpp"
+
+namespace ibchol {
+
+TuningParams recommended_params(int n) {
+  TuningParams p;
+  p.chunked = true;
+  p.chunk_size = 64;
+  p.math = MathMode::kIeee;
+  if (n <= 20) {
+    // Small matrices: full unrolling keeps the whole factorization in
+    // registers; tile size and looking order are then irrelevant.
+    p.unroll = Unroll::kFull;
+    p.nb = n;
+    p.looking = Looking::kLeft;
+  } else {
+    // Larger matrices: partial unrolling, the laziest (fewest-writes)
+    // evaluation order, and the largest tile size.
+    p.unroll = Unroll::kPartial;
+    p.nb = 8;
+    p.looking = Looking::kTop;
+  }
+  return p;
+}
+
+BatchLayout BatchCholesky::make_layout(int n, std::int64_t batch,
+                                       const TuningParams& params) {
+  params.validate(n);
+  return params.chunked
+             ? BatchLayout::interleaved_chunked(n, batch, params.chunk_size)
+             : BatchLayout::interleaved(n, batch);
+}
+
+BatchCholesky::BatchCholesky(BatchLayout layout, TuningParams params,
+                             Triangle triangle)
+    : layout_(layout), params_(params), triangle_(triangle) {
+  params_.validate(layout_.n());
+  IBCHOL_CHECK(layout_.kind() != LayoutKind::kCanonical ||
+                   !params_.chunked,
+               "canonical layouts are factored by the traditional path; "
+               "chunking does not apply");
+  if (params_.chunked) {
+    IBCHOL_CHECK(layout_.kind() == LayoutKind::kInterleavedChunked &&
+                     layout_.chunk() == params_.chunk_size,
+                 "layout chunk size does not match tuning parameters");
+  } else {
+    IBCHOL_CHECK(layout_.kind() != LayoutKind::kInterleavedChunked,
+                 "tuning parameters request no chunking but the layout is "
+                 "chunked");
+  }
+  if (layout_.kind() != LayoutKind::kCanonical &&
+      params_.unroll == Unroll::kPartial) {
+    program_ = build_tile_program(layout_.n(),
+                                  params_.effective_nb(layout_.n()),
+                                  params_.looking);
+  }
+}
+
+namespace {
+
+CpuFactorOptions to_cpu_options(const TuningParams& p, int n,
+                                Triangle triangle) {
+  CpuFactorOptions o;
+  o.nb = p.effective_nb(n);
+  o.looking = p.looking;
+  o.unroll = p.unroll;
+  o.math = p.math;
+  o.triangle = triangle;
+  return o;
+}
+
+}  // namespace
+
+template <typename T>
+FactorResult BatchCholesky::factorize(std::span<T> data,
+                                      std::span<std::int32_t> info) const {
+  const CpuFactorOptions opts = to_cpu_options(params_, layout_.n(), triangle_);
+  if (program_.has_value()) {
+    return factor_batch_cpu_with_program<T>(layout_, data, *program_, opts,
+                                            info);
+  }
+  return factor_batch_cpu<T>(layout_, data, opts, info);
+}
+
+template <typename T>
+void BatchCholesky::solve(std::span<const T> factored,
+                          const BatchVectorLayout& vlayout,
+                          std::span<T> rhs) const {
+  solve_batch_cpu<T>(layout_, factored, vlayout, rhs, params_.math,
+                     /*num_threads=*/0, triangle_);
+}
+
+template <typename T>
+void BatchCholesky::solve_multi(std::span<const T> factored,
+                                const BatchRectLayout& rlayout,
+                                std::span<T> rhs) const {
+  batch_potrs<T>(layout_, factored, rlayout, rhs, params_.math,
+                 /*num_threads=*/0, triangle_);
+}
+
+template <typename T>
+FactorResult factorize_batch(int n, std::int64_t batch,
+                             const TuningParams& params, std::span<T> data,
+                             std::span<std::int32_t> info) {
+  const BatchCholesky chol(BatchCholesky::make_layout(n, batch, params),
+                           params);
+  return chol.factorize<T>(data, info);
+}
+
+template FactorResult BatchCholesky::factorize<float>(
+    std::span<float>, std::span<std::int32_t>) const;
+template FactorResult BatchCholesky::factorize<double>(
+    std::span<double>, std::span<std::int32_t>) const;
+template void BatchCholesky::solve<float>(std::span<const float>,
+                                          const BatchVectorLayout&,
+                                          std::span<float>) const;
+template void BatchCholesky::solve<double>(std::span<const double>,
+                                           const BatchVectorLayout&,
+                                           std::span<double>) const;
+template void BatchCholesky::solve_multi<float>(std::span<const float>,
+                                                const BatchRectLayout&,
+                                                std::span<float>) const;
+template void BatchCholesky::solve_multi<double>(std::span<const double>,
+                                                 const BatchRectLayout&,
+                                                 std::span<double>) const;
+template FactorResult factorize_batch<float>(int, std::int64_t,
+                                             const TuningParams&,
+                                             std::span<float>,
+                                             std::span<std::int32_t>);
+template FactorResult factorize_batch<double>(int, std::int64_t,
+                                              const TuningParams&,
+                                              std::span<double>,
+                                              std::span<std::int32_t>);
+
+}  // namespace ibchol

@@ -1,0 +1,100 @@
+#include "core/vbatch.hpp"
+
+#include <algorithm>
+
+namespace ibchol {
+
+VBatchCholesky::VBatchCholesky(std::vector<int> sizes,
+                               const TuningParams& base)
+    : sizes_(std::move(sizes)) {
+  IBCHOL_CHECK(!sizes_.empty(), "vbatch needs at least one matrix");
+  std::map<int, std::vector<std::int64_t>> by_size;
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(sizes_.size()); ++b) {
+    IBCHOL_CHECK(sizes_[b] >= 1, "matrix sizes must be positive");
+    by_size[sizes_[b]].push_back(b);
+  }
+
+  slots_.resize(sizes_.size());
+  groups_.reserve(by_size.size());
+  for (auto& [n, members] : by_size) {
+    Group g;
+    g.n = n;
+    // Tile size / unrolling per dimension; layout scheme from `base`.
+    g.params = recommended_params(n);
+    g.params.chunked = base.chunked;
+    g.params.chunk_size = base.chunk_size;
+    g.params.math = base.math;
+    g.params.validate(n);
+    g.layout = BatchCholesky::make_layout(
+        n, static_cast<std::int64_t>(members.size()), g.params);
+    g.vlayout = BatchVectorLayout::matching(g.layout);
+    g.data_base = total_elems_;
+    g.rhs_base = total_rhs_elems_;
+    total_elems_ += g.layout.size_elems();
+    total_rhs_elems_ += g.vlayout.size_elems();
+    g.members = std::move(members);
+    const auto group_id = static_cast<std::int32_t>(groups_.size());
+    for (std::int64_t pos = 0;
+         pos < static_cast<std::int64_t>(g.members.size()); ++pos) {
+      slots_[g.members[pos]] = {group_id, pos};
+    }
+    groups_.push_back(std::move(g));
+  }
+}
+
+template <typename T>
+FactorResult VBatchCholesky::factorize(std::span<T> data,
+                                       std::span<std::int32_t> info) const {
+  IBCHOL_CHECK(data.size() >= total_elems_, "data span too small");
+  IBCHOL_CHECK(info.empty() || info.size() >= sizes_.size(),
+               "info span too small");
+  FactorResult total;
+  total.first_failed = -1;
+  std::vector<std::int32_t> group_info;
+  for (const Group& g : groups_) {
+    const BatchCholesky chol(g.layout, g.params);
+    std::span<T> slice = data.subspan(g.data_base, g.layout.size_elems());
+    FactorResult r;
+    if (info.empty()) {
+      r = chol.factorize<T>(slice);
+    } else {
+      group_info.assign(g.members.size(), 0);
+      r = chol.factorize<T>(slice, group_info);
+      for (std::size_t pos = 0; pos < g.members.size(); ++pos) {
+        info[g.members[pos]] = group_info[pos];
+      }
+    }
+    total.failed_count += r.failed_count;
+    if (r.first_failed >= 0) {
+      const std::int64_t original = g.members[r.first_failed];
+      if (total.first_failed < 0 || original < total.first_failed) {
+        total.first_failed = original;
+      }
+    }
+  }
+  return total;
+}
+
+template <typename T>
+void VBatchCholesky::solve(std::span<const T> factored,
+                           std::span<T> rhs) const {
+  IBCHOL_CHECK(factored.size() >= total_elems_, "factor span too small");
+  IBCHOL_CHECK(rhs.size() >= total_rhs_elems_, "rhs span too small");
+  for (const Group& g : groups_) {
+    const BatchCholesky chol(g.layout, g.params);
+    chol.solve<T>(factored.subspan(g.data_base, g.layout.size_elems()),
+                  g.vlayout,
+                  rhs.subspan(g.rhs_base, g.vlayout.size_elems()));
+  }
+}
+
+template FactorResult VBatchCholesky::factorize<float>(
+    std::span<float>, std::span<std::int32_t>) const;
+template FactorResult VBatchCholesky::factorize<double>(
+    std::span<double>, std::span<std::int32_t>) const;
+template void VBatchCholesky::solve<float>(std::span<const float>,
+                                           std::span<float>) const;
+template void VBatchCholesky::solve<double>(std::span<const double>,
+                                            std::span<double>) const;
+
+}  // namespace ibchol

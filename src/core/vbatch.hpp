@@ -1,0 +1,90 @@
+// Variable-size batched Cholesky (vbatch).
+//
+// Real batch workloads rarely have perfectly uniform dimensions (MAGMA
+// ships *_vbatched routines for this reason). VBatchCholesky accepts a
+// per-matrix size vector, bins the matrices by dimension into per-size
+// interleaved chunked sub-batches, and runs the tuned uniform kernels on
+// each group. Matrix indices, data offsets, and per-matrix status all stay
+// in the caller's original order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/batch_cholesky.hpp"
+
+namespace ibchol {
+
+/// Batched Cholesky over matrices of heterogeneous sizes.
+class VBatchCholesky {
+ public:
+  /// `sizes[b]` is the dimension of matrix b (1 ≤ size). `base` supplies
+  /// the layout/math choices (chunking, chunk size, math mode); the
+  /// per-group tile size and unrolling follow recommended_params for each
+  /// distinct dimension.
+  VBatchCholesky(std::vector<int> sizes, const TuningParams& base = {});
+
+  [[nodiscard]] std::int64_t batch() const {
+    return static_cast<std::int64_t>(sizes_.size());
+  }
+  [[nodiscard]] int size_of(std::int64_t b) const { return sizes_[b]; }
+  [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
+
+  /// Total element count of the backing buffer (all groups, padded).
+  [[nodiscard]] std::size_t size_elems() const { return total_elems_; }
+
+  /// Total element count of the right-hand-side buffer.
+  [[nodiscard]] std::size_t rhs_size_elems() const { return total_rhs_elems_; }
+
+  /// Linear offset of element (i, j) of matrix b within the data buffer.
+  [[nodiscard]] std::size_t index(std::int64_t b, int i, int j) const {
+    const Slot& s = slots_[b];
+    const Group& g = groups_[s.group];
+    return g.data_base + g.layout.index(s.pos, i, j);
+  }
+
+  /// Linear offset of element i of right-hand side b.
+  [[nodiscard]] std::size_t rhs_index(std::int64_t b, int i) const {
+    const Slot& s = slots_[b];
+    const Group& g = groups_[s.group];
+    return g.rhs_base + g.vlayout.index(s.pos, i);
+  }
+
+  /// Factors every matrix in place (lower triangles become L).
+  /// `info` (optional, batch() entries) uses the LAPACK convention in the
+  /// caller's original matrix order.
+  template <typename T>
+  FactorResult factorize(std::span<T> data,
+                         std::span<std::int32_t> info = {}) const;
+
+  /// Solves L·Lᵀ x = b for every matrix after factorize(); `rhs` (indexed
+  /// via rhs_index) is overwritten with the solutions.
+  template <typename T>
+  void solve(std::span<const T> factored, std::span<T> rhs) const;
+
+ private:
+  struct Group {
+    int n = 0;
+    BatchLayout layout = BatchLayout::canonical(1, 1);
+    BatchVectorLayout vlayout = BatchVectorLayout::canonical(1, 1);
+    TuningParams params;
+    std::size_t data_base = 0;
+    std::size_t rhs_base = 0;
+    std::vector<std::int64_t> members;  ///< original indices, group order
+  };
+
+  struct Slot {
+    std::int32_t group = 0;
+    std::int64_t pos = 0;  ///< position within the group
+  };
+
+  std::vector<int> sizes_;
+  std::vector<Group> groups_;
+  std::vector<Slot> slots_;
+  std::size_t total_elems_ = 0;
+  std::size_t total_rhs_elems_ = 0;
+};
+
+}  // namespace ibchol

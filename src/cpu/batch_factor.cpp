@@ -1,0 +1,166 @@
+#include "cpu/batch_factor.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "cpu/reference.hpp"
+#include "cpu/tile_exec.hpp"
+#include "layout/convert.hpp"
+
+namespace ibchol {
+
+namespace {
+
+int resolve_threads(int requested) {
+  return requested > 0 ? requested : omp_get_max_threads();
+}
+
+// Merges a lane block's local info into the global result/info arrays.
+// `start` is the first matrix index of the lane block.
+void merge_info(const std::int32_t* local, std::int64_t start,
+                std::int64_t batch, std::span<std::int32_t> info,
+                std::int64_t& failed, std::int64_t& first_failed) {
+  const std::int64_t count = std::min<std::int64_t>(kLaneBlock, batch - start);
+  for (std::int64_t l = 0; l < count; ++l) {
+    if (!info.empty()) info[start + l] = local[l];
+    if (local[l] != 0) {
+      ++failed;
+      const std::int64_t idx = start + l;
+      if (first_failed < 0 || idx < first_failed) first_failed = idx;
+    }
+  }
+}
+
+template <typename T>
+FactorResult factor_canonical(const BatchLayout& layout, std::span<T> data,
+                              const CpuFactorOptions& options,
+                              std::span<std::int32_t> info) {
+  const int n = layout.n();
+  const int nb = std::min(options.nb, n);
+  const std::int64_t batch = layout.batch();
+  std::int64_t failed = 0;
+  std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
+#pragma omp parallel for schedule(static) num_threads(resolve_threads(options.num_threads)) \
+    reduction(+ : failed) reduction(min : first_failed)
+  for (std::int64_t b = 0; b < batch; ++b) {
+    T* a = data.data() + layout.index(b, 0, 0);
+    const int st = options.triangle == Triangle::kUpper
+                       ? potrf_unblocked_upper(n, a, n)
+                       : potrf_blocked(n, nb, a, n);
+    if (!info.empty()) info[b] = st;
+    if (st != 0) {
+      ++failed;
+      first_failed = std::min(first_failed, b);
+    }
+  }
+  if (failed == 0) return {0, -1};
+  return {failed, first_failed};
+}
+
+template <typename T>
+FactorResult factor_interleaved(const BatchLayout& layout, std::span<T> data,
+                                const TileProgram* program,
+                                const CpuFactorOptions& options,
+                                std::span<std::int32_t> info) {
+  const std::int64_t blocks = layout.padded_batch() / kLaneBlock;
+  const std::int64_t estride = layout.chunk();
+  const bool whole_matrix = options.unroll == Unroll::kFull;
+  std::int64_t failed = 0;
+  std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
+
+#pragma omp parallel num_threads(resolve_threads(options.num_threads))
+  {
+    std::vector<T> scratch;
+    if (whole_matrix) scratch.resize(whole_matrix_scratch_elems(layout.n()));
+    std::int64_t local_failed = 0;
+    std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
+#pragma omp for schedule(static)
+    for (std::int64_t blk = 0; blk < blocks; ++blk) {
+      const std::int64_t start = blk * kLaneBlock;
+      T* base = data.data() + layout.chunk_base(start) +
+                (start % layout.chunk());
+      alignas(64) std::int32_t local_info[kLaneBlock] = {};
+      if (whole_matrix) {
+        execute_whole_matrix_lane_block<T>(layout.n(), options.math, base,
+                                           estride, local_info,
+                                           scratch.data(), options.triangle);
+      } else {
+        execute_program_lane_block<T>(*program, options.math, base, estride,
+                                      local_info, options.triangle);
+      }
+      if (start < layout.batch()) {
+        std::int64_t f = 0, ff = -1;
+        merge_info(local_info, start, layout.batch(), info, f, ff);
+        local_failed += f;
+        if (ff >= 0) local_first = std::min(local_first, ff);
+      }
+    }
+#pragma omp critical
+    {
+      failed += local_failed;
+      first_failed = std::min(first_failed, local_first);
+    }
+  }
+  if (failed == 0) return {0, -1};
+  return {failed, first_failed};
+}
+
+}  // namespace
+
+template <typename T>
+FactorResult factor_batch_cpu(const BatchLayout& layout, std::span<T> data,
+                              const CpuFactorOptions& options,
+                              std::span<std::int32_t> info) {
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  IBCHOL_CHECK(info.empty() ||
+                   info.size() >= static_cast<std::size_t>(layout.batch()),
+               "info span too small for batch");
+  if (layout.kind() == LayoutKind::kCanonical) {
+    return factor_canonical(layout, data, options, info);
+  }
+  if (options.unroll == Unroll::kFull) {
+    return factor_interleaved<T>(layout, data, nullptr, options, info);
+  }
+  const int nb = std::min(options.nb, layout.n());
+  const TileProgram program =
+      build_tile_program(layout.n(), nb, options.looking);
+  return factor_interleaved(layout, data, &program, options, info);
+}
+
+template <typename T>
+FactorResult factor_batch_cpu_with_program(const BatchLayout& layout,
+                                           std::span<T> data,
+                                           const TileProgram& program,
+                                           const CpuFactorOptions& options,
+                                           std::span<std::int32_t> info) {
+  IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
+               "tile programs run on interleaved layouts");
+  IBCHOL_CHECK(program.n == layout.n(), "program/layout dimension mismatch");
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  IBCHOL_CHECK(info.empty() ||
+                   info.size() >= static_cast<std::size_t>(layout.batch()),
+               "info span too small for batch");
+  return factor_interleaved(layout, data, &program, options, info);
+}
+
+template FactorResult factor_batch_cpu<float>(const BatchLayout&,
+                                              std::span<float>,
+                                              const CpuFactorOptions&,
+                                              std::span<std::int32_t>);
+template FactorResult factor_batch_cpu<double>(const BatchLayout&,
+                                               std::span<double>,
+                                               const CpuFactorOptions&,
+                                               std::span<std::int32_t>);
+template FactorResult factor_batch_cpu_with_program<float>(
+    const BatchLayout&, std::span<float>, const TileProgram&,
+    const CpuFactorOptions&, std::span<std::int32_t>);
+template FactorResult factor_batch_cpu_with_program<double>(
+    const BatchLayout&, std::span<double>, const TileProgram&,
+    const CpuFactorOptions&, std::span<std::int32_t>);
+
+}  // namespace ibchol

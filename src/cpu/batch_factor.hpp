@@ -1,0 +1,58 @@
+// Batched Cholesky factorization drivers for the CPU substrate.
+//
+// Dispatches a whole batch across OpenMP workers: canonical layouts factor
+// one matrix per task with the blocked reference routine (the "traditional"
+// structure — one thread block per matrix on the GPU); interleaved layouts
+// factor one lane block (32 matrices) per task with the tile-program
+// executor (the paper's interleaved kernels — one warp per 32 matrices).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/options.hpp"
+#include "kernels/tile_program.hpp"
+#include "layout/layout.hpp"
+
+namespace ibchol {
+
+/// Kernel configuration for the CPU substrate.
+struct CpuFactorOptions {
+  int nb = 8;                          ///< tile size (clamped to n)
+  Looking looking = Looking::kTop;     ///< evaluation order
+  Unroll unroll = Unroll::kPartial;    ///< full = whole-matrix registerized
+  MathMode math = MathMode::kIeee;
+  Triangle triangle = Triangle::kLower;  ///< which factor to produce
+  int num_threads = 0;                 ///< 0 = OpenMP default
+};
+
+/// Aggregate outcome of one batched factorization.
+struct FactorResult {
+  std::int64_t failed_count = 0;  ///< matrices with a non-positive pivot
+  std::int64_t first_failed = -1; ///< smallest failing matrix index, or -1
+
+  [[nodiscard]] bool ok() const { return failed_count == 0; }
+};
+
+/// Factors every matrix of the batch in place (lower triangle holds L).
+///
+/// `info`, when non-empty, must have at least layout.batch() entries and
+/// receives per-matrix status: 0 on success or the 1-based column of the
+/// first non-positive pivot (LAPACK convention). Failed matrices contain
+/// NaNs past the failing column; all other matrices are unaffected.
+template <typename T>
+FactorResult factor_batch_cpu(const BatchLayout& layout, std::span<T> data,
+                              const CpuFactorOptions& options,
+                              std::span<std::int32_t> info = {});
+
+/// As above but with a caller-supplied tile program (autotuning sweeps
+/// rebuild layouts, not programs). The program's n must equal layout.n();
+/// used only for interleaved layouts with partial unrolling.
+template <typename T>
+FactorResult factor_batch_cpu_with_program(const BatchLayout& layout,
+                                           std::span<T> data,
+                                           const TileProgram& program,
+                                           const CpuFactorOptions& options,
+                                           std::span<std::int32_t> info = {});
+
+}  // namespace ibchol

@@ -1,0 +1,68 @@
+// Arithmetic policies: IEEE-compliant vs fast-math.
+//
+// The paper compares IEEE-compliant kernels against kernels compiled with
+// nvcc --use_fast_math, which replaces square root and division with
+// hardware approximation sequences and flushes denormals. On the CPU
+// substrate we reproduce that trade explicitly: FastMath uses approximate
+// reciprocal / reciprocal-square-root seeds refined with Newton iterations
+// (float) — faster and slightly less accurate, exactly the fast-math deal.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "kernels/options.hpp"
+
+namespace ibchol {
+
+/// IEEE policy: library sqrt and true division.
+struct IeeeMath {
+  static constexpr MathMode kMode = MathMode::kIeee;
+
+  template <typename T>
+  static T sqrt(T x) { return std::sqrt(x); }
+
+  template <typename T>
+  static T recip(T x) { return T{1} / x; }
+
+  template <typename T>
+  static T div(T a, T b) { return a / b; }
+};
+
+/// Fast policy: approximation + Newton refinement for float; double falls
+/// back to IEEE (CUDA's fast math is a single-precision feature).
+struct FastMath {
+  static constexpr MathMode kMode = MathMode::kFastMath;
+
+  static float rsqrt(float x) {
+    // Bit-level reciprocal square root seed with two Newton–Raphson steps
+    // (~full single precision minus 1-2 ulp, like MUFU.RSQ + fixup).
+    const std::uint32_t i =
+        0x5f375a86u - (std::bit_cast<std::uint32_t>(x) >> 1);
+    float y = std::bit_cast<float>(i);
+    y = y * (1.5f - 0.5f * x * y * y);
+    y = y * (1.5f - 0.5f * x * y * y);
+    return y;
+  }
+
+  static float sqrt(float x) { return x <= 0.0f ? std::sqrt(x) : x * rsqrt(x); }
+  static double sqrt(double x) { return std::sqrt(x); }
+
+  static float recip(float x) {
+    // Reciprocal via rsqrt(x)^2 would lose sign; use a Newton-refined seed
+    // from the exponent trick instead.
+    const std::uint32_t i = 0x7ef311c3u - std::bit_cast<std::uint32_t>(x);
+    float y = std::bit_cast<float>(i);
+    y = y * (2.0f - x * y);
+    y = y * (2.0f - x * y);
+    y = y * (2.0f - x * y);
+    return y;
+  }
+  static double recip(double x) { return 1.0 / x; }
+
+  static float div(float a, float b) { return a * recip(b); }
+  static double div(double a, double b) { return a / b; }
+};
+
+}  // namespace ibchol

@@ -1,0 +1,238 @@
+#include "cpu/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+template <typename T>
+int potrf_unblocked(int n, T* a, int lda) {
+  for (int k = 0; k < n; ++k) {
+    T akk = a[k + k * static_cast<std::ptrdiff_t>(lda)];
+    if (!(akk > T{0})) return k + 1;
+    akk = std::sqrt(akk);
+    a[k + k * static_cast<std::ptrdiff_t>(lda)] = akk;
+    const T inv = T{1} / akk;
+    for (int m = k + 1; m < n; ++m) {
+      a[m + k * static_cast<std::ptrdiff_t>(lda)] *= inv;
+    }
+    for (int j = k + 1; j < n; ++j) {
+      const T ajk = a[j + k * static_cast<std::ptrdiff_t>(lda)];
+      for (int i = j; i < n; ++i) {
+        a[i + j * static_cast<std::ptrdiff_t>(lda)] -=
+            a[i + k * static_cast<std::ptrdiff_t>(lda)] * ajk;
+      }
+    }
+  }
+  return 0;
+}
+
+template <typename T>
+int potrf_unblocked_upper(int n, T* a, int lda) {
+  // The lower algorithm over the transposed index map: element (i,j) of
+  // the virtual lower matrix is storage (j,i).
+  auto at = [&](int i, int j) -> T& {
+    return a[j + i * static_cast<std::ptrdiff_t>(lda)];
+  };
+  for (int k = 0; k < n; ++k) {
+    T akk = at(k, k);
+    if (!(akk > T{0})) return k + 1;
+    akk = std::sqrt(akk);
+    at(k, k) = akk;
+    const T inv = T{1} / akk;
+    for (int m = k + 1; m < n; ++m) at(m, k) *= inv;
+    for (int j = k + 1; j < n; ++j) {
+      const T ajk = at(j, k);
+      for (int i = j; i < n; ++i) at(i, j) -= at(i, k) * ajk;
+    }
+  }
+  return 0;
+}
+
+template <typename T>
+void potrs_vector_upper(int n, const T* u, int ldu, T* x) {
+  // Forward: Uᵀ y = b (Uᵀ is lower with Uᵀ(i,j) = U(j,i)).
+  for (int i = 0; i < n; ++i) {
+    T acc = x[i];
+    for (int j = 0; j < i; ++j) {
+      acc -= u[j + i * static_cast<std::ptrdiff_t>(ldu)] * x[j];
+    }
+    x[i] = acc / u[i + i * static_cast<std::ptrdiff_t>(ldu)];
+  }
+  // Backward: U x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    T acc = x[i];
+    for (int j = i + 1; j < n; ++j) {
+      acc -= u[i + j * static_cast<std::ptrdiff_t>(ldu)] * x[j];
+    }
+    x[i] = acc / u[i + i * static_cast<std::ptrdiff_t>(ldu)];
+  }
+}
+
+template <typename T>
+void trsm_right_lower_trans(int m, int n, const T* l, int ldl, T* b, int ldb) {
+  // Solve X · tril(L)ᵀ = B for X, overwriting B; column k of the result
+  // depends on columns < k (forward order).
+  for (int k = 0; k < n; ++k) {
+    const T inv = T{1} / l[k + k * static_cast<std::ptrdiff_t>(ldl)];
+    for (int i = 0; i < m; ++i) {
+      b[i + k * static_cast<std::ptrdiff_t>(ldb)] *= inv;
+    }
+    for (int j = k + 1; j < n; ++j) {
+      const T ljk = l[j + k * static_cast<std::ptrdiff_t>(ldl)];
+      if (ljk == T{0}) continue;
+      for (int i = 0; i < m; ++i) {
+        b[i + j * static_cast<std::ptrdiff_t>(ldb)] -=
+            b[i + k * static_cast<std::ptrdiff_t>(ldb)] * ljk;
+      }
+    }
+  }
+}
+
+template <typename T>
+void syrk_lower_nt(int n, int k, const T* a, int lda, T* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    for (int p = 0; p < k; ++p) {
+      const T ajp = a[j + p * static_cast<std::ptrdiff_t>(lda)];
+      if (ajp == T{0}) continue;
+      for (int i = j; i < n; ++i) {
+        c[i + j * static_cast<std::ptrdiff_t>(ldc)] -=
+            a[i + p * static_cast<std::ptrdiff_t>(lda)] * ajp;
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm_nt_minus(int m, int n, int k, const T* a, int lda, const T* b,
+                   int ldb, T* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    for (int p = 0; p < k; ++p) {
+      const T bjp = b[j + p * static_cast<std::ptrdiff_t>(ldb)];
+      if (bjp == T{0}) continue;
+      for (int i = 0; i < m; ++i) {
+        c[i + j * static_cast<std::ptrdiff_t>(ldc)] -=
+            a[i + p * static_cast<std::ptrdiff_t>(lda)] * bjp;
+      }
+    }
+  }
+}
+
+template <typename T>
+int potrf_blocked(int n, int nb, T* a, int lda) {
+  IBCHOL_CHECK(nb >= 1, "block size must be positive");
+  if (nb >= n) return potrf_unblocked(n, a, lda);
+  for (int k = 0; k < n; k += nb) {
+    const int kb = std::min(nb, n - k);
+    // Left-looking: update the panel from the already factored part.
+    syrk_lower_nt(kb, k, a + k, lda, a + k + k * static_cast<std::ptrdiff_t>(lda),
+                  lda);
+    if (k + kb < n) {
+      gemm_nt_minus(n - k - kb, kb, k, a + k + kb, lda, a + k, lda,
+                    a + k + kb + k * static_cast<std::ptrdiff_t>(lda), lda);
+    }
+    // Factor the diagonal block.
+    const int info = potrf_unblocked(
+        kb, a + k + k * static_cast<std::ptrdiff_t>(lda), lda);
+    if (info != 0) return k + info;
+    // Triangular solve below the diagonal block.
+    if (k + kb < n) {
+      trsm_right_lower_trans(n - k - kb, kb,
+                             a + k + k * static_cast<std::ptrdiff_t>(lda), lda,
+                             a + k + kb + k * static_cast<std::ptrdiff_t>(lda),
+                             lda);
+    }
+  }
+  return 0;
+}
+
+template <typename T>
+void potrs_vector(int n, const T* l, int ldl, T* x) {
+  // Forward substitution: L y = b.
+  for (int i = 0; i < n; ++i) {
+    T acc = x[i];
+    for (int j = 0; j < i; ++j) {
+      acc -= l[i + j * static_cast<std::ptrdiff_t>(ldl)] * x[j];
+    }
+    x[i] = acc / l[i + i * static_cast<std::ptrdiff_t>(ldl)];
+  }
+  // Backward substitution: Lᵀ x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    T acc = x[i];
+    for (int j = i + 1; j < n; ++j) {
+      acc -= l[j + i * static_cast<std::ptrdiff_t>(ldl)] * x[j];
+    }
+    x[i] = acc / l[i + i * static_cast<std::ptrdiff_t>(ldl)];
+  }
+}
+
+template <typename T>
+double reconstruction_error(int n, std::span<const T> orig,
+                            std::span<const T> fact) {
+  IBCHOL_CHECK(orig.size() >= static_cast<std::size_t>(n) * n &&
+                   fact.size() >= static_cast<std::size_t>(n) * n,
+               "reconstruction_error: buffers too small");
+  double num = 0.0, den = 0.0;
+  // Compare the lower triangles of A and L·Lᵀ (the factorization only
+  // references/produces the lower part).
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double llt = 0.0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k <= kmax; ++k) {
+        llt += static_cast<double>(fact[i + k * static_cast<std::size_t>(n)]) *
+               static_cast<double>(fact[j + k * static_cast<std::size_t>(n)]);
+      }
+      const double aij = static_cast<double>(orig[i + j * static_cast<std::size_t>(n)]);
+      num += (aij - llt) * (aij - llt);
+      den += aij * aij;
+    }
+  }
+  return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+template <typename T>
+double residual_error(int n, std::span<const T> a, std::span<const T> x,
+                      std::span<const T> b) {
+  double rmax = 0.0, amax = 0.0, xmax = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double acc = -static_cast<double>(b[i]);
+    double arow = 0.0;
+    for (int j = 0; j < n; ++j) {
+      // Symmetric matrix stored in the lower triangle.
+      const double aij = static_cast<double>(
+          i >= j ? a[i + j * static_cast<std::size_t>(n)]
+                 : a[j + i * static_cast<std::size_t>(n)]);
+      acc += aij * static_cast<double>(x[j]);
+      arow += std::abs(aij);
+    }
+    rmax = std::max(rmax, std::abs(acc));
+    amax = std::max(amax, arow);
+    xmax = std::max(xmax, std::abs(static_cast<double>(x[i])));
+  }
+  const double den = amax * xmax;
+  return den == 0.0 ? rmax : rmax / den;
+}
+
+#define IBCHOL_INSTANTIATE(T)                                                \
+  template int potrf_unblocked<T>(int, T*, int);                            \
+  template int potrf_blocked<T>(int, int, T*, int);                         \
+  template int potrf_unblocked_upper<T>(int, T*, int);                      \
+  template void potrs_vector_upper<T>(int, const T*, int, T*);              \
+  template void trsm_right_lower_trans<T>(int, int, const T*, int, T*, int);\
+  template void syrk_lower_nt<T>(int, int, const T*, int, T*, int);         \
+  template void gemm_nt_minus<T>(int, int, int, const T*, int, const T*,    \
+                                 int, T*, int);                             \
+  template void potrs_vector<T>(int, const T*, int, T*);                    \
+  template double reconstruction_error<T>(int, std::span<const T>,          \
+                                          std::span<const T>);              \
+  template double residual_error<T>(int, std::span<const T>,                \
+                                    std::span<const T>, std::span<const T>)
+
+IBCHOL_INSTANTIATE(float);
+IBCHOL_INSTANTIATE(double);
+#undef IBCHOL_INSTANTIATE
+
+}  // namespace ibchol

@@ -1,0 +1,66 @@
+// Per-matrix dense reference routines (column-major, LAPACK conventions).
+//
+// These are the ground truth for every batch implementation in the library
+// and the building blocks of the traditional (canonical-layout) baseline.
+// Naming and semantics follow LAPACK/BLAS: potrf factors A = L·Lᵀ in the
+// lower triangle; info = 0 on success or the 1-based index of the first
+// non-positive pivot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ibchol {
+
+/// Unblocked lower Cholesky of the n×n matrix `a` (column-major, leading
+/// dimension lda). Overwrites the lower triangle with L; the strict upper
+/// triangle is not referenced. Returns 0 or the 1-based failing column.
+template <typename T>
+int potrf_unblocked(int n, T* a, int lda);
+
+/// Blocked lower Cholesky with block size nb (LAPACK xPOTRF structure:
+/// left-looking panel update + unblocked panel factorization).
+template <typename T>
+int potrf_blocked(int n, int nb, T* a, int lda);
+
+/// Unblocked upper Cholesky: A = Uᵀ·U, the upper triangle is overwritten
+/// with U and the strict lower triangle is not referenced.
+template <typename T>
+int potrf_unblocked_upper(int n, T* a, int lda);
+
+/// Solves Uᵀ·U x = b in place given the factor U (upper, from
+/// potrf_unblocked_upper).
+template <typename T>
+void potrs_vector_upper(int n, const T* u, int ldu, T* x);
+
+/// B <- B · tril(L)^{-T}. B is m×n, L is n×n lower triangular.
+/// (Right side, lower, transposed — the TRSM of the Cholesky panel.)
+template <typename T>
+void trsm_right_lower_trans(int m, int n, const T* l, int ldl, T* b, int ldb);
+
+/// C <- C - A·Aᵀ, lower triangle only. C is n×n, A is n×k.
+template <typename T>
+void syrk_lower_nt(int n, int k, const T* a, int lda, T* c, int ldc);
+
+/// C <- C - A·Bᵀ. C is m×n, A is m×k, B is n×k.
+template <typename T>
+void gemm_nt_minus(int m, int n, int k, const T* a, int lda, const T* b,
+                   int ldb, T* c, int ldc);
+
+/// Solves L·Lᵀ x = b in place given the factor L (lower, from potrf).
+template <typename T>
+void potrs_vector(int n, const T* l, int ldl, T* x);
+
+/// Frobenius-norm relative reconstruction error ||A - L·Lᵀ||_F / ||A||_F,
+/// where `orig` holds the original symmetric matrix and `fact` the factor in
+/// its lower triangle. Both column-major n×n with leading dimension n.
+template <typename T>
+double reconstruction_error(int n, std::span<const T> orig,
+                            std::span<const T> fact);
+
+/// Max-norm relative error of a solve: ||A·x - b||_inf / (||A||_inf·||x||_inf).
+template <typename T>
+double residual_error(int n, std::span<const T> a, std::span<const T> x,
+                      std::span<const T> b);
+
+}  // namespace ibchol

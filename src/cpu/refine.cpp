@@ -1,0 +1,98 @@
+#include "cpu/refine.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cpu/batch_solve.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+
+namespace {
+
+// r[b] = rhs[b] - A[b]·x[b], accumulated in double; returns into `r`
+// (float storage). Also tracks the max |x| per matrix for the relative
+// correction norm.
+void residual(const BatchLayout& mlayout, std::span<const float> originals,
+              const BatchVectorLayout& vlayout, std::span<const float> rhs,
+              std::span<const float> x, std::span<float> r, int num_threads) {
+  const int n = mlayout.n();
+#pragma omp parallel for schedule(static) num_threads(num_threads)
+  for (std::int64_t b = 0; b < mlayout.batch(); ++b) {
+    for (int i = 0; i < n; ++i) {
+      double acc = static_cast<double>(rhs[vlayout.index(b, i)]);
+      for (int j = 0; j < n; ++j) {
+        // Symmetric matrix, lower triangle stored.
+        const float aij = i >= j ? originals[mlayout.index(b, i, j)]
+                                 : originals[mlayout.index(b, j, i)];
+        acc -= static_cast<double>(aij) *
+               static_cast<double>(x[vlayout.index(b, j)]);
+      }
+      r[vlayout.index(b, i)] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace
+
+RefineResult refine_batch_solve(const BatchLayout& mlayout,
+                                std::span<const float> originals,
+                                std::span<const float> factors,
+                                const BatchVectorLayout& vlayout,
+                                std::span<const float> b, std::span<float> x,
+                                const RefineOptions& options) {
+  IBCHOL_CHECK(originals.size() >= mlayout.size_elems() &&
+                   factors.size() >= mlayout.size_elems(),
+               "matrix spans too small");
+  IBCHOL_CHECK(b.size() >= vlayout.size_elems() &&
+                   x.size() >= vlayout.size_elems(),
+               "vector spans too small");
+  IBCHOL_CHECK(vlayout == BatchVectorLayout::matching(mlayout),
+               "vector layout does not match the matrix layout");
+  const int nt =
+      options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
+  const int n = mlayout.n();
+
+  // Initial solve: x = (L·Lᵀ)^{-1} b.
+  std::copy(b.begin(), b.end(), x.begin());
+  solve_batch_cpu<float>(mlayout, factors, vlayout, x, options.math, nt);
+
+  AlignedBuffer<float> d(vlayout.size_elems());
+  RefineResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // d = (L·Lᵀ)^{-1} (b - A x), then x += d.
+    residual(mlayout, originals, vlayout, b, std::span<const float>(x),
+             d.span(), nt);
+    solve_batch_cpu<float>(mlayout, std::span<const float>(factors), vlayout,
+                           d.span(), options.math, nt);
+    double max_rel = 0.0;
+#pragma omp parallel for schedule(static) num_threads(nt) \
+    reduction(max : max_rel)
+    for (std::int64_t bm = 0; bm < mlayout.batch(); ++bm) {
+      double xmax = 0.0, dmax = 0.0;
+      for (int i = 0; i < n; ++i) {
+        xmax = std::max(xmax,
+                        std::abs(static_cast<double>(x[vlayout.index(bm, i)])));
+        dmax = std::max(
+            dmax, std::abs(static_cast<double>(d[vlayout.index(bm, i)])));
+      }
+      for (int i = 0; i < n; ++i) {
+        x[vlayout.index(bm, i)] += d[vlayout.index(bm, i)];
+      }
+      if (xmax > 0.0) max_rel = std::max(max_rel, dmax / xmax);
+    }
+    result.iterations = it + 1;
+    result.final_correction = max_rel;
+    if (max_rel < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ibchol

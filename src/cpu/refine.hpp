@@ -1,0 +1,49 @@
+// Mixed-precision iterative refinement for batched solves.
+//
+// The paper's kernels run in single precision (the ALS workload tolerates
+// it), but downstream users often need better forward accuracy than one
+// float solve delivers. Classic iterative refinement recovers it at small
+// cost: factor once in float, then iterate
+//     r = b - A·x  (accumulated in double) ;  L·Lᵀ d = r ;  x += d.
+// Each correction solve reuses the float factor; the residual is the only
+// double-precision work.
+#pragma once
+
+#include <span>
+
+#include "kernels/options.hpp"
+#include "layout/layout.hpp"
+#include "layout/vector_layout.hpp"
+
+namespace ibchol {
+
+/// Refinement configuration.
+struct RefineOptions {
+  int max_iterations = 5;
+  double tolerance = 1e-6;  ///< stop when max relative correction is below
+  MathMode math = MathMode::kIeee;
+  int num_threads = 0;
+};
+
+/// Outcome of a refinement run.
+struct RefineResult {
+  int iterations = 0;
+  double final_correction = 0.0;  ///< max |d|/|x| of the last sweep
+  bool converged = false;
+};
+
+/// Solves A x = b for every matrix of the batch with iterative refinement.
+///
+/// `originals` holds the unfactored symmetric matrices (lower triangles
+/// valid) and `factors` the same batch after factor_batch_cpu; both share
+/// `mlayout`. `b` (vector layout matching the matrix layout) is the input;
+/// `x` receives the refined solution. All in single precision storage with
+/// double-precision residual accumulation.
+RefineResult refine_batch_solve(const BatchLayout& mlayout,
+                                std::span<const float> originals,
+                                std::span<const float> factors,
+                                const BatchVectorLayout& vlayout,
+                                std::span<const float> b, std::span<float> x,
+                                const RefineOptions& options = {});
+
+}  // namespace ibchol

@@ -1,0 +1,302 @@
+#include "cpu/tile_exec.hpp"
+
+#include "cpu/math_policy.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+
+namespace {
+
+// Register-tile file for one lane block. Element (i,j) of register r lives
+// at a fixed stride-kMaxTileSize slot so addressing is independent of the
+// actual tile dims (edge tiles simply use fewer slots).
+template <typename T>
+struct RegFile {
+  alignas(64) T regs[kMaxRegisterTiles][kMaxTileSize * kMaxTileSize]
+                    [kLaneBlock];
+
+  T* tile(int r, int i, int j) {
+    return regs[r][i * kMaxTileSize + j];
+  }
+};
+
+// rstride/cstride: element strides of a unit step in the row / column
+// direction. The lower factorization uses (estride, n*estride); the upper
+// factorization swaps them, transposing the index map so the same schedule
+// produces U = L^T in the upper triangle.
+template <typename T, typename Math>
+void run_op(const TileOp& op, RegFile<T>& rf, std::int64_t rstride,
+            std::int64_t cstride, T* __restrict__ base, std::int32_t* info) {
+  const int rows = op.rows;
+  const int cols = op.cols;
+  switch (op.kind) {
+    case TileOp::Kind::kLoadFull: {
+      for (int j = 0; j < cols; ++j) {
+        for (int i = 0; i < rows; ++i) {
+          const T* __restrict__ src = base + (op.row0 + i) * rstride +
+                                      (op.col0 + j) * cstride;
+          T* __restrict__ dst = rf.tile(op.r1, i, j);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+        }
+      }
+      break;
+    }
+    case TileOp::Kind::kLoadLower: {
+      for (int j = 0; j < cols; ++j) {
+        for (int i = j; i < rows; ++i) {
+          const T* __restrict__ src = base + (op.row0 + i) * rstride +
+                                      (op.col0 + j) * cstride;
+          T* __restrict__ dst = rf.tile(op.r1, i, j);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+        }
+      }
+      break;
+    }
+    case TileOp::Kind::kStoreFull: {
+      for (int j = 0; j < cols; ++j) {
+        for (int i = 0; i < rows; ++i) {
+          T* __restrict__ dst = base + (op.row0 + i) * rstride +
+                                (op.col0 + j) * cstride;
+          const T* __restrict__ src = rf.tile(op.r1, i, j);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+        }
+      }
+      break;
+    }
+    case TileOp::Kind::kStoreLower: {
+      for (int j = 0; j < cols; ++j) {
+        for (int i = j; i < rows; ++i) {
+          T* __restrict__ dst = base + (op.row0 + i) * rstride +
+                                (op.col0 + j) * cstride;
+          const T* __restrict__ src = rf.tile(op.r1, i, j);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+        }
+      }
+      break;
+    }
+    case TileOp::Kind::kPotrf: {
+      // Mirrors spotrf_tile (paper Fig 9) across lanes. op.row0 carries the
+      // tile's global diagonal position for failure reporting.
+      for (int k = 0; k < rows; ++k) {
+        T* __restrict__ akk = rf.tile(op.r1, k, k);
+        if (info != nullptr) {
+          for (int l = 0; l < kLaneBlock; ++l) {
+            if (info[l] == 0 && !(akk[l] > T{0})) {
+              info[l] = op.row0 + k + 1;
+            }
+          }
+        }
+        alignas(64) T inv[kLaneBlock];
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) {
+          const T s = Math::sqrt(akk[l]);
+          akk[l] = s;
+          inv[l] = Math::recip(s);
+        }
+        for (int m = k + 1; m < rows; ++m) {
+          T* __restrict__ amk = rf.tile(op.r1, m, k);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) amk[l] *= inv[l];
+        }
+        for (int nn = k + 1; nn < rows; ++nn) {
+          const T* __restrict__ ank = rf.tile(op.r1, nn, k);
+          for (int m = nn; m < rows; ++m) {
+            const T* __restrict__ amk = rf.tile(op.r1, m, k);
+            T* __restrict__ amn = rf.tile(op.r1, m, nn);
+#pragma omp simd
+            for (int l = 0; l < kLaneBlock; ++l) amn[l] -= ank[l] * amk[l];
+          }
+        }
+      }
+      break;
+    }
+    case TileOp::Kind::kTrsm: {
+      // rB (rows×cols) <- rB · tril(rL)^{-T}, column-forward order.
+      for (int k = 0; k < cols; ++k) {
+        const T* __restrict__ lkk = rf.tile(op.r1, k, k);
+        alignas(64) T inv[kLaneBlock];
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) inv[l] = Math::recip(lkk[l]);
+        for (int m = 0; m < rows; ++m) {
+          T* __restrict__ bmk = rf.tile(op.r2, m, k);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) bmk[l] *= inv[l];
+        }
+        for (int nn = k + 1; nn < cols; ++nn) {
+          const T* __restrict__ lnk = rf.tile(op.r1, nn, k);
+          for (int m = 0; m < rows; ++m) {
+            const T* __restrict__ bmk = rf.tile(op.r2, m, k);
+            T* __restrict__ bmn = rf.tile(op.r2, m, nn);
+#pragma omp simd
+            for (int l = 0; l < kLaneBlock; ++l) bmn[l] -= bmk[l] * lnk[l];
+          }
+        }
+      }
+      break;
+    }
+    case TileOp::Kind::kSyrk: {
+      // rC (rows×rows lower) -= rA·rAᵀ with contraction depth op.kdim.
+      for (int m = 0; m < rows; ++m) {
+        for (int nn = 0; nn <= m; ++nn) {
+          T* __restrict__ cmn = rf.tile(op.r2, m, nn);
+          for (int k = 0; k < op.kdim; ++k) {
+            const T* __restrict__ amk = rf.tile(op.r1, m, k);
+            const T* __restrict__ ank = rf.tile(op.r1, nn, k);
+#pragma omp simd
+            for (int l = 0; l < kLaneBlock; ++l) cmn[l] -= amk[l] * ank[l];
+          }
+        }
+      }
+      break;
+    }
+    case TileOp::Kind::kGemm: {
+      // rC (rows×cols) -= rA·rBᵀ with contraction depth op.kdim.
+      for (int m = 0; m < rows; ++m) {
+        for (int nn = 0; nn < cols; ++nn) {
+          T* __restrict__ cmn = rf.tile(op.r3, m, nn);
+          for (int k = 0; k < op.kdim; ++k) {
+            const T* __restrict__ amk = rf.tile(op.r1, m, k);
+            const T* __restrict__ bnk = rf.tile(op.r2, nn, k);
+#pragma omp simd
+            for (int l = 0; l < kLaneBlock; ++l) cmn[l] -= amk[l] * bnk[l];
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+template <typename T, typename Math>
+void execute_impl(const TileProgram& program, T* base, std::int64_t estride,
+                  std::int32_t* info, Triangle triangle) {
+  const std::int64_t rstride =
+      triangle == Triangle::kUpper ? estride * program.n : estride;
+  const std::int64_t cstride =
+      triangle == Triangle::kUpper ? estride : estride * program.n;
+  RegFile<T> rf;
+  for (const TileOp& op : program.ops) {
+    run_op<T, Math>(op, rf, rstride, cstride, base, info);
+  }
+}
+
+template <typename T, typename Math>
+void whole_matrix_impl(int n, T* __restrict__ base, std::int64_t estride,
+                       std::int32_t* info, T* __restrict__ tri,
+                       Triangle triangle) {
+  const std::int64_t rstride =
+      triangle == Triangle::kUpper ? estride * n : estride;
+  const std::int64_t cstride =
+      triangle == Triangle::kUpper ? estride : estride * n;
+  // tri holds the lower triangle: element (i,j), i >= j, at slot
+  // (i*(i+1)/2 + j) * kLaneBlock.
+  auto slot = [](int i, int j) {
+    return (static_cast<std::size_t>(i) * (i + 1) / 2 + j) *
+           static_cast<std::size_t>(kLaneBlock);
+  };
+
+  // Single load pass over the lower triangle.
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      const T* __restrict__ src = base + i * rstride + j * cstride;
+      T* __restrict__ dst = tri + slot(i, j);
+#pragma omp simd
+      for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+    }
+  }
+
+  // Unblocked factorization entirely in scratch.
+  for (int k = 0; k < n; ++k) {
+    T* __restrict__ akk = tri + slot(k, k);
+    if (info != nullptr) {
+      for (int l = 0; l < kLaneBlock; ++l) {
+        if (info[l] == 0 && !(akk[l] > T{0})) info[l] = k + 1;
+      }
+    }
+    alignas(64) T inv[kLaneBlock];
+#pragma omp simd
+    for (int l = 0; l < kLaneBlock; ++l) {
+      const T s = Math::sqrt(akk[l]);
+      akk[l] = s;
+      inv[l] = Math::recip(s);
+    }
+    for (int m = k + 1; m < n; ++m) {
+      T* __restrict__ amk = tri + slot(m, k);
+#pragma omp simd
+      for (int l = 0; l < kLaneBlock; ++l) amk[l] *= inv[l];
+    }
+    for (int j = k + 1; j < n; ++j) {
+      const T* __restrict__ ajk = tri + slot(j, k);
+      for (int m = j; m < n; ++m) {
+        const T* __restrict__ amk = tri + slot(m, k);
+        T* __restrict__ amj = tri + slot(m, j);
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) amj[l] -= ajk[l] * amk[l];
+      }
+    }
+  }
+
+  // Single store pass.
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      T* __restrict__ dst = base + i * rstride + j * cstride;
+      const T* __restrict__ src = tri + slot(i, j);
+#pragma omp simd
+      for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void execute_program_lane_block(const TileProgram& program, MathMode math,
+                                T* base, std::int64_t estride,
+                                std::int32_t* info, Triangle triangle) {
+  IBCHOL_CHECK(program.nb <= kMaxTileSize,
+               "tile size exceeds the executor's register file");
+  IBCHOL_CHECK(program.num_register_tiles() <= kMaxRegisterTiles,
+               "program uses too many register tiles");
+  if (math == MathMode::kFastMath) {
+    execute_impl<T, FastMath>(program, base, estride, info, triangle);
+  } else {
+    execute_impl<T, IeeeMath>(program, base, estride, info, triangle);
+  }
+}
+
+std::size_t whole_matrix_scratch_elems(int n) {
+  return static_cast<std::size_t>(n) * (n + 1) / 2 *
+         static_cast<std::size_t>(kLaneBlock);
+}
+
+template <typename T>
+void execute_whole_matrix_lane_block(int n, MathMode math, T* base,
+                                     std::int64_t estride, std::int32_t* info,
+                                     T* scratch, Triangle triangle) {
+  if (math == MathMode::kFastMath) {
+    whole_matrix_impl<T, FastMath>(n, base, estride, info, scratch, triangle);
+  } else {
+    whole_matrix_impl<T, IeeeMath>(n, base, estride, info, scratch, triangle);
+  }
+}
+
+template void execute_program_lane_block<float>(const TileProgram&, MathMode,
+                                                float*, std::int64_t,
+                                                std::int32_t*, Triangle);
+template void execute_program_lane_block<double>(const TileProgram&, MathMode,
+                                                 double*, std::int64_t,
+                                                 std::int32_t*, Triangle);
+template void execute_whole_matrix_lane_block<float>(int, MathMode, float*,
+                                                     std::int64_t,
+                                                     std::int32_t*, float*,
+                                                     Triangle);
+template void execute_whole_matrix_lane_block<double>(int, MathMode, double*,
+                                                      std::int64_t,
+                                                      std::int32_t*, double*,
+                                                      Triangle);
+
+}  // namespace ibchol

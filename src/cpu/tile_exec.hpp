@@ -1,0 +1,68 @@
+// Execution of tile programs on the CPU substrate.
+//
+// One GPU warp factoring 32 interleaved matrices in lockstep maps onto one
+// CPU "lane block": 32 matrices whose elements are contiguous in memory
+// (stride 1 across the batch index), processed by SIMD loops. Every tile
+// operation's inner dimension loop carries a 32-wide lane loop that the
+// compiler vectorizes — the direct analog of the paper's coalesced warp
+// accesses.
+//
+// Two execution modes mirror the paper's unrolling parameter:
+//  * execute_program_lane_block — interprets the tile program op by op;
+//    every load/store hits memory (the partial-unroll behavior, where tile
+//    ops move data between registers and DRAM).
+//  * execute_whole_matrix_lane_block — loads the lower triangle once, runs
+//    the whole factorization in a scratch "register file", stores once (the
+//    behavior nvcc achieves for small matrices when the factorization is
+//    fully unrolled and the matrix is promoted to registers).
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/options.hpp"
+#include "kernels/tile_program.hpp"
+
+namespace ibchol {
+
+/// Number of matrices processed in SIMD lockstep; equals the warp size.
+inline constexpr int kLaneBlock = 32;
+
+/// Largest supported tile size (the paper sweeps n_b = 1…8).
+inline constexpr int kMaxTileSize = 8;
+
+/// Largest number of register tiles a program may use.
+inline constexpr int kMaxRegisterTiles = 4;
+
+/// Executes `program` for one lane block of kLaneBlock matrices.
+///
+/// `base` points at element (0,0) of the lane block's first matrix; element
+/// (i,j) of lane l lives at base[(j*n + i)*estride + l], where `estride` is
+/// the element stride (the chunk size of the interleaved layout).
+///
+/// `triangle` selects the factorization: kLower reads/writes the lower
+/// triangle (A = L·Lᵀ); kUpper runs the same schedule over the transposed
+/// index map, reading/writing the upper triangle (A = Uᵀ·U with U = Lᵀ).
+///
+/// `info` (kLaneBlock entries, may be null) receives 0 on success or the
+/// 1-based column of the first non-positive pivot; entries must be
+/// pre-zeroed. A failing lane keeps computing (NaNs propagate, as on the
+/// GPU) so the other lanes are unaffected.
+template <typename T>
+void execute_program_lane_block(const TileProgram& program, MathMode math,
+                                T* base, std::int64_t estride,
+                                std::int32_t* info,
+                                Triangle triangle = Triangle::kLower);
+
+/// Scratch element count required by execute_whole_matrix_lane_block.
+[[nodiscard]] std::size_t whole_matrix_scratch_elems(int n);
+
+/// Fully "registerized" factorization of one lane block: one load pass, the
+/// complete unblocked factorization in scratch, one store pass. `scratch`
+/// must hold whole_matrix_scratch_elems(n) elements.
+template <typename T>
+void execute_whole_matrix_lane_block(int n, MathMode math, T* base,
+                                     std::int64_t estride, std::int32_t* info,
+                                     T* scratch,
+                                     Triangle triangle = Triangle::kLower);
+
+}  // namespace ibchol

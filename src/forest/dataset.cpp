@@ -1,0 +1,21 @@
+#include "forest/dataset.hpp"
+
+namespace ibchol {
+
+FeatureMatrix::FeatureMatrix(std::vector<std::string> names, std::size_t rows)
+    : names_(std::move(names)), rows_(rows), data_(rows_ * names_.size()) {}
+
+void FeatureMatrix::add_row(std::span<const double> values) {
+  IBCHOL_CHECK(values.size() == cols(), "feature row width mismatch");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+std::size_t FeatureMatrix::column_index(const std::string& name) const {
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return c;
+  }
+  throw Error("feature column not found: " + name);
+}
+
+}  // namespace ibchol

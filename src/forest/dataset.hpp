@@ -1,0 +1,52 @@
+// Feature matrix for the random-forest regressor.
+//
+// The autotuning dataset mixes integer variables (n, n_b, chunk size) and
+// categorical ones (looking order, chunking, unrolling, cache preference).
+// Categorical variables are stored as small integer codes; the regression
+// trees split them with thresholds, which is exact for binary variables and
+// an adequate encoding for the ternary looking order (paper §IV discusses
+// exactly this encoding concern).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+/// Row-major feature matrix with named columns.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  FeatureMatrix(std::vector<std::string> names, std::size_t rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols() + c];
+  }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols() + c]; }
+
+  /// One row as a contiguous span.
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols(), cols()};
+  }
+
+  /// Appends one row; must match cols().
+  void add_row(std::span<const double> values);
+
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::size_t rows_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ibchol

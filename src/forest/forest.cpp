@@ -1,0 +1,147 @@
+#include "forest/forest.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ibchol {
+
+void RandomForest::fit(const FeatureMatrix& x, std::span<const double> y,
+                       const ForestOptions& options) {
+  IBCHOL_CHECK(x.rows() == y.size(), "feature/target size mismatch");
+  IBCHOL_CHECK(x.rows() > 0, "empty training set");
+  IBCHOL_CHECK(options.num_trees > 0, "forest needs at least one tree");
+
+  const std::size_t n = x.rows();
+  trees_.assign(options.num_trees, {});
+  oob_indices_.assign(options.num_trees, {});
+  train_x_ = &x;
+  train_y_.assign(y.begin(), y.end());
+
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<int> oob_count(n, 0);
+
+  const int nt = options.num_threads > 0 ? options.num_threads
+                                         : omp_get_max_threads();
+#pragma omp parallel num_threads(nt)
+  {
+    std::vector<std::size_t> sample;
+    std::vector<char> in_bag;
+#pragma omp for schedule(dynamic)
+    for (int t = 0; t < options.num_trees; ++t) {
+      Xoshiro256 rng(options.seed + 0x9e3779b97f4a7c15ULL *
+                                       static_cast<std::uint64_t>(t + 1));
+      sample.clear();
+      sample.reserve(n);
+      in_bag.assign(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t s = rng.uniform_index(n);
+        sample.push_back(s);
+        in_bag[s] = 1;
+      }
+      trees_[t].fit(x, y, sample, options.tree, rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!in_bag[i]) oob_indices_[t].push_back(i);
+      }
+    }
+  }
+
+  // OOB predictions (sequential aggregation; cheap relative to fitting).
+  for (int t = 0; t < options.num_trees; ++t) {
+    for (const std::size_t i : oob_indices_[t]) {
+      oob_sum[i] += trees_[t].predict(x.row(i));
+      ++oob_count[i];
+    }
+  }
+  oob_pred_.assign(n, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (oob_count[i] > 0) oob_pred_[i] = oob_sum[i] / oob_count[i];
+  }
+}
+
+double RandomForest::predict(std::span<const double> row) const {
+  IBCHOL_CHECK(!trees_.empty(), "forest is not fitted");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict(row);
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict(const FeatureMatrix& x) const {
+  std::vector<double> out(x.rows());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(x.rows()); ++r) {
+    out[r] = predict(x.row(r));
+  }
+  return out;
+}
+
+double RandomForest::oob_mse() const {
+  IBCHOL_CHECK(train_x_ != nullptr, "forest is not fitted");
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < oob_pred_.size(); ++i) {
+    if (std::isnan(oob_pred_[i])) continue;
+    const double d = oob_pred_[i] - train_y_[i];
+    acc += d * d;
+    ++count;
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+std::vector<double> RandomForest::permutation_importance(
+    std::uint64_t seed) const {
+  IBCHOL_CHECK(train_x_ != nullptr, "forest is not fitted");
+  const FeatureMatrix& x = *train_x_;
+  const std::size_t p = x.cols();
+  std::vector<double> importance(p, 0.0);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t f = 0; f < static_cast<std::int64_t>(p); ++f) {
+    double acc = 0.0;
+    int used_trees = 0;
+    std::vector<double> row;
+    std::vector<std::size_t> perm;
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      const auto& oob = oob_indices_[t];
+      if (oob.size() < 2) continue;
+      Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)) ^
+                     (0xbf58476d1ce4e5b9ULL * (f + 1)));
+      // Baseline OOB MSE of this tree.
+      double mse0 = 0.0;
+      for (const std::size_t i : oob) {
+        const double d = trees_[t].predict(x.row(i)) - train_y_[i];
+        mse0 += d * d;
+      }
+      mse0 /= static_cast<double>(oob.size());
+      // Permute feature f among the OOB rows.
+      perm.assign(oob.begin(), oob.end());
+      for (std::size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.uniform_index(i)]);
+      }
+      double mse1 = 0.0;
+      for (std::size_t k = 0; k < oob.size(); ++k) {
+        const std::size_t i = oob[k];
+        row.assign(x.row(i).begin(), x.row(i).end());
+        row[f] = x.at(perm[k], f);
+        const double d = trees_[t].predict(row) - train_y_[i];
+        mse1 += d * d;
+      }
+      mse1 /= static_cast<double>(oob.size());
+      acc += mse1 - mse0;
+      ++used_trees;
+    }
+    importance[f] = used_trees == 0 ? 0.0 : acc / used_trees;
+  }
+  return importance;
+}
+
+double RandomForest::average_depth() const {
+  if (trees_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.depth();
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace ibchol

@@ -1,0 +1,64 @@
+// Random-forest regression (Breiman 2001), as used for the paper's
+// postmortem analysis of the autotuning dataset (§IV): 500 trees in
+// regression mode, out-of-bag error, and permutation variable importance —
+// the "predictive power ... in terms of mean square error" of Table I.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "forest/dataset.hpp"
+#include "forest/tree.hpp"
+
+namespace ibchol {
+
+/// Forest configuration (defaults follow the paper / R randomForest).
+struct ForestOptions {
+  int num_trees = 500;
+  TreeOptions tree;
+  std::uint64_t seed = 20170529;  ///< deterministic bootstrap/mtry sampling
+  int num_threads = 0;            ///< 0 = OpenMP default
+};
+
+/// A fitted random-forest regressor.
+class RandomForest {
+ public:
+  /// Fits on the full dataset with bootstrap resampling per tree.
+  void fit(const FeatureMatrix& x, std::span<const double> y,
+           const ForestOptions& options = {});
+
+  /// Ensemble prediction for one feature row.
+  [[nodiscard]] double predict(std::span<const double> row) const;
+
+  /// Ensemble predictions for every row of a matrix.
+  [[nodiscard]] std::vector<double> predict(const FeatureMatrix& x) const;
+
+  /// Out-of-bag prediction per training row (NaN if a row was never OOB).
+  [[nodiscard]] const std::vector<double>& oob_predictions() const {
+    return oob_pred_;
+  }
+
+  /// Out-of-bag mean squared error (rows never OOB are skipped).
+  [[nodiscard]] double oob_mse() const;
+
+  /// Permutation variable importance: for each feature, the mean increase
+  /// in OOB MSE across trees when that feature's values are permuted among
+  /// each tree's OOB samples (R randomForest's IncMSE, unscaled). Negative
+  /// values indicate a variable whose permutation accidentally *helped* —
+  /// i.e. no real predictive power (cf. Table I's cache row).
+  [[nodiscard]] std::vector<double> permutation_importance(
+      std::uint64_t seed = 7) const;
+
+  [[nodiscard]] int num_trees() const { return static_cast<int>(trees_.size()); }
+  [[nodiscard]] double average_depth() const;
+
+ private:
+  std::vector<RegressionTree> trees_;
+  std::vector<std::vector<std::size_t>> oob_indices_;  ///< per tree
+  std::vector<double> oob_pred_;
+  const FeatureMatrix* train_x_ = nullptr;  ///< borrowed during analysis
+  std::vector<double> train_y_;
+};
+
+}  // namespace ibchol

@@ -1,0 +1,154 @@
+#include "forest/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ibchol {
+
+namespace {
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double score = -1.0;  ///< variance reduction; < 0 = no valid split
+};
+
+/// Finds the best threshold on one feature for samples [begin, end) by a
+/// sorted sweep with prefix sums. Returns score < 0 if no split satisfies
+/// min_leaf.
+SplitCandidate best_split_on_feature(const FeatureMatrix& x,
+                                     std::span<const double> y,
+                                     std::span<std::size_t> idx, int feature,
+                                     int min_leaf,
+                                     std::vector<std::pair<double, double>>&
+                                         scratch) {
+  SplitCandidate best;
+  best.feature = feature;
+  const std::size_t n = idx.size();
+  scratch.clear();
+  scratch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.emplace_back(x.at(idx[i], feature), y[idx[i]]);
+  }
+  std::sort(scratch.begin(), scratch.end());
+  if (scratch.front().first == scratch.back().first) return best;  // constant
+
+  double total = 0.0;
+  for (const auto& [v, t] : scratch) total += t;
+
+  double left_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    left_sum += scratch[i].second;
+    if (scratch[i].first == scratch[i + 1].first) continue;  // tie group
+    const std::size_t nl = i + 1;
+    const std::size_t nr = n - nl;
+    if (nl < static_cast<std::size_t>(min_leaf) ||
+        nr < static_cast<std::size_t>(min_leaf)) {
+      continue;
+    }
+    const double right_sum = total - left_sum;
+    // Variance reduction is (up to constants) the gain in sum of squared
+    // means: nl*meanL² + nr*meanR² - n*mean².
+    const double score = left_sum * left_sum / static_cast<double>(nl) +
+                         right_sum * right_sum / static_cast<double>(nr);
+    if (score > best.score) {
+      best.score = score;
+      best.threshold =
+          0.5 * (scratch[i].first + scratch[i + 1].first);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RegressionTree::fit(const FeatureMatrix& x, std::span<const double> y,
+                         std::span<const std::size_t> indices,
+                         const TreeOptions& options, Xoshiro256& rng) {
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> idx(indices.begin(), indices.end());
+  if (idx.empty()) {
+    nodes_.push_back({});  // degenerate leaf predicting 0
+    return;
+  }
+  build(x, y, idx, 0, idx.size(), 1, options, rng);
+}
+
+std::int32_t RegressionTree::build(const FeatureMatrix& x,
+                                   std::span<const double> y,
+                                   std::vector<std::size_t>& indices,
+                                   std::size_t begin, std::size_t end,
+                                   int depth, const TreeOptions& options,
+                                   Xoshiro256& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::int32_t id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({});
+
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += y[indices[i]];
+  const double mean_y = sum / static_cast<double>(n);
+  nodes_[id].value = mean_y;
+
+  const bool depth_ok = options.max_depth == 0 || depth < options.max_depth;
+  if (!depth_ok || n < 2 * static_cast<std::size_t>(options.min_leaf)) {
+    return id;
+  }
+
+  const int p = static_cast<int>(x.cols());
+  const int mtry = options.mtry > 0 ? std::min(options.mtry, p)
+                                    : std::max(1, p / 3);
+
+  // Sample mtry features without replacement (partial Fisher–Yates).
+  std::vector<int> features(p);
+  for (int f = 0; f < p; ++f) features[f] = f;
+  for (int f = 0; f < mtry; ++f) {
+    const auto j = f + static_cast<int>(rng.uniform_index(p - f));
+    std::swap(features[f], features[j]);
+  }
+
+  SplitCandidate best;
+  std::vector<std::pair<double, double>> scratch;
+  std::span<std::size_t> node_idx(indices.data() + begin, n);
+  for (int f = 0; f < mtry; ++f) {
+    const SplitCandidate cand = best_split_on_feature(
+        x, y, node_idx, features[f], options.min_leaf, scratch);
+    if (cand.score > best.score) best = cand;
+  }
+  // Only accept splits that actually reduce variance.
+  const double parent_score = sum * sum / static_cast<double>(n);
+  if (best.score <= parent_score + 1e-12) return id;
+
+  // Partition in place.
+  auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](std::size_t s) {
+        return x.at(s, best.feature) <= best.threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return id;  // numerically degenerate
+
+  nodes_[id].feature = best.feature;
+  nodes_[id].threshold = best.threshold;
+  const std::int32_t left =
+      build(x, y, indices, begin, mid, depth + 1, options, rng);
+  const std::int32_t right =
+      build(x, y, indices, mid, end, depth + 1, options, rng);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+double RegressionTree::predict(std::span<const double> row) const {
+  if (nodes_.empty()) return 0.0;
+  std::int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace ibchol

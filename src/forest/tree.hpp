@@ -1,0 +1,55 @@
+// Regression CART tree (the base learner of the random forest).
+//
+// Standard variance-reduction splitting with threshold tests; leaves
+// predict the mean of their training targets. Feature subsampling (mtry)
+// at every node, as in Breiman's random forest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "forest/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace ibchol {
+
+/// Tree growth controls.
+struct TreeOptions {
+  int max_depth = 0;   ///< 0 = unbounded
+  int min_leaf = 5;    ///< minimum samples per leaf
+  int mtry = 0;        ///< features tried per node; 0 = max(1, p/3)
+};
+
+/// A fitted regression tree (flat node array).
+class RegressionTree {
+ public:
+  /// Fits on the sample subset `indices` of (X, y).
+  void fit(const FeatureMatrix& x, std::span<const double> y,
+           std::span<const std::size_t> indices, const TreeOptions& options,
+           Xoshiro256& rng);
+
+  [[nodiscard]] double predict(std::span<const double> row) const;
+
+  [[nodiscard]] int depth() const { return depth_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;   ///< -1 = leaf
+    double threshold = 0.0;      ///< go left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;          ///< leaf prediction
+  };
+
+  std::int32_t build(const FeatureMatrix& x, std::span<const double> y,
+                     std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, int depth, const TreeOptions& options,
+                     Xoshiro256& rng);
+
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace ibchol

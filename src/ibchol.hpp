@@ -1,0 +1,55 @@
+// Umbrella header: the full public API of the ibchol library.
+//
+//   #include "ibchol.hpp"
+//
+// Groups (see README.md for the architecture overview):
+//   layouts     — BatchLayout / BatchVectorLayout / BatchRectLayout,
+//                 conversions, SPD batch generators
+//   core        — BatchCholesky facade, TuningParams, recommended_params
+//   batch BLAS  — batch_potrs / batch_trsm / batch_syrk / batch_gemm,
+//                 mixed-precision iterative refinement
+//   kernels     — tile programs, operation counts, CUDA source generation
+//   model       — the P100/K40 SIMT performance model and occupancy math
+//   autotune    — exhaustive sweeps, guided search, the results database,
+//                 and the random-forest analysis of §IV
+//   apps        — the ALS recommender built on the batch API
+#pragma once
+
+#include "als/als.hpp"
+#include "als/ratings.hpp"
+#include "autotune/analyze.hpp"
+#include "autotune/dispatch.hpp"
+#include "autotune/evaluator.hpp"
+#include "autotune/records.hpp"
+#include "autotune/search.hpp"
+#include "autotune/space.hpp"
+#include "autotune/sweep.hpp"
+#include "baseline/traditional_model.hpp"
+#include "core/batch_cholesky.hpp"
+#include "core/vbatch.hpp"
+#include "cpu/batch_blas.hpp"
+#include "cpu/batch_factor.hpp"
+#include "cpu/batch_solve.hpp"
+#include "cpu/reference.hpp"
+#include "cpu/refine.hpp"
+#include "forest/forest.hpp"
+#include "kernels/counts.hpp"
+#include "kernels/cuda_codegen.hpp"
+#include "kernels/tile_program.hpp"
+#include "kernels/variant.hpp"
+#include "layout/convert.hpp"
+#include "layout/generate.hpp"
+#include "layout/layout.hpp"
+#include "layout/rect_layout.hpp"
+#include "layout/vector_layout.hpp"
+#include "simt/coalescing.hpp"
+#include "simt/gpu_spec.hpp"
+#include "simt/kernel_model.hpp"
+#include "simt/cache_model.hpp"
+#include "simt/occupancy.hpp"
+#include "simt/trace_sim.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"

@@ -1,0 +1,114 @@
+#include "kernels/counts.hpp"
+
+#include <array>
+#include <set>
+
+namespace ibchol {
+
+OpCounts count_op(const TileOp& op) {
+  OpCounts c;
+  const std::int64_t r = op.rows;
+  const std::int64_t cc = op.cols;
+  const std::int64_t k = op.kdim;
+  switch (op.kind) {
+    case TileOp::Kind::kLoadFull:
+      c.load_elems = r * cc;
+      break;
+    case TileOp::Kind::kLoadLower:
+      c.load_elems = r * (r + 1) / 2;
+      break;
+    case TileOp::Kind::kStoreFull:
+      c.store_elems = r * cc;
+      break;
+    case TileOp::Kind::kStoreLower:
+      c.store_elems = r * (r + 1) / 2;
+      break;
+    case TileOp::Kind::kPotrf:
+      // Mirrors spotrf_tile (paper Fig 9): per step kk — one sqrt, one
+      // reciprocal, (r-1-kk) multiplies by the reciprocal, then the rank-1
+      // update of the remaining lower triangle.
+      for (std::int64_t kk = 0; kk < r; ++kk) {
+        c.sqrt += 1;
+        c.div += 1;
+        c.mul += r - 1 - kk;
+        for (std::int64_t nn = kk + 1; nn < r; ++nn) c.fma += r - nn;
+      }
+      break;
+    case TileOp::Kind::kTrsm:
+      // Mirrors strsm_tile: per row m and column kk — one division, then
+      // (cols-1-kk) fused updates.
+      c.div = r * cc;
+      c.fma = r * cc * (cc - 1) / 2;
+      break;
+    case TileOp::Kind::kSyrk:
+      c.fma = k * r * (r + 1) / 2;
+      break;
+    case TileOp::Kind::kGemm:
+      c.fma = r * cc * k;
+      break;
+  }
+  return c;
+}
+
+OpCounts count_program(const TileProgram& program) {
+  OpCounts total;
+  for (const auto& op : program.ops) total += count_op(op);
+  return total;
+}
+
+namespace {
+
+// Instruction estimate for one op body when fully unrolled: arithmetic
+// instructions plus one memory instruction per element (addresses are
+// immediate offsets, folded into the instruction).
+std::int64_t body_instructions_full(const TileOp& op, MathMode math) {
+  const OpCounts c = count_op(op);
+  return c.issue_slots(math) + c.load_elems + c.store_elems;
+}
+
+// Instruction estimate for one syntactic site when the outer loops stay
+// rolled: the site's unrolled body for an nb×nb tile appears once; each
+// memory element additionally needs pointer arithmetic (the dAp updates of
+// paper Fig 10), and each site gains loop-control overhead.
+std::int64_t site_instructions_partial(const TileOp& op, MathMode math) {
+  const OpCounts c = count_op(op);
+  constexpr std::int64_t kAddressIncPerElem = 1;  // dAp += stride
+  constexpr std::int64_t kLoopOverhead = 6;       // index update + branch etc.
+  return c.issue_slots(math) +
+         (c.load_elems + c.store_elems) * (1 + kAddressIncPerElem) +
+         kLoopOverhead;
+}
+
+}  // namespace
+
+CodeSize estimate_code_size(const TileProgram& program, Unroll unroll,
+                            MathMode math) {
+  CodeSize size;
+  if (unroll == Unroll::kFull) {
+    for (const auto& op : program.ops) {
+      size.instructions += body_instructions_full(op, math);
+      // Full unrolling still pays the address-increment chain on memory ops
+      // unless the compiler folds it; assume folded (constant offsets).
+    }
+    size.instructions += 32;  // prologue/epilogue
+    return size;
+  }
+  // Partial unrolling: each distinct (kind, rows, cols, kdim) shape appears
+  // once in the instruction stream (one code site per loop body). Corner
+  // tiles add their own sites, exactly as the paper's corner-case kernels do.
+  std::set<std::array<std::int16_t, 4>> sites;
+  for (const auto& op : program.ops) {
+    const std::array<std::int16_t, 4> key{static_cast<std::int16_t>(op.kind),
+                                          op.rows, op.cols, op.kdim};
+    if (!sites.insert(key).second) continue;
+    size.instructions += site_instructions_partial(op, math);
+  }
+  size.instructions += 64;  // outer-loop control + prologue/epilogue
+  return size;
+}
+
+double nominal_flops_per_matrix(int n) {
+  return static_cast<double>(n) * n * n / 3.0;
+}
+
+}  // namespace ibchol

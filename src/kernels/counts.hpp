@@ -1,0 +1,79 @@
+// Exact operation counting for tile programs.
+//
+// The SIMT cost model is driven by exact per-matrix counts of memory
+// elements moved and arithmetic instructions executed, derived from the
+// same TileProgram the CPU substrate executes. Counting loops mirror the
+// paper's microkernels (Fig 9) statement for statement, so the counts are
+// exact, not asymptotic.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/options.hpp"
+#include "kernels/tile_program.hpp"
+
+namespace ibchol {
+
+/// Element-granular memory and instruction counts for one matrix.
+struct OpCounts {
+  std::int64_t load_elems = 0;   ///< elements read from memory
+  std::int64_t store_elems = 0;  ///< elements written to memory
+  std::int64_t fma = 0;          ///< fused multiply-adds
+  std::int64_t mul = 0;          ///< plain multiplies
+  std::int64_t div = 0;          ///< divisions / reciprocals
+  std::int64_t sqrt = 0;         ///< square roots
+
+  OpCounts& operator+=(const OpCounts& o) {
+    load_elems += o.load_elems;
+    store_elems += o.store_elems;
+    fma += o.fma;
+    mul += o.mul;
+    div += o.div;
+    sqrt += o.sqrt;
+    return *this;
+  }
+
+  /// Floating point operations with the usual convention (fma = 2 flops;
+  /// div and sqrt = 1 each).
+  [[nodiscard]] std::int64_t flops() const {
+    return 2 * fma + mul + div + sqrt;
+  }
+
+  /// Issue-slot estimate of the arithmetic work: divisions and square roots
+  /// expand to multi-instruction sequences. IEEE-compliant single precision
+  /// division/sqrt cost ~20 SASS instructions; --use_fast_math reduces them
+  /// to ~4 (approximate reciprocal / rsqrt plus a fixup).
+  [[nodiscard]] std::int64_t issue_slots(MathMode math) const {
+    const std::int64_t special = math == MathMode::kFastMath ? 4 : 20;
+    return fma + mul + special * (div + sqrt);
+  }
+
+  [[nodiscard]] bool operator==(const OpCounts&) const = default;
+};
+
+/// Counts for a single tile operation.
+[[nodiscard]] OpCounts count_op(const TileOp& op);
+
+/// Aggregate counts over a whole program.
+[[nodiscard]] OpCounts count_program(const TileProgram& program);
+
+/// Static code size (instruction estimate) of a generated kernel.
+struct CodeSize {
+  std::int64_t instructions = 0;  ///< estimated SASS instructions
+  [[nodiscard]] std::int64_t bytes() const { return instructions * 8; }
+};
+
+/// Estimates the generated kernel's static code size for the given unroll
+/// mode. With full unrolling every tile op's body appears in the
+/// instruction stream once per op; with partial unrolling each syntactic
+/// site (paper Fig 11: one gemm site, one trsm site, one syrk site, one
+/// potrf site, and their load/store companions) appears once, plus loop
+/// control overhead.
+[[nodiscard]] CodeSize estimate_code_size(const TileProgram& program,
+                                          Unroll unroll, MathMode math);
+
+/// The paper's reporting convention: GFLOP rate always uses (1/3)·n³ flops
+/// per matrix regardless of what the kernel actually executes.
+[[nodiscard]] double nominal_flops_per_matrix(int n);
+
+}  // namespace ibchol

@@ -1,0 +1,391 @@
+#include "kernels/cuda_codegen.hpp"
+
+#include <sstream>
+
+namespace ibchol {
+
+namespace {
+
+std::string reg_name(int reg) {
+  switch (reg) {
+    case 0: return "rA1";
+    case 1: return "rA2";
+    case 2: return "rA3";
+    default: return "rA" + std::to_string(reg + 1);
+  }
+}
+
+std::string elem(const std::string& reg, int m, int n) {
+  return reg + "_" + std::to_string(m) + std::to_string(n);
+}
+
+/// Emits the spotrf_tile body (paper Fig 9) for an r×r tile held in `reg`.
+void emit_potrf(std::ostream& os, const std::string& ind,
+                const std::string& reg, int r, const std::string& cont) {
+  for (int k = 0; k < r; ++k) {
+    os << ind << elem(reg, k, k) << " = sqrtf(" << elem(reg, k, k) << ");"
+       << cont;
+    os << ind << "inv = 1.0f/" << elem(reg, k, k) << ";" << cont;
+    for (int m = k + 1; m < r; ++m) {
+      os << ind << elem(reg, m, k) << " *= inv;" << cont;
+    }
+    for (int n = k + 1; n < r; ++n) {
+      for (int m = n; m < r; ++m) {
+        os << ind << elem(reg, m, n) << " -= " << elem(reg, n, k) << "*"
+           << elem(reg, m, k) << ";" << cont;
+      }
+    }
+  }
+}
+
+/// Emits the strsm_tile body: rB (r×c) <- rB · tril(rL)^{-T}.
+void emit_trsm(std::ostream& os, const std::string& ind,
+               const std::string& rl, const std::string& rb, int r, int c,
+               const std::string& cont) {
+  for (int m = 0; m < r; ++m) {
+    for (int k = 0; k < c; ++k) {
+      os << ind << elem(rb, m, k) << " /= " << elem(rl, k, k) << ";" << cont;
+      for (int n = k + 1; n < c; ++n) {
+        os << ind << elem(rb, m, n) << " -= (" << elem(rb, m, k) << "*"
+           << elem(rl, n, k) << ");" << cont;
+      }
+    }
+  }
+}
+
+/// Emits the ssyrk_tile body: rC (r×r lower) -= rA·rAᵀ with depth k.
+void emit_syrk(std::ostream& os, const std::string& ind,
+               const std::string& ra, const std::string& rc, int r, int kd,
+               const std::string& cont) {
+  for (int m = 0; m < r; ++m) {
+    for (int n = 0; n <= m; ++n) {
+      for (int k = 0; k < kd; ++k) {
+        os << ind << elem(rc, m, n) << " -= " << elem(ra, m, k) << "*"
+           << elem(ra, n, k) << ";" << cont;
+      }
+    }
+  }
+}
+
+/// Emits the sgemm_tile body: rC (r×c) -= rA·rBᵀ with depth k.
+void emit_gemm(std::ostream& os, const std::string& ind,
+               const std::string& ra, const std::string& rb,
+               const std::string& rc, int r, int c, int kd,
+               const std::string& cont) {
+  for (int m = 0; m < r; ++m) {
+    for (int n = 0; n < c; ++n) {
+      for (int k = 0; k < kd; ++k) {
+        os << ind << elem(rc, m, n) << " -= " << elem(ra, m, k) << "*"
+           << elem(rb, n, k) << ";" << cont;
+      }
+    }
+  }
+}
+
+/// Full-unroll load/store with constant offsets: element (i, j) of this
+/// matrix lives at dA[(j*N + i)*C] after the per-thread base adjustment.
+void emit_move_full_const(std::ostream& os, const std::string& ind,
+                          const std::string& reg, int row0, int col0, int r,
+                          int c, int n, int chunk, bool store) {
+  for (int j = 0; j < c; ++j) {
+    for (int i = 0; i < r; ++i) {
+      const long off = (static_cast<long>(col0 + j) * n + (row0 + i)) * chunk;
+      if (store) {
+        os << ind << "dA[" << off << "] = " << elem(reg, i, j) << ";\n";
+      } else {
+        os << ind << elem(reg, i, j) << " = dA[" << off << "];\n";
+      }
+    }
+  }
+}
+
+void emit_move_lower_const(std::ostream& os, const std::string& ind,
+                           const std::string& reg, int row0, int r, int n,
+                           int chunk, bool store) {
+  for (int j = 0; j < r; ++j) {
+    for (int i = j; i < r; ++i) {
+      const long off = (static_cast<long>(row0 + j) * n + (row0 + i)) * chunk;
+      if (store) {
+        os << ind << "dA[" << off << "] = " << elem(reg, i, j) << ";\n";
+      } else {
+        os << ind << elem(reg, i, j) << " = dA[" << off << "];\n";
+      }
+    }
+  }
+}
+
+void emit_register_decls(std::ostream& os, int num_regs, int nb) {
+  os << "    float inv;\n";
+  for (int r = 0; r < num_regs; ++r) {
+    os << "    float";
+    bool first = true;
+    for (int j = 0; j < nb; ++j) {
+      for (int i = 0; i < nb; ++i) {
+        os << (first ? " " : ", ") << elem(reg_name(r), i, j);
+        first = false;
+      }
+    }
+    os << ";\n";
+  }
+}
+
+/// Macro definitions for the partial-unroll variant (paper Figures 9–10
+/// after pyexpander expansion of the inner $for loops).
+void emit_macros(std::ostream& os, int nb) {
+  const std::string cont = " \\\n";
+
+  os << "#define load_full(_m, _n, rA)" << cont
+     << "    dAp = dA + (_m)*NB*C + (_n)*NB*N*C;" << cont;
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < nb; ++i) {
+      os << "    rA##_" << i << j << " = *dAp; dAp += C;" << cont;
+    }
+    os << "    dAp += (N-NB)*C;" << cont;
+  }
+  os << "    (void)0\n\n";
+
+  os << "#define store_full(_m, _n, rA)" << cont
+     << "    dAp = dA + (_m)*NB*C + (_n)*NB*N*C;" << cont;
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < nb; ++i) {
+      os << "    *dAp = rA##_" << i << j << "; dAp += C;" << cont;
+    }
+    os << "    dAp += (N-NB)*C;" << cont;
+  }
+  os << "    (void)0\n\n";
+
+  os << "#define load_lower(_m, _n, rA)" << cont
+     << "    dAp = dA + (_m)*NB*C + (_n)*NB*N*C;" << cont;
+  for (int j = 0; j < nb; ++j) {
+    for (int i = j; i < nb; ++i) {
+      os << "    rA##_" << i << j << " = *dAp; dAp += C;" << cont;
+    }
+    os << "    dAp += (N-NB+" << (j + 1) << ")*C;" << cont;
+  }
+  os << "    (void)0\n\n";
+
+  os << "#define store_lower(_m, _n, rA)" << cont
+     << "    dAp = dA + (_m)*NB*C + (_n)*NB*N*C;" << cont;
+  for (int j = 0; j < nb; ++j) {
+    for (int i = j; i < nb; ++i) {
+      os << "    *dAp = rA##_" << i << j << "; dAp += C;" << cont;
+    }
+    os << "    dAp += (N-NB+" << (j + 1) << ")*C;" << cont;
+  }
+  os << "    (void)0\n\n";
+
+  os << "#define spotrf_tile(rA)" << cont;
+  {
+    std::ostringstream body;
+    emit_potrf(body, "    ", "rA##", nb, cont);
+    os << body.str();
+  }
+  os << "    (void)0\n\n";
+
+  os << "#define strsm_tile(rA1_, rA2_)" << cont;
+  {
+    std::ostringstream body;
+    emit_trsm(body, "    ", "rA1_##", "rA2_##", nb, nb, cont);
+    os << body.str();
+  }
+  os << "    (void)0\n\n";
+
+  os << "#define ssyrk_tile(rA1_, rA2_)" << cont;
+  {
+    std::ostringstream body;
+    emit_syrk(body, "    ", "rA1_##", "rA2_##", nb, nb, cont);
+    os << body.str();
+  }
+  os << "    (void)0\n\n";
+
+  os << "#define sgemm_tile(rA1_, rA2_, rA3_)" << cont;
+  {
+    std::ostringstream body;
+    emit_gemm(body, "    ", "rA1_##", "rA2_##", "rA3_##", nb, nb, nb, cont);
+    os << body.str();
+  }
+  os << "    (void)0\n\n";
+}
+
+/// Rolled tile-loop driver matching build_tile_program's op order
+/// (paper Fig 11 shows the top-looking one).
+void emit_driver(std::ostream& os, Looking looking) {
+  switch (looking) {
+    case Looking::kTop:
+      os << "    for (int kk = 0; kk < T; kk++) {\n"
+         << "        for (int nn = 0; nn < kk; nn++) {\n"
+         << "            load_full(kk, nn, rA3);\n"
+         << "            for (int mm = 0; mm < nn; mm++) {\n"
+         << "                load_full(kk, mm, rA1);\n"
+         << "                load_full(nn, mm, rA2);\n"
+         << "                sgemm_tile(rA1, rA2, rA3);\n"
+         << "            }\n"
+         << "            load_lower(nn, nn, rA1);\n"
+         << "            strsm_tile(rA1, rA3);\n"
+         << "            store_full(kk, nn, rA3);\n"
+         << "        }\n"
+         << "        load_lower(kk, kk, rA1);\n"
+         << "        for (int nn = 0; nn < kk; nn++) {\n"
+         << "            load_full(kk, nn, rA2);\n"
+         << "            ssyrk_tile(rA2, rA1);\n"
+         << "        }\n"
+         << "        spotrf_tile(rA1);\n"
+         << "        store_lower(kk, kk, rA1);\n"
+         << "    }\n";
+      break;
+    case Looking::kLeft:
+      os << "    for (int kk = 0; kk < T; kk++) {\n"
+         << "        if (kk > 0) {\n"
+         << "            load_lower(kk, kk, rA1);\n"
+         << "            for (int mm = 0; mm < kk; mm++) {\n"
+         << "                load_full(kk, mm, rA2);\n"
+         << "                ssyrk_tile(rA2, rA1);\n"
+         << "            }\n"
+         << "            store_lower(kk, kk, rA1);\n"
+         << "            for (int ii = kk+1; ii < T; ii++) {\n"
+         << "                load_full(ii, kk, rA3);\n"
+         << "                for (int mm = 0; mm < kk; mm++) {\n"
+         << "                    load_full(ii, mm, rA1);\n"
+         << "                    load_full(kk, mm, rA2);\n"
+         << "                    sgemm_tile(rA1, rA2, rA3);\n"
+         << "                }\n"
+         << "                store_full(ii, kk, rA3);\n"
+         << "            }\n"
+         << "        }\n"
+         << "        load_lower(kk, kk, rA1);\n"
+         << "        spotrf_tile(rA1);\n"
+         << "        store_lower(kk, kk, rA1);\n"
+         << "        for (int ii = kk+1; ii < T; ii++) {\n"
+         << "            load_full(ii, kk, rA3);\n"
+         << "            strsm_tile(rA1, rA3);\n"
+         << "            store_full(ii, kk, rA3);\n"
+         << "        }\n"
+         << "    }\n";
+      break;
+    case Looking::kRight:
+      os << "    for (int kk = 0; kk < T; kk++) {\n"
+         << "        load_lower(kk, kk, rA1);\n"
+         << "        spotrf_tile(rA1);\n"
+         << "        store_lower(kk, kk, rA1);\n"
+         << "        for (int ii = kk+1; ii < T; ii++) {\n"
+         << "            load_full(ii, kk, rA3);\n"
+         << "            strsm_tile(rA1, rA3);\n"
+         << "            store_full(ii, kk, rA3);\n"
+         << "        }\n"
+         << "        for (int jj = kk+1; jj < T; jj++) {\n"
+         << "            load_lower(jj, jj, rA1);\n"
+         << "            load_full(jj, kk, rA2);\n"
+         << "            ssyrk_tile(rA2, rA1);\n"
+         << "            store_lower(jj, jj, rA1);\n"
+         << "            for (int ii = jj+1; ii < T; ii++) {\n"
+         << "                load_full(ii, jj, rA3);\n"
+         << "                load_full(ii, kk, rA1);\n"
+         << "                load_full(jj, kk, rA2);\n"
+         << "                sgemm_tile(rA1, rA2, rA3);\n"
+         << "                store_full(ii, jj, rA3);\n"
+         << "            }\n"
+         << "        }\n"
+         << "    }\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string kernel_name(const CodegenConfig& config) {
+  std::ostringstream os;
+  os << "spotrf_batch_n" << config.n << "_nb" << config.nb << '_'
+     << to_string(config.looking) << '_' << to_string(config.unroll) << "_c"
+     << config.chunk;
+  return os.str();
+}
+
+std::string generate_cuda_kernel(const CodegenConfig& config) {
+  IBCHOL_CHECK(config.n >= 1 && config.nb >= 1 && config.nb <= config.n,
+               "invalid codegen dimensions");
+  // Fully unrolled code handles corner tiles naturally (every offset is a
+  // constant); the macro-based partial-unroll driver assumes uniform NB×NB
+  // tiles, so non-divisible dimensions use dedicated kernels there — the
+  // paper's corner-case arrangement.
+  IBCHOL_CHECK(config.unroll == Unroll::kFull || config.n % config.nb == 0,
+               "partially unrolled source generation covers dimensions "
+               "divisible by the tile size; corner cases use dedicated "
+               "kernels");
+  IBCHOL_CHECK(config.chunk > 0 && config.chunk % 32 == 0,
+               "chunk must be a positive multiple of the warp size");
+
+  const TileProgram program =
+      build_tile_program(config.n, config.nb, config.looking);
+  const std::string name = kernel_name(config);
+
+  std::ostringstream os;
+  os << "// Auto-generated by ibchol cuda_codegen — do not edit.\n"
+     << "// Batch Cholesky factorization, interleaved chunked layout.\n"
+     << "// n=" << config.n << " nb=" << config.nb << " looking="
+     << to_string(config.looking) << " unroll=" << to_string(config.unroll)
+     << " chunk=" << config.chunk << " math=" << to_string(config.math)
+     << "\n";
+  if (config.math == MathMode::kFastMath) {
+    os << "// Compile with: nvcc --use_fast_math\n";
+  }
+  os << "\n#define N " << config.n << "\n#define NB " << config.nb
+     << "\n#define T " << (config.n / config.nb) << "\n#define C "
+     << config.chunk << "\n\n";
+
+  if (config.unroll == Unroll::kPartial) emit_macros(os, config.nb);
+
+  os << "extern \"C\" __global__ void\n" << name
+     << "(float* __restrict__ dA)\n{\n"
+     << "    // One thread block factors one chunk of C matrices; each\n"
+     << "    // thread owns the lane of one matrix within the chunk.\n"
+     << "    dA += (long)blockIdx.x * N*N*C + threadIdx.x;\n";
+
+  if (config.unroll == Unroll::kPartial) {
+    emit_register_decls(os, program.num_register_tiles(), config.nb);
+    os << "    float* dAp;\n\n";
+    emit_driver(os, config.looking);
+  } else {
+    emit_register_decls(os, program.num_register_tiles(), config.nb);
+    os << '\n';
+    for (const auto& op : program.ops) {
+      os << "    // " << to_string(op) << '\n';
+      const std::string r1 = reg_name(op.r1);
+      const std::string r2 = reg_name(op.r2);
+      const std::string r3 = reg_name(op.r3);
+      switch (op.kind) {
+        case TileOp::Kind::kLoadFull:
+          emit_move_full_const(os, "    ", r1, op.row0, op.col0, op.rows,
+                               op.cols, config.n, config.chunk, false);
+          break;
+        case TileOp::Kind::kStoreFull:
+          emit_move_full_const(os, "    ", r1, op.row0, op.col0, op.rows,
+                               op.cols, config.n, config.chunk, true);
+          break;
+        case TileOp::Kind::kLoadLower:
+          emit_move_lower_const(os, "    ", r1, op.row0, op.rows, config.n,
+                                config.chunk, false);
+          break;
+        case TileOp::Kind::kStoreLower:
+          emit_move_lower_const(os, "    ", r1, op.row0, op.rows, config.n,
+                                config.chunk, true);
+          break;
+        case TileOp::Kind::kPotrf:
+          emit_potrf(os, "    ", r1, op.rows, "\n");
+          break;
+        case TileOp::Kind::kTrsm:
+          emit_trsm(os, "    ", r1, r2, op.rows, op.cols, "\n");
+          break;
+        case TileOp::Kind::kSyrk:
+          emit_syrk(os, "    ", r1, r2, op.rows, op.kdim, "\n");
+          break;
+        case TileOp::Kind::kGemm:
+          emit_gemm(os, "    ", r1, r2, r3, op.rows, op.cols, op.kdim, "\n");
+          break;
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ibchol

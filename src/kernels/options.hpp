@@ -1,0 +1,40 @@
+// Enumerations for the paper's categorical tuning parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ibchol {
+
+/// Order of evaluation of the tile operations (paper §II.A / parameter 2).
+/// Right-looking is aggressive evaluation, left-looking is lazy, and
+/// top-looking is the "laziest" — it minimizes writes to memory.
+enum class Looking : std::uint8_t { kRight, kLeft, kTop };
+
+/// Whether the outer (tile-level) loops are unrolled in addition to the
+/// always-unrolled tile microkernels (paper parameter 5).
+enum class Unroll : std::uint8_t { kPartial, kFull };
+
+/// IEEE-compliant arithmetic vs the CUDA --use_fast_math mode, which
+/// relaxes square root and division and flushes denormals (paper §III).
+enum class MathMode : std::uint8_t { kIeee, kFastMath };
+
+/// Which triangle of the symmetric input is referenced and which factor is
+/// produced: kLower gives A = L·Lᵀ (the paper's choice), kUpper gives
+/// A = Uᵀ·U ("upper triangular matrices can be supported in the same
+/// manner", paper §II.C) — implemented by running the lower schedule over
+/// the transposed index map.
+enum class Triangle : std::uint8_t { kLower, kUpper };
+
+[[nodiscard]] std::string to_string(Looking looking);
+[[nodiscard]] std::string to_string(Unroll unroll);
+[[nodiscard]] std::string to_string(MathMode math);
+[[nodiscard]] std::string to_string(Triangle triangle);
+
+/// Parse helpers (accept the to_string spellings); throw ibchol::Error on
+/// unknown values.
+[[nodiscard]] Looking looking_from_string(const std::string& s);
+[[nodiscard]] Unroll unroll_from_string(const std::string& s);
+[[nodiscard]] MathMode math_from_string(const std::string& s);
+
+}  // namespace ibchol

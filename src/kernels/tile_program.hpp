@@ -1,0 +1,87 @@
+// Tile-program intermediate representation.
+//
+// The paper generates CUDA kernels with the pyexpander preprocessor: a
+// blocked Cholesky factorization is expressed as a sequence of operations on
+// n_b×n_b register tiles — load/store tiles, and the four microkernels
+// spotrf_tile / strsm_tile / ssyrk_tile / sgemm_tile (paper Figures 9–12).
+//
+// This module reifies that generated code as data: a TileProgram is the
+// exact op sequence one matrix undergoes. The same program is
+//   (1) executed by the CPU substrate across the interleaved batch
+//       (src/cpu/interleaved_exec.*) — real numerics;
+//   (2) costed by the SIMT model (src/simt/cost_model.*) — exact per-matrix
+//       load/store/flop counts drive the performance model;
+//   (3) rendered back to CUDA C text (cuda_codegen.*) for inspection.
+//
+// Tile coordinates are element offsets (row0, col0) with explicit tile
+// dimensions, so matrices whose dimension is not divisible by n_b are
+// handled with smaller edge tiles (the paper's "corner cases").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/options.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+
+/// One operation on register tiles. Register ids index a small register-tile
+/// file; the paper's generated kernels use three (rA1, rA2, rA3).
+struct TileOp {
+  enum class Kind : std::uint8_t {
+    kLoadFull,    ///< reg[r1] <- full rows×cols tile at (row0, col0)
+    kLoadLower,   ///< reg[r1] <- lower-triangular rows×rows tile at (row0, col0)
+    kStoreFull,   ///< full tile reg[r1] -> memory at (row0, col0)
+    kStoreLower,  ///< lower tile reg[r1] -> memory at (row0, col0)
+    kPotrf,       ///< reg[r1] <- chol(reg[r1]), rows×rows lower
+    kTrsm,        ///< reg[r2] <- reg[r2] · tril(reg[r1])^{-T}; r2 is rows×cols
+    kSyrk,        ///< reg[r2] (rows×rows lower) -= reg[r1]·reg[r1]ᵀ, k = kdim
+    kGemm,        ///< reg[r3] (rows×cols) -= reg[r1]·reg[r2]ᵀ, k = kdim
+  };
+
+  Kind kind;
+  std::int8_t r1 = 0;   ///< first register tile operand
+  std::int8_t r2 = 0;   ///< second operand (kTrsm dst, kSyrk dst, kGemm B)
+  std::int8_t r3 = 0;   ///< third operand (kGemm dst)
+  std::int16_t row0 = 0;  ///< element row of the tile's top-left (loads/stores)
+  std::int16_t col0 = 0;  ///< element column of the tile's top-left
+  std::int16_t rows = 0;  ///< tile rows (dst tile rows for compute ops)
+  std::int16_t cols = 0;  ///< tile cols
+  std::int16_t kdim = 0;  ///< contraction depth for kSyrk/kGemm
+
+  [[nodiscard]] bool operator==(const TileOp&) const = default;
+};
+
+[[nodiscard]] std::string to_string(TileOp::Kind kind);
+[[nodiscard]] std::string to_string(const TileOp& op);
+
+/// A complete single-matrix factorization expressed as tile operations.
+struct TileProgram {
+  int n = 0;            ///< matrix dimension
+  int nb = 0;           ///< tile size
+  Looking looking = Looking::kTop;
+  std::vector<TileOp> ops;
+
+  /// Number of register tiles the program uses (max register id + 1).
+  [[nodiscard]] int num_register_tiles() const;
+
+  /// Number of tile rows/columns: ceil(n / nb).
+  [[nodiscard]] int grid() const { return (n + nb - 1) / nb; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds the tile program for an n×n lower Cholesky factorization with tile
+/// size nb and the given evaluation order. Requires 1 <= nb and 1 <= n.
+/// Edge tiles are emitted when n % nb != 0.
+[[nodiscard]] TileProgram build_tile_program(int n, int nb, Looking looking);
+
+/// Validates structural invariants of a program: in-bounds tiles, operands
+/// loaded before use, every stored tile previously computed. Throws
+/// ibchol::Error with a diagnostic if an invariant is violated.
+/// Returns the number of ops checked.
+std::size_t validate_program(const TileProgram& program);
+
+}  // namespace ibchol

@@ -1,0 +1,47 @@
+#include "kernels/variant.hpp"
+
+#include <sstream>
+
+#include "layout/layout.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+
+void TuningParams::validate(int n) const {
+  IBCHOL_CHECK(n >= 1, "matrix dimension must be positive");
+  IBCHOL_CHECK(nb >= 1, "tile size must be positive");
+  IBCHOL_CHECK(!chunked || (chunk_size > 0 && chunk_size % kWarpSize == 0),
+               "chunk size must be a positive multiple of the warp size");
+}
+
+std::string TuningParams::to_string() const {
+  std::ostringstream os;
+  os << "TuningParams(nb=" << nb << ", looking=" << ibchol::to_string(looking)
+     << ", " << (chunked ? "chunked(" + std::to_string(chunk_size) + ")"
+                         : "non-chunked")
+     << ", unroll=" << ibchol::to_string(unroll)
+     << ", math=" << ibchol::to_string(math)
+     << ", cache=" << (prefer_shared ? "shared" : "L1") << ")";
+  return os.str();
+}
+
+std::string TuningParams::key() const {
+  std::ostringstream os;
+  os << "nb" << nb << '_' << ibchol::to_string(looking) << '_'
+     << (chunked ? "c" + std::to_string(chunk_size) : "nc") << '_'
+     << ibchol::to_string(unroll) << '_' << ibchol::to_string(math) << '_'
+     << (prefer_shared ? "sh" : "l1");
+  return os.str();
+}
+
+const std::vector<int>& standard_chunk_sizes() {
+  static const std::vector<int> sizes{32, 64, 128, 256, 512};
+  return sizes;
+}
+
+const std::vector<int>& standard_tile_sizes() {
+  static const std::vector<int> sizes{1, 2, 3, 4, 5, 6, 7, 8};
+  return sizes;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,101 @@
+#include "layout/convert.hpp"
+
+namespace ibchol {
+
+namespace {
+
+template <typename T>
+void check_span(const BatchLayout& layout, std::size_t got) {
+  IBCHOL_CHECK(got >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+}
+
+}  // namespace
+
+template <typename T>
+void convert_layout(const BatchLayout& from, std::span<const T> src,
+                    const BatchLayout& to, std::span<T> dst) {
+  IBCHOL_CHECK(from.same_shape(to), "layout conversion requires equal shapes");
+  check_span<T>(from, src.size());
+  check_span<T>(to, dst.size());
+  IBCHOL_CHECK(static_cast<const void*>(src.data()) !=
+                   static_cast<const void*>(dst.data()),
+               "layout conversion requires distinct buffers");
+  const int n = from.n();
+  const std::int64_t batch = from.batch();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        dst[to.index(b, i, j)] = src[from.index(b, i, j)];
+      }
+    }
+  }
+  fill_padding_identity(to, dst);
+}
+
+template <typename T>
+void fill_padding_identity(const BatchLayout& layout, std::span<T> data) {
+  if (layout.padded_batch() == layout.batch()) return;
+  check_span<T>(layout, data.size());
+  const int n = layout.n();
+  for (std::int64_t b = layout.batch(); b < layout.padded_batch(); ++b) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        data[layout.index(b, i, j)] = (i == j) ? T{1} : T{0};
+      }
+    }
+  }
+}
+
+template <typename T>
+void extract_matrix(const BatchLayout& layout, std::span<const T> data,
+                    std::int64_t b, std::span<T> out) {
+  check_span<T>(layout, data.size());
+  IBCHOL_CHECK(b >= 0 && b < layout.padded_batch(), "matrix index out of range");
+  const int n = layout.n();
+  IBCHOL_CHECK(out.size() >= static_cast<std::size_t>(n) * n,
+               "output buffer too small");
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(j) * n + i] = data[layout.index(b, i, j)];
+    }
+  }
+}
+
+template <typename T>
+void insert_matrix(const BatchLayout& layout, std::span<T> data,
+                   std::int64_t b, std::span<const T> in) {
+  check_span<T>(layout, data.size());
+  IBCHOL_CHECK(b >= 0 && b < layout.padded_batch(), "matrix index out of range");
+  const int n = layout.n();
+  IBCHOL_CHECK(in.size() >= static_cast<std::size_t>(n) * n,
+               "input buffer too small");
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      data[layout.index(b, i, j)] = in[static_cast<std::size_t>(j) * n + i];
+    }
+  }
+}
+
+// Explicit instantiations for the supported precisions.
+template void convert_layout<float>(const BatchLayout&, std::span<const float>,
+                                    const BatchLayout&, std::span<float>);
+template void convert_layout<double>(const BatchLayout&,
+                                     std::span<const double>,
+                                     const BatchLayout&, std::span<double>);
+template void fill_padding_identity<float>(const BatchLayout&,
+                                           std::span<float>);
+template void fill_padding_identity<double>(const BatchLayout&,
+                                            std::span<double>);
+template void extract_matrix<float>(const BatchLayout&, std::span<const float>,
+                                    std::int64_t, std::span<float>);
+template void extract_matrix<double>(const BatchLayout&,
+                                     std::span<const double>, std::int64_t,
+                                     std::span<double>);
+template void insert_matrix<float>(const BatchLayout&, std::span<float>,
+                                   std::int64_t, std::span<const float>);
+template void insert_matrix<double>(const BatchLayout&, std::span<double>,
+                                    std::int64_t, std::span<const double>);
+
+}  // namespace ibchol

@@ -1,0 +1,40 @@
+// Conversions between batch layouts.
+//
+// A production batch pipeline receives matrices in the canonical layout
+// (that is what callers and file formats produce) and repacks them into an
+// interleaved layout before factorization. These routines implement all
+// pairwise conversions through the layouts' index maps, parallelized across
+// the batch. Padding matrices introduced by interleaved layouts are filled
+// with identity matrices so that factorizing the padding never fails.
+#pragma once
+
+#include <span>
+
+#include "layout/layout.hpp"
+
+namespace ibchol {
+
+/// Copies a batch from `src` (described by `from`) into `dst` (described by
+/// `to`). The two layouts must have the same n and batch. `src` and `dst`
+/// must not alias. Sizes are validated against the layouts.
+template <typename T>
+void convert_layout(const BatchLayout& from, std::span<const T> src,
+                    const BatchLayout& to, std::span<T> dst);
+
+/// Fills the padding region of an interleaved batch (matrices with index
+/// >= layout.batch()) with identity matrices. No-op for canonical layouts.
+template <typename T>
+void fill_padding_identity(const BatchLayout& layout, std::span<T> data);
+
+/// Extracts matrix `b` into a dense column-major n×n buffer `out`
+/// (out.size() == n*n).
+template <typename T>
+void extract_matrix(const BatchLayout& layout, std::span<const T> data,
+                    std::int64_t b, std::span<T> out);
+
+/// Overwrites matrix `b` from a dense column-major n×n buffer `in`.
+template <typename T>
+void insert_matrix(const BatchLayout& layout, std::span<T> data,
+                   std::int64_t b, std::span<const T> in);
+
+}  // namespace ibchol

@@ -1,0 +1,151 @@
+#include "layout/generate.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "layout/convert.hpp"
+#include "util/rng.hpp"
+
+namespace ibchol {
+
+namespace {
+
+// Builds one n×n SPD matrix (column-major, dense) into `a` using an RNG
+// stream private to matrix index b.
+template <typename T>
+void make_spd(int n, std::uint64_t seed, std::int64_t b, SpdKind kind,
+              double condition, std::vector<double>& scratch,
+              std::span<T> a) {
+  Xoshiro256 rng(seed ^ (0x5851f42d4c957f2dULL * static_cast<std::uint64_t>(b + 1)));
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  scratch.assign(nn, 0.0);
+
+  switch (kind) {
+    case SpdKind::kGramPlusDiagonal: {
+      // G uniform in [-1, 1); A = G·Gᵀ + n·I.
+      std::vector<double> g(nn);
+      for (auto& v : g) v = rng.uniform(-1.0, 1.0);
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          double acc = (i == j) ? static_cast<double>(n) : 0.0;
+          for (int k = 0; k < n; ++k) {
+            acc += g[static_cast<std::size_t>(k) * n + i] *
+                   g[static_cast<std::size_t>(k) * n + j];
+          }
+          scratch[static_cast<std::size_t>(j) * n + i] = acc;
+        }
+      }
+      break;
+    }
+    case SpdKind::kDiagonallyDominant: {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i <= j; ++i) {
+          const double v = rng.uniform(-1.0, 1.0);
+          scratch[static_cast<std::size_t>(j) * n + i] = v;
+          scratch[static_cast<std::size_t>(i) * n + j] = v;
+        }
+      }
+      for (int i = 0; i < n; ++i) {
+        double row = 0.0;
+        for (int j = 0; j < n; ++j) {
+          if (j != i) row += std::abs(scratch[static_cast<std::size_t>(j) * n + i]);
+        }
+        scratch[static_cast<std::size_t>(i) * n + i] = row + 1.0;
+      }
+      break;
+    }
+    case SpdKind::kControlledCondition: {
+      // A = Q·D·Qᵀ where Q comes from Gram–Schmidt on a random matrix and
+      // D has log-uniform eigenvalues in [1/cond, 1].
+      std::vector<double> q(nn);
+      for (auto& v : q) v = rng.normal();
+      // Modified Gram–Schmidt.
+      for (int j = 0; j < n; ++j) {
+        double* qj = &q[static_cast<std::size_t>(j) * n];
+        for (int k = 0; k < j; ++k) {
+          const double* qk = &q[static_cast<std::size_t>(k) * n];
+          double dot = 0.0;
+          for (int i = 0; i < n; ++i) dot += qj[i] * qk[i];
+          for (int i = 0; i < n; ++i) qj[i] -= dot * qk[i];
+        }
+        double norm = 0.0;
+        for (int i = 0; i < n; ++i) norm += qj[i] * qj[i];
+        norm = std::sqrt(norm);
+        if (norm < 1e-12) {  // re-draw a degenerate column deterministically
+          for (int i = 0; i < n; ++i) qj[i] = (i == j) ? 1.0 : 0.0;
+          norm = 1.0;
+        }
+        for (int i = 0; i < n; ++i) qj[i] /= norm;
+      }
+      std::vector<double> d(n);
+      const double logc = std::log(condition);
+      for (int i = 0; i < n; ++i) {
+        const double t = n == 1 ? 0.0 : static_cast<double>(i) / (n - 1);
+        d[i] = std::exp(-logc * t);  // eigenvalues from 1 down to 1/cond
+      }
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          double acc = 0.0;
+          for (int k = 0; k < n; ++k) {
+            acc += q[static_cast<std::size_t>(k) * n + i] * d[k] *
+                   q[static_cast<std::size_t>(k) * n + j];
+          }
+          scratch[static_cast<std::size_t>(j) * n + i] = acc;
+        }
+      }
+      break;
+    }
+  }
+
+  for (std::size_t e = 0; e < nn; ++e) a[e] = static_cast<T>(scratch[e]);
+}
+
+}  // namespace
+
+template <typename T>
+void generate_spd_batch(const BatchLayout& layout, std::span<T> data,
+                        const SpdOptions& options) {
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  const int n = layout.n();
+#pragma omp parallel
+  {
+    std::vector<double> scratch;
+    std::vector<T> dense(static_cast<std::size_t>(n) * n);
+#pragma omp for schedule(static)
+    for (std::int64_t b = 0; b < layout.batch(); ++b) {
+      make_spd<T>(n, options.seed, b, options.kind, options.condition,
+                  scratch, dense);
+      insert_matrix<T>(layout, data, b, dense);
+    }
+  }
+  fill_padding_identity(layout, data);
+}
+
+template <typename T>
+void poison_matrix(const BatchLayout& layout, std::span<T> data,
+                   std::int64_t b, int break_at) {
+  IBCHOL_CHECK(break_at >= 0 && break_at < layout.n(),
+               "poison position out of range");
+  const int n = layout.n();
+  // Identity everywhere, but a -1 on the diagonal at `break_at`; the
+  // factorization hits a negative pivot exactly at column break_at.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      T v = (i == j) ? T{1} : T{0};
+      if (i == j && i == break_at) v = T{-1};
+      data[layout.index(b, i, j)] = v;
+    }
+  }
+}
+
+template void generate_spd_batch<float>(const BatchLayout&, std::span<float>,
+                                        const SpdOptions&);
+template void generate_spd_batch<double>(const BatchLayout&, std::span<double>,
+                                         const SpdOptions&);
+template void poison_matrix<float>(const BatchLayout&, std::span<float>,
+                                   std::int64_t, int);
+template void poison_matrix<double>(const BatchLayout&, std::span<double>,
+                                    std::int64_t, int);
+
+}  // namespace ibchol

@@ -1,0 +1,50 @@
+// Batch problem generators.
+//
+// The benchmarks and tests need large batches of random symmetric positive
+// definite (SPD) matrices. Generation is deterministic from a seed and is
+// performed directly in the target layout through its index map, so the
+// same seed yields numerically identical batches in every layout — the
+// property the correctness tests rely on when comparing implementations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "layout/layout.hpp"
+
+namespace ibchol {
+
+/// How the SPD test matrices are constructed.
+enum class SpdKind : std::uint8_t {
+  /// A = G·Gᵀ + n·I with G uniform in [-1, 1): well conditioned, the
+  /// generator used for all performance experiments.
+  kGramPlusDiagonal,
+  /// Diagonally dominant: random symmetric with row-sum-dominant diagonal.
+  kDiagonallyDominant,
+  /// A = Q·D·Qᵀ with log-uniform eigenvalues in [1/cond, 1]: controlled
+  /// condition number for accuracy studies.
+  kControlledCondition,
+};
+
+/// Options for generate_spd_batch.
+struct SpdOptions {
+  SpdKind kind = SpdKind::kGramPlusDiagonal;
+  std::uint64_t seed = 42;
+  double condition = 100.0;  ///< target condition (kControlledCondition only)
+};
+
+/// Fills `data` (described by `layout`) with `layout.batch()` random SPD
+/// matrices; padding matrices are set to identity. Only the lower triangle
+/// is guaranteed SPD-consistent; the full symmetric matrix is stored.
+template <typename T>
+void generate_spd_batch(const BatchLayout& layout, std::span<T> data,
+                        const SpdOptions& options = {});
+
+/// Fills matrix `b` of the batch with one matrix that is symmetric but NOT
+/// positive definite (its leading (break_at+1)×(break_at+1) minor is
+/// singular/negative), for failure-injection tests. `break_at` in [0, n).
+template <typename T>
+void poison_matrix(const BatchLayout& layout, std::span<T> data,
+                   std::int64_t b, int break_at);
+
+}  // namespace ibchol

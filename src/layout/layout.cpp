@@ -1,0 +1,50 @@
+#include "layout/layout.hpp"
+
+#include <sstream>
+
+namespace ibchol {
+
+std::string to_string(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::kCanonical: return "canonical";
+    case LayoutKind::kInterleaved: return "interleaved";
+    case LayoutKind::kInterleavedChunked: return "interleaved_chunked";
+  }
+  return "?";
+}
+
+BatchLayout BatchLayout::canonical(int n, std::int64_t batch) {
+  IBCHOL_CHECK(n > 0, "matrix dimension must be positive");
+  IBCHOL_CHECK(batch > 0, "batch count must be positive");
+  return BatchLayout(LayoutKind::kCanonical, n, batch, /*chunk=*/1,
+                     /*padded_batch=*/batch);
+}
+
+BatchLayout BatchLayout::interleaved(int n, std::int64_t batch) {
+  IBCHOL_CHECK(n > 0, "matrix dimension must be positive");
+  IBCHOL_CHECK(batch > 0, "batch count must be positive");
+  const std::int64_t padded = round_up(batch, kWarpSize);
+  return BatchLayout(LayoutKind::kInterleaved, n, batch, /*chunk=*/padded,
+                     padded);
+}
+
+BatchLayout BatchLayout::interleaved_chunked(int n, std::int64_t batch,
+                                             int chunk) {
+  IBCHOL_CHECK(n > 0, "matrix dimension must be positive");
+  IBCHOL_CHECK(batch > 0, "batch count must be positive");
+  IBCHOL_CHECK(chunk > 0 && chunk % kWarpSize == 0,
+               "chunk size must be a positive multiple of the warp size");
+  const std::int64_t padded = round_up(batch, chunk);
+  return BatchLayout(LayoutKind::kInterleavedChunked, n, batch, chunk, padded);
+}
+
+std::string BatchLayout::to_string() const {
+  std::ostringstream os;
+  os << ibchol::to_string(kind_) << "(n=" << n_ << ", batch=" << batch_;
+  if (kind_ == LayoutKind::kInterleavedChunked) os << ", chunk=" << chunk_;
+  if (padded_batch_ != batch_) os << ", padded=" << padded_batch_;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace ibchol

@@ -1,0 +1,167 @@
+// Batch matrix data layouts.
+//
+// The paper studies three ways of storing a batch of `batch` matrices of
+// size n×n (single matrices are always column-major):
+//
+//  * Canonical          — matrices stored one after another, each contiguous:
+//                         offset(b,i,j) = b·n² + j·n + i.
+//                         This is the layout cuBLAS/MAGMA batch routines use.
+//  * Interleaved        — the batch index is the fastest-growing dimension
+//                         (paper Fig 7): offset(b,i,j) = (j·n + i)·B + b,
+//                         where B is the batch padded to a warp multiple.
+//                         A warp (or SIMD vector) reading element (i,j) of 32
+//                         consecutive matrices performs one fully coalesced
+//                         128-byte transaction.
+//  * InterleavedChunked — matrices grouped in chunks of C (a multiple of 32,
+//                         paper Fig 8); each chunk is a contiguous
+//                         interleaved block:
+//                         offset(b,i,j) = (b/C)·n²·C + (j·n + i)·C + (b mod C).
+//                         Keeps coalescing while restoring spatial locality.
+//
+// BatchLayout is a value-type descriptor: it performs the index algebra and
+// carries padding information, but does not own data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+/// The warp width the layouts pad to; also the SIMD batch granularity on
+/// the CPU substrate.
+inline constexpr int kWarpSize = 32;
+
+/// Which of the three storage schemes a batch uses.
+enum class LayoutKind : std::uint8_t {
+  kCanonical,
+  kInterleaved,
+  kInterleavedChunked,
+};
+
+[[nodiscard]] std::string to_string(LayoutKind kind);
+
+/// Descriptor of a batch of n×n matrices in one of the three layouts.
+class BatchLayout {
+ public:
+  /// Canonical layout: contiguous column-major matrices.
+  static BatchLayout canonical(int n, std::int64_t batch);
+
+  /// Simple interleaved layout (paper Fig 7). The batch is padded to a
+  /// multiple of the warp size.
+  static BatchLayout interleaved(int n, std::int64_t batch);
+
+  /// Chunked interleaved layout (paper Fig 8). `chunk` must be a positive
+  /// multiple of the warp size; the batch is padded to a multiple of it.
+  static BatchLayout interleaved_chunked(int n, std::int64_t batch, int chunk);
+
+  [[nodiscard]] LayoutKind kind() const noexcept { return kind_; }
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] std::int64_t batch() const noexcept { return batch_; }
+
+  /// Batch count including padding matrices (equals batch() for canonical).
+  [[nodiscard]] std::int64_t padded_batch() const noexcept {
+    return padded_batch_;
+  }
+
+  /// Chunk size: number of matrices per contiguous interleaved block.
+  /// For the simple interleaved layout this equals padded_batch(); for the
+  /// canonical layout it is 1 (each matrix is its own contiguous block).
+  [[nodiscard]] int64_t chunk() const noexcept { return chunk_; }
+
+  /// Number of chunks ( = padded_batch / chunk for interleaved layouts).
+  [[nodiscard]] std::int64_t num_chunks() const noexcept {
+    return kind_ == LayoutKind::kCanonical ? batch_ : padded_batch_ / chunk_;
+  }
+
+  /// Total element count of the allocation backing this layout.
+  [[nodiscard]] std::size_t size_elems() const noexcept {
+    return static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_) *
+           static_cast<std::size_t>(kind_ == LayoutKind::kCanonical
+                                        ? batch_
+                                        : padded_batch_);
+  }
+
+  /// Linear element offset of element (i, j) of matrix b. Row i, column j,
+  /// zero-based, 0 <= i, j < n, 0 <= b < padded_batch().
+  [[nodiscard]] std::size_t index(std::int64_t b, int i, int j) const noexcept {
+    const auto nn = static_cast<std::size_t>(n_);
+    const auto e = static_cast<std::size_t>(j) * nn + static_cast<std::size_t>(i);
+    switch (kind_) {
+      case LayoutKind::kCanonical:
+        return static_cast<std::size_t>(b) * nn * nn + e;
+      case LayoutKind::kInterleaved:
+        return e * static_cast<std::size_t>(padded_batch_) +
+               static_cast<std::size_t>(b);
+      case LayoutKind::kInterleavedChunked: {
+        const auto c = static_cast<std::size_t>(b / chunk_);
+        const auto l = static_cast<std::size_t>(b % chunk_);
+        return c * nn * nn * static_cast<std::size_t>(chunk_) +
+               e * static_cast<std::size_t>(chunk_) + l;
+      }
+    }
+    return 0;  // unreachable
+  }
+
+  /// Stride (in elements) between element (i,j) of matrix b and matrix b+1,
+  /// when both live in the same chunk. 1 for interleaved layouts — this is
+  /// the property that makes warp reads coalesced.
+  [[nodiscard]] std::int64_t batch_stride_within_chunk() const noexcept {
+    return kind_ == LayoutKind::kCanonical
+               ? static_cast<std::int64_t>(n_) * n_
+               : 1;
+  }
+
+  /// Stride (in elements) between consecutive elements down a column of one
+  /// matrix. 1 for canonical; chunk() for interleaved layouts.
+  [[nodiscard]] std::int64_t element_stride() const noexcept {
+    return kind_ == LayoutKind::kCanonical ? 1 : chunk_;
+  }
+
+  /// Offset of the start of the chunk containing matrix b.
+  [[nodiscard]] std::size_t chunk_base(std::int64_t b) const noexcept {
+    const auto nn = static_cast<std::size_t>(n_);
+    switch (kind_) {
+      case LayoutKind::kCanonical:
+        return static_cast<std::size_t>(b) * nn * nn;
+      case LayoutKind::kInterleaved:
+        return 0;
+      case LayoutKind::kInterleavedChunked:
+        return static_cast<std::size_t>(b / chunk_) * nn * nn *
+               static_cast<std::size_t>(chunk_);
+    }
+    return 0;  // unreachable
+  }
+
+  /// True if the two descriptors describe the same shape (n, batch), so a
+  /// conversion between them is well defined.
+  [[nodiscard]] bool same_shape(const BatchLayout& other) const noexcept {
+    return n_ == other.n_ && batch_ == other.batch_;
+  }
+
+  [[nodiscard]] bool operator==(const BatchLayout& other) const noexcept =
+      default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  BatchLayout(LayoutKind kind, int n, std::int64_t batch, std::int64_t chunk,
+              std::int64_t padded_batch)
+      : kind_(kind), n_(n), batch_(batch), chunk_(chunk),
+        padded_batch_(padded_batch) {}
+
+  LayoutKind kind_ = LayoutKind::kCanonical;
+  int n_ = 0;
+  std::int64_t batch_ = 0;
+  std::int64_t chunk_ = 1;
+  std::int64_t padded_batch_ = 0;
+};
+
+/// Rounds `v` up to a multiple of `m` (m > 0).
+[[nodiscard]] constexpr std::int64_t round_up(std::int64_t v, std::int64_t m) {
+  return (v + m - 1) / m * m;
+}
+
+}  // namespace ibchol

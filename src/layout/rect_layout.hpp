@@ -1,0 +1,145 @@
+// Layouts for batches of rectangular rows×cols matrices.
+//
+// The factorization itself works on square matrices (BatchLayout), but the
+// batched BLAS companions — multi-RHS triangular solves, SYRK/GEMM updates —
+// need rectangular operands (an n×nrhs right-hand-side block, an n×k panel).
+// BatchRectLayout extends the same three storage schemes to rows×cols
+// shapes; for rows == cols it produces exactly BatchLayout's index map.
+#pragma once
+
+#include "layout/layout.hpp"
+
+namespace ibchol {
+
+/// Descriptor of a batch of rows×cols column-major matrices.
+class BatchRectLayout {
+ public:
+  static BatchRectLayout canonical(int rows, int cols, std::int64_t batch) {
+    check(rows, cols, batch);
+    return BatchRectLayout(LayoutKind::kCanonical, rows, cols, batch, 1,
+                           batch);
+  }
+
+  static BatchRectLayout interleaved(int rows, int cols, std::int64_t batch) {
+    check(rows, cols, batch);
+    const std::int64_t padded = round_up(batch, kWarpSize);
+    return BatchRectLayout(LayoutKind::kInterleaved, rows, cols, batch,
+                           padded, padded);
+  }
+
+  static BatchRectLayout interleaved_chunked(int rows, int cols,
+                                             std::int64_t batch, int chunk) {
+    check(rows, cols, batch);
+    IBCHOL_CHECK(chunk > 0 && chunk % kWarpSize == 0,
+                 "chunk size must be a positive multiple of the warp size");
+    const std::int64_t padded = round_up(batch, chunk);
+    return BatchRectLayout(LayoutKind::kInterleavedChunked, rows, cols, batch,
+                           chunk, padded);
+  }
+
+  /// Rectangular layout matching a square matrix layout's scheme and batch.
+  static BatchRectLayout matching(const BatchLayout& m, int rows, int cols) {
+    switch (m.kind()) {
+      case LayoutKind::kCanonical:
+        return canonical(rows, cols, m.batch());
+      case LayoutKind::kInterleaved:
+        return interleaved(rows, cols, m.batch());
+      case LayoutKind::kInterleavedChunked:
+        return interleaved_chunked(rows, cols, m.batch(),
+                                   static_cast<int>(m.chunk()));
+    }
+    throw Error("unknown layout kind");
+  }
+
+  [[nodiscard]] LayoutKind kind() const noexcept { return kind_; }
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t batch() const noexcept { return batch_; }
+  [[nodiscard]] std::int64_t padded_batch() const noexcept {
+    return padded_batch_;
+  }
+  [[nodiscard]] std::int64_t chunk() const noexcept { return chunk_; }
+
+  [[nodiscard]] std::size_t size_elems() const noexcept {
+    return static_cast<std::size_t>(rows_) * cols_ *
+           static_cast<std::size_t>(kind_ == LayoutKind::kCanonical
+                                        ? batch_
+                                        : padded_batch_);
+  }
+
+  /// Linear offset of element (i, j) of matrix b.
+  [[nodiscard]] std::size_t index(std::int64_t b, int i, int j) const noexcept {
+    const auto e = static_cast<std::size_t>(j) * rows_ +
+                   static_cast<std::size_t>(i);
+    const auto mat = static_cast<std::size_t>(rows_) * cols_;
+    switch (kind_) {
+      case LayoutKind::kCanonical:
+        return static_cast<std::size_t>(b) * mat + e;
+      case LayoutKind::kInterleaved:
+        return e * static_cast<std::size_t>(padded_batch_) +
+               static_cast<std::size_t>(b);
+      case LayoutKind::kInterleavedChunked:
+        return static_cast<std::size_t>(b / chunk_) * mat *
+                   static_cast<std::size_t>(chunk_) +
+               e * static_cast<std::size_t>(chunk_) +
+               static_cast<std::size_t>(b % chunk_);
+    }
+    return 0;  // unreachable
+  }
+
+  /// Offset of the start of the chunk containing matrix b.
+  [[nodiscard]] std::size_t chunk_base(std::int64_t b) const noexcept {
+    const auto mat = static_cast<std::size_t>(rows_) * cols_;
+    switch (kind_) {
+      case LayoutKind::kCanonical:
+        return static_cast<std::size_t>(b) * mat;
+      case LayoutKind::kInterleaved:
+        return 0;
+      case LayoutKind::kInterleavedChunked:
+        return static_cast<std::size_t>(b / chunk_) * mat *
+               static_cast<std::size_t>(chunk_);
+    }
+    return 0;  // unreachable
+  }
+
+  /// Element stride within a chunk (chunk() for interleaved; 1 canonical).
+  [[nodiscard]] std::int64_t element_stride() const noexcept {
+    return kind_ == LayoutKind::kCanonical ? 1 : chunk_;
+  }
+
+  /// True when two rect layouts use the same scheme, chunking and batch, so
+  /// a lane block spans the same matrices in both.
+  [[nodiscard]] bool compatible(const BatchRectLayout& o) const noexcept {
+    return kind_ == o.kind_ && chunk_ == o.chunk_ && batch_ == o.batch_ &&
+           padded_batch_ == o.padded_batch_;
+  }
+
+  /// Compatibility with a square matrix layout.
+  [[nodiscard]] bool compatible(const BatchLayout& o) const noexcept {
+    return kind_ == o.kind() && chunk_ == o.chunk() && batch_ == o.batch() &&
+           padded_batch_ == o.padded_batch();
+  }
+
+  [[nodiscard]] bool operator==(const BatchRectLayout&) const noexcept =
+      default;
+
+ private:
+  static void check(int rows, int cols, std::int64_t batch) {
+    IBCHOL_CHECK(rows > 0 && cols > 0, "matrix dims must be positive");
+    IBCHOL_CHECK(batch > 0, "batch count must be positive");
+  }
+
+  BatchRectLayout(LayoutKind kind, int rows, int cols, std::int64_t batch,
+                  std::int64_t chunk, std::int64_t padded)
+      : kind_(kind), rows_(rows), cols_(cols), batch_(batch), chunk_(chunk),
+        padded_batch_(padded) {}
+
+  LayoutKind kind_;
+  int rows_;
+  int cols_;
+  std::int64_t batch_;
+  std::int64_t chunk_;
+  std::int64_t padded_batch_;
+};
+
+}  // namespace ibchol

@@ -1,0 +1,98 @@
+// Layouts for batches of length-n vectors (right-hand sides / solutions).
+//
+// The solve stage (POTRS) pairs each factored matrix with one right-hand
+// side. Vectors follow the same three storage schemes as matrices so a
+// warp/SIMD lane-block reads RHS elements with the same coalescing
+// properties as the matrix elements.
+#pragma once
+
+#include "layout/layout.hpp"
+
+namespace ibchol {
+
+/// Descriptor of a batch of length-n vectors, mirroring BatchLayout.
+class BatchVectorLayout {
+ public:
+  static BatchVectorLayout canonical(int n, std::int64_t batch) {
+    IBCHOL_CHECK(n > 0 && batch > 0, "invalid vector batch shape");
+    return BatchVectorLayout(LayoutKind::kCanonical, n, batch, 1, batch);
+  }
+
+  static BatchVectorLayout interleaved(int n, std::int64_t batch) {
+    IBCHOL_CHECK(n > 0 && batch > 0, "invalid vector batch shape");
+    const std::int64_t padded = round_up(batch, kWarpSize);
+    return BatchVectorLayout(LayoutKind::kInterleaved, n, batch, padded,
+                             padded);
+  }
+
+  static BatchVectorLayout interleaved_chunked(int n, std::int64_t batch,
+                                               int chunk) {
+    IBCHOL_CHECK(n > 0 && batch > 0, "invalid vector batch shape");
+    IBCHOL_CHECK(chunk > 0 && chunk % kWarpSize == 0,
+                 "chunk must be a positive multiple of the warp size");
+    const std::int64_t padded = round_up(batch, chunk);
+    return BatchVectorLayout(LayoutKind::kInterleavedChunked, n, batch, chunk,
+                             padded);
+  }
+
+  /// Vector layout matching a matrix layout's scheme and batch shape.
+  static BatchVectorLayout matching(const BatchLayout& m) {
+    switch (m.kind()) {
+      case LayoutKind::kCanonical:
+        return canonical(m.n(), m.batch());
+      case LayoutKind::kInterleaved:
+        return interleaved(m.n(), m.batch());
+      case LayoutKind::kInterleavedChunked:
+        return interleaved_chunked(m.n(), m.batch(),
+                                   static_cast<int>(m.chunk()));
+    }
+    throw Error("unknown layout kind");
+  }
+
+  [[nodiscard]] LayoutKind kind() const noexcept { return kind_; }
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] std::int64_t batch() const noexcept { return batch_; }
+  [[nodiscard]] std::int64_t padded_batch() const noexcept {
+    return padded_batch_;
+  }
+  [[nodiscard]] std::int64_t chunk() const noexcept { return chunk_; }
+
+  [[nodiscard]] std::size_t size_elems() const noexcept {
+    return static_cast<std::size_t>(n_) *
+           static_cast<std::size_t>(kind_ == LayoutKind::kCanonical
+                                        ? batch_
+                                        : padded_batch_);
+  }
+
+  /// Linear offset of element i of vector b.
+  [[nodiscard]] std::size_t index(std::int64_t b, int i) const noexcept {
+    switch (kind_) {
+      case LayoutKind::kCanonical:
+        return static_cast<std::size_t>(b) * n_ + i;
+      case LayoutKind::kInterleaved:
+        return static_cast<std::size_t>(i) * padded_batch_ + b;
+      case LayoutKind::kInterleavedChunked:
+        return static_cast<std::size_t>(b / chunk_) * n_ * chunk_ +
+               static_cast<std::size_t>(i) * chunk_ +
+               static_cast<std::size_t>(b % chunk_);
+    }
+    return 0;  // unreachable
+  }
+
+  [[nodiscard]] bool operator==(const BatchVectorLayout&) const noexcept =
+      default;
+
+ private:
+  BatchVectorLayout(LayoutKind kind, int n, std::int64_t batch,
+                    std::int64_t chunk, std::int64_t padded)
+      : kind_(kind), n_(n), batch_(batch), chunk_(chunk),
+        padded_batch_(padded) {}
+
+  LayoutKind kind_;
+  int n_;
+  std::int64_t batch_;
+  std::int64_t chunk_;
+  std::int64_t padded_batch_;
+};
+
+}  // namespace ibchol

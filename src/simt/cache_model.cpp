@@ -1,0 +1,79 @@
+#include "simt/cache_model.hpp"
+
+#include <bit>
+
+namespace ibchol {
+
+CacheModel::CacheModel(std::int64_t size_bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  IBCHOL_CHECK(size_bytes > 0 && line_bytes > 0 && ways > 0,
+               "cache parameters must be positive");
+  IBCHOL_CHECK(std::has_single_bit(static_cast<std::uint64_t>(line_bytes)),
+               "line size must be a power of two");
+  const std::int64_t lines = size_bytes / line_bytes;
+  IBCHOL_CHECK(lines >= ways && lines % ways == 0,
+               "cache size must hold a whole number of sets");
+  num_sets_ = static_cast<std::size_t>(lines / ways);
+  sets_.assign(num_sets_ * ways_, {});
+}
+
+bool CacheModel::access(std::uint64_t addr, bool write) {
+  ++stats_.accesses;
+  ++clock_;
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+  Way* base = &sets_[set * ways_];
+
+  // Hit path.
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      ++stats_.hits;
+      base[w].lru = clock_;
+      base[w].dirty = base[w].dirty || write;
+      return true;
+    }
+  }
+
+  // Miss: allocate, evicting the LRU way if the set is full.
+  ++stats_.misses;
+  Way* victim = nullptr;
+  for (int w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = base;
+    for (int w = 1; w < ways_; ++w) {
+      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = clock_;
+  victim->dirty = write;
+  return false;
+}
+
+std::int64_t CacheModel::flush_dirty() {
+  std::int64_t count = 0;
+  for (auto& way : sets_) {
+    if (way.valid && way.dirty) {
+      ++count;
+      way.dirty = false;
+    }
+  }
+  return count;
+}
+
+void CacheModel::reset() {
+  for (auto& way : sets_) way = {};
+  clock_ = 0;
+  stats_ = {};
+}
+
+}  // namespace ibchol

@@ -1,0 +1,71 @@
+// Set-associative cache model (LRU, write-back, write-allocate).
+//
+// Used by the trace-driven simulator as the device L2: the analytical
+// KernelModel *assumes* an L2 hit probability per layout; the trace
+// simulator *derives* it by replaying the kernel's real address stream
+// through this model, grounding the paper's "spatial locality principle"
+// explanation of chunking (Fig 17) in an actual cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+/// A classic W-way set-associative cache with true-LRU replacement.
+class CacheModel {
+ public:
+  struct Stats {
+    std::int64_t accesses = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t writebacks = 0;  ///< dirty lines evicted
+
+    [[nodiscard]] double hit_rate() const {
+      return accesses == 0 ? 0.0
+                           : static_cast<double>(hits) / accesses;
+    }
+  };
+
+  /// size_bytes and line_bytes must be powers of two; ways must divide the
+  /// line count.
+  CacheModel(std::int64_t size_bytes, int line_bytes, int ways);
+
+  /// Accesses the line containing `addr`; returns true on hit. A write
+  /// marks the line dirty (write-allocate on miss).
+  bool access(std::uint64_t addr, bool write);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] int line_bytes() const { return line_bytes_; }
+  [[nodiscard]] std::int64_t size_bytes() const {
+    return static_cast<std::int64_t>(sets_.size() / ways_) * ways_ *
+           line_bytes_;
+  }
+
+  /// Writes back all dirty lines (marking them clean) and returns how many
+  /// there were — the end-of-kernel flush traffic.
+  std::int64_t flush_dirty();
+
+  /// Clears contents and statistics.
+  void reset();
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint32_t lru = 0;   ///< smaller = older
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  int line_bytes_;
+  int ways_;
+  std::size_t num_sets_;
+  std::vector<Way> sets_;  ///< num_sets_ * ways_, row-major by set
+  std::uint32_t clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ibchol

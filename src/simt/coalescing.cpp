@@ -1,0 +1,36 @@
+#include "simt/coalescing.hpp"
+
+#include <set>
+
+namespace ibchol {
+
+WarpAccess analyze_strided_access(std::int64_t stride_bytes, int elem_bytes,
+                                  int lanes) {
+  constexpr std::int64_t kSector = 32;
+  constexpr std::int64_t kLine = 128;
+  std::set<std::int64_t> sectors;
+  std::set<std::int64_t> lines;
+  for (int l = 0; l < lanes; ++l) {
+    const std::int64_t first = l * stride_bytes;
+    const std::int64_t last = first + elem_bytes - 1;
+    for (std::int64_t s = first / kSector; s <= last / kSector; ++s) {
+      sectors.insert(s);
+    }
+    for (std::int64_t ln = first / kLine; ln <= last / kLine; ++ln) {
+      lines.insert(ln);
+    }
+  }
+  WarpAccess a;
+  a.sectors = static_cast<int>(sectors.size());
+  a.lines = static_cast<int>(lines.size());
+  a.useful_bytes = lanes * elem_bytes;
+  return a;
+}
+
+WarpAccess analyze_layout_access(const BatchLayout& layout, int elem_bytes) {
+  const std::int64_t stride =
+      layout.batch_stride_within_chunk() * elem_bytes;
+  return analyze_strided_access(stride, elem_bytes);
+}
+
+}  // namespace ibchol

@@ -1,0 +1,44 @@
+// Memory-coalescing analysis.
+//
+// A warp issues one memory request for 32 lanes; the memory system splits
+// it into 32-byte sectors (four per 128-byte line). The number of distinct
+// sectors touched is the traffic the request actually costs. Interleaved
+// layouts put the 32 lanes of element (i,j) at consecutive addresses — one
+// line, four sectors, "perfect coalescing" (paper §I.D / §II.B). The
+// canonical layout strides lanes n²·sizeof(T) apart, touching up to 32
+// distinct sectors per request.
+#pragma once
+
+#include <cstdint>
+
+#include "layout/layout.hpp"
+
+namespace ibchol {
+
+/// Result of analyzing one warp-wide access.
+struct WarpAccess {
+  int sectors = 0;       ///< distinct 32-byte sectors touched
+  int lines = 0;         ///< distinct 128-byte lines touched
+  int useful_bytes = 0;  ///< bytes actually consumed by the warp
+
+  /// Fraction of transferred bytes that are useful (1.0 = perfect).
+  [[nodiscard]] double efficiency(int sector_bytes = 32) const {
+    const int transferred = sectors * sector_bytes;
+    return transferred == 0 ? 0.0
+                            : static_cast<double>(useful_bytes) / transferred;
+  }
+};
+
+/// Analyzes one warp access where lane l reads `elem_bytes` at byte address
+/// base + l*stride_bytes (base 128-byte aligned). Exact sector/line count.
+[[nodiscard]] WarpAccess analyze_strided_access(std::int64_t stride_bytes,
+                                                int elem_bytes,
+                                                int lanes = kWarpSize);
+
+/// Analyzes a warp access of element (i,j) across 32 consecutive matrices
+/// of the given layout (starting at a lane-block boundary). For interleaved
+/// layouts the stride is sizeof(T); for canonical it is n²·sizeof(T).
+[[nodiscard]] WarpAccess analyze_layout_access(const BatchLayout& layout,
+                                               int elem_bytes);
+
+}  // namespace ibchol

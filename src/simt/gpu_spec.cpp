@@ -1,0 +1,50 @@
+#include "simt/gpu_spec.hpp"
+
+namespace ibchol {
+
+GpuSpec GpuSpec::p100() {
+  GpuSpec s;
+  s.name = "P100-SXM2";
+  s.sms = 56;
+  s.cores_per_sm = 64;
+  s.clock_ghz = 1.48;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.max_warps_per_sm = 64;
+  s.regs_per_sm = 65536;
+  s.max_regs_per_thread = 255;
+  s.smem_per_sm_bytes = 64 * 1024;
+  s.dram_bw_bytes = 732e9;
+  s.l2_bw_bytes = 1800e9;
+  s.l2_bytes = 4 * 1024 * 1024;
+  s.dram_latency_cycles = 450;
+  // Pascal's L1.5 instruction cache is ~32 KiB but shared with other
+  // streams; the paper's full-unroll cliff implies a smaller effective
+  // window for straight-line kernels.
+  s.icache_bytes = 12 * 1024;
+  s.launch_overhead_s = 4e-6;
+  return s;
+}
+
+GpuSpec GpuSpec::k40() {
+  GpuSpec s;
+  s.name = "K40";
+  s.sms = 15;
+  s.cores_per_sm = 192;
+  s.clock_ghz = 0.875;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 16;
+  s.max_warps_per_sm = 64;
+  s.regs_per_sm = 65536;
+  s.max_regs_per_thread = 255;
+  s.smem_per_sm_bytes = 48 * 1024;
+  s.dram_bw_bytes = 288e9;
+  s.l2_bw_bytes = 700e9;
+  s.l2_bytes = 1536 * 1024;
+  s.dram_latency_cycles = 600;
+  s.icache_bytes = 8 * 1024;
+  s.launch_overhead_s = 6e-6;
+  return s;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,63 @@
+// GPU machine descriptions for the SIMT performance model.
+//
+// The paper's testbed is an NVIDIA P100 (Pascal, CUDA 8.0). The model is
+// parameterized by a GpuSpec so the same analysis can target other
+// machines; a Kepler-class K40 spec is included for model unit tests and
+// cross-architecture sanity checks.
+#pragma once
+
+#include <string>
+
+namespace ibchol {
+
+/// Architectural parameters consumed by the cost model. All bandwidths are
+/// bytes/second, latencies in clock cycles.
+struct GpuSpec {
+  std::string name;
+
+  // Compute.
+  int sms = 0;                    ///< streaming multiprocessors
+  int cores_per_sm = 0;           ///< FP32 CUDA cores per SM
+  double clock_ghz = 0.0;         ///< sustained SM clock
+  int warp_size = 32;
+
+  // Occupancy limits.
+  int max_threads_per_sm = 0;
+  int max_blocks_per_sm = 0;
+  int max_warps_per_sm = 0;
+  int regs_per_sm = 0;            ///< 32-bit registers per SM
+  int max_regs_per_thread = 0;
+  int smem_per_sm_bytes = 0;
+
+  // Memory system.
+  double dram_bw_bytes = 0.0;     ///< peak DRAM bandwidth
+  double l2_bw_bytes = 0.0;       ///< aggregate L2 bandwidth
+  int l2_bytes = 0;
+  int line_bytes = 128;           ///< cache line / max transaction
+  int sector_bytes = 32;          ///< DRAM sector granularity
+  double dram_latency_cycles = 0; ///< average DRAM access latency
+
+  // Instruction supply.
+  int icache_bytes = 0;           ///< effective per-SM instruction cache
+
+  // Fixed kernel launch overhead (seconds).
+  double launch_overhead_s = 0.0;
+
+  /// Peak FP32 rate in flops/s (counting FMA as two).
+  [[nodiscard]] double peak_fp32_flops() const {
+    return static_cast<double>(sms) * cores_per_sm * 2.0 * clock_ghz * 1e9;
+  }
+
+  /// Issue slots per SM per cycle (one FMA-class instruction per core).
+  [[nodiscard]] double issue_slots_per_sm_cycle() const {
+    return static_cast<double>(cores_per_sm);
+  }
+
+  /// NVIDIA P100 (SXM2): 56 SMs × 64 cores, 1.48 GHz, 732 GB/s HBM2.
+  static GpuSpec p100();
+
+  /// NVIDIA K40 (Kepler): used for model tests on a second architecture.
+  static GpuSpec k40();
+};
+
+}  // namespace ibchol

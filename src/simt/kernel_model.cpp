@@ -1,0 +1,202 @@
+#include "simt/kernel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "layout/layout.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+
+namespace {
+
+constexpr double kElemBytes = 4.0;  // the paper's kernels are single precision
+
+std::int64_t lower_triangle_elems(int n) {
+  return static_cast<std::int64_t>(n) * (n + 1) / 2;
+}
+
+/// Log-linear interpolation of DRAM efficiency between the best (small
+/// element stride — consecutive accesses stay in a DRAM row / TLB page) and
+/// worst (stride of the whole batch — every access opens a new row/page).
+double dram_efficiency(const ModelCalibration& cal, double stride_bytes) {
+  const double lo = std::log2(cal.dram_eff_best_stride);
+  const double hi = std::log2(cal.dram_eff_worst_stride);
+  const double x = std::clamp(std::log2(std::max(stride_bytes, 1.0)), lo, hi);
+  const double t = (x - lo) / (hi - lo);
+  return cal.dram_eff_best + t * (cal.dram_eff_worst - cal.dram_eff_best);
+}
+
+}  // namespace
+
+RegisterEstimate KernelModel::estimate_registers(const TileProgram& program,
+                                                 Unroll unroll,
+                                                 int threads_per_block) const {
+  RegisterEstimate est;
+  const int tri = static_cast<int>(lower_triangle_elems(program.n));
+  const int tile_regs =
+      program.num_register_tiles() * program.nb * program.nb;
+
+  if (unroll == Unroll::kFull) {
+    // Straight-line code lets the compiler promote the matrix itself into
+    // registers; the promotion degrades gracefully once the triangle
+    // outgrows the register file (observed on the P100 between n = 20 and
+    // n = 40, paper §III).
+    const int avail = gpu_.max_regs_per_thread - cal_.overhead_regs;
+    est.promoted_fraction =
+        std::min(1.0, static_cast<double>(avail) / static_cast<double>(tri));
+    est.regs_per_thread =
+        std::min(tri + cal_.overhead_regs, gpu_.max_regs_per_thread);
+  } else {
+    est.promoted_fraction = 0.0;
+    est.regs_per_thread =
+        std::min(tile_regs + cal_.overhead_regs, gpu_.max_regs_per_thread);
+  }
+
+  // A block's registers must fit in the SM file; otherwise the compiler is
+  // forced (as with __launch_bounds__) to cap the allocation and spill the
+  // excess to local memory.
+  const int cap = gpu_.regs_per_sm / std::max(threads_per_block, 1);
+  if (est.regs_per_thread > cap) {
+    est.spilled_regs = est.regs_per_thread - cap;
+    est.regs_per_thread = cap;
+    // Spilled matrix state also cancels the promotion benefit.
+    est.promoted_fraction = std::min(
+        est.promoted_fraction,
+        static_cast<double>(cap) / static_cast<double>(tri + 1));
+  }
+  return est;
+}
+
+ModelResult KernelModel::evaluate(int n, std::int64_t batch,
+                                  const TuningParams& params) const {
+  params.validate(n);
+  IBCHOL_CHECK(batch > 0, "batch must be positive");
+
+  ModelResult r;
+  const int nb = params.effective_nb(n);
+  const TileProgram program = build_tile_program(n, nb, params.looking);
+  r.counts = count_program(program);
+  r.threads_per_block = params.threads_per_block();
+
+  const std::int64_t padded = round_up(batch, r.threads_per_block);
+  const std::int64_t warps_total = padded / gpu_.warp_size;
+  r.blocks = padded / r.threads_per_block;
+
+  // --- registers, occupancy -------------------------------------------
+  r.regs = estimate_registers(program, params.unroll, r.threads_per_block);
+  KernelResources res;
+  res.threads_per_block = r.threads_per_block;
+  res.regs_per_thread = r.regs.regs_per_thread;
+  res.smem_per_block_bytes = 0;
+  r.occ = compute_occupancy(gpu_, res);
+
+  const double esms = std::min<double>(static_cast<double>(r.blocks),
+                                       static_cast<double>(gpu_.sms));
+  const double warps_per_block =
+      static_cast<double>(r.threads_per_block) / gpu_.warp_size;
+  const double resident_warps =
+      std::min<double>(r.occ.warps_per_sm,
+                       static_cast<double>(warps_total) / esms);
+  const double issue_util =
+      std::min(1.0, resident_warps / cal_.warps_to_saturate);
+
+  // --- code size, i-cache ----------------------------------------------
+  const CodeSize code = estimate_code_size(program, params.unroll, params.math);
+  r.code_bytes = code.bytes();
+  r.icache_penalty = 1.0;
+  if (r.code_bytes > gpu_.icache_bytes) {
+    r.icache_penalty += cal_.icache_penalty_per_doubling *
+                        std::log2(static_cast<double>(r.code_bytes) /
+                                  gpu_.icache_bytes);
+  }
+
+  // --- memory traffic ----------------------------------------------------
+  // Unique footprint: the factorization reads and writes exactly the lower
+  // triangle. Everything beyond that is re-access traffic, which register
+  // promotion (full unrolling, small n) removes and L2 partially absorbs.
+  const double unique = static_cast<double>(lower_triangle_elems(n));
+  const double re_loads =
+      std::max(0.0, static_cast<double>(r.counts.load_elems) - unique) *
+      (1.0 - r.regs.promoted_fraction);
+  const double re_stores =
+      std::max(0.0, static_cast<double>(r.counts.store_elems) - unique) *
+      (1.0 - r.regs.promoted_fraction);
+
+  r.l2_hit_rate = params.chunked ? cal_.l2_hit_chunked : cal_.l2_hit_nonchunked;
+
+  // Spills go to thread-local memory; it is L2-cached but large spill
+  // working sets (one slot per thread) mostly stream to DRAM.
+  const double spill_elems = static_cast<double>(r.regs.spilled_regs) *
+                             cal_.spill_reuse;
+
+  const double dram_read_per_matrix =
+      unique + re_loads * (1.0 - r.l2_hit_rate) + spill_elems;
+  const double dram_write_per_matrix =
+      unique + re_stores * (1.0 - r.l2_hit_rate) + spill_elems;
+  r.dram_read_bytes = static_cast<double>(batch) * dram_read_per_matrix *
+                      kElemBytes;
+  r.dram_write_bytes = static_cast<double>(batch) * dram_write_per_matrix *
+                       kElemBytes;
+  // L2 serves the re-accesses that hit.
+  r.l2_bytes = static_cast<double>(batch) *
+               (re_loads + re_stores) * r.l2_hit_rate * kElemBytes;
+
+  // Element stride across the batch dimension: chunk·4 bytes for chunked
+  // layouts, padded-batch·4 bytes for the simple interleaved layout.
+  const double stride_bytes =
+      (params.chunked ? static_cast<double>(params.chunk_size)
+                      : static_cast<double>(round_up(batch, kWarpSize))) *
+      kElemBytes;
+  r.dram_efficiency = dram_efficiency(cal_, stride_bytes);
+
+  const double lat_s = gpu_.dram_latency_cycles / (gpu_.clock_ghz * 1e9);
+  const double bw_littles =
+      esms * resident_warps * cal_.mlp_lines_per_warp * gpu_.line_bytes /
+      lat_s;
+  const double bw =
+      std::min(gpu_.dram_bw_bytes * r.dram_efficiency, bw_littles);
+  r.memory_s = (r.dram_read_bytes + r.dram_write_bytes) / bw +
+               r.l2_bytes / gpu_.l2_bw_bytes;
+
+  // --- instruction issue ---------------------------------------------------
+  // One warp factors 32 matrices in lockstep, so warp instruction count ==
+  // per-matrix slot count. Memory instructions issue once per element
+  // access that survived promotion.
+  const double mem_instrs =
+      2.0 * unique + re_loads + re_stores + 2.0 * spill_elems;
+  const double slots =
+      static_cast<double>(r.counts.issue_slots(params.math)) + mem_instrs;
+  const double issue_per_sm_cycle =
+      gpu_.issue_slots_per_sm_cycle() / gpu_.warp_size;  // warp-instr/cycle
+  const double clock_hz = gpu_.clock_ghz * 1e9;
+  const double throughput_s = static_cast<double>(warps_total) * slots /
+                              (issue_per_sm_cycle * esms * clock_hz);
+  // Granularity tail: the last block runs alone on one SM.
+  const double tail_s =
+      warps_per_block * slots / (issue_per_sm_cycle * clock_hz);
+  r.compute_s = (throughput_s / issue_util + tail_s) * r.icache_penalty;
+
+  // --- dependent-chain latency floor --------------------------------------
+  // The diagonal recurrence (sqrt -> reciprocal -> column scale) serializes
+  // n special-function sequences per matrix.
+  const double special_lat = params.math == MathMode::kFastMath
+                                 ? cal_.special_latency_fast
+                                 : cal_.special_latency_ieee;
+  const double crit_cycles =
+      static_cast<double>(n) * (2.0 * special_lat + cal_.fma_latency);
+  const double waves = std::max(
+      1.0, static_cast<double>(warps_total) / (esms * resident_warps));
+  r.latency_s = waves * crit_cycles / clock_hz;
+
+  // --- combine -------------------------------------------------------------
+  r.overhead_s = gpu_.launch_overhead_s;
+  const double tmax = std::max({r.compute_s, r.memory_s, r.latency_s});
+  const double minor = r.compute_s + r.memory_s + r.latency_s - tmax;
+  r.seconds = tmax + 0.25 * minor + r.overhead_s;
+  r.gflops = static_cast<double>(batch) * nominal_flops_per_matrix(n) /
+             r.seconds / 1e9;
+  return r;
+}
+
+}  // namespace ibchol

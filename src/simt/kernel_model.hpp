@@ -1,0 +1,150 @@
+// Analytical SIMT performance model for the interleaved batch Cholesky
+// kernels.
+//
+// Substitute for the paper's P100 measurements (see DESIGN.md §2): for a
+// kernel variant the model derives, from the exact tile program,
+//   * memory traffic (compulsory + re-access, with L2 filtering and the
+//     layout's DRAM-locality efficiency),
+//   * arithmetic issue work (IEEE vs fast-math special-function sequences),
+//   * per-thread register demand (including whole-matrix register promotion
+//     for fully unrolled small kernels, and spilling when a block's
+//     registers exceed the SM file),
+//   * static code size and an instruction-cache penalty,
+//   * occupancy and a latency-hiding utilization factor,
+// and combines them into a kernel time and GFLOP/s rate (the paper's
+// convention: (1/3)n³ flops per matrix).
+//
+// All tunable constants live in ModelCalibration with documented meanings;
+// the defaults are calibrated so the model reproduces the *shape* of every
+// figure in the paper (regimes, crossovers, orderings), not the absolute
+// numbers of the authors' testbed.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/counts.hpp"
+#include "kernels/tile_program.hpp"
+#include "kernels/variant.hpp"
+#include "simt/gpu_spec.hpp"
+#include "simt/occupancy.hpp"
+
+namespace ibchol {
+
+/// Per-thread register estimate for one kernel variant.
+struct RegisterEstimate {
+  int regs_per_thread = 0;
+  /// Fraction of the matrix promoted to registers (full unrolling only):
+  /// 1.0 below the promotion threshold (~n = 21), decaying as the triangle
+  /// outgrows the register file. Promoted elements skip re-loads/re-stores.
+  double promoted_fraction = 0.0;
+  int spilled_regs = 0;  ///< registers spilled to local memory per thread
+};
+
+/// Tunable model constants (calibrated, see header comment).
+struct ModelCalibration {
+  /// Registers not holding matrix data (addresses, temporaries).
+  int overhead_regs = 14;
+
+  /// Achieved fraction of peak DRAM bandwidth for chunked layouts with
+  /// small element strides (≤ dram_eff_best_stride: successive accesses of
+  /// a warp stay within a DRAM row / TLB page). Batched small-matrix
+  /// kernels do not reach STREAM-class efficiency — short bursts, many
+  /// independent streams.
+  double dram_eff_best = 0.60;
+
+  /// Efficiency floor for the simple interleaved layout at batch 16k
+  /// (64 KiB element stride: every access opens a new DRAM row/TLB page).
+  double dram_eff_worst = 0.38;
+
+  /// Element stride (bytes) below which efficiency stays at dram_eff_best.
+  double dram_eff_best_stride = 512.0;
+
+  /// Element stride (bytes) at which efficiency bottoms out.
+  double dram_eff_worst_stride = 65536.0;
+
+  /// Probability a re-accessed element hits in L2 for chunked layouts.
+  /// Small — the paper observes that for these kernels "caches only serve
+  /// the purpose of streaming buffers" — but nonzero thanks to the compact
+  /// chunk working sets.
+  double l2_hit_chunked = 0.12;
+
+  /// Same for the simple interleaved layout: reuse windows span the whole
+  /// dataset, evicting before reuse.
+  double l2_hit_nonchunked = 0.02;
+
+  /// Memory-level parallelism: outstanding 128-byte lines per warp, used in
+  /// the Little's-law achievable-bandwidth bound.
+  double mlp_lines_per_warp = 4.0;
+
+  /// Resident warps per SM needed to saturate instruction issue.
+  double warps_to_saturate = 16.0;
+
+  /// Latency (cycles) of one dependent special-function sequence
+  /// (sqrt or division) — IEEE-compliant vs fast-math.
+  double special_latency_ieee = 60.0;
+  double special_latency_fast = 16.0;
+
+  /// Latency (cycles) of a dependent FMA.
+  double fma_latency = 6.0;
+
+  /// Each spilled register costs this many local-memory round trips per
+  /// kernel (store + reload amplification).
+  double spill_reuse = 3.0;
+
+  /// Instruction-cache miss penalty: compute time multiplier grows by this
+  /// factor per doubling of code size beyond the I-cache capacity.
+  double icache_penalty_per_doubling = 0.55;
+};
+
+/// Full model output for one (n, batch, variant) evaluation.
+struct ModelResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+
+  // Component times (seconds).
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+  double latency_s = 0.0;
+  double overhead_s = 0.0;
+
+  // Memory accounting (bytes moved for the whole batch).
+  double dram_read_bytes = 0.0;
+  double dram_write_bytes = 0.0;
+  double l2_bytes = 0.0;
+  double dram_efficiency = 0.0;
+  double l2_hit_rate = 0.0;
+
+  // Kernel shape.
+  RegisterEstimate regs;
+  Occupancy occ;
+  std::int64_t code_bytes = 0;
+  double icache_penalty = 1.0;
+  std::int64_t blocks = 0;
+  int threads_per_block = 0;
+  OpCounts counts;  ///< per-matrix tile-program counts
+};
+
+/// The analytical model. Immutable and cheap to evaluate (~µs per call),
+/// so exhaustive autotuning sweeps are practical.
+class KernelModel {
+ public:
+  explicit KernelModel(GpuSpec gpu, ModelCalibration cal = {})
+      : gpu_(std::move(gpu)), cal_(cal) {}
+
+  /// Evaluates one kernel variant for a batch of n×n matrices.
+  [[nodiscard]] ModelResult evaluate(int n, std::int64_t batch,
+                                     const TuningParams& params) const;
+
+  /// Register estimate for a variant (exposed for tests and reports).
+  [[nodiscard]] RegisterEstimate estimate_registers(
+      const TileProgram& program, Unroll unroll, int threads_per_block) const;
+
+  [[nodiscard]] const GpuSpec& gpu() const { return gpu_; }
+  [[nodiscard]] const ModelCalibration& calibration() const { return cal_; }
+
+ private:
+  GpuSpec gpu_;
+  ModelCalibration cal_;
+};
+
+}  // namespace ibchol

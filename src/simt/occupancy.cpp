@@ -1,0 +1,49 @@
+#include "simt/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+Occupancy compute_occupancy(const GpuSpec& gpu, const KernelResources& res) {
+  IBCHOL_CHECK(res.threads_per_block > 0, "block must have threads");
+  IBCHOL_CHECK(res.regs_per_thread >= 0 && res.smem_per_block_bytes >= 0,
+               "negative resource request");
+  Occupancy occ;
+
+  const int warps_per_block =
+      (res.threads_per_block + gpu.warp_size - 1) / gpu.warp_size;
+
+  // Register allocation granularity: warp-level, rounded to 256 registers
+  // per warp (Pascal allocation granule).
+  const int regs_per_warp_raw = res.regs_per_thread * gpu.warp_size;
+  const int regs_per_warp = (regs_per_warp_raw + 255) / 256 * 256;
+  const int regs_per_block = regs_per_warp * warps_per_block;
+
+  int by_threads = gpu.max_threads_per_sm / res.threads_per_block;
+  int by_blocks = gpu.max_blocks_per_sm;
+  int by_regs = regs_per_block == 0 ? gpu.max_blocks_per_sm
+                                    : gpu.regs_per_sm / regs_per_block;
+  int by_smem = res.smem_per_block_bytes == 0
+                    ? gpu.max_blocks_per_sm
+                    : gpu.smem_per_sm_bytes / res.smem_per_block_bytes;
+
+  const int blocks =
+      std::min(std::min(by_threads, by_blocks), std::min(by_regs, by_smem));
+  occ.blocks_per_sm = std::max(blocks, 0);
+  occ.warps_per_sm =
+      std::min(occ.blocks_per_sm * warps_per_block, gpu.max_warps_per_sm);
+  occ.occupancy = gpu.max_warps_per_sm == 0
+                      ? 0.0
+                      : static_cast<double>(occ.warps_per_sm) /
+                            gpu.max_warps_per_sm;
+
+  if (blocks == by_threads) occ.limiter = "threads";
+  if (blocks == by_smem) occ.limiter = "smem";
+  if (blocks == by_regs) occ.limiter = "registers";
+  if (blocks == by_blocks) occ.limiter = "blocks";
+  return occ;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,34 @@
+// CUDA occupancy calculation.
+//
+// Given a kernel's per-thread register count, block size, and shared-memory
+// use, computes how many blocks are resident per SM — the minimum over the
+// thread, block, register, and shared-memory limits — and the resulting
+// warp occupancy. This is the standard calculation of NVIDIA's occupancy
+// calculator, reproduced exactly so tests can check known configurations.
+#pragma once
+
+#include "simt/gpu_spec.hpp"
+
+namespace ibchol {
+
+/// Kernel resource requirements.
+struct KernelResources {
+  int threads_per_block = 0;
+  int regs_per_thread = 0;
+  int smem_per_block_bytes = 0;
+};
+
+/// Occupancy result for one kernel on one GPU.
+struct Occupancy {
+  int blocks_per_sm = 0;     ///< resident blocks
+  int warps_per_sm = 0;      ///< resident warps
+  double occupancy = 0.0;    ///< warps / max_warps
+  const char* limiter = "";  ///< which resource bound first
+};
+
+/// Computes occupancy; returns blocks_per_sm = 0 if the block cannot launch
+/// at all (e.g. register demand of a single block exceeds the SM).
+[[nodiscard]] Occupancy compute_occupancy(const GpuSpec& gpu,
+                                          const KernelResources& res);
+
+}  // namespace ibchol

@@ -1,0 +1,274 @@
+#include "simt/trace_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "kernels/counts.hpp"
+#include "layout/layout.hpp"
+#include "simt/occupancy.hpp"
+
+namespace ibchol {
+
+namespace {
+
+constexpr std::int64_t kElemBytes = 4;
+constexpr int kL2Ways = 16;
+constexpr int kLineBytes = 128;
+
+/// Deterministic per-element hash in [0,1): selects which elements count as
+/// register-promoted when the promotion is partial.
+double element_hash(int i, int j) {
+  std::uint64_t h = (static_cast<std::uint64_t>(i) << 32) ^
+                    static_cast<std::uint64_t>(j) ^ 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// One sampled warp's replay state.
+struct WarpState {
+  std::int64_t lane0 = 0;      ///< batch index of the warp's first matrix
+  std::size_t op = 0;          ///< next op to replay
+  int elem = 0;                ///< next element within the op
+  double stall_cycles = 0.0;
+  std::int64_t mem_instrs = 0;
+  // Per-element first-touch flags for promotion elision (triangle only).
+  std::vector<char> loaded;
+  std::vector<char> stored;
+};
+
+/// Element coordinates of the k-th transferred element of a load/store op.
+struct ElemCoord {
+  int i;
+  int j;
+};
+
+ElemCoord op_element(const TileOp& op, int k) {
+  const bool lower = op.kind == TileOp::Kind::kLoadLower ||
+                     op.kind == TileOp::Kind::kStoreLower;
+  if (!lower) {
+    const int j = k / op.rows;
+    const int i = k % op.rows;
+    return {op.row0 + i, op.col0 + j};
+  }
+  // Column-major walk of the lower triangle.
+  int j = 0;
+  int remaining = k;
+  while (remaining >= op.rows - j) {
+    remaining -= op.rows - j;
+    ++j;
+  }
+  return {op.row0 + j + remaining, op.col0 + j};
+}
+
+int op_elem_count(const TileOp& op) {
+  switch (op.kind) {
+    case TileOp::Kind::kLoadFull:
+    case TileOp::Kind::kStoreFull:
+      return op.rows * op.cols;
+    case TileOp::Kind::kLoadLower:
+    case TileOp::Kind::kStoreLower:
+      return op.rows * (op.rows + 1) / 2;
+    default:
+      return 0;
+  }
+}
+
+bool is_load(const TileOp& op) {
+  return op.kind == TileOp::Kind::kLoadFull ||
+         op.kind == TileOp::Kind::kLoadLower;
+}
+
+bool is_store(const TileOp& op) {
+  return op.kind == TileOp::Kind::kStoreFull ||
+         op.kind == TileOp::Kind::kStoreLower;
+}
+
+double dram_efficiency_from(const ModelCalibration& cal,
+                            double stride_bytes) {
+  const double lo = std::log2(cal.dram_eff_best_stride);
+  const double hi = std::log2(cal.dram_eff_worst_stride);
+  const double x = std::clamp(std::log2(std::max(stride_bytes, 1.0)), lo, hi);
+  const double t = (x - lo) / (hi - lo);
+  return cal.dram_eff_best + t * (cal.dram_eff_worst - cal.dram_eff_best);
+}
+
+}  // namespace
+
+TraceSimResult TraceSimulator::simulate(int n, std::int64_t batch,
+                                        const TuningParams& params) const {
+  params.validate(n);
+  IBCHOL_CHECK(batch > 0, "batch must be positive");
+
+  const int nb = params.effective_nb(n);
+  const TileProgram program = build_tile_program(n, nb, params.looking);
+  const BatchLayout layout =
+      params.chunked
+          ? BatchLayout::interleaved_chunked(n, batch, params.chunk_size)
+          : BatchLayout::interleaved(n, batch);
+  const int tpb = params.threads_per_block();
+  const int warps_per_block = tpb / gpu_.warp_size;
+  const std::int64_t padded = round_up(layout.padded_batch(), tpb);
+  const std::int64_t warps_total = padded / gpu_.warp_size;
+
+  TraceSimResult r;
+  r.blocks = padded / tpb;
+
+  // Registers / occupancy via the analytical components.
+  const KernelModel helper(gpu_, config_.calibration);
+  const RegisterEstimate regs =
+      helper.estimate_registers(program, params.unroll, tpb);
+  const Occupancy occ = compute_occupancy(
+      gpu_, {tpb, regs.regs_per_thread, 0});
+  r.resident_blocks_per_sm = std::max(occ.blocks_per_sm, 1);
+  const double esms = std::min<double>(static_cast<double>(r.blocks),
+                                       static_cast<double>(gpu_.sms));
+  const std::int64_t resident_total =
+      std::min<std::int64_t>(r.blocks,
+                             gpu_.sms * static_cast<std::int64_t>(
+                                            r.resident_blocks_per_sm));
+  const double resident_warps_per_sm = std::min<double>(
+      occ.warps_per_sm, static_cast<double>(warps_total) / esms);
+
+  // --- sampled L2 ---------------------------------------------------------
+  const int sample_blocks = static_cast<int>(
+      std::min<std::int64_t>(config_.sample_blocks, r.blocks));
+  const int sampled_warps = sample_blocks * warps_per_block;
+  std::int64_t l2_share =
+      static_cast<std::int64_t>(gpu_.l2_bytes) * sample_blocks /
+      std::max<std::int64_t>(resident_total, sample_blocks);
+  const std::int64_t granule = static_cast<std::int64_t>(kLineBytes) * kL2Ways;
+  l2_share = std::max<std::int64_t>(l2_share / granule, 1) * granule;
+  CacheModel l2(l2_share, kLineBytes, kL2Ways);
+
+  // --- replay -------------------------------------------------------------
+  const double hiding =
+      std::max(1.0, std::min(resident_warps_per_sm,
+                             config_.latency_hiding_warps));
+  const double hit_stall = config_.l2_latency_cycles / hiding;
+  const double miss_stall = gpu_.dram_latency_cycles / hiding;
+  const bool full_unroll = params.unroll == Unroll::kFull;
+
+  std::vector<WarpState> warps(sampled_warps);
+  const std::size_t tri_slots = static_cast<std::size_t>(n) * n;
+  for (int w = 0; w < sampled_warps; ++w) {
+    const int blk = w / warps_per_block;
+    const int wi = w % warps_per_block;
+    warps[w].lane0 = static_cast<std::int64_t>(blk) * tpb +
+                     static_cast<std::int64_t>(wi) * gpu_.warp_size;
+    if (full_unroll) {
+      warps[w].loaded.assign(tri_slots, 0);
+      warps[w].stored.assign(tri_slots, 0);
+    }
+  }
+
+  std::int64_t read_line_misses = 0;
+
+  // Round-robin over warps, one op element per turn, modelling concurrent
+  // execution of the resident warps' access streams.
+  bool active = true;
+  while (active) {
+    active = false;
+    for (auto& ws : warps) {
+      if (ws.op >= program.ops.size()) continue;
+      active = true;
+      const TileOp& op = program.ops[ws.op];
+      const int count = op_elem_count(op);
+      if (count == 0) {  // compute op: no memory traffic
+        ++ws.op;
+        ws.elem = 0;
+        continue;
+      }
+      const ElemCoord e = op_element(op, ws.elem);
+      bool emit = true;
+      if (full_unroll) {
+        // Register promotion: a promoted element is loaded at most once and
+        // stored at most once; which elements are promoted is a
+        // deterministic fraction of the triangle.
+        const bool promoted =
+            element_hash(e.i, e.j) < regs.promoted_fraction;
+        const std::size_t slot =
+            static_cast<std::size_t>(e.i) * n + static_cast<std::size_t>(e.j);
+        if (promoted && is_load(op)) {
+          if (ws.loaded[slot]) emit = false;
+          ws.loaded[slot] = 1;
+        } else if (promoted && is_store(op)) {
+          if (ws.stored[slot]) emit = false;
+          ws.stored[slot] = 1;
+        }
+      }
+      if (emit) {
+        // The 32 lanes of element (i,j) occupy one contiguous 128-byte line
+        // in an interleaved layout.
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(layout.index(ws.lane0, e.i, e.j)) *
+            kElemBytes;
+        const bool write = is_store(op);
+        const bool hit = l2.access(addr, write);
+        // A store writes the complete 128-byte line (32 lanes x 4 bytes),
+        // so a write miss allocates without fetching; only read misses
+        // cost DRAM read traffic.
+        if (!hit && !write) ++read_line_misses;
+        ws.stall_cycles += hit ? hit_stall : miss_stall;
+        ++ws.mem_instrs;
+      }
+      if (++ws.elem >= count) {
+        ++ws.op;
+        ws.elem = 0;
+      }
+    }
+  }
+
+  const std::int64_t write_lines = l2.stats().writebacks + l2.flush_dirty();
+  r.l2_accesses = l2.stats().accesses;
+  r.l2_hit_rate = l2.stats().hit_rate();
+
+  // --- extrapolate traffic -------------------------------------------------
+  const double scale =
+      static_cast<double>(warps_total) / std::max(sampled_warps, 1);
+  r.dram_read_bytes =
+      static_cast<double>(read_line_misses) * kLineBytes * scale;
+  r.dram_write_bytes =
+      static_cast<double>(write_lines) * kLineBytes * scale;
+
+  // --- timing -------------------------------------------------------------
+  const OpCounts counts = count_program(program);
+  double issue_slots = static_cast<double>(counts.issue_slots(params.math));
+  double mem_instrs = 0.0, stall = 0.0;
+  for (const auto& ws : warps) {
+    mem_instrs += static_cast<double>(ws.mem_instrs);
+    stall += ws.stall_cycles;
+  }
+  mem_instrs /= std::max(sampled_warps, 1);
+  stall /= std::max(sampled_warps, 1);
+  const double warp_cycles = issue_slots + mem_instrs + stall;
+
+  const double clock_hz = gpu_.clock_ghz * 1e9;
+  const double issue_rate = gpu_.issue_slots_per_sm_cycle() / gpu_.warp_size;
+  const double throughput_s = static_cast<double>(warps_total) *
+                              (issue_slots + mem_instrs) /
+                              (issue_rate * esms * clock_hz);
+  const double waves = std::ceil(
+      static_cast<double>(r.blocks) /
+      (esms * static_cast<double>(r.resident_blocks_per_sm)));
+  const double latency_s = waves * warp_cycles / clock_hz;
+  r.compute_s = std::max(throughput_s, latency_s);
+  r.cycles_per_block = warp_cycles;
+
+  const double stride_bytes = static_cast<double>(layout.chunk()) * 4.0;
+  const double bw =
+      gpu_.dram_bw_bytes * dram_efficiency_from(config_.calibration,
+                                                stride_bytes);
+  r.memory_s = (r.dram_read_bytes + r.dram_write_bytes) / bw;
+
+  const double tmax = std::max(r.compute_s, r.memory_s);
+  const double tmin = std::min(r.compute_s, r.memory_s);
+  r.seconds = tmax + 0.25 * tmin + gpu_.launch_overhead_s;
+  r.gflops = static_cast<double>(batch) * nominal_flops_per_matrix(n) /
+             r.seconds / 1e9;
+  return r;
+}
+
+}  // namespace ibchol

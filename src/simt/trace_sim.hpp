@@ -1,0 +1,82 @@
+// Trace-driven SIMT kernel simulation.
+//
+// The second, independent performance substrate: instead of closed-form
+// traffic formulas (KernelModel), the trace simulator *executes* the tile
+// program at warp granularity over the kernel's real address stream:
+//
+//   * every load/store element of every sampled warp becomes one 128-byte
+//     line access at the address the BatchLayout actually assigns (one line
+//     per warp access — the interleaved layouts are perfectly coalesced);
+//   * the access stream of concurrently resident warps is interleaved
+//     round-robin and replayed through a set-associative LRU L2 model with
+//     a capacity share proportional to the sampled fraction of residency;
+//   * warp timing charges issue slots per instruction plus latency-hiding-
+//     discounted stalls for L2 hits and DRAM misses; device time combines
+//     wave count and the DRAM bandwidth floor (with the layout's row/TLB
+//     efficiency).
+//
+// Because the L2 hit rate is *derived* rather than assumed, the simulator
+// provides an independent check of the analytical model's chunking story —
+// see bench/ablation_model_vs_sim and the trace_sim tests.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/variant.hpp"
+#include "simt/cache_model.hpp"
+#include "simt/gpu_spec.hpp"
+#include "simt/kernel_model.hpp"
+
+namespace ibchol {
+
+/// Trace-simulation controls.
+struct TraceSimConfig {
+  /// Thread blocks whose warps are traced; the rest of the device is
+  /// extrapolated. More blocks = a bigger L2 sample.
+  int sample_blocks = 4;
+  /// L2 access latency in cycles (hit service time).
+  double l2_latency_cycles = 220.0;
+  /// Latency-hiding divisor: a warp's stall is shared across the other
+  /// resident warps. Effective stall = latency / min(resident, this).
+  double latency_hiding_warps = 12.0;
+  /// Reuse the analytical calibration for the DRAM row/TLB efficiency.
+  ModelCalibration calibration;
+};
+
+/// Simulation result (whole batch, extrapolated from the sample).
+struct TraceSimResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+
+  // Derived memory behaviour.
+  std::int64_t l2_accesses = 0;   ///< sampled line accesses
+  double l2_hit_rate = 0.0;       ///< measured on the sampled stream
+  double dram_read_bytes = 0.0;   ///< extrapolated to the whole batch
+  double dram_write_bytes = 0.0;
+
+  // Timing breakdown.
+  double cycles_per_block = 0.0;
+  double compute_s = 0.0;         ///< issue-limited component
+  double memory_s = 0.0;          ///< bandwidth floor
+  std::int64_t blocks = 0;
+  int resident_blocks_per_sm = 0;
+};
+
+/// The simulator. Deterministic; ~milliseconds per evaluation.
+class TraceSimulator {
+ public:
+  explicit TraceSimulator(GpuSpec gpu, TraceSimConfig config = {})
+      : gpu_(std::move(gpu)), config_(config) {}
+
+  /// Simulates factoring `batch` n×n matrices with the given variant.
+  [[nodiscard]] TraceSimResult simulate(int n, std::int64_t batch,
+                                        const TuningParams& params) const;
+
+  [[nodiscard]] const GpuSpec& gpu() const { return gpu_; }
+
+ private:
+  GpuSpec gpu_;
+  TraceSimConfig config_;
+};
+
+}  // namespace ibchol

@@ -1,0 +1,86 @@
+// Cache-line / GPU-transaction aligned storage.
+//
+// The interleaved layouts in this library require the base pointer to be
+// aligned to the 128-byte memory-transaction granularity the paper assumes
+// ("as long as the whole dataset is 128-byte aligned ... data will always be
+// read with perfect coalescing"). AlignedBuffer provides that guarantee on
+// the CPU substrate as well, so SIMD loads across the batch index are
+// aligned vector loads.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+/// Alignment used for all batch data, matching the GPU 128-byte cache line.
+inline constexpr std::size_t kBatchAlignment = 128;
+
+/// Owning, aligned, zero-initialized array of trivially copyable elements.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer requires trivially copyable elements");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { resize(count); }
+
+  /// Reallocates to hold `count` elements, zero-initialized. Existing
+  /// contents are discarded (batch workloads always refill).
+  void resize(std::size_t count) {
+    if (count == 0) {
+      data_.reset();
+      size_ = 0;
+      return;
+    }
+    const std::size_t bytes = round_up(count * sizeof(T), kBatchAlignment);
+    void* p = std::aligned_alloc(kBatchAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    std::memset(p, 0, bytes);
+    data_.reset(static_cast<T*>(p));
+    size_ = count;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_.get(), size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_.get(), size_};
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_.get(); }
+  [[nodiscard]] T* end() noexcept { return data_.get() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_.get(); }
+  [[nodiscard]] const T* end() const noexcept { return data_.get() + size_; }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) / a * a;
+  }
+
+  struct FreeDeleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+
+  std::unique_ptr<T[], FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ibchol

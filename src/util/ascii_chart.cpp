@@ -1,0 +1,149 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace ibchol {
+
+namespace {
+
+constexpr char kMarkers[] = {'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'};
+
+struct Bounds {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+};
+
+Bounds compute_bounds(const std::vector<Series>& series, bool y_from_zero) {
+  Bounds b;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      b.xmin = std::min(b.xmin, s.x[i]);
+      b.xmax = std::max(b.xmax, s.x[i]);
+      b.ymin = std::min(b.ymin, s.y[i]);
+      b.ymax = std::max(b.ymax, s.y[i]);
+    }
+  }
+  if (!(b.xmin <= b.xmax)) {  // no points at all
+    b = {0, 1, 0, 1};
+  }
+  if (y_from_zero) b.ymin = std::min(b.ymin, 0.0);
+  if (b.xmax == b.xmin) b.xmax = b.xmin + 1;
+  if (b.ymax == b.ymin) b.ymax = b.ymin + 1;
+  return b;
+}
+
+std::string format_num(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 1000) {
+    os.precision(0);
+  } else if (std::abs(v) >= 10) {
+    os.precision(1);
+  } else {
+    os.precision(2);
+  }
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string render(const std::vector<Series>& series,
+                   const ChartOptions& opt, bool connect) {
+  const int w = std::max(opt.width, 16);
+  const int h = std::max(opt.height, 6);
+  const Bounds b = compute_bounds(series, opt.y_from_zero);
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  auto to_col = [&](double x) {
+    return static_cast<int>(std::lround((x - b.xmin) / (b.xmax - b.xmin) *
+                                        (w - 1)));
+  };
+  auto to_row = [&](double y) {
+    return (h - 1) - static_cast<int>(std::lround(
+                         (y - b.ymin) / (b.ymax - b.ymin) * (h - 1)));
+  };
+  auto plot = [&](int c, int r, char m) {
+    if (c >= 0 && c < w && r >= 0 && r < h) grid[r][c] = m;
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    const char m = kMarkers[si % sizeof(kMarkers)];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    // Sort points by x for line interpolation.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a2, std::size_t b2) { return s.x[a2] < s.x[b2]; });
+    int prev_c = -1, prev_r = -1;
+    for (std::size_t oi = 0; oi < n; ++oi) {
+      const std::size_t i = order[oi];
+      const int c = to_col(s.x[i]);
+      const int r = to_row(s.y[i]);
+      if (connect && prev_c >= 0) {
+        // Linear interpolation between consecutive points, light marker.
+        const int steps = std::max(std::abs(c - prev_c), std::abs(r - prev_r));
+        for (int t = 1; t < steps; ++t) {
+          const int ic = prev_c + (c - prev_c) * t / steps;
+          const int ir = prev_r + (r - prev_r) * t / steps;
+          if (ic >= 0 && ic < w && ir >= 0 && ir < h && grid[ir][ic] == ' ') {
+            grid[ir][ic] = '.';
+          }
+        }
+      }
+      plot(c, r, m);
+      prev_c = c;
+      prev_r = r;
+    }
+  }
+
+  std::ostringstream os;
+  if (!opt.title.empty()) os << "  " << opt.title << '\n';
+  const std::string ytop = format_num(b.ymax);
+  const std::string ybot = format_num(b.ymin);
+  const std::size_t label_w = std::max(ytop.size(), ybot.size());
+  for (int r = 0; r < h; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = std::string(label_w - ytop.size(), ' ') + ytop;
+    if (r == h - 1) label = std::string(label_w - ybot.size(), ' ') + ybot;
+    os << label << " |" << grid[r] << '\n';
+  }
+  os << std::string(label_w, ' ') << " +" << std::string(w, '-') << '\n';
+  os << std::string(label_w, ' ') << "  " << format_num(b.xmin);
+  const std::string xmax_s = format_num(b.xmax);
+  const std::string xl = opt.x_label;
+  const int pad = w - static_cast<int>(format_num(b.xmin).size()) -
+                  static_cast<int>(xmax_s.size());
+  if (pad > static_cast<int>(xl.size()) + 2) {
+    const int left = (pad - static_cast<int>(xl.size())) / 2;
+    os << std::string(left, ' ') << xl
+       << std::string(pad - left - static_cast<int>(xl.size()), ' ');
+  } else {
+    os << std::string(std::max(pad, 1), ' ');
+  }
+  os << xmax_s << '\n';
+  // Legend.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "    " << kMarkers[si % sizeof(kMarkers)] << "  "
+       << series[si].name << '\n';
+  }
+  if (!opt.y_label.empty()) os << "    y: " << opt.y_label << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options) {
+  return render(series, options, /*connect=*/true);
+}
+
+std::string render_scatter(const std::vector<Series>& series,
+                           const ChartOptions& options) {
+  return render(series, options, /*connect=*/false);
+}
+
+}  // namespace ibchol

@@ -1,0 +1,39 @@
+// Terminal rendering of the paper's figures.
+//
+// Every bench binary prints its series both as a machine-readable table and
+// as an ASCII chart so the reproduced figure shape (crossovers, plateaus,
+// orderings) is visible directly in the harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ibchol {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options controlling chart rendering.
+struct ChartOptions {
+  int width = 72;    ///< plot area width in characters
+  int height = 20;   ///< plot area height in characters
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+  bool y_from_zero = true;  ///< anchor the y axis at zero (GFLOP/s charts)
+};
+
+/// Renders one or more series as a multi-line ASCII chart. Each series is
+/// drawn with its own marker character and listed in a legend.
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options);
+
+/// Renders a scatter plot (used for Fig 20 / Fig 21 style clouds).
+std::string render_scatter(const std::vector<Series>& series,
+                           const ChartOptions& options);
+
+}  // namespace ibchol

@@ -1,0 +1,71 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+long Cli::get_int(const std::string& name, long def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  IBCHOL_CHECK(end != nullptr && *end == '\0',
+               "flag --" + name + " expects an integer, got " + it->second);
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  IBCHOL_CHECK(end != nullptr && *end == '\0',
+               "flag --" + name + " expects a number, got " + it->second);
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("flag --" + name + " expects a boolean, got " + v);
+}
+
+std::vector<std::string> Cli::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [k, v] : flags_) names.push_back(k);
+  return names;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser for bench binaries and examples.
+//
+// Flags take the form --name=value or --name value; unrecognized flags
+// raise an error so typos in sweep scripts are caught immediately.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ibchol {
+
+/// Parsed command line with typed accessors and defaults.
+class Cli {
+ public:
+  /// Parses argv; throws ibchol::Error on malformed flags.
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const;
+  [[nodiscard]] long get_int(const std::string& name, long def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Names of all flags seen (for validation against an allowlist).
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ibchol

@@ -1,0 +1,118 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw Error("CSV column not found: " + name);
+}
+
+namespace {
+
+// Splits one logical CSV record starting at `pos`; advances `pos` past the
+// record's trailing newline. Handles quoted fields spanning commas.
+std::vector<std::string> parse_record(const std::string& text,
+                                      std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      // Consume \r\n or \n and finish the record.
+      if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      fields.push_back(std::move(field));
+      return fields;
+    } else {
+      field += c;
+    }
+    ++pos;
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::size_t pos = 0;
+  if (text.empty()) return table;
+  table.header = parse_record(text, pos);
+  while (pos < text.size()) {
+    auto row = parse_record(text, pos);
+    if (row.size() == 1 && row[0].empty()) continue;  // blank line
+    IBCHOL_CHECK(row.size() == table.header.size(),
+                 "CSV row width differs from header");
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open CSV file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv(const CsvTable& table) {
+  std::ostringstream os;
+  auto emit_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit_row(table.header);
+  for (const auto& row : table.rows) emit_row(row);
+  return os.str();
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write CSV file: " + path);
+  out << to_csv(table);
+  if (!out) throw Error("write failure on CSV file: " + path);
+}
+
+}  // namespace ibchol

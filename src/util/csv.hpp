@@ -1,0 +1,41 @@
+// Minimal CSV reader/writer for autotuning result databases.
+//
+// The autotuner persists its sweep as CSV so the analysis stage (random
+// forest, Table I) can run on a stored dataset, mirroring the paper's
+// postmortem analysis of a 14,000-row measurement archive.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ibchol {
+
+/// In-memory CSV table: one header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws ibchol::Error if absent.
+  std::size_t column(const std::string& name) const;
+
+  /// Number of data rows.
+  std::size_t size() const { return rows.size(); }
+};
+
+/// Parses CSV text. Supports quoted fields with embedded commas/quotes.
+CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file; throws ibchol::Error on I/O failure.
+CsvTable read_csv_file(const std::string& path);
+
+/// Serializes a table to CSV text (RFC-4180 quoting where needed).
+std::string to_csv(const CsvTable& table);
+
+/// Writes a table to a file; throws ibchol::Error on I/O failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+/// Quotes a single CSV field if needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace ibchol

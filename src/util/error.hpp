@@ -1,0 +1,44 @@
+// Error handling primitives shared across the library.
+//
+// The library reports precondition violations by throwing ibchol::Error.
+// Numerical failures (e.g. a non-positive pivot in a Cholesky factorization)
+// are reported through status values, not exceptions, because they are
+// expected outcomes on user data.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ibchol {
+
+/// Exception thrown on precondition violations and invalid configurations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const std::string& msg,
+                                    const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+/// Throws ibchol::Error if `cond` does not hold. Used to validate user-facing
+/// API preconditions; always active (not compiled out in release builds).
+#define IBCHOL_CHECK(cond, ...)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ibchol::detail::fail_check(#cond, ::std::string{__VA_ARGS__},   \
+                                   ::std::source_location::current());  \
+    }                                                                   \
+  } while (false)
+
+}  // namespace ibchol

@@ -1,0 +1,46 @@
+// Descriptive statistics used by the autotuner, the random forest, and the
+// benchmark harness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ibchol {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Population variance; 0 for ranges of size < 2.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Median (copies and partially sorts); 0 for an empty range.
+double median(std::span<const double> xs);
+
+/// q-th quantile with linear interpolation, q in [0, 1].
+double quantile(std::span<const double> xs, double q);
+
+/// Mean squared error between two equally sized ranges.
+double mse(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Coefficient of determination of predictions `pred` against `truth`.
+double r_squared(std::span<const double> truth, std::span<const double> pred);
+
+/// Summary statistics of one sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace ibchol

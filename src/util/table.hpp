@@ -1,0 +1,28 @@
+// Fixed-width text table rendering for bench output (paper-style tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ibchol {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table with a header separator line.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ibchol

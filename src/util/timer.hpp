@@ -1,0 +1,43 @@
+// Wall-clock timing helpers for the measured (CPU substrate) benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <utility>
+
+namespace ibchol {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly and returns the best (minimum) time of `reps`
+/// timed repetitions, after `warmup` untimed ones. Best-of-k is the
+/// standard estimator for kernel benchmarking: it discards scheduler noise.
+template <typename Fn>
+double best_of(std::size_t warmup, std::size_t reps, Fn&& fn) {
+  for (std::size_t i = 0; i < warmup; ++i) fn();
+  double best = 1e300;
+  for (std::size_t i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,224 @@
+// Numerical-accuracy property tests: behavior of the single-precision
+// batch factorization across condition numbers, sizes and substrates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/batch_cholesky.hpp"
+#include "cpu/batch_solve.hpp"
+#include "cpu/reference.hpp"
+#include "layout/convert.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace ibchol {
+namespace {
+
+struct AccuracyCase {
+  int n;
+  double condition;
+};
+
+void PrintTo(const AccuracyCase& c, std::ostream* os) {
+  *os << "n" << c.n << "_cond" << c.condition;
+}
+
+class AccuracyTest : public ::testing::TestWithParam<AccuracyCase> {};
+
+// Backward stability: the reconstruction error ||A - L·Lᵀ||/||A|| of the
+// float factorization stays near machine epsilon regardless of the
+// condition number (Cholesky is backward stable).
+TEST_P(AccuracyTest, ReconstructionNearEpsilonForAnyCondition) {
+  const auto [n, condition] = GetParam();
+  const std::int64_t batch = 64;
+  const TuningParams params = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, batch, params);
+  AlignedBuffer<float> data(layout.size_elems());
+  SpdOptions gen;
+  gen.kind = SpdKind::kControlledCondition;
+  gen.condition = condition;
+  generate_spd_batch<float>(layout, data.span(), gen);
+  const std::vector<float> orig(data.begin(), data.end());
+
+  const BatchCholesky chol(layout, params);
+  ASSERT_TRUE(chol.factorize<float>(data.span()).ok());
+
+  std::vector<float> a(n * n), l(n * n);
+  for (const std::int64_t b : {std::int64_t{0}, batch - 1}) {
+    extract_matrix<float>(layout, std::span<const float>(orig), b, a);
+    extract_matrix<float>(layout, std::span<const float>(data.span()), b, l);
+    // Bound: a modest multiple of n * eps_single, independent of cond.
+    EXPECT_LT(reconstruction_error<float>(n, a, l), n * 3e-6)
+        << "b=" << b << " cond=" << condition;
+  }
+}
+
+// Forward error of the solve grows at most ~ condition * eps.
+TEST_P(AccuracyTest, SolveErrorBoundedByCondition) {
+  const auto [n, condition] = GetParam();
+  const std::int64_t batch = 64;
+  const TuningParams params = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, batch, params);
+  AlignedBuffer<float> data(layout.size_elems());
+  SpdOptions gen;
+  gen.kind = SpdKind::kControlledCondition;
+  gen.condition = condition;
+  generate_spd_batch<float>(layout, data.span(), gen);
+  const std::vector<float> orig(data.begin(), data.end());
+  const BatchCholesky chol(layout, params);
+  ASSERT_TRUE(chol.factorize<float>(data.span()).ok());
+
+  // b = A·x_true with x_true = ones; solve and compare.
+  const auto vlayout = BatchVectorLayout::matching(layout);
+  AlignedBuffer<float> rhs(vlayout.size_elems());
+  std::vector<float> a(n * n);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    extract_matrix<float>(layout, std::span<const float>(orig), b, a);
+    for (int i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < n; ++j) {
+        acc += static_cast<double>(i >= j ? a[i + j * n] : a[j + i * n]);
+      }
+      rhs[vlayout.index(b, i)] = static_cast<float>(acc);
+    }
+  }
+  chol.solve<float>(std::span<const float>(data.span()), vlayout, rhs.span());
+
+  double worst = 0.0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (int i = 0; i < n; ++i) {
+      worst = std::max(worst,
+                       std::abs(rhs[vlayout.index(b, i)] - 1.0));
+    }
+  }
+  // Forward error ~ cond * n * eps with a safety factor.
+  EXPECT_LT(worst, condition * n * 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AccuracyTest,
+    ::testing::Values(AccuracyCase{8, 10.0}, AccuracyCase{8, 1e4},
+                      AccuracyCase{24, 10.0}, AccuracyCase{24, 1e3},
+                      AccuracyCase{48, 100.0}));
+
+// All kernel variants agree with each other to a few ulps on the same
+// inputs: the factor is unique, only rounding order differs.
+TEST(Accuracy, VariantsAgreeWithinRounding) {
+  const int n = 24;
+  const std::int64_t batch = 64;
+  const BatchLayout canon = BatchLayout::canonical(n, batch);
+  AlignedBuffer<float> master(canon.size_elems());
+  generate_spd_batch<float>(canon, master.span());
+
+  std::vector<std::vector<float>> results;
+  std::vector<TuningParams> variants;
+  for (const Looking looking : {Looking::kRight, Looking::kTop}) {
+    for (const int nb : {2, 8}) {
+      TuningParams p;
+      p.nb = nb;
+      p.looking = looking;
+      variants.push_back(p);
+    }
+  }
+  TuningParams full;
+  full.unroll = Unroll::kFull;
+  variants.push_back(full);
+
+  for (const TuningParams& p : variants) {
+    const BatchLayout layout = BatchCholesky::make_layout(n, batch, p);
+    AlignedBuffer<float> data(layout.size_elems());
+    convert_layout<float>(canon, std::span<const float>(master.span()),
+                          layout, data.span());
+    const BatchCholesky chol(layout, p);
+    EXPECT_TRUE(chol.factorize<float>(data.span()).ok());
+    std::vector<float> l(n * n);
+    extract_matrix<float>(layout, std::span<const float>(data.span()), 17, l);
+    results.push_back(std::move(l));
+  }
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        const float ref = results[0][i + j * n];
+        EXPECT_NEAR(results[v][i + j * n], ref,
+                    2e-5f * std::max(1.0f, std::abs(ref)))
+            << "variant " << v << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// NaN containment: a non-SPD matrix poisons only itself; its lane-block
+// neighbors factor exactly as they would without it.
+TEST(Accuracy, FailurePoisonIsContained) {
+  const int n = 16;
+  const auto layout = BatchLayout::interleaved_chunked(n, 64, 32);
+  AlignedBuffer<float> clean(layout.size_elems());
+  generate_spd_batch<float>(layout, clean.span());
+  AlignedBuffer<float> dirty(layout.size_elems());
+  std::copy(clean.begin(), clean.end(), dirty.begin());
+  poison_matrix<float>(layout, dirty.span(), 10, 4);
+
+  const TuningParams params = recommended_params(n);
+  const BatchLayout plotter = BatchCholesky::make_layout(n, 64, params);
+  (void)plotter;
+  CpuFactorOptions opt;
+  (void)factor_batch_cpu<float>(layout, clean.span(), opt);
+  (void)factor_batch_cpu<float>(layout, dirty.span(), opt);
+
+  // Every matrix except #10 must be bit-identical between the two runs.
+  for (std::int64_t b = 0; b < 64; ++b) {
+    if (b == 10) continue;
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        ASSERT_EQ(clean[layout.index(b, i, j)], dirty[layout.index(b, i, j)])
+            << "matrix " << b << " disturbed by a failing neighbor";
+      }
+    }
+  }
+  // And the poisoned one contains NaNs past the failing column.
+  bool saw_nan = false;
+  for (int j = 4; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      if (std::isnan(dirty[layout.index(10, i, j)])) saw_nan = true;
+    }
+  }
+  EXPECT_TRUE(saw_nan);
+}
+
+// Double-precision factorization is strictly more accurate than single.
+TEST(Accuracy, DoubleBeatsSingle) {
+  const int n = 32;
+  const std::int64_t batch = 32;
+  const TuningParams params = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, batch, params);
+
+  AlignedBuffer<double> d(layout.size_elems());
+  SpdOptions gen;
+  gen.kind = SpdKind::kControlledCondition;
+  gen.condition = 1e4;
+  generate_spd_batch<double>(layout, d.span(), gen);
+  AlignedBuffer<float> f(layout.size_elems());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    f[i] = static_cast<float>(d[i]);
+  }
+  const std::vector<double> orig_d(d.begin(), d.end());
+
+  const BatchCholesky chol(layout, params);
+  ASSERT_TRUE(chol.factorize<double>(d.span()).ok());
+  ASSERT_TRUE(chol.factorize<float>(f.span()).ok());
+
+  std::vector<double> a(n * n), ld(n * n);
+  std::vector<float> lf(n * n);
+  extract_matrix<double>(layout, std::span<const double>(orig_d), 3, a);
+  extract_matrix<double>(layout, std::span<const double>(d.span()), 3, ld);
+  extract_matrix<float>(layout, std::span<const float>(f.span()), 3, lf);
+  std::vector<double> lf_d(lf.begin(), lf.end());
+  const double err_d = reconstruction_error<double>(n, a, ld);
+  const double err_f =
+      reconstruction_error<double>(n, a, std::span<const double>(lf_d));
+  EXPECT_LT(err_d, err_f / 100.0);
+}
+
+}  // namespace
+}  // namespace ibchol

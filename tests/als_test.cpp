@@ -1,0 +1,188 @@
+// Tests for the ALS recommender built on the batch Cholesky API.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "als/als.hpp"
+#include "als/ratings.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+namespace {
+
+RatingsOptions small_options() {
+  RatingsOptions opt;
+  opt.num_users = 300;
+  opt.num_items = 200;
+  opt.planted_rank = 4;
+  opt.ratings_per_user = 25;
+  opt.noise = 0.05;
+  opt.seed = 2024;
+  return opt;
+}
+
+// ------------------------------------------------------------ ratings ----
+
+TEST(Ratings, ShapeAndDeterminism) {
+  const RatingsDataset a = generate_ratings(small_options());
+  const RatingsDataset b = generate_ratings(small_options());
+  EXPECT_EQ(a.num_users, 300);
+  EXPECT_EQ(a.num_items, 200);
+  EXPECT_GT(a.train_size(), 4000u);
+  ASSERT_EQ(a.train_size(), b.train_size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].user, b.train[i].user);
+    EXPECT_EQ(a.train[i].item, b.train[i].item);
+    EXPECT_EQ(a.train[i].value, b.train[i].value);
+  }
+}
+
+TEST(Ratings, TestFractionApproximatelyRespected) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  const double frac = static_cast<double>(ds.test.size()) /
+                      (ds.test.size() + ds.train.size());
+  EXPECT_NEAR(frac, 0.1, 0.03);
+}
+
+TEST(Ratings, AdjacencyConsistent) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  std::size_t total = 0;
+  for (int u = 0; u < ds.num_users; ++u) {
+    for (const auto idx : ds.by_user[u]) {
+      EXPECT_EQ(ds.train[idx].user, u);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, ds.train.size());
+  total = 0;
+  for (int i = 0; i < ds.num_items; ++i) {
+    for (const auto idx : ds.by_item[i]) {
+      EXPECT_EQ(ds.train[idx].item, i);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, ds.train.size());
+}
+
+TEST(Ratings, NoDuplicateUserItemPairs) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  std::set<std::pair<int, int>> seen;
+  for (const auto& r : ds.train) {
+    EXPECT_TRUE(seen.insert({r.user, r.item}).second)
+        << r.user << "," << r.item;
+  }
+}
+
+TEST(Ratings, ZipfSkewsItemPopularity) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  // The most popular item must be observed far more often than the median.
+  std::vector<std::size_t> counts;
+  for (const auto& items : ds.by_item) counts.push_back(items.size());
+  std::sort(counts.begin(), counts.end());
+  EXPECT_GT(counts.back(), 3 * std::max<std::size_t>(counts[counts.size() / 2], 1));
+}
+
+TEST(Ratings, RejectsBadOptions) {
+  RatingsOptions opt = small_options();
+  opt.num_users = 0;
+  EXPECT_THROW((void)generate_ratings(opt), Error);
+}
+
+// ---------------------------------------------------------------- als ----
+
+TEST(Als, RecoversPlantedStructure) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  AlsOptions opt;
+  opt.rank = 8;
+  opt.lambda = 0.02;
+  opt.iterations = 8;
+  AlsRecommender als(ds, opt);
+  const auto history = als.run();
+  ASSERT_EQ(history.size(), 8u);
+  // RMSE must come down substantially toward the noise floor (0.05).
+  EXPECT_LT(history.back().train_rmse, 0.1);
+  EXPECT_LT(history.back().test_rmse, 0.25);
+  // And be non-increasing overall (first vs last).
+  EXPECT_LT(history.back().train_rmse, history.front().train_rmse);
+}
+
+TEST(Als, TrainRmseMonotonicallyImprovesEarly) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  AlsOptions opt;
+  opt.rank = 8;
+  opt.iterations = 4;
+  AlsRecommender als(ds, opt);
+  const auto history = als.run();
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_LE(history[i].train_rmse, history[i - 1].train_rmse * 1.05);
+  }
+}
+
+TEST(Als, FactorSecondsArePositive) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  AlsOptions opt;
+  opt.iterations = 1;
+  AlsRecommender als(ds, opt);
+  const auto history = als.run();
+  EXPECT_GT(history[0].factor_seconds, 0.0);
+}
+
+TEST(Als, TuningParametersInterchangeable) {
+  // Different kernel variants must give numerically comparable results.
+  const RatingsDataset ds = generate_ratings(small_options());
+  AlsOptions a;
+  a.rank = 8;
+  a.iterations = 3;
+  a.tuning.unroll = Unroll::kFull;
+  AlsOptions b = a;
+  b.tuning.unroll = Unroll::kPartial;
+  b.tuning.nb = 4;
+  b.tuning.looking = Looking::kRight;
+  b.tuning.chunked = false;
+  AlsRecommender ra(ds, a), rb(ds, b);
+  const double rmse_a = ra.run().back().train_rmse;
+  const double rmse_b = rb.run().back().train_rmse;
+  EXPECT_NEAR(rmse_a, rmse_b, 0.02);
+}
+
+TEST(Als, PredictUsesFactors) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  AlsOptions opt;
+  opt.rank = 4;
+  opt.iterations = 2;
+  AlsRecommender als(ds, opt);
+  als.run();
+  const float p = als.predict(0, 0);
+  double manual = 0.0;
+  for (int d = 0; d < 4; ++d) {
+    manual += static_cast<double>(als.user_factors()[d]) *
+              als.item_factors()[d];
+  }
+  EXPECT_NEAR(p, manual, 1e-5);
+}
+
+TEST(Als, RejectsBadOptions) {
+  const RatingsDataset ds = generate_ratings(small_options());
+  AlsOptions opt;
+  opt.rank = 0;
+  EXPECT_THROW(AlsRecommender(ds, opt), Error);
+}
+
+TEST(Als, HandlesUsersWithoutRatings) {
+  // A tiny dataset where some users have no training ratings: the
+  // regularized system is still SPD (lambda * I), so ALS must not fail.
+  RatingsOptions opt = small_options();
+  opt.num_users = 50;
+  opt.num_items = 20;
+  opt.ratings_per_user = 2;
+  opt.test_fraction = 0.5;  // push many ratings into the test split
+  const RatingsDataset ds = generate_ratings(opt);
+  AlsOptions aopt;
+  aopt.rank = 4;
+  aopt.iterations = 2;
+  AlsRecommender als(ds, aopt);
+  EXPECT_NO_THROW(als.run());
+}
+
+}  // namespace
+}  // namespace ibchol

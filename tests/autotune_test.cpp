@@ -1,0 +1,232 @@
+// Tests for the autotuner: space enumeration, sweeps, records, analysis.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "autotune/analyze.hpp"
+#include "autotune/evaluator.hpp"
+#include "autotune/space.hpp"
+#include "autotune/sweep.hpp"
+
+namespace ibchol {
+namespace {
+
+// --------------------------------------------------------------- space ---
+
+TEST(Space, SizeMatchesGridArithmetic) {
+  // nb(8) x looking(3) x unroll(2) x layouts(5 chunked + 1 simple) = 288.
+  const auto space = enumerate_space(64, {});
+  EXPECT_EQ(space.size(), 288u);
+}
+
+TEST(Space, FastMathDoublesSpace) {
+  SpaceOptions opt;
+  opt.include_fast_math = true;
+  EXPECT_EQ(enumerate_space(64, opt).size(), 576u);
+}
+
+TEST(Space, CachePrefDoublesSpace) {
+  SpaceOptions opt;
+  opt.include_cache_pref = true;
+  EXPECT_EQ(enumerate_space(64, opt).size(), 576u);
+}
+
+TEST(Space, TileSizesClampedToN) {
+  // n=3 keeps nb in {1,2,3}: 3 x 3 x 2 x 6 = 108.
+  EXPECT_EQ(enumerate_space(3, {}).size(), 108u);
+}
+
+TEST(Space, AllPointsValidAndDistinct) {
+  std::set<std::string> keys;
+  for (const auto& p : enumerate_space(24, {})) {
+    p.validate(24);
+    EXPECT_TRUE(keys.insert(p.key()).second) << p.key();
+  }
+}
+
+TEST(Space, SizesLists) {
+  EXPECT_EQ(standard_sizes().front(), 2);
+  EXPECT_EQ(standard_sizes().back(), 64);
+  EXPECT_FALSE(quick_sizes().empty());
+}
+
+// --------------------------------------------------------------- sweep ---
+
+class SweepTest : public ::testing::Test {
+ protected:
+  static SweepOptions small_options() {
+    SweepOptions opt;
+    opt.sizes = {8, 24};
+    opt.batch = 16384;
+    opt.space.tile_sizes = {1, 4, 8};
+    opt.space.chunk_sizes = {32, 256};
+    return opt;
+  }
+};
+
+TEST_F(SweepTest, ProducesOneRecordPerPoint) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  const SweepOptions opt = small_options();
+  std::size_t expected = 0;
+  for (const int n : opt.sizes) {
+    expected += enumerate_space(n, opt.space).size();
+  }
+  const SweepDataset ds = run_sweep(eval, opt);
+  EXPECT_EQ(ds.size(), expected);
+  for (const auto& r : ds.records()) {
+    EXPECT_GT(r.gflops, 0.0);
+    EXPECT_GT(r.seconds, 0.0);
+  }
+}
+
+TEST_F(SweepTest, ProgressCallbackCovered) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  SweepOptions opt = small_options();
+  std::size_t last = 0, total = 0;
+  opt.progress = [&](std::size_t done, std::size_t t) {
+    last = done;
+    total = t;
+  };
+  const SweepDataset ds = run_sweep(eval, opt);
+  EXPECT_EQ(last, ds.size());
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST_F(SweepTest, WinnersAreChunked) {
+  // The model must never pick a non-chunked winner (paper conclusion).
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  const SweepDataset ds = run_sweep(eval, small_options());
+  for (const auto& [n, params] : select_winners(ds)) {
+    EXPECT_TRUE(params.chunked) << "n=" << n;
+  }
+}
+
+TEST_F(SweepTest, BestReducersConsistent) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  const SweepDataset ds = run_sweep(eval, small_options());
+  const auto best8 = ds.best(8);
+  ASSERT_TRUE(best8.has_value());
+  for (const auto& r : ds.records()) {
+    if (r.n == 8) EXPECT_LE(r.gflops, best8->gflops);
+  }
+  const auto by_n = ds.best_by_n();
+  EXPECT_EQ(by_n.at(8).gflops, best8->gflops);
+  // Filtered best: nb == 1 only.
+  const auto nb1 = ds.best(24, [](const SweepRecord& r) {
+    return r.params.nb == 1;
+  });
+  ASSERT_TRUE(nb1.has_value());
+  EXPECT_EQ(nb1->params.nb, 1);
+  EXPECT_FALSE(ds.best(99).has_value());
+}
+
+TEST_F(SweepTest, CsvRoundTrip) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  const SweepDataset ds = run_sweep(eval, small_options());
+  const SweepDataset back = SweepDataset::from_csv(ds.to_csv());
+  ASSERT_EQ(back.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(back.records()[i].n, ds.records()[i].n);
+    EXPECT_EQ(back.records()[i].params, ds.records()[i].params);
+    EXPECT_NEAR(back.records()[i].gflops, ds.records()[i].gflops, 1e-4);
+  }
+}
+
+TEST_F(SweepTest, RejectsEmptyConfiguration) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  SweepOptions opt;
+  EXPECT_THROW((void)run_sweep(eval, opt), Error);
+}
+
+// ----------------------------------------------------------- evaluators --
+
+TEST(Evaluators, ModelNoiseIsDeterministic) {
+  ModelEvaluator a(KernelModel(GpuSpec::p100()), 0.05);
+  ModelEvaluator b(KernelModel(GpuSpec::p100()), 0.05);
+  TuningParams p;
+  EXPECT_EQ(a.seconds(16, 1024, p), b.seconds(16, 1024, p));
+  // Noise perturbs relative to the clean model.
+  ModelEvaluator clean(KernelModel(GpuSpec::p100()), 0.0);
+  EXPECT_NE(a.seconds(16, 1024, p), clean.seconds(16, 1024, p));
+}
+
+TEST(Evaluators, GflopsUsesNominalFormula) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  TuningParams p;
+  const double s = eval.seconds(12, 4096, p);
+  const double g = eval.gflops(12, 4096, p);
+  EXPECT_NEAR(g, 4096.0 * 12 * 12 * 12 / 3.0 / s / 1e9, 1e-9);
+}
+
+TEST(Evaluators, CpuMeasuredProducesPositiveTimes) {
+  CpuMeasuredEvaluator::Options opt;
+  opt.warmup = 0;
+  opt.reps = 1;
+  CpuMeasuredEvaluator eval(opt);
+  TuningParams p;
+  const double s = eval.seconds(8, 512, p);
+  EXPECT_GT(s, 0.0);
+  // Cached pristine data: second call still works and is positive.
+  EXPECT_GT(eval.seconds(8, 512, p), 0.0);
+}
+
+// ------------------------------------------------------------- analyze ---
+
+TEST(Analyze, TableAndCorrelation) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()), 0.02);
+  SweepOptions opt;
+  opt.sizes = {8, 16, 32, 48};
+  opt.space.tile_sizes = {1, 2, 4, 8};
+  opt.space.chunk_sizes = {32, 128, 512};
+  opt.space.include_cache_pref = true;
+  const SweepDataset ds = run_sweep(eval, opt);
+
+  ForestOptions fopt;
+  fopt.num_trees = 60;
+  const AnalysisResult res = analyze_dataset(ds, fopt);
+
+  ASSERT_EQ(res.table.size(), 7u);
+  EXPECT_EQ(res.table[0].parameter, "n");
+  EXPECT_EQ(res.num_trees, 60);
+  EXPECT_GT(res.average_depth, 2.0);
+  EXPECT_GT(res.correlation, 0.9);  // Fig 21: tight predicted-vs-observed
+  EXPECT_EQ(res.observed.size(), res.predicted.size());
+  EXPECT_GT(res.observed.size(), ds.size() / 2);
+
+  // The cache carveout does nothing in these kernels: its predictive power
+  // must be the weakest of all parameters (Table I's bottom row).
+  double cache_imp = 0.0, max_imp = 0.0;
+  for (const auto& row : res.table) {
+    if (row.parameter == "cache") cache_imp = row.inc_mse;
+    max_imp = std::max(max_imp, row.inc_mse);
+  }
+  EXPECT_LT(cache_imp, 0.05 * max_imp);
+
+  // Chunking must rank among the strongest tuning parameters (Table I).
+  double chunking_imp = 0.0;
+  for (const auto& row : res.table) {
+    if (row.parameter == "chunking") chunking_imp = row.inc_mse;
+  }
+  EXPECT_GT(chunking_imp, 0.1 * max_imp);
+}
+
+TEST(Analyze, RejectsEmptyDataset) {
+  const SweepDataset empty;
+  EXPECT_THROW((void)analyze_dataset(empty), Error);
+}
+
+TEST(Analyze, FeatureMatrixShape) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  SweepOptions opt;
+  opt.sizes = {8};
+  opt.space.tile_sizes = {1};
+  opt.space.chunk_sizes = {32};
+  const SweepDataset ds = run_sweep(eval, opt);
+  const AnalysisData data = build_analysis_data(ds);
+  EXPECT_EQ(data.features.rows(), ds.size());
+  EXPECT_EQ(data.features.cols(), 7u);
+  EXPECT_EQ(data.target.size(), ds.size());
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,102 @@
+// Tests for the traditional (MAGMA-like) baseline model and its relation
+// to the interleaved kernels (paper Figures 13-14).
+#include <gtest/gtest.h>
+
+#include "autotune/space.hpp"
+#include "baseline/traditional_model.hpp"
+#include "simt/kernel_model.hpp"
+
+namespace ibchol {
+namespace {
+
+constexpr std::int64_t kBatch = 16384;
+
+TEST(Traditional, SaneOutputs) {
+  const TraditionalModel model(GpuSpec::p100());
+  const TraditionalResult r = model.evaluate(16, kBatch);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_GT(r.dram_bytes, 0.0);
+  EXPECT_GT(r.write_efficiency, 0.0);
+  EXPECT_LE(r.write_efficiency, 1.0);
+}
+
+TEST(Traditional, PerformanceGrowsWithN) {
+  const TraditionalModel model(GpuSpec::p100());
+  double prev = 0.0;
+  for (const int n : {4, 8, 16, 32, 64}) {
+    const double g = model.evaluate(n, kBatch).gflops;
+    EXPECT_GT(g, prev) << n;
+    prev = g;
+  }
+}
+
+TEST(Traditional, WriteEfficiencyImprovesWithN) {
+  const TraditionalModel model(GpuSpec::p100());
+  EXPECT_LT(model.evaluate(3, kBatch).write_efficiency,
+            model.evaluate(48, kBatch).write_efficiency);
+}
+
+TEST(Traditional, BlockSizeRoundsToWarp) {
+  const TraditionalModel model(GpuSpec::p100());
+  EXPECT_EQ(model.evaluate(5, kBatch).threads_per_block, 32);
+  EXPECT_EQ(model.evaluate(33, kBatch).threads_per_block, 64);
+}
+
+TEST(Traditional, RejectsBadShapes) {
+  const TraditionalModel model(GpuSpec::p100());
+  EXPECT_THROW((void)model.evaluate(0, kBatch), Error);
+  EXPECT_THROW((void)model.evaluate(8, 0), Error);
+}
+
+// Fig 14's headline: the interleaved code dominates for small matrices
+// (several-fold), and the traditional code overtakes for larger ones.
+TEST(Speedup, InterleavedWinsSmallLosesLarge) {
+  const KernelModel interleaved(GpuSpec::p100());
+  const TraditionalModel traditional(GpuSpec::p100());
+
+  auto best_interleaved = [&](int n) {
+    double best = 0.0;
+    for (const auto& p : enumerate_space(n, {})) {
+      best = std::max(best, interleaved.evaluate(n, kBatch, p).gflops);
+    }
+    return best;
+  };
+
+  const double sp8 = best_interleaved(8) / traditional.evaluate(8, kBatch).gflops;
+  const double sp16 =
+      best_interleaved(16) / traditional.evaluate(16, kBatch).gflops;
+  const double sp64 =
+      best_interleaved(64) / traditional.evaluate(64, kBatch).gflops;
+
+  EXPECT_GT(sp8, 3.0);   // dramatic win for very small matrices
+  EXPECT_GT(sp16, 2.0);
+  EXPECT_LT(sp64, 1.2);  // traditional has caught up
+  EXPECT_GT(sp8, sp16);  // speedup declines with n
+  EXPECT_GT(sp16, sp64);
+}
+
+TEST(Speedup, MonotoneDeclineOverStandardSizes) {
+  const KernelModel interleaved(GpuSpec::p100());
+  const TraditionalModel traditional(GpuSpec::p100());
+  TuningParams p;
+  p.nb = 8;
+  p.chunked = true;
+  p.chunk_size = 64;
+  double prev = 1e9;
+  int violations = 0;
+  for (const int n : {8, 16, 24, 32, 40, 48, 56, 64}) {
+    TuningParams q = p;
+    if (n <= 20) q.unroll = Unroll::kFull;
+    const double sp = interleaved.evaluate(n, kBatch, q).gflops /
+                      traditional.evaluate(n, kBatch).gflops;
+    if (sp > prev + 0.05) ++violations;
+    prev = sp;
+  }
+  // The decline need not be strictly monotone (regime changes), but it
+  // must be overwhelmingly downward.
+  EXPECT_LE(violations, 1);
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,98 @@
+// Tests for the warp coalescing / memory-transaction analyzer.
+#include <gtest/gtest.h>
+
+#include "simt/coalescing.hpp"
+
+namespace ibchol {
+namespace {
+
+TEST(Coalescing, UnitStrideFloatIsOneLine) {
+  // 32 lanes x 4B contiguous = 128 bytes = 1 line, 4 sectors.
+  const WarpAccess a = analyze_strided_access(4, 4);
+  EXPECT_EQ(a.lines, 1);
+  EXPECT_EQ(a.sectors, 4);
+  EXPECT_DOUBLE_EQ(a.efficiency(), 1.0);
+}
+
+TEST(Coalescing, UnitStrideDoubleIsTwoLines) {
+  const WarpAccess a = analyze_strided_access(8, 8);
+  EXPECT_EQ(a.lines, 2);
+  EXPECT_EQ(a.sectors, 8);
+  EXPECT_DOUBLE_EQ(a.efficiency(), 1.0);
+}
+
+TEST(Coalescing, Stride8FloatHalfEfficiency) {
+  // Lanes 32 bytes...: stride 8B means 4 lanes per 32B sector -> 8 sectors,
+  // 128 useful bytes of 256 transferred.
+  const WarpAccess a = analyze_strided_access(8, 4);
+  EXPECT_EQ(a.sectors, 8);
+  EXPECT_DOUBLE_EQ(a.efficiency(), 0.5);
+}
+
+TEST(Coalescing, LargeStrideFullyUncoalesced) {
+  // One sector per lane.
+  const WarpAccess a = analyze_strided_access(256, 4);
+  EXPECT_EQ(a.sectors, 32);
+  EXPECT_EQ(a.lines, 32);
+  EXPECT_DOUBLE_EQ(a.efficiency(), 4.0 / 32.0);
+}
+
+TEST(Coalescing, CanonicalSmallMatrixStride) {
+  // n=5 float: stride 100 bytes. Lanes land in distinct sectors, and a few
+  // share lines.
+  const WarpAccess a = analyze_strided_access(100, 4);
+  EXPECT_EQ(a.sectors, 32);
+  EXPECT_GT(a.lines, 24);
+}
+
+TEST(Coalescing, ZeroStrideBroadcast) {
+  // All lanes read the same element: one sector.
+  const WarpAccess a = analyze_strided_access(0, 4);
+  EXPECT_EQ(a.sectors, 1);
+  EXPECT_EQ(a.lines, 1);
+}
+
+TEST(Coalescing, ElementSpanningTwoSectors) {
+  // Stride 48B with 8-byte elements: element at offset 24 spans sectors 0
+  // and... checks the span loop.
+  const WarpAccess a = analyze_strided_access(48, 8, 2);
+  // lane0: [0,8) sector 0; lane1: [48,56) sector 1. 2 sectors.
+  EXPECT_EQ(a.sectors, 2);
+}
+
+TEST(Coalescing, LayoutAccessInterleavedPerfect) {
+  const auto layout = BatchLayout::interleaved(7, 16384);
+  const WarpAccess a = analyze_layout_access(layout, 4);
+  EXPECT_EQ(a.lines, 1);
+  EXPECT_DOUBLE_EQ(a.efficiency(), 1.0);
+}
+
+TEST(Coalescing, LayoutAccessChunkedPerfect) {
+  const auto layout = BatchLayout::interleaved_chunked(7, 16384, 64);
+  const WarpAccess a = analyze_layout_access(layout, 4);
+  EXPECT_EQ(a.lines, 1);
+  EXPECT_DOUBLE_EQ(a.efficiency(), 1.0);
+}
+
+TEST(Coalescing, LayoutAccessCanonicalDegradesWithN) {
+  // The paper's motivating observation: canonical batches of matrices
+  // smaller than the warp cannot coalesce. n=3 float: stride 36B -> 32
+  // separate sectors.
+  const auto small = BatchLayout::canonical(3, 16384);
+  EXPECT_EQ(analyze_layout_access(small, 4).sectors, 32);
+  // n=2: stride 16B -> 2 lanes share a sector -> 16 sectors.
+  const auto tiny = BatchLayout::canonical(2, 16384);
+  EXPECT_EQ(analyze_layout_access(tiny, 4).sectors, 16);
+}
+
+TEST(Coalescing, EfficiencyMonotoneInStride) {
+  double prev = 1.1;
+  for (const std::int64_t stride : {4, 8, 16, 32, 64, 128}) {
+    const double eff = analyze_strided_access(stride, 4).efficiency();
+    EXPECT_LE(eff, prev);
+    prev = eff;
+  }
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,181 @@
+// Golden tests for the CUDA source generator.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/cuda_codegen.hpp"
+
+namespace ibchol {
+namespace {
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(Codegen, KernelNameEncodesVariant) {
+  CodegenConfig cfg;
+  cfg.n = 24;
+  cfg.nb = 2;
+  cfg.looking = Looking::kLeft;
+  cfg.unroll = Unroll::kFull;
+  cfg.chunk = 64;
+  EXPECT_EQ(kernel_name(cfg), "spotrf_batch_n24_nb2_left_full_c64");
+}
+
+TEST(Codegen, RejectsNonDivisiblePartialUnroll) {
+  CodegenConfig cfg;
+  cfg.n = 10;
+  cfg.nb = 4;
+  cfg.unroll = Unroll::kPartial;
+  EXPECT_THROW((void)generate_cuda_kernel(cfg), Error);
+}
+
+TEST(Codegen, FullUnrollHandlesCornerTiles) {
+  // The paper's corner cases "follow the same principle of fully unrolling
+  // each operation": straight-line code with constant offsets needs no
+  // uniform tiling.
+  CodegenConfig cfg;
+  cfg.n = 10;
+  cfg.nb = 4;
+  cfg.unroll = Unroll::kFull;
+  const std::string src = generate_cuda_kernel(cfg);
+  EXPECT_NE(src.find("__global__"), std::string::npos);
+  // The 2x2 corner diagonal tile at (8,8): element (9,9) at (9*10+9)*64.
+  EXPECT_NE(src.find("dA[" + std::to_string((9 * 10 + 9) * 64) + "]"),
+            std::string::npos);
+}
+
+TEST(Codegen, RejectsBadChunk) {
+  CodegenConfig cfg;
+  cfg.n = 8;
+  cfg.nb = 4;
+  cfg.chunk = 48;
+  EXPECT_THROW((void)generate_cuda_kernel(cfg), Error);
+}
+
+TEST(Codegen, FullUnrollSingleTileGolden) {
+  CodegenConfig cfg;
+  cfg.n = 2;
+  cfg.nb = 2;
+  cfg.looking = Looking::kTop;
+  cfg.unroll = Unroll::kFull;
+  cfg.chunk = 32;
+  const std::string src = generate_cuda_kernel(cfg);
+  // 2x2 factorization: sqrt(a00); inv; a10 *= inv; a11 -= a10*a10; sqrt(a11).
+  EXPECT_NE(src.find("rA1_00 = sqrtf(rA1_00);"), std::string::npos);
+  EXPECT_NE(src.find("inv = 1.0f/rA1_00;"), std::string::npos);
+  EXPECT_NE(src.find("rA1_10 *= inv;"), std::string::npos);
+  EXPECT_NE(src.find("rA1_11 -= rA1_10*rA1_10;"), std::string::npos);
+  EXPECT_NE(src.find("rA1_11 = sqrtf(rA1_11);"), std::string::npos);
+  // Loads use constant offsets with the chunk stride: (j*N+i)*C.
+  EXPECT_NE(src.find("rA1_00 = dA[0];"), std::string::npos);
+  EXPECT_NE(src.find("rA1_10 = dA[32];"), std::string::npos);
+  EXPECT_NE(src.find("rA1_11 = dA[96];"), std::string::npos);  // (1*2+1)*32
+  // Kernel frame.
+  EXPECT_NE(src.find("__global__"), std::string::npos);
+  EXPECT_NE(src.find("blockIdx.x"), std::string::npos);
+  EXPECT_NE(src.find("threadIdx.x"), std::string::npos);
+}
+
+TEST(Codegen, FullUnrollHasNoLoops) {
+  CodegenConfig cfg;
+  cfg.n = 8;
+  cfg.nb = 4;
+  cfg.unroll = Unroll::kFull;
+  const std::string src = generate_cuda_kernel(cfg);
+  EXPECT_EQ(src.find("for ("), std::string::npos);
+  EXPECT_EQ(src.find("#define load_full"), std::string::npos);
+}
+
+TEST(Codegen, PartialUnrollHasMacrosAndDriver) {
+  CodegenConfig cfg;
+  cfg.n = 16;
+  cfg.nb = 4;
+  cfg.looking = Looking::kTop;
+  cfg.unroll = Unroll::kPartial;
+  const std::string src = generate_cuda_kernel(cfg);
+  // The paper's macro set (Figures 9-10).
+  for (const char* macro :
+       {"#define load_full", "#define store_full", "#define load_lower",
+        "#define store_lower", "#define spotrf_tile", "#define strsm_tile",
+        "#define ssyrk_tile", "#define sgemm_tile"}) {
+    EXPECT_NE(src.find(macro), std::string::npos) << macro;
+  }
+  // The Fig-11 driver loop.
+  EXPECT_NE(src.find("for (int kk = 0; kk < T; kk++)"), std::string::npos);
+  EXPECT_NE(src.find("sgemm_tile(rA1, rA2, rA3);"), std::string::npos);
+  EXPECT_NE(src.find("#define T 4"), std::string::npos);
+  EXPECT_NE(src.find("#define NB 4"), std::string::npos);
+}
+
+TEST(Codegen, DriverStructureDiffersByLooking) {
+  CodegenConfig cfg;
+  cfg.n = 16;
+  cfg.nb = 4;
+  cfg.unroll = Unroll::kPartial;
+  cfg.looking = Looking::kRight;
+  const std::string right = generate_cuda_kernel(cfg);
+  cfg.looking = Looking::kTop;
+  const std::string top = generate_cuda_kernel(cfg);
+  // Right-looking updates the trailing submatrix (loop over jj after the
+  // panel); top-looking never has that structure.
+  EXPECT_NE(right.find("for (int jj = kk+1; jj < T; jj++)"),
+            std::string::npos);
+  EXPECT_EQ(top.find("for (int jj = kk+1"), std::string::npos);
+}
+
+TEST(Codegen, FullUnrollStatementCountScalesWithWork) {
+  CodegenConfig small;
+  small.n = 8;
+  small.nb = 2;
+  small.unroll = Unroll::kFull;
+  CodegenConfig large = small;
+  large.n = 16;
+  const std::string s = generate_cuda_kernel(small);
+  const std::string l = generate_cuda_kernel(large);
+  EXPECT_GT(count_occurrences(l, ";"), 3 * count_occurrences(s, ";"));
+}
+
+TEST(Codegen, FastMathNoted) {
+  CodegenConfig cfg;
+  cfg.n = 4;
+  cfg.nb = 2;
+  cfg.math = MathMode::kFastMath;
+  const std::string src = generate_cuda_kernel(cfg);
+  EXPECT_NE(src.find("--use_fast_math"), std::string::npos);
+}
+
+TEST(Codegen, HeaderRecordsAllParameters) {
+  CodegenConfig cfg;
+  cfg.n = 24;
+  cfg.nb = 8;
+  cfg.looking = Looking::kLeft;
+  cfg.unroll = Unroll::kPartial;
+  cfg.chunk = 128;
+  const std::string src = generate_cuda_kernel(cfg);
+  EXPECT_NE(src.find("n=24"), std::string::npos);
+  EXPECT_NE(src.find("nb=8"), std::string::npos);
+  EXPECT_NE(src.find("looking=left"), std::string::npos);
+  EXPECT_NE(src.find("unroll=partial"), std::string::npos);
+  EXPECT_NE(src.find("chunk=128"), std::string::npos);
+}
+
+TEST(Codegen, LowerLoadSkipsUpperTriangle) {
+  CodegenConfig cfg;
+  cfg.n = 2;
+  cfg.nb = 2;
+  cfg.unroll = Unroll::kFull;
+  cfg.chunk = 32;
+  const std::string src = generate_cuda_kernel(cfg);
+  // Element (0,1) = offset (1*2+0)*32 = 64 must never be read or written.
+  EXPECT_EQ(src.find("dA[64]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibchol

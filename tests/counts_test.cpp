@@ -1,0 +1,200 @@
+// Tests for exact operation counting and code-size estimation.
+#include <gtest/gtest.h>
+
+#include "kernels/counts.hpp"
+#include "kernels/tile_program.hpp"
+
+namespace ibchol {
+namespace {
+
+TileOp load_full(int r, int c) {
+  return {TileOp::Kind::kLoadFull, 0, 0, 0, 0, 0, static_cast<std::int16_t>(r),
+          static_cast<std::int16_t>(c), 0};
+}
+
+// ----------------------------------------------------------- per-op ------
+
+TEST(Counts, LoadStoreElementCounts) {
+  EXPECT_EQ(count_op(load_full(4, 3)).load_elems, 12);
+  TileOp lower{TileOp::Kind::kLoadLower, 0, 0, 0, 0, 0, 5, 5, 0};
+  EXPECT_EQ(count_op(lower).load_elems, 15);
+  TileOp store{TileOp::Kind::kStoreFull, 0, 0, 0, 0, 0, 2, 7, 0};
+  EXPECT_EQ(count_op(store).store_elems, 14);
+  TileOp store_low{TileOp::Kind::kStoreLower, 0, 0, 0, 0, 0, 4, 4, 0};
+  EXPECT_EQ(count_op(store_low).store_elems, 10);
+}
+
+// Brute-force the microkernel loop nests and compare against count_op.
+TEST(Counts, PotrfMatchesBruteForce) {
+  for (int r = 1; r <= 8; ++r) {
+    std::int64_t sqrt = 0, div = 0, mul = 0, fma = 0;
+    for (int k = 0; k < r; ++k) {
+      ++sqrt;
+      ++div;
+      for (int m = k + 1; m < r; ++m) ++mul;
+      for (int n = k + 1; n < r; ++n) {
+        for (int m = n; m < r; ++m) ++fma;
+      }
+    }
+    TileOp op{TileOp::Kind::kPotrf, 0, 0, 0, 0, 0,
+              static_cast<std::int16_t>(r), static_cast<std::int16_t>(r), 0};
+    const OpCounts c = count_op(op);
+    EXPECT_EQ(c.sqrt, sqrt) << r;
+    EXPECT_EQ(c.div, div) << r;
+    EXPECT_EQ(c.mul, mul) << r;
+    EXPECT_EQ(c.fma, fma) << r;
+  }
+}
+
+TEST(Counts, TrsmMatchesBruteForce) {
+  for (int r = 1; r <= 6; ++r) {
+    for (int cc = 1; cc <= 6; ++cc) {
+      std::int64_t div = 0, fma = 0;
+      for (int m = 0; m < r; ++m) {
+        for (int k = 0; k < cc; ++k) {
+          ++div;
+          for (int n = k + 1; n < cc; ++n) ++fma;
+        }
+      }
+      TileOp op{TileOp::Kind::kTrsm, 0, 1, 0, 0, 0,
+                static_cast<std::int16_t>(r), static_cast<std::int16_t>(cc),
+                0};
+      const OpCounts c = count_op(op);
+      EXPECT_EQ(c.div, div);
+      EXPECT_EQ(c.fma, fma);
+    }
+  }
+}
+
+TEST(Counts, SyrkAndGemmFormulas) {
+  TileOp syrk{TileOp::Kind::kSyrk, 0, 1, 0, 0, 0, 4, 4, 3};
+  EXPECT_EQ(count_op(syrk).fma, 3 * 4 * 5 / 2);
+  TileOp gemm{TileOp::Kind::kGemm, 0, 1, 2, 0, 0, 4, 5, 3};
+  EXPECT_EQ(count_op(gemm).fma, 60);
+}
+
+// ------------------------------------------------------ whole program ----
+
+TEST(Counts, ProgramFlopsMatchFactorizationWork) {
+  // Any correct Cholesky schedule performs exactly the same arithmetic:
+  // n sqrts, and the same multiply/fma totals, regardless of tiling and
+  // looking order (only the *memory* traffic differs).
+  const int n = 24;
+  const TileProgram ref = build_tile_program(n, n, Looking::kTop);
+  const OpCounts base = count_program(ref);
+  EXPECT_EQ(base.sqrt, n);
+  for (const int nb : {1, 2, 3, 5, 8}) {
+    for (const auto looking :
+         {Looking::kRight, Looking::kLeft, Looking::kTop}) {
+      const OpCounts c =
+          count_program(build_tile_program(n, nb, looking));
+      EXPECT_EQ(c.sqrt, base.sqrt) << nb;
+      // fma + mul together is schedule-invariant (a tiled trsm turns some
+      // "multiply by reciprocal" into explicit divisions; account below).
+      EXPECT_EQ(c.fma, base.fma) << "nb=" << nb;
+    }
+  }
+}
+
+TEST(Counts, LoadsGrowAsTilesShrink) {
+  // Smaller tiles mean less register reuse, hence more element loads.
+  const int n = 48;
+  std::int64_t prev = 0;
+  for (const int nb : {8, 4, 2, 1}) {
+    const OpCounts c =
+        count_program(build_tile_program(n, nb, Looking::kTop));
+    EXPECT_GT(c.load_elems, prev) << "nb=" << nb;
+    prev = c.load_elems;
+  }
+}
+
+TEST(Counts, StoreOrderingAcrossLookings) {
+  const int n = 48, nb = 4;
+  const auto s = [&](Looking l) {
+    return count_program(build_tile_program(n, nb, l)).store_elems;
+  };
+  EXPECT_GT(s(Looking::kRight), s(Looking::kLeft));
+  EXPECT_GT(s(Looking::kLeft), s(Looking::kTop));
+}
+
+TEST(Counts, LoadsComparableAcrossLookings) {
+  // Paper §III: "there is no difference in the number of memory reads"
+  // (to leading order). Allow 40% spread — the right-looking schedule
+  // reloads the update target it cannot keep in registers.
+  const int n = 48, nb = 4;
+  const auto l = [&](Looking look) {
+    return static_cast<double>(
+        count_program(build_tile_program(n, nb, look)).load_elems);
+  };
+  const double top = l(Looking::kTop);
+  EXPECT_NEAR(l(Looking::kLeft) / top, 1.0, 0.40);
+  EXPECT_NEAR(l(Looking::kRight) / top, 1.0, 0.40);
+}
+
+TEST(Counts, FlopsConvention) {
+  OpCounts c;
+  c.fma = 10;
+  c.mul = 3;
+  c.div = 2;
+  c.sqrt = 1;
+  EXPECT_EQ(c.flops(), 26);
+}
+
+TEST(Counts, IssueSlotsFastMathCheaper) {
+  OpCounts c;
+  c.fma = 100;
+  c.div = 10;
+  c.sqrt = 10;
+  EXPECT_LT(c.issue_slots(MathMode::kFastMath),
+            c.issue_slots(MathMode::kIeee));
+  EXPECT_EQ(c.issue_slots(MathMode::kIeee), 100 + 20 * 20);
+  EXPECT_EQ(c.issue_slots(MathMode::kFastMath), 100 + 4 * 20);
+}
+
+TEST(Counts, NominalFlops) {
+  EXPECT_DOUBLE_EQ(nominal_flops_per_matrix(3), 9.0);
+  EXPECT_DOUBLE_EQ(nominal_flops_per_matrix(30), 9000.0);
+}
+
+// ----------------------------------------------------------- code size ---
+
+TEST(CodeSize, FullUnrollGrowsWithProgramPartialDoesNot) {
+  const auto small = build_tile_program(16, 8, Looking::kTop);
+  const auto large = build_tile_program(64, 8, Looking::kTop);
+  const auto f_small = estimate_code_size(small, Unroll::kFull,
+                                          MathMode::kIeee);
+  const auto f_large = estimate_code_size(large, Unroll::kFull,
+                                          MathMode::kIeee);
+  const auto p_small = estimate_code_size(small, Unroll::kPartial,
+                                          MathMode::kIeee);
+  const auto p_large = estimate_code_size(large, Unroll::kPartial,
+                                          MathMode::kIeee);
+  // Full unrolling scales with total work; partial stays near-constant
+  // (same code sites, just more iterations).
+  EXPECT_GT(f_large.instructions, 10 * f_small.instructions);
+  EXPECT_LT(p_large.instructions, 4 * p_small.instructions);
+}
+
+TEST(CodeSize, FullAtLeastPartialForMultiTile) {
+  const auto p = build_tile_program(32, 4, Looking::kTop);
+  EXPECT_GE(estimate_code_size(p, Unroll::kFull, MathMode::kIeee).instructions,
+            estimate_code_size(p, Unroll::kPartial, MathMode::kIeee)
+                .instructions);
+}
+
+TEST(CodeSize, IeeeCodeLargerThanFast) {
+  // IEEE div/sqrt expand to longer instruction sequences.
+  const auto p = build_tile_program(24, 4, Looking::kTop);
+  EXPECT_GT(estimate_code_size(p, Unroll::kFull, MathMode::kIeee).instructions,
+            estimate_code_size(p, Unroll::kFull, MathMode::kFastMath)
+                .instructions);
+}
+
+TEST(CodeSize, BytesAre8PerInstruction) {
+  CodeSize s;
+  s.instructions = 100;
+  EXPECT_EQ(s.bytes(), 800);
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,97 @@
+// Tests for the tuned dispatch table.
+#include <gtest/gtest.h>
+
+#include "autotune/dispatch.hpp"
+#include "autotune/evaluator.hpp"
+#include "autotune/sweep.hpp"
+#include "core/batch_cholesky.hpp"
+
+namespace ibchol {
+namespace {
+
+TunedDispatch small_table() {
+  TunedDispatch d;
+  TuningParams p8;
+  p8.nb = 8;
+  p8.unroll = Unroll::kFull;
+  d.set(8, p8);
+  TuningParams p32;
+  p32.nb = 8;
+  p32.looking = Looking::kTop;
+  p32.unroll = Unroll::kPartial;
+  d.set(32, p32);
+  return d;
+}
+
+TEST(Dispatch, ExactLookup) {
+  const TunedDispatch d = small_table();
+  EXPECT_EQ(d.size(), 2u);
+  ASSERT_TRUE(d.exact(8).has_value());
+  EXPECT_EQ(d.exact(8)->unroll, Unroll::kFull);
+  EXPECT_FALSE(d.exact(16).has_value());
+  EXPECT_EQ(d.lookup(32).looking, Looking::kTop);
+}
+
+TEST(Dispatch, NearestFallbackPrefersLargerOnTies) {
+  const TunedDispatch d = small_table();
+  // n=20 is equidistant-ish: 20-8=12, 32-20=12 -> prefer larger (32).
+  EXPECT_EQ(d.lookup(20).unroll, Unroll::kPartial);
+  // n=10 is nearer to 8.
+  EXPECT_EQ(d.lookup(10).unroll, Unroll::kFull);
+}
+
+TEST(Dispatch, ExtrapolationClampsTileSize) {
+  const TunedDispatch d = small_table();
+  const TuningParams p = d.lookup(3);  // below the smallest entry
+  p.validate(3);
+  EXPECT_LE(p.effective_nb(3), 3);
+  const TuningParams q = d.lookup(64);  // above the largest entry
+  q.validate(64);
+}
+
+TEST(Dispatch, EmptyTableFallsBackToRecommended) {
+  const TunedDispatch d;
+  EXPECT_EQ(d.lookup(48).key(), recommended_params(48).key());
+}
+
+TEST(Dispatch, CsvRoundTrip) {
+  const TunedDispatch d = small_table();
+  const TunedDispatch back = TunedDispatch::from_csv(d.to_csv());
+  EXPECT_EQ(back.size(), d.size());
+  EXPECT_EQ(back.lookup(8).key(), d.lookup(8).key());
+  EXPECT_EQ(back.lookup(32).key(), d.lookup(32).key());
+}
+
+TEST(Dispatch, FromDatasetPicksWinners) {
+  ModelEvaluator eval{KernelModel(GpuSpec::p100())};
+  SweepOptions opt;
+  opt.sizes = {8, 24};
+  opt.space.tile_sizes = {1, 8};
+  opt.space.chunk_sizes = {32};
+  const SweepDataset ds = run_sweep(eval, opt);
+  const TunedDispatch d = TunedDispatch::from_dataset(ds);
+  EXPECT_EQ(d.size(), 2u);
+  // The table's pick must equal the dataset's best.
+  EXPECT_EQ(d.lookup(24).key(), ds.best(24)->params.key());
+}
+
+TEST(Dispatch, LookupResultAlwaysUsable) {
+  const TunedDispatch d = small_table();
+  for (const int n : {1, 2, 5, 8, 13, 20, 32, 40, 64, 100}) {
+    const TuningParams p = d.lookup(n);
+    p.validate(n);
+    // And it must drive an actual factorization.
+    const BatchLayout layout = BatchCholesky::make_layout(n, 32, p);
+    EXPECT_EQ(layout.n(), n);
+  }
+}
+
+TEST(Dispatch, SetRejectsInvalid) {
+  TunedDispatch d;
+  TuningParams bad;
+  bad.chunk_size = 40;
+  EXPECT_THROW(d.set(8, bad), Error);
+}
+
+}  // namespace
+}  // namespace ibchol

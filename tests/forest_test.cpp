@@ -1,0 +1,216 @@
+// Tests for the regression tree and random forest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "forest/forest.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ibchol {
+namespace {
+
+// Synthetic regression problem: y = 3*x0 + step(x1) + noise; x2 is pure
+// noise. 300 rows.
+struct Problem {
+  FeatureMatrix x{{"x0", "x1", "x2"}, 0};
+  std::vector<double> y;
+};
+
+Problem make_problem(std::size_t rows = 300, double noise = 0.05,
+                     std::uint64_t seed = 42) {
+  Problem p;
+  Xoshiro256 rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    const double x2 = rng.uniform();
+    const double row[] = {x0, x1, x2};
+    p.x.add_row(row);
+    p.y.push_back(3.0 * x0 + (x1 > 0.5 ? 1.0 : 0.0) + noise * rng.normal());
+  }
+  return p;
+}
+
+// ------------------------------------------------------------- dataset ---
+
+TEST(FeatureMatrix, AddRowAndLookup) {
+  FeatureMatrix m({"a", "b"}, 0);
+  const double row[] = {1.0, 2.0};
+  m.add_row(row);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.at(0, 1), 2.0);
+  EXPECT_EQ(m.column_index("b"), 1u);
+  EXPECT_THROW((void)m.column_index("c"), Error);
+  const double bad[] = {1.0};
+  EXPECT_THROW(m.add_row(bad), Error);
+}
+
+// ---------------------------------------------------------------- tree ---
+
+TEST(RegressionTree, ConstantTargetYieldsSingleLeaf) {
+  FeatureMatrix x({"f"}, 0);
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    const double row[] = {static_cast<double>(i)};
+    x.add_row(row);
+    y.push_back(7.0);
+  }
+  std::vector<std::size_t> idx(20);
+  std::iota(idx.begin(), idx.end(), 0);
+  RegressionTree tree;
+  Xoshiro256 rng(1);
+  tree.fit(x, y, idx, {}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const double probe[] = {10.0};
+  EXPECT_DOUBLE_EQ(tree.predict(probe), 7.0);
+}
+
+TEST(RegressionTree, LearnsStepFunction) {
+  FeatureMatrix x({"f"}, 0);
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i / 100.0;
+    const double row[] = {v};
+    x.add_row(row);
+    y.push_back(v < 0.5 ? 0.0 : 10.0);
+  }
+  std::vector<std::size_t> idx(100);
+  std::iota(idx.begin(), idx.end(), 0);
+  RegressionTree tree;
+  Xoshiro256 rng(2);
+  TreeOptions opt;
+  opt.mtry = 1;
+  tree.fit(x, y, idx, opt, rng);
+  const double lo[] = {0.2};
+  const double hi[] = {0.8};
+  EXPECT_NEAR(tree.predict(lo), 0.0, 1e-9);
+  EXPECT_NEAR(tree.predict(hi), 10.0, 1e-9);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  const Problem p = make_problem();
+  std::vector<std::size_t> idx(p.x.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  RegressionTree tree;
+  Xoshiro256 rng(3);
+  TreeOptions opt;
+  opt.max_depth = 3;
+  tree.fit(p.x, p.y, idx, opt, rng);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(RegressionTree, RespectsMinLeaf) {
+  const Problem p = make_problem(50);
+  std::vector<std::size_t> idx(p.x.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  RegressionTree tree;
+  Xoshiro256 rng(4);
+  TreeOptions opt;
+  opt.min_leaf = 25;
+  tree.fit(p.x, p.y, idx, opt, rng);
+  // With min_leaf = half the data, at most one split is possible.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+// -------------------------------------------------------------- forest ---
+
+TEST(RandomForest, BeatsMeanPredictor) {
+  const Problem p = make_problem();
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 60;
+  forest.fit(p.x, p.y, opt);
+  const double var = variance(p.y);  // MSE of predicting the mean
+  EXPECT_LT(forest.oob_mse(), 0.3 * var);
+}
+
+TEST(RandomForest, PredictTracksTruth) {
+  const Problem p = make_problem();
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 60;
+  forest.fit(p.x, p.y, opt);
+  const std::vector<double> pred = forest.predict(p.x);
+  EXPECT_GT(pearson(p.y, pred), 0.95);
+}
+
+TEST(RandomForest, OobPredictionsCorrelate) {
+  const Problem p = make_problem();
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 80;
+  forest.fit(p.x, p.y, opt);
+  std::vector<double> obs, pred;
+  for (std::size_t i = 0; i < p.y.size(); ++i) {
+    if (!std::isnan(forest.oob_predictions()[i])) {
+      obs.push_back(p.y[i]);
+      pred.push_back(forest.oob_predictions()[i]);
+    }
+  }
+  EXPECT_GT(obs.size(), p.y.size() / 2);
+  EXPECT_GT(pearson(obs, pred), 0.9);
+}
+
+TEST(RandomForest, ImportanceIdentifiesInformativeFeatures) {
+  const Problem p = make_problem(400);
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 80;
+  forest.fit(p.x, p.y, opt);
+  const std::vector<double> imp = forest.permutation_importance();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], imp[2]);          // x0 carries the most signal
+  EXPECT_GT(imp[1], imp[2]);          // the step feature matters too
+  EXPECT_GT(imp[0], 10.0 * std::max(imp[2], 1e-6));  // noise is negligible
+}
+
+TEST(RandomForest, DeterministicInSeed) {
+  const Problem p = make_problem();
+  ForestOptions opt;
+  opt.num_trees = 20;
+  RandomForest a, b;
+  a.fit(p.x, p.y, opt);
+  b.fit(p.x, p.y, opt);
+  EXPECT_EQ(a.oob_mse(), b.oob_mse());
+  opt.seed = 999;
+  RandomForest c;
+  c.fit(p.x, p.y, opt);
+  EXPECT_NE(a.oob_mse(), c.oob_mse());
+}
+
+TEST(RandomForest, MoreTreesNotWorse) {
+  const Problem p = make_problem();
+  ForestOptions few;
+  few.num_trees = 5;
+  ForestOptions many;
+  many.num_trees = 100;
+  RandomForest a, b;
+  a.fit(p.x, p.y, few);
+  b.fit(p.x, p.y, many);
+  EXPECT_LT(b.oob_mse(), a.oob_mse() * 1.2);
+}
+
+TEST(RandomForest, AverageDepthReported) {
+  const Problem p = make_problem();
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 10;
+  forest.fit(p.x, p.y, opt);
+  EXPECT_GT(forest.average_depth(), 1.0);
+  EXPECT_LT(forest.average_depth(), 40.0);
+  EXPECT_EQ(forest.num_trees(), 10);
+}
+
+TEST(RandomForest, RejectsMisuse) {
+  RandomForest forest;
+  const double probe[] = {0.0};
+  EXPECT_THROW((void)forest.predict(probe), Error);
+  FeatureMatrix x({"f"}, 0);
+  std::vector<double> y{1.0};
+  EXPECT_THROW(forest.fit(x, y, {}), Error);  // size mismatch
+}
+
+}  // namespace
+}  // namespace ibchol

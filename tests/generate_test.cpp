@@ -1,0 +1,135 @@
+// Tests for the SPD batch generators and failure injection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/reference.hpp"
+#include "layout/convert.hpp"
+#include "layout/generate.hpp"
+
+namespace ibchol {
+namespace {
+
+class SpdGenTest : public ::testing::TestWithParam<SpdKind> {};
+
+TEST_P(SpdGenTest, MatricesAreSymmetric) {
+  const auto l = BatchLayout::canonical(6, 20);
+  std::vector<double> data(l.size_elems());
+  SpdOptions opt;
+  opt.kind = GetParam();
+  generate_spd_batch<double>(l, data, opt);
+  for (std::int64_t b = 0; b < 20; ++b) {
+    for (int j = 0; j < 6; ++j) {
+      for (int i = 0; i < 6; ++i) {
+        EXPECT_NEAR(data[l.index(b, i, j)], data[l.index(b, j, i)], 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(SpdGenTest, MatricesArePositiveDefinite) {
+  const int n = 8;
+  const auto l = BatchLayout::canonical(n, 50);
+  std::vector<double> data(l.size_elems());
+  SpdOptions opt;
+  opt.kind = GetParam();
+  generate_spd_batch<double>(l, data, opt);
+  std::vector<double> m(n * n);
+  for (std::int64_t b = 0; b < 50; ++b) {
+    extract_matrix<double>(l, data, b, m);
+    EXPECT_EQ(potrf_unblocked(n, m.data(), n), 0) << "matrix " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SpdGenTest,
+                         ::testing::Values(SpdKind::kGramPlusDiagonal,
+                                           SpdKind::kDiagonallyDominant,
+                                           SpdKind::kControlledCondition));
+
+TEST(SpdGen, DeterministicInSeed) {
+  const auto l = BatchLayout::interleaved(4, 32);
+  std::vector<float> a(l.size_elems()), b(l.size_elems());
+  generate_spd_batch<float>(l, a, {SpdKind::kGramPlusDiagonal, 5, 100.0});
+  generate_spd_batch<float>(l, b, {SpdKind::kGramPlusDiagonal, 5, 100.0});
+  EXPECT_EQ(a, b);
+  generate_spd_batch<float>(l, b, {SpdKind::kGramPlusDiagonal, 6, 100.0});
+  EXPECT_NE(a, b);
+}
+
+TEST(SpdGen, SameMatricesAcrossLayouts) {
+  // The generator must be layout-transparent: matrix b is numerically
+  // identical no matter which layout it was generated into.
+  const int n = 5;
+  const auto canon = BatchLayout::canonical(n, 40);
+  const auto chunked = BatchLayout::interleaved_chunked(n, 40, 32);
+  std::vector<float> a(canon.size_elems()), b(chunked.size_elems());
+  generate_spd_batch<float>(canon, a);
+  generate_spd_batch<float>(chunked, b);
+  std::vector<float> ma(n * n), mb(n * n);
+  for (std::int64_t i : {0, 7, 39}) {
+    extract_matrix<float>(canon, std::span<const float>(a), i, ma);
+    extract_matrix<float>(chunked, std::span<const float>(b), i, mb);
+    EXPECT_EQ(ma, mb) << "matrix " << i;
+  }
+}
+
+TEST(SpdGen, PaddingIsIdentity) {
+  const auto l = BatchLayout::interleaved_chunked(3, 33, 32);
+  std::vector<float> data(l.size_elems());
+  generate_spd_batch<float>(l, data);
+  for (std::int64_t b = 33; b < l.padded_batch(); ++b) {
+    for (int j = 0; j < 3; ++j) {
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(data[l.index(b, i, j)], i == j ? 1.0f : 0.0f);
+      }
+    }
+  }
+}
+
+TEST(SpdGen, ControlledConditionHitsTarget) {
+  const int n = 6;
+  const auto l = BatchLayout::canonical(n, 4);
+  std::vector<double> data(l.size_elems());
+  SpdOptions opt;
+  opt.kind = SpdKind::kControlledCondition;
+  opt.condition = 50.0;
+  generate_spd_batch<double>(l, data, opt);
+  // Eigenvalue extremes via the diagonal of the factored form are hard to
+  // read directly; instead verify the matrix is SPD and its trace is within
+  // the eigenvalue bounds n·[1/cond, 1].
+  std::vector<double> m(n * n);
+  extract_matrix<double>(l, data, 0, m);
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) trace += m[i + i * n];
+  EXPECT_GT(trace, n / 50.0);
+  EXPECT_LT(trace, n * 1.0 + 1e-9);
+  EXPECT_EQ(potrf_unblocked(n, m.data(), n), 0);
+}
+
+TEST(Poison, MakesExactlyThatMatrixFail) {
+  const int n = 6;
+  const auto l = BatchLayout::interleaved(n, 32);
+  std::vector<float> data(l.size_elems());
+  generate_spd_batch<float>(l, data);
+  poison_matrix<float>(l, data, 5, 3);
+  std::vector<float> m(n * n);
+  for (std::int64_t b = 0; b < 32; ++b) {
+    extract_matrix<float>(l, std::span<const float>(data), b, m);
+    const int info = potrf_unblocked(n, m.data(), n);
+    if (b == 5) {
+      EXPECT_EQ(info, 4);  // fails at column index 3 (1-based: 4)
+    } else {
+      EXPECT_EQ(info, 0);
+    }
+  }
+}
+
+TEST(Poison, RejectsBadPosition) {
+  const auto l = BatchLayout::canonical(4, 4);
+  std::vector<float> data(l.size_elems());
+  EXPECT_THROW(poison_matrix<float>(l, data, 0, 4), Error);
+  EXPECT_THROW(poison_matrix<float>(l, data, 0, -1), Error);
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,280 @@
+// Tests for the SIMT kernel cost model: the paper's qualitative findings
+// must hold as model invariants.
+#include <gtest/gtest.h>
+
+#include "simt/kernel_model.hpp"
+
+namespace ibchol {
+namespace {
+
+class ModelTest : public ::testing::Test {
+ protected:
+  KernelModel model_{GpuSpec::p100()};
+  static constexpr std::int64_t kBatch = 16384;
+
+  double gflops(int n, TuningParams p) {
+    return model_.evaluate(n, kBatch, p).gflops;
+  }
+
+  static TuningParams base() {
+    TuningParams p;
+    p.nb = 8;
+    p.looking = Looking::kTop;
+    p.chunked = true;
+    p.chunk_size = 64;
+    p.unroll = Unroll::kPartial;
+    return p;
+  }
+};
+
+TEST_F(ModelTest, DeterministicEvaluation) {
+  const auto a = model_.evaluate(24, kBatch, base());
+  const auto b = model_.evaluate(24, kBatch, base());
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.gflops, b.gflops);
+}
+
+TEST_F(ModelTest, SaneOutputs) {
+  const ModelResult r = model_.evaluate(32, kBatch, base());
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_LT(r.gflops * 1e9, model_.gpu().peak_fp32_flops());
+  EXPECT_GT(r.dram_read_bytes, 0.0);
+  EXPECT_GT(r.dram_write_bytes, 0.0);
+  EXPECT_GT(r.occ.warps_per_sm, 0);
+  EXPECT_GE(r.icache_penalty, 1.0);
+}
+
+// Paper conclusion 1: interleaved chunked beats non-chunked everywhere.
+TEST_F(ModelTest, ChunkingAlwaysHelps) {
+  for (const int n : {4, 8, 16, 24, 32, 48, 64}) {
+    TuningParams chunked = base();
+    TuningParams simple = base();
+    simple.chunked = false;
+    EXPECT_GT(gflops(n, chunked), gflops(n, simple)) << "n=" << n;
+  }
+}
+
+// Paper conclusion 2 (Fig 15): past n~40, larger tiles win; nb=1 is
+// memory-bound and collapses.
+TEST_F(ModelTest, TilingMattersForLargeN) {
+  TuningParams p = base();
+  const int n = 48;
+  p.nb = 1;
+  const double g1 = gflops(n, p);
+  p.nb = 4;
+  const double g4 = gflops(n, p);
+  p.nb = 8;
+  const double g8 = gflops(n, p);
+  EXPECT_GT(g8, g4);
+  EXPECT_GT(g4, g1);
+  EXPECT_GT(g8, 2.0 * g1);  // the collapse is dramatic
+}
+
+// Fig 15: below n~20 tiling makes no difference for the best (fully
+// unrolled, register-promoted) kernels.
+TEST_F(ModelTest, TilingIrrelevantForSmallN) {
+  TuningParams p = base();
+  p.unroll = Unroll::kFull;
+  const int n = 12;
+  p.nb = 1;
+  const double g1 = gflops(n, p);
+  p.nb = 4;
+  const double g4 = gflops(n, p);
+  EXPECT_NEAR(g1 / g4, 1.0, 0.05);
+}
+
+// Fig 16: the lazier the looking order, the faster (fewer writes),
+// at sizes where tiles actually move through memory.
+TEST_F(ModelTest, LookingOrderTopBeatsLeftBeatsRight) {
+  TuningParams p = base();
+  const int n = 48;
+  p.looking = Looking::kTop;
+  const double top = gflops(n, p);
+  p.looking = Looking::kLeft;
+  const double left = gflops(n, p);
+  p.looking = Looking::kRight;
+  const double right = gflops(n, p);
+  EXPECT_GT(top, left);
+  EXPECT_GT(left, right);
+}
+
+// Fig 18: chunk 32/64 best; 512 significantly worse.
+TEST_F(ModelTest, ChunkSizeOrdering) {
+  TuningParams p = base();
+  const int n = 24;
+  p.chunk_size = 32;
+  const double c32 = gflops(n, p);
+  p.chunk_size = 64;
+  const double c64 = gflops(n, p);
+  p.chunk_size = 512;
+  const double c512 = gflops(n, p);
+  EXPECT_GE(c32, c64 * 0.98);   // 32 best or tied
+  EXPECT_GT(c64, c512 * 1.2);   // 512 significantly worse
+}
+
+// Fig 19: full unrolling pays off up to n~20, partial takes over later.
+TEST_F(ModelTest, UnrollingCrossover) {
+  TuningParams full = base();
+  full.unroll = Unroll::kFull;
+  TuningParams part = base();
+  part.unroll = Unroll::kPartial;
+  EXPECT_GT(gflops(12, full), gflops(12, part));
+  EXPECT_GT(gflops(48, part), gflops(48, full));
+}
+
+// Fig 13: fast math at least as fast as IEEE, with a real gap at the
+// compute-sensitive sizes.
+TEST_F(ModelTest, FastMathHelps) {
+  for (const int n : {8, 16, 24, 32, 48}) {
+    TuningParams ieee = base();
+    TuningParams fast = base();
+    fast.math = MathMode::kFastMath;
+    EXPECT_GE(gflops(n, fast), gflops(n, ieee)) << n;
+  }
+  TuningParams ieee = base();
+  TuningParams fast = base();
+  fast.math = MathMode::kFastMath;
+  ieee.unroll = fast.unroll = Unroll::kFull;
+  EXPECT_GT(gflops(20, fast), 1.1 * gflops(20, ieee));
+}
+
+// The L1-vs-shared carveout has no effect on these kernels (they use no
+// shared memory) — Table I's weakest variable.
+TEST_F(ModelTest, CachePreferenceIsNoise) {
+  TuningParams l1 = base();
+  TuningParams sh = base();
+  sh.prefer_shared = true;
+  EXPECT_EQ(gflops(24, l1), gflops(24, sh));
+}
+
+// ------------------------------------------------------ register model ---
+
+TEST_F(ModelTest, PromotionFullBelowThreshold) {
+  const TileProgram p = build_tile_program(16, 8, Looking::kTop);
+  const RegisterEstimate est =
+      model_.estimate_registers(p, Unroll::kFull, 64);
+  EXPECT_DOUBLE_EQ(est.promoted_fraction, 1.0);
+  EXPECT_EQ(est.spilled_regs, 0);
+}
+
+TEST_F(ModelTest, PromotionDecaysPastThreshold) {
+  const TileProgram p32 = build_tile_program(32, 8, Looking::kTop);
+  const RegisterEstimate e32 =
+      model_.estimate_registers(p32, Unroll::kFull, 64);
+  EXPECT_LT(e32.promoted_fraction, 1.0);
+  EXPECT_GT(e32.promoted_fraction, 0.2);
+  const TileProgram p64 = build_tile_program(64, 8, Looking::kTop);
+  const RegisterEstimate e64 =
+      model_.estimate_registers(p64, Unroll::kFull, 64);
+  EXPECT_LT(e64.promoted_fraction, e32.promoted_fraction);
+}
+
+TEST_F(ModelTest, PartialUnrollNeverPromotes) {
+  const TileProgram p = build_tile_program(8, 4, Looking::kTop);
+  const RegisterEstimate est =
+      model_.estimate_registers(p, Unroll::kPartial, 64);
+  EXPECT_DOUBLE_EQ(est.promoted_fraction, 0.0);
+}
+
+TEST_F(ModelTest, HugeBlocksForceSpills) {
+  // 512-thread blocks cap registers at 128/thread; an nb=8 three-tile
+  // kernel (~206 regs) must spill.
+  const TileProgram p = build_tile_program(48, 8, Looking::kTop);
+  const RegisterEstimate est =
+      model_.estimate_registers(p, Unroll::kPartial, 512);
+  EXPECT_GT(est.spilled_regs, 0);
+  EXPECT_LE(est.regs_per_thread, 128);
+}
+
+// ------------------------------------------------------------ i-cache ----
+
+TEST_F(ModelTest, IcachePenaltyGrowsWithFullUnrollSize) {
+  TuningParams p = base();
+  p.unroll = Unroll::kFull;
+  const auto small = model_.evaluate(16, kBatch, p);
+  const auto large = model_.evaluate(64, kBatch, p);
+  EXPECT_GT(large.icache_penalty, small.icache_penalty);
+  EXPECT_GT(large.icache_penalty, 1.5);
+}
+
+// ------------------------------------------------------------- memory ----
+
+TEST_F(ModelTest, MemoryTrafficScalesWithBatch) {
+  const auto half = model_.evaluate(24, kBatch / 2, base());
+  const auto full = model_.evaluate(24, kBatch, base());
+  EXPECT_NEAR(full.dram_read_bytes / half.dram_read_bytes, 2.0, 0.01);
+}
+
+TEST_F(ModelTest, NonChunkedHasWorseDramEfficiency) {
+  TuningParams simple = base();
+  simple.chunked = false;
+  const auto c = model_.evaluate(24, kBatch, base());
+  const auto s = model_.evaluate(24, kBatch, simple);
+  EXPECT_GT(c.dram_efficiency, s.dram_efficiency);
+}
+
+TEST_F(ModelTest, PromotedKernelMovesMinimalTraffic) {
+  TuningParams p = base();
+  p.unroll = Unroll::kFull;
+  const auto r = model_.evaluate(16, kBatch, p);
+  // Minimal traffic = lower triangle in + out = 136 elements each way.
+  const double min_bytes = 136.0 * 4.0 * kBatch;
+  EXPECT_NEAR(r.dram_read_bytes, min_bytes, min_bytes * 0.05);
+  EXPECT_NEAR(r.dram_write_bytes, min_bytes, min_bytes * 0.05);
+}
+
+TEST_F(ModelTest, RejectsBadArguments) {
+  EXPECT_THROW((void)model_.evaluate(0, kBatch, base()), Error);
+  EXPECT_THROW((void)model_.evaluate(8, 0, base()), Error);
+  TuningParams bad = base();
+  bad.chunk_size = 40;
+  EXPECT_THROW((void)model_.evaluate(8, kBatch, bad), Error);
+}
+
+
+// ------------------------------------------------- calibration guard bands
+
+// Guard bands around the calibrated model's headline outputs: these protect
+// the reproduction from silent calibration drift. Bounds are deliberately
+// loose — they assert the regime, not the digit.
+TEST_F(ModelTest, CalibrationGuardBands) {
+  // Best-over-space IEEE performance in the paper's regimes.
+  auto best = [&](int n) {
+    double g = 0.0;
+    TuningParams p = base();
+    for (const int nb : {1, 2, 4, 8}) {
+      for (const auto u : {Unroll::kPartial, Unroll::kFull}) {
+        for (const int c : {32, 64}) {
+          p.nb = nb;
+          p.unroll = u;
+          p.chunk_size = c;
+          g = std::max(g, gflops(n, p));
+        }
+      }
+    }
+    return g;
+  };
+  const double g8 = best(8);
+  const double g24 = best(24);
+  const double g64 = best(64);
+  EXPECT_GT(g8, 100.0);
+  EXPECT_LT(g8, 400.0);
+  EXPECT_GT(g24, 350.0);   // the ~500-650 plateau
+  EXPECT_LT(g24, 900.0);
+  EXPECT_GT(g64, 400.0);
+  EXPECT_LT(g64, 1000.0);  // must not run away past the paper's level-off
+}
+
+TEST_F(ModelTest, GuardBandChunk512Penalty) {
+  TuningParams best32 = base();
+  best32.chunk_size = 32;
+  TuningParams worst512 = base();
+  worst512.chunk_size = 512;
+  const double drop = 1.0 - gflops(24, worst512) / gflops(24, best32);
+  EXPECT_GT(drop, 0.10);  // "significantly worse"
+  EXPECT_LT(drop, 0.70);  // but still a working kernel
+}
+
+}  // namespace
+}  // namespace ibchol

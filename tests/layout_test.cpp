@@ -1,0 +1,315 @@
+// Tests for src/layout: index maps, padding, strides, conversions.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "layout/convert.hpp"
+#include "layout/layout.hpp"
+#include "layout/vector_layout.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+namespace {
+
+// -------------------------------------------------------- construction --
+
+TEST(Layout, CanonicalShape) {
+  const auto l = BatchLayout::canonical(5, 100);
+  EXPECT_EQ(l.kind(), LayoutKind::kCanonical);
+  EXPECT_EQ(l.padded_batch(), 100);
+  EXPECT_EQ(l.size_elems(), 5u * 5u * 100u);
+  EXPECT_EQ(l.chunk(), 1);
+  EXPECT_EQ(l.num_chunks(), 100);
+}
+
+TEST(Layout, InterleavedPadsToWarp) {
+  const auto l = BatchLayout::interleaved(3, 100);
+  EXPECT_EQ(l.padded_batch(), 128);  // next multiple of 32
+  EXPECT_EQ(l.size_elems(), 3u * 3u * 128u);
+  EXPECT_EQ(l.chunk(), 128);  // simple interleaved = one big chunk
+  EXPECT_EQ(l.num_chunks(), 1);
+}
+
+TEST(Layout, InterleavedExactMultipleNotPadded) {
+  const auto l = BatchLayout::interleaved(4, 64);
+  EXPECT_EQ(l.padded_batch(), 64);
+}
+
+TEST(Layout, ChunkedPadsToChunk) {
+  const auto l = BatchLayout::interleaved_chunked(4, 100, 64);
+  EXPECT_EQ(l.padded_batch(), 128);
+  EXPECT_EQ(l.chunk(), 64);
+  EXPECT_EQ(l.num_chunks(), 2);
+}
+
+TEST(Layout, RejectsInvalidShapes) {
+  EXPECT_THROW((void)BatchLayout::canonical(0, 10), Error);
+  EXPECT_THROW((void)BatchLayout::canonical(4, 0), Error);
+  EXPECT_THROW((void)BatchLayout::interleaved_chunked(4, 10, 48), Error);
+  EXPECT_THROW((void)BatchLayout::interleaved_chunked(4, 10, 0), Error);
+}
+
+// ----------------------------------------------------------- index maps --
+
+TEST(Layout, CanonicalIndexFormula) {
+  const auto l = BatchLayout::canonical(4, 10);
+  // offset = b*n^2 + j*n + i
+  EXPECT_EQ(l.index(0, 0, 0), 0u);
+  EXPECT_EQ(l.index(0, 2, 1), 6u);
+  EXPECT_EQ(l.index(3, 1, 2), 3u * 16u + 2u * 4u + 1u);
+}
+
+TEST(Layout, InterleavedIndexFormula) {
+  const auto l = BatchLayout::interleaved(4, 64);
+  // offset = (j*n + i)*B + b
+  EXPECT_EQ(l.index(5, 0, 0), 5u);
+  EXPECT_EQ(l.index(5, 2, 1), (1u * 4u + 2u) * 64u + 5u);
+}
+
+TEST(Layout, ChunkedIndexFormula) {
+  const auto l = BatchLayout::interleaved_chunked(3, 128, 32);
+  // offset = (b/C)*n^2*C + (j*n + i)*C + b%C
+  EXPECT_EQ(l.index(40, 2, 1), (40u / 32u) * 9u * 32u + (1u * 3u + 2u) * 32u +
+                                   (40u % 32u));
+}
+
+TEST(Layout, ChunkedMatchesInterleavedWithinFirstChunk) {
+  const auto chunked = BatchLayout::interleaved_chunked(5, 32, 32);
+  const auto simple = BatchLayout::interleaved(5, 32);
+  for (int b = 0; b < 32; ++b) {
+    for (int j = 0; j < 5; ++j) {
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(chunked.index(b, i, j), simple.index(b, i, j));
+      }
+    }
+  }
+}
+
+// Property: every layout's index map is a bijection onto [0, size).
+class LayoutBijection
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LayoutBijection, IndexMapIsBijective) {
+  const auto [n, batch, chunk] = GetParam();
+  std::vector<BatchLayout> layouts{BatchLayout::canonical(n, batch),
+                                   BatchLayout::interleaved(n, batch)};
+  if (chunk > 0) {
+    layouts.push_back(BatchLayout::interleaved_chunked(n, batch, chunk));
+  }
+  for (const auto& l : layouts) {
+    std::set<std::size_t> seen;
+    const std::int64_t matrices =
+        l.kind() == LayoutKind::kCanonical ? l.batch() : l.padded_batch();
+    for (std::int64_t b = 0; b < matrices; ++b) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          const std::size_t off = l.index(b, i, j);
+          EXPECT_LT(off, l.size_elems()) << l.to_string();
+          EXPECT_TRUE(seen.insert(off).second)
+              << "duplicate offset in " << l.to_string();
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), l.size_elems()) << l.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutBijection,
+    ::testing::Values(std::make_tuple(1, 7, 32), std::make_tuple(3, 32, 32),
+                      std::make_tuple(4, 100, 64), std::make_tuple(7, 65, 32),
+                      std::make_tuple(8, 256, 128),
+                      std::make_tuple(5, 31, 96)));
+
+// --------------------------------------------------------------- strides --
+
+TEST(Layout, BatchStrideWithinChunk) {
+  EXPECT_EQ(BatchLayout::canonical(4, 8).batch_stride_within_chunk(), 16);
+  EXPECT_EQ(BatchLayout::interleaved(4, 64).batch_stride_within_chunk(), 1);
+  EXPECT_EQ(
+      BatchLayout::interleaved_chunked(4, 64, 32).batch_stride_within_chunk(),
+      1);
+}
+
+TEST(Layout, ElementStride) {
+  EXPECT_EQ(BatchLayout::canonical(4, 8).element_stride(), 1);
+  EXPECT_EQ(BatchLayout::interleaved(4, 64).element_stride(), 64);
+  EXPECT_EQ(BatchLayout::interleaved_chunked(4, 64, 32).element_stride(), 32);
+}
+
+TEST(Layout, ChunkBase) {
+  const auto l = BatchLayout::interleaved_chunked(4, 128, 32);
+  EXPECT_EQ(l.chunk_base(0), 0u);
+  EXPECT_EQ(l.chunk_base(31), 0u);
+  EXPECT_EQ(l.chunk_base(32), 16u * 32u);
+  EXPECT_EQ(l.chunk_base(95), 2u * 16u * 32u);
+}
+
+TEST(Layout, StrideConsistentWithIndex) {
+  const auto l = BatchLayout::interleaved_chunked(6, 96, 32);
+  // element_stride: consecutive elements down a column
+  EXPECT_EQ(l.index(5, 1, 0) - l.index(5, 0, 0),
+            static_cast<std::size_t>(l.element_stride()));
+  // batch stride within chunk
+  EXPECT_EQ(l.index(6, 2, 3) - l.index(5, 2, 3),
+            static_cast<std::size_t>(l.batch_stride_within_chunk()));
+}
+
+// ---------------------------------------------------------- conversions --
+
+class ConvertTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConvertTest, AllPairsRoundTrip) {
+  const auto [n, batch] = GetParam();
+  const std::vector<BatchLayout> layouts{
+      BatchLayout::canonical(n, batch), BatchLayout::interleaved(n, batch),
+      BatchLayout::interleaved_chunked(n, batch, 32),
+      BatchLayout::interleaved_chunked(n, batch, 64)};
+
+  // Fill a canonical master with distinct values.
+  const auto& canon = layouts[0];
+  std::vector<float> master(canon.size_elems());
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        master[canon.index(b, i, j)] =
+            static_cast<float>(b * 1000 + j * 10 + i);
+      }
+    }
+  }
+
+  for (const auto& from : layouts) {
+    for (const auto& to : layouts) {
+      if (from == to) continue;
+      // canonical -> from -> to -> canonical must reproduce master.
+      std::vector<float> a(from.size_elems());
+      std::vector<float> b2(to.size_elems());
+      std::vector<float> back(canon.size_elems());
+      convert_layout<float>(canon, master, from, a);
+      convert_layout<float>(from, a, to, b2);
+      convert_layout<float>(to, b2, canon, back);
+      EXPECT_EQ(master, back) << from.to_string() << " -> " << to.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvertTest,
+                         ::testing::Values(std::make_tuple(1, 5),
+                                           std::make_tuple(3, 64),
+                                           std::make_tuple(5, 100),
+                                           std::make_tuple(8, 33)));
+
+TEST(Convert, PaddingFilledWithIdentity) {
+  const auto l = BatchLayout::interleaved_chunked(3, 10, 32);
+  const auto canon = BatchLayout::canonical(3, 10);
+  std::vector<float> src(canon.size_elems(), 7.0f);
+  std::vector<float> dst(l.size_elems());
+  convert_layout<float>(canon, src, l, dst);
+  for (std::int64_t b = 10; b < l.padded_batch(); ++b) {
+    for (int j = 0; j < 3; ++j) {
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(dst[l.index(b, i, j)], i == j ? 1.0f : 0.0f);
+      }
+    }
+  }
+}
+
+TEST(Convert, RejectsShapeMismatch) {
+  const auto a = BatchLayout::canonical(4, 10);
+  const auto b = BatchLayout::canonical(5, 10);
+  std::vector<float> src(a.size_elems());
+  std::vector<float> dst(b.size_elems());
+  EXPECT_THROW(convert_layout<float>(a, src, b, dst), Error);
+}
+
+TEST(Convert, RejectsUndersizedSpans) {
+  const auto a = BatchLayout::canonical(4, 10);
+  std::vector<float> src(a.size_elems() - 1);
+  std::vector<float> dst(a.size_elems());
+  const auto il = BatchLayout::interleaved(4, 10);
+  std::vector<float> dst2(il.size_elems());
+  EXPECT_THROW(convert_layout<float>(a, src, il, dst2), Error);
+}
+
+TEST(Convert, RejectsAliasedBuffers) {
+  const auto a = BatchLayout::canonical(4, 32);
+  const auto b = BatchLayout::interleaved(4, 32);
+  std::vector<float> buf(b.size_elems());
+  EXPECT_THROW(
+      convert_layout<float>(a, std::span<const float>(buf.data(), buf.size()),
+                            b, std::span<float>(buf.data(), buf.size())),
+      Error);
+}
+
+TEST(Convert, ExtractInsertRoundTrip) {
+  const auto l = BatchLayout::interleaved_chunked(4, 50, 32);
+  std::vector<double> data(l.size_elems());
+  std::vector<double> m(16);
+  for (int k = 0; k < 16; ++k) m[k] = k + 1.5;
+  insert_matrix<double>(l, data, 17, m);
+  std::vector<double> out(16);
+  extract_matrix<double>(l, data, 17, out);
+  EXPECT_EQ(m, out);
+}
+
+TEST(Convert, ExtractRejectsOutOfRange) {
+  const auto l = BatchLayout::canonical(4, 10);
+  std::vector<float> data(l.size_elems());
+  std::vector<float> out(16);
+  EXPECT_THROW(extract_matrix<float>(l, data, 10, out), Error);
+  EXPECT_THROW(extract_matrix<float>(l, data, -1, out), Error);
+}
+
+// --------------------------------------------------------- vector layout --
+
+TEST(VectorLayout, MatchingFollowsMatrixLayout) {
+  const auto m = BatchLayout::interleaved_chunked(8, 100, 64);
+  const auto v = BatchVectorLayout::matching(m);
+  EXPECT_EQ(v.kind(), LayoutKind::kInterleavedChunked);
+  EXPECT_EQ(v.chunk(), 64);
+  EXPECT_EQ(v.padded_batch(), m.padded_batch());
+  EXPECT_EQ(v.size_elems(), 8u * 128u);
+}
+
+TEST(VectorLayout, IndexBijective) {
+  for (const auto& v :
+       {BatchVectorLayout::canonical(5, 10), BatchVectorLayout::interleaved(5, 40),
+        BatchVectorLayout::interleaved_chunked(5, 70, 32)}) {
+    std::set<std::size_t> seen;
+    const std::int64_t count =
+        v.kind() == LayoutKind::kCanonical ? v.batch() : v.padded_batch();
+    for (std::int64_t b = 0; b < count; ++b) {
+      for (int i = 0; i < v.n(); ++i) {
+        const auto off = v.index(b, i);
+        EXPECT_LT(off, v.size_elems());
+        EXPECT_TRUE(seen.insert(off).second);
+      }
+    }
+  }
+}
+
+TEST(VectorLayout, CanonicalIndexFormula) {
+  const auto v = BatchVectorLayout::canonical(4, 10);
+  EXPECT_EQ(v.index(2, 3), 2u * 4u + 3u);
+}
+
+// ------------------------------------------------------------- misc ------
+
+TEST(Layout, ToStringMentionsKindAndShape) {
+  const auto l = BatchLayout::interleaved_chunked(4, 100, 64);
+  const std::string s = l.to_string();
+  EXPECT_NE(s.find("interleaved_chunked"), std::string::npos);
+  EXPECT_NE(s.find("n=4"), std::string::npos);
+  EXPECT_NE(s.find("chunk=64"), std::string::npos);
+}
+
+TEST(Layout, RoundUpHelper) {
+  EXPECT_EQ(round_up(0, 32), 0);
+  EXPECT_EQ(round_up(1, 32), 32);
+  EXPECT_EQ(round_up(32, 32), 32);
+  EXPECT_EQ(round_up(33, 32), 64);
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,88 @@
+// Tests for the occupancy calculator against known CUDA limits.
+#include <gtest/gtest.h>
+
+#include "simt/occupancy.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+namespace {
+
+TEST(Occupancy, LightweightKernelHitsBlockLimit) {
+  // 32-thread blocks with few registers: P100 caps at 32 blocks/SM.
+  const GpuSpec gpu = GpuSpec::p100();
+  const Occupancy occ = compute_occupancy(gpu, {32, 16, 0});
+  EXPECT_EQ(occ.blocks_per_sm, 32);
+  EXPECT_EQ(occ.warps_per_sm, 32);
+  EXPECT_STREQ(occ.limiter, "blocks");
+}
+
+TEST(Occupancy, FullThreadsFullWarps) {
+  // 1024-thread blocks, 32 regs/thread: 2 blocks = 2048 threads = 64 warps.
+  const GpuSpec gpu = GpuSpec::p100();
+  const Occupancy occ = compute_occupancy(gpu, {1024, 32, 0});
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  // 255 regs/thread, 256-thread blocks: regs/warp = 8160 -> granule 8192;
+  // per block 65536 regs = whole SM -> 1 block.
+  const GpuSpec gpu = GpuSpec::p100();
+  const Occupancy occ = compute_occupancy(gpu, {256, 255, 0});
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_STREQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, RegisterDemandExceedingSmCannotLaunch) {
+  // 1024 threads x 255 regs ~ 261K regs > 64K: zero blocks.
+  const GpuSpec gpu = GpuSpec::p100();
+  const Occupancy occ = compute_occupancy(gpu, {1024, 255, 0});
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+  EXPECT_EQ(occ.warps_per_sm, 0);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  // 33 KB of shared memory per block on a 64 KB SM: 1 block.
+  const GpuSpec gpu = GpuSpec::p100();
+  const Occupancy occ = compute_occupancy(gpu, {64, 32, 33 * 1024});
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_STREQ(occ.limiter, "smem");
+}
+
+TEST(Occupancy, ThreadLimited) {
+  // 2048-thread cap with 512-thread blocks and tiny footprint: 4 blocks.
+  const GpuSpec gpu = GpuSpec::p100();
+  const Occupancy occ = compute_occupancy(gpu, {512, 8, 0});
+  EXPECT_EQ(occ.blocks_per_sm, 4);
+  EXPECT_EQ(occ.warps_per_sm, 64);
+}
+
+TEST(Occupancy, WarpGranularityRoundsUp) {
+  // 48-thread blocks occupy 2 warps.
+  const GpuSpec gpu = GpuSpec::p100();
+  const Occupancy occ = compute_occupancy(gpu, {48, 16, 0});
+  EXPECT_EQ(occ.warps_per_sm, occ.blocks_per_sm * 2);
+}
+
+TEST(Occupancy, RejectsBadInputs) {
+  const GpuSpec gpu = GpuSpec::p100();
+  EXPECT_THROW((void)compute_occupancy(gpu, {0, 32, 0}), Error);
+  EXPECT_THROW((void)compute_occupancy(gpu, {32, -1, 0}), Error);
+}
+
+TEST(Occupancy, K40SpecDiffers) {
+  const GpuSpec k40 = GpuSpec::k40();
+  // K40 allows only 16 blocks/SM.
+  const Occupancy occ = compute_occupancy(k40, {32, 16, 0});
+  EXPECT_EQ(occ.blocks_per_sm, 16);
+}
+
+TEST(GpuSpec, PeakFlopsP100) {
+  const GpuSpec gpu = GpuSpec::p100();
+  // 56 SMs x 64 cores x 2 flops x 1.48 GHz ~ 10.6 TFLOP/s.
+  EXPECT_NEAR(gpu.peak_fp32_flops() / 1e12, 10.6, 0.2);
+}
+
+}  // namespace
+}  // namespace ibchol

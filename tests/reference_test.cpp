@@ -1,0 +1,211 @@
+// Tests for the per-matrix dense reference routines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cpu/reference.hpp"
+#include "util/rng.hpp"
+
+namespace ibchol {
+namespace {
+
+// Builds a random SPD matrix A = G·Gᵀ + n·I (column-major, dense).
+template <typename T>
+std::vector<T> random_spd(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> g(static_cast<std::size_t>(n) * n);
+  for (auto& v : g) v = rng.uniform(-1.0, 1.0);
+  std::vector<T> a(static_cast<std::size_t>(n) * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double acc = (i == j) ? n : 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += g[i + static_cast<std::size_t>(k) * n] *
+               g[j + static_cast<std::size_t>(k) * n];
+      }
+      a[i + static_cast<std::size_t>(j) * n] = static_cast<T>(acc);
+    }
+  }
+  return a;
+}
+
+TEST(Reference, KnownThreeByThree) {
+  // A = [[4,12,-16],[12,37,-43],[-16,-43,98]] has L = [[2],[6,1],[-8,5,3]].
+  std::vector<double> a{4, 12, -16, 12, 37, -43, -16, -43, 98};
+  ASSERT_EQ(potrf_unblocked(3, a.data(), 3), 0);
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  EXPECT_NEAR(a[1], 6.0, 1e-12);
+  EXPECT_NEAR(a[2], -8.0, 1e-12);
+  EXPECT_NEAR(a[4], 1.0, 1e-12);
+  EXPECT_NEAR(a[5], 5.0, 1e-12);
+  EXPECT_NEAR(a[8], 3.0, 1e-12);
+}
+
+TEST(Reference, OneByOne) {
+  std::vector<double> a{9.0};
+  ASSERT_EQ(potrf_unblocked(1, a.data(), 1), 0);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+}
+
+TEST(Reference, NonSpdReportsColumn) {
+  // Identity with a -1 at diagonal position 2 fails at column 3 (1-based).
+  std::vector<double> a(16, 0.0);
+  for (int i = 0; i < 4; ++i) a[i + 4 * i] = 1.0;
+  a[2 + 4 * 2] = -1.0;
+  EXPECT_EQ(potrf_unblocked(4, a.data(), 4), 3);
+}
+
+TEST(Reference, ZeroPivotAlsoFails) {
+  std::vector<double> a(4, 0.0);  // 2x2 zero matrix
+  EXPECT_EQ(potrf_unblocked(2, a.data(), 2), 1);
+}
+
+class BlockedVsUnblocked : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlockedVsUnblocked, AgreeToRoundoff) {
+  const auto [n, nb] = GetParam();
+  auto a = random_spd<double>(n, 17);
+  auto b = a;
+  ASSERT_EQ(potrf_unblocked(n, a.data(), n), 0);
+  ASSERT_EQ(potrf_blocked(n, nb, b.data(), n), 0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_NEAR(a[i + static_cast<std::size_t>(j) * n],
+                  b[i + static_cast<std::size_t>(j) * n], 1e-9)
+          << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedVsUnblocked,
+    ::testing::Combine(::testing::Values(1, 2, 5, 8, 13, 24, 37),
+                       ::testing::Values(1, 2, 4, 8, 64)));
+
+TEST(Reference, ReconstructionErrorSmallAfterFactor) {
+  const int n = 16;
+  const auto orig = random_spd<float>(n, 3);
+  auto fact = orig;
+  ASSERT_EQ(potrf_unblocked(n, fact.data(), n), 0);
+  EXPECT_LT(reconstruction_error<float>(n, orig, fact), 1e-5);
+}
+
+TEST(Reference, ReconstructionErrorDetectsCorruption) {
+  const int n = 8;
+  const auto orig = random_spd<float>(n, 4);
+  auto fact = orig;
+  ASSERT_EQ(potrf_unblocked(n, fact.data(), n), 0);
+  fact[3] += 1.0f;  // corrupt one factor entry
+  EXPECT_GT(reconstruction_error<float>(n, orig, fact), 1e-3);
+}
+
+TEST(Reference, TrsmSolvesAgainstNaive) {
+  // X·Lᵀ = B  =>  X = B·L^{-T}; verify X·Lᵀ reproduces B.
+  const int m = 3, n = 4;
+  auto lfull = random_spd<double>(n, 9);
+  ASSERT_EQ(potrf_unblocked(n, lfull.data(), n), 0);
+  Xoshiro256 rng(10);
+  std::vector<double> b(m * n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  auto x = b;
+  trsm_right_lower_trans(m, n, lfull.data(), n, x.data(), m);
+  // Recompute (X·Lᵀ)[i][j] = sum_{k<=j} X[i][k]·L[j][k] (L lower).
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (int k = 0; k <= j; ++k) {
+        acc += x[i + static_cast<std::size_t>(k) * m] *
+               lfull[j + static_cast<std::size_t>(k) * n];
+      }
+      EXPECT_NEAR(acc, b[i + static_cast<std::size_t>(j) * m], 1e-9);
+    }
+  }
+}
+
+TEST(Reference, SyrkMatchesNaive) {
+  const int n = 4, k = 3;
+  Xoshiro256 rng(11);
+  std::vector<double> a(n * k), c(n * n, 0.0), expected(n * n, 0.0);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      for (int p = 0; p < k; ++p) {
+        expected[i + j * n] -= a[i + p * n] * a[j + p * n];
+      }
+    }
+  }
+  syrk_lower_nt(n, k, a.data(), n, c.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_NEAR(c[i + j * n], expected[i + j * n], 1e-12);
+    }
+  }
+}
+
+TEST(Reference, GemmMatchesNaive) {
+  const int m = 3, n = 2, k = 4;
+  Xoshiro256 rng(12);
+  std::vector<double> a(m * k), b(n * k), c(m * n, 1.0), expected(m * n, 1.0);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      for (int p = 0; p < k; ++p) {
+        expected[i + j * m] -= a[i + p * m] * b[j + p * n];
+      }
+    }
+  }
+  gemm_nt_minus(m, n, k, a.data(), m, b.data(), n, c.data(), m);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-12);
+  }
+}
+
+TEST(Reference, PotrsSolvesSystem) {
+  const int n = 12;
+  const auto a = random_spd<double>(n, 21);
+  auto l = a;
+  ASSERT_EQ(potrf_unblocked(n, l.data(), n), 0);
+  Xoshiro256 rng(22);
+  std::vector<double> x_true(n), b(n, 0.0);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b[i] += a[i + static_cast<std::size_t>(j) * n] * x_true[j];
+    }
+  }
+  auto x = b;
+  potrs_vector(n, l.data(), n, x.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Reference, ResidualErrorZeroForExactSolve) {
+  const int n = 6;
+  const auto a = random_spd<double>(n, 30);
+  auto l = a;
+  ASSERT_EQ(potrf_unblocked(n, l.data(), n), 0);
+  std::vector<double> b(n, 1.0);
+  auto x = b;
+  potrs_vector(n, l.data(), n, x.data());
+  EXPECT_LT(residual_error<double>(n, a, x, b), 1e-12);
+}
+
+TEST(Reference, ResidualErrorFlagsWrongSolution) {
+  const int n = 6;
+  const auto a = random_spd<double>(n, 31);
+  std::vector<double> b(n, 1.0), x(n, 0.0);  // x = 0 is not a solution
+  EXPECT_GT(residual_error<double>(n, a, x, b), 1e-3);
+}
+
+TEST(Reference, BlockedPropagatesFailureColumn) {
+  const int n = 12;
+  auto a = random_spd<double>(n, 40);
+  // Make the trailing part fail: set diagonal element 9 very negative.
+  a[9 + 9 * 12] = -1e6;
+  const int info = potrf_blocked(n, 4, a.data(), n);
+  EXPECT_EQ(info, 10);  // 1-based
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,141 @@
+// Tests for mixed-precision iterative refinement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cpu/batch_factor.hpp"
+#include "cpu/batch_solve.hpp"
+#include "cpu/refine.hpp"
+#include "cpu/reference.hpp"
+#include "layout/convert.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace ibchol {
+namespace {
+
+struct RefineFixture {
+  int n;
+  std::int64_t batch;
+  BatchLayout layout;
+  BatchVectorLayout vlayout;
+  AlignedBuffer<float> originals;
+  AlignedBuffer<float> factors;
+  AlignedBuffer<float> b;
+  AlignedBuffer<float> x;
+
+  explicit RefineFixture(int n_in, std::int64_t batch_in, double condition)
+      : n(n_in),
+        batch(batch_in),
+        layout(BatchLayout::interleaved_chunked(n, batch, 32)),
+        vlayout(BatchVectorLayout::matching(layout)) {
+    originals.resize(layout.size_elems());
+    SpdOptions gen;
+    gen.kind = SpdKind::kControlledCondition;
+    gen.condition = condition;
+    generate_spd_batch<float>(layout, originals.span(), gen);
+    factors.resize(layout.size_elems());
+    std::copy(originals.begin(), originals.end(), factors.begin());
+    EXPECT_TRUE(factor_batch_cpu<float>(layout, factors.span(), {}).ok());
+    b.resize(vlayout.size_elems());
+    for (std::int64_t m = 0; m < batch; ++m) {
+      for (int i = 0; i < n; ++i) b[vlayout.index(m, i)] = 1.0f;
+    }
+    x.resize(vlayout.size_elems());
+  }
+
+  double max_residual() const {
+    std::vector<float> a(n * n), xs(n);
+    const std::vector<float> ones(n, 1.0f);
+    double worst = 0.0;
+    for (std::int64_t m = 0; m < batch; m += std::max<std::int64_t>(batch / 7, 1)) {
+      extract_matrix<float>(layout, std::span<const float>(originals.span()),
+                            m, a);
+      for (int i = 0; i < n; ++i) xs[i] = x[vlayout.index(m, i)];
+      worst = std::max(worst, residual_error<float>(n, a, xs, ones));
+    }
+    return worst;
+  }
+};
+
+TEST(Refine, ConvergesOnWellConditionedBatch) {
+  RefineFixture f(12, 100, 10.0);
+  const RefineResult res = refine_batch_solve(
+      f.layout, std::span<const float>(f.originals.span()),
+      std::span<const float>(f.factors.span()), f.vlayout,
+      std::span<const float>(f.b.span()), f.x.span());
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 3);
+  EXPECT_LT(f.max_residual(), 1e-6);
+}
+
+TEST(Refine, ImprovesIllConditionedSolves) {
+  const double cond = 2e4;
+  RefineFixture f(16, 64, cond);
+
+  // Plain single-precision solve.
+  std::copy(f.b.begin(), f.b.end(), f.x.begin());
+  solve_batch_cpu<float>(f.layout, std::span<const float>(f.factors.span()),
+                         f.vlayout, f.x.span());
+  const double plain = f.max_residual();
+
+  // Refined solve.
+  RefineOptions opt;
+  opt.max_iterations = 6;
+  opt.tolerance = 1e-7;
+  const RefineResult res = refine_batch_solve(
+      f.layout, std::span<const float>(f.originals.span()),
+      std::span<const float>(f.factors.span()), f.vlayout,
+      std::span<const float>(f.b.span()), f.x.span(), opt);
+  const double refined = f.max_residual();
+
+  EXPECT_LT(refined, plain) << "refinement must not make things worse";
+  EXPECT_LT(refined, 1e-6);
+  EXPECT_GE(res.iterations, 1);
+}
+
+TEST(Refine, ZeroIterationsEqualsPlainSolve) {
+  RefineFixture f(8, 64, 10.0);
+  RefineOptions opt;
+  opt.max_iterations = 0;
+  const RefineResult res = refine_batch_solve(
+      f.layout, std::span<const float>(f.originals.span()),
+      std::span<const float>(f.factors.span()), f.vlayout,
+      std::span<const float>(f.b.span()), f.x.span(), opt);
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_FALSE(res.converged);
+
+  AlignedBuffer<float> plain(f.vlayout.size_elems());
+  std::copy(f.b.begin(), f.b.end(), plain.begin());
+  solve_batch_cpu<float>(f.layout, std::span<const float>(f.factors.span()),
+                         f.vlayout, plain.span());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(f.x[i], plain[i]);
+  }
+}
+
+TEST(Refine, RejectsMismatchedSpans) {
+  RefineFixture f(8, 64, 10.0);
+  AlignedBuffer<float> tiny(4);
+  EXPECT_THROW(refine_batch_solve(
+                   f.layout, std::span<const float>(f.originals.span()),
+                   std::span<const float>(tiny.span()), f.vlayout,
+                   std::span<const float>(f.b.span()), f.x.span()),
+               Error);
+}
+
+TEST(Refine, FastMathVariantConverges) {
+  RefineFixture f(12, 64, 100.0);
+  RefineOptions opt;
+  opt.math = MathMode::kFastMath;
+  const RefineResult res = refine_batch_solve(
+      f.layout, std::span<const float>(f.originals.span()),
+      std::span<const float>(f.factors.span()), f.vlayout,
+      std::span<const float>(f.b.span()), f.x.span(), opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(f.max_residual(), 1e-5);
+}
+
+}  // namespace
+}  // namespace ibchol

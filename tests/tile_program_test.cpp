@@ -1,0 +1,248 @@
+// Tests for the tile-program IR and its builders.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kernels/tile_program.hpp"
+
+namespace ibchol {
+namespace {
+
+int count_kind(const TileProgram& p, TileOp::Kind kind) {
+  int c = 0;
+  for (const auto& op : p.ops) c += (op.kind == kind);
+  return c;
+}
+
+// -------------------------------------------------------------- basics --
+
+TEST(TileProgram, SingleTileProgramIsLoadFactorStore) {
+  const TileProgram p = build_tile_program(4, 4, Looking::kTop);
+  ASSERT_EQ(p.ops.size(), 3u);
+  EXPECT_EQ(p.ops[0].kind, TileOp::Kind::kLoadLower);
+  EXPECT_EQ(p.ops[1].kind, TileOp::Kind::kPotrf);
+  EXPECT_EQ(p.ops[2].kind, TileOp::Kind::kStoreLower);
+}
+
+TEST(TileProgram, SingleTileIdenticalAcrossLookings) {
+  const auto top = build_tile_program(6, 6, Looking::kTop);
+  const auto left = build_tile_program(6, 6, Looking::kLeft);
+  const auto right = build_tile_program(6, 6, Looking::kRight);
+  EXPECT_EQ(top.ops, left.ops);
+  EXPECT_EQ(top.ops, right.ops);
+}
+
+TEST(TileProgram, RejectsInvalidArguments) {
+  EXPECT_THROW((void)build_tile_program(0, 1, Looking::kTop), Error);
+  EXPECT_THROW((void)build_tile_program(4, 0, Looking::kTop), Error);
+  EXPECT_THROW((void)build_tile_program(4, 5, Looking::kTop), Error);
+}
+
+TEST(TileProgram, GridComputation) {
+  EXPECT_EQ(build_tile_program(8, 2, Looking::kTop).grid(), 4);
+  EXPECT_EQ(build_tile_program(9, 2, Looking::kTop).grid(), 5);
+  EXPECT_EQ(build_tile_program(8, 8, Looking::kTop).grid(), 1);
+}
+
+TEST(TileProgram, UsesAtMostThreeRegisterTiles) {
+  for (const auto looking :
+       {Looking::kRight, Looking::kLeft, Looking::kTop}) {
+    const auto p = build_tile_program(24, 4, looking);
+    EXPECT_LE(p.num_register_tiles(), 3);
+  }
+}
+
+// ---------------------------------------------------- structural checks --
+
+class ProgramGrid
+    : public ::testing::TestWithParam<std::tuple<int, int, Looking>> {};
+
+TEST_P(ProgramGrid, ValidatesAndCoversMatrix) {
+  const auto [n, nb, looking] = GetParam();
+  if (nb > n) GTEST_SKIP();
+  const TileProgram p = build_tile_program(n, nb, looking);
+  EXPECT_EQ(validate_program(p), p.ops.size());
+
+  // Every element of the lower triangle must be covered by at least one
+  // store (the factorization writes the whole factor).
+  std::map<std::pair<int, int>, int> stored;
+  for (const auto& op : p.ops) {
+    if (op.kind == TileOp::Kind::kStoreFull) {
+      for (int j = 0; j < op.cols; ++j) {
+        for (int i = 0; i < op.rows; ++i) {
+          stored[{op.row0 + i, op.col0 + j}]++;
+        }
+      }
+    } else if (op.kind == TileOp::Kind::kStoreLower) {
+      for (int j = 0; j < op.cols; ++j) {
+        for (int i = j; i < op.rows; ++i) {
+          stored[{op.row0 + i, op.col0 + j}]++;
+        }
+      }
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_GE((stored[{i, j}]), 1) << "element (" << i << "," << j
+                                     << ") never stored";
+    }
+  }
+  // Nothing above the diagonal is ever written.
+  for (const auto& [coord, count] : stored) {
+    EXPECT_GE(coord.first, coord.second)
+        << "store above diagonal at (" << coord.first << "," << coord.second
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProgramGrid,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13, 16, 24, 33, 48),
+                       ::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(Looking::kRight, Looking::kLeft,
+                                         Looking::kTop)));
+
+// ------------------------------------------------ write-count ordering --
+
+TEST(TileProgram, WriteCountsOrderRightGreaterLeftGreaterTop) {
+  // The paper's §III conclusion: the lazier the evaluation, the fewer
+  // writes. For multi-tile programs: right > left > top.
+  const int n = 48, nb = 8;
+  auto stores = [](const TileProgram& p) {
+    std::int64_t s = 0;
+    for (const auto& op : p.ops) {
+      if (op.kind == TileOp::Kind::kStoreFull) s += op.rows * op.cols;
+      if (op.kind == TileOp::Kind::kStoreLower) {
+        s += op.rows * (op.rows + 1) / 2;
+      }
+    }
+    return s;
+  };
+  const auto right = stores(build_tile_program(n, nb, Looking::kRight));
+  const auto left = stores(build_tile_program(n, nb, Looking::kLeft));
+  const auto top = stores(build_tile_program(n, nb, Looking::kTop));
+  EXPECT_GT(right, left);
+  EXPECT_GT(left, top);
+}
+
+TEST(TileProgram, TopLookingStoresEachTileExactlyOnce) {
+  const TileProgram p = build_tile_program(32, 8, Looking::kTop);
+  int full = count_kind(p, TileOp::Kind::kStoreFull);
+  int lower = count_kind(p, TileOp::Kind::kStoreLower);
+  const int t = p.grid();
+  EXPECT_EQ(lower, t);                      // one diagonal tile per step
+  EXPECT_EQ(full, t * (t - 1) / 2);         // each off-diagonal tile once
+}
+
+TEST(TileProgram, RightLookingStoreCountMatchesClosedForm) {
+  const TileProgram p = build_tile_program(32, 8, Looking::kRight);
+  const int t = p.grid();
+  // Per step kk: 1 diag + (t-kk-1) panel + trailing tiles. Trailing writes:
+  // sum_{jj>kk} (1 + (t-jj-1)).
+  int expect_full = 0, expect_lower = 0;
+  for (int kk = 0; kk < t; ++kk) {
+    expect_lower += 1;
+    expect_full += t - kk - 1;
+    for (int jj = kk + 1; jj < t; ++jj) {
+      expect_lower += 1;
+      expect_full += t - jj - 1;
+    }
+  }
+  EXPECT_EQ(count_kind(p, TileOp::Kind::kStoreFull), expect_full);
+  EXPECT_EQ(count_kind(p, TileOp::Kind::kStoreLower), expect_lower);
+}
+
+TEST(TileProgram, GemmCountMatchesClosedForm) {
+  // Top-looking gemm count: sum_kk sum_{nn<kk} nn.
+  const TileProgram p = build_tile_program(40, 8, Looking::kTop);
+  const int t = p.grid();
+  int expect = 0;
+  for (int kk = 0; kk < t; ++kk) {
+    for (int nn = 0; nn < kk; ++nn) expect += nn;
+  }
+  EXPECT_EQ(count_kind(p, TileOp::Kind::kGemm), expect);
+}
+
+TEST(TileProgram, AllLookingsHaveSamePotrfAndTrsmWork) {
+  // Every variant factors the same t diagonal tiles and solves the same
+  // t(t-1)/2 panel tiles.
+  for (const int n : {16, 24, 40}) {
+    const int nb = 8;
+    const int t = (n + nb - 1) / nb;
+    for (const auto looking :
+         {Looking::kRight, Looking::kLeft, Looking::kTop}) {
+      const auto p = build_tile_program(n, nb, looking);
+      EXPECT_EQ(count_kind(p, TileOp::Kind::kPotrf), t);
+      EXPECT_EQ(count_kind(p, TileOp::Kind::kTrsm), t * (t - 1) / 2);
+    }
+  }
+}
+
+// ------------------------------------------------------- corner cases --
+
+TEST(TileProgram, CornerTilesHaveReducedDims) {
+  const TileProgram p = build_tile_program(10, 4, Looking::kTop);  // 4+4+2
+  bool saw_corner = false;
+  for (const auto& op : p.ops) {
+    if (op.kind == TileOp::Kind::kPotrf && op.row0 == 8) {
+      EXPECT_EQ(op.rows, 2);
+      saw_corner = true;
+    }
+  }
+  EXPECT_TRUE(saw_corner);
+}
+
+TEST(TileProgram, ValidateCatchesCorruptedProgram) {
+  TileProgram p = build_tile_program(8, 4, Looking::kTop);
+  // Corrupt: load out of bounds.
+  p.ops[0].row0 = 100;
+  EXPECT_THROW((void)validate_program(p), Error);
+}
+
+TEST(TileProgram, ValidateCatchesUseBeforeLoad) {
+  TileProgram p;
+  p.n = 4;
+  p.nb = 4;
+  p.ops.push_back({TileOp::Kind::kPotrf, 0, 0, 0, 0, 0, 4, 4, 0});
+  EXPECT_THROW((void)validate_program(p), Error);
+}
+
+TEST(TileProgram, ValidateCatchesDimMismatch) {
+  TileProgram p;
+  p.n = 8;
+  p.nb = 4;
+  p.ops.push_back({TileOp::Kind::kLoadLower, 0, 0, 0, 0, 0, 4, 4, 0});
+  p.ops.push_back({TileOp::Kind::kLoadFull, 1, 0, 0, 4, 0, 4, 4, 0});
+  // Syrk claims kdim 2 but the A tile has 4 columns.
+  p.ops.push_back({TileOp::Kind::kSyrk, 1, 0, 0, 0, 0, 4, 4, 2});
+  EXPECT_THROW((void)validate_program(p), Error);
+}
+
+// --------------------------------------------------------- descriptions --
+
+TEST(TileProgram, ToStringsAreInformative) {
+  const TileProgram p = build_tile_program(8, 4, Looking::kLeft);
+  EXPECT_NE(p.to_string().find("left"), std::string::npos);
+  EXPECT_NE(to_string(p.ops[0]).find("load"), std::string::npos);
+  EXPECT_EQ(to_string(Looking::kTop), "top");
+  EXPECT_EQ(to_string(Unroll::kFull), "full");
+  EXPECT_EQ(to_string(MathMode::kFastMath), "fast");
+}
+
+TEST(TileProgram, EnumParsersRoundTrip) {
+  for (const auto l : {Looking::kRight, Looking::kLeft, Looking::kTop}) {
+    EXPECT_EQ(looking_from_string(to_string(l)), l);
+  }
+  for (const auto u : {Unroll::kPartial, Unroll::kFull}) {
+    EXPECT_EQ(unroll_from_string(to_string(u)), u);
+  }
+  for (const auto m : {MathMode::kIeee, MathMode::kFastMath}) {
+    EXPECT_EQ(math_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW((void)looking_from_string("sideways"), Error);
+  EXPECT_THROW((void)unroll_from_string("none"), Error);
+  EXPECT_THROW((void)math_from_string("exact"), Error);
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,207 @@
+// Tests for the cache model and the trace-driven SIMT simulator.
+#include <gtest/gtest.h>
+
+#include "simt/cache_model.hpp"
+#include "simt/trace_sim.hpp"
+
+namespace ibchol {
+namespace {
+
+// ---------------------------------------------------------- cache model --
+
+TEST(CacheModel, ColdMissesThenHits) {
+  CacheModel c(4096, 128, 4);  // 32 lines, 8 sets
+  EXPECT_FALSE(c.access(0, false));
+  EXPECT_TRUE(c.access(64, false));   // same line
+  EXPECT_TRUE(c.access(127, false));  // same line
+  EXPECT_FALSE(c.access(128, false)); // next line
+  EXPECT_EQ(c.stats().accesses, 4);
+  EXPECT_EQ(c.stats().hits, 2);
+  EXPECT_EQ(c.stats().misses, 2);
+}
+
+TEST(CacheModel, LruEvictionOrder) {
+  // 2-way, 1 set: lines map to the same set when size == 2 lines.
+  CacheModel c(256, 128, 2);
+  c.access(0, false);        // A
+  c.access(128, false);      // B
+  c.access(0, false);        // A again (B is now LRU)
+  c.access(256, false);      // C evicts B
+  EXPECT_TRUE(c.access(0, false));     // A still resident
+  EXPECT_FALSE(c.access(128, false));  // B was evicted
+  EXPECT_GE(c.stats().evictions, 1);
+}
+
+TEST(CacheModel, WritebackOnDirtyEviction) {
+  CacheModel c(256, 128, 2);
+  c.access(0, true);    // dirty A
+  c.access(128, false); // B
+  c.access(256, false); // evicts A (LRU) -> writeback
+  c.access(384, false); // evicts B (clean) -> no writeback
+  EXPECT_EQ(c.stats().writebacks, 1);
+}
+
+TEST(CacheModel, FlushCountsDirtyLines) {
+  CacheModel c(4096, 128, 4);
+  c.access(0, true);
+  c.access(128, true);
+  c.access(256, false);
+  EXPECT_EQ(c.flush_dirty(), 2);
+  EXPECT_EQ(c.flush_dirty(), 0);  // idempotent
+}
+
+TEST(CacheModel, WorkingSetLargerThanCacheThrashes) {
+  CacheModel c(4096, 128, 4);  // 32 lines
+  // Stream 64 distinct lines twice: second pass still misses (capacity).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int l = 0; l < 64; ++l) c.access(static_cast<std::uint64_t>(l) * 128, false);
+  }
+  EXPECT_LT(c.stats().hit_rate(), 0.05);
+}
+
+TEST(CacheModel, WorkingSetFittingIsAllHitsAfterWarmup) {
+  CacheModel c(4096, 128, 4);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int l = 0; l < 16; ++l) c.access(static_cast<std::uint64_t>(l) * 128, false);
+  }
+  // 16 cold misses out of 64 accesses.
+  EXPECT_EQ(c.stats().misses, 16);
+}
+
+TEST(CacheModel, ResetClearsEverything) {
+  CacheModel c(4096, 128, 4);
+  c.access(0, true);
+  c.reset();
+  EXPECT_EQ(c.stats().accesses, 0);
+  EXPECT_FALSE(c.access(0, false));  // cold again
+}
+
+TEST(CacheModel, RejectsBadGeometry) {
+  EXPECT_THROW(CacheModel(100, 128, 4), Error);   // not whole sets
+  EXPECT_THROW(CacheModel(4096, 100, 4), Error);  // line not a power of 2
+  EXPECT_THROW(CacheModel(0, 128, 4), Error);
+}
+
+// ------------------------------------------------------------ trace sim --
+
+class TraceSimTest : public ::testing::Test {
+ protected:
+  TraceSimulator sim_{GpuSpec::p100()};
+  static constexpr std::int64_t kBatch = 16384;
+
+  static TuningParams base() {
+    TuningParams p;
+    p.nb = 8;
+    p.looking = Looking::kTop;
+    p.chunked = true;
+    p.chunk_size = 64;
+    p.unroll = Unroll::kPartial;
+    return p;
+  }
+};
+
+TEST_F(TraceSimTest, Deterministic) {
+  const auto a = sim_.simulate(24, kBatch, base());
+  const auto b = sim_.simulate(24, kBatch, base());
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.l2_hit_rate, b.l2_hit_rate);
+}
+
+TEST_F(TraceSimTest, SaneOutputs) {
+  const auto r = sim_.simulate(32, kBatch, base());
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_LT(r.gflops * 1e9, GpuSpec::p100().peak_fp32_flops());
+  EXPECT_GE(r.l2_hit_rate, 0.0);
+  EXPECT_LE(r.l2_hit_rate, 1.0);
+  EXPECT_GT(r.dram_read_bytes, 0.0);
+  EXPECT_GT(r.dram_write_bytes, 0.0);
+  EXPECT_GT(r.l2_accesses, 0);
+}
+
+TEST_F(TraceSimTest, TrafficAtLeastCompulsory) {
+  // The batch's lower triangles must be read and written at least once.
+  const int n = 24;
+  const auto r = sim_.simulate(n, kBatch, base());
+  const double tri_bytes = n * (n + 1) / 2.0 * 4.0 * kBatch;
+  EXPECT_GE(r.dram_read_bytes, 0.9 * tri_bytes);
+  EXPECT_GE(r.dram_write_bytes, 0.9 * tri_bytes);
+}
+
+TEST_F(TraceSimTest, ChunkedBeatsSimpleInterleaved) {
+  for (const int n : {16, 32, 48}) {
+    TuningParams chunked = base();
+    TuningParams simple = base();
+    simple.chunked = false;
+    EXPECT_GT(sim_.simulate(n, kBatch, chunked).gflops,
+              sim_.simulate(n, kBatch, simple).gflops)
+        << n;
+  }
+}
+
+TEST_F(TraceSimTest, SmallTilesMoveMoreTraffic) {
+  TuningParams nb1 = base();
+  nb1.nb = 1;
+  TuningParams nb8 = base();
+  const auto r1 = sim_.simulate(48, kBatch, nb1);
+  const auto r8 = sim_.simulate(48, kBatch, nb8);
+  EXPECT_GT(r1.dram_read_bytes, 2.0 * r8.dram_read_bytes);
+  EXPECT_LT(r1.gflops, r8.gflops);
+}
+
+TEST_F(TraceSimTest, WriteTrafficOrderedByLaziness) {
+  TuningParams right = base();
+  right.looking = Looking::kRight;
+  TuningParams top = base();
+  const auto rr = sim_.simulate(48, kBatch, right);
+  const auto rt = sim_.simulate(48, kBatch, top);
+  EXPECT_GT(rr.dram_write_bytes, rt.dram_write_bytes);
+}
+
+TEST_F(TraceSimTest, PromotionShrinksFullUnrollTraffic) {
+  // Below the promotion threshold, full unrolling moves only the
+  // compulsory triangle.
+  const int n = 16;
+  TuningParams full = base();
+  full.unroll = Unroll::kFull;
+  TuningParams part = base();
+  const auto rf = sim_.simulate(n, kBatch, full);
+  const auto rp = sim_.simulate(n, kBatch, part);
+  EXPECT_LT(rf.dram_read_bytes, rp.dram_read_bytes);
+  const double tri_bytes = n * (n + 1) / 2.0 * 4.0 * kBatch;
+  EXPECT_LT(rf.dram_read_bytes, 1.4 * tri_bytes);
+}
+
+TEST_F(TraceSimTest, HitRateHigherForChunkedReuse) {
+  // With re-accesses present (nb small), the chunked layout's compact
+  // working set yields a (weakly) better L2 hit rate than the simple
+  // interleaved layout whose reuse window spans the whole dataset.
+  TuningParams chunked = base();
+  chunked.nb = 2;
+  TuningParams simple = chunked;
+  simple.chunked = false;
+  const auto rc = sim_.simulate(24, kBatch, chunked);
+  const auto rs = sim_.simulate(24, kBatch, simple);
+  EXPECT_GE(rc.l2_hit_rate + 0.02, rs.l2_hit_rate);
+}
+
+TEST_F(TraceSimTest, StreamingKernelsHaveLowHitRates) {
+  // The paper: "caches only serve the purpose of streaming buffers".
+  const auto r = sim_.simulate(48, kBatch, base());
+  EXPECT_LT(r.l2_hit_rate, 0.35);
+}
+
+TEST_F(TraceSimTest, RejectsBadArguments) {
+  EXPECT_THROW((void)sim_.simulate(0, kBatch, base()), Error);
+  EXPECT_THROW((void)sim_.simulate(8, 0, base()), Error);
+}
+
+TEST_F(TraceSimTest, SmallBatchClampsSampling) {
+  // Batch of one chunk: fewer blocks than the default sample count.
+  const auto r = sim_.simulate(8, 64, base());
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(r.blocks, 1);
+}
+
+}  // namespace
+}  // namespace ibchol

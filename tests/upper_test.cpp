@@ -1,0 +1,229 @@
+// Tests for upper-triangular support (A = Uᵀ·U), paper §II.C: "Upper
+// triangular matrices can be supported in the same manner."
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batch_cholesky.hpp"
+#include "cpu/batch_factor.hpp"
+#include "cpu/reference.hpp"
+#include "layout/convert.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace ibchol {
+namespace {
+
+// -------------------------------------------------------- reference ------
+
+TEST(UpperReference, KnownThreeByThree) {
+  // A = L·Lᵀ with L = [[2],[6,1],[-8,5,3]]; U = Lᵀ.
+  std::vector<double> a{4, 12, -16, 12, 37, -43, -16, -43, 98};
+  ASSERT_EQ(potrf_unblocked_upper(3, a.data(), 3), 0);
+  EXPECT_NEAR(a[0 + 0 * 3], 2.0, 1e-12);   // U(0,0)
+  EXPECT_NEAR(a[0 + 1 * 3], 6.0, 1e-12);   // U(0,1)
+  EXPECT_NEAR(a[0 + 2 * 3], -8.0, 1e-12);  // U(0,2)
+  EXPECT_NEAR(a[1 + 1 * 3], 1.0, 1e-12);   // U(1,1)
+  EXPECT_NEAR(a[1 + 2 * 3], 5.0, 1e-12);   // U(1,2)
+  EXPECT_NEAR(a[2 + 2 * 3], 3.0, 1e-12);   // U(2,2)
+}
+
+TEST(UpperReference, DoesNotTouchStrictLower) {
+  std::vector<double> a{4, 99, 12, 37};  // 2x2 with sentinel in (1,0)
+  a[1] = 99.0;
+  // Symmetric value lives in the upper triangle: A = [[4,12],[12,37]].
+  a[0 + 1 * 2] = 12.0;
+  ASSERT_EQ(potrf_unblocked_upper(2, a.data(), 2), 0);
+  EXPECT_DOUBLE_EQ(a[1], 99.0);  // strict lower untouched
+}
+
+TEST(UpperReference, InfoMatchesLower) {
+  std::vector<double> up(16, 0.0), lo(16, 0.0);
+  for (int i = 0; i < 4; ++i) up[i + 4 * i] = lo[i + 4 * i] = 1.0;
+  up[2 + 4 * 2] = lo[2 + 4 * 2] = -1.0;
+  EXPECT_EQ(potrf_unblocked_upper(4, up.data(), 4),
+            potrf_unblocked(4, lo.data(), 4));
+}
+
+TEST(UpperReference, PotrsSolves) {
+  const int n = 8;
+  // Build SPD, factor upper, solve, check residual.
+  Xoshiro256 rng(4);
+  std::vector<double> g(n * n), a(n * n);
+  for (auto& v : g) v = rng.uniform(-1.0, 1.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double acc = (i == j) ? n : 0.0;
+      for (int k = 0; k < n; ++k) acc += g[i + k * n] * g[j + k * n];
+      a[i + j * n] = acc;
+    }
+  }
+  auto u = a;
+  ASSERT_EQ(potrf_unblocked_upper(n, u.data(), n), 0);
+  std::vector<double> x(n, 1.0), b(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b[i] += a[i + j * n] * 1.0;
+  }
+  auto sol = b;
+  potrs_vector_upper(n, u.data(), n, sol.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(sol[i], 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------ batched ----
+
+struct UpperCase {
+  int n;
+  int nb;
+  Looking looking;
+  Unroll unroll;
+};
+
+void PrintTo(const UpperCase& c, std::ostream* os) {
+  *os << "n" << c.n << "_nb" << c.nb << "_" << to_string(c.looking) << "_"
+      << to_string(c.unroll);
+}
+
+class UpperBatchTest : public ::testing::TestWithParam<UpperCase> {};
+
+TEST_P(UpperBatchTest, UpperFactorIsTransposeOfLower) {
+  const auto [n, nb, looking, unroll] = GetParam();
+  const auto layout = BatchLayout::interleaved_chunked(n, 100, 32);
+  AlignedBuffer<float> lower(layout.size_elems());
+  generate_spd_batch<float>(layout, lower.span());
+  AlignedBuffer<float> upper(layout.size_elems());
+  std::copy(lower.begin(), lower.end(), upper.begin());
+
+  CpuFactorOptions opt;
+  opt.nb = nb;
+  opt.looking = looking;
+  opt.unroll = unroll;
+  EXPECT_TRUE(factor_batch_cpu<float>(layout, lower.span(), opt).ok());
+  opt.triangle = Triangle::kUpper;
+  EXPECT_TRUE(factor_batch_cpu<float>(layout, upper.span(), opt).ok());
+
+  // U(i,j) == L(j,i) bit for bit: both ran the identical schedule, only the
+  // index map was transposed.
+  for (const std::int64_t b : {std::int64_t{0}, std::int64_t{50},
+                               std::int64_t{99}}) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        ASSERT_EQ(upper[layout.index(b, j, i)], lower[layout.index(b, i, j)])
+            << "b=" << b << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UpperBatchTest,
+    ::testing::Values(UpperCase{5, 2, Looking::kTop, Unroll::kPartial},
+                      UpperCase{8, 4, Looking::kLeft, Unroll::kPartial},
+                      UpperCase{13, 8, Looking::kRight, Unroll::kPartial},
+                      UpperCase{16, 8, Looking::kTop, Unroll::kFull},
+                      UpperCase{24, 8, Looking::kTop, Unroll::kPartial}));
+
+TEST(UpperBatch, FacadeFactorizeAndSolve) {
+  const int n = 12;
+  const std::int64_t batch = 96;
+  const TuningParams params = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, batch, params);
+  const BatchCholesky chol(layout, params, Triangle::kUpper);
+  EXPECT_EQ(chol.triangle(), Triangle::kUpper);
+
+  AlignedBuffer<float> data(layout.size_elems());
+  generate_spd_batch<float>(layout, data.span());
+  std::vector<float> orig(data.begin(), data.end());
+  ASSERT_TRUE(chol.factorize<float>(data.span()).ok());
+
+  const auto vlayout = BatchVectorLayout::matching(layout);
+  AlignedBuffer<float> rhs(vlayout.size_elems());
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (int i = 0; i < n; ++i) rhs[vlayout.index(b, i)] = 1.0f;
+  }
+  chol.solve<float>(std::span<const float>(data.span()), vlayout, rhs.span());
+
+  std::vector<float> a(n * n), x(n);
+  const std::vector<float> ones(n, 1.0f);
+  for (const std::int64_t b : {std::int64_t{0}, batch - 1}) {
+    extract_matrix<float>(layout, std::span<const float>(orig), b, a);
+    for (int i = 0; i < n; ++i) x[i] = rhs[vlayout.index(b, i)];
+    EXPECT_LT(residual_error<float>(n, a, x, ones), 1e-4);
+  }
+}
+
+TEST(UpperBatch, CanonicalPathSupported) {
+  const int n = 9;
+  const auto layout = BatchLayout::canonical(n, 40);
+  AlignedBuffer<double> data(layout.size_elems());
+  generate_spd_batch<double>(layout, data.span());
+  std::vector<double> orig(data.begin(), data.end());
+  CpuFactorOptions opt;
+  opt.triangle = Triangle::kUpper;
+  ASSERT_TRUE(factor_batch_cpu<double>(layout, data.span(), opt).ok());
+
+  // Reconstruct: Uᵀ·U must equal A.
+  std::vector<double> a(n * n), u(n * n);
+  extract_matrix<double>(layout, std::span<const double>(orig), 11, a);
+  extract_matrix<double>(layout, std::span<const double>(data.span()), 11, u);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) {
+      double acc = 0.0;
+      for (int k = 0; k <= i; ++k) acc += u[k + i * n] * u[k + j * n];
+      EXPECT_NEAR(acc, a[i + j * n], 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(UpperBatch, FailureReportingUnchanged) {
+  const int n = 8;
+  const auto layout = BatchLayout::interleaved(n, 64);
+  AlignedBuffer<float> data(layout.size_elems());
+  generate_spd_batch<float>(layout, data.span());
+  poison_matrix<float>(layout, data.span(), 17, 5);
+  CpuFactorOptions opt;
+  opt.triangle = Triangle::kUpper;
+  std::vector<std::int32_t> info(64);
+  const FactorResult res =
+      factor_batch_cpu<float>(layout, data.span(), opt, info);
+  EXPECT_EQ(res.failed_count, 1);
+  EXPECT_EQ(info[17], 6);
+}
+
+TEST(UpperBatch, SolveMultiWithUpperFactor) {
+  const int n = 10, nrhs = 3;
+  const std::int64_t batch = 64;
+  const TuningParams params = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, batch, params);
+  const BatchCholesky chol(layout, params, Triangle::kUpper);
+
+  AlignedBuffer<float> mats(layout.size_elems());
+  generate_spd_batch<float>(layout, mats.span());
+  std::vector<float> orig(mats.begin(), mats.end());
+  ASSERT_TRUE(chol.factorize<float>(mats.span()).ok());
+
+  const BatchRectLayout rlayout = BatchRectLayout::matching(layout, n, nrhs);
+  AlignedBuffer<float> rhs(rlayout.size_elems());
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (int c = 0; c < nrhs; ++c) {
+      for (int i = 0; i < n; ++i) {
+        rhs[rlayout.index(b, i, c)] = static_cast<float>(c + 1);
+      }
+    }
+  }
+  chol.solve_multi<float>(std::span<const float>(mats.span()), rlayout,
+                          rhs.span());
+
+  std::vector<float> a(n * n), x(n), bv(n);
+  for (int c = 0; c < nrhs; ++c) {
+    extract_matrix<float>(layout, std::span<const float>(orig), 33, a);
+    for (int i = 0; i < n; ++i) {
+      x[i] = rhs[rlayout.index(33, i, c)];
+      bv[i] = static_cast<float>(c + 1);
+    }
+    EXPECT_LT(residual_error<float>(n, a, x, bv), 1e-4) << "rhs " << c;
+  }
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,327 @@
+// Tests for src/util: statistics, CSV, CLI, RNG, aligned storage, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "util/aligned_buffer.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ibchol {
+namespace {
+
+// ---------------------------------------------------------------- stats --
+
+TEST(Stats, MeanOfKnownValues) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const double xs[] = {42.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const double odd[] = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const double even[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const double xs[] = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+}
+
+TEST(Stats, QuantileRejectsOutOfRange) {
+  const double xs[] = {1.0};
+  EXPECT_THROW((void)quantile(xs, 1.5), Error);
+}
+
+TEST(Stats, MseOfIdenticalIsZero) {
+  const double a[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Stats, MseKnownValue) {
+  const double a[] = {1.0, 2.0};
+  const double b[] = {2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mse(a, b), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Stats, MseRejectsSizeMismatch) {
+  const double a[] = {1.0};
+  const double b[] = {1.0, 2.0};
+  EXPECT_THROW((void)mse(a, b), Error);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const double a[] = {1.0, 1.0, 1.0};
+  const double b[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, RSquaredPerfectFit) {
+  const double t[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(t, t), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictorIsZero) {
+  const double t[] = {1.0, 2.0, 3.0};
+  const double p[] = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(t, p), 0.0, 1e-12);
+}
+
+TEST(Stats, SummarizeFields) {
+  const double xs[] = {1.0, 5.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 10; ++i) diff += (a() != b());
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Xoshiro256 rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Xoshiro256 base(9);
+  Xoshiro256 s1 = base.split(1);
+  Xoshiro256 s2 = base.split(2);
+  EXPECT_NE(s1(), s2());
+}
+
+// ------------------------------------------------------------------ csv --
+
+TEST(Csv, RoundTripSimpleTable) {
+  CsvTable t;
+  t.header = {"a", "b"};
+  t.rows = {{"1", "x"}, {"2", "y"}};
+  const CsvTable back = parse_csv(to_csv(t));
+  EXPECT_EQ(back.header, t.header);
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(Csv, QuotedFieldsWithCommasAndQuotes) {
+  CsvTable t;
+  t.header = {"text"};
+  t.rows = {{"hello, \"world\""}};
+  const CsvTable back = parse_csv(to_csv(t));
+  EXPECT_EQ(back.rows[0][0], "hello, \"world\"");
+}
+
+TEST(Csv, ParsesCrlfLineEndings) {
+  const CsvTable t = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvTable t;
+  t.header = {"n", "gflops"};
+  EXPECT_EQ(t.column("gflops"), 1u);
+  EXPECT_THROW((void)t.column("missing"), Error);
+}
+
+TEST(Csv, RowWidthMismatchRejected) {
+  EXPECT_THROW((void)parse_csv("a,b\n1\n"), Error);
+}
+
+TEST(Csv, EscapePassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+// ------------------------------------------------------------------ cli --
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--n=32", "--batch", "1024", "--verbose"};
+  const Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 32);
+  EXPECT_EQ(cli.get_int("batch", 0), 1024);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_EQ(cli.get("mode", "auto"), "auto");
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(cli.has("mode"));
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "file1", "--k=2", "file2"};
+  const Cli cli(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n=abc"};
+  const Cli cli(2, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), Error);
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1"};
+  const Cli cli(4, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+}
+
+// --------------------------------------------------------- aligned buffer --
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer<float> buf(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kBatchAlignment,
+            0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0f);
+}
+
+TEST(AlignedBuffer, ResizeDiscardsAndRealigns) {
+  AlignedBuffer<double> buf(10);
+  buf[0] = 5.0;
+  buf.resize(20);
+  EXPECT_EQ(buf.size(), 20u);
+  EXPECT_EQ(buf[0], 0.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kBatchAlignment,
+            0u);
+}
+
+TEST(AlignedBuffer, EmptyBuffer) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  buf.resize(0);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+// ---------------------------------------------------------------- table --
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1.00"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- chart --
+
+TEST(AsciiChart, ContainsMarkersAndLegend) {
+  Series s;
+  s.name = "perf";
+  s.x = {0, 1, 2, 3};
+  s.y = {0, 10, 20, 15};
+  ChartOptions opt;
+  opt.title = "test chart";
+  const std::string out = render_chart({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("perf"), std::string::npos);
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesEmptySeries) {
+  const std::string out = render_chart({}, {});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiChart, ScatterUsesDistinctMarkers) {
+  Series a{"a", {0, 1}, {0, 1}};
+  Series b{"b", {0, 1}, {1, 0}};
+  const std::string out = render_scatter({a, b}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibchol

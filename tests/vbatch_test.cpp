@@ -1,0 +1,198 @@
+// Tests for variable-size batches and the batched log-determinant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/vbatch.hpp"
+#include "cpu/batch_factor.hpp"
+#include "cpu/batch_solve.hpp"
+#include "cpu/reference.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace ibchol {
+namespace {
+
+// Fills matrix b of a vbatch with a deterministic SPD matrix; returns the
+// dense copy for verification.
+std::vector<float> fill_spd(const VBatchCholesky& vb, std::span<float> data,
+                            std::int64_t b, std::uint64_t seed) {
+  const int n = vb.size_of(b);
+  Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (b + 1)));
+  std::vector<double> g(static_cast<std::size_t>(n) * n);
+  for (auto& v : g) v = rng.uniform(-1.0, 1.0);
+  std::vector<float> dense(static_cast<std::size_t>(n) * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double acc = (i == j) ? n : 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += g[i + static_cast<std::size_t>(k) * n] *
+               g[j + static_cast<std::size_t>(k) * n];
+      }
+      dense[i + static_cast<std::size_t>(j) * n] = static_cast<float>(acc);
+      data[vb.index(b, i, j)] = static_cast<float>(acc);
+    }
+  }
+  return dense;
+}
+
+TEST(VBatch, MixedSizesFactorCorrectly) {
+  std::vector<int> sizes;
+  Xoshiro256 rng(3);
+  for (int b = 0; b < 200; ++b) {
+    sizes.push_back(2 + static_cast<int>(rng.uniform_index(30)));
+  }
+  const VBatchCholesky vb(sizes);
+  EXPECT_GT(vb.num_groups(), 5u);
+  AlignedBuffer<float> data(vb.size_elems());
+  std::vector<std::vector<float>> dense(200);
+  for (std::int64_t b = 0; b < 200; ++b) {
+    dense[b] = fill_spd(vb, data.span(), b, 99);
+  }
+  const FactorResult res = vb.factorize<float>(data.span());
+  EXPECT_TRUE(res.ok());
+
+  for (const std::int64_t b : {std::int64_t{0}, std::int64_t{57},
+                               std::int64_t{199}}) {
+    const int n = vb.size_of(b);
+    std::vector<float> l(static_cast<std::size_t>(n) * n, 0.0f);
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        l[i + static_cast<std::size_t>(j) * n] = data[vb.index(b, i, j)];
+      }
+    }
+    EXPECT_LT(reconstruction_error<float>(n, dense[b], l), 1e-5) << b;
+  }
+}
+
+TEST(VBatch, SolveMixedSizes) {
+  std::vector<int> sizes{3, 17, 8, 8, 25, 3, 12};
+  const VBatchCholesky vb(sizes);
+  AlignedBuffer<float> data(vb.size_elems());
+  std::vector<std::vector<float>> dense(sizes.size());
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(sizes.size()); ++b) {
+    dense[b] = fill_spd(vb, data.span(), b, 7);
+  }
+  ASSERT_TRUE(vb.factorize<float>(data.span()).ok());
+
+  AlignedBuffer<float> rhs(vb.rhs_size_elems());
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(sizes.size()); ++b) {
+    for (int i = 0; i < vb.size_of(b); ++i) rhs[vb.rhs_index(b, i)] = 1.0f;
+  }
+  vb.solve<float>(std::span<const float>(data.span()), rhs.span());
+
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(sizes.size()); ++b) {
+    const int n = vb.size_of(b);
+    std::vector<float> x(n), ones(n, 1.0f);
+    for (int i = 0; i < n; ++i) x[i] = rhs[vb.rhs_index(b, i)];
+    EXPECT_LT(residual_error<float>(n, dense[b], x, ones), 1e-4) << b;
+  }
+}
+
+TEST(VBatch, InfoMapsToOriginalOrder) {
+  std::vector<int> sizes{6, 9, 6, 9, 6};
+  const VBatchCholesky vb(sizes);
+  AlignedBuffer<float> data(vb.size_elems());
+  for (std::int64_t b = 0; b < 5; ++b) fill_spd(vb, data.span(), b, 11);
+  // Poison matrix 3 (size 9) at diagonal position 4.
+  for (int j = 0; j < 9; ++j) {
+    for (int i = 0; i < 9; ++i) {
+      float v = (i == j) ? 1.0f : 0.0f;
+      if (i == 4 && j == 4) v = -1.0f;
+      data[vb.index(3, i, j)] = v;
+    }
+  }
+  std::vector<std::int32_t> info(5, -1);
+  const FactorResult res = vb.factorize<float>(data.span(), info);
+  EXPECT_EQ(res.failed_count, 1);
+  EXPECT_EQ(res.first_failed, 3);
+  EXPECT_EQ(info[3], 5);
+  EXPECT_EQ(info[0], 0);
+  EXPECT_EQ(info[4], 0);
+}
+
+TEST(VBatch, IndexIsInBoundsAndInjective) {
+  std::vector<int> sizes{2, 5, 2, 7};
+  const VBatchCholesky vb(sizes);
+  std::vector<char> seen(vb.size_elems(), 0);
+  for (std::int64_t b = 0; b < 4; ++b) {
+    for (int j = 0; j < vb.size_of(b); ++j) {
+      for (int i = 0; i < vb.size_of(b); ++i) {
+        const std::size_t off = vb.index(b, i, j);
+        ASSERT_LT(off, vb.size_elems());
+        ASSERT_EQ(seen[off], 0) << "aliasing at " << off;
+        seen[off] = 1;
+      }
+    }
+  }
+}
+
+TEST(VBatch, UniformSizesMatchPlainBatch) {
+  std::vector<int> sizes(50, 10);
+  const VBatchCholesky vb(sizes);
+  EXPECT_EQ(vb.num_groups(), 1u);
+  const TuningParams params = recommended_params(10);
+  const BatchLayout plain = BatchCholesky::make_layout(10, 50, params);
+  EXPECT_EQ(vb.size_elems(), plain.size_elems());
+}
+
+TEST(VBatch, RejectsBadSizes) {
+  EXPECT_THROW(VBatchCholesky({}), Error);
+  EXPECT_THROW(VBatchCholesky({4, 0, 3}), Error);
+}
+
+// ----------------------------------------------------------- logdet ------
+
+TEST(Logdet, MatchesDensePivotProduct) {
+  const int n = 9;
+  const auto layout = BatchLayout::interleaved_chunked(n, 64, 32);
+  AlignedBuffer<double> data(layout.size_elems());
+  generate_spd_batch<double>(layout, data.span());
+  AlignedBuffer<double> factors(layout.size_elems());
+  std::copy(data.begin(), data.end(), factors.begin());
+  ASSERT_TRUE(factor_batch_cpu<double>(layout, factors.span(), {}).ok());
+
+  std::vector<double> ld(64);
+  batch_logdet<double>(layout, std::span<const double>(factors.span()), ld);
+
+  // Independent check: product of squared diagonal pivots.
+  for (const std::int64_t b : {std::int64_t{0}, std::int64_t{40}}) {
+    double expected = 0.0;
+    for (int i = 0; i < n; ++i) {
+      expected += 2.0 * std::log(factors[layout.index(b, i, i)]);
+    }
+    EXPECT_NEAR(ld[b], expected, 1e-12);
+    EXPECT_TRUE(std::isfinite(ld[b]));
+  }
+}
+
+TEST(Logdet, IdentityIsZero) {
+  const int n = 5;
+  const auto layout = BatchLayout::interleaved(n, 32);
+  AlignedBuffer<float> factors(layout.size_elems());
+  for (std::int64_t b = 0; b < 32; ++b) {
+    for (int i = 0; i < n; ++i) factors[layout.index(b, i, i)] = 1.0f;
+  }
+  std::vector<double> ld(32);
+  batch_logdet<float>(layout, std::span<const float>(factors.span()), ld);
+  for (const double v : ld) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Logdet, FailedFactorGivesNan) {
+  const int n = 4;
+  const auto layout = BatchLayout::interleaved(n, 32);
+  AlignedBuffer<float> factors(layout.size_elems());
+  for (std::int64_t b = 0; b < 32; ++b) {
+    for (int i = 0; i < n; ++i) factors[layout.index(b, i, i)] = 2.0f;
+  }
+  factors[layout.index(7, 2, 2)] = -1.0f;  // broken pivot
+  std::vector<double> ld(32);
+  batch_logdet<float>(layout, std::span<const float>(factors.span()), ld);
+  EXPECT_TRUE(std::isnan(ld[7]));
+  EXPECT_FALSE(std::isnan(ld[6]));
+}
+
+}  // namespace
+}  // namespace ibchol

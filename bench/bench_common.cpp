@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "util/csv.hpp"
@@ -33,6 +34,7 @@ BenchConfig parse_config(int argc, const char* const* argv,
   cfg.measure = cli.get_bool("measure", false);
   cfg.measure_batch = cli.get_int("measure-batch", 4096);
   cfg.csv_path = cli.get("csv", "");
+  cfg.json_path = cli.get("json", "");
   cfg.trees = static_cast<int>(cli.get_int("trees", 500));
   cfg.noise_sigma = cli.get_double("noise", 0.0);
   return cfg;
@@ -111,6 +113,57 @@ void maybe_write_csv(const BenchConfig& config,
   }
   write_csv_file(config.csv_path, t);
   std::printf("wrote %s\n", config.csv_path.c_str());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void maybe_write_json(const BenchConfig& config, const std::string& bench_id,
+                      const std::vector<NamedSeries>& series) {
+  if (config.json_path.empty() || series.empty()) return;
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << json_escape(bench_id) << "\",\n"
+     << "  \"batch\": " << config.batch << ",\n  \"series\": [";
+  bool first_series = true;
+  for (const auto& s : series) {
+    os << (first_series ? "\n" : ",\n");
+    first_series = false;
+    os << "    {\"name\": \"" << json_escape(s.name) << "\", \"points\": [";
+    bool first_point = true;
+    for (const auto& [n, g] : s.gflops_by_n) {
+      os << (first_point ? "" : ", ") << "{\"n\": " << n << ", \"gflops\": "
+         << g << "}";
+      first_point = false;
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+  std::ofstream f(config.json_path);
+  if (!f) {
+    std::printf("could not open %s\n", config.json_path.c_str());
+    return;
+  }
+  f << os.str();
+  std::printf("wrote %s\n", config.json_path.c_str());
 }
 
 void check(bool ok, const std::string& claim) {

@@ -32,13 +32,14 @@ struct BenchConfig {
   bool measure = false;            ///< run CPU-substrate validation
   std::int64_t measure_batch = 4096;
   std::string csv_path;            ///< optional CSV dump
+  std::string json_path;           ///< optional JSON dump (BENCH_*.json)
   int trees = 500;                 ///< forest size (analysis benches)
   int step = 4;                    ///< size stride for sweep-heavy benches
 };
 
 /// Parses the standard flags:
 ///   --batch=N --step=K --measure[=bool] --measure-batch=N --csv=path
-///   --trees=N --noise=sigma --sizes=a,b,c
+///   --json=path --trees=N --noise=sigma --sizes=a,b,c
 BenchConfig parse_config(int argc, const char* const* argv,
                          int default_step = 2);
 
@@ -66,6 +67,17 @@ void print_series_chart(const std::vector<NamedSeries>& series,
 /// Writes series to CSV if config.csv_path is set.
 void maybe_write_csv(const BenchConfig& config,
                      const std::vector<NamedSeries>& series);
+
+/// Writes series (per-series best GFLOP/s by n) as JSON if
+/// config.json_path is set, so the repo's perf trajectory can be tracked
+/// machine-readably across PRs (BENCH_*.json). Format:
+///   {"bench": "<id>", "batch": N,
+///    "series": [{"name": "...", "points": [{"n": N, "gflops": G}, ...]}]}
+void maybe_write_json(const BenchConfig& config, const std::string& bench_id,
+                      const std::vector<NamedSeries>& series);
+
+/// Minimal JSON string escaping for the writers above.
+[[nodiscard]] std::string json_escape(const std::string& s);
 
 /// Prints a PASS/NOTE line for a qualitative claim check.
 void check(bool ok, const std::string& claim);

@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
         "sequences dominate (max gain " + TextTable::num(max_ratio, 2) + "x)");
 
   maybe_write_csv(cfg, {ieee, fast});
+  maybe_write_json(cfg, "fig13_top_performance", {ieee, fast});
   if (cfg.measure) measured_validation(cfg);
   return 0;
 }

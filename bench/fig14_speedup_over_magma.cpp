@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
         "sizes (speedup " + TextTable::num(sp_large, 2) + "x at n=64)");
 
   maybe_write_csv(cfg, {best, magma, speedup});
+  maybe_write_json(cfg, "fig14_speedup_over_magma", {best, magma, speedup});
   if (cfg.measure) measured_validation(cfg);
   return 0;
 }

@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
         "gains level off around nb~8 (nb=7 within 15% of nb=8 at n=56)");
 
   maybe_write_csv(cfg, series);
+  maybe_write_json(cfg, "fig15_tiling", series);
   return 0;
 }

@@ -50,5 +50,6 @@ int main(int argc, char** argv) {
         "the top-vs-right gap is substantial at n=48 (>10%)");
 
   maybe_write_csv(cfg, series);
+  maybe_write_json(cfg, "fig16_looking", series);
   return 0;
 }

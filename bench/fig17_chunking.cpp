@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
             TextTable::num(max_gain, 2) + "x)");
 
   maybe_write_csv(cfg, {chunked, simple});
+  maybe_write_json(cfg, "fig17_chunking", {chunked, simple});
   return 0;
 }

@@ -54,5 +54,6 @@ int main(int argc, char** argv) {
   check(a512 < 0.85 * a32, "512 drops significantly");
 
   maybe_write_csv(cfg, series);
+  maybe_write_json(cfg, "fig18_chunk_size", series);
   return 0;
 }

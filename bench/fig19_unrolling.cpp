@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
         "at n=48 full unrolling has clearly fallen behind (>10%)");
 
   maybe_write_csv(cfg, {partial, full});
+  maybe_write_json(cfg, "fig19_unrolling", {partial, full});
   return 0;
 }

@@ -1,12 +1,23 @@
 // Google-benchmark microbenchmarks of the measured CPU substrate: layout
 // conversion, lane-block kernels by variant, whole-matrix registerized
-// execution, the canonical per-matrix baseline, and the batched solve.
+// execution, the canonical per-matrix baseline, the interpreter vs
+// specialized-executor head-to-head, and the batched solve.
 //
 // These are the real-hardware counterpart of the SIMT model benches: the
 // interleave dimension maps to SIMD lanes, so the interleaved-vs-canonical
-// gap measured here is the CPU analog of the paper's coalescing gap.
+// gap measured here is the CPU analog of the paper's coalescing gap, and
+// the interpreter-vs-specialized gap is the analog of interpreted tile
+// loops vs the paper's generated fully unrolled kernels.
+//
+// Run with --json=<path> to skip the google-benchmark suite and instead
+// write a machine-readable summary (interpreter vs specialized, canonical
+// vs interleaved, per N) for cross-PR perf tracking (BENCH_*.json).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/batch_cholesky.hpp"
@@ -19,6 +30,7 @@
 #include "layout/convert.hpp"
 #include "layout/generate.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -120,6 +132,32 @@ void BM_FactorFastMath(benchmark::State& state) {
   set_flops(state, n, kBatch);
 }
 BENCHMARK(BM_FactorFastMath)->Arg(16)->Arg(32)->ArgName("n");
+
+// Interpreter vs specialized executor, same variant: the dispatch-overhead
+// head-to-head. For small n (full unrolling) this compares the scratch
+// whole-matrix loop against the fused compile-time kernel; for larger n it
+// compares per-op switch dispatch against the bound specialized table.
+void BM_FactorExec(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TuningParams p = recommended_params(n);
+  p.exec = state.range(1) != 0 ? CpuExec::kSpecialized
+                               : CpuExec::kInterpreter;
+  const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
+  const BatchCholesky chol(layout, p);
+  AlignedBuffer<float> pristine(layout.size_elems());
+  generate_spd_batch<float>(layout, pristine.span());
+  AlignedBuffer<float> work(layout.size_elems());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(pristine.begin(), pristine.end(), work.begin());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(chol.factorize<float>(work.span()));
+  }
+  set_flops(state, n, kBatch);
+}
+BENCHMARK(BM_FactorExec)
+    ->ArgsProduct({{4, 8, 16, 24, 32, 48, 64}, {0, 1}})
+    ->ArgNames({"n", "spec"});
 
 // ------------------------------------------------------------ layout -----
 
@@ -262,6 +300,100 @@ void BM_RefinedSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_RefinedSolve)->Arg(16)->ArgName("n");
 
+// ------------------------------------------------------- JSON summary ----
+
+// Best-of-3 factorization time for one (layout, options) configuration.
+double time_factor(const BatchLayout& layout,
+                   const AlignedBuffer<float>& pristine,
+                   AlignedBuffer<float>& work, const CpuFactorOptions& opt) {
+  const std::size_t bytes = layout.size_elems() * sizeof(float);
+  double best = 1e300;
+  for (int rep = 0; rep < 4; ++rep) {  // one warmup + three timed
+    std::memcpy(work.data(), pristine.data(), bytes);
+    Timer t;
+    (void)factor_batch_cpu<float>(layout, work.span(), opt);
+    const double s = t.seconds();
+    if (rep > 0 && s < best) best = s;
+  }
+  return best;
+}
+
+double to_gflops(int n, std::int64_t batch, double seconds) {
+  return seconds <= 0.0 ? 0.0
+                        : static_cast<double>(batch) *
+                              nominal_flops_per_matrix(n) / seconds / 1e9;
+}
+
+// Interpreter-vs-specialized and canonical-vs-interleaved summary across
+// the head-to-head sizes, written as one JSON document.
+void write_exec_summary(const std::string& path) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"micro_cpu\",\n  \"batch\": " << kBatch
+     << ",\n  \"summary\": [";
+  bool first = true;
+  for (const int n : {4, 8, 16, 24, 32, 48, 64}) {
+    const TuningParams p = recommended_params(n);
+    const BatchLayout il = BatchCholesky::make_layout(n, kBatch, p);
+    AlignedBuffer<float> ipristine(il.size_elems());
+    generate_spd_batch<float>(il, ipristine.span());
+    AlignedBuffer<float> iwork(il.size_elems());
+
+    CpuFactorOptions opt;
+    opt.nb = p.effective_nb(n);
+    opt.looking = p.looking;
+    opt.unroll = p.unroll;
+    opt.math = p.math;
+    opt.exec = CpuExec::kInterpreter;
+    const double interp = time_factor(il, ipristine, iwork, opt);
+    opt.exec = CpuExec::kSpecialized;
+    const double spec = time_factor(il, ipristine, iwork, opt);
+
+    const BatchLayout cl = BatchLayout::canonical(n, kBatch);
+    AlignedBuffer<float> cpristine(cl.size_elems());
+    generate_spd_batch<float>(cl, cpristine.span());
+    AlignedBuffer<float> cwork(cl.size_elems());
+    const double canonical = time_factor(cl, cpristine, cwork, opt);
+
+    os << (first ? "\n" : ",\n") << "    {\"n\": " << n
+       << ", \"interp_gflops\": " << to_gflops(n, kBatch, interp)
+       << ", \"spec_gflops\": " << to_gflops(n, kBatch, spec)
+       << ", \"exec_speedup\": " << (spec > 0.0 ? interp / spec : 0.0)
+       << ", \"canonical_gflops\": " << to_gflops(n, kBatch, canonical)
+       << ", \"interleaved_gflops\": " << to_gflops(n, kBatch, spec)
+       << ", \"layout_speedup\": " << (spec > 0.0 ? canonical / spec : 0.0)
+       << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+  std::ofstream f(path);
+  f << os.str();
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    write_exec_summary(json_path);
+    return 0;
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

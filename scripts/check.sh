@@ -1,12 +1,41 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, run every
 # benchmark binary. This is the command sequence EXPERIMENTS.md expects.
+#
+#   scripts/check.sh [--sanitize] [cmake args...]
+#
+# --sanitize adds a second build under AddressSanitizer + UBSan with
+# warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it.
+# Benchmarks only run from the plain build; they are meaningless under
+# instrumentation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja "$@"
+SANITIZE=0
+CMAKE_ARGS=()
+for arg in "$@"; do
+  case "${arg}" in
+    --sanitize) SANITIZE=1 ;;
+    *) CMAKE_ARGS+=("${arg}") ;;
+  esac
+done
+
+cmake -B build -G Ninja ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build build
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${SANITIZE}" == 1 ]]; then
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake -B build-sanitize -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DIBCHOL_WERROR=ON \
+    -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}" \
+    ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
+  cmake --build build-sanitize
+  ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)"
+fi
+
 for b in build/bench/*; do
   echo "===== ${b}"
   "${b}"

@@ -21,16 +21,33 @@ double Evaluator::gflops(int n, std::int64_t batch,
 
 double ModelEvaluator::seconds(int n, std::int64_t batch,
                                const TuningParams& params) {
-  const double s = model_.evaluate(n, batch, params).seconds;
-  if (noise_sigma_ <= 0.0) return s;
-  // Deterministic per-point jitter: hash the configuration into an RNG
-  // seed so repeated sweeps reproduce bit-identical datasets.
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<std::uint64_t>(n);
-  for (const char c : params.key()) {
-    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  const std::string memo_key = std::to_string(n) + '|' +
+                               std::to_string(batch) + '|' + params.key();
+  {
+    const std::lock_guard<std::mutex> lock(memo_mu_);
+    const auto it = memo_.find(memo_key);
+    if (it != memo_.end()) {
+      ++hits_;
+      return it->second;
+    }
   }
-  Xoshiro256 rng(h);
-  return s * std::max(0.5, 1.0 + noise_sigma_ * rng.normal());
+  // Evaluate outside the lock — the model is pure, and the parallel sweep
+  // driver must not serialize on it. A concurrent duplicate evaluation of
+  // the same point produces the same value, so last-write-wins is fine.
+  double s = model_.evaluate(n, batch, params).seconds;
+  if (noise_sigma_ > 0.0) {
+    // Deterministic per-point jitter: hash the configuration into an RNG
+    // seed so repeated sweeps reproduce bit-identical datasets.
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<std::uint64_t>(n);
+    for (const char c : params.key()) {
+      h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+    }
+    Xoshiro256 rng(h);
+    s *= std::max(0.5, 1.0 + noise_sigma_ * rng.normal());
+  }
+  const std::lock_guard<std::mutex> lock(memo_mu_);
+  memo_.emplace(memo_key, s);
+  return s;
 }
 
 std::string ModelEvaluator::name() const {

@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "kernels/variant.hpp"
 #include "simt/kernel_model.hpp"
@@ -27,6 +29,12 @@ class Evaluator {
   /// Kernel time in seconds for factoring `batch` n×n matrices.
   virtual double seconds(int n, std::int64_t batch,
                          const TuningParams& params) = 0;
+
+  /// Whether seconds() may be called concurrently from several threads
+  /// (the parallel sweep driver checks this). Analytical backends are;
+  /// wall-clock backends are not — a measurement sharing cores with other
+  /// evaluations is not a measurement.
+  [[nodiscard]] virtual bool parallel_safe() const { return false; }
 
   /// Backend name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
@@ -49,13 +57,26 @@ class ModelEvaluator final : public Evaluator {
 
   double seconds(int n, std::int64_t batch,
                  const TuningParams& params) override;
+  /// The model is pure; the memo cache below is mutex-protected.
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const KernelModel& model() const { return model_; }
 
+  /// Memoization statistics (hits include concurrent lookups).
+  [[nodiscard]] std::size_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::size_t cache_size() const { return memo_.size(); }
+
  private:
   KernelModel model_;
   double noise_sigma_ = 0.0;
+  // Memo cache keyed on (n, batch, params): figure benches sweep heavily
+  // overlapping grids, and the model is deterministic (including the
+  // seeded jitter), so repeated evaluations are free. Guarded by a mutex
+  // so the parallel sweep driver can share one evaluator.
+  std::mutex memo_mu_;
+  std::unordered_map<std::string, double> memo_;
+  std::size_t hits_ = 0;
 };
 
 /// Measured CPU-substrate backend. Caches one pristine SPD batch per
@@ -73,6 +94,9 @@ class CpuMeasuredEvaluator final : public Evaluator {
 
   double seconds(int n, std::int64_t batch,
                  const TuningParams& params) override;
+  /// Never parallel: wall-clock measurements must own the machine, and the
+  /// factorization under measurement is itself OpenMP-parallel.
+  [[nodiscard]] bool parallel_safe() const override { return false; }
   [[nodiscard]] std::string name() const override { return "cpu-measured"; }
 
  private:

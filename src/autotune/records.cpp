@@ -38,8 +38,8 @@ std::map<int, SweepRecord> SweepDataset::best_by_n(
 CsvTable SweepDataset::to_csv() const {
   CsvTable t;
   t.header = {"n",          "batch",   "nb",     "looking", "chunked",
-              "chunk_size", "unroll",  "math",   "cache",   "seconds",
-              "gflops"};
+              "chunk_size", "unroll",  "math",   "cache",   "exec",
+              "seconds",    "gflops"};
   for (const auto& r : records_) {
     t.rows.push_back({std::to_string(r.n), std::to_string(r.batch),
                       std::to_string(r.params.nb),
@@ -48,6 +48,7 @@ CsvTable SweepDataset::to_csv() const {
                       std::to_string(r.params.chunk_size),
                       to_string(r.params.unroll), to_string(r.params.math),
                       r.params.prefer_shared ? "shared" : "l1",
+                      to_string(r.params.exec),
                       std::to_string(r.seconds), std::to_string(r.gflops)});
   }
   return t;
@@ -66,6 +67,13 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
   const std::size_t cca = table.column("cache");
   const std::size_t cs = table.column("seconds");
   const std::size_t cg = table.column("gflops");
+  // Datasets persisted before the specialized executor existed have no
+  // "exec" column; default those records to the specialized mode.
+  const auto cex_it = std::find(table.header.begin(), table.header.end(),
+                                std::string("exec"));
+  const bool has_exec = cex_it != table.header.end();
+  const std::size_t cex =
+      static_cast<std::size_t>(cex_it - table.header.begin());
   for (const auto& row : table.rows) {
     SweepRecord r;
     r.n = std::stoi(row[cn]);
@@ -77,6 +85,8 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
     r.params.unroll = unroll_from_string(row[cun]);
     r.params.math = math_from_string(row[cma]);
     r.params.prefer_shared = row[cca] == "shared";
+    r.params.exec =
+        has_exec ? cpu_exec_from_string(row[cex]) : CpuExec::kSpecialized;
     r.seconds = std::stod(row[cs]);
     r.gflops = std::stod(row[cg]);
     ds.add(std::move(r));

@@ -1,5 +1,9 @@
 #include "autotune/sweep.hpp"
 
+#include <omp.h>
+
+#include <mutex>
+
 #include "kernels/counts.hpp"
 
 namespace ibchol {
@@ -8,30 +12,52 @@ SweepDataset run_sweep(Evaluator& evaluator, const SweepOptions& options) {
   IBCHOL_CHECK(!options.sizes.empty(), "sweep needs at least one size");
   IBCHOL_CHECK(options.batch > 0, "batch must be positive");
 
-  // Count total points for progress reporting.
-  std::size_t total = 0;
+  // Materialize the full point list first: the parallel driver needs an
+  // index space, and the dataset must come out in enumeration order no
+  // matter which thread finishes which point.
+  struct Point {
+    int n;
+    TuningParams params;
+  };
+  std::vector<Point> points;
   for (const int n : options.sizes) {
-    total += enumerate_space(n, options.space).size();
+    for (const TuningParams& params : enumerate_space(n, options.space)) {
+      points.push_back({n, params});
+    }
+  }
+  const std::size_t total = points.size();
+  std::vector<SweepRecord> records(total);
+
+  const int threads =
+      options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
+  const bool parallel = evaluator.parallel_safe() && threads > 1 && total > 1;
+
+  std::size_t done = 0;
+  std::mutex progress_mu;
+
+#pragma omp parallel for schedule(dynamic) num_threads(threads) \
+    if (parallel)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(total); ++i) {
+    const Point& pt = points[static_cast<std::size_t>(i)];
+    SweepRecord r;
+    r.n = pt.n;
+    r.batch = options.batch;
+    r.params = pt.params;
+    r.seconds = evaluator.seconds(pt.n, options.batch, pt.params);
+    r.gflops = r.seconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(options.batch) *
+                         nominal_flops_per_matrix(pt.n) / r.seconds / 1e9;
+    records[static_cast<std::size_t>(i)] = std::move(r);
+    if (options.progress) {
+      // Serialized, strictly monotone `done` counts (see SweepOptions).
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      options.progress(++done, total);
+    }
   }
 
   SweepDataset dataset;
-  std::size_t done = 0;
-  for (const int n : options.sizes) {
-    for (const TuningParams& params : enumerate_space(n, options.space)) {
-      SweepRecord r;
-      r.n = n;
-      r.batch = options.batch;
-      r.params = params;
-      r.seconds = evaluator.seconds(n, options.batch, params);
-      r.gflops = r.seconds <= 0.0
-                     ? 0.0
-                     : static_cast<double>(options.batch) *
-                           nominal_flops_per_matrix(n) / r.seconds / 1e9;
-      dataset.add(std::move(r));
-      ++done;
-      if (options.progress) options.progress(done, total);
-    }
-  }
+  for (SweepRecord& r : records) dataset.add(std::move(r));
   return dataset;
 }
 

@@ -15,12 +15,27 @@ struct SweepOptions {
   std::vector<int> sizes;          ///< matrix dimensions to sweep
   std::int64_t batch = 16384;      ///< the paper's batch size
   SpaceOptions space;              ///< which parameter axes to enumerate
+  /// Sweep-point parallelism: 0 = OpenMP default, 1 = serial. Only applies
+  /// when the evaluator reports parallel_safe(); measured evaluators always
+  /// run serially so timings own the machine.
+  int num_threads = 0;
   /// Progress callback: (completed points, total points); may be null.
+  ///
+  /// Thread-safety contract (enforced by the driver): invocations are
+  /// serialized under a mutex — the callback never runs concurrently with
+  /// itself — and `done` counts are strictly monotone from 1 to total.
+  /// Under the parallel driver the callback may fire from worker threads,
+  /// and points complete in arbitrary order, so `done` tracks the count of
+  /// finished points, not their dataset positions.
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
 /// Runs the exhaustive sweep of `options.space` over `options.sizes`
 /// through the given evaluator and returns the dataset.
+///
+/// The record order is deterministic — (size, enumeration index), exactly
+/// as the serial driver produced it — regardless of how many threads
+/// evaluate points.
 [[nodiscard]] SweepDataset run_sweep(Evaluator& evaluator,
                                      const SweepOptions& options);
 

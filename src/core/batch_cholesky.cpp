@@ -7,6 +7,10 @@ TuningParams recommended_params(int n) {
   p.chunked = true;
   p.chunk_size = 64;
   p.math = MathMode::kIeee;
+  // Always the specialized executor: compile-time tile kernels are the CPU
+  // analog of the paper's generated (pyexpander) kernels; the interpreter
+  // exists as a correctness oracle, not a production path.
+  p.exec = CpuExec::kSpecialized;
   if (n <= 20) {
     // Small matrices: full unrolling keeps the whole factorization in
     // registers; tile size and looking order are then irrelevant.
@@ -66,6 +70,7 @@ CpuFactorOptions to_cpu_options(const TuningParams& p, int n,
   o.unroll = p.unroll;
   o.math = p.math;
   o.triangle = triangle;
+  o.exec = p.exec;
   return o;
 }
 

@@ -6,8 +6,11 @@
 #include <limits>
 #include <vector>
 
+#include <optional>
+
 #include "cpu/reference.hpp"
 #include "cpu/tile_exec.hpp"
+#include "cpu/tile_exec_spec.hpp"
 #include "layout/convert.hpp"
 
 namespace ibchol {
@@ -68,13 +71,22 @@ FactorResult factor_interleaved(const BatchLayout& layout, std::span<T> data,
   const std::int64_t blocks = layout.padded_batch() / kLaneBlock;
   const std::int64_t estride = layout.chunk();
   const bool whole_matrix = options.unroll == Unroll::kFull;
+  const bool specialized = options.exec == CpuExec::kSpecialized;
+  // Full unrolling on a small matrix takes the fused whole-program kernel
+  // (no dispatch at all); otherwise the specialized path binds the tile
+  // program to its instantiated kernels once, ahead of the parallel loop.
+  const bool fused = specialized && whole_matrix && layout.n() <= kMaxFusedDim;
+  std::optional<SpecializedProgram<T>> spec;
+  if (specialized && !whole_matrix) spec.emplace(*program, options.math);
   std::int64_t failed = 0;
   std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
 
 #pragma omp parallel num_threads(resolve_threads(options.num_threads))
   {
     std::vector<T> scratch;
-    if (whole_matrix) scratch.resize(whole_matrix_scratch_elems(layout.n()));
+    if (whole_matrix && !fused) {
+      scratch.resize(whole_matrix_scratch_elems(layout.n()));
+    }
     std::int64_t local_failed = 0;
     std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
 #pragma omp for schedule(static)
@@ -83,10 +95,15 @@ FactorResult factor_interleaved(const BatchLayout& layout, std::span<T> data,
       T* base = data.data() + layout.chunk_base(start) +
                 (start % layout.chunk());
       alignas(64) std::int32_t local_info[kLaneBlock] = {};
-      if (whole_matrix) {
+      if (fused) {
+        execute_fused_lane_block<T>(layout.n(), options.math, base, estride,
+                                    local_info, options.triangle);
+      } else if (whole_matrix) {
         execute_whole_matrix_lane_block<T>(layout.n(), options.math, base,
                                            estride, local_info,
                                            scratch.data(), options.triangle);
+      } else if (spec.has_value()) {
+        spec->run(base, estride, local_info, options.triangle);
       } else {
         execute_program_lane_block<T>(*program, options.math, base, estride,
                                       local_info, options.triangle);

@@ -23,6 +23,11 @@ struct CpuFactorOptions {
   Unroll unroll = Unroll::kPartial;    ///< full = whole-matrix registerized
   MathMode math = MathMode::kIeee;
   Triangle triangle = Triangle::kLower;  ///< which factor to produce
+  /// Tile-program execution mode for interleaved layouts: the specialized
+  /// executor (compile-time tile dims, bound dispatch table, fused
+  /// whole-program kernels for n ≤ kMaxFusedDim) or the op-by-op
+  /// interpreter (the correctness oracle). Numerics are identical.
+  CpuExec exec = CpuExec::kSpecialized;
   int num_threads = 0;                 ///< 0 = OpenMP default
 };
 

@@ -1,24 +1,14 @@
 #include "cpu/tile_exec.hpp"
 
 #include "cpu/math_policy.hpp"
+#include "cpu/tile_exec_detail.hpp"
 #include "util/error.hpp"
 
 namespace ibchol {
 
 namespace {
 
-// Register-tile file for one lane block. Element (i,j) of register r lives
-// at a fixed stride-kMaxTileSize slot so addressing is independent of the
-// actual tile dims (edge tiles simply use fewer slots).
-template <typename T>
-struct RegFile {
-  alignas(64) T regs[kMaxRegisterTiles][kMaxTileSize * kMaxTileSize]
-                    [kLaneBlock];
-
-  T* tile(int r, int i, int j) {
-    return regs[r][i * kMaxTileSize + j];
-  }
-};
+using exec_detail::RegFile;
 
 // rstride/cstride: element strides of a unit step in the row / column
 // direction. The lower factorization uses (estride, n*estride); the upper

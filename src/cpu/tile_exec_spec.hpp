@@ -1,0 +1,82 @@
+// Specialized (compile-time instantiated) execution of tile programs.
+//
+// The interpreter in tile_exec.cpp walks the op list with runtime trip
+// counts: a switch per op, and row/column loops whose bounds the compiler
+// cannot see. This module is the CPU analog of the paper's *generated*
+// pyexpander kernels: every tile microkernel (spotrf/strsm/ssyrk/sgemm) and
+// load/store op is template-instantiated over its compile-time tile
+// dimensions (ROWS, COLS, and contraction depth up to kMaxTileSize), so the
+// compiler sees constant trip counts, fully unrolls the element loops, and
+// keeps the lane loops as clean SIMD.
+//
+// Two layers:
+//  * SpecializedProgram — binds each TileOp of a program to its specialized
+//    function pointer ONCE (at construction), not per op per lane block;
+//    run() then executes straight through the bound table.
+//  * execute_fused_lane_block — whole-program specialization for n ≤
+//    kMaxFusedDim: the entire factorization is one instantiated function
+//    with no dispatch at all (the full-unroll analog, paper §II.D
+//    parameter 5).
+//
+// Both perform exactly the arithmetic of the interpreter in the same order;
+// the interpreter remains the correctness oracle (see tile_exec_spec_test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/tile_exec_detail.hpp"
+#include "kernels/options.hpp"
+#include "kernels/tile_program.hpp"
+
+namespace ibchol {
+
+/// Largest dimension with a fused whole-program specialization.
+inline constexpr int kMaxFusedDim = kMaxTileSize;
+
+/// Specialized kernel signature: strides and base as in the interpreter;
+/// the op supplies runtime operands (register ids, tile origin, kdim for
+/// the ops that keep it runtime) while trip counts are compile-time.
+template <typename T>
+using SpecKernelFn = void (*)(const TileOp&, exec_detail::RegFile<T>&,
+                              std::int64_t, std::int64_t, T*, std::int32_t*);
+
+/// A tile program bound to its specialized kernels.
+///
+/// Construction resolves every op's (kind, rows, cols, kdim, math) to a
+/// function pointer from the instantiation tables; run() executes the bound
+/// sequence for one lane block with the same base/estride/info/triangle
+/// contract as execute_program_lane_block. Binding is done once per
+/// program, so a batch of B matrices pays B/32 indirect calls per op
+/// instead of B/32 switch dispatches with runtime loop bounds.
+template <typename T>
+class SpecializedProgram {
+ public:
+  /// Binds `program` (copied; no dangling). Throws ibchol::Error if a tile
+  /// exceeds kMaxTileSize or the program uses too many register tiles.
+  SpecializedProgram(const TileProgram& program, MathMode math);
+
+  /// Executes the bound program for one lane block (see
+  /// execute_program_lane_block for the base/estride/info contract).
+  void run(T* base, std::int64_t estride, std::int32_t* info,
+           Triangle triangle = Triangle::kLower) const;
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
+
+ private:
+  int n_ = 0;
+  std::vector<TileOp> ops_;
+  std::vector<SpecKernelFn<T>> fns_;
+};
+
+/// Fused whole-program factorization of one lane block for n ≤ kMaxFusedDim:
+/// load, complete factorization, and store are a single instantiated
+/// function with compile-time n — no dispatch, no scratch. Numerics match
+/// execute_whole_matrix_lane_block exactly. Throws for larger n.
+template <typename T>
+void execute_fused_lane_block(int n, MathMode math, T* base,
+                              std::int64_t estride, std::int32_t* info,
+                              Triangle triangle = Triangle::kLower);
+
+}  // namespace ibchol

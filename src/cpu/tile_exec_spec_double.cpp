@@ -1,0 +1,12 @@
+// Double-precision instantiations of the specialized tile kernels (see
+// tile_exec_spec_float.cpp for why instantiation is split by type).
+#include "cpu/tile_exec_spec_impl.hpp"
+
+namespace ibchol {
+
+template class SpecializedProgram<double>;
+template void execute_fused_lane_block<double>(int, MathMode, double*,
+                                               std::int64_t, std::int32_t*,
+                                               Triangle);
+
+}  // namespace ibchol

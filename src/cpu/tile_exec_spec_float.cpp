@@ -1,0 +1,14 @@
+// Single-precision instantiations of the specialized tile kernels. Kept in
+// a translation unit of their own: the full (rows, cols, kdim) cross
+// product is hundreds of unrolled function bodies, and splitting by element
+// type lets the two halves compile in parallel.
+#include "cpu/tile_exec_spec_impl.hpp"
+
+namespace ibchol {
+
+template class SpecializedProgram<float>;
+template void execute_fused_lane_block<float>(int, MathMode, float*,
+                                              std::int64_t, std::int32_t*,
+                                              Triangle);
+
+}  // namespace ibchol

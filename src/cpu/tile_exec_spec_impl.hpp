@@ -1,0 +1,403 @@
+// Template bodies of the specialized tile kernels. Included only by the
+// per-element-type translation units (tile_exec_spec_float.cpp /
+// tile_exec_spec_double.cpp) so the large instantiation tables compile in
+// parallel and nothing here leaks into the public headers.
+//
+// Every kernel body mirrors the interpreter's run_op case for the same op
+// kind operation-for-operation (tile_exec.cpp); only the loop bounds are
+// compile-time. Keeping the arithmetic order identical is what lets the
+// tests demand (near-)bit-identical factors between the two executors.
+#pragma once
+
+#include <array>
+#include <utility>
+
+#include "cpu/math_policy.hpp"
+#include "cpu/tile_exec_spec.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+namespace spec_detail {
+
+using exec_detail::RegFile;
+
+// ------------------------------------------------------------ kernels ----
+// R = tile rows, C = tile cols, KD = contraction depth (kSyrk/kGemm only).
+// Math matters only where sqrt/recip appear (kPotrf, kTrsm); the
+// math-insensitive kinds are instantiated once with IeeeMath.
+
+template <typename T, typename Math, TileOp::Kind KIND, int R, int C, int KD>
+void spec_op(const TileOp& op, RegFile<T>& rf, std::int64_t rstride,
+             std::int64_t cstride, T* __restrict__ base, std::int32_t* info) {
+  if constexpr (KIND == TileOp::Kind::kLoadFull) {
+    for (int j = 0; j < C; ++j) {
+      for (int i = 0; i < R; ++i) {
+        const T* __restrict__ src =
+            base + (op.row0 + i) * rstride + (op.col0 + j) * cstride;
+        T* __restrict__ dst = rf.tile(op.r1, i, j);
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+      }
+    }
+  } else if constexpr (KIND == TileOp::Kind::kLoadLower) {
+    for (int j = 0; j < C; ++j) {
+      for (int i = j; i < R; ++i) {
+        const T* __restrict__ src =
+            base + (op.row0 + i) * rstride + (op.col0 + j) * cstride;
+        T* __restrict__ dst = rf.tile(op.r1, i, j);
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+      }
+    }
+  } else if constexpr (KIND == TileOp::Kind::kStoreFull) {
+    for (int j = 0; j < C; ++j) {
+      for (int i = 0; i < R; ++i) {
+        T* __restrict__ dst =
+            base + (op.row0 + i) * rstride + (op.col0 + j) * cstride;
+        const T* __restrict__ src = rf.tile(op.r1, i, j);
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+      }
+    }
+  } else if constexpr (KIND == TileOp::Kind::kStoreLower) {
+    for (int j = 0; j < C; ++j) {
+      for (int i = j; i < R; ++i) {
+        T* __restrict__ dst =
+            base + (op.row0 + i) * rstride + (op.col0 + j) * cstride;
+        const T* __restrict__ src = rf.tile(op.r1, i, j);
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+      }
+    }
+  } else if constexpr (KIND == TileOp::Kind::kPotrf) {
+    for (int k = 0; k < R; ++k) {
+      T* __restrict__ akk = rf.tile(op.r1, k, k);
+      if (info != nullptr) {
+        for (int l = 0; l < kLaneBlock; ++l) {
+          if (info[l] == 0 && !(akk[l] > T{0})) {
+            info[l] = op.row0 + k + 1;
+          }
+        }
+      }
+      alignas(64) T inv[kLaneBlock];
+#pragma omp simd
+      for (int l = 0; l < kLaneBlock; ++l) {
+        const T s = Math::sqrt(akk[l]);
+        akk[l] = s;
+        inv[l] = Math::recip(s);
+      }
+      for (int m = k + 1; m < R; ++m) {
+        T* __restrict__ amk = rf.tile(op.r1, m, k);
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) amk[l] *= inv[l];
+      }
+      for (int nn = k + 1; nn < R; ++nn) {
+        const T* __restrict__ ank = rf.tile(op.r1, nn, k);
+        for (int m = nn; m < R; ++m) {
+          const T* __restrict__ amk = rf.tile(op.r1, m, k);
+          T* __restrict__ amn = rf.tile(op.r1, m, nn);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) amn[l] -= ank[l] * amk[l];
+        }
+      }
+    }
+  } else if constexpr (KIND == TileOp::Kind::kTrsm) {
+    for (int k = 0; k < C; ++k) {
+      const T* __restrict__ lkk = rf.tile(op.r1, k, k);
+      alignas(64) T inv[kLaneBlock];
+#pragma omp simd
+      for (int l = 0; l < kLaneBlock; ++l) inv[l] = Math::recip(lkk[l]);
+      for (int m = 0; m < R; ++m) {
+        T* __restrict__ bmk = rf.tile(op.r2, m, k);
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) bmk[l] *= inv[l];
+      }
+      for (int nn = k + 1; nn < C; ++nn) {
+        const T* __restrict__ lnk = rf.tile(op.r1, nn, k);
+        for (int m = 0; m < R; ++m) {
+          const T* __restrict__ bmk = rf.tile(op.r2, m, k);
+          T* __restrict__ bmn = rf.tile(op.r2, m, nn);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) bmn[l] -= bmk[l] * lnk[l];
+        }
+      }
+    }
+  } else if constexpr (KIND == TileOp::Kind::kSyrk) {
+    for (int m = 0; m < R; ++m) {
+      for (int nn = 0; nn <= m; ++nn) {
+        T* __restrict__ cmn = rf.tile(op.r2, m, nn);
+        for (int k = 0; k < KD; ++k) {
+          const T* __restrict__ amk = rf.tile(op.r1, m, k);
+          const T* __restrict__ ank = rf.tile(op.r1, nn, k);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) cmn[l] -= amk[l] * ank[l];
+        }
+      }
+    }
+  } else {
+    static_assert(KIND == TileOp::Kind::kGemm);
+    for (int m = 0; m < R; ++m) {
+      for (int nn = 0; nn < C; ++nn) {
+        T* __restrict__ cmn = rf.tile(op.r3, m, nn);
+        for (int k = 0; k < KD; ++k) {
+          const T* __restrict__ amk = rf.tile(op.r1, m, k);
+          const T* __restrict__ bnk = rf.tile(op.r2, nn, k);
+#pragma omp simd
+          for (int l = 0; l < kLaneBlock; ++l) cmn[l] -= amk[l] * bnk[l];
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- tables ----
+// One function-pointer table per op kind, indexed by the compile-time
+// dimensions minus one. Built once (function-local static) per element
+// type; binding a program is table lookups only.
+
+template <typename T>
+using Fn = SpecKernelFn<T>;
+
+// [R-1]: square tiles (potrf, lower load/store).
+template <typename T, typename Math, TileOp::Kind KIND>
+const std::array<Fn<T>, kMaxTileSize>& r_table() {
+  static const auto table = []<std::size_t... R>(std::index_sequence<R...>) {
+    return std::array<Fn<T>, kMaxTileSize>{
+        &spec_op<T, Math, KIND, R + 1, R + 1, 1>...};
+  }(std::make_index_sequence<kMaxTileSize>{});
+  return table;
+}
+
+// [R-1][C-1]: rectangular tiles (full load/store, trsm).
+template <typename T, typename Math, TileOp::Kind KIND>
+const std::array<std::array<Fn<T>, kMaxTileSize>, kMaxTileSize>& rc_table() {
+  static const auto table = []<std::size_t... R>(std::index_sequence<R...>) {
+    return std::array<std::array<Fn<T>, kMaxTileSize>, kMaxTileSize>{
+        []<std::size_t RR, std::size_t... C>(
+            std::integral_constant<std::size_t, RR>,
+            std::index_sequence<C...>) {
+          return std::array<Fn<T>, kMaxTileSize>{
+              &spec_op<T, Math, KIND, RR + 1, C + 1, 1>...};
+        }(std::integral_constant<std::size_t, R>{},
+          std::make_index_sequence<kMaxTileSize>{})...};
+  }(std::make_index_sequence<kMaxTileSize>{});
+  return table;
+}
+
+// [R-1][KD-1]: syrk (square dst, compile-time contraction depth).
+template <typename T>
+const std::array<std::array<Fn<T>, kMaxTileSize>, kMaxTileSize>& rk_table() {
+  static const auto table = []<std::size_t... R>(std::index_sequence<R...>) {
+    return std::array<std::array<Fn<T>, kMaxTileSize>, kMaxTileSize>{
+        []<std::size_t RR, std::size_t... K>(
+            std::integral_constant<std::size_t, RR>,
+            std::index_sequence<K...>) {
+          return std::array<Fn<T>, kMaxTileSize>{
+              &spec_op<T, IeeeMath, TileOp::Kind::kSyrk, RR + 1, RR + 1,
+                       K + 1>...};
+        }(std::integral_constant<std::size_t, R>{},
+          std::make_index_sequence<kMaxTileSize>{})...};
+  }(std::make_index_sequence<kMaxTileSize>{});
+  return table;
+}
+
+// [R-1][C-1][KD-1]: gemm.
+template <typename T>
+const std::array<
+    std::array<std::array<Fn<T>, kMaxTileSize>, kMaxTileSize>,
+    kMaxTileSize>&
+rck_table() {
+  static const auto table = []<std::size_t... R>(std::index_sequence<R...>) {
+    return std::array<
+        std::array<std::array<Fn<T>, kMaxTileSize>, kMaxTileSize>,
+        kMaxTileSize>{
+        []<std::size_t RR, std::size_t... C>(
+            std::integral_constant<std::size_t, RR>,
+            std::index_sequence<C...>) {
+          return std::array<std::array<Fn<T>, kMaxTileSize>, kMaxTileSize>{
+              []<std::size_t RRR, std::size_t CC, std::size_t... K>(
+                  std::integral_constant<std::size_t, RRR>,
+                  std::integral_constant<std::size_t, CC>,
+                  std::index_sequence<K...>) {
+                return std::array<Fn<T>, kMaxTileSize>{
+                    &spec_op<T, IeeeMath, TileOp::Kind::kGemm, RRR + 1, CC + 1,
+                             K + 1>...};
+              }(std::integral_constant<std::size_t, RR>{},
+                std::integral_constant<std::size_t, C>{},
+                std::make_index_sequence<kMaxTileSize>{})...};
+        }(std::integral_constant<std::size_t, R>{},
+          std::make_index_sequence<kMaxTileSize>{})...};
+  }(std::make_index_sequence<kMaxTileSize>{});
+  return table;
+}
+
+// -------------------------------------------------------------- lookup ---
+
+template <typename T>
+Fn<T> lookup(const TileOp& op, MathMode math) {
+  const bool fast = math == MathMode::kFastMath;
+  IBCHOL_CHECK(op.rows >= 1 && op.rows <= kMaxTileSize &&
+                   op.cols >= 1 && op.cols <= kMaxTileSize,
+               "tile size exceeds the executor's register file");
+  const int r = op.rows - 1;
+  const int c = op.cols - 1;
+  switch (op.kind) {
+    case TileOp::Kind::kLoadFull:
+      return rc_table<T, IeeeMath, TileOp::Kind::kLoadFull>()[r][c];
+    case TileOp::Kind::kLoadLower:
+      IBCHOL_CHECK(op.rows == op.cols, "lower tiles must be square");
+      return r_table<T, IeeeMath, TileOp::Kind::kLoadLower>()[r];
+    case TileOp::Kind::kStoreFull:
+      return rc_table<T, IeeeMath, TileOp::Kind::kStoreFull>()[r][c];
+    case TileOp::Kind::kStoreLower:
+      IBCHOL_CHECK(op.rows == op.cols, "lower tiles must be square");
+      return r_table<T, IeeeMath, TileOp::Kind::kStoreLower>()[r];
+    case TileOp::Kind::kPotrf:
+      IBCHOL_CHECK(op.rows == op.cols, "potrf tiles must be square");
+      return fast ? r_table<T, FastMath, TileOp::Kind::kPotrf>()[r]
+                  : r_table<T, IeeeMath, TileOp::Kind::kPotrf>()[r];
+    case TileOp::Kind::kTrsm:
+      return fast ? rc_table<T, FastMath, TileOp::Kind::kTrsm>()[r][c]
+                  : rc_table<T, IeeeMath, TileOp::Kind::kTrsm>()[r][c];
+    case TileOp::Kind::kSyrk: {
+      IBCHOL_CHECK(op.rows == op.cols, "syrk dst tiles must be square");
+      IBCHOL_CHECK(op.kdim >= 1 && op.kdim <= kMaxTileSize,
+                   "contraction depth exceeds the register file");
+      return rk_table<T>()[r][op.kdim - 1];
+    }
+    case TileOp::Kind::kGemm: {
+      IBCHOL_CHECK(op.kdim >= 1 && op.kdim <= kMaxTileSize,
+                   "contraction depth exceeds the register file");
+      return rck_table<T>()[r][c][op.kdim - 1];
+    }
+  }
+  throw Error("unknown tile op kind");
+}
+
+// --------------------------------------------------------- fused small-N --
+// Whole-program specialization: identical arithmetic order to
+// whole_matrix_impl in tile_exec.cpp, with compile-time n so the entire
+// factorization is straight-line code.
+
+template <typename T, typename Math, int N>
+void fused_factor(T* __restrict__ base, std::int64_t rstride,
+                  std::int64_t cstride, std::int32_t* info) {
+  // Local triangle: element (i,j), i >= j, at slot i*(i+1)/2 + j.
+  alignas(64) T tri[N * (N + 1) / 2][kLaneBlock];
+
+  for (int j = 0; j < N; ++j) {
+    for (int i = j; i < N; ++i) {
+      const T* __restrict__ src = base + i * rstride + j * cstride;
+      T* __restrict__ dst = tri[i * (i + 1) / 2 + j];
+#pragma omp simd
+      for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+    }
+  }
+
+  for (int k = 0; k < N; ++k) {
+    T* __restrict__ akk = tri[k * (k + 1) / 2 + k];
+    if (info != nullptr) {
+      for (int l = 0; l < kLaneBlock; ++l) {
+        if (info[l] == 0 && !(akk[l] > T{0})) info[l] = k + 1;
+      }
+    }
+    alignas(64) T inv[kLaneBlock];
+#pragma omp simd
+    for (int l = 0; l < kLaneBlock; ++l) {
+      const T s = Math::sqrt(akk[l]);
+      akk[l] = s;
+      inv[l] = Math::recip(s);
+    }
+    for (int m = k + 1; m < N; ++m) {
+      T* __restrict__ amk = tri[m * (m + 1) / 2 + k];
+#pragma omp simd
+      for (int l = 0; l < kLaneBlock; ++l) amk[l] *= inv[l];
+    }
+    for (int j = k + 1; j < N; ++j) {
+      const T* __restrict__ ajk = tri[j * (j + 1) / 2 + k];
+      for (int m = j; m < N; ++m) {
+        const T* __restrict__ amk = tri[m * (m + 1) / 2 + k];
+        T* __restrict__ amj = tri[m * (m + 1) / 2 + j];
+#pragma omp simd
+        for (int l = 0; l < kLaneBlock; ++l) amj[l] -= ajk[l] * amk[l];
+      }
+    }
+  }
+
+  for (int j = 0; j < N; ++j) {
+    for (int i = j; i < N; ++i) {
+      T* __restrict__ dst = base + i * rstride + j * cstride;
+      const T* __restrict__ src = tri[i * (i + 1) / 2 + j];
+#pragma omp simd
+      for (int l = 0; l < kLaneBlock; ++l) dst[l] = src[l];
+    }
+  }
+}
+
+template <typename T, typename Math>
+void fused_dispatch(int n, T* base, std::int64_t rstride, std::int64_t cstride,
+                    std::int32_t* info) {
+  switch (n) {
+    case 1: fused_factor<T, Math, 1>(base, rstride, cstride, info); return;
+    case 2: fused_factor<T, Math, 2>(base, rstride, cstride, info); return;
+    case 3: fused_factor<T, Math, 3>(base, rstride, cstride, info); return;
+    case 4: fused_factor<T, Math, 4>(base, rstride, cstride, info); return;
+    case 5: fused_factor<T, Math, 5>(base, rstride, cstride, info); return;
+    case 6: fused_factor<T, Math, 6>(base, rstride, cstride, info); return;
+    case 7: fused_factor<T, Math, 7>(base, rstride, cstride, info); return;
+    case 8: fused_factor<T, Math, 8>(base, rstride, cstride, info); return;
+    default:
+      throw Error("no fused specialization for n = " + std::to_string(n));
+  }
+}
+
+}  // namespace spec_detail
+
+// ------------------------------------------------- SpecializedProgram ----
+
+template <typename T>
+SpecializedProgram<T>::SpecializedProgram(const TileProgram& program,
+                                          MathMode math)
+    : n_(program.n), ops_(program.ops) {
+  IBCHOL_CHECK(program.nb <= kMaxTileSize,
+               "tile size exceeds the executor's register file");
+  IBCHOL_CHECK(program.num_register_tiles() <= kMaxRegisterTiles,
+               "program uses too many register tiles");
+  fns_.reserve(ops_.size());
+  for (const TileOp& op : ops_) {
+    fns_.push_back(spec_detail::lookup<T>(op, math));
+  }
+}
+
+template <typename T>
+void SpecializedProgram<T>::run(T* base, std::int64_t estride,
+                                std::int32_t* info, Triangle triangle) const {
+  const std::int64_t rstride =
+      triangle == Triangle::kUpper ? estride * n_ : estride;
+  const std::int64_t cstride =
+      triangle == Triangle::kUpper ? estride : estride * n_;
+  exec_detail::RegFile<T> rf;
+  const std::size_t count = ops_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    fns_[i](ops_[i], rf, rstride, cstride, base, info);
+  }
+}
+
+template <typename T>
+void execute_fused_lane_block(int n, MathMode math, T* base,
+                              std::int64_t estride, std::int32_t* info,
+                              Triangle triangle) {
+  IBCHOL_CHECK(n >= 1 && n <= kMaxFusedDim,
+               "no fused specialization for this dimension");
+  const std::int64_t rstride =
+      triangle == Triangle::kUpper ? estride * n : estride;
+  const std::int64_t cstride =
+      triangle == Triangle::kUpper ? estride : estride * n;
+  if (math == MathMode::kFastMath) {
+    spec_detail::fused_dispatch<T, FastMath>(n, base, rstride, cstride, info);
+  } else {
+    spec_detail::fused_dispatch<T, IeeeMath>(n, base, rstride, cstride, info);
+  }
+}
+
+}  // namespace ibchol

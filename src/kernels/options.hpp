@@ -26,15 +26,25 @@ enum class MathMode : std::uint8_t { kIeee, kFastMath };
 /// the transposed index map.
 enum class Triangle : std::uint8_t { kLower, kUpper };
 
+/// How the CPU substrate executes a tile program. The interpreter walks the
+/// op list with runtime trip counts (a switch per op); the specialized
+/// executor binds each op to a template instantiation with compile-time
+/// tile dimensions — the CPU analog of the paper's generated, fully
+/// unrolled pyexpander kernels. Both produce identical schedules; the
+/// interpreter is kept as the correctness oracle.
+enum class CpuExec : std::uint8_t { kInterpreter, kSpecialized };
+
 [[nodiscard]] std::string to_string(Looking looking);
 [[nodiscard]] std::string to_string(Unroll unroll);
 [[nodiscard]] std::string to_string(MathMode math);
 [[nodiscard]] std::string to_string(Triangle triangle);
+[[nodiscard]] std::string to_string(CpuExec exec);
 
 /// Parse helpers (accept the to_string spellings); throw ibchol::Error on
 /// unknown values.
 [[nodiscard]] Looking looking_from_string(const std::string& s);
 [[nodiscard]] Unroll unroll_from_string(const std::string& s);
 [[nodiscard]] MathMode math_from_string(const std::string& s);
+[[nodiscard]] CpuExec cpu_exec_from_string(const std::string& s);
 
 }  // namespace ibchol

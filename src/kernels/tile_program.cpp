@@ -26,6 +26,10 @@ std::string to_string(Triangle triangle) {
   return triangle == Triangle::kUpper ? "upper" : "lower";
 }
 
+std::string to_string(CpuExec exec) {
+  return exec == CpuExec::kInterpreter ? "interp" : "spec";
+}
+
 Looking looking_from_string(const std::string& s) {
   if (s == "right") return Looking::kRight;
   if (s == "left") return Looking::kLeft;
@@ -43,6 +47,12 @@ MathMode math_from_string(const std::string& s) {
   if (s == "ieee") return MathMode::kIeee;
   if (s == "fast") return MathMode::kFastMath;
   throw Error("unknown math mode: " + s);
+}
+
+CpuExec cpu_exec_from_string(const std::string& s) {
+  if (s == "interp") return CpuExec::kInterpreter;
+  if (s == "spec") return CpuExec::kSpecialized;
+  throw Error("unknown cpu exec mode: " + s);
 }
 
 std::string to_string(TileOp::Kind kind) {

@@ -21,7 +21,8 @@ std::string TuningParams::to_string() const {
                          : "non-chunked")
      << ", unroll=" << ibchol::to_string(unroll)
      << ", math=" << ibchol::to_string(math)
-     << ", cache=" << (prefer_shared ? "shared" : "L1") << ")";
+     << ", cache=" << (prefer_shared ? "shared" : "L1")
+     << ", exec=" << ibchol::to_string(exec) << ")";
   return os.str();
 }
 
@@ -31,6 +32,9 @@ std::string TuningParams::key() const {
      << (chunked ? "c" + std::to_string(chunk_size) : "nc") << '_'
      << ibchol::to_string(unroll) << '_' << ibchol::to_string(math) << '_'
      << (prefer_shared ? "sh" : "l1");
+  // The executor mode is appended only when it deviates from the default so
+  // existing datasets/caches keyed on the historical spelling stay valid.
+  if (exec == CpuExec::kInterpreter) os << "_interp";
   return os.str();
 }
 

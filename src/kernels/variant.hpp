@@ -27,6 +27,11 @@ struct TuningParams {
   Unroll unroll = Unroll::kPartial;
   MathMode math = MathMode::kIeee;
   bool prefer_shared = false;  ///< carveout: false = prefer L1
+  /// CPU-substrate execution mode (not a paper tuning axis): specialized
+  /// compile-time kernels (default) vs the op-by-op interpreter kept as the
+  /// correctness oracle. Model evaluators ignore it; measured evaluators
+  /// honor it.
+  CpuExec exec = CpuExec::kSpecialized;
 
   /// Validates against a matrix dimension; throws ibchol::Error.
   void validate(int n) const;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "autotune/analyze.hpp"
 #include "autotune/evaluator.hpp"
@@ -90,6 +91,76 @@ TEST_F(SweepTest, ProgressCallbackCovered) {
   const SweepDataset ds = run_sweep(eval, opt);
   EXPECT_EQ(last, ds.size());
   EXPECT_EQ(total, ds.size());
+}
+
+TEST_F(SweepTest, ParallelMatchesSerialRecordForRecord) {
+  // The parallel driver must return records in the same order, with the
+  // same values, as the serial driver (jitter included — it is keyed on
+  // the point, not on evaluation order).
+  ModelEvaluator serial_eval(KernelModel(GpuSpec::p100()), 0.05);
+  ModelEvaluator parallel_eval(KernelModel(GpuSpec::p100()), 0.05);
+  SweepOptions opt = small_options();
+  opt.num_threads = 1;
+  const SweepDataset serial = run_sweep(serial_eval, opt);
+  opt.num_threads = 4;
+  const SweepDataset parallel = run_sweep(parallel_eval, opt);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const SweepRecord& a = serial.records()[i];
+    const SweepRecord& b = parallel.records()[i];
+    EXPECT_EQ(a.n, b.n) << "record " << i;
+    EXPECT_EQ(a.params, b.params) << "record " << i;
+    EXPECT_EQ(a.seconds, b.seconds) << "record " << i;
+    EXPECT_EQ(a.gflops, b.gflops) << "record " << i;
+  }
+}
+
+TEST_F(SweepTest, ParallelProgressIsSerializedAndMonotone) {
+  // The progress contract (sweep.hpp): invocations are serialized, and the
+  // done counts form exactly 1..total even when workers finish out of
+  // order. A violated mutex would show up as a gap or repeat here.
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()));
+  SweepOptions opt = small_options();
+  opt.num_threads = 4;
+  std::vector<std::size_t> dones;
+  std::vector<std::size_t> totals;
+  opt.progress = [&](std::size_t done, std::size_t total) {
+    dones.push_back(done);
+    totals.push_back(total);
+  };
+  const SweepDataset ds = run_sweep(eval, opt);
+  ASSERT_EQ(dones.size(), ds.size());
+  for (const std::size_t t : totals) EXPECT_EQ(t, ds.size());
+  for (std::size_t i = 0; i < dones.size(); ++i) {
+    EXPECT_EQ(dones[i], i + 1);
+  }
+}
+
+TEST_F(SweepTest, MeasuredEvaluatorStaysSerial) {
+  // Wall-clock evaluators must own the machine; parallel_safe() gates the
+  // OpenMP driver off no matter what num_threads asks for.
+  CpuMeasuredEvaluator::Options mopt;
+  CpuMeasuredEvaluator eval(mopt);
+  EXPECT_FALSE(eval.parallel_safe());
+  ModelEvaluator model(KernelModel(GpuSpec::p100()));
+  EXPECT_TRUE(model.parallel_safe());
+}
+
+TEST(Evaluators, ModelMemoizesRepeatedPoints) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()), 0.05);
+  TuningParams p;
+  const double first = eval.seconds(16, 1024, p);
+  EXPECT_EQ(eval.cache_size(), 1u);
+  EXPECT_EQ(eval.cache_hits(), 0u);
+  EXPECT_EQ(eval.seconds(16, 1024, p), first);
+  EXPECT_EQ(eval.cache_hits(), 1u);
+  // Distinct points (different n, batch, or params) get distinct slots.
+  (void)eval.seconds(24, 1024, p);
+  (void)eval.seconds(16, 2048, p);
+  p.nb = 2;
+  (void)eval.seconds(16, 1024, p);
+  EXPECT_EQ(eval.cache_size(), 4u);
 }
 
 TEST_F(SweepTest, WinnersAreChunked) {

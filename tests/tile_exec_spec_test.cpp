@@ -1,0 +1,194 @@
+// Tests for the specialized (compile-time instantiated) tile-program
+// executor: over the full variant grid — every tile size × looking order ×
+// corner dimension (n % nb != 0) × element type × triangle × math mode —
+// the specialized executor must produce factors matching the interpreter,
+// which remains the correctness oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cpu/tile_exec.hpp"
+#include "cpu/tile_exec_spec.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace ibchol {
+namespace {
+
+struct SpecCase {
+  int n;
+  int nb;
+  Looking looking;
+  MathMode math;
+  Triangle triangle;
+};
+
+void PrintTo(const SpecCase& c, std::ostream* os) {
+  *os << "n" << c.n << "_nb" << c.nb << "_" << to_string(c.looking) << "_"
+      << to_string(c.math) << "_" << to_string(c.triangle);
+}
+
+// The two executors perform identical arithmetic in identical order; any
+// difference comes from the compiler's freedom in contraction/vectorization
+// between the runtime-trip-count and unrolled loop bodies, so we demand
+// bound-equality at a few-ulp tolerance (and report exact-match counts).
+template <typename T>
+void expect_bound_equal(const T* a, const T* b, std::size_t count, T tol) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const T bound = tol * std::max(T{1}, std::abs(a[i]));
+    ASSERT_NEAR(a[i], b[i], bound) << "elem " << i;
+  }
+}
+
+template <typename T>
+void run_case(const SpecCase& c, T tol) {
+  const auto layout = BatchLayout::interleaved(c.n, kLaneBlock);
+  AlignedBuffer<T> interp_data(layout.size_elems());
+  generate_spd_batch<T>(layout, interp_data.span(),
+                        {SpdKind::kGramPlusDiagonal, 1234, 50.0});
+  AlignedBuffer<T> spec_data(layout.size_elems());
+  std::copy(interp_data.begin(), interp_data.end(), spec_data.begin());
+
+  const TileProgram program = build_tile_program(c.n, c.nb, c.looking);
+
+  alignas(64) std::int32_t interp_info[kLaneBlock] = {};
+  execute_program_lane_block<T>(program, c.math, interp_data.data(),
+                                layout.chunk(), interp_info, c.triangle);
+
+  const SpecializedProgram<T> spec(program, c.math);
+  EXPECT_EQ(spec.n(), c.n);
+  EXPECT_EQ(spec.num_ops(), program.ops.size());
+  alignas(64) std::int32_t spec_info[kLaneBlock] = {};
+  spec.run(spec_data.data(), layout.chunk(), spec_info, c.triangle);
+
+  for (int l = 0; l < kLaneBlock; ++l) {
+    EXPECT_EQ(spec_info[l], interp_info[l]) << "lane " << l;
+  }
+  expect_bound_equal(interp_data.data(), spec_data.data(),
+                     layout.size_elems(), tol);
+}
+
+class SpecExecTest : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(SpecExecTest, MatchesInterpreterFloat) {
+  run_case<float>(GetParam(), 1e-5f);
+}
+
+TEST_P(SpecExecTest, MatchesInterpreterDouble) {
+  // Fast math only relaxes float; double paths are IEEE either way.
+  run_case<double>(GetParam(), 1e-13);
+}
+
+std::vector<SpecCase> spec_cases() {
+  std::vector<SpecCase> cases;
+  // Full variant grid including corner sizes (n % nb != 0) and both
+  // triangles.
+  for (const int n : {1, 2, 3, 4, 5, 7, 8, 11, 16, 17, 24, 31, 33, 48}) {
+    for (const int nb : {1, 2, 3, 5, 8}) {
+      if (nb > n) continue;
+      for (const auto looking :
+           {Looking::kRight, Looking::kLeft, Looking::kTop}) {
+        cases.push_back({n, nb, looking, MathMode::kIeee, Triangle::kLower});
+      }
+      cases.push_back({n, nb, Looking::kTop, MathMode::kIeee,
+                       Triangle::kUpper});
+    }
+  }
+  // Fast math: a representative subset.
+  for (const int n : {4, 8, 24, 33}) {
+    cases.push_back({n, std::min(n, 8), Looking::kTop, MathMode::kFastMath,
+                     Triangle::kLower});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(VariantGrid, SpecExecTest,
+                         ::testing::ValuesIn(spec_cases()));
+
+// ------------------------------------------------------------- fused -----
+
+class FusedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedTest, MatchesWholeMatrixInterpreter) {
+  const int n = GetParam();
+  for (const auto triangle : {Triangle::kLower, Triangle::kUpper}) {
+    for (const auto math : {MathMode::kIeee, MathMode::kFastMath}) {
+      const auto layout = BatchLayout::interleaved(n, kLaneBlock);
+      AlignedBuffer<float> a(layout.size_elems());
+      generate_spd_batch<float>(layout, a.span());
+      AlignedBuffer<float> b(layout.size_elems());
+      std::copy(a.begin(), a.end(), b.begin());
+
+      std::vector<float> scratch(whole_matrix_scratch_elems(n));
+      alignas(64) std::int32_t info_a[kLaneBlock] = {};
+      execute_whole_matrix_lane_block<float>(n, math, a.data(),
+                                             layout.chunk(), info_a,
+                                             scratch.data(), triangle);
+      alignas(64) std::int32_t info_b[kLaneBlock] = {};
+      execute_fused_lane_block<float>(n, math, b.data(), layout.chunk(),
+                                      info_b, triangle);
+      for (int l = 0; l < kLaneBlock; ++l) EXPECT_EQ(info_a[l], info_b[l]);
+      expect_bound_equal(a.data(), b.data(), layout.size_elems(), 1e-5f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FusedTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SpecExec, FusedInfoReportsFailingColumnPerLane) {
+  const int n = 8;
+  const auto layout = BatchLayout::interleaved(n, kLaneBlock);
+  AlignedBuffer<float> data(layout.size_elems());
+  generate_spd_batch<float>(layout, data.span());
+  poison_matrix<float>(layout, data.span(), 3, 2);
+  poison_matrix<float>(layout, data.span(), 19, 6);
+  alignas(64) std::int32_t info[kLaneBlock] = {};
+  execute_fused_lane_block<float>(n, MathMode::kIeee, data.data(),
+                                  layout.chunk(), info);
+  for (int b = 0; b < kLaneBlock; ++b) {
+    if (b == 3) {
+      EXPECT_EQ(info[b], 3);
+    } else if (b == 19) {
+      EXPECT_EQ(info[b], 7);
+    } else {
+      EXPECT_EQ(info[b], 0);
+    }
+  }
+}
+
+TEST(SpecExec, FusedRejectsLargeDimensions) {
+  AlignedBuffer<float> data(9 * 9 * kLaneBlock);
+  EXPECT_THROW(execute_fused_lane_block<float>(kMaxFusedDim + 1,
+                                               MathMode::kIeee, data.data(),
+                                               kLaneBlock, nullptr),
+               Error);
+}
+
+TEST(SpecExec, BindRejectsOversizedTiles) {
+  TileProgram p = build_tile_program(16, 8, Looking::kTop);
+  p.nb = 9;  // lie about the tile size
+  EXPECT_THROW((SpecializedProgram<float>(p, MathMode::kIeee)), Error);
+}
+
+TEST(SpecExec, WorksInsideLargerChunk) {
+  // Base offset and element stride honored, neighbors untouched — same
+  // contract as the interpreter.
+  const int n = 6;
+  const auto layout = BatchLayout::interleaved_chunked(n, 128, 128);
+  AlignedBuffer<float> a(layout.size_elems());
+  generate_spd_batch<float>(layout, a.span());
+  AlignedBuffer<float> b(layout.size_elems());
+  std::copy(a.begin(), a.end(), b.begin());
+
+  const TileProgram program = build_tile_program(n, 3, Looking::kTop);
+  execute_program_lane_block<float>(program, MathMode::kIeee, a.data() + 64,
+                                    layout.chunk(), nullptr);
+  const SpecializedProgram<float> spec(program, MathMode::kIeee);
+  spec.run(b.data() + 64, layout.chunk(), nullptr);
+  expect_bound_equal(a.data(), b.data(), layout.size_elems(), 1e-5f);
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -3,10 +3,13 @@
 //
 //   $ autotune_explore [--sizes=8,16,24,32,48] [--batch=16384]
 //                      [--evaluator=model|cpu] [--csv=sweep.csv]
+//                      [--journal=sweep.jsonl] [--resume]
 //
 // The model evaluator sweeps the full space through the P100 SIMT model
 // (fast); --evaluator=cpu measures every variant on the CPU substrate
-// instead (slow but real — use small sizes/batches).
+// instead (slow but real — use small sizes/batches). Long measured sweeps
+// should set --journal so completed points survive an interruption;
+// rerunning with --resume picks up where the journal left off.
 #include <cstdio>
 #include <sstream>
 
@@ -44,6 +47,15 @@ int main(int argc, char** argv) {
   }
   std::printf("exhaustive sweep via %s, batch %lld\n",
               evaluator->name().c_str(), static_cast<long long>(opt.batch));
+
+  if (cli.has("journal")) {
+    opt.journal_path = cli.get("journal", "");
+    opt.max_retries = 1;  // one free retry for flaky measured evaluations
+    if (cli.get_bool("resume", false)) {
+      opt.resume_from = opt.journal_path;
+      std::printf("resuming from journal %s\n", opt.journal_path.c_str());
+    }
+  }
 
   std::size_t last_percent = 0;
   opt.progress = [&](std::size_t done, std::size_t total) {

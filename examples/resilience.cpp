@@ -1,0 +1,164 @@
+// Resilience walkthrough: recovering a faulted batch, then surviving an
+// interrupted autotuning sweep.
+//
+//   $ resilience [--n=16] [--batch=4096] [--fault-rate=0.02] [--seed=1234]
+//                [--journal=sweep.jsonl] [--resume] [--halt-after=K]
+//                [--fail-points=F] [--csv=out.csv]
+//
+// Part 1 corrupts a batch with the deterministic fault injector (non-SPD
+// pivots, NaN, Inf) and factors it with factorize_recover: non-finite
+// inputs are screened out, non-SPD members are repaired with escalating
+// diagonal shifts, healthy matrices are untouched.
+//
+// Part 2 runs a journaled sweep with injected evaluator faults. With
+// --halt-after=K the process exits hard after K completed points — a stand-
+// in for a crash or Ctrl-C; rerunning with --resume continues from the
+// journal and re-evaluates nothing. --csv writes the final dataset so an
+// interrupted+resumed run can be diffed against an uninterrupted one.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "autotune/journal.hpp"
+#include "autotune/sweep.hpp"
+#include "core/batch_cholesky.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/fault_inject.hpp"
+
+using namespace ibchol;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 16));
+  const std::int64_t batch = cli.get_int("batch", 4096);
+
+  // ---- Part 1: recovery-retry factorization of a corrupted batch --------
+  std::printf("== batch recovery: %lld matrices of size %dx%d ==\n",
+              static_cast<long long>(batch), n, n);
+
+  const TuningParams params = recommended_params(n);
+  const BatchLayout layout = BatchCholesky::make_layout(n, batch, params);
+  AlignedBuffer<float> data(layout.size_elems());
+  generate_spd_batch<float>(layout, data.span());
+
+  FaultPlanOptions fopt;
+  fopt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1234));
+  fopt.fault_rate = cli.get_double("fault-rate", 0.02);
+  const std::vector<MatrixFault> plan = plan_faults(batch, n, fopt);
+  inject_faults<float>(layout, data.span(), plan);
+  std::printf("injected %zu faults (negative pivots, NaN, Inf)\n",
+              plan.size());
+
+  const BatchCholesky chol(layout, params);
+  std::vector<std::int32_t> info(static_cast<std::size_t>(batch));
+  const RecoveryReport report = chol.factorize_recover<float>(
+      data.span(), RecoveryOptions{}, info);
+
+  std::printf(
+      "screened non-finite: %lld, non-SPD failures: %lld, recovered: %lld, "
+      "unrecoverable: %lld\n",
+      static_cast<long long>(report.nonfinite),
+      static_cast<long long>(report.failed),
+      static_cast<long long>(report.recovered),
+      static_cast<long long>(report.unrecoverable));
+  int shown = 0;
+  for (const MatrixRecovery& m : report.matrices) {
+    if (shown++ == 8) {
+      std::printf("  ... %zu more\n", report.matrices.size() - 8);
+      break;
+    }
+    if (m.first_info == kInfoNonFinite) {
+      std::printf("  matrix %6lld: NaN/Inf input, handed back untouched\n",
+                  static_cast<long long>(m.index));
+    } else if (m.recovered) {
+      std::printf(
+          "  matrix %6lld: pivot %d failed, recovered with shift %.3g "
+          "after %d attempt(s)\n",
+          static_cast<long long>(m.index), m.first_info, m.shift,
+          m.attempts);
+    } else {
+      std::printf("  matrix %6lld: unrecoverable after %d attempt(s)\n",
+                  static_cast<long long>(m.index), m.attempts);
+    }
+  }
+
+  // ---- Part 2: crash-safe sweep with flaky evaluations ------------------
+  std::printf("\n== resumable sweep with injected evaluator faults ==\n");
+
+  SweepOptions opt;
+  opt.sizes = {8, 16};
+  opt.batch = batch;
+  opt.space.tile_sizes = {1, 4, 8};
+  opt.space.chunk_sizes = {32, 64};
+  opt.max_retries = 2;
+
+  ModelEvaluator model(KernelModel(GpuSpec::p100()), 0.05);
+  FlakyEvaluator flaky(model);
+  const long fail_points = cli.get_int("fail-points", 3);
+  {
+    const auto space = enumerate_space(opt.sizes[0], opt.space);
+    for (long i = 0; i < fail_points &&
+                     static_cast<std::size_t>(i) < space.size();
+         ++i) {
+      flaky.fail_point(opt.sizes[0], space[static_cast<std::size_t>(i)],
+                       /*times=*/2);
+    }
+  }
+
+  const std::string journal = cli.get("journal", "");
+  if (!journal.empty()) {
+    opt.journal_path = journal;
+    if (cli.get_bool("resume", false)) {
+      opt.resume_from = journal;
+      std::printf("resuming from %s (%zu journaled points)\n",
+                  journal.c_str(), read_journal(journal).size());
+    }
+  }
+
+  const long halt_after = cli.get_int("halt-after", 0);
+  std::size_t completed = 0;
+  opt.progress = [&](std::size_t done, std::size_t total) {
+    ++completed;
+    if (done == total || done % 25 == 0) {
+      std::printf("  ... %zu/%zu points\n", done, total);
+    }
+    // Simulated crash: a hard exit, exactly like a kill -9 or a panic —
+    // nothing past the journal's flushed lines survives.
+    if (halt_after > 0 &&
+        completed == static_cast<std::size_t>(halt_after)) {
+      std::printf("halting hard after %zu evaluated points (journal has "
+                  "the completed work)\n",
+                  completed);
+      std::fflush(stdout);
+      std::_Exit(17);
+    }
+  };
+
+  const SweepDataset dataset = run_sweep(flaky, opt);
+  std::size_t failed = 0, retried = 0;
+  for (const auto& r : dataset.records()) {
+    failed += r.failed ? 1 : 0;
+    retried += r.attempts > 1 ? 1 : 0;
+  }
+  std::printf(
+      "sweep complete: %zu records, %zu retried, %zu failed; evaluator "
+      "faults fired: %lld\n",
+      dataset.size(), retried, failed,
+      static_cast<long long>(flaky.faults_fired()));
+
+  for (const auto& [size, rec] : dataset.best_by_n()) {
+    std::printf("  winner n=%-3d %s  (%.1f model GF/s)\n", size,
+                rec.params.key().c_str(), rec.gflops);
+  }
+
+  const std::string csv = cli.get("csv", "");
+  if (!csv.empty()) {
+    std::ofstream out(csv, std::ios::trunc);
+    out << to_csv(dataset.to_csv());
+    std::printf("dataset written to %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -2,20 +2,27 @@
 # Full verification: configure, build, run the test suite, run every
 # benchmark binary. This is the command sequence EXPERIMENTS.md expects.
 #
-#   scripts/check.sh [--sanitize] [cmake args...]
+#   scripts/check.sh [--sanitize] [--faults] [cmake args...]
 #
 # --sanitize adds a second build under AddressSanitizer + UBSan with
 # warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it.
 # Benchmarks only run from the plain build; they are meaningless under
 # instrumentation.
+#
+# --faults runs the resilience suite (fault injection, recovery, journaled
+# sweeps) against the sanitizer build, then a kill-and-resume smoke test:
+# a sweep halted hard at 50% and resumed from its journal must produce a
+# dataset byte-identical to an uninterrupted run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+FAULTS=0
 CMAKE_ARGS=()
 for arg in "$@"; do
   case "${arg}" in
     --sanitize) SANITIZE=1 ;;
+    --faults) FAULTS=1 ;;
     *) CMAKE_ARGS+=("${arg}") ;;
   esac
 done
@@ -24,7 +31,7 @@ cmake -B build -G Ninja ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build build
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-if [[ "${SANITIZE}" == 1 ]]; then
+configure_sanitize_build() {
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake -B build-sanitize -G Ninja \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -33,7 +40,39 @@ if [[ "${SANITIZE}" == 1 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}" \
     ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
   cmake --build build-sanitize
+}
+
+if [[ "${SANITIZE}" == 1 ]]; then
+  configure_sanitize_build
   ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)"
+fi
+
+if [[ "${FAULTS}" == 1 ]]; then
+  configure_sanitize_build
+  # The fault-injection / recovery / journaling suite under instrumentation.
+  ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)" \
+    -R '^(Recover|FaultGrid|FaultPlan|SolveGuard|ResilientSweepTest|Journal|Grid/)'
+
+  # Kill-and-resume smoke: the resilience example journals a sweep, gets
+  # killed hard (std::_Exit) halfway through, resumes from the journal, and
+  # the resulting dataset must be byte-identical to an uninterrupted run.
+  FAULTS_TMP="$(mktemp -d)"
+  trap 'rm -rf "${FAULTS_TMP}"' EXIT
+  RES=build-sanitize/examples/resilience
+  "${RES}" --batch=512 --csv="${FAULTS_TMP}/uninterrupted.csv" > /dev/null
+  set +e
+  "${RES}" --batch=512 --journal="${FAULTS_TMP}/sweep.jsonl" \
+    --halt-after=54 > /dev/null
+  halt_status=$?
+  set -e
+  if [[ "${halt_status}" != 17 ]]; then
+    echo "expected the halted sweep to exit with code 17, got ${halt_status}"
+    exit 1
+  fi
+  "${RES}" --batch=512 --journal="${FAULTS_TMP}/sweep.jsonl" --resume \
+    --csv="${FAULTS_TMP}/resumed.csv" > /dev/null
+  cmp "${FAULTS_TMP}/uninterrupted.csv" "${FAULTS_TMP}/resumed.csv"
+  echo "kill-and-resume smoke: resumed dataset byte-identical to uninterrupted"
 fi
 
 for b in build/bench/*; do

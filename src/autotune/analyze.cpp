@@ -17,6 +17,9 @@ AnalysisData build_analysis_data(const SweepDataset& dataset) {
   data.features = FeatureMatrix(analysis_feature_names(), 0);
   data.target.reserve(dataset.size());
   for (const auto& r : dataset.records()) {
+    // Failed points carry NaN targets; one NaN would poison every split's
+    // variance, so the forest trains on successful measurements only.
+    if (r.failed || !std::isfinite(r.gflops)) continue;
     const double row[] = {
         static_cast<double>(r.n),
         static_cast<double>(r.params.nb),

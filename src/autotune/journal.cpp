@@ -1,0 +1,162 @@
+#include "autotune/journal.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace ibchol {
+
+namespace {
+
+// %.17g: shortest decimal that round-trips any IEEE double exactly, so a
+// resumed sweep reproduces bit-identical records. NaN has no JSON literal;
+// null stands in.
+std::string json_double(double v) {
+  if (std::isnan(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Minimal scanners for the fixed journal schema. Each returns false on a
+// malformed or truncated line so the reader can skip it.
+bool find_value(const std::string& line, const std::string& key,
+                std::size_t& pos) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  pos = at + needle.size();
+  return true;
+}
+
+bool scan_string(const std::string& line, const std::string& key,
+                 std::string& out) {
+  std::size_t pos = 0;
+  if (!find_value(line, key, pos)) return false;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  const std::size_t end = line.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = line.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+bool scan_double(const std::string& line, const std::string& key,
+                 double& out) {
+  std::size_t pos = 0;
+  if (!find_value(line, key, pos)) return false;
+  if (line.compare(pos, 4, "null") == 0) {
+    out = std::nan("");
+    return true;
+  }
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  return end != start;
+}
+
+bool scan_int64(const std::string& line, const std::string& key,
+                std::int64_t& out) {
+  std::size_t pos = 0;
+  if (!find_value(line, key, pos)) return false;
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  out = std::strtoll(start, &end, 10);
+  return end != start;
+}
+
+bool scan_int(const std::string& line, const std::string& key, int& out) {
+  std::int64_t v = 0;
+  if (!scan_int64(line, key, v)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string journal_line(const SweepRecord& r) {
+  std::string out = "{";
+  out += "\"n\":" + std::to_string(r.n);
+  out += ",\"batch\":" + std::to_string(r.batch);
+  out += ",\"nb\":" + std::to_string(r.params.nb);
+  out += ",\"looking\":\"" + to_string(r.params.looking) + "\"";
+  out += ",\"chunked\":" + std::string(r.params.chunked ? "1" : "0");
+  out += ",\"chunk_size\":" + std::to_string(r.params.chunk_size);
+  out += ",\"unroll\":\"" + to_string(r.params.unroll) + "\"";
+  out += ",\"math\":\"" + to_string(r.params.math) + "\"";
+  out += ",\"cache\":\"" + std::string(r.params.prefer_shared ? "shared" : "l1") +
+         "\"";
+  out += ",\"exec\":\"" + to_string(r.params.exec) + "\"";
+  out += ",\"seconds\":" + json_double(r.seconds);
+  out += ",\"gflops\":" + json_double(r.gflops);
+  out += ",\"attempts\":" + std::to_string(r.attempts);
+  out += ",\"failed\":" + std::string(r.failed ? "1" : "0");
+  out += "}";
+  return out;
+}
+
+std::optional<SweepRecord> parse_journal_line(const std::string& raw) {
+  std::string line = raw;
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  if (line.size() < 2 || line.front() != '{' || line.back() != '}') {
+    return std::nullopt;
+  }
+  SweepRecord r;
+  std::string looking, unroll, math, cache, exec;
+  int chunked = 0, failed = 0;
+  if (!scan_int(line, "n", r.n) || !scan_int64(line, "batch", r.batch) ||
+      !scan_int(line, "nb", r.params.nb) ||
+      !scan_string(line, "looking", looking) ||
+      !scan_int(line, "chunked", chunked) ||
+      !scan_int(line, "chunk_size", r.params.chunk_size) ||
+      !scan_string(line, "unroll", unroll) ||
+      !scan_string(line, "math", math) ||
+      !scan_string(line, "cache", cache) ||
+      !scan_string(line, "exec", exec) ||
+      !scan_double(line, "seconds", r.seconds) ||
+      !scan_double(line, "gflops", r.gflops) ||
+      !scan_int(line, "attempts", r.attempts) ||
+      !scan_int(line, "failed", failed)) {
+    return std::nullopt;
+  }
+  try {
+    r.params.looking = looking_from_string(looking);
+    r.params.unroll = unroll_from_string(unroll);
+    r.params.math = math_from_string(math);
+    r.params.exec = cpu_exec_from_string(exec);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  r.params.chunked = chunked != 0;
+  r.params.prefer_shared = cache == "shared";
+  r.failed = failed != 0;
+  return r;
+}
+
+std::vector<SweepRecord> read_journal(const std::string& path) {
+  std::vector<SweepRecord> records;
+  std::ifstream in(path);
+  if (!in) return records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto r = parse_journal_line(line)) records.push_back(std::move(*r));
+  }
+  return records;
+}
+
+JournalWriter::JournalWriter(const std::string& path)
+    : out_(path, std::ios::app) {
+  IBCHOL_CHECK(static_cast<bool>(out_),
+               "cannot open sweep journal for append: " + path);
+}
+
+void JournalWriter::append(const SweepRecord& record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << journal_line(record) << '\n';
+  out_.flush();
+}
+
+}  // namespace ibchol

@@ -1,11 +1,23 @@
 #include "autotune/records.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "util/error.hpp"
 
 namespace ibchol {
+
+namespace {
+
+// Records a reducer must never consider: failed points carry NaN times, and
+// `r.gflops > best` is false for every comparison against NaN, so a single
+// failed record seen first would win the argmax forever.
+bool unusable(const SweepRecord& r) {
+  return r.failed || !std::isfinite(r.seconds) || !std::isfinite(r.gflops);
+}
+
+}  // namespace
 
 std::vector<int> SweepDataset::sizes() const {
   std::set<int> s;
@@ -18,6 +30,7 @@ std::optional<SweepRecord> SweepDataset::best(
   std::optional<SweepRecord> out;
   for (const auto& r : records_) {
     if (r.n != n) continue;
+    if (unusable(r)) continue;
     if (filter && !filter(r)) continue;
     if (!out || r.gflops > out->gflops) out = r;
   }
@@ -28,6 +41,7 @@ std::map<int, SweepRecord> SweepDataset::best_by_n(
     const std::function<bool(const SweepRecord&)>& filter) const {
   std::map<int, SweepRecord> out;
   for (const auto& r : records_) {
+    if (unusable(r)) continue;
     if (filter && !filter(r)) continue;
     auto it = out.find(r.n);
     if (it == out.end() || r.gflops > it->second.gflops) out[r.n] = r;
@@ -39,7 +53,7 @@ CsvTable SweepDataset::to_csv() const {
   CsvTable t;
   t.header = {"n",          "batch",   "nb",     "looking", "chunked",
               "chunk_size", "unroll",  "math",   "cache",   "exec",
-              "seconds",    "gflops"};
+              "seconds",    "gflops",  "attempts", "failed"};
   for (const auto& r : records_) {
     t.rows.push_back({std::to_string(r.n), std::to_string(r.batch),
                       std::to_string(r.params.nb),
@@ -49,7 +63,8 @@ CsvTable SweepDataset::to_csv() const {
                       to_string(r.params.unroll), to_string(r.params.math),
                       r.params.prefer_shared ? "shared" : "l1",
                       to_string(r.params.exec),
-                      std::to_string(r.seconds), std::to_string(r.gflops)});
+                      std::to_string(r.seconds), std::to_string(r.gflops),
+                      std::to_string(r.attempts), r.failed ? "1" : "0"});
   }
   return t;
 }
@@ -74,6 +89,18 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
   const bool has_exec = cex_it != table.header.end();
   const std::size_t cex =
       static_cast<std::size_t>(cex_it - table.header.begin());
+  // Likewise, datasets persisted before the resilient sweep existed have no
+  // attempts/failed columns; those records were single-attempt successes.
+  const auto cat_it = std::find(table.header.begin(), table.header.end(),
+                                std::string("attempts"));
+  const bool has_attempts = cat_it != table.header.end();
+  const std::size_t cat =
+      static_cast<std::size_t>(cat_it - table.header.begin());
+  const auto cfl_it = std::find(table.header.begin(), table.header.end(),
+                                std::string("failed"));
+  const bool has_failed = cfl_it != table.header.end();
+  const std::size_t cfl =
+      static_cast<std::size_t>(cfl_it - table.header.begin());
   for (const auto& row : table.rows) {
     SweepRecord r;
     r.n = std::stoi(row[cn]);
@@ -89,6 +116,8 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
         has_exec ? cpu_exec_from_string(row[cex]) : CpuExec::kSpecialized;
     r.seconds = std::stod(row[cs]);
     r.gflops = std::stod(row[cg]);
+    r.attempts = has_attempts ? std::stoi(row[cat]) : 1;
+    r.failed = has_failed && row[cfl] == "1";
     ds.add(std::move(r));
   }
   return ds;

@@ -24,6 +24,11 @@ struct SweepRecord {
   TuningParams params;
   double seconds = 0.0;
   double gflops = 0.0;
+  /// Evaluation attempts consumed (> 1 when the sweep retried a fault).
+  int attempts = 1;
+  /// True when every attempt failed; seconds/gflops are then NaN and the
+  /// reducers (best / best_by_n) skip the record.
+  bool failed = false;
 };
 
 /// The full sweep dataset with CSV round-tripping and figure reducers.
@@ -40,7 +45,8 @@ class SweepDataset {
   [[nodiscard]] std::vector<int> sizes() const;
 
   /// Best GFLOP/s at size n over records satisfying `filter`
-  /// (nullopt if none match).
+  /// (nullopt if none match). Failed and non-finite records are always
+  /// skipped — a NaN time from one failed point must not poison the argmax.
   [[nodiscard]] std::optional<SweepRecord> best(
       int n,
       const std::function<bool(const SweepRecord&)>& filter = nullptr) const;

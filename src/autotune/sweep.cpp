@@ -2,15 +2,33 @@
 
 #include <omp.h>
 
+#include <chrono>
+#include <cmath>
+#include <memory>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
 
+#include "autotune/journal.hpp"
 #include "kernels/counts.hpp"
 
 namespace ibchol {
 
+namespace {
+
+// Journal-matching identity of a sweep point. Params are compared through
+// their tuning key, which round-trips the journal exactly.
+std::string point_identity(int n, std::int64_t batch,
+                           const TuningParams& params) {
+  return std::to_string(n) + "|" + std::to_string(batch) + "|" + params.key();
+}
+
+}  // namespace
+
 SweepDataset run_sweep(Evaluator& evaluator, const SweepOptions& options) {
   IBCHOL_CHECK(!options.sizes.empty(), "sweep needs at least one size");
   IBCHOL_CHECK(options.batch > 0, "batch must be positive");
+  IBCHOL_CHECK(options.max_retries >= 0, "max_retries must be >= 0");
 
   // Materialize the full point list first: the parallel driver needs an
   // index space, and the dataset must come out in enumeration order no
@@ -28,27 +46,94 @@ SweepDataset run_sweep(Evaluator& evaluator, const SweepOptions& options) {
   const std::size_t total = points.size();
   std::vector<SweepRecord> records(total);
 
+  // Resume: satisfy points from the journal of the interrupted run. Each
+  // journal entry is consumed at most once; entries matching no enumerated
+  // point (a stale or foreign journal) are ignored.
+  std::vector<char> have(total, 0);
+  std::size_t resumed = 0;
+  if (!options.resume_from.empty()) {
+    std::unordered_multimap<std::string, SweepRecord> journal;
+    for (SweepRecord& r : read_journal(options.resume_from)) {
+      journal.emplace(point_identity(r.n, r.batch, r.params), std::move(r));
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+      const auto it = journal.find(
+          point_identity(points[i].n, options.batch, points[i].params));
+      if (it == journal.end()) continue;
+      records[i] = std::move(it->second);
+      journal.erase(it);
+      have[i] = 1;
+      ++resumed;
+    }
+  }
+
+  std::unique_ptr<JournalWriter> journal_out;
+  if (!options.journal_path.empty()) {
+    journal_out = std::make_unique<JournalWriter>(options.journal_path);
+  }
+
   const int threads =
       options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
   const bool parallel = evaluator.parallel_safe() && threads > 1 && total > 1;
 
-  std::size_t done = 0;
+  std::size_t done = resumed;
   std::mutex progress_mu;
 
 #pragma omp parallel for schedule(dynamic) num_threads(threads) \
     if (parallel)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(total); ++i) {
+    if (have[static_cast<std::size_t>(i)]) continue;
     const Point& pt = points[static_cast<std::size_t>(i)];
     SweepRecord r;
     r.n = pt.n;
     r.batch = options.batch;
     r.params = pt.params;
-    r.seconds = evaluator.seconds(pt.n, options.batch, pt.params);
-    r.gflops = r.seconds <= 0.0
-                   ? 0.0
-                   : static_cast<double>(options.batch) *
-                         nominal_flops_per_matrix(pt.n) / r.seconds / 1e9;
-    records[static_cast<std::size_t>(i)] = std::move(r);
+
+    // A throwing or over-deadline evaluation is a failed attempt; after
+    // max_retries further attempts the point is recorded as failed rather
+    // than aborting the sweep (no exception may cross the omp region).
+    int attempt = 0;
+    for (;;) {
+      ++attempt;
+      bool ok = false;
+      double secs = 0.0;
+      try {
+        const auto t0 = std::chrono::steady_clock::now();
+        secs = evaluator.seconds(pt.n, options.batch, pt.params);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        ok = !(options.deadline_seconds > 0.0 &&
+               wall > options.deadline_seconds);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      if (ok) {
+        r.seconds = secs;
+        break;
+      }
+      if (attempt > options.max_retries) {
+        r.failed = true;
+        break;
+      }
+      if (options.retry_backoff_seconds > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options.retry_backoff_seconds * attempt));
+      }
+    }
+    r.attempts = attempt;
+    if (r.failed) {
+      r.seconds = std::nan("");
+      r.gflops = std::nan("");
+    } else {
+      r.gflops = r.seconds <= 0.0
+                     ? 0.0
+                     : static_cast<double>(options.batch) *
+                           nominal_flops_per_matrix(pt.n) / r.seconds / 1e9;
+    }
+    records[static_cast<std::size_t>(i)] = r;
+    if (journal_out) journal_out->append(r);
     if (options.progress) {
       // Serialized, strictly monotone `done` counts (see SweepOptions).
       const std::lock_guard<std::mutex> lock(progress_mu);

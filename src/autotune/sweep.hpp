@@ -2,6 +2,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "autotune/evaluator.hpp"
@@ -23,11 +24,36 @@ struct SweepOptions {
   ///
   /// Thread-safety contract (enforced by the driver): invocations are
   /// serialized under a mutex — the callback never runs concurrently with
-  /// itself — and `done` counts are strictly monotone from 1 to total.
+  /// itself — and `done` counts are strictly monotone up to total.
   /// Under the parallel driver the callback may fire from worker threads,
   /// and points complete in arbitrary order, so `done` tracks the count of
-  /// finished points, not their dataset positions.
+  /// finished points, not their dataset positions. Points satisfied from
+  /// `resume_from` are pre-counted: the first invocation reports
+  /// resumed + 1.
   std::function<void(std::size_t, std::size_t)> progress;
+
+  // --- Fault tolerance (see DESIGN.md "Failure semantics & recovery") ---
+
+  /// Extra attempts after an evaluation throws or overruns the deadline.
+  /// Once every attempt (1 + max_retries) has failed, the point is recorded
+  /// with failed = true and NaN time instead of aborting the sweep.
+  int max_retries = 0;
+  /// Sleep between a failure and the next attempt; attempt k waits
+  /// k · retry_backoff_seconds (linear backoff). 0 retries immediately.
+  double retry_backoff_seconds = 0.0;
+  /// Wall-clock budget for one evaluation; an evaluation that returns after
+  /// longer than this counts as a failure (a cooperative hang detector —
+  /// the evaluation is never killed mid-flight). 0 disables the deadline.
+  double deadline_seconds = 0.0;
+  /// When non-empty, every completed record is appended to this JSONL
+  /// journal (flushed per line) so a crashed sweep can resume.
+  std::string journal_path;
+  /// When non-empty, records found in this journal are reused and their
+  /// points skipped. Identity is (n, batch, tuning key); journal entries
+  /// matching no enumerated point are ignored, so a stale journal from a
+  /// different sweep cannot corrupt the dataset. Pointing journal_path at
+  /// the same file continues the journal in place.
+  std::string resume_from;
 };
 
 /// Runs the exhaustive sweep of `options.space` over `options.sizes`

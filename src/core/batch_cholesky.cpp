@@ -88,19 +88,72 @@ FactorResult BatchCholesky::factorize(std::span<T> data,
 }
 
 template <typename T>
+RecoveryReport BatchCholesky::factorize_recover(
+    std::span<T> data, const RecoveryOptions& recovery,
+    std::span<std::int32_t> info) const {
+  const CpuFactorOptions opts = to_cpu_options(params_, layout_.n(), triangle_);
+  return factor_batch_recover<T>(layout_, data, opts, recovery, info,
+                                 program_.has_value() ? &*program_ : nullptr);
+}
+
+namespace {
+
+// rhs elements of matrices whose factorization failed, saved around a solve
+// so the back-substitution's NaNs never reach the caller.
+template <typename T, typename IndexFn>
+std::vector<std::pair<std::size_t, T>> save_failed_rhs(
+    std::span<const std::int32_t> info, std::int64_t batch, int elems_per_mat,
+    std::span<const T> rhs, IndexFn&& index) {
+  std::vector<std::pair<std::size_t, T>> saved;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    if (info[b] == 0) continue;
+    for (int e = 0; e < elems_per_mat; ++e) {
+      const std::size_t at = index(b, e);
+      saved.emplace_back(at, rhs[at]);
+    }
+  }
+  return saved;
+}
+
+}  // namespace
+
+template <typename T>
 void BatchCholesky::solve(std::span<const T> factored,
                           const BatchVectorLayout& vlayout,
-                          std::span<T> rhs) const {
+                          std::span<T> rhs,
+                          std::span<const std::int32_t> info) const {
+  std::vector<std::pair<std::size_t, T>> saved;
+  if (!info.empty()) {
+    IBCHOL_CHECK(info.size() >= static_cast<std::size_t>(layout_.batch()),
+                 "info span too small for batch");
+    saved = save_failed_rhs<T>(
+        info, layout_.batch(), layout_.n(), rhs,
+        [&](std::int64_t b, int e) { return vlayout.index(b, e); });
+  }
   solve_batch_cpu<T>(layout_, factored, vlayout, rhs, params_.math,
                      /*num_threads=*/0, triangle_);
+  for (const auto& [at, v] : saved) rhs[at] = v;
 }
 
 template <typename T>
 void BatchCholesky::solve_multi(std::span<const T> factored,
                                 const BatchRectLayout& rlayout,
-                                std::span<T> rhs) const {
+                                std::span<T> rhs,
+                                std::span<const std::int32_t> info) const {
+  std::vector<std::pair<std::size_t, T>> saved;
+  if (!info.empty()) {
+    IBCHOL_CHECK(info.size() >= static_cast<std::size_t>(layout_.batch()),
+                 "info span too small for batch");
+    const int per_mat = rlayout.rows() * rlayout.cols();
+    saved = save_failed_rhs<T>(
+        info, layout_.batch(), per_mat, rhs,
+        [&](std::int64_t b, int e) {
+          return rlayout.index(b, e % rlayout.rows(), e / rlayout.rows());
+        });
+  }
   batch_potrs<T>(layout_, factored, rlayout, rhs, params_.math,
                  /*num_threads=*/0, triangle_);
+  for (const auto& [at, v] : saved) rhs[at] = v;
 }
 
 template <typename T>
@@ -116,18 +169,22 @@ template FactorResult BatchCholesky::factorize<float>(
     std::span<float>, std::span<std::int32_t>) const;
 template FactorResult BatchCholesky::factorize<double>(
     std::span<double>, std::span<std::int32_t>) const;
-template void BatchCholesky::solve<float>(std::span<const float>,
-                                          const BatchVectorLayout&,
-                                          std::span<float>) const;
-template void BatchCholesky::solve<double>(std::span<const double>,
-                                           const BatchVectorLayout&,
-                                           std::span<double>) const;
-template void BatchCholesky::solve_multi<float>(std::span<const float>,
-                                                const BatchRectLayout&,
-                                                std::span<float>) const;
-template void BatchCholesky::solve_multi<double>(std::span<const double>,
-                                                 const BatchRectLayout&,
-                                                 std::span<double>) const;
+template RecoveryReport BatchCholesky::factorize_recover<float>(
+    std::span<float>, const RecoveryOptions&, std::span<std::int32_t>) const;
+template RecoveryReport BatchCholesky::factorize_recover<double>(
+    std::span<double>, const RecoveryOptions&, std::span<std::int32_t>) const;
+template void BatchCholesky::solve<float>(
+    std::span<const float>, const BatchVectorLayout&, std::span<float>,
+    std::span<const std::int32_t>) const;
+template void BatchCholesky::solve<double>(
+    std::span<const double>, const BatchVectorLayout&, std::span<double>,
+    std::span<const std::int32_t>) const;
+template void BatchCholesky::solve_multi<float>(
+    std::span<const float>, const BatchRectLayout&, std::span<float>,
+    std::span<const std::int32_t>) const;
+template void BatchCholesky::solve_multi<double>(
+    std::span<const double>, const BatchRectLayout&, std::span<double>,
+    std::span<const std::int32_t>) const;
 template FactorResult factorize_batch<float>(int, std::int64_t,
                                              const TuningParams&,
                                              std::span<float>,

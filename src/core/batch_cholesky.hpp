@@ -20,6 +20,7 @@
 #include "cpu/batch_blas.hpp"
 #include "cpu/batch_factor.hpp"
 #include "cpu/batch_solve.hpp"
+#include "cpu/recover.hpp"
 #include "kernels/tile_program.hpp"
 #include "kernels/variant.hpp"
 #include "layout/layout.hpp"
@@ -55,19 +56,38 @@ class BatchCholesky {
   FactorResult factorize(std::span<T> data,
                          std::span<std::int32_t> info = {}) const;
 
+  /// Resilient factorization: like factorize(), then recovers failed
+  /// matrices. NaN/Inf inputs are screened out (info = kInfoNonFinite,
+  /// contents returned untouched) and non-SPD members are refactored in a
+  /// compact sub-batch under escalating diagonal shifts until they succeed
+  /// or `recovery.max_attempts` is exhausted; healthy matrices come out
+  /// bit-identical to factorize(). See src/cpu/recover.hpp.
+  template <typename T>
+  RecoveryReport factorize_recover(std::span<T> data,
+                                   const RecoveryOptions& recovery = {},
+                                   std::span<std::int32_t> info = {}) const;
+
   /// Solves L·Lᵀ x = b for every matrix after factorize(); `rhs` is
   /// overwritten with the solutions. The vector layout must match
   /// (BatchVectorLayout::matching(layout())).
+  ///
+  /// `info`, when non-empty, must be the per-matrix status from
+  /// factorize()/factorize_recover(): matrices with info != 0 are skipped —
+  /// their rhs entries are left exactly as supplied instead of being
+  /// overwritten with the NaN garbage a failed factor back-substitutes.
   template <typename T>
   void solve(std::span<const T> factored, const BatchVectorLayout& vlayout,
-             std::span<T> rhs) const;
+             std::span<T> rhs,
+             std::span<const std::int32_t> info = {}) const;
 
   /// Multi-right-hand-side solve: `rhs` is an n×nrhs block per matrix in a
   /// compatible rectangular layout (BatchRectLayout::matching(layout(),
-  /// n, nrhs)). Overwritten with the solutions.
+  /// n, nrhs)). Overwritten with the solutions. `info` skips failed
+  /// matrices exactly as in solve().
   template <typename T>
   void solve_multi(std::span<const T> factored,
-                   const BatchRectLayout& rlayout, std::span<T> rhs) const;
+                   const BatchRectLayout& rlayout, std::span<T> rhs,
+                   std::span<const std::int32_t> info = {}) const;
 
   [[nodiscard]] const BatchLayout& layout() const { return layout_; }
   [[nodiscard]] const TuningParams& params() const { return params_; }

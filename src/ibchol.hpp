@@ -20,6 +20,7 @@
 #include "autotune/analyze.hpp"
 #include "autotune/dispatch.hpp"
 #include "autotune/evaluator.hpp"
+#include "autotune/journal.hpp"
 #include "autotune/records.hpp"
 #include "autotune/search.hpp"
 #include "autotune/space.hpp"
@@ -30,6 +31,7 @@
 #include "cpu/batch_blas.hpp"
 #include "cpu/batch_factor.hpp"
 #include "cpu/batch_solve.hpp"
+#include "cpu/recover.hpp"
 #include "cpu/reference.hpp"
 #include "cpu/refine.hpp"
 #include "forest/forest.hpp"
@@ -50,6 +52,7 @@
 #include "simt/trace_sim.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/csv.hpp"
+#include "util/fault_inject.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"

@@ -1,0 +1,160 @@
+#include "util/fault_inject.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ibchol {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNegativePivot: return "negative-pivot";
+    case FaultKind::kNaN: return "nan";
+    case FaultKind::kInf: return "inf";
+  }
+  return "?";
+}
+
+std::vector<MatrixFault> plan_faults(std::int64_t batch, int n,
+                                     const FaultPlanOptions& options) {
+  IBCHOL_CHECK(batch > 0 && n > 0, "fault plan needs a non-empty batch");
+  IBCHOL_CHECK(options.fault_rate >= 0.0 && options.fault_rate <= 1.0,
+               "fault_rate must be in [0, 1]");
+  std::vector<FaultKind> kinds;
+  if (options.negative_pivot) kinds.push_back(FaultKind::kNegativePivot);
+  if (options.nan) kinds.push_back(FaultKind::kNaN);
+  if (options.inf) kinds.push_back(FaultKind::kInf);
+  IBCHOL_CHECK(!kinds.empty(), "fault plan needs at least one enabled kind");
+
+  Xoshiro256 rng(options.seed);
+  std::vector<MatrixFault> plan;
+  std::size_t next_kind = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    if (rng.uniform() >= options.fault_rate) continue;
+    MatrixFault f;
+    f.index = b;
+    f.kind = kinds[next_kind++ % kinds.size()];
+    f.magnitude = options.magnitude;
+    if (f.kind == FaultKind::kNegativePivot) {
+      f.row = f.col = static_cast<int>(rng.uniform_index(
+          static_cast<std::uint64_t>(n)));
+    } else if (n < 2) {
+      // Off-diagonal faults need n >= 2; a 1x1 matrix takes the pivot hit.
+      f.kind = FaultKind::kNegativePivot;
+      f.row = f.col = 0;
+    } else {
+      f.row = 1 + static_cast<int>(rng.uniform_index(
+                      static_cast<std::uint64_t>(n - 1)));
+      f.col = static_cast<int>(rng.uniform_index(
+          static_cast<std::uint64_t>(f.row)));
+    }
+    plan.push_back(f);
+  }
+  return plan;
+}
+
+template <typename T>
+void inject_faults(const BatchLayout& layout, std::span<T> data,
+                   std::span<const MatrixFault> faults) {
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for batch layout");
+  for (const MatrixFault& f : faults) {
+    IBCHOL_CHECK(f.index >= 0 && f.index < layout.batch(),
+                 "fault index out of range");
+    IBCHOL_CHECK(f.row >= 0 && f.row < layout.n() && f.col >= 0 &&
+                     f.col < layout.n(),
+                 "fault element out of range");
+    switch (f.kind) {
+      case FaultKind::kNegativePivot: {
+        T& a = data[layout.index(f.index, f.row, f.row)];
+        const double mag =
+            std::max(std::abs(static_cast<double>(a)), 1.0);
+        a = static_cast<T>(-f.magnitude * mag);
+        break;
+      }
+      case FaultKind::kNaN: {
+        const T v = std::numeric_limits<T>::quiet_NaN();
+        data[layout.index(f.index, f.row, f.col)] = v;
+        data[layout.index(f.index, f.col, f.row)] = v;
+        break;
+      }
+      case FaultKind::kInf: {
+        const T v = std::numeric_limits<T>::infinity();
+        data[layout.index(f.index, f.row, f.col)] = v;
+        data[layout.index(f.index, f.col, f.row)] = v;
+        break;
+      }
+    }
+  }
+}
+
+template void inject_faults<float>(const BatchLayout&, std::span<float>,
+                                   std::span<const MatrixFault>);
+template void inject_faults<double>(const BatchLayout&, std::span<double>,
+                                    std::span<const MatrixFault>);
+
+FlakyEvaluator::Script& FlakyEvaluator::script_for(int n,
+                                                   const TuningParams& params) {
+  for (Script& s : scripts_) {
+    if (s.n == n && s.params == params) return s;
+  }
+  scripts_.push_back({n, params, 0, 0, 0.0});
+  return scripts_.back();
+}
+
+void FlakyEvaluator::fail_point(int n, const TuningParams& params, int times) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  script_for(n, params).failures_left = times;
+}
+
+void FlakyEvaluator::stall_point(int n, const TuningParams& params,
+                                 double stall_seconds, int times) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Script& s = script_for(n, params);
+  s.stalls_left = times;
+  s.stall_seconds = stall_seconds;
+}
+
+double FlakyEvaluator::seconds(int n, std::int64_t batch,
+                               const TuningParams& params) {
+  double stall = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++calls_;
+    for (Script& s : scripts_) {
+      if (s.n != n || !(s.params == params)) continue;
+      if (s.failures_left > 0) {
+        --s.failures_left;
+        ++faults_;
+        throw std::runtime_error("injected evaluator fault");
+      }
+      if (s.stalls_left > 0) {
+        --s.stalls_left;
+        ++faults_;
+        stall = s.stall_seconds;
+      }
+      break;
+    }
+  }
+  if (stall > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+  }
+  return inner_.seconds(n, batch, params);
+}
+
+std::int64_t FlakyEvaluator::calls() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return calls_;
+}
+
+std::int64_t FlakyEvaluator::faults_fired() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+}  // namespace ibchol

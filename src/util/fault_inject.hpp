@@ -1,0 +1,124 @@
+// Deterministic fault injection for resilience testing.
+//
+// Production batches fail in two places: the data (a non-SPD or corrupt
+// matrix slips into a 16k-matrix batch) and the tuning loop (one evaluation
+// out of ~14,000 throws or hangs). This header provides seedable, scripted
+// versions of both so tests and demos can rehearse recovery paths:
+//
+//  * plan_faults / inject_faults — corrupt chosen batch members with a
+//    negative pivot (numerically non-SPD), a NaN, or an Inf. Plans are pure
+//    functions of (seed, batch, n), so a test can re-derive exactly which
+//    matrices were hit. Injection keeps matrices symmetric (both mirror
+//    elements are written) and places NaN/Inf strictly off-diagonal so the
+//    first failing pivot — and therefore `info` — is deterministic across
+//    executors, layouts, and looking orders.
+//  * FlakyEvaluator — a decorator that makes scripted sweep points throw
+//    (a configurable number of times) or stall before answering, for
+//    exercising the sweep driver's retry/deadline/journal machinery.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "autotune/evaluator.hpp"
+#include "layout/layout.hpp"
+
+namespace ibchol {
+
+/// What kind of corruption to apply to a matrix.
+enum class FaultKind : std::uint8_t {
+  kNegativePivot,  ///< flip a diagonal element negative (non-SPD, finite)
+  kNaN,            ///< plant a NaN at an off-diagonal pair
+  kInf,            ///< plant an Inf at an off-diagonal pair
+};
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// One planned corruption. For kNegativePivot, row == col (the pivot).
+/// For kNaN/kInf, row > col; both (row, col) and (col, row) are written so
+/// the matrix stays symmetric.
+struct MatrixFault {
+  std::int64_t index = 0;  ///< batch index of the victim matrix
+  FaultKind kind = FaultKind::kNegativePivot;
+  int row = 0;
+  int col = 0;
+  /// For kNegativePivot: the diagonal becomes -magnitude · max(|a|, 1).
+  double magnitude = 1.0;
+};
+
+/// Knobs for plan_faults.
+struct FaultPlanOptions {
+  std::uint64_t seed = 1234;  ///< same seed + shape => same plan
+  double fault_rate = 0.01;   ///< per-matrix corruption probability
+  bool negative_pivot = true; ///< include kNegativePivot faults
+  bool nan = true;            ///< include kNaN faults
+  bool inf = true;            ///< include kInf faults
+  double magnitude = 1.0;     ///< negative-pivot magnitude
+};
+
+/// Draws a deterministic fault plan for a batch of `batch` n×n matrices:
+/// each matrix is corrupted with probability `fault_rate`, cycling through
+/// the enabled kinds. Entries come back in ascending matrix index. Throws
+/// if every kind is disabled or the rate is outside [0, 1].
+[[nodiscard]] std::vector<MatrixFault> plan_faults(
+    std::int64_t batch, int n, const FaultPlanOptions& options);
+
+/// Applies a fault plan to batch data in place.
+template <typename T>
+void inject_faults(const BatchLayout& layout, std::span<T> data,
+                   std::span<const MatrixFault> faults);
+
+/// Evaluator decorator that fails or stalls scripted points.
+///
+/// A point is identified by (n, params) — value equality, so scripts can be
+/// built from the same enumeration the sweep uses. Each scripted failure
+/// fires a fixed number of times and then the point behaves normally, which
+/// is exactly the transient-fault shape the sweep's retry loop targets;
+/// stalls delay the inner answer so a sweep deadline sees an overrun.
+class FlakyEvaluator final : public Evaluator {
+ public:
+  explicit FlakyEvaluator(Evaluator& inner) : inner_(inner) {}
+
+  /// The first `times` evaluations of (n, params) throw.
+  void fail_point(int n, const TuningParams& params, int times = 1);
+
+  /// The first `times` evaluations of (n, params) sleep for
+  /// `stall_seconds` of wall time before delegating.
+  void stall_point(int n, const TuningParams& params, double stall_seconds,
+                   int times = 1);
+
+  double seconds(int n, std::int64_t batch,
+                 const TuningParams& params) override;
+  [[nodiscard]] bool parallel_safe() const override {
+    return inner_.parallel_safe();
+  }
+  [[nodiscard]] std::string name() const override {
+    return "flaky(" + inner_.name() + ")";
+  }
+
+  /// Total seconds() calls and how many of them threw an injected fault.
+  [[nodiscard]] std::int64_t calls() const;
+  [[nodiscard]] std::int64_t faults_fired() const;
+
+ private:
+  struct Script {
+    int n = 0;
+    TuningParams params;
+    int failures_left = 0;
+    int stalls_left = 0;
+    double stall_seconds = 0.0;
+  };
+
+  Script& script_for(int n, const TuningParams& params);
+
+  Evaluator& inner_;
+  mutable std::mutex mu_;
+  std::vector<Script> scripts_;
+  std::int64_t calls_ = 0;
+  std::int64_t faults_ = 0;
+};
+
+}  // namespace ibchol

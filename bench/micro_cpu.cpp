@@ -10,8 +10,9 @@
 // loops vs the paper's generated fully unrolled kernels.
 //
 // Run with --json=<path> to skip the google-benchmark suite and instead
-// write a machine-readable summary (interpreter vs specialized, canonical
-// vs interleaved, per N) for cross-PR perf tracking (BENCH_*.json).
+// write a machine-readable summary (interpreter vs specialized vs
+// vectorized, canonical vs interleaved, per N) for cross-PR perf tracking
+// (BENCH_*.json).
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -25,6 +26,7 @@
 #include "cpu/batch_blas.hpp"
 #include "cpu/batch_solve.hpp"
 #include "cpu/refine.hpp"
+#include "cpu/simd/isa.hpp"
 #include "cpu/tile_exec.hpp"
 #include "kernels/counts.hpp"
 #include "layout/convert.hpp"
@@ -133,15 +135,18 @@ void BM_FactorFastMath(benchmark::State& state) {
 }
 BENCHMARK(BM_FactorFastMath)->Arg(16)->Arg(32)->ArgName("n");
 
-// Interpreter vs specialized executor, same variant: the dispatch-overhead
-// head-to-head. For small n (full unrolling) this compares the scratch
-// whole-matrix loop against the fused compile-time kernel; for larger n it
-// compares per-op switch dispatch against the bound specialized table.
+// Interpreter vs specialized vs vectorized executor, same variant: the
+// dispatch-overhead head-to-head. For small n (full unrolling) this
+// compares the scratch whole-matrix loop, the fused compile-time kernel,
+// and the explicit-SIMD in-place kernel; for larger n it compares per-op
+// switch dispatch, the bound specialized table, and the intrinsic op
+// bodies.
 void BM_FactorExec(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   TuningParams p = recommended_params(n);
-  p.exec = state.range(1) != 0 ? CpuExec::kSpecialized
-                               : CpuExec::kInterpreter;
+  p.exec = state.range(1) == 2   ? CpuExec::kVectorized
+           : state.range(1) == 1 ? CpuExec::kSpecialized
+                                 : CpuExec::kInterpreter;
   const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
   const BatchCholesky chol(layout, p);
   AlignedBuffer<float> pristine(layout.size_elems());
@@ -156,8 +161,8 @@ void BM_FactorExec(benchmark::State& state) {
   set_flops(state, n, kBatch);
 }
 BENCHMARK(BM_FactorExec)
-    ->ArgsProduct({{4, 8, 16, 24, 32, 48, 64}, {0, 1}})
-    ->ArgNames({"n", "spec"});
+    ->ArgsProduct({{4, 8, 16, 24, 32, 48, 64}, {0, 1, 2}})
+    ->ArgNames({"n", "exec"});
 
 // ------------------------------------------------------------ layout -----
 
@@ -324,12 +329,14 @@ double to_gflops(int n, std::int64_t batch, double seconds) {
                               nominal_flops_per_matrix(n) / seconds / 1e9;
 }
 
-// Interpreter-vs-specialized and canonical-vs-interleaved summary across
-// the head-to-head sizes, written as one JSON document.
+// Interpreter-vs-specialized-vs-vectorized and canonical-vs-interleaved
+// summary across the head-to-head sizes, written as one JSON document.
 void write_exec_summary(const std::string& path) {
   std::ostringstream os;
   os << "{\n  \"bench\": \"micro_cpu\",\n  \"batch\": " << kBatch
-     << ",\n  \"summary\": [";
+     << ",\n  \"simd_isa\": \""
+     << to_string(resolve_simd_isa(SimdIsa::kAuto))
+     << "\",\n  \"summary\": [";
   bool first = true;
   for (const int n : {4, 8, 16, 24, 32, 48, 64}) {
     const TuningParams p = recommended_params(n);
@@ -347,20 +354,25 @@ void write_exec_summary(const std::string& path) {
     const double interp = time_factor(il, ipristine, iwork, opt);
     opt.exec = CpuExec::kSpecialized;
     const double spec = time_factor(il, ipristine, iwork, opt);
+    opt.exec = CpuExec::kVectorized;
+    const double vec = time_factor(il, ipristine, iwork, opt);
 
     const BatchLayout cl = BatchLayout::canonical(n, kBatch);
     AlignedBuffer<float> cpristine(cl.size_elems());
     generate_spd_batch<float>(cl, cpristine.span());
     AlignedBuffer<float> cwork(cl.size_elems());
+    opt.exec = CpuExec::kSpecialized;
     const double canonical = time_factor(cl, cpristine, cwork, opt);
 
     os << (first ? "\n" : ",\n") << "    {\"n\": " << n
        << ", \"interp_gflops\": " << to_gflops(n, kBatch, interp)
        << ", \"spec_gflops\": " << to_gflops(n, kBatch, spec)
+       << ", \"vec_gflops\": " << to_gflops(n, kBatch, vec)
        << ", \"exec_speedup\": " << (spec > 0.0 ? interp / spec : 0.0)
+       << ", \"vec_speedup\": " << (vec > 0.0 ? spec / vec : 0.0)
        << ", \"canonical_gflops\": " << to_gflops(n, kBatch, canonical)
-       << ", \"interleaved_gflops\": " << to_gflops(n, kBatch, spec)
-       << ", \"layout_speedup\": " << (spec > 0.0 ? canonical / spec : 0.0)
+       << ", \"interleaved_gflops\": " << to_gflops(n, kBatch, vec)
+       << ", \"layout_speedup\": " << (vec > 0.0 ? canonical / vec : 0.0)
        << "}";
     first = false;
   }

@@ -2,14 +2,17 @@
 // verify the winning kernel numerically on the CPU substrate.
 //
 //   $ autotune_explore [--sizes=8,16,24,32,48] [--batch=16384]
-//                      [--evaluator=model|cpu] [--csv=sweep.csv]
-//                      [--journal=sweep.jsonl] [--resume]
+//                      [--evaluator=model|cpu] [--exec=interp,spec,vectorized]
+//                      [--csv=sweep.csv] [--journal=sweep.jsonl] [--resume]
 //
 // The model evaluator sweeps the full space through the P100 SIMT model
 // (fast); --evaluator=cpu measures every variant on the CPU substrate
-// instead (slow but real — use small sizes/batches). Long measured sweeps
-// should set --journal so completed points survive an interruption;
-// rerunning with --resume picks up where the journal left off.
+// instead (slow but real — use small sizes/batches). --exec adds the
+// executor axis to the space (comma-separated; default is the historical
+// specialized-only grid); vectorized entries sweep the host's auto-detected
+// SIMD tier. Long measured sweeps should set --journal so completed points
+// survive an interruption; rerunning with --resume picks up where the
+// journal left off.
 #include <cstdio>
 #include <sstream>
 
@@ -36,6 +39,13 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) opt.sizes.push_back(std::stoi(tok));
   }
   opt.batch = cli.get_int("batch", 16384);
+  if (cli.has("exec")) {
+    std::stringstream ss(cli.get("exec", ""));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      opt.space.execs.push_back(cpu_exec_from_string(tok));
+    }
+  }
   const std::string backend = cli.get("evaluator", "model");
 
   std::unique_ptr<Evaluator> evaluator;

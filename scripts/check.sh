@@ -2,27 +2,36 @@
 # Full verification: configure, build, run the test suite, run every
 # benchmark binary. This is the command sequence EXPERIMENTS.md expects.
 #
-#   scripts/check.sh [--sanitize] [--faults] [cmake args...]
+#   scripts/check.sh [--sanitize] [--faults] [--bench] [cmake args...]
 #
 # --sanitize adds a second build under AddressSanitizer + UBSan with
-# warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it.
-# Benchmarks only run from the plain build; they are meaningless under
-# instrumentation.
+# warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it
+# twice: once with runtime SIMD dispatch free to pick the host's best tier,
+# and once with IBCHOL_SIMD_ISA=scalar forcing the vectorized executor onto
+# its portable scalar tier (the intrinsic tiers' memory behavior is
+# identical by construction, but only the scalar tier gives the sanitizers
+# full visibility into every lane's arithmetic). Benchmarks only run from
+# the plain build; they are meaningless under instrumentation.
 #
 # --faults runs the resilience suite (fault injection, recovery, journaled
 # sweeps) against the sanitizer build, then a kill-and-resume smoke test:
 # a sweep halted hard at 50% and resumed from its journal must produce a
 # dataset byte-identical to an uninterrupted run.
+#
+# --bench regenerates the canonical cross-PR perf summary BENCH_cpu.json
+# (interpreter vs specialized vs vectorized executor) from the plain build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
 FAULTS=0
+BENCH=0
 CMAKE_ARGS=()
 for arg in "$@"; do
   case "${arg}" in
     --sanitize) SANITIZE=1 ;;
     --faults) FAULTS=1 ;;
+    --bench) BENCH=1 ;;
     *) CMAKE_ARGS+=("${arg}") ;;
   esac
 done
@@ -45,6 +54,12 @@ configure_sanitize_build() {
 if [[ "${SANITIZE}" == 1 ]]; then
   configure_sanitize_build
   ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)"
+  # Second pass with the vectorized executor forced onto the scalar tier,
+  # so ASan/UBSan instrument the lane arithmetic itself rather than opaque
+  # intrinsics. The SIMD executor suite is the target; the dispatch tests
+  # double-check the override actually took effect.
+  IBCHOL_SIMD_ISA=scalar ctest --test-dir build-sanitize \
+    --output-on-failure -j "$(nproc)" -R 'VecExec|SimdDispatch'
 fi
 
 if [[ "${FAULTS}" == 1 ]]; then
@@ -73,6 +88,10 @@ if [[ "${FAULTS}" == 1 ]]; then
     --csv="${FAULTS_TMP}/resumed.csv" > /dev/null
   cmp "${FAULTS_TMP}/uninterrupted.csv" "${FAULTS_TMP}/resumed.csv"
   echo "kill-and-resume smoke: resumed dataset byte-identical to uninterrupted"
+fi
+
+if [[ "${BENCH}" == 1 ]]; then
+  build/bench/micro_cpu --json=BENCH_cpu.json
 fi
 
 for b in build/bench/*; do

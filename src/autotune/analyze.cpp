@@ -8,7 +8,8 @@ namespace ibchol {
 
 const std::vector<std::string>& analysis_feature_names() {
   static const std::vector<std::string> names{
-      "n", "nb", "looking", "chunking", "chunk_size", "unrolling", "cache"};
+      "n",         "nb",        "looking", "chunking",
+      "chunk_size", "unrolling", "cache",   "isa"};
   return names;
 }
 
@@ -28,6 +29,11 @@ AnalysisData build_analysis_data(const SweepDataset& dataset) {
         static_cast<double>(r.params.chunk_size),
         r.params.unroll == Unroll::kFull ? 1.0 : 0.0,
         r.params.prefer_shared ? 1.0 : 0.0,
+        // SIMD tier of the vectorized executor, ordinal in vector width
+        // (auto/scalar/avx2/avx512); non-vectorized records sit at 0.
+        r.params.exec == CpuExec::kVectorized
+            ? static_cast<double>(static_cast<int>(r.params.isa))
+            : 0.0,
     };
     data.features.add_row(row);
     data.target.push_back(r.gflops);
@@ -49,11 +55,11 @@ AnalysisResult analyze_dataset(const SweepDataset& dataset,
   result.oob_mse = forest.oob_mse();
 
   static const char* kTypes[] = {"integer", "integer", "ternary", "binary",
-                                 "integer", "binary",  "binary"};
+                                 "integer", "binary",  "binary",  "ordinal"};
   static const char* kExplanations[] = {
       "size of single matrix", "internal blocking",    "Left, Right, or Top",
       "yes or no",             "matrix count in chunk", "use unrolling?",
-      "more L1 or shared mem."};
+      "more L1 or shared mem.", "SIMD tier (vectorized)"};
   const std::vector<double> importance = forest.permutation_importance();
   for (std::size_t f = 0; f < analysis_feature_names().size(); ++f) {
     PredictivePower p;

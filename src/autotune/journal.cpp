@@ -88,6 +88,7 @@ std::string journal_line(const SweepRecord& r) {
   out += ",\"cache\":\"" + std::string(r.params.prefer_shared ? "shared" : "l1") +
          "\"";
   out += ",\"exec\":\"" + to_string(r.params.exec) + "\"";
+  out += ",\"isa\":\"" + to_string(r.params.isa) + "\"";
   out += ",\"seconds\":" + json_double(r.seconds);
   out += ",\"gflops\":" + json_double(r.gflops);
   out += ",\"attempts\":" + std::to_string(r.attempts);
@@ -122,11 +123,17 @@ std::optional<SweepRecord> parse_journal_line(const std::string& raw) {
       !scan_int(line, "failed", failed)) {
     return std::nullopt;
   }
+  // Journals written before the vectorized executor carry no "isa" field;
+  // treat it as optional and default to kAuto (faithful: ISA only matters
+  // to kVectorized, which those journals never recorded).
+  std::string isa;
+  const bool has_isa = scan_string(line, "isa", isa);
   try {
     r.params.looking = looking_from_string(looking);
     r.params.unroll = unroll_from_string(unroll);
     r.params.math = math_from_string(math);
     r.params.exec = cpu_exec_from_string(exec);
+    r.params.isa = has_isa ? simd_isa_from_string(isa) : SimdIsa::kAuto;
   } catch (const std::exception&) {
     return std::nullopt;
   }

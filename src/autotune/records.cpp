@@ -53,7 +53,7 @@ CsvTable SweepDataset::to_csv() const {
   CsvTable t;
   t.header = {"n",          "batch",   "nb",     "looking", "chunked",
               "chunk_size", "unroll",  "math",   "cache",   "exec",
-              "seconds",    "gflops",  "attempts", "failed"};
+              "isa",        "seconds", "gflops", "attempts", "failed"};
   for (const auto& r : records_) {
     t.rows.push_back({std::to_string(r.n), std::to_string(r.batch),
                       std::to_string(r.params.nb),
@@ -62,7 +62,7 @@ CsvTable SweepDataset::to_csv() const {
                       std::to_string(r.params.chunk_size),
                       to_string(r.params.unroll), to_string(r.params.math),
                       r.params.prefer_shared ? "shared" : "l1",
-                      to_string(r.params.exec),
+                      to_string(r.params.exec), to_string(r.params.isa),
                       std::to_string(r.seconds), std::to_string(r.gflops),
                       std::to_string(r.attempts), r.failed ? "1" : "0"});
   }
@@ -89,6 +89,14 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
   const bool has_exec = cex_it != table.header.end();
   const std::size_t cex =
       static_cast<std::size_t>(cex_it - table.header.begin());
+  // And datasets persisted before the vectorized executor have no "isa"
+  // column; ISA selection only matters to kVectorized, so kAuto is a
+  // faithful default for those records.
+  const auto cisa_it = std::find(table.header.begin(), table.header.end(),
+                                 std::string("isa"));
+  const bool has_isa = cisa_it != table.header.end();
+  const std::size_t cisa =
+      static_cast<std::size_t>(cisa_it - table.header.begin());
   // Likewise, datasets persisted before the resilient sweep existed have no
   // attempts/failed columns; those records were single-attempt successes.
   const auto cat_it = std::find(table.header.begin(), table.header.end(),
@@ -114,6 +122,7 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
     r.params.prefer_shared = row[cca] == "shared";
     r.params.exec =
         has_exec ? cpu_exec_from_string(row[cex]) : CpuExec::kSpecialized;
+    r.params.isa = has_isa ? simd_isa_from_string(row[cisa]) : SimdIsa::kAuto;
     r.seconds = std::stod(row[cs]);
     r.gflops = std::stod(row[cg]);
     r.attempts = has_attempts ? std::stoi(row[cat]) : 1;

@@ -8,6 +8,21 @@ std::vector<TuningParams> enumerate_space(int n, const SpaceOptions& options) {
   if (options.include_fast_math) maths.push_back(MathMode::kFastMath);
   std::vector<bool> caches{false};
   if (options.include_cache_pref) caches.push_back(true);
+  // Executor axis: expand kVectorized into one point per requested ISA
+  // tier; the other executors ignore the tier and get exactly one point.
+  std::vector<std::pair<CpuExec, SimdIsa>> execs;
+  if (options.execs.empty()) {
+    execs.emplace_back(CpuExec::kSpecialized, SimdIsa::kAuto);
+  } else {
+    for (const CpuExec e : options.execs) {
+      if (e == CpuExec::kVectorized) {
+        for (const SimdIsa isa : options.isas) execs.emplace_back(e, isa);
+        if (options.isas.empty()) execs.emplace_back(e, SimdIsa::kAuto);
+      } else {
+        execs.emplace_back(e, SimdIsa::kAuto);
+      }
+    }
+  }
 
   for (const int nb : options.tile_sizes) {
     if (nb > n) continue;
@@ -16,19 +31,23 @@ std::vector<TuningParams> enumerate_space(int n, const SpaceOptions& options) {
       for (const Unroll unroll : {Unroll::kPartial, Unroll::kFull}) {
         for (const MathMode math : maths) {
           for (const bool prefer_shared : caches) {
-            auto add = [&](bool chunked, int chunk_size) {
-              TuningParams p;
-              p.nb = nb;
-              p.looking = looking;
-              p.unroll = unroll;
-              p.math = math;
-              p.prefer_shared = prefer_shared;
-              p.chunked = chunked;
-              p.chunk_size = chunk_size;
-              space.push_back(p);
-            };
-            if (options.include_non_chunked) add(false, 0);
-            for (const int c : options.chunk_sizes) add(true, c);
+            for (const auto& [exec, isa] : execs) {
+              auto add = [&](bool chunked, int chunk_size) {
+                TuningParams p;
+                p.nb = nb;
+                p.looking = looking;
+                p.unroll = unroll;
+                p.math = math;
+                p.prefer_shared = prefer_shared;
+                p.chunked = chunked;
+                p.chunk_size = chunk_size;
+                p.exec = exec;
+                p.isa = isa;
+                space.push_back(p);
+              };
+              if (options.include_non_chunked) add(false, 0);
+              for (const int c : options.chunk_sizes) add(true, c);
+            }
           }
         }
       }

@@ -19,6 +19,14 @@ struct SpaceOptions {
   bool include_non_chunked = true;
   bool include_fast_math = false;   ///< add the --use_fast_math variants
   bool include_cache_pref = false;  ///< add the L1-vs-shared carveout axis
+  /// Executors to sweep. The paper's grid tunes one kernel implementation;
+  /// on the CPU substrate the executor (and, for the vectorized one, the
+  /// SIMD tier) is a sixth parameter of the space. Empty = specialized only
+  /// (the historical grid, so existing sweep datasets stay comparable).
+  std::vector<CpuExec> execs;
+  /// ISA tiers enumerated for CpuExec::kVectorized entries in `execs`
+  /// (ignored for the other executors). kAuto = the host's best tier.
+  std::vector<SimdIsa> isas = {SimdIsa::kAuto};
 };
 
 /// All valid tuning points for an n×n batch. Tile sizes larger than n are

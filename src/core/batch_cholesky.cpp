@@ -71,6 +71,7 @@ CpuFactorOptions to_cpu_options(const TuningParams& p, int n,
   o.math = p.math;
   o.triangle = triangle;
   o.exec = p.exec;
+  o.isa = p.isa;
   return o;
 }
 

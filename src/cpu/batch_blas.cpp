@@ -1,18 +1,13 @@
 #include "cpu/batch_blas.hpp"
 
-#include <omp.h>
-
 #include "cpu/math_policy.hpp"
 #include "cpu/reference.hpp"
+#include "cpu/thread_util.hpp"
 #include "cpu/tile_exec.hpp"
 
 namespace ibchol {
 
 namespace {
-
-int resolve_threads(int requested) {
-  return requested > 0 ? requested : omp_get_max_threads();
-}
 
 // Lane-block pointers for an operand: base of the 32 consecutive matrices
 // starting at `start`, with element stride `estride`.

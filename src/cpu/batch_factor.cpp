@@ -1,14 +1,15 @@
 #include "cpu/batch_factor.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <vector>
 
 #include <optional>
 
 #include "cpu/reference.hpp"
+#include "cpu/simd/vec_exec.hpp"
+#include "cpu/thread_util.hpp"
 #include "cpu/tile_exec.hpp"
 #include "cpu/tile_exec_spec.hpp"
 #include "layout/convert.hpp"
@@ -16,10 +17,6 @@
 namespace ibchol {
 
 namespace {
-
-int resolve_threads(int requested) {
-  return requested > 0 ? requested : omp_get_max_threads();
-}
 
 // Merges a lane block's local info into the global result/info arrays.
 // `start` is the first matrix index of the lane block.
@@ -72,19 +69,45 @@ FactorResult factor_interleaved(const BatchLayout& layout, std::span<T> data,
   const std::int64_t estride = layout.chunk();
   const bool whole_matrix = options.unroll == Unroll::kFull;
   const bool specialized = options.exec == CpuExec::kSpecialized;
+  const bool vectorized = options.exec == CpuExec::kVectorized;
   // Full unrolling on a small matrix takes the fused whole-program kernel
   // (no dispatch at all); otherwise the specialized path binds the tile
   // program to its instantiated kernels once, ahead of the parallel loop.
   const bool fused = specialized && whole_matrix && layout.n() <= kMaxFusedDim;
   std::optional<SpecializedProgram<T>> spec;
   if (specialized && !whole_matrix) spec.emplace(*program, options.math);
+  const VecKernels<T>* vk = nullptr;
+  bool nt_stores = false;
+  if (vectorized) {
+    // Tier resolution (cpuid + IBCHOL_SIMD_ISA override) happens once, out
+    // here; the intrinsic bodies then run with no per-block branching.
+    vk = &vec_kernels<T>(options.isa);
+    // The vectorized bodies use aligned vector loads/stores, so the lane
+    // dimension must sit on 64-byte boundaries. AlignedBuffer (128-byte
+    // base) plus the interleaved layouts (chunk a multiple of kWarpSize
+    // elements) guarantee this by construction; a caller handing us an
+    // unaligned span gets a hard error, not a SIGSEGV inside a kernel.
+    IBCHOL_CHECK(reinterpret_cast<std::uintptr_t>(data.data()) % 64 == 0,
+                 "vectorized executor requires 64-byte aligned batch data "
+                 "(use AlignedBuffer)");
+    IBCHOL_CHECK(estride * static_cast<std::int64_t>(sizeof(T)) % 64 == 0,
+                 "vectorized executor requires the element stride to be a "
+                 "multiple of 64 bytes");
+    nt_stores = std::getenv("IBCHOL_VEC_NT_STORES") != nullptr;
+  }
+  // Interpreter scratch fallback: specialized/interpreter whole-matrix runs
+  // always use it; the vectorized in-place body only needs it past
+  // kMaxVecWholeDim.
+  const bool need_scratch =
+      whole_matrix &&
+      (vectorized ? layout.n() > kMaxVecWholeDim : !fused);
   std::int64_t failed = 0;
   std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
 
 #pragma omp parallel num_threads(resolve_threads(options.num_threads))
   {
     std::vector<T> scratch;
-    if (whole_matrix && !fused) {
+    if (need_scratch) {
       scratch.resize(whole_matrix_scratch_elems(layout.n()));
     }
     std::int64_t local_failed = 0;
@@ -95,7 +118,25 @@ FactorResult factor_interleaved(const BatchLayout& layout, std::span<T> data,
       T* base = data.data() + layout.chunk_base(start) +
                 (start % layout.chunk());
       alignas(64) std::int32_t local_info[kLaneBlock] = {};
-      if (fused) {
+      if (vectorized) {
+        if (whole_matrix) {
+          // Fused (compile-time n) when small enough, then the runtime-n
+          // in-place body, then the interpreter's scratch-triangle path for
+          // n beyond kMaxVecWholeDim.
+          if (!vk->fused(layout.n(), options.math, base, estride, local_info,
+                         options.triangle) &&
+              !vk->whole_matrix(layout.n(), options.math, base, estride,
+                                local_info, options.triangle)) {
+            execute_whole_matrix_lane_block<T>(layout.n(), options.math, base,
+                                               estride, local_info,
+                                               scratch.data(),
+                                               options.triangle);
+          }
+        } else {
+          vk->run_program(*program, options.math, base, estride, local_info,
+                          options.triangle, nt_stores);
+        }
+      } else if (fused) {
         execute_fused_lane_block<T>(layout.n(), options.math, base, estride,
                                     local_info, options.triangle);
       } else if (whole_matrix) {

@@ -25,9 +25,15 @@ struct CpuFactorOptions {
   Triangle triangle = Triangle::kLower;  ///< which factor to produce
   /// Tile-program execution mode for interleaved layouts: the specialized
   /// executor (compile-time tile dims, bound dispatch table, fused
-  /// whole-program kernels for n ≤ kMaxFusedDim) or the op-by-op
-  /// interpreter (the correctness oracle). Numerics are identical.
+  /// whole-program kernels for n ≤ kMaxFusedDim), the vectorized executor
+  /// (explicit SIMD intrinsics with cpuid runtime dispatch), or the
+  /// op-by-op interpreter (the correctness oracle). Under IEEE math all
+  /// three produce bit-identical factors.
   CpuExec exec = CpuExec::kSpecialized;
+  /// ISA tier for exec == kVectorized (ignored otherwise). kAuto picks the
+  /// best tier the host supports; explicit requests are clamped to the
+  /// detected tier. IBCHOL_SIMD_ISA in the environment overrides kAuto.
+  SimdIsa isa = SimdIsa::kAuto;
   int num_threads = 0;                 ///< 0 = OpenMP default
 };
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "layout/convert.hpp"
+#include "util/aligned_buffer.hpp"
 
 namespace ibchol {
 
@@ -267,7 +268,10 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
     const BatchLayout rlayout = layout.kind() == LayoutKind::kCanonical
                                     ? BatchLayout::canonical(n, m)
                                     : BatchLayout::interleaved(n, m);
-    std::vector<T> rdata(rlayout.size_elems());
+    // AlignedBuffer, not std::vector: the retry batch goes back through the
+    // configured executor, and the vectorized one requires 64-byte aligned
+    // lane-block bases.
+    AlignedBuffer<T> rdata(rlayout.size_elems());
     std::vector<double> shifts(pending.size());
     for (std::int64_t k = 0; k < m; ++k) {
       const std::int64_t b = pending[static_cast<std::size_t>(k)];
@@ -285,12 +289,12 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
       rebuild_shifted(layout, data.data(), b, options.triangle,
                       diag.data() + static_cast<std::size_t>(b) * n,
                       shifts[static_cast<std::size_t>(k)], std::span<T>(dense));
-      insert_matrix<T>(rlayout, rdata, k, dense);
+      insert_matrix<T>(rlayout, rdata.span(), k, dense);
     }
-    fill_padding_identity<T>(rlayout, rdata);
+    fill_padding_identity<T>(rlayout, rdata.span());
 
     std::vector<std::int32_t> rinfo(pending.size());
-    (void)run_factor<T>(rlayout, std::span<T>(rdata), options, program,
+    (void)run_factor<T>(rlayout, rdata.span(), options, program,
                         rinfo);
 
     std::vector<std::int64_t> still;

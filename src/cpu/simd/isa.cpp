@@ -1,0 +1,48 @@
+#include "cpu/simd/isa.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace ibchol {
+
+namespace {
+
+SimdIsa detect_impl() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f")) return SimdIsa::kAvx512;
+  // The AVX2 tier's bodies are compiled with -mavx2 -mfma and use FMA
+  // unconditionally, so both features must be present to select it.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdIsa::kAvx2;
+  }
+#endif
+  return SimdIsa::kScalar;
+}
+
+}  // namespace
+
+SimdIsa detect_simd_isa() {
+  static const SimdIsa detected = detect_impl();
+  return detected;
+}
+
+SimdIsa resolve_simd_isa(SimdIsa requested) {
+  if (const char* env = std::getenv("IBCHOL_SIMD_ISA")) {
+    const std::string s(env);
+    if (s == "scalar") requested = SimdIsa::kScalar;
+    else if (s == "avx2") requested = SimdIsa::kAvx2;
+    else if (s == "avx512") requested = SimdIsa::kAvx512;
+    else if (s == "auto") requested = SimdIsa::kAuto;
+    // Unknown spellings are ignored: a typo'd override must never turn a
+    // production run into a crash.
+  }
+  const SimdIsa detected = detect_simd_isa();
+  if (requested == SimdIsa::kAuto) return detected;
+  // Tiers are ordered scalar < avx2 < avx512; clamp to what the host has.
+  return static_cast<int>(requested) <= static_cast<int>(detected)
+             ? requested
+             : detected;
+}
+
+}  // namespace ibchol

@@ -1,0 +1,27 @@
+// Runtime ISA detection for the vectorized executor.
+//
+// The vectorized tile kernels are compiled three times — once per ISA tier
+// (scalar fallback, AVX2+FMA, AVX-512F), each in its own translation unit
+// with per-file -m flags — and the tier actually executed is chosen at
+// runtime from cpuid. This keeps one binary correct on any x86-64 host (and
+// trivially on non-x86, where only the scalar tier exists) without
+// compiling the whole build for the build machine's ISA.
+#pragma once
+
+#include "kernels/options.hpp"
+
+namespace ibchol {
+
+/// Widest ISA tier the executing CPU supports (never kAuto). Detected once
+/// via cpuid (__builtin_cpu_supports) and cached; AVX2 additionally
+/// requires FMA, matching the flags the AVX2 tier is compiled with.
+[[nodiscard]] SimdIsa detect_simd_isa();
+
+/// Resolves a requested tier against the host: kAuto becomes the detected
+/// tier, explicit requests are clamped down to the detected tier (never
+/// up, never faulted). The IBCHOL_SIMD_ISA environment variable
+/// ("scalar"/"avx2"/"avx512"/"auto"), when set, overrides `requested` —
+/// the hook the dispatch tests and sanitizer runs use to force a tier.
+[[nodiscard]] SimdIsa resolve_simd_isa(SimdIsa requested);
+
+}  // namespace ibchol

@@ -1,0 +1,21 @@
+// Tier selection for the vectorized executor: maps a (possibly kAuto or
+// over-ambitious) tier request onto the per-TU kernel tables.
+#include "cpu/simd/vec_exec.hpp"
+
+#include "cpu/simd/isa.hpp"
+
+namespace ibchol {
+
+template <typename T>
+const VecKernels<T>& vec_kernels(SimdIsa tier) {
+  switch (resolve_simd_isa(tier)) {
+    case SimdIsa::kAvx512: return vec_kernels_avx512<T>();
+    case SimdIsa::kAvx2: return vec_kernels_avx2<T>();
+    default: return vec_kernels_scalar<T>();
+  }
+}
+
+template const VecKernels<float>& vec_kernels<float>(SimdIsa);
+template const VecKernels<double>& vec_kernels<double>(SimdIsa);
+
+}  // namespace ibchol

@@ -1,0 +1,41 @@
+// AVX2+FMA tier of the vectorized executor. This translation unit is
+// compiled with per-file -mavx2 -mfma (see src/cpu/CMakeLists.txt) — the
+// rest of the build keeps its own flags, and runtime dispatch guarantees
+// this code only executes on hosts with both features. If the compiler
+// cannot target AVX2 at all, the table decays to the scalar tier.
+#include "cpu/simd/vec_avx2.hpp"
+#include "cpu/simd/vec_exec_impl.hpp"
+
+namespace ibchol {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+template <>
+const VecKernels<float>& vec_kernels_avx2<float>() {
+  static const VecKernels<float> k =
+      simd::make_vec_kernels<simd::VecAvx2F>(SimdIsa::kAvx2);
+  return k;
+}
+
+template <>
+const VecKernels<double>& vec_kernels_avx2<double>() {
+  static const VecKernels<double> k =
+      simd::make_vec_kernels<simd::VecAvx2D>(SimdIsa::kAvx2);
+  return k;
+}
+
+#else  // compiler cannot target AVX2: decay to the scalar tier
+
+template <>
+const VecKernels<float>& vec_kernels_avx2<float>() {
+  return vec_kernels_scalar<float>();
+}
+
+template <>
+const VecKernels<double>& vec_kernels_avx2<double>() {
+  return vec_kernels_scalar<double>();
+}
+
+#endif
+
+}  // namespace ibchol

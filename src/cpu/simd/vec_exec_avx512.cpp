@@ -1,0 +1,41 @@
+// AVX-512F tier of the vectorized executor. This translation unit is
+// compiled with per-file -mavx512f -mfma (see src/cpu/CMakeLists.txt);
+// runtime dispatch guarantees the code only executes on AVX-512F hosts.
+// If the compiler cannot target AVX-512, the table decays to the AVX2 tier
+// (which may itself decay to scalar).
+#include "cpu/simd/vec_avx512.hpp"
+#include "cpu/simd/vec_exec_impl.hpp"
+
+namespace ibchol {
+
+#if defined(__AVX512F__)
+
+template <>
+const VecKernels<float>& vec_kernels_avx512<float>() {
+  static const VecKernels<float> k =
+      simd::make_vec_kernels<simd::VecAvx512F>(SimdIsa::kAvx512);
+  return k;
+}
+
+template <>
+const VecKernels<double>& vec_kernels_avx512<double>() {
+  static const VecKernels<double> k =
+      simd::make_vec_kernels<simd::VecAvx512D>(SimdIsa::kAvx512);
+  return k;
+}
+
+#else  // compiler cannot target AVX-512: decay to the AVX2 tier
+
+template <>
+const VecKernels<float>& vec_kernels_avx512<float>() {
+  return vec_kernels_avx2<float>();
+}
+
+template <>
+const VecKernels<double>& vec_kernels_avx512<double>() {
+  return vec_kernels_avx2<double>();
+}
+
+#endif
+
+}  // namespace ibchol

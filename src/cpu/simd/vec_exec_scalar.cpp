@@ -1,0 +1,36 @@
+// Scalar-tier instantiation of the vectorized executor: the portable
+// VecGeneric traits, compiled unconditionally with the build's default
+// flags (never per-file ISA flags), so this tier exists in every binary —
+// the fallback runtime dispatch lands on when the host offers neither
+// AVX-512 nor AVX2+FMA, and the tier sanitizer runs force via
+// IBCHOL_SIMD_ISA=scalar.
+#include "cpu/simd/vec.hpp"
+#include "cpu/simd/vec_exec_impl.hpp"
+
+namespace ibchol {
+
+namespace {
+
+// 8 float / 4 double lanes: wide enough that the fixed-trip lane loops
+// vectorize to whatever the baseline ISA offers, and both widths keep an
+// even number of group pairs per 32-lane block.
+using ScalarF = simd::VecGeneric<float, 8>;
+using ScalarD = simd::VecGeneric<double, 4>;
+
+}  // namespace
+
+template <>
+const VecKernels<float>& vec_kernels_scalar<float>() {
+  static const VecKernels<float> k =
+      simd::make_vec_kernels<ScalarF>(SimdIsa::kScalar);
+  return k;
+}
+
+template <>
+const VecKernels<double>& vec_kernels_scalar<double>() {
+  static const VecKernels<double> k =
+      simd::make_vec_kernels<ScalarD>(SimdIsa::kScalar);
+  return k;
+}
+
+}  // namespace ibchol

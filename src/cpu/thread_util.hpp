@@ -1,0 +1,18 @@
+// Shared OpenMP thread-count resolution for the CPU substrate drivers.
+//
+// Every batched driver accepts `num_threads = 0` to mean "the OpenMP
+// default"; this helper is the single place that rule lives (it used to be
+// duplicated per translation unit).
+#pragma once
+
+#include <omp.h>
+
+namespace ibchol {
+
+/// Resolves a requested thread count: positive values are taken verbatim,
+/// zero (and negatives) fall back to omp_get_max_threads().
+inline int resolve_threads(int requested) {
+  return requested > 0 ? requested : omp_get_max_threads();
+}
+
+}  // namespace ibchol

@@ -30,15 +30,25 @@ enum class Triangle : std::uint8_t { kLower, kUpper };
 /// op list with runtime trip counts (a switch per op); the specialized
 /// executor binds each op to a template instantiation with compile-time
 /// tile dimensions — the CPU analog of the paper's generated, fully
-/// unrolled pyexpander kernels. Both produce identical schedules; the
-/// interpreter is kept as the correctness oracle.
-enum class CpuExec : std::uint8_t { kInterpreter, kSpecialized };
+/// unrolled pyexpander kernels; the vectorized executor runs explicit SIMD
+/// intrinsic lane-block bodies selected by runtime ISA dispatch (see
+/// cpu/simd/). All produce identical schedules; the interpreter is kept as
+/// the correctness oracle.
+enum class CpuExec : std::uint8_t { kInterpreter, kSpecialized, kVectorized };
+
+/// Instruction-set tier of the vectorized executor. kAuto resolves to the
+/// widest tier the executing CPU supports at runtime (cpuid dispatch); the
+/// explicit tiers force a narrower body — the scalar tier is compiled
+/// unconditionally, so the same binary runs on hosts without AVX. Requests
+/// above the detected tier are clamped, never faulted.
+enum class SimdIsa : std::uint8_t { kAuto, kScalar, kAvx2, kAvx512 };
 
 [[nodiscard]] std::string to_string(Looking looking);
 [[nodiscard]] std::string to_string(Unroll unroll);
 [[nodiscard]] std::string to_string(MathMode math);
 [[nodiscard]] std::string to_string(Triangle triangle);
 [[nodiscard]] std::string to_string(CpuExec exec);
+[[nodiscard]] std::string to_string(SimdIsa isa);
 
 /// Parse helpers (accept the to_string spellings); throw ibchol::Error on
 /// unknown values.
@@ -46,5 +56,6 @@ enum class CpuExec : std::uint8_t { kInterpreter, kSpecialized };
 [[nodiscard]] Unroll unroll_from_string(const std::string& s);
 [[nodiscard]] MathMode math_from_string(const std::string& s);
 [[nodiscard]] CpuExec cpu_exec_from_string(const std::string& s);
+[[nodiscard]] SimdIsa simd_isa_from_string(const std::string& s);
 
 }  // namespace ibchol

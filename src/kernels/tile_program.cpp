@@ -27,7 +27,22 @@ std::string to_string(Triangle triangle) {
 }
 
 std::string to_string(CpuExec exec) {
-  return exec == CpuExec::kInterpreter ? "interp" : "spec";
+  switch (exec) {
+    case CpuExec::kInterpreter: return "interp";
+    case CpuExec::kSpecialized: return "spec";
+    case CpuExec::kVectorized: return "vectorized";
+  }
+  return "?";
+}
+
+std::string to_string(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAuto: return "auto";
+    case SimdIsa::kScalar: return "scalar";
+    case SimdIsa::kAvx2: return "avx2";
+    case SimdIsa::kAvx512: return "avx512";
+  }
+  return "?";
 }
 
 Looking looking_from_string(const std::string& s) {
@@ -52,7 +67,16 @@ MathMode math_from_string(const std::string& s) {
 CpuExec cpu_exec_from_string(const std::string& s) {
   if (s == "interp") return CpuExec::kInterpreter;
   if (s == "spec") return CpuExec::kSpecialized;
+  if (s == "vectorized") return CpuExec::kVectorized;
   throw Error("unknown cpu exec mode: " + s);
+}
+
+SimdIsa simd_isa_from_string(const std::string& s) {
+  if (s == "auto") return SimdIsa::kAuto;
+  if (s == "scalar") return SimdIsa::kScalar;
+  if (s == "avx2") return SimdIsa::kAvx2;
+  if (s == "avx512") return SimdIsa::kAvx512;
+  throw Error("unknown simd isa tier: " + s);
 }
 
 std::string to_string(TileOp::Kind kind) {

@@ -22,7 +22,9 @@ std::string TuningParams::to_string() const {
      << ", unroll=" << ibchol::to_string(unroll)
      << ", math=" << ibchol::to_string(math)
      << ", cache=" << (prefer_shared ? "shared" : "L1")
-     << ", exec=" << ibchol::to_string(exec) << ")";
+     << ", exec=" << ibchol::to_string(exec);
+  if (exec == CpuExec::kVectorized) os << ", isa=" << ibchol::to_string(isa);
+  os << ")";
   return os.str();
 }
 
@@ -32,9 +34,14 @@ std::string TuningParams::key() const {
      << (chunked ? "c" + std::to_string(chunk_size) : "nc") << '_'
      << ibchol::to_string(unroll) << '_' << ibchol::to_string(math) << '_'
      << (prefer_shared ? "sh" : "l1");
-  // The executor mode is appended only when it deviates from the default so
-  // existing datasets/caches keyed on the historical spelling stay valid.
+  // The executor mode (and, for the vectorized executor, its ISA tier) is
+  // appended only when it deviates from the default so existing
+  // datasets/caches keyed on the historical spelling stay valid.
   if (exec == CpuExec::kInterpreter) os << "_interp";
+  if (exec == CpuExec::kVectorized) {
+    os << "_vec";
+    if (isa != SimdIsa::kAuto) os << '_' << ibchol::to_string(isa);
+  }
   return os.str();
 }
 

@@ -28,10 +28,15 @@ struct TuningParams {
   MathMode math = MathMode::kIeee;
   bool prefer_shared = false;  ///< carveout: false = prefer L1
   /// CPU-substrate execution mode (not a paper tuning axis): specialized
-  /// compile-time kernels (default) vs the op-by-op interpreter kept as the
-  /// correctness oracle. Model evaluators ignore it; measured evaluators
-  /// honor it.
+  /// compile-time kernels (default), explicit-SIMD vectorized kernels, or
+  /// the op-by-op interpreter kept as the correctness oracle. Model
+  /// evaluators ignore it; measured evaluators honor it.
   CpuExec exec = CpuExec::kSpecialized;
+  /// ISA tier of the vectorized executor (the sweep's sixth parameter —
+  /// vector width). kAuto picks the widest tier the host supports via
+  /// runtime cpuid dispatch; explicit tiers force a narrower body (clamped
+  /// to what the host offers). Ignored unless exec == kVectorized.
+  SimdIsa isa = SimdIsa::kAuto;
 
   /// Validates against a matrix dimension; throws ibchol::Error.
   void validate(int n) const;

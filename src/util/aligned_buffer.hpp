@@ -22,6 +22,11 @@ namespace ibchol {
 /// Alignment used for all batch data, matching the GPU 128-byte cache line.
 inline constexpr std::size_t kBatchAlignment = 128;
 
+// The vectorized executor issues 64-byte aligned vector loads/stores at
+// lane-block bases; every buffer allocated here must satisfy that.
+static_assert(kBatchAlignment % 64 == 0,
+              "batch alignment must cover the widest SIMD vector (64 bytes)");
+
 /// Owning, aligned, zero-initialized array of trivially copyable elements.
 template <typename T>
 class AlignedBuffer {

@@ -746,7 +746,8 @@ TEST(Journal, LineRoundTripsBitIdentically) {
   r.params.unroll = Unroll::kFull;
   r.params.math = MathMode::kFastMath;
   r.params.prefer_shared = true;
-  r.params.exec = CpuExec::kInterpreter;
+  r.params.exec = CpuExec::kVectorized;
+  r.params.isa = SimdIsa::kAvx2;
   r.seconds = 1.0 / 3.0 * 1e-5;  // not representable in short decimal
   r.gflops = 123.45678901234567;
   r.attempts = 4;
@@ -761,6 +762,17 @@ TEST(Journal, LineRoundTripsBitIdentically) {
   EXPECT_EQ(back->gflops, r.gflops);
   EXPECT_EQ(back->attempts, r.attempts);
   EXPECT_EQ(back->failed, r.failed);
+
+  // Journals written before the vectorized executor carry no "isa" field;
+  // such lines must still parse, defaulting the tier to kAuto.
+  std::string old_line = journal_line(r);
+  const std::size_t at = old_line.find(",\"isa\":\"avx2\"");
+  ASSERT_NE(at, std::string::npos);
+  old_line.erase(at, std::string(",\"isa\":\"avx2\"").size());
+  const auto old_back = parse_journal_line(old_line);
+  ASSERT_TRUE(old_back.has_value());
+  EXPECT_EQ(old_back->params.isa, SimdIsa::kAuto);
+  EXPECT_EQ(old_back->params.exec, CpuExec::kVectorized);
 }
 
 TEST(Journal, FailedRecordSerializesNaNAsNull) {

@@ -8,9 +8,75 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "cpu/batch_factor.hpp"
+#include "cpu/chunk_pipeline.hpp"
+#include "kernels/counts.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/timer.hpp"
 
 using namespace ibchol;
 using namespace ibchol::bench;
+
+namespace {
+
+// With --measure, the chunk effect is validated on the CPU substrate. Three
+// configurations per size: the natively chunked layout (chunk 64, in
+// place), the simple interleaved layout staged through the chunk-resident
+// pipeline's pack scratch, and the same layout factored in place with
+// packing disabled (chunk_size = padded batch), i.e. column sweeps striding
+// the whole batch — the CPU analogue of "without chunking".
+void measured_validation(const BenchConfig& cfg) {
+  std::printf("\nCPU-substrate chunk effect (measured, batch %lld):\n",
+              static_cast<long long>(cfg.measure_batch));
+  TextTable table(
+      {"n", "chunked GF/s", "packed GF/s", "unchunked GF/s", "pack gain"});
+  bool pack_helps_somewhere = false;
+  for (const int n : {16, 32, 64}) {
+    auto run = [&](const BatchLayout& layout, int chunk_size) {
+      CpuFactorOptions o;
+      o.unroll = Unroll::kFull;
+      o.exec = CpuExec::kAuto;
+      o.chunk_size = chunk_size;
+      AlignedBuffer<float> pristine(layout.size_elems());
+      generate_spd_batch<float>(layout, pristine.span());
+      AlignedBuffer<float> work(layout.size_elems());
+      double best = 1e300;
+      for (int rep = 0; rep < 5; ++rep) {
+        std::copy(pristine.begin(), pristine.end(), work.begin());
+        Timer t;
+        (void)factor_batch_cpu<float>(layout, work.span(), o);
+        best = std::min(best, t.seconds());
+      }
+      return cfg.measure_batch * nominal_flops_per_matrix(n) / best / 1e9;
+    };
+    const BatchLayout chunked =
+        BatchLayout::interleaved_chunked(n, cfg.measure_batch, 64);
+    const BatchLayout simple = BatchLayout::interleaved(n, cfg.measure_batch);
+    const double gc = run(chunked, 0);
+    // Explicit chunk sizes pin both regimes regardless of the footprint
+    // rule: the L2-sized pack scratch vs one "chunk" spanning the batch.
+    const double gp = run(simple, chunk_scratch_lanes(n, sizeof(float)));
+    const double gu = run(simple, static_cast<int>(simple.padded_batch()));
+    pack_helps_somewhere = pack_helps_somewhere || gp > gu;
+    table.add_row({std::to_string(n), TextTable::num(gc, 2),
+                   TextTable::num(gp, 2), TextTable::num(gu, 2),
+                   TextTable::num(gp / gu, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nclaims (CPU substrate):\n");
+  check(pack_helps_somewhere,
+        "chunk-resident packing beats the unchunked stride at some size");
+  std::printf(
+      "note: packing only pays once the batch outgrows the last-level "
+      "cache;\nbelow that the round trip is pure overhead, which is why "
+      "automatic sizing\n(chunk_size = 0) packs only past %zu MiB (4x the "
+      "detected LLC). Raise\n--measure-batch past the LLC to see the "
+      "packed win.\n",
+      pack_threshold_bytes() >> 20);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/2);
@@ -46,6 +112,8 @@ int main(int argc, char** argv) {
   check(max_gain > 1.25,
         "the benefit is substantial (max gain " +
             TextTable::num(max_gain, 2) + "x)");
+
+  if (cfg.measure) measured_validation(cfg);
 
   maybe_write_csv(cfg, {chunked, simple});
   maybe_write_json(cfg, "fig17_chunking", {chunked, simple});

@@ -9,9 +9,63 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "cpu/batch_factor.hpp"
+#include "cpu/chunk_pipeline.hpp"
+#include "kernels/counts.hpp"
+#include "layout/generate.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/timer.hpp"
 
 using namespace ibchol;
 using namespace ibchol::bench;
+
+namespace {
+
+// With --measure, the chunk-size knob is swept on the CPU substrate: the
+// simple interleaved layout is staged through the chunk-resident pipeline
+// at each of the paper's chunk sizes (here the pack-scratch lane count).
+// The expected shape differs from the GPU: the optimum is the largest
+// chunk whose scratch still fits L2 (the chunk_scratch_lanes sizing rule,
+// marked "*"), with oversized chunks degrading as the scratch spills.
+void measured_validation(const BenchConfig& cfg) {
+  std::printf("\nCPU-substrate pack chunk-size sweep (measured, batch %lld):\n",
+              static_cast<long long>(cfg.measure_batch));
+  std::vector<std::string> header{"n"};
+  for (const int c : standard_chunk_sizes()) {
+    header.push_back("c" + std::to_string(c));
+  }
+  TextTable table(header);
+  for (const int n : {16, 32, 64}) {
+    const int auto_lanes = chunk_scratch_lanes(n, sizeof(float));
+    std::vector<std::string> row{std::to_string(n)};
+    for (const int c : standard_chunk_sizes()) {
+      const BatchLayout layout =
+          BatchLayout::interleaved(n, cfg.measure_batch);
+      CpuFactorOptions o;
+      o.unroll = Unroll::kFull;
+      o.exec = CpuExec::kAuto;
+      o.chunk_size = c;
+      AlignedBuffer<float> pristine(layout.size_elems());
+      generate_spd_batch<float>(layout, pristine.span());
+      AlignedBuffer<float> work(layout.size_elems());
+      double best = 1e300;
+      for (int rep = 0; rep < 5; ++rep) {
+        std::copy(pristine.begin(), pristine.end(), work.begin());
+        Timer t;
+        (void)factor_batch_cpu<float>(layout, work.span(), o);
+        best = std::min(best, t.seconds());
+      }
+      const double gf =
+          cfg.measure_batch * nominal_flops_per_matrix(n) / best / 1e9;
+      row.push_back(TextTable::num(gf, 2) + (c == auto_lanes ? "*" : ""));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(* = the chunk_scratch_lanes sizing rule's pick)\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const BenchConfig cfg = parse_config(argc, argv, /*default_step=*/2);
@@ -52,6 +106,8 @@ int main(int argc, char** argv) {
         "ordering 32 >= 64 >= 128 >= 256 >= 512");
   check(a64 > 0.9 * a32, "64 performs almost equally well as 32");
   check(a512 < 0.85 * a32, "512 drops significantly");
+
+  if (cfg.measure) measured_validation(cfg);
 
   maybe_write_csv(cfg, series);
   maybe_write_json(cfg, "fig18_chunk_size", series);

@@ -12,9 +12,14 @@
 // Run with --json=<path> to skip the google-benchmark suite and instead
 // write a machine-readable summary (interpreter vs specialized vs
 // vectorized, canonical vs interleaved, per N) for cross-PR perf tracking
-// (BENCH_*.json).
+// (BENCH_*.json). --layout=chunked|interleaved selects the interleaved
+// layout the summary measures (default chunked); --chunk=N sets its chunk
+// size (for --layout=interleaved it sizes the pipeline's pack scratch;
+// 0 = the automatic sizing rule).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -25,8 +30,10 @@
 #include "cpu/batch_factor.hpp"
 #include "cpu/batch_blas.hpp"
 #include "cpu/batch_solve.hpp"
+#include "cpu/chunk_pipeline.hpp"
 #include "cpu/refine.hpp"
 #include "cpu/simd/isa.hpp"
+#include "cpu/simd/vec_exec.hpp"
 #include "cpu/tile_exec.hpp"
 #include "kernels/counts.hpp"
 #include "layout/convert.hpp"
@@ -307,13 +314,15 @@ BENCHMARK(BM_RefinedSolve)->Arg(16)->ArgName("n");
 
 // ------------------------------------------------------- JSON summary ----
 
-// Best-of-3 factorization time for one (layout, options) configuration.
+// Best-of-5 factorization time for one (layout, options) configuration
+// (one warmup rep; best-of keeps the summary robust against the scheduling
+// noise of shared hosts).
 double time_factor(const BatchLayout& layout,
                    const AlignedBuffer<float>& pristine,
                    AlignedBuffer<float>& work, const CpuFactorOptions& opt) {
   const std::size_t bytes = layout.size_elems() * sizeof(float);
   double best = 1e300;
-  for (int rep = 0; rep < 4; ++rep) {  // one warmup + three timed
+  for (int rep = 0; rep < 6; ++rep) {  // one warmup + five timed
     std::memcpy(work.data(), pristine.data(), bytes);
     Timer t;
     (void)factor_batch_cpu<float>(layout, work.span(), opt);
@@ -331,16 +340,23 @@ double to_gflops(int n, std::int64_t batch, double seconds) {
 
 // Interpreter-vs-specialized-vs-vectorized and canonical-vs-interleaved
 // summary across the head-to-head sizes, written as one JSON document.
-void write_exec_summary(const std::string& path) {
+// `chunked` selects the summary's interleaved layout; `chunk` its chunk
+// size (for the simple interleaved layout it sizes the pipeline's pack
+// scratch, 0 = automatic).
+void write_exec_summary(const std::string& path, bool chunked, int chunk) {
   std::ostringstream os;
   os << "{\n  \"bench\": \"micro_cpu\",\n  \"batch\": " << kBatch
      << ",\n  \"simd_isa\": \""
      << to_string(resolve_simd_isa(SimdIsa::kAuto))
+     << "\",\n  \"layout\": \"" << (chunked ? "chunked" : "interleaved")
      << "\",\n  \"summary\": [";
   bool first = true;
   for (const int n : {4, 8, 16, 24, 32, 48, 64}) {
     const TuningParams p = recommended_params(n);
-    const BatchLayout il = BatchCholesky::make_layout(n, kBatch, p);
+    const BatchLayout il = chunked
+                               ? BatchLayout::interleaved_chunked(
+                                     n, kBatch, chunk > 0 ? chunk : 64)
+                               : BatchLayout::interleaved(n, kBatch);
     AlignedBuffer<float> ipristine(il.size_elems());
     generate_spd_batch<float>(il, ipristine.span());
     AlignedBuffer<float> iwork(il.size_elems());
@@ -350,12 +366,32 @@ void write_exec_summary(const std::string& path) {
     opt.looking = p.looking;
     opt.unroll = p.unroll;
     opt.math = p.math;
+    opt.chunk_size = chunked ? 0 : chunk;
+    // Effective chunk residency of the run: the layout's own chunk, the
+    // pack scratch the pipeline sizes for the simple interleaved layout, or
+    // the whole padded batch when the footprint rule keeps it in place.
+    const std::size_t il_bytes = il.size_elems() * sizeof(float);
+    const int eff_chunk =
+        chunked ? static_cast<int>(il.chunk())
+                : (chunk > 0 ? chunk
+                   : il_bytes >= pack_threshold_bytes()
+                       ? chunk_scratch_lanes(n, sizeof(float))
+                       : static_cast<int>(il.padded_batch()));
     opt.exec = CpuExec::kInterpreter;
     const double interp = time_factor(il, ipristine, iwork, opt);
     opt.exec = CpuExec::kSpecialized;
     const double spec = time_factor(il, ipristine, iwork, opt);
+    // The vectorized column reports the executor's production strategy:
+    // the in-place fused/blocked whole-matrix pipeline wherever the
+    // runtime-n body reaches (exactly what CpuExec::kAuto dispatches to),
+    // the tile program past that.
     opt.exec = CpuExec::kVectorized;
+    const Unroll saved_unroll = opt.unroll;
+    if (n <= kMaxVecWholeDim) opt.unroll = Unroll::kFull;
     const double vec = time_factor(il, ipristine, iwork, opt);
+    opt.unroll = saved_unroll;
+    opt.exec = CpuExec::kAuto;
+    const double autoex = time_factor(il, ipristine, iwork, opt);
 
     const BatchLayout cl = BatchLayout::canonical(n, kBatch);
     AlignedBuffer<float> cpristine(cl.size_elems());
@@ -365,9 +401,11 @@ void write_exec_summary(const std::string& path) {
     const double canonical = time_factor(cl, cpristine, cwork, opt);
 
     os << (first ? "\n" : ",\n") << "    {\"n\": " << n
+       << ", \"chunk_size\": " << eff_chunk
        << ", \"interp_gflops\": " << to_gflops(n, kBatch, interp)
        << ", \"spec_gflops\": " << to_gflops(n, kBatch, spec)
        << ", \"vec_gflops\": " << to_gflops(n, kBatch, vec)
+       << ", \"auto_gflops\": " << to_gflops(n, kBatch, autoex)
        << ", \"exec_speedup\": " << (spec > 0.0 ? interp / spec : 0.0)
        << ", \"vec_speedup\": " << (vec > 0.0 ? spec / vec : 0.0)
        << ", \"canonical_gflops\": " << to_gflops(n, kBatch, canonical)
@@ -386,18 +424,33 @@ void write_exec_summary(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  bool chunked = true;
+  int chunk = 64;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
+    } else if (a.rfind("--layout=", 0) == 0) {
+      const std::string l = a.substr(9);
+      if (l == "chunked") {
+        chunked = true;
+      } else if (l == "interleaved" || l == "simple") {
+        chunked = false;
+        chunk = 0;  // pack-scratch sizing rule unless --chunk overrides
+      } else {
+        std::fprintf(stderr, "unknown --layout=%s\n", l.c_str());
+        return 1;
+      }
+    } else if (a.rfind("--chunk=", 0) == 0) {
+      chunk = std::atoi(a.c_str() + 8);
     } else {
       args.push_back(argv[i]);
     }
   }
   if (!json_path.empty()) {
-    write_exec_summary(json_path);
+    write_exec_summary(json_path, chunked, chunk);
     return 0;
   }
   int filtered_argc = static_cast<int>(args.size());

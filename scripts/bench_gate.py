@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the cross-PR bench summary (BENCH_cpu.json).
+
+Usage: bench_gate.py RECORDED.json FRESH.json [--max-drop=0.15]
+
+Compares the fresh micro_cpu summary against the recorded one and fails
+(exit 1) when vec_gflops drops by more than --max-drop at any matrix size
+present in both files. Sizes only in one file are reported but never fail
+the gate (the sweep grid may grow). The comparison is only meaningful when
+both summaries measured the same layout; a mismatch fails loudly rather
+than gating apples against oranges.
+"""
+
+import json
+import sys
+
+MAX_DROP = 0.15
+
+
+def rows_by_n(doc):
+    return {row["n"]: row for row in doc.get("summary", [])}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    max_drop = MAX_DROP
+    for a in argv[1:]:
+        if a.startswith("--max-drop="):
+            max_drop = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        sys.exit(__doc__)
+    with open(args[0]) as f:
+        recorded = json.load(f)
+    with open(args[1]) as f:
+        fresh = json.load(f)
+
+    old_layout = recorded.get("layout", "chunked")
+    new_layout = fresh.get("layout", "chunked")
+    if old_layout != new_layout:
+        print(
+            f"bench gate: layout mismatch (recorded {old_layout!r}, "
+            f"fresh {new_layout!r}); refusing to compare"
+        )
+        return 1
+
+    old_rows = rows_by_n(recorded)
+    new_rows = rows_by_n(fresh)
+    failures = []
+    for n in sorted(old_rows):
+        if n not in new_rows:
+            print(f"bench gate: n={n} missing from fresh summary (skipped)")
+            continue
+        old_gf = old_rows[n].get("vec_gflops", 0.0)
+        new_gf = new_rows[n].get("vec_gflops", 0.0)
+        if old_gf <= 0.0:
+            continue
+        ratio = new_gf / old_gf
+        marker = "FAIL" if ratio < 1.0 - max_drop else "ok"
+        print(
+            f"bench gate: n={n:3d} vec {old_gf:8.2f} -> {new_gf:8.2f} GF/s "
+            f"({ratio:5.2f}x) {marker}"
+        )
+        if ratio < 1.0 - max_drop:
+            failures.append(n)
+    for n in sorted(set(new_rows) - set(old_rows)):
+        print(f"bench gate: n={n} new in fresh summary")
+
+    if failures:
+        print(
+            f"bench gate: vec_gflops dropped more than {max_drop:.0%} at "
+            f"n in {failures}"
+        )
+        return 1
+    print("bench gate: no regression past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

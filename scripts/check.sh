@@ -20,6 +20,9 @@
 #
 # --bench regenerates the canonical cross-PR perf summary BENCH_cpu.json
 # (interpreter vs specialized vs vectorized executor) from the plain build.
+# Before overwriting, the fresh numbers are gated against the recorded
+# ones: a drop of more than 15% in vec_gflops at any n fails the check, so
+# a PR cannot silently regress the executor's throughput.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,8 +61,12 @@ if [[ "${SANITIZE}" == 1 ]]; then
   # so ASan/UBSan instrument the lane arithmetic itself rather than opaque
   # intrinsics. The SIMD executor suite is the target; the dispatch tests
   # double-check the override actually took effect.
+  # The chunk pipeline rides along: forcing the scalar tier pushes its
+  # pack/compute/unpack staging (including the streaming-store write-back
+  # the NtStore test forces) through fully instrumented lane arithmetic.
   IBCHOL_SIMD_ISA=scalar ctest --test-dir build-sanitize \
-    --output-on-failure -j "$(nproc)" -R 'VecExec|SimdDispatch'
+    --output-on-failure -j "$(nproc)" \
+    -R 'VecExec|SimdDispatch|ChunkPipeline|PackUnpack'
 fi
 
 if [[ "${FAULTS}" == 1 ]]; then
@@ -91,7 +98,12 @@ if [[ "${FAULTS}" == 1 ]]; then
 fi
 
 if [[ "${BENCH}" == 1 ]]; then
-  build/bench/micro_cpu --json=BENCH_cpu.json
+  BENCH_TMP="$(mktemp --suffix=.json)"
+  build/bench/micro_cpu --json="${BENCH_TMP}"
+  if [[ -f BENCH_cpu.json ]]; then
+    python3 scripts/bench_gate.py BENCH_cpu.json "${BENCH_TMP}"
+  fi
+  mv "${BENCH_TMP}" BENCH_cpu.json
 fi
 
 for b in build/bench/*; do

@@ -45,7 +45,15 @@ std::vector<TuningParams> enumerate_space(int n, const SpaceOptions& options) {
                 p.isa = isa;
                 space.push_back(p);
               };
-              if (options.include_non_chunked) add(false, 0);
+              if (options.include_non_chunked) {
+                if (options.pack_chunk_sizes.empty()) {
+                  add(false, 0);
+                } else {
+                  // chunk_size stays live for the non-chunked layout as
+                  // the pipeline's pack-scratch lane count.
+                  for (const int c : options.pack_chunk_sizes) add(false, c);
+                }
+              }
               for (const int c : options.chunk_sizes) add(true, c);
             }
           }

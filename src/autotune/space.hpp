@@ -17,6 +17,13 @@ struct SpaceOptions {
   std::vector<int> tile_sizes = standard_tile_sizes();    ///< n_b (≤ n kept)
   std::vector<int> chunk_sizes = standard_chunk_sizes();  ///< chunked only
   bool include_non_chunked = true;
+  /// Pack-scratch chunk sizes enumerated for the *non-chunked* layout (the
+  /// CPU pipeline packs a simple-interleaved batch chunk-by-chunk into
+  /// L2-sized scratch; chunk_size selects that scratch's lane count, so it
+  /// is a live axis even without the chunked address map). Empty = the
+  /// historical grid: one non-chunked point with chunk_size 0 (automatic
+  /// sizing rule).
+  std::vector<int> pack_chunk_sizes;
   bool include_fast_math = false;   ///< add the --use_fast_math variants
   bool include_cache_pref = false;  ///< add the L1-vs-shared carveout axis
   /// Executors to sweep. The paper's grid tunes one kernel implementation;

@@ -7,10 +7,12 @@ TuningParams recommended_params(int n) {
   p.chunked = true;
   p.chunk_size = 64;
   p.math = MathMode::kIeee;
-  // Always the specialized executor: compile-time tile kernels are the CPU
-  // analog of the paper's generated (pyexpander) kernels; the interpreter
-  // exists as a correctness oracle, not a production path.
-  p.exec = CpuExec::kSpecialized;
+  // kAuto consults the measured per-(n, isa) dispatch table in the chunk
+  // pipeline: the vectorized fused/blocked bodies where they win, the
+  // specialized executor (the CPU analog of the paper's generated
+  // pyexpander kernels) elsewhere. The interpreter exists as a correctness
+  // oracle, not a production path.
+  p.exec = CpuExec::kAuto;
   if (n <= 20) {
     // Small matrices: full unrolling keeps the whole factorization in
     // registers; tile size and looking order are then irrelevant.
@@ -72,6 +74,10 @@ CpuFactorOptions to_cpu_options(const TuningParams& p, int n,
   o.triangle = triangle;
   o.exec = p.exec;
   o.isa = p.isa;
+  // For chunked layouts the layout's own chunk is already resident and the
+  // pipeline ignores this; for simple interleaved it sizes the pack
+  // scratch (0 = the chunk_scratch_lanes sizing rule).
+  o.chunk_size = p.chunked ? 0 : p.chunk_size;
   return o;
 }
 

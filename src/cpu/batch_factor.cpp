@@ -1,38 +1,16 @@
 #include "cpu/batch_factor.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <limits>
-#include <vector>
 
-#include <optional>
-
+#include "cpu/chunk_pipeline.hpp"
 #include "cpu/reference.hpp"
-#include "cpu/simd/vec_exec.hpp"
 #include "cpu/thread_util.hpp"
 #include "cpu/tile_exec.hpp"
-#include "cpu/tile_exec_spec.hpp"
-#include "layout/convert.hpp"
 
 namespace ibchol {
 
 namespace {
-
-// Merges a lane block's local info into the global result/info arrays.
-// `start` is the first matrix index of the lane block.
-void merge_info(const std::int32_t* local, std::int64_t start,
-                std::int64_t batch, std::span<std::int32_t> info,
-                std::int64_t& failed, std::int64_t& first_failed) {
-  const std::int64_t count = std::min<std::int64_t>(kLaneBlock, batch - start);
-  for (std::int64_t l = 0; l < count; ++l) {
-    if (!info.empty()) info[start + l] = local[l];
-    if (local[l] != 0) {
-      ++failed;
-      const std::int64_t idx = start + l;
-      if (first_failed < 0 || idx < first_failed) first_failed = idx;
-    }
-  }
-}
 
 template <typename T>
 FactorResult factor_canonical(const BatchLayout& layout, std::span<T> data,
@@ -56,114 +34,10 @@ FactorResult factor_canonical(const BatchLayout& layout, std::span<T> data,
       first_failed = std::min(first_failed, b);
     }
   }
-  if (failed == 0) return {0, -1};
-  return {failed, first_failed};
-}
-
-template <typename T>
-FactorResult factor_interleaved(const BatchLayout& layout, std::span<T> data,
-                                const TileProgram* program,
-                                const CpuFactorOptions& options,
-                                std::span<std::int32_t> info) {
-  const std::int64_t blocks = layout.padded_batch() / kLaneBlock;
-  const std::int64_t estride = layout.chunk();
-  const bool whole_matrix = options.unroll == Unroll::kFull;
-  const bool specialized = options.exec == CpuExec::kSpecialized;
-  const bool vectorized = options.exec == CpuExec::kVectorized;
-  // Full unrolling on a small matrix takes the fused whole-program kernel
-  // (no dispatch at all); otherwise the specialized path binds the tile
-  // program to its instantiated kernels once, ahead of the parallel loop.
-  const bool fused = specialized && whole_matrix && layout.n() <= kMaxFusedDim;
-  std::optional<SpecializedProgram<T>> spec;
-  if (specialized && !whole_matrix) spec.emplace(*program, options.math);
-  const VecKernels<T>* vk = nullptr;
-  bool nt_stores = false;
-  if (vectorized) {
-    // Tier resolution (cpuid + IBCHOL_SIMD_ISA override) happens once, out
-    // here; the intrinsic bodies then run with no per-block branching.
-    vk = &vec_kernels<T>(options.isa);
-    // The vectorized bodies use aligned vector loads/stores, so the lane
-    // dimension must sit on 64-byte boundaries. AlignedBuffer (128-byte
-    // base) plus the interleaved layouts (chunk a multiple of kWarpSize
-    // elements) guarantee this by construction; a caller handing us an
-    // unaligned span gets a hard error, not a SIGSEGV inside a kernel.
-    IBCHOL_CHECK(reinterpret_cast<std::uintptr_t>(data.data()) % 64 == 0,
-                 "vectorized executor requires 64-byte aligned batch data "
-                 "(use AlignedBuffer)");
-    IBCHOL_CHECK(estride * static_cast<std::int64_t>(sizeof(T)) % 64 == 0,
-                 "vectorized executor requires the element stride to be a "
-                 "multiple of 64 bytes");
-    nt_stores = std::getenv("IBCHOL_VEC_NT_STORES") != nullptr;
-  }
-  // Interpreter scratch fallback: specialized/interpreter whole-matrix runs
-  // always use it; the vectorized in-place body only needs it past
-  // kMaxVecWholeDim.
-  const bool need_scratch =
-      whole_matrix &&
-      (vectorized ? layout.n() > kMaxVecWholeDim : !fused);
-  std::int64_t failed = 0;
-  std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
-
-#pragma omp parallel num_threads(resolve_threads(options.num_threads))
-  {
-    std::vector<T> scratch;
-    if (need_scratch) {
-      scratch.resize(whole_matrix_scratch_elems(layout.n()));
-    }
-    std::int64_t local_failed = 0;
-    std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
-#pragma omp for schedule(static)
-    for (std::int64_t blk = 0; blk < blocks; ++blk) {
-      const std::int64_t start = blk * kLaneBlock;
-      T* base = data.data() + layout.chunk_base(start) +
-                (start % layout.chunk());
-      alignas(64) std::int32_t local_info[kLaneBlock] = {};
-      if (vectorized) {
-        if (whole_matrix) {
-          // Fused (compile-time n) when small enough, then the runtime-n
-          // in-place body, then the interpreter's scratch-triangle path for
-          // n beyond kMaxVecWholeDim.
-          if (!vk->fused(layout.n(), options.math, base, estride, local_info,
-                         options.triangle) &&
-              !vk->whole_matrix(layout.n(), options.math, base, estride,
-                                local_info, options.triangle)) {
-            execute_whole_matrix_lane_block<T>(layout.n(), options.math, base,
-                                               estride, local_info,
-                                               scratch.data(),
-                                               options.triangle);
-          }
-        } else {
-          vk->run_program(*program, options.math, base, estride, local_info,
-                          options.triangle, nt_stores);
-        }
-      } else if (fused) {
-        execute_fused_lane_block<T>(layout.n(), options.math, base, estride,
-                                    local_info, options.triangle);
-      } else if (whole_matrix) {
-        execute_whole_matrix_lane_block<T>(layout.n(), options.math, base,
-                                           estride, local_info,
-                                           scratch.data(), options.triangle);
-      } else if (spec.has_value()) {
-        spec->run(base, estride, local_info, options.triangle);
-      } else {
-        execute_program_lane_block<T>(*program, options.math, base, estride,
-                                      local_info, options.triangle);
-      }
-      if (start < layout.batch()) {
-        std::int64_t f = 0, ff = -1;
-        merge_info(local_info, start, layout.batch(), info, f, ff);
-        local_failed += f;
-        if (ff >= 0) local_first = std::min(local_first, ff);
-      }
-    }
-#pragma omp critical
-    {
-      failed += local_failed;
-      first_failed = std::min(first_failed, local_first);
-    }
-  }
-  if (failed == 0) return {0, -1};
-  return {failed, first_failed};
+  // The min-reduction identity (int64 max) must never escape as a matrix
+  // index; finalize_factor_result maps it back to the -1 convention the
+  // interleaved path uses, keeping both paths consistent.
+  return finalize_factor_result(failed, first_failed);
 }
 
 }  // namespace
@@ -181,12 +55,12 @@ FactorResult factor_batch_cpu(const BatchLayout& layout, std::span<T> data,
     return factor_canonical(layout, data, options, info);
   }
   if (options.unroll == Unroll::kFull) {
-    return factor_interleaved<T>(layout, data, nullptr, options, info);
+    return run_chunk_pipeline<T>(layout, data, nullptr, options, info);
   }
   const int nb = std::min(options.nb, layout.n());
   const TileProgram program =
       build_tile_program(layout.n(), nb, options.looking);
-  return factor_interleaved(layout, data, &program, options, info);
+  return run_chunk_pipeline(layout, data, &program, options, info);
 }
 
 template <typename T>
@@ -203,7 +77,7 @@ FactorResult factor_batch_cpu_with_program(const BatchLayout& layout,
   IBCHOL_CHECK(info.empty() ||
                    info.size() >= static_cast<std::size_t>(layout.batch()),
                "info span too small for batch");
-  return factor_interleaved(layout, data, &program, options, info);
+  return run_chunk_pipeline(layout, data, &program, options, info);
 }
 
 template FactorResult factor_batch_cpu<float>(const BatchLayout&,

@@ -34,6 +34,13 @@ struct CpuFactorOptions {
   /// best tier the host supports; explicit requests are clamped to the
   /// detected tier. IBCHOL_SIMD_ISA in the environment overrides kAuto.
   SimdIsa isa = SimdIsa::kAuto;
+  /// Chunk size (in matrices) of the chunk-resident pipeline when the
+  /// layout is simple interleaved: the pipeline packs this many lanes at a
+  /// time into L2-sized scratch and factors them while hot. 0 = the sizing
+  /// rule of chunk_scratch_lanes(); must otherwise be a positive multiple
+  /// of kLaneBlock. Ignored for chunked layouts (the layout's own chunk is
+  /// already resident) and for the canonical path.
+  int chunk_size = 0;
   int num_threads = 0;                 ///< 0 = OpenMP default
 };
 
@@ -44,6 +51,15 @@ struct FactorResult {
 
   [[nodiscard]] bool ok() const { return failed_count == 0; }
 };
+
+/// Builds a FactorResult from reduction-local counters. The parallel
+/// drivers track the first failing index with a "not seen yet" sentinel of
+/// std::numeric_limits<int64_t>::max() (the identity of their min
+/// reductions); this is the single place that sentinel is mapped back to
+/// the public -1 convention, so it can never leak to callers — both the
+/// canonical and the interleaved paths funnel through here.
+[[nodiscard]] FactorResult finalize_factor_result(std::int64_t failed,
+                                                  std::int64_t first_failed);
 
 /// Factors every matrix of the batch in place (lower triangle holds L).
 ///

@@ -1,0 +1,452 @@
+#include "cpu/chunk_pipeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/simd/isa.hpp"
+#include "cpu/simd/vec_exec.hpp"
+#include "cpu/thread_util.hpp"
+#include "cpu/tile_exec.hpp"
+#include "cpu/tile_exec_spec.hpp"
+#include "util/aligned_buffer.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define IBCHOL_HAVE_STREAM_STORES 1
+#endif
+
+namespace ibchol {
+
+int chunk_scratch_lanes(int n, std::size_t elem_size) {
+  const std::size_t chunk_bytes =
+      static_cast<std::size_t>(n) * n * kLaneBlock * elem_size;
+  std::int64_t lanes = chunk_bytes == 0
+                           ? 512
+                           : static_cast<std::int64_t>(kChunkScratchBudget /
+                                                       chunk_bytes) *
+                                 kLaneBlock;
+  lanes = std::clamp<std::int64_t>(lanes, kLaneBlock, 512);
+  return static_cast<int>(lanes);
+}
+
+CpuExec resolve_cpu_exec(int n, SimdIsa isa) {
+  // Measured crossovers on the CPU substrate (AVX-512 host, see DESIGN §8
+  // for provenance): with the chunk-resident pipeline the vectorized
+  // executor's fused (n ≤ kMaxVecFusedDim) and cache-blocked
+  // (n ≥ kVecBlockedMinDim) in-place bodies win at every n the runtime-n
+  // body supports, on both AVX tiers. The scalar tier loses to the
+  // specialized executor (whose compile-time tile kernels the compiler
+  // autovectorizes with the build's own -march flags), as does any n past
+  // kMaxVecWholeDim, where the vectorized path would fall back to the
+  // interpreter's scratch triangle anyway.
+  struct Row {
+    int max_n;
+    CpuExec exec;
+  };
+  static constexpr Row kAvxTable[] = {
+      {kMaxVecWholeDim, CpuExec::kVectorized},
+      {std::numeric_limits<int>::max(), CpuExec::kSpecialized},
+  };
+  static constexpr Row kScalarTable[] = {
+      {std::numeric_limits<int>::max(), CpuExec::kSpecialized},
+  };
+  const SimdIsa tier = resolve_simd_isa(isa);
+  const Row* table = tier == SimdIsa::kScalar ? kScalarTable : kAvxTable;
+  for (const Row* r = table;; ++r) {
+    if (n <= r->max_n) return r->exec;
+  }
+}
+
+namespace {
+
+// Largest cache size advertised for cpu0 in sysfs (Linux), 0 when unknown.
+// Sizes are reported like "262144K"; unsuffixed values are bytes.
+std::size_t detect_llc_bytes() {
+  std::size_t best = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                             std::to_string(i) + "/size";
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) continue;
+    char buf[32] = {};
+    const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    if (got == 0) continue;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(buf, &end, 10);
+    std::size_t bytes = static_cast<std::size_t>(v);
+    if (end != nullptr && (*end == 'K' || *end == 'k')) bytes <<= 10;
+    if (end != nullptr && (*end == 'M' || *end == 'm')) bytes <<= 20;
+    best = std::max(best, bytes);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t pack_threshold_bytes() {
+  static const std::size_t threshold = [] {
+    const std::size_t llc = detect_llc_bytes();
+    return std::max<std::size_t>(kPackMinBytes, 4 * llc);
+  }();
+  return threshold;
+}
+
+FactorResult finalize_factor_result(std::int64_t failed,
+                                    std::int64_t first_failed) {
+  if (failed == 0 ||
+      first_failed == std::numeric_limits<std::int64_t>::max()) {
+    return {failed, -1};
+  }
+  return {failed, first_failed};
+}
+
+template <typename T>
+void pack_chunk(const T* src, std::int64_t src_stride, T* dst,
+                std::int64_t lanes, std::int64_t elems) {
+  const std::size_t row_bytes = static_cast<std::size_t>(lanes) * sizeof(T);
+  for (std::int64_t e = 0; e < elems; ++e) {
+    std::memcpy(dst + e * lanes, src + e * src_stride, row_bytes);
+  }
+}
+
+namespace {
+
+// Streams `bytes` (a multiple of 16) from 16-byte-aligned src to
+// 16-byte-aligned dst with non-temporal stores. Caller issues the fence.
+#if defined(IBCHOL_HAVE_STREAM_STORES)
+inline void stream_row(void* dst, const void* src, std::size_t bytes) {
+  auto* d = static_cast<__m128i*>(dst);
+  auto* s = static_cast<const __m128i*>(src);
+  for (std::size_t i = 0; i < bytes / 16; ++i) {
+    _mm_stream_si128(d + i, _mm_load_si128(s + i));
+  }
+}
+#endif
+
+}  // namespace
+
+template <typename T>
+void unpack_chunk(const T* src, std::int64_t lanes, T* dst,
+                  std::int64_t dst_stride, std::int64_t elems,
+                  bool nt_stores) {
+  const std::size_t row_bytes = static_cast<std::size_t>(lanes) * sizeof(T);
+#if defined(IBCHOL_HAVE_STREAM_STORES)
+  // Lane counts are multiples of kLaneBlock, so rows are multiples of 64
+  // bytes and the scratch side is always aligned; only a misaligned
+  // destination base (callers not using AlignedBuffer) forces the fallback.
+  const bool stream =
+      nt_stores &&
+      reinterpret_cast<std::uintptr_t>(dst) % 16 == 0 &&
+      dst_stride * static_cast<std::int64_t>(sizeof(T)) % 16 == 0;
+  if (stream) {
+    for (std::int64_t e = 0; e < elems; ++e) {
+      stream_row(dst + e * dst_stride, src + e * lanes, row_bytes);
+    }
+    _mm_sfence();
+    return;
+  }
+#else
+  (void)nt_stores;
+#endif
+  for (std::int64_t e = 0; e < elems; ++e) {
+    std::memcpy(dst + e * dst_stride, src + e * lanes, row_bytes);
+  }
+}
+
+namespace {
+
+// Issues prefetches for the leading kPrefetchCols columns of the lane
+// block at `base` (element (i,j) of lane l at base[(j*n+i)*estride + l]).
+// The lines arrive while the current block's column sweeps run; rw=1
+// because the factorization writes every element it reads.
+template <typename T>
+inline void prefetch_lane_block(const T* base, int n, std::int64_t estride) {
+  const std::int64_t rows =
+      std::min<std::int64_t>(static_cast<std::int64_t>(n) * kPrefetchCols,
+                             static_cast<std::int64_t>(n) * n);
+  constexpr std::size_t kRowBytes = kLaneBlock * sizeof(T);
+  for (std::int64_t e = 0; e < rows; ++e) {
+    const char* p = reinterpret_cast<const char*>(base + e * estride);
+    for (std::size_t b = 0; b < kRowBytes; b += 64) {
+      __builtin_prefetch(p + b, 1, 3);
+    }
+  }
+}
+
+// Merges a lane block's local info into the caller-visible info span and
+// the reduction-local counters. `start` is the block's first matrix index.
+void merge_lane_info(const std::int32_t* local, std::int64_t start,
+                     std::int64_t batch, std::span<std::int32_t> info,
+                     std::int64_t& failed, std::int64_t& first_failed) {
+  const std::int64_t count =
+      std::min<std::int64_t>(kLaneBlock, batch - start);
+  for (std::int64_t l = 0; l < count; ++l) {
+    if (!info.empty()) info[start + l] = local[l];
+    if (local[l] != 0) {
+      ++failed;
+      first_failed = std::min(first_failed, start + l);
+    }
+  }
+}
+
+// Everything the per-lane-block executor needs, resolved once before the
+// parallel region so the hot loop carries no re-resolution.
+template <typename T>
+struct LaneExecutor {
+  CpuExec exec = CpuExec::kSpecialized;
+  bool whole_matrix = false;  ///< full unrolling
+  bool fused_spec = false;    ///< specialized fused whole-program kernel
+  MathMode math = MathMode::kIeee;
+  Triangle triangle = Triangle::kLower;
+  const TileProgram* program = nullptr;
+  const SpecializedProgram<T>* spec = nullptr;
+  const VecKernels<T>* vk = nullptr;
+  bool vec_nt_stores = false;  ///< run_program streaming stores (env hook)
+  int n = 0;
+  bool need_scratch = false;  ///< interpreter scratch-triangle fallback
+
+  // Runs one lane block; `scratch` is the thread's whole-matrix scratch
+  // (null unless need_scratch).
+  void run(T* base, std::int64_t estride, std::int32_t* local_info,
+           T* scratch) const {
+    if (exec == CpuExec::kVectorized) {
+      if (whole_matrix) {
+        // Fused (compile-time n), then the cache-blocked panel body once
+        // the lane block outgrows L1, then the unblocked runtime-n body,
+        // then the interpreter's scratch-triangle path past
+        // kMaxVecWholeDim.
+        if (vk->fused(n, math, base, estride, local_info, triangle)) return;
+        if (n >= kVecBlockedMinDim &&
+            vk->blocked(n, math, base, estride, local_info, triangle)) {
+          return;
+        }
+        if (vk->whole_matrix(n, math, base, estride, local_info, triangle)) {
+          return;
+        }
+        execute_whole_matrix_lane_block<T>(n, math, base, estride, local_info,
+                                           scratch, triangle);
+      } else {
+        vk->run_program(*program, math, base, estride, local_info, triangle,
+                        vec_nt_stores);
+      }
+    } else if (fused_spec) {
+      execute_fused_lane_block<T>(n, math, base, estride, local_info,
+                                  triangle);
+    } else if (whole_matrix) {
+      execute_whole_matrix_lane_block<T>(n, math, base, estride, local_info,
+                                         scratch, triangle);
+    } else if (spec != nullptr) {
+      spec->run(base, estride, local_info, triangle);
+    } else {
+      execute_program_lane_block<T>(*program, math, base, estride, local_info,
+                                    triangle);
+    }
+  }
+};
+
+// Env override for the write-back policy: IBCHOL_CHUNK_NT=1 forces
+// streaming stores, =0 forbids them, unset defers to the footprint rule.
+bool resolve_nt_stores(std::size_t batch_bytes) {
+  if (const char* env = std::getenv("IBCHOL_CHUNK_NT")) {
+    return env[0] == '1';
+  }
+  return batch_bytes >= kNtStoreMinBytes;
+}
+
+}  // namespace
+
+template <typename T>
+FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
+                                const TileProgram* program,
+                                const CpuFactorOptions& options,
+                                std::span<std::int32_t> info) {
+  IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
+               "the chunk pipeline runs interleaved layouts");
+  const int n = layout.n();
+
+  // kAuto: consult the measured dispatch table. When it picks the
+  // vectorized executor the whole-matrix pipeline (fused/blocked) is the
+  // winning strategy at every supported n, so full unrolling is implied;
+  // when it picks the specialized executor the caller's unrolling choice
+  // stands (the table only fires for n where both unrollings are valid).
+  CpuExec exec = options.exec;
+  bool whole_matrix = options.unroll == Unroll::kFull;
+  if (exec == CpuExec::kAuto) {
+    exec = resolve_cpu_exec(n, options.isa);
+    if (exec == CpuExec::kVectorized) whole_matrix = true;
+  }
+  IBCHOL_CHECK(whole_matrix || program != nullptr,
+               "partial unrolling requires a tile program");
+
+  LaneExecutor<T> ex;
+  ex.exec = exec;
+  ex.whole_matrix = whole_matrix;
+  ex.math = options.math;
+  ex.triangle = options.triangle;
+  ex.program = program;
+  ex.n = n;
+  ex.fused_spec = exec == CpuExec::kSpecialized && whole_matrix &&
+                  n <= kMaxFusedDim;
+  std::optional<SpecializedProgram<T>> spec;
+  if (exec == CpuExec::kSpecialized && !whole_matrix) {
+    spec.emplace(*program, options.math);
+    ex.spec = &*spec;
+  }
+  if (exec == CpuExec::kVectorized) {
+    // Tier resolution (cpuid + IBCHOL_SIMD_ISA override) happens once, out
+    // here; the intrinsic bodies then run with no per-block branching.
+    ex.vk = &vec_kernels<T>(options.isa);
+    ex.vec_nt_stores = std::getenv("IBCHOL_VEC_NT_STORES") != nullptr;
+  }
+  ex.need_scratch =
+      whole_matrix && (exec == CpuExec::kVectorized
+                           ? n > kMaxVecWholeDim
+                           : !ex.fused_spec);
+
+  const std::int64_t padded = layout.padded_batch();
+  const std::int64_t batch = layout.batch();
+
+  // Pack only the simple-interleaved layout, only when a chunk is a strict
+  // subset of the batch (otherwise scratch would be a copy of the whole
+  // buffer with the identical stride), and never for the interpreter,
+  // which stays the untouched oracle path.
+  int pack_lanes = 0;
+  if (layout.kind() == LayoutKind::kInterleaved &&
+      exec != CpuExec::kInterpreter) {
+    // Automatic sizing only packs once the batch has clearly outgrown the
+    // cache hierarchy (pack_threshold_bytes); below that the in-place
+    // sweeps hit cache anyway and the pack/unpack round trip is pure
+    // overhead. An explicit chunk_size is the autotuner's knob and is
+    // always honored.
+    std::int64_t c = options.chunk_size;
+    if (c == 0 && layout.size_elems() * sizeof(T) >= pack_threshold_bytes()) {
+      c = chunk_scratch_lanes(n, sizeof(T));
+    }
+    IBCHOL_CHECK(c % kLaneBlock == 0,
+                 "pipeline chunk size must be a multiple of the lane block");
+    if (c > 0 && c < padded) pack_lanes = static_cast<int>(c);
+  }
+
+  if (exec == CpuExec::kVectorized && pack_lanes == 0) {
+    // In-place execution issues aligned vector loads/stores straight into
+    // the caller's buffer; AlignedBuffer plus the interleaved layouts
+    // guarantee this by construction. (The packed path runs on its own
+    // scratch, which is aligned by construction, and touches the caller's
+    // buffer only through memcpy/streaming rows.)
+    IBCHOL_CHECK(reinterpret_cast<std::uintptr_t>(data.data()) % 64 == 0,
+                 "vectorized executor requires 64-byte aligned batch data "
+                 "(use AlignedBuffer)");
+    IBCHOL_CHECK(
+        layout.chunk() * static_cast<std::int64_t>(sizeof(T)) % 64 == 0,
+        "vectorized executor requires the element stride to be a multiple "
+        "of 64 bytes");
+  }
+
+  std::int64_t failed = 0;
+  std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t elems = static_cast<std::int64_t>(n) * n;
+
+  if (pack_lanes > 0) {
+    const bool nt =
+        resolve_nt_stores(layout.size_elems() * sizeof(T));
+    const std::int64_t nchunks = (padded + pack_lanes - 1) / pack_lanes;
+#pragma omp parallel num_threads(resolve_threads(options.num_threads))
+    {
+      AlignedBuffer<T> scratch(static_cast<std::size_t>(elems) * pack_lanes);
+      std::vector<T> wm_scratch;
+      if (ex.need_scratch) wm_scratch.resize(whole_matrix_scratch_elems(n));
+      std::int64_t local_failed = 0;
+      std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
+#pragma omp for schedule(static)
+      for (std::int64_t c = 0; c < nchunks; ++c) {
+        const std::int64_t c0 = c * pack_lanes;
+        const std::int64_t lanes =
+            std::min<std::int64_t>(pack_lanes, padded - c0);
+        pack_chunk(data.data() + c0, padded, scratch.data(), lanes, elems);
+        for (std::int64_t b = 0; b < lanes; b += kLaneBlock) {
+          if (b + kLaneBlock < lanes) {
+            prefetch_lane_block(scratch.data() + b + kLaneBlock, n, lanes);
+          }
+          alignas(64) std::int32_t local_info[kLaneBlock] = {};
+          ex.run(scratch.data() + b, lanes, local_info, wm_scratch.data());
+          const std::int64_t start = c0 + b;
+          if (start < batch) {
+            merge_lane_info(local_info, start, batch, info, local_failed,
+                            local_first);
+          }
+        }
+        unpack_chunk(scratch.data(), lanes, data.data() + c0, padded, elems,
+                     nt);
+      }
+#pragma omp critical
+      {
+        failed += local_failed;
+        first_failed = std::min(first_failed, local_first);
+      }
+    }
+    return finalize_factor_result(failed, first_failed);
+  }
+
+  // In-place path: chunked layouts are chunk-resident by address map, and
+  // lane blocks of one chunk are adjacent, so walking blocks in order under
+  // a static schedule is the chunk-by-chunk traversal.
+  const std::int64_t blocks = padded / kLaneBlock;
+  const std::int64_t chunk = layout.chunk();
+#pragma omp parallel num_threads(resolve_threads(options.num_threads))
+  {
+    std::vector<T> wm_scratch;
+    if (ex.need_scratch) wm_scratch.resize(whole_matrix_scratch_elems(n));
+    std::int64_t local_failed = 0;
+    std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
+#pragma omp for schedule(static)
+    for (std::int64_t blk = 0; blk < blocks; ++blk) {
+      const std::int64_t start = blk * kLaneBlock;
+      T* base =
+          data.data() + layout.chunk_base(start) + (start % chunk);
+      if ((start + kLaneBlock) % chunk != 0) {
+        // Next lane block lives in the same chunk, one block over.
+        prefetch_lane_block(base + kLaneBlock, n, chunk);
+      }
+      alignas(64) std::int32_t local_info[kLaneBlock] = {};
+      ex.run(base, chunk, local_info, wm_scratch.data());
+      if (start < batch) {
+        merge_lane_info(local_info, start, batch, info, local_failed,
+                        local_first);
+      }
+    }
+#pragma omp critical
+    {
+      failed += local_failed;
+      first_failed = std::min(first_failed, local_first);
+    }
+  }
+  return finalize_factor_result(failed, first_failed);
+}
+
+template void pack_chunk<float>(const float*, std::int64_t, float*,
+                                std::int64_t, std::int64_t);
+template void pack_chunk<double>(const double*, std::int64_t, double*,
+                                 std::int64_t, std::int64_t);
+template void unpack_chunk<float>(const float*, std::int64_t, float*,
+                                  std::int64_t, std::int64_t, bool);
+template void unpack_chunk<double>(const double*, std::int64_t, double*,
+                                   std::int64_t, std::int64_t, bool);
+template FactorResult run_chunk_pipeline<float>(const BatchLayout&,
+                                                std::span<float>,
+                                                const TileProgram*,
+                                                const CpuFactorOptions&,
+                                                std::span<std::int32_t>);
+template FactorResult run_chunk_pipeline<double>(const BatchLayout&,
+                                                 std::span<double>,
+                                                 const TileProgram*,
+                                                 const CpuFactorOptions&,
+                                                 std::span<std::int32_t>);
+
+}  // namespace ibchol

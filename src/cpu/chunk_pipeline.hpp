@@ -1,0 +1,113 @@
+// Chunk-resident execution pipeline for interleaved layouts.
+//
+// The paper's chunked interleaved layout exists to keep one chunk of C
+// matrices resident in fast memory while a thread block works on it. The
+// CPU substrate gets the same effect here at *execution* time, for both
+// executors and for both interleaved layouts:
+//
+//  * kInterleavedChunked — the address map is already chunk-local; the
+//    pipeline walks lane blocks chunk by chunk (static schedule keeps a
+//    chunk on one worker) and software-prefetches the next lane block.
+//  * kInterleaved — the element stride equals the padded batch, so at
+//    large batches every column sweep strides megabytes of memory and the
+//    TLB/caches thrash. The pipeline packs one chunk of C lanes at a time
+//    into a 64-byte-aligned, L2-sized scratch buffer (the rows of C
+//    elements are contiguous in the source, so packing is n² memcpys),
+//    runs the whole factorization over the chunk while it is hot, then
+//    writes the factor back — with non-temporal streaming stores when the
+//    batch is far larger than the cache hierarchy, so the write-back does
+//    not evict the next chunk.
+//
+// Chunk size is thereby a live CPU tuning knob (CpuFactorOptions::
+// chunk_size / TuningParams::chunk_size) even for the non-chunked layout,
+// where it selects the pack-scratch size; 0 picks the sizing rule of
+// chunk_scratch_lanes(). The pipeline also owns the per-(n, isa) executor
+// dispatch table behind CpuExec::kAuto.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cpu/batch_factor.hpp"
+#include "kernels/options.hpp"
+#include "kernels/tile_program.hpp"
+#include "layout/layout.hpp"
+
+namespace ibchol {
+
+/// Scratch budget for one packed chunk: half a 2 MiB L2 slice, leaving the
+/// other half for the lane-block column sweeps and the next chunk's
+/// prefetched lines.
+inline constexpr std::size_t kChunkScratchBudget = 1u << 20;
+
+/// Batch footprint beyond which the write-back of a packed chunk uses
+/// non-temporal streaming stores (the factor will not be re-read before
+/// the caches have turned over anyway). IBCHOL_CHUNK_NT=0/1 overrides.
+inline constexpr std::size_t kNtStoreMinBytes = 32u << 20;
+
+/// Floor of the automatic packing threshold (see pack_threshold_bytes):
+/// used verbatim when the host's last-level cache size cannot be detected.
+inline constexpr std::size_t kPackMinBytes = 32u << 20;
+
+/// Batch footprint beyond which automatic chunk sizing (chunk_size == 0)
+/// stages the simple interleaved layout through pack scratch: the
+/// pack/unpack round trip moves the whole batch through memory twice, which
+/// only pays once the batch has clearly outgrown the last-level cache and
+/// the wide-stride column sweeps actually miss. The threshold is four times
+/// the detected LLC size (sysfs), with kPackMinBytes as the floor when
+/// detection fails. An explicit chunk_size is a tuning knob and always
+/// packs, so sweeps can measure both regimes at any batch size.
+[[nodiscard]] std::size_t pack_threshold_bytes();
+
+/// Columns of the *next* lane block prefetched while the current one is
+/// being factored (each column is n element-rows of kLaneBlock elements).
+inline constexpr int kPrefetchCols = 2;
+
+/// Smallest dimension at which the cache-blocked vectorized whole-matrix
+/// body (VecKernels::blocked) beats the unblocked one: below this the lane
+/// block fits L1 and the panel bookkeeping only costs; measured crossover
+/// on AVX-512 (n = 24 still favors the unblocked body, n = 32 and up the
+/// blocked one; see DESIGN §8).
+inline constexpr int kVecBlockedMinDim = 28;
+
+/// Scratch chunk size (in matrices) for dimension n: the largest multiple
+/// of kLaneBlock in [kLaneBlock, 512] whose chunk (n²·C elements) fits
+/// kChunkScratchBudget. 512 matches the top of the paper's chunk-size
+/// sweep (Fig 18).
+[[nodiscard]] int chunk_scratch_lanes(int n, std::size_t elem_size);
+
+/// The executor CpuExec::kAuto resolves to for dimension n on SIMD tier
+/// `isa` (kAuto = the host's detected tier). Seeded from measured
+/// crossovers on the CPU substrate: the vectorized fused/blocked in-place
+/// pipeline wins at every n ≤ kMaxVecWholeDim on the AVX tiers; the scalar
+/// tier and larger n belong to the specialized executor (whose tile
+/// kernels the compiler autovectorizes). Never returns kAuto.
+[[nodiscard]] CpuExec resolve_cpu_exec(int n, SimdIsa isa);
+
+/// Packs `lanes` lanes of a simple-interleaved region into chunk scratch:
+/// element-row e (of `elems` = n² rows) moves from src[e*src_stride .. +
+/// lanes) to dst[e*lanes .. + lanes). dst must hold elems*lanes elements.
+template <typename T>
+void pack_chunk(const T* src, std::int64_t src_stride, T* dst,
+                std::int64_t lanes, std::int64_t elems);
+
+/// Inverse of pack_chunk. `nt_stores` streams the rows past the cache with
+/// non-temporal stores (falls back to plain copies when the destination is
+/// not 16-byte aligned or on non-x86 hosts); the store fence is issued
+/// before returning.
+template <typename T>
+void unpack_chunk(const T* src, std::int64_t lanes, T* dst,
+                  std::int64_t dst_stride, std::int64_t elems,
+                  bool nt_stores);
+
+/// Factors an interleaved-layout batch through the chunk-resident
+/// pipeline. `program` may be null when no tile program is needed (full
+/// unrolling, or kAuto resolving to a programless path). This is the
+/// execution engine behind factor_batch_cpu for non-canonical layouts.
+template <typename T>
+FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
+                                const TileProgram* program,
+                                const CpuFactorOptions& options,
+                                std::span<std::int32_t> info);
+
+}  // namespace ibchol

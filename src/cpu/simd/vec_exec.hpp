@@ -69,7 +69,25 @@ struct VecKernels {
   /// n > kMaxVecFusedDim (caller falls back to whole_matrix).
   bool (*fused)(int n, MathMode math, T* base, std::int64_t estride,
                 std::int32_t* info, Triangle triangle);
+
+  /// Cache-blocked variant of whole_matrix: the trailing update is applied
+  /// panel by panel (kVecPanelWidth columns at a time) with a register-tiled
+  /// gemm sweep, so each k-column of the lane block is streamed through the
+  /// caches once per panel instead of once per column. Bit-identical to
+  /// whole_matrix on the IEEE policy (per element the fnmadd sequence stays
+  /// k = 0..j-1 in order; only the phase boundaries move). Wins once the
+  /// lane-block working set outgrows L1 (n >= ~24 in single precision);
+  /// below that the unblocked body is faster. Returns false when
+  /// n > kMaxVecWholeDim.
+  bool (*blocked)(int n, MathMode math, T* base, std::int64_t estride,
+                  std::int32_t* info, Triangle triangle);
 };
+
+/// Panel width / row-strip height of the blocked whole-matrix body (PB x IB
+/// register accumulator tile of vector groups; 4x4 saturates the 32
+/// architectural vectors of AVX-512 and measured fastest at n >= 32).
+inline constexpr int kVecPanelWidth = 4;
+inline constexpr int kVecPanelRows = 4;
 
 /// Per-tier tables (defined in vec_exec_scalar/avx2/avx512.cpp).
 template <typename T>

@@ -277,6 +277,143 @@ bool whole_matrix_impl(int n, typename V::Elem* base, std::int64_t estride,
   return true;
 }
 
+// ------------------------------------ blocked whole matrix (panelled) ----
+
+// Cache-blocked variant of factor_group_pair: columns are factored in
+// panels of PB. For a full interior panel the trailing update against the
+// finished columns k in [0, p0) runs first as a register-tiled gemm sweep
+// (IB row strips x PB panel columns of accumulators), then the panel is
+// factored with its history restricted to the in-panel columns [p0, j).
+// Per element (i,j) the fnmadd sequence is still k = 0..j-1 in increasing
+// order on identical values, so the result is bit-identical to the
+// unblocked body; the win is purely locality — each k-column of the lane
+// block is streamed once per panel, not once per column.
+template <class V, class Math, int PB, int IB>
+inline void factor_group_blocked(int n, typename V::Elem* __restrict__ gb,
+                                 std::int64_t rstride, std::int64_t cstride,
+                                 std::int32_t* info, int g) {
+  using VV = typename V::V;
+  constexpr int W = V::kWidth;
+  for (int p0 = 0; p0 < n; p0 += PB) {
+    const int pw = n - p0 < PB ? n - p0 : PB;
+    int kstart = 0;
+    if (pw == PB && p0 > 0) {
+      kstart = p0;
+      // Phase 1: C[i, p0+jj] -= sum_{k < p0} A[i, k] * A[p0+jj, k], strips
+      // of IB rows at a time with the full IB x PB accumulator tile in
+      // vector registers.
+      for (int i0 = p0; i0 < n; i0 += IB) {
+        const int ih = n - i0 < IB ? n - i0 : IB;
+        VV acc0[IB][PB], acc1[IB][PB];
+        for (int ii = 0; ii < ih; ++ii) {
+          for (int jj = 0; jj < PB; ++jj) {
+            acc0[ii][jj] =
+                V::load(gb + (i0 + ii) * rstride + (p0 + jj) * cstride);
+            acc1[ii][jj] =
+                V::load(gb + (i0 + ii) * rstride + (p0 + jj) * cstride + W);
+          }
+        }
+        if (ih == IB) {
+          for (int k = 0; k < p0; ++k) {
+            VV l0[PB], l1[PB];
+            for (int jj = 0; jj < PB; ++jj) {
+              l0[jj] = V::load(gb + (p0 + jj) * rstride + k * cstride);
+              l1[jj] = V::load(gb + (p0 + jj) * rstride + k * cstride + W);
+            }
+            for (int ii = 0; ii < IB; ++ii) {
+              const VV a0 = V::load(gb + (i0 + ii) * rstride + k * cstride);
+              const VV a1 =
+                  V::load(gb + (i0 + ii) * rstride + k * cstride + W);
+              for (int jj = 0; jj < PB; ++jj) {
+                acc0[ii][jj] = V::fnmadd(a0, l0[jj], acc0[ii][jj]);
+                acc1[ii][jj] = V::fnmadd(a1, l1[jj], acc1[ii][jj]);
+              }
+            }
+          }
+        } else {
+          for (int k = 0; k < p0; ++k) {
+            for (int ii = 0; ii < ih; ++ii) {
+              const VV a0 = V::load(gb + (i0 + ii) * rstride + k * cstride);
+              const VV a1 =
+                  V::load(gb + (i0 + ii) * rstride + k * cstride + W);
+              for (int jj = 0; jj < PB; ++jj) {
+                const VV l0 = V::load(gb + (p0 + jj) * rstride + k * cstride);
+                const VV l1 =
+                    V::load(gb + (p0 + jj) * rstride + k * cstride + W);
+                acc0[ii][jj] = V::fnmadd(a0, l0, acc0[ii][jj]);
+                acc1[ii][jj] = V::fnmadd(a1, l1, acc1[ii][jj]);
+              }
+            }
+          }
+        }
+        for (int ii = 0; ii < ih; ++ii) {
+          for (int jj = 0; jj < PB; ++jj) {
+            // Strictly-above-diagonal entries of the panel are padding in
+            // the lower-triangular schedule; leave them untouched so the
+            // result stays bit-identical to the unblocked in-place body.
+            if (i0 + ii < p0 + jj) continue;
+            V::store(gb + (i0 + ii) * rstride + (p0 + jj) * cstride,
+                     acc0[ii][jj]);
+            V::store(gb + (i0 + ii) * rstride + (p0 + jj) * cstride + W,
+                     acc1[ii][jj]);
+          }
+        }
+      }
+    }
+    // Phase 2: factor the panel's columns; history restricted to
+    // [kstart, j) — the [0, kstart) part was applied in phase 1.
+    VV c0[kMaxVecWholeDim], c1[kMaxVecWholeDim];
+    for (int j = p0; j < p0 + pw; ++j) {
+      for (int i = j; i < n; ++i) {
+        c0[i] = V::load(gb + i * rstride + j * cstride);
+        c1[i] = V::load(gb + i * rstride + j * cstride + W);
+      }
+      for (int k = kstart; k < j; ++k) {
+        const VV l0 = V::load(gb + j * rstride + k * cstride);
+        const VV l1 = V::load(gb + j * rstride + k * cstride + W);
+        for (int i = j; i < n; ++i) {
+          c0[i] =
+              V::fnmadd(l0, V::load(gb + i * rstride + k * cstride), c0[i]);
+          c1[i] = V::fnmadd(l1, V::load(gb + i * rstride + k * cstride + W),
+                            c1[i]);
+        }
+      }
+      if (info != nullptr) {
+        flag_nonpositive<V>(c0[j], info, g, j + 1);
+        flag_nonpositive<V>(c1[j], info, g + W, j + 1);
+      }
+      const VV s0 = Math::sqrt(c0[j]);
+      const VV s1 = Math::sqrt(c1[j]);
+      const VV i0v = Math::recip(s0);
+      const VV i1v = Math::recip(s1);
+      V::store(gb + j * rstride + j * cstride, s0);
+      V::store(gb + j * rstride + j * cstride + W, s1);
+      for (int i = j + 1; i < n; ++i) {
+        V::store(gb + i * rstride + j * cstride, V::mul(c0[i], i0v));
+        V::store(gb + i * rstride + j * cstride + W, V::mul(c1[i], i1v));
+      }
+    }
+  }
+}
+
+template <class V, class Math>
+bool blocked_impl(int n, typename V::Elem* base, std::int64_t estride,
+                  std::int32_t* info, Triangle triangle) {
+  if (n > kMaxVecWholeDim) return false;
+  constexpr int W = V::kWidth;
+  static_assert(kLaneBlock % (2 * W) == 0,
+                "a lane block must hold an even number of vector groups");
+  const std::int64_t rstride =
+      triangle == Triangle::kUpper ? estride * n : estride;
+  const std::int64_t cstride =
+      triangle == Triangle::kUpper ? estride : estride * n;
+  for (int g = 0; g < kLaneBlock; g += 2 * W) {
+    factor_group_blocked<V, Math, kVecPanelWidth, kVecPanelRows>(
+        n, base + g, rstride, cstride, info, g);
+  }
+  return true;
+}
+
 // Compile-time-n dispatch: one fully unrolled instantiation per dimension.
 template <class V, class Math, int N>
 bool fused_switch(int n, typename V::Elem* base, std::int64_t estride,
@@ -339,6 +476,12 @@ template <typename V>
     return math == MathMode::kFastMath
                ? fused_impl<V, VecFast<V>>(n, base, estride, info, triangle)
                : fused_impl<V, VecIeee<V>>(n, base, estride, info, triangle);
+  };
+  k.blocked = [](int n, MathMode math, T* base, std::int64_t estride,
+                 std::int32_t* info, Triangle triangle) {
+    return math == MathMode::kFastMath
+               ? blocked_impl<V, VecFast<V>>(n, base, estride, info, triangle)
+               : blocked_impl<V, VecIeee<V>>(n, base, estride, info, triangle);
   };
   return k;
 }

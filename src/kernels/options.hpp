@@ -33,8 +33,15 @@ enum class Triangle : std::uint8_t { kLower, kUpper };
 /// unrolled pyexpander kernels; the vectorized executor runs explicit SIMD
 /// intrinsic lane-block bodies selected by runtime ISA dispatch (see
 /// cpu/simd/). All produce identical schedules; the interpreter is kept as
-/// the correctness oracle.
-enum class CpuExec : std::uint8_t { kInterpreter, kSpecialized, kVectorized };
+/// the correctness oracle. kAuto consults the measured per-(n, isa)
+/// dispatch table (cpu/chunk_pipeline.hpp) and resolves to the executor
+/// that wins at that size on the detected SIMD tier.
+enum class CpuExec : std::uint8_t {
+  kInterpreter,
+  kSpecialized,
+  kVectorized,
+  kAuto
+};
 
 /// Instruction-set tier of the vectorized executor. kAuto resolves to the
 /// widest tier the executing CPU supports at runtime (cpuid dispatch); the

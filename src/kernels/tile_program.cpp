@@ -31,6 +31,7 @@ std::string to_string(CpuExec exec) {
     case CpuExec::kInterpreter: return "interp";
     case CpuExec::kSpecialized: return "spec";
     case CpuExec::kVectorized: return "vectorized";
+    case CpuExec::kAuto: return "auto";
   }
   return "?";
 }
@@ -68,6 +69,7 @@ CpuExec cpu_exec_from_string(const std::string& s) {
   if (s == "interp") return CpuExec::kInterpreter;
   if (s == "spec") return CpuExec::kSpecialized;
   if (s == "vectorized") return CpuExec::kVectorized;
+  if (s == "auto") return CpuExec::kAuto;
   throw Error("unknown cpu exec mode: " + s);
 }
 

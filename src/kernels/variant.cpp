@@ -12,6 +12,11 @@ void TuningParams::validate(int n) const {
   IBCHOL_CHECK(nb >= 1, "tile size must be positive");
   IBCHOL_CHECK(!chunked || (chunk_size > 0 && chunk_size % kWarpSize == 0),
                "chunk size must be a positive multiple of the warp size");
+  // Non-chunked layouts still honor chunk_size as the CPU pipeline's
+  // pack-scratch size (0 = automatic sizing rule).
+  IBCHOL_CHECK(chunked || chunk_size == 0 || chunk_size % kWarpSize == 0,
+               "pack-scratch chunk size must be 0 (auto) or a multiple of "
+               "the warp size");
 }
 
 std::string TuningParams::to_string() const {
@@ -31,13 +36,18 @@ std::string TuningParams::to_string() const {
 std::string TuningParams::key() const {
   std::ostringstream os;
   os << "nb" << nb << '_' << ibchol::to_string(looking) << '_'
-     << (chunked ? "c" + std::to_string(chunk_size) : "nc") << '_'
+     // A non-chunked point with a nonzero chunk_size is a distinct CPU
+     // tuning point (pack-scratch size); plain "nc" keeps historical keys.
+     << (chunked ? "c" + std::to_string(chunk_size)
+                 : chunk_size > 0 ? "nc" + std::to_string(chunk_size) : "nc")
+     << '_'
      << ibchol::to_string(unroll) << '_' << ibchol::to_string(math) << '_'
      << (prefer_shared ? "sh" : "l1");
   // The executor mode (and, for the vectorized executor, its ISA tier) is
   // appended only when it deviates from the default so existing
   // datasets/caches keyed on the historical spelling stay valid.
   if (exec == CpuExec::kInterpreter) os << "_interp";
+  if (exec == CpuExec::kAuto) os << "_auto";
   if (exec == CpuExec::kVectorized) {
     os << "_vec";
     if (isa != SimdIsa::kAuto) os << '_' << ibchol::to_string(isa);

@@ -6,6 +6,7 @@
 
 #include "autotune/analyze.hpp"
 #include "autotune/evaluator.hpp"
+#include "autotune/journal.hpp"
 #include "autotune/space.hpp"
 #include "autotune/sweep.hpp"
 
@@ -68,6 +69,25 @@ TEST(Space, DefaultExecAxisMatchesHistoricalGrid) {
     EXPECT_EQ(p.exec, CpuExec::kSpecialized);
     EXPECT_EQ(p.isa, SimdIsa::kAuto);
   }
+}
+
+TEST(Space, PackChunkSizesSweepTheNonChunkedKnob) {
+  // chunk_size is a live axis for the non-chunked layout too (the CPU
+  // pipeline's pack-scratch lane count): each requested size replaces the
+  // historical single chunk_size=0 point.
+  SpaceOptions opt;
+  opt.pack_chunk_sizes = {64, 128, 256};
+  const auto space = enumerate_space(64, opt);
+  // 48 base combos x (5 chunked + 3 non-chunked layout points).
+  EXPECT_EQ(space.size(), 48u * 8);
+  std::set<std::string> keys;
+  std::set<int> seen;
+  for (const auto& p : space) {
+    p.validate(64);
+    EXPECT_TRUE(keys.insert(p.key()).second) << p.key();
+    if (!p.chunked) seen.insert(p.chunk_size);
+  }
+  EXPECT_EQ(seen, (std::set<int>{64, 128, 256}));
 }
 
 TEST(Space, SizesLists) {
@@ -226,6 +246,35 @@ TEST_F(SweepTest, CsvRoundTrip) {
     EXPECT_EQ(back.records()[i].params, ds.records()[i].params);
     EXPECT_NEAR(back.records()[i].gflops, ds.records()[i].gflops, 1e-4);
   }
+}
+
+TEST_F(SweepTest, ChunkSizeKnobRoundTripsCsvAndJournal) {
+  // A non-chunked record carrying a live pack chunk size (and the kAuto
+  // executor) must survive both persistence formats bit-for-bit, so sweep
+  // archives written with the CPU pipeline's new axes re-load comparably.
+  SweepRecord r;
+  r.n = 32;
+  r.batch = 4096;
+  r.params.chunked = false;
+  r.params.chunk_size = 128;
+  r.params.exec = CpuExec::kAuto;
+  r.params.unroll = Unroll::kFull;
+  r.seconds = 1.25e-3;
+  r.gflops = 35.125;
+  const auto parsed = parse_journal_line(journal_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params, r.params);
+  EXPECT_EQ(parsed->params.chunk_size, 128);
+  EXPECT_EQ(parsed->params.exec, CpuExec::kAuto);
+  EXPECT_EQ(parsed->seconds, r.seconds);
+
+  SweepDataset ds;
+  ds.add(r);
+  const SweepDataset back = SweepDataset::from_csv(ds.to_csv());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.records()[0].params, r.params);
+  EXPECT_FALSE(back.records()[0].params.chunked);
+  EXPECT_EQ(back.records()[0].params.chunk_size, 128);
 }
 
 TEST_F(SweepTest, RejectsEmptyConfiguration) {

@@ -22,7 +22,14 @@ TEST(TuningParams, ValidationRules) {
   p.nb = 4;
   p.chunk_size = 48;  // not a warp multiple
   EXPECT_THROW(p.validate(8), Error);
-  p.chunked = false;  // chunk size now irrelevant
+  // Non-chunked layouts still use chunk_size as the CPU pipeline's
+  // pack-scratch lane count, so the warp-multiple rule stands...
+  p.chunked = false;
+  EXPECT_THROW(p.validate(8), Error);
+  // ...but 0 (automatic sizing) and warp multiples are valid.
+  p.chunk_size = 0;
+  p.validate(8);
+  p.chunk_size = 64;
   p.validate(8);
 }
 

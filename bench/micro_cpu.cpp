@@ -16,12 +16,20 @@
 // layout the summary measures (default chunked); --chunk=N sets its chunk
 // size (for --layout=interleaved it sizes the pipeline's pack scratch;
 // 0 = the automatic sizing rule).
+//
+// --trace=<path> records a pipeline trace instead: the packed chunk
+// pipeline (pack / factor / write-back spans per chunk) and the chunked
+// in-place traversal, exported as Chrome trace_event JSON (open in
+// about://tracing or https://ui.perfetto.dev) or JSONL when the path ends
+// in ".jsonl". Requires a build with IBCHOL_OBS=ON (the default); see
+// docs/OBSERVABILITY.md.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +46,9 @@
 #include "kernels/counts.hpp"
 #include "layout/convert.hpp"
 #include "layout/generate.hpp"
+#include "obs/counters.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/trace.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/timer.hpp"
 
@@ -338,18 +349,142 @@ double to_gflops(int n, std::int64_t batch, double seconds) {
                               nominal_flops_per_matrix(n) / seconds / 1e9;
 }
 
+// ------------------------------------------------------ observability ----
+
+// Per-iteration cost a span site adds when no trace session is active,
+// against an identical control loop with no span. Best-of-5 minima so
+// scheduler noise cannot fake an overhead. This is the bench assertion
+// behind the IBCHOL_OBS=OFF zero-overhead guarantee: with the layer
+// compiled out both loops are instruction-identical (the macro expands to
+// nothing), so the delta must round to zero.
+template <typename F>
+double best_seconds_of5(F&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 6; ++rep) {  // one warmup + five timed
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    if (rep > 0 && s < best) best = s;
+  }
+  return best;
+}
+
+double inactive_span_overhead_ns() {
+  constexpr int kIters = 1 << 22;
+  const double empty = best_seconds_of5([] {
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(i);
+    }
+  });
+  const double traced = best_seconds_of5([] {
+    for (int i = 0; i < kIters; ++i) {
+      IBCHOL_TRACE_SPAN("probe", "obs", i);
+      benchmark::DoNotOptimize(i);
+    }
+  });
+  return (traced - empty) * 1e9 / kIters;
+}
+
+// Aggregates one traced factorization into per-stage CPU seconds (sum of
+// span durations by name over the "pipeline" category; sums exceed wall
+// time when threads overlap — this is attribution, not elapsed time).
+std::map<std::string, double> trace_stages(const BatchLayout& layout,
+                                           const AlignedBuffer<float>& pristine,
+                                           AlignedBuffer<float>& work,
+                                           const CpuFactorOptions& opt) {
+  std::map<std::string, double> stages;
+  if constexpr (!obs::kEnabled) return stages;
+  std::memcpy(work.data(), pristine.data(),
+              layout.size_elems() * sizeof(float));
+  obs::start_tracing();
+  (void)factor_batch_cpu<float>(layout, work.span(), opt);
+  obs::stop_tracing();
+  for (const obs::TraceSpan& s : obs::collect_spans()) {
+    if (std::strcmp(s.cat, "pipeline") == 0) {
+      stages[s.name] += static_cast<double>(s.dur_ns) / 1e9;
+    }
+  }
+  return stages;
+}
+
+// The --trace mode: one traced run of the packed chunk pipeline (simple
+// interleaved layout with an explicit chunk, so pack / factor / write-back
+// spans appear per chunk) and of the chunked in-place traversal, exported
+// to `path`. Hardware counters ride along when the kernel permits them.
+int run_trace_scenario(const std::string& path) {
+  if constexpr (!obs::kEnabled) {
+    std::fprintf(stderr,
+                 "--trace requires a build with IBCHOL_OBS=ON (this binary "
+                 "was compiled with the observability layer off)\n");
+    return 1;
+  }
+  obs::HwCounters hw;
+  hw.start();
+  obs::start_tracing();
+  for (const int n : {16, 32}) {
+    CpuFactorOptions opt;
+    opt.unroll = Unroll::kFull;
+    opt.exec = CpuExec::kAuto;
+    opt.chunk_size = 128;  // explicit chunk: the packed pipeline always packs
+
+    const BatchLayout il = BatchLayout::interleaved(n, kBatch);
+    AlignedBuffer<float> idata(il.size_elems());
+    generate_spd_batch<float>(il, idata.span());
+    (void)factor_batch_cpu<float>(il, idata.span(), opt);
+
+    const BatchLayout cl = BatchLayout::interleaved_chunked(n, kBatch, 128);
+    AlignedBuffer<float> cdata(cl.size_elems());
+    generate_spd_batch<float>(cl, cdata.span());
+    (void)factor_batch_cpu<float>(cl, cdata.span(), opt);
+  }
+  obs::stop_tracing();
+  const obs::HwSample sample = hw.stop();
+  const std::size_t spans = obs::collect_spans().size();
+  if (!obs::export_trace(path)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu spans, %llu dropped)\n", path.c_str(), spans,
+              static_cast<unsigned long long>(obs::dropped_spans()));
+  if (sample.valid) {
+    std::printf("hw counters: %llu cycles, %llu instructions (IPC %.2f), "
+                "%llu LLC misses\n",
+                static_cast<unsigned long long>(sample.cycles),
+                static_cast<unsigned long long>(sample.instructions),
+                sample.ipc(),
+                static_cast<unsigned long long>(sample.llc_misses));
+  } else {
+    std::printf("hw counters: unavailable (perf_event denied or "
+                "unsupported) — trace carries spans only\n");
+  }
+  return 0;
+}
+
 // Interpreter-vs-specialized-vs-vectorized and canonical-vs-interleaved
 // summary across the head-to-head sizes, written as one JSON document.
 // `chunked` selects the summary's interleaved layout; `chunk` its chunk
 // size (for the simple interleaved layout it sizes the pipeline's pack
 // scratch, 0 = automatic).
 void write_exec_summary(const std::string& path, bool chunked, int chunk) {
+  // Per-site cost of an inactive span. With the layer compiled out this is
+  // the zero-overhead assertion of the OFF configuration; compiled in it
+  // documents the one-relaxed-load price of a quiet site.
+  const double span_ns = inactive_span_overhead_ns();
+  if (!obs::kEnabled && span_ns > 0.5) {
+    std::fprintf(stderr,
+                 "obs overhead assertion failed: IBCHOL_OBS=OFF but an "
+                 "inactive span site costs %.3f ns/iter (expected ~0)\n",
+                 span_ns);
+    std::exit(1);
+  }
   std::ostringstream os;
   os << "{\n  \"bench\": \"micro_cpu\",\n  \"batch\": " << kBatch
      << ",\n  \"simd_isa\": \""
      << to_string(resolve_simd_isa(SimdIsa::kAuto))
      << "\",\n  \"layout\": \"" << (chunked ? "chunked" : "interleaved")
-     << "\",\n  \"summary\": [";
+     << "\",\n  \"obs_enabled\": " << (obs::kEnabled ? "true" : "false")
+     << ",\n  \"obs_inactive_span_ns\": " << span_ns
+     << ",\n  \"summary\": [";
   bool first = true;
   for (const int n : {4, 8, 16, 24, 32, 48, 64}) {
     const TuningParams p = recommended_params(n);
@@ -389,6 +524,11 @@ void write_exec_summary(const std::string& path, bool chunked, int chunk) {
     const Unroll saved_unroll = opt.unroll;
     if (n <= kMaxVecWholeDim) opt.unroll = Unroll::kFull;
     const double vec = time_factor(il, ipristine, iwork, opt);
+    // Per-stage attribution of one traced run of the exact vec config
+    // (empty map when the obs layer is compiled out). bench_gate.py prints
+    // this breakdown when a size regresses.
+    const std::map<std::string, double> stages =
+        trace_stages(il, ipristine, iwork, opt);
     opt.unroll = saved_unroll;
     opt.exec = CpuExec::kAuto;
     const double autoex = time_factor(il, ipristine, iwork, opt);
@@ -411,7 +551,13 @@ void write_exec_summary(const std::string& path, bool chunked, int chunk) {
        << ", \"canonical_gflops\": " << to_gflops(n, kBatch, canonical)
        << ", \"interleaved_gflops\": " << to_gflops(n, kBatch, vec)
        << ", \"layout_speedup\": " << (vec > 0.0 ? canonical / vec : 0.0)
-       << "}";
+       << ", \"stages\": {";
+    bool sfirst = true;
+    for (const auto& [stage, secs] : stages) {
+      os << (sfirst ? "" : ", ") << '"' << stage << "\": " << secs;
+      sfirst = false;
+    }
+    os << "}}";
     first = false;
   }
   os << "\n  ]\n}\n";
@@ -424,6 +570,7 @@ void write_exec_summary(const std::string& path, bool chunked, int chunk) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
   bool chunked = true;
   int chunk = 64;
   std::vector<char*> args;
@@ -432,6 +579,8 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
+    } else if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
     } else if (a.rfind("--layout=", 0) == 0) {
       const std::string l = a.substr(9);
       if (l == "chunked") {
@@ -448,6 +597,9 @@ int main(int argc, char** argv) {
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (!trace_path.empty()) {
+    return run_trace_scenario(trace_path);
   }
   if (!json_path.empty()) {
     write_exec_summary(json_path, chunked, chunk);

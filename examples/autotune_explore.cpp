@@ -4,6 +4,7 @@
 //   $ autotune_explore [--sizes=8,16,24,32,48] [--batch=16384]
 //                      [--evaluator=model|cpu] [--exec=interp,spec,vectorized]
 //                      [--csv=sweep.csv] [--journal=sweep.jsonl] [--resume]
+//                      [--trace=sweep_trace.json]
 //
 // The model evaluator sweeps the full space through the P100 SIMT model
 // (fast); --evaluator=cpu measures every variant on the CPU substrate
@@ -12,7 +13,10 @@
 // specialized-only grid); vectorized entries sweep the host's auto-detected
 // SIMD tier. Long measured sweeps should set --journal so completed points
 // survive an interruption; rerunning with --resume picks up where the
-// journal left off.
+// journal left off. --trace records one span per sweep point (plus one per
+// evaluation attempt) and exports a Chrome trace_event JSON — or JSONL when
+// the path ends in ".jsonl" — mirroring the journal one to one; it needs a
+// build with IBCHOL_OBS=ON (see docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <sstream>
 
@@ -22,6 +26,7 @@
 #include "core/batch_cholesky.hpp"
 #include "cpu/reference.hpp"
 #include "layout/convert.hpp"
+#include "obs/trace.hpp"
 #include "layout/generate.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/cli.hpp"
@@ -75,8 +80,25 @@ int main(int argc, char** argv) {
       last_percent = percent;
     }
   };
+  const std::string trace_path = cli.get("trace", "");
+  if (!trace_path.empty()) {
+    if (!obs::kEnabled) {
+      std::printf("--trace requires a build with IBCHOL_OBS=ON; ignoring\n");
+    } else {
+      obs::start_tracing();
+    }
+  }
   const SweepDataset dataset = run_sweep(*evaluator, opt);
   std::printf("swept %zu kernels\n\n", dataset.size());
+  if (!trace_path.empty() && obs::kEnabled) {
+    obs::stop_tracing();
+    if (obs::export_trace(trace_path)) {
+      std::printf("sweep trace written to %s\n", trace_path.c_str());
+    } else {
+      std::printf("failed to write sweep trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
 
   // Winners table.
   TextTable table({"n", "GF/s", "nb", "looking", "layout", "unroll"});

@@ -21,6 +21,30 @@ def rows_by_n(doc):
     return {row["n"]: row for row in doc.get("summary", [])}
 
 
+def stage_breakdown(old_row, new_row):
+    """Lines attributing a failure to pipeline stages (pack / factor /
+    write-back CPU seconds recorded by the observability layer). Summaries
+    from IBCHOL_OBS=OFF builds or from before the layer existed carry no
+    stages; say so instead of printing an empty table."""
+    old_stages = old_row.get("stages") or {}
+    new_stages = new_row.get("stages") or {}
+    if not old_stages and not new_stages:
+        return ["    (no per-stage data: summaries recorded without "
+                "IBCHOL_OBS=ON)"]
+    lines = []
+    for stage in sorted(set(old_stages) | set(new_stages)):
+        old_s = old_stages.get(stage)
+        new_s = new_stages.get(stage)
+        old_txt = f"{old_s * 1e3:9.3f} ms" if old_s is not None else "   (none)"
+        new_txt = f"{new_s * 1e3:9.3f} ms" if new_s is not None else "   (none)"
+        if old_s and new_s:
+            ratio = f" ({new_s / old_s:5.2f}x)"
+        else:
+            ratio = ""
+        lines.append(f"    stage {stage:>10}: {old_txt} -> {new_txt}{ratio}")
+    return lines
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     max_drop = MAX_DROP
@@ -62,6 +86,8 @@ def main(argv):
         )
         if ratio < 1.0 - max_drop:
             failures.append(n)
+            for line in stage_breakdown(old_rows[n], new_rows[n]):
+                print(line)
     for n in sorted(set(new_rows) - set(old_rows)):
         print(f"bench gate: n={n} new in fresh summary")
 

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Tests of bench_gate.py itself, focused on the failure path.
+
+Usage: bench_gate_test.py [path/to/bench_gate.py]
+
+The gate guards every PR, so its own behaviour is pinned here: a synthetic
+>15% vec_gflops drop must exit 1 (and print the per-stage breakdown when
+the summaries carry stages), an equal-or-better summary must exit 0, and a
+layout mismatch must refuse to compare. Run as a ctest (registered in
+tests/CMakeLists.txt) or standalone.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATE = (
+    sys.argv[1]
+    if len(sys.argv) > 1
+    else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_gate.py")
+)
+
+
+def summary(layout, rows):
+    return {
+        "bench": "micro_cpu",
+        "batch": 4096,
+        "layout": layout,
+        "summary": rows,
+    }
+
+
+def row(n, vec, stages=None):
+    r = {"n": n, "vec_gflops": vec}
+    if stages is not None:
+        r["stages"] = stages
+    return r
+
+
+def run_gate(recorded, fresh):
+    with tempfile.TemporaryDirectory() as tmp:
+        rec_path = os.path.join(tmp, "recorded.json")
+        fresh_path = os.path.join(tmp, "fresh.json")
+        with open(rec_path, "w") as f:
+            json.dump(recorded, f)
+        with open(fresh_path, "w") as f:
+            json.dump(fresh, f)
+        proc = subprocess.run(
+            [sys.executable, GATE, rec_path, fresh_path],
+            capture_output=True,
+            text=True,
+        )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name, cond, output):
+    if cond:
+        print(f"  ok: {name}")
+        return 0
+    print(f"  FAIL: {name}\n--- gate output ---\n{output}\n---")
+    return 1
+
+
+def main():
+    failures = 0
+
+    # Passing path: identical summaries, and a small (<15%) dip.
+    rows = [row(8, 100.0), row(16, 200.0)]
+    code, out = run_gate(summary("chunked", rows), summary("chunked", rows))
+    failures += check("identical summaries pass", code == 0, out)
+    code, out = run_gate(
+        summary("chunked", [row(8, 100.0)]),
+        summary("chunked", [row(8, 90.0)]),
+    )
+    failures += check("10% dip stays under the default gate", code == 0, out)
+
+    # Failure path: a synthetic >15% drop at one size must exit 1 and name
+    # the size.
+    code, out = run_gate(
+        summary("chunked", [row(8, 100.0), row(16, 200.0)]),
+        summary("chunked", [row(8, 100.0), row(16, 150.0)]),
+    )
+    failures += check("25% drop fails the gate", code == 1, out)
+    failures += check("failing size reported", "n in [16]" in out, out)
+
+    # Failure with stages: the per-stage breakdown must be printed, with the
+    # regressed stage's ratio visible.
+    code, out = run_gate(
+        summary(
+            "chunked",
+            [row(16, 200.0,
+                 {"pack": 0.010, "factor": 0.080, "writeback": 0.010})],
+        ),
+        summary(
+            "chunked",
+            [row(16, 150.0,
+                 {"pack": 0.010, "factor": 0.110, "writeback": 0.010})],
+        ),
+    )
+    failures += check("drop with stages fails", code == 1, out)
+    failures += check("stage breakdown printed", "stage" in out
+                      and "factor" in out, out)
+    failures += check("stage ratio printed", "1.37x" in out or "1.38x" in out,
+                      out)
+
+    # Failure without stages (pre-obs or IBCHOL_OBS=OFF summaries): the
+    # breakdown degrades to a note, never a crash or an empty table.
+    code, out = run_gate(
+        summary("chunked", [row(16, 200.0)]),
+        summary("chunked", [row(16, 150.0)]),
+    )
+    failures += check("stage-less drop still fails cleanly", code == 1, out)
+    failures += check("absence of stages is explained",
+                      "no per-stage data" in out, out)
+
+    # Layout mismatch refuses to compare.
+    code, out = run_gate(
+        summary("chunked", [row(8, 100.0)]),
+        summary("interleaved", [row(8, 100.0)]),
+    )
+    failures += check("layout mismatch refuses", code == 1
+                      and "layout mismatch" in out, out)
+
+    if failures:
+        print(f"bench_gate_test: {failures} check(s) failed")
+        return 1
+    print("bench_gate_test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

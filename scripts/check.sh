@@ -2,7 +2,7 @@
 # Full verification: configure, build, run the test suite, run every
 # benchmark binary. This is the command sequence EXPERIMENTS.md expects.
 #
-#   scripts/check.sh [--sanitize] [--faults] [--bench] [cmake args...]
+#   scripts/check.sh [--sanitize] [--faults] [--bench] [--obs] [cmake args...]
 #
 # --sanitize adds a second build under AddressSanitizer + UBSan with
 # warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it
@@ -23,18 +23,36 @@
 # Before overwriting, the fresh numbers are gated against the recorded
 # ones: a drop of more than 15% in vec_gflops at any n fails the check, so
 # a PR cannot silently regress the executor's throughput.
+#
+# --obs verifies the observability layer in both compile modes: a build
+# with IBCHOL_OBS=OFF runs the full suite (proving every instrumentation
+# site compiles to nothing), then the plain ON build runs the obs/replay
+# suites and smoke-validates both trace exporters (micro_cpu --trace and
+# autotune_explore --trace) with python's JSON parser.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Every temp file/dir any mode creates registers here; one trap cleans up
+# on ANY exit, success or failure — a failed bench gate must not leave a
+# stale BENCH_cpu.json.tmp behind.
+CLEANUP_PATHS=()
+cleanup() {
+  ((${#CLEANUP_PATHS[@]})) && rm -rf "${CLEANUP_PATHS[@]}"
+  return 0
+}
+trap cleanup EXIT
 
 SANITIZE=0
 FAULTS=0
 BENCH=0
+OBS=0
 CMAKE_ARGS=()
 for arg in "$@"; do
   case "${arg}" in
     --sanitize) SANITIZE=1 ;;
     --faults) FAULTS=1 ;;
     --bench) BENCH=1 ;;
+    --obs) OBS=1 ;;
     *) CMAKE_ARGS+=("${arg}") ;;
   esac
 done
@@ -79,7 +97,7 @@ if [[ "${FAULTS}" == 1 ]]; then
   # killed hard (std::_Exit) halfway through, resumes from the journal, and
   # the resulting dataset must be byte-identical to an uninterrupted run.
   FAULTS_TMP="$(mktemp -d)"
-  trap 'rm -rf "${FAULTS_TMP}"' EXIT
+  CLEANUP_PATHS+=("${FAULTS_TMP}")
   RES=build-sanitize/examples/resilience
   "${RES}" --batch=512 --csv="${FAULTS_TMP}/uninterrupted.csv" > /dev/null
   set +e
@@ -97,8 +115,40 @@ if [[ "${FAULTS}" == 1 ]]; then
   echo "kill-and-resume smoke: resumed dataset byte-identical to uninterrupted"
 fi
 
+if [[ "${OBS}" == 1 ]]; then
+  # OFF build: every span/counter site must compile away cleanly; the full
+  # suite runs against the stripped binaries (obs-session tests self-skip).
+  cmake -B build-obs-off -G Ninja -DIBCHOL_OBS=OFF \
+    ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
+  cmake --build build-obs-off
+  ctest --test-dir build-obs-off --output-on-failure -j "$(nproc)"
+  # The OFF summary run doubles as the zero-overhead assertion: micro_cpu
+  # exits nonzero if an inactive span site costs measurable time.
+  OBS_TMP="$(mktemp -d)"
+  CLEANUP_PATHS+=("${OBS_TMP}")
+  build-obs-off/bench/micro_cpu --json="${OBS_TMP}/off_summary.json" \
+    > /dev/null
+  python3 -m json.tool "${OBS_TMP}/off_summary.json" > /dev/null
+
+  # ON build (the default): focused re-run of the obs + replay suites, then
+  # both exporters' artifacts must parse as the JSON they claim to be.
+  ctest --test-dir build --output-on-failure -j "$(nproc)" \
+    -R 'Trace|Counters|HwCounters|ObsReplay'
+  build/bench/micro_cpu --trace="${OBS_TMP}/pipeline_trace.json"
+  python3 -m json.tool "${OBS_TMP}/pipeline_trace.json" > /dev/null
+  build/examples/autotune_explore --sizes=8 --batch=1024 \
+    --trace="${OBS_TMP}/sweep_trace.jsonl" > /dev/null
+  python3 -c "
+import json, sys
+for line in open(sys.argv[1]):
+    json.loads(line)
+" "${OBS_TMP}/sweep_trace.jsonl"
+  echo "obs check: OFF build clean, ON traces parse"
+fi
+
 if [[ "${BENCH}" == 1 ]]; then
   BENCH_TMP="$(mktemp --suffix=.json)"
+  CLEANUP_PATHS+=("${BENCH_TMP}")
   build/bench/micro_cpu --json="${BENCH_TMP}"
   if [[ -f BENCH_cpu.json ]]; then
     python3 scripts/bench_gate.py BENCH_cpu.json "${BENCH_TMP}"

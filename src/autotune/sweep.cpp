@@ -11,6 +11,8 @@
 
 #include "autotune/journal.hpp"
 #include "kernels/counts.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace ibchol {
 
@@ -92,6 +94,10 @@ SweepDataset run_sweep(Evaluator& evaluator, const SweepOptions& options) {
     // A throwing or over-deadline evaluation is a failed attempt; after
     // max_retries further attempts the point is recorded as failed rather
     // than aborting the sweep (no exception may cross the omp region).
+    // The span covers every attempt of the point — the same wall time the
+    // journal's record describes — so an exported trace lines up with the
+    // journal one to one.
+    IBCHOL_TRACE_SPAN("sweep_point", "autotune", i);
     int attempt = 0;
     for (;;) {
       ++attempt;
@@ -99,6 +105,7 @@ SweepDataset run_sweep(Evaluator& evaluator, const SweepOptions& options) {
       double secs = 0.0;
       try {
         const auto t0 = std::chrono::steady_clock::now();
+        IBCHOL_TRACE_SPAN("evaluate", "autotune", attempt);
         secs = evaluator.seconds(pt.n, options.batch, pt.params);
         const double wall =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -123,6 +130,8 @@ SweepDataset run_sweep(Evaluator& evaluator, const SweepOptions& options) {
       }
     }
     r.attempts = attempt;
+    IBCHOL_COUNT("autotune.sweep_points", 1);
+    if (attempt > 1) IBCHOL_COUNT("autotune.sweep_retries", attempt - 1);
     if (r.failed) {
       r.seconds = std::nan("");
       r.gflops = std::nan("");

@@ -7,6 +7,8 @@
 #include "cpu/reference.hpp"
 #include "cpu/thread_util.hpp"
 #include "cpu/tile_exec.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace ibchol {
 
@@ -19,6 +21,8 @@ FactorResult factor_canonical(const BatchLayout& layout, std::span<T> data,
   const int n = layout.n();
   const int nb = std::min(options.nb, n);
   const std::int64_t batch = layout.batch();
+  IBCHOL_TRACE_SPAN("factor_canonical", "cpu", n);
+  IBCHOL_COUNT("cpu.exec.canonical", 1);
   std::int64_t failed = 0;
   std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
 #pragma omp parallel for schedule(static) num_threads(resolve_threads(options.num_threads)) \
@@ -51,6 +55,7 @@ FactorResult factor_batch_cpu(const BatchLayout& layout, std::span<T> data,
   IBCHOL_CHECK(info.empty() ||
                    info.size() >= static_cast<std::size_t>(layout.batch()),
                "info span too small for batch");
+  IBCHOL_TRACE_SPAN("factor_batch", "cpu", layout.batch());
   if (layout.kind() == LayoutKind::kCanonical) {
     return factor_canonical(layout, data, options, info);
   }

@@ -14,6 +14,8 @@
 #include "cpu/thread_util.hpp"
 #include "cpu/tile_exec.hpp"
 #include "cpu/tile_exec_spec.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/aligned_buffer.hpp"
 
 #if defined(__SSE2__)
@@ -260,6 +262,24 @@ bool resolve_nt_stores(std::size_t batch_bytes) {
   return batch_bytes >= kNtStoreMinBytes;
 }
 
+// Tallies one executor dispatch. IBCHOL_COUNT caches its registry lookup
+// per call site, so each executor needs its own literal.
+void count_exec_dispatch(CpuExec exec) {
+  switch (exec) {
+    case CpuExec::kInterpreter:
+      IBCHOL_COUNT("cpu.exec.interpreter", 1);
+      break;
+    case CpuExec::kSpecialized:
+      IBCHOL_COUNT("cpu.exec.specialized", 1);
+      break;
+    case CpuExec::kVectorized:
+      IBCHOL_COUNT("cpu.exec.vectorized", 1);
+      break;
+    case CpuExec::kAuto:
+      break;  // resolved before this is called
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -270,6 +290,7 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
   IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
                "the chunk pipeline runs interleaved layouts");
   const int n = layout.n();
+  IBCHOL_TRACE_SPAN("chunk_pipeline", "cpu", n);
 
   // kAuto: consult the measured dispatch table. When it picks the
   // vectorized executor the whole-matrix pipeline (fused/blocked) is the
@@ -282,6 +303,7 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
     exec = resolve_cpu_exec(n, options.isa);
     if (exec == CpuExec::kVectorized) whole_matrix = true;
   }
+  count_exec_dispatch(exec);
   IBCHOL_CHECK(whole_matrix || program != nullptr,
                "partial unrolling requires a tile program");
 
@@ -364,26 +386,51 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
       if (ex.need_scratch) wm_scratch.resize(whole_matrix_scratch_elems(n));
       std::int64_t local_failed = 0;
       std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
+      // Counter deltas accumulate in plain thread-locals and fold into
+      // the shared registry once per thread — the hot loop never touches
+      // an atomic.
+      std::int64_t local_chunks = 0;
+      std::int64_t local_prefetches = 0;
+      std::int64_t local_nt_bytes = 0;
 #pragma omp for schedule(static)
       for (std::int64_t c = 0; c < nchunks; ++c) {
         const std::int64_t c0 = c * pack_lanes;
         const std::int64_t lanes =
             std::min<std::int64_t>(pack_lanes, padded - c0);
-        pack_chunk(data.data() + c0, padded, scratch.data(), lanes, elems);
-        for (std::int64_t b = 0; b < lanes; b += kLaneBlock) {
-          if (b + kLaneBlock < lanes) {
-            prefetch_lane_block(scratch.data() + b + kLaneBlock, n, lanes);
-          }
-          alignas(64) std::int32_t local_info[kLaneBlock] = {};
-          ex.run(scratch.data() + b, lanes, local_info, wm_scratch.data());
-          const std::int64_t start = c0 + b;
-          if (start < batch) {
-            merge_lane_info(local_info, start, batch, info, local_failed,
-                            local_first);
+        {
+          IBCHOL_TRACE_SPAN("pack", "pipeline", c);
+          pack_chunk(data.data() + c0, padded, scratch.data(), lanes, elems);
+        }
+        {
+          IBCHOL_TRACE_SPAN("factor", "pipeline", c);
+          for (std::int64_t b = 0; b < lanes; b += kLaneBlock) {
+            if (b + kLaneBlock < lanes) {
+              prefetch_lane_block(scratch.data() + b + kLaneBlock, n, lanes);
+              ++local_prefetches;
+            }
+            alignas(64) std::int32_t local_info[kLaneBlock] = {};
+            ex.run(scratch.data() + b, lanes, local_info, wm_scratch.data());
+            const std::int64_t start = c0 + b;
+            if (start < batch) {
+              merge_lane_info(local_info, start, batch, info, local_failed,
+                              local_first);
+            }
           }
         }
-        unpack_chunk(scratch.data(), lanes, data.data() + c0, padded, elems,
-                     nt);
+        {
+          IBCHOL_TRACE_SPAN("writeback", "pipeline", c);
+          unpack_chunk(scratch.data(), lanes, data.data() + c0, padded, elems,
+                       nt);
+        }
+        ++local_chunks;
+        if (nt) local_nt_bytes += elems * lanes * sizeof(T);
+      }
+      if (local_chunks > 0) {
+        IBCHOL_COUNT("pipeline.packed_chunks", local_chunks);
+        IBCHOL_COUNT("pipeline.prefetched_lane_blocks", local_prefetches);
+        if (local_nt_bytes > 0) {
+          IBCHOL_COUNT("pipeline.nt_store_bytes", local_nt_bytes);
+        }
       }
 #pragma omp critical
       {
@@ -405,6 +452,8 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
     if (ex.need_scratch) wm_scratch.resize(whole_matrix_scratch_elems(n));
     std::int64_t local_failed = 0;
     std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
+    std::int64_t local_blocks = 0;
+    std::int64_t local_prefetches = 0;
 #pragma omp for schedule(static)
     for (std::int64_t blk = 0; blk < blocks; ++blk) {
       const std::int64_t start = blk * kLaneBlock;
@@ -413,13 +462,23 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
       if ((start + kLaneBlock) % chunk != 0) {
         // Next lane block lives in the same chunk, one block over.
         prefetch_lane_block(base + kLaneBlock, n, chunk);
+        ++local_prefetches;
       }
+      // One factor span per lane block, tagged with the chunk it lives
+      // in — the in-place path has no pack/write-back stages, so this is
+      // the whole per-chunk story.
+      IBCHOL_TRACE_SPAN("factor", "pipeline", start / chunk);
       alignas(64) std::int32_t local_info[kLaneBlock] = {};
       ex.run(base, chunk, local_info, wm_scratch.data());
       if (start < batch) {
         merge_lane_info(local_info, start, batch, info, local_failed,
                         local_first);
       }
+      ++local_blocks;
+    }
+    if (local_blocks > 0) {
+      IBCHOL_COUNT("pipeline.inplace_lane_blocks", local_blocks);
+      IBCHOL_COUNT("pipeline.prefetched_lane_blocks", local_prefetches);
     }
 #pragma omp critical
     {

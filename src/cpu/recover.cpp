@@ -7,6 +7,8 @@
 #include <cstdint>
 
 #include "layout/convert.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/aligned_buffer.hpp"
 
 namespace ibchol {
@@ -171,6 +173,7 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
   // they can be handed back exactly as supplied.
   std::vector<std::int64_t> nonfinite;
   {
+    IBCHOL_TRACE_SPAN("screen", "recover", batch);
     const std::vector<std::uint8_t> bad =
         screen_triangle(layout, data.data(), options.triangle);
     for (std::int64_t b = 0; b < batch; ++b) {
@@ -220,7 +223,10 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
   }
 
   // 3. First factorization pass over the whole batch.
-  (void)run_factor<T>(layout, data, options, program, st);
+  {
+    IBCHOL_TRACE_SPAN("first_pass", "recover", batch);
+    (void)run_factor<T>(layout, data, options, program, st);
+  }
 
   // 4. Hand non-finite inputs back untouched under the distinct code.
   for (std::size_t k = 0; k < nonfinite.size(); ++k) {
@@ -262,6 +268,10 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
   std::vector<T> dense(static_cast<std::size_t>(n) * n);
   for (int attempt = 1;
        attempt <= recovery.max_attempts && !pending.empty(); ++attempt) {
+    // One span per escalation level; the payload is the attempt number,
+    // the retried-matrix tally goes to the counter registry.
+    IBCHOL_TRACE_SPAN("retry", "recover", attempt);
+    IBCHOL_COUNT("recover.retry_matrices", pending.size());
     const double base =
         recovery.shift0 * std::pow(recovery.growth, attempt - 1);
     const std::int64_t m = static_cast<std::int64_t>(pending.size());

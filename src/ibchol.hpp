@@ -12,6 +12,8 @@
 //   model       — the P100/K40 SIMT performance model and occupancy math
 //   autotune    — exhaustive sweeps, guided search, the results database,
 //                 and the random-forest analysis of §IV
+//   obs         — per-stage trace spans, named counters, hardware
+//                 counters, Chrome-trace/JSONL exporters
 //   apps        — the ALS recommender built on the batch API
 #pragma once
 
@@ -44,6 +46,9 @@
 #include "layout/layout.hpp"
 #include "layout/rect_layout.hpp"
 #include "layout/vector_layout.hpp"
+#include "obs/counters.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/trace.hpp"
 #include "simt/coalescing.hpp"
 #include "simt/gpu_spec.hpp"
 #include "simt/kernel_model.hpp"

@@ -1,0 +1,59 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ibchol::obs {
+
+namespace {
+
+// Leaked for the same shutdown-ordering reason as the trace registry:
+// IBCHOL_COUNT sites hold references into it for the process lifetime.
+struct CounterRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+};
+
+CounterRegistry& registry() {
+  static CounterRegistry* r = new CounterRegistry;
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  CounterRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.counters.find(name);
+  if (it != reg.counters.end()) return *it->second;
+  return *reg.counters.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+std::uint64_t counter_value(std::string_view name) {
+  CounterRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.counters.find(name);
+  return it == reg.counters.end() ? 0 : it->second->value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() {
+  CounterRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(reg.counters.size());
+  for (const auto& [name, c] : reg.counters) {
+    out.emplace_back(name, c->value());
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void reset_counters() {
+  CounterRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, c] : reg.counters) c->reset();
+}
+
+}  // namespace ibchol::obs

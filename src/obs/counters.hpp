@@ -1,0 +1,75 @@
+// Process-wide named-counter registry.
+//
+// Counters are monotone uint64 event tallies (chunks packed, bytes
+// streamed through non-temporal stores, lane blocks prefetched, executor
+// dispatches, recovery retries). Unlike spans they are always live while
+// the layer is compiled in — no session needed — so long-running services
+// can scrape them at any time; trace exports attach a snapshot.
+//
+// Hot paths amortize: they accumulate into a thread-local plain integer
+// and fold it into the shared atomic once per chunk / parallel region,
+// so a counter never adds per-lane-block contention. The IBCHOL_COUNT
+// macro caches the registry lookup in a function-local static, making
+// the steady-state cost one relaxed fetch_add.
+//
+// Counter names are dot-separated paths ("pipeline.nt_store_bytes");
+// docs/OBSERVABILITY.md is the canonical taxonomy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"  // IBCHOL_OBS_ENABLED / kEnabled
+
+namespace ibchol::obs {
+
+/// One named counter; cache-line sized so neighbours never false-share.
+class alignas(64) Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// The counter registered under `name`, created on first use. References
+/// stay valid for the process lifetime. Thread-safe.
+[[nodiscard]] Counter& counter(std::string_view name);
+
+/// Current value of `name`, 0 when the counter was never touched (the
+/// registry is not grown by reads).
+[[nodiscard]] std::uint64_t counter_value(std::string_view name);
+
+/// Snapshot of every registered counter, sorted by name.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+counters_snapshot();
+
+/// Resets every registered counter to zero (tests and benchmarks that
+/// want per-run deltas; production readers should diff snapshots).
+void reset_counters();
+
+}  // namespace ibchol::obs
+
+#if IBCHOL_OBS_ENABLED
+/// Adds `delta` to the counter named by the string literal `name`. The
+/// registry lookup happens once per call site (function-local static).
+#define IBCHOL_COUNT(name, delta)                              \
+  do {                                                         \
+    static ::ibchol::obs::Counter& ibchol_obs_counter_ref_ =   \
+        ::ibchol::obs::counter(name);                          \
+    ibchol_obs_counter_ref_.add(                               \
+        static_cast<std::uint64_t>(delta));                    \
+  } while (0)
+#else
+#define IBCHOL_COUNT(name, delta) static_cast<void>(0)
+#endif

@@ -1,0 +1,89 @@
+#include "obs/perf_counters.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define IBCHOL_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace ibchol::obs {
+
+#if defined(IBCHOL_HAVE_PERF_EVENT)
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // stay below perf_event_paranoid=1
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, any CPU; no group leader (independent
+  // counters read one by one — multiplexing is acceptable at our
+  // measurement granularity and keeps the failure modes independent).
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+bool read_counter(int fd, std::uint64_t& out) {
+  return fd >= 0 && read(fd, &out, sizeof(out)) ==
+                        static_cast<ssize_t>(sizeof(out));
+}
+
+}  // namespace
+
+HwCounters::HwCounters() {
+  fds_[0] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  fds_[1] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fds_[2] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  available_ = fds_[0] >= 0 && fds_[1] >= 0 && fds_[2] >= 0;
+  if (!available_) {
+    // All-or-nothing: a partial counter set would report misleading IPC.
+    for (int& fd : fds_) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+  }
+}
+
+HwCounters::~HwCounters() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void HwCounters::start() noexcept {
+  if (!available_) return;
+  for (const int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+HwSample HwCounters::stop() noexcept {
+  HwSample s;
+  if (!available_) return s;
+  for (const int fd : fds_) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  s.valid = read_counter(fds_[0], s.cycles) &&
+            read_counter(fds_[1], s.instructions) &&
+            read_counter(fds_[2], s.llc_misses);
+  return s;
+}
+
+#else  // !IBCHOL_HAVE_PERF_EVENT — non-Linux: permanent graceful no-op.
+
+HwCounters::HwCounters() = default;
+HwCounters::~HwCounters() = default;
+void HwCounters::start() noexcept {}
+HwSample HwCounters::stop() noexcept { return {}; }
+
+#endif
+
+}  // namespace ibchol::obs

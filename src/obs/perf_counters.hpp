@@ -1,0 +1,66 @@
+// Linux perf_event hardware counters (cycles, instructions, LLC misses).
+//
+// A thin RAII wrapper over perf_event_open(2) measuring the calling
+// thread. Opening the counters requires kernel support and permission
+// (perf_event_paranoid, seccomp, containers often deny it); every failure
+// path degrades to a no-op object whose samples report valid = false —
+// callers never branch on platform, only on HwSample::valid. Non-Linux
+// builds compile the same interface with the no-op behaviour.
+//
+// Usage:
+//   HwCounters hw;              // open (or degrade)
+//   hw.start();                 // reset + enable
+//   ... region of interest ...
+//   HwSample s = hw.stop();     // disable + read
+//   if (s.valid) { use s.cycles / s.instructions / s.llc_misses; }
+#pragma once
+
+#include <cstdint>
+
+namespace ibchol::obs {
+
+/// One reading of the three hardware counters. `valid` is false when the
+/// counters could not be opened or a multiplexed read came back short.
+struct HwSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  bool valid = false;
+
+  /// Instructions per cycle, 0 when invalid or cycles is zero.
+  [[nodiscard]] double ipc() const noexcept {
+    return (valid && cycles > 0)
+               ? static_cast<double>(instructions) /
+                     static_cast<double>(cycles)
+               : 0.0;
+  }
+};
+
+/// Per-thread hardware counter set. Movable-from-nothing by design: the
+/// file descriptors are owned for the object's lifetime.
+class HwCounters {
+ public:
+  /// Opens cycles / instructions / LLC-miss counters for the calling
+  /// thread; degrades to a disabled object when any open fails.
+  HwCounters();
+  ~HwCounters();
+
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  /// True when all three counters opened successfully.
+  [[nodiscard]] bool available() const noexcept { return available_; }
+
+  /// Resets and enables the counters. No-op when unavailable.
+  void start() noexcept;
+
+  /// Disables the counters and returns the accumulated sample (invalid
+  /// when unavailable or a read fails).
+  [[nodiscard]] HwSample stop() noexcept;
+
+ private:
+  int fds_[3] = {-1, -1, -1};  ///< cycles, instructions, LLC misses
+  bool available_ = false;
+};
+
+}  // namespace ibchol::obs

@@ -1,0 +1,248 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/counters.hpp"
+
+namespace ibchol::obs {
+
+namespace {
+
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_epoch{0};
+std::atomic<std::uint64_t> g_dropped{0};
+
+struct Ring;
+
+// Global ring registry. Leaked on purpose: thread_local ring destructors
+// run during thread (and process) teardown, after function-local statics
+// may already be gone; a leaked registry is reachable at any point of
+// shutdown.
+struct Registry {
+  std::mutex mu;
+  std::vector<Ring*> rings;
+  // Spans salvaged from rings of threads that exited mid-session.
+  std::vector<TraceSpan> retired;
+  std::uint64_t retired_epoch = 0;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+// Per-thread span ring. The mutex is uncontended on the hot path (only
+// collect_spans and the owning thread ever take it) so recording costs a
+// futex-free lock plus a store. Epoch tagging lets start_tracing() reset
+// every ring lazily without touching other threads' memory.
+struct Ring {
+  std::mutex mu;
+  std::vector<TraceSpan> spans;
+  std::size_t next = 0;     // overwrite cursor once the ring is full
+  bool wrapped = false;
+  std::uint64_t epoch = 0;
+  std::uint32_t tid = 0;
+
+  Ring() {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    tid = reg.next_tid++;
+    reg.rings.push_back(this);
+  }
+
+  ~Ring() {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    // Salvage this thread's spans for the session still in flight.
+    if (epoch == g_epoch.load(std::memory_order_relaxed)) {
+      if (reg.retired_epoch != epoch) {
+        reg.retired.clear();
+        reg.retired_epoch = epoch;
+      }
+      append_in_order(reg.retired);
+    }
+    std::erase(reg.rings, this);
+  }
+
+  // Appends this ring's spans, oldest first, to `out`. Caller holds mu
+  // (or is the owning thread during teardown).
+  void append_in_order(std::vector<TraceSpan>& out) const {
+    if (wrapped) {
+      out.insert(out.end(), spans.begin() + static_cast<std::ptrdiff_t>(next),
+                 spans.end());
+      out.insert(out.end(), spans.begin(),
+                 spans.begin() + static_cast<std::ptrdiff_t>(next));
+    } else {
+      out.insert(out.end(), spans.begin(), spans.end());
+    }
+  }
+};
+
+Ring& thread_ring() {
+  thread_local Ring ring;
+  return ring;
+}
+
+void json_escape(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        os << *s;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool tracing_active() noexcept {
+  if constexpr (!kEnabled) return false;
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void start_tracing() {
+  Registry& reg = registry();
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    g_epoch.fetch_add(1, std::memory_order_relaxed);
+    reg.retired.clear();
+    reg.retired_epoch = 0;
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_release);
+}
+
+void stop_tracing() { g_active.store(false, std::memory_order_release); }
+
+void record_span(const char* name, const char* cat, std::int64_t arg,
+                 std::uint64_t start_ns, std::uint64_t dur_ns) {
+  Ring& ring = thread_ring();
+  const std::lock_guard<std::mutex> lock(ring.mu);
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  if (ring.epoch != epoch) {
+    ring.spans.clear();
+    ring.next = 0;
+    ring.wrapped = false;
+    ring.epoch = epoch;
+  }
+  const TraceSpan span{name, cat, arg, start_ns, dur_ns, ring.tid};
+  if (ring.spans.size() < kRingCapacity) {
+    ring.spans.push_back(span);
+  } else {
+    ring.spans[ring.next] = span;
+    ring.next = (ring.next + 1) % kRingCapacity;
+    ring.wrapped = true;
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<TraceSpan> collect_spans() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+
+  std::vector<Ring*> rings = reg.rings;
+  std::sort(rings.begin(), rings.end(),
+            [](const Ring* a, const Ring* b) { return a->tid < b->tid; });
+
+  std::vector<TraceSpan> out;
+  if (reg.retired_epoch == epoch) {
+    out.insert(out.end(), reg.retired.begin(), reg.retired.end());
+  }
+  for (Ring* ring : rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->epoch != epoch) continue;  // ring predates this session
+    ring->append_in_order(out);
+  }
+  return out;
+}
+
+std::uint64_t dropped_spans() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json(const std::vector<TraceSpan>& spans) {
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const TraceSpan& s : spans) t0 = std::min(t0, s.start_ns);
+  if (spans.empty()) t0 = 0;
+
+  std::ostringstream os;
+  os << "{\n\"traceEvents\": [";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << R"({"name": ")";
+    json_escape(os, s.name);
+    os << R"(", "cat": ")";
+    json_escape(os, s.cat);
+    os << R"(", "ph": "X", "pid": 0, "tid": )" << s.tid << ", \"ts\": "
+       << static_cast<double>(s.start_ns - t0) / 1e3
+       << ", \"dur\": " << static_cast<double>(s.dur_ns) / 1e3;
+    if (s.arg >= 0) os << R"(, "args": {"v": )" << s.arg << "}";
+    os << "}";
+  }
+  os << "\n],\n\"displayTimeUnit\": \"ns\",\n\"otherData\": {"
+     << "\"dropped_spans\": " << dropped_spans() << ", \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : counters_snapshot()) {
+    os << (first ? "" : ", ") << '"' << name << "\": " << value;
+    first = false;
+  }
+  os << "}}\n}\n";
+  return os.str();
+}
+
+std::string trace_jsonl(const std::vector<TraceSpan>& spans) {
+  std::ostringstream os;
+  for (const TraceSpan& s : spans) {
+    os << R"({"name": ")";
+    json_escape(os, s.name);
+    os << R"(", "cat": ")";
+    json_escape(os, s.cat);
+    os << R"(", "arg": )" << s.arg << ", \"ts_ns\": " << s.start_ns
+       << ", \"dur_ns\": " << s.dur_ns << ", \"tid\": " << s.tid << "}\n";
+  }
+  os << R"({"dropped_spans": )" << dropped_spans() << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_snapshot()) {
+    os << (first ? "" : ", ") << '"' << name << "\": " << value;
+    first = false;
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+bool export_trace(const std::string& path) {
+  if constexpr (!kEnabled) {
+    (void)path;
+    return false;
+  }
+  const std::vector<TraceSpan> spans = collect_spans();
+  std::ofstream f(path);
+  if (!f) return false;
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  f << (jsonl ? trace_jsonl(spans) : chrome_trace_json(spans));
+  return static_cast<bool>(f);
+}
+
+}  // namespace ibchol::obs

@@ -1,0 +1,164 @@
+// Low-overhead scoped tracing for the batch pipeline.
+//
+// A trace is a flat list of spans — (name, category, integer payload,
+// start, duration, thread) — recorded into thread-local ring buffers by
+// RAII scopes at the pipeline's stage boundaries (pack / factor /
+// write-back per chunk, sweep points, recovery attempts). Recording is a
+// three-step cost ladder:
+//
+//  * IBCHOL_OBS=OFF (CMake option, -DIBCHOL_OBS_ENABLED=0): the macros
+//    expand to `static_cast<void>(0)` and every obs call site inside an
+//    `if constexpr (kEnabled)` guard is discarded at compile time — the
+//    instrumented binary is instruction-identical to an uninstrumented
+//    one (micro_cpu's summary mode asserts the per-site cost rounds to
+//    zero in this configuration).
+//  * Compiled in, no trace session active (the default at runtime): one
+//    relaxed atomic load and a branch per span site.
+//  * Session active (start_tracing()): two steady_clock reads plus a
+//    ring-buffer store per span, well under the 2% budget at the
+//    pipeline's chunk granularity (see docs/OBSERVABILITY.md).
+//
+// Ring buffers hold the most recent kRingCapacity spans per thread;
+// overflow overwrites the oldest spans and is counted, never reallocates,
+// and never blocks the hot path on another thread. collect_spans()
+// gathers a deterministic snapshot (rings in thread-id order, record
+// order within a ring); export_trace() writes either a Chrome
+// `trace_event` JSON (load in about://tracing or https://ui.perfetto.dev)
+// or a JSONL stream, chosen by file extension.
+//
+// Span identity is deterministic for a fixed workload and thread count —
+// names are string literals, payloads are loop indices — so two traces of
+// the same seeded run differ only in timestamps and thread ids. The
+// replay test (tests/obs_replay_test.cpp) pins that property.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef IBCHOL_OBS_ENABLED
+#define IBCHOL_OBS_ENABLED 1
+#endif
+
+namespace ibchol::obs {
+
+/// True when the observability layer is compiled in (IBCHOL_OBS=ON).
+inline constexpr bool kEnabled = IBCHOL_OBS_ENABLED != 0;
+
+/// Spans retained per thread before the ring overwrites the oldest.
+inline constexpr std::size_t kRingCapacity = 1u << 14;
+
+/// One completed span. `name` and `cat` must be string literals (the ring
+/// stores the pointers); `arg` is a free integer payload (chunk index,
+/// sweep-point index, retry attempt, ...), -1 when unused.
+struct TraceSpan {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::int64_t arg = -1;
+  std::uint64_t start_ns = 0;  ///< steady_clock, process-relative
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< small sequential id, first-record order
+};
+
+/// Monotonic clock read in nanoseconds (steady_clock based).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// True while a trace session is active. The inactive check is the only
+/// cost a compiled-in span site pays when nobody is tracing.
+[[nodiscard]] bool tracing_active() noexcept;
+
+/// Starts a trace session: discards spans of any previous session and
+/// begins recording. Safe to call when already active (restarts).
+void start_tracing();
+
+/// Stops recording. Spans stay collectable until the next start_tracing().
+void stop_tracing();
+
+/// Snapshot of every span of the current session, rings ordered by thread
+/// id and record order preserved within each ring. Call outside parallel
+/// regions (it locks each ring briefly).
+[[nodiscard]] std::vector<TraceSpan> collect_spans();
+
+/// Spans overwritten by ring overflow since the session started.
+[[nodiscard]] std::uint64_t dropped_spans() noexcept;
+
+/// Records a completed span; called by TraceScope, exposed for tests.
+void record_span(const char* name, const char* cat, std::int64_t arg,
+                 std::uint64_t start_ns, std::uint64_t dur_ns);
+
+/// RAII span: captures the clock on construction and records on
+/// destruction when a session is active. With IBCHOL_OBS=OFF every member
+/// function body vanishes behind `if constexpr`; use the macro below so
+/// the object itself is never even declared in that configuration.
+class TraceScope {
+ public:
+  TraceScope(const char* name, const char* cat,
+             std::int64_t arg = -1) noexcept {
+    if constexpr (kEnabled) {
+      if (tracing_active()) {
+        name_ = name;
+        cat_ = cat;
+        arg_ = arg;
+        start_ = now_ns();
+      }
+    } else {
+      (void)name;
+      (void)cat;
+      (void)arg;
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if constexpr (kEnabled) {
+      if (name_ != nullptr) {
+        record_span(name_, cat_, arg_, start_, now_ns() - start_);
+      }
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;  ///< null = was inactive at construction
+  const char* cat_ = nullptr;
+  std::int64_t arg_ = -1;
+  std::uint64_t start_ = 0;
+};
+
+// ------------------------------------------------------------- export ----
+
+/// Chrome trace_event JSON ("X" complete events, microsecond timestamps
+/// rebased to the earliest span) with the counter registry snapshot and
+/// the dropped-span count attached under "otherData".
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceSpan>& spans);
+
+/// One JSON object per line: every span, then one {"counters": ...}
+/// trailer. Greppable / streamable; not a single JSON document.
+[[nodiscard]] std::string trace_jsonl(const std::vector<TraceSpan>& spans);
+
+/// Collects the current session and writes it to `path` — JSONL when the
+/// path ends in ".jsonl", Chrome trace JSON otherwise. Returns false when
+/// the file cannot be written or the layer is compiled out.
+bool export_trace(const std::string& path);
+
+}  // namespace ibchol::obs
+
+#define IBCHOL_OBS_CONCAT_IMPL(a, b) a##b
+#define IBCHOL_OBS_CONCAT(a, b) IBCHOL_OBS_CONCAT_IMPL(a, b)
+
+#if IBCHOL_OBS_ENABLED
+/// Opens a scoped span: IBCHOL_TRACE_SPAN("pack", "pipeline", chunk_idx).
+/// Name and category must be string literals.
+#define IBCHOL_TRACE_SPAN(...)                                       \
+  ::ibchol::obs::TraceScope IBCHOL_OBS_CONCAT(ibchol_trace_scope_,   \
+                                              __LINE__)(__VA_ARGS__)
+#else
+// Compiled out: no object, no clock reads, no atomic load. The
+// static_assert documents (and proves at compile time) which expansion
+// this translation unit received.
+#define IBCHOL_TRACE_SPAN(...) static_cast<void>(0)
+static_assert(!ibchol::obs::kEnabled,
+              "IBCHOL_TRACE_SPAN is empty only when the obs layer is off");
+#endif

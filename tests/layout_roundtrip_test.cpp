@@ -1,0 +1,147 @@
+// Property-based round-trip tests of the layout conversions.
+//
+// The conversions are pure permutations of the matrix elements (plus
+// identity-filled padding), so any chain of conversions that returns to
+// the canonical layout must reproduce the original buffer BYTE FOR BYTE —
+// no arithmetic touches the values. The tests draw ~200 random
+// (n, batch, chunk) shapes from a fixed seed, deliberately including
+// batches that are not multiples of the chunk (padding tails), and push
+// random bit patterns through every conversion chain:
+//
+//   canonical -> interleaved -> canonical
+//   canonical -> chunked     -> canonical
+//   canonical -> interleaved -> chunked     -> canonical
+//   canonical -> chunked     -> interleaved -> canonical
+//
+// A second property pins the padding contract the factorization paths rely
+// on: every padding lane of an interleaved destination holds an exact
+// identity matrix (padding must never produce a spurious pivot failure).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "layout/convert.hpp"
+#include "layout/layout.hpp"
+#include "util/rng.hpp"
+
+namespace ibchol {
+namespace {
+
+// Random shape: n in [1, 64], batch in [1, 400], chunk a multiple of the
+// warp size in [32, 160]. Every few draws the batch is snapped to
+// chunk*k + 1 / chunk*k - 1 so the padding-tail corner is always exercised
+// even if the uniform draws happen to miss it.
+struct Shape {
+  int n;
+  std::int64_t batch;
+  int chunk;
+};
+
+Shape draw_shape(Xoshiro256& rng, int case_idx) {
+  Shape s;
+  s.n = 1 + static_cast<int>(rng.uniform_index(64));
+  s.batch = 1 + static_cast<std::int64_t>(rng.uniform_index(400));
+  s.chunk = kWarpSize * (1 + static_cast<int>(rng.uniform_index(5)));
+  if (case_idx % 5 == 3) s.batch = s.chunk + 1;          // one-lane tail
+  if (case_idx % 5 == 4 && s.chunk > 1) s.batch = 2 * s.chunk - 1;
+  return s;
+}
+
+template <typename T>
+std::vector<T> random_batch(const BatchLayout& layout, Xoshiro256& rng) {
+  std::vector<T> data(layout.size_elems());
+  for (T& v : data) v = static_cast<T>(rng.uniform(-100.0, 100.0));
+  return data;
+}
+
+// Converts `src` (canonical) through every layout of `hops` and back to
+// canonical, returning the final canonical buffer.
+template <typename T>
+std::vector<T> round_trip(const BatchLayout& canon, const std::vector<T>& src,
+                          const std::vector<BatchLayout>& hops) {
+  const BatchLayout* from = &canon;
+  std::vector<T> cur = src;
+  for (const BatchLayout& to : hops) {
+    std::vector<T> next(to.size_elems());
+    convert_layout<T>(*from, std::span<const T>(cur), to,
+                      std::span<T>(next));
+    cur = std::move(next);
+    from = &to;
+  }
+  std::vector<T> back(canon.size_elems());
+  convert_layout<T>(*from, std::span<const T>(cur), canon,
+                    std::span<T>(back));
+  return back;
+}
+
+template <typename T>
+void expect_bytes_equal(const std::vector<T>& a, const std::vector<T>& b,
+                        const Shape& s, const char* chain) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)), 0)
+      << chain << " round trip corrupted bytes at n=" << s.n
+      << " batch=" << s.batch << " chunk=" << s.chunk;
+}
+
+template <typename T>
+void run_round_trips(std::uint64_t seed, int cases) {
+  Xoshiro256 rng(seed);
+  for (int c = 0; c < cases; ++c) {
+    const Shape s = draw_shape(rng, c);
+    const BatchLayout canon = BatchLayout::canonical(s.n, s.batch);
+    const BatchLayout simple = BatchLayout::interleaved(s.n, s.batch);
+    const BatchLayout chunked =
+        BatchLayout::interleaved_chunked(s.n, s.batch, s.chunk);
+    const std::vector<T> src = random_batch<T>(canon, rng);
+
+    expect_bytes_equal(src, round_trip(canon, src, {simple}), s,
+                       "canonical->interleaved");
+    expect_bytes_equal(src, round_trip(canon, src, {chunked}), s,
+                       "canonical->chunked");
+    expect_bytes_equal(src, round_trip(canon, src, {simple, chunked}), s,
+                       "canonical->interleaved->chunked");
+    expect_bytes_equal(src, round_trip(canon, src, {chunked, simple}), s,
+                       "canonical->chunked->interleaved");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(LayoutRoundTrip, RandomShapesFloat) {
+  run_round_trips<float>(0xC0FFEE0001ULL, 120);
+}
+
+TEST(LayoutRoundTrip, RandomShapesDouble) {
+  run_round_trips<double>(0xC0FFEE0002ULL, 80);
+}
+
+// Conversions into an interleaved layout must leave identity matrices in
+// every padding lane — the factorization paths factor padding lanes
+// unconditionally and rely on them never failing.
+TEST(LayoutRoundTrip, PaddingLanesAreIdentity) {
+  Xoshiro256 rng(0xC0FFEE0003ULL);
+  for (int c = 0; c < 40; ++c) {
+    const Shape s = draw_shape(rng, c);
+    const BatchLayout canon = BatchLayout::canonical(s.n, s.batch);
+    const BatchLayout chunked =
+        BatchLayout::interleaved_chunked(s.n, s.batch, s.chunk);
+    if (chunked.padded_batch() == s.batch) continue;  // no padding to check
+    const std::vector<float> src = random_batch<float>(canon, rng);
+    std::vector<float> dst(chunked.size_elems());
+    convert_layout<float>(canon, std::span<const float>(src), chunked,
+                          std::span<float>(dst));
+    for (std::int64_t b = s.batch; b < chunked.padded_batch(); ++b) {
+      for (int j = 0; j < s.n; ++j) {
+        for (int i = 0; i < s.n; ++i) {
+          ASSERT_EQ(dst[chunked.index(b, i, j)], i == j ? 1.0f : 0.0f)
+              << "padding lane " << b << " element (" << i << "," << j
+              << ") at n=" << s.n << " batch=" << s.batch
+              << " chunk=" << s.chunk;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,140 @@
+// Deterministic-replay test: two runs of the same seeded workload under
+// tracing produce identical span trees up to timestamps and thread ids.
+//
+// Span identity is (name literal, category, integer payload); timestamps
+// and tids are the only nondeterministic fields (the OS scheduler owns
+// them). The comparison strips both and sorts, i.e. compares the span
+// MULTISET — the static OpenMP schedule fixes which spans exist and their
+// payloads, not which worker emits them first. The same normalization is
+// what a tooling consumer diffing two exported traces would apply.
+//
+// Counters are replayed too: the same workload must produce the same
+// counter deltas (they count work items, not time).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cpu/batch_factor.hpp"
+#include "cpu/tile_exec.hpp"
+#include "layout/generate.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace ibchol {
+namespace {
+
+// A span with the nondeterministic fields stripped.
+using SpanKey = std::tuple<std::string, std::string, std::int64_t>;
+
+std::vector<SpanKey> normalized_spans() {
+  std::vector<SpanKey> keys;
+  for (const obs::TraceSpan& s : obs::collect_spans()) {
+    keys.emplace_back(s.name, s.cat, s.arg);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// One traced run of the seeded workload: a packed-pipeline factorization
+// (simple interleaved, explicit chunk) plus a chunked in-place one —
+// together they emit every pipeline span kind. Returns the normalized
+// span multiset and the counter snapshot.
+std::pair<std::vector<SpanKey>,
+          std::vector<std::pair<std::string, std::uint64_t>>>
+traced_run() {
+  obs::reset_counters();
+  obs::start_tracing();
+
+  CpuFactorOptions opt;
+  opt.unroll = Unroll::kFull;
+  opt.exec = CpuExec::kAuto;
+  opt.chunk_size = 64;
+  // Span payloads are chunk/block indices, so they are independent of the
+  // schedule; the thread count is pinned anyway so the two runs are as
+  // alike as the harness can make them.
+  opt.num_threads = 2;
+
+  const BatchLayout il = BatchLayout::interleaved(16, 8 * kLaneBlock);
+  AlignedBuffer<float> idata(il.size_elems());
+  generate_spd_batch<float>(il, idata.span(),
+                            {SpdKind::kGramPlusDiagonal, 777, 50.0});
+  (void)factor_batch_cpu<float>(il, idata.span(), opt);
+
+  const BatchLayout cl = BatchLayout::interleaved_chunked(24, 300, 64);
+  AlignedBuffer<float> cdata(cl.size_elems());
+  generate_spd_batch<float>(cl, cdata.span(),
+                            {SpdKind::kGramPlusDiagonal, 778, 50.0});
+  (void)factor_batch_cpu<float>(cl, cdata.span(), opt);
+
+  obs::stop_tracing();
+  return {normalized_spans(), obs::counters_snapshot()};
+}
+
+TEST(ObsReplay, SameSeedSameSpanTree) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "observability layer compiled out (IBCHOL_OBS=OFF)";
+  }
+  const auto [spans_a, counters_a] = traced_run();
+  const auto [spans_b, counters_b] = traced_run();
+
+  ASSERT_FALSE(spans_a.empty()) << "workload emitted no spans";
+  ASSERT_EQ(spans_a.size(), spans_b.size());
+  for (std::size_t i = 0; i < spans_a.size(); ++i) {
+    ASSERT_EQ(spans_a[i], spans_b[i])
+        << "span " << i << " diverged between identical runs: ("
+        << std::get<0>(spans_a[i]) << ", " << std::get<1>(spans_a[i]) << ", "
+        << std::get<2>(spans_a[i]) << ") vs (" << std::get<0>(spans_b[i])
+        << ", " << std::get<1>(spans_b[i]) << ", "
+        << std::get<2>(spans_b[i]) << ")";
+  }
+  EXPECT_EQ(counters_a, counters_b)
+      << "counter deltas diverged between identical runs";
+
+  // The workload engages both pipeline paths, so the trace must carry the
+  // full stage taxonomy.
+  for (const char* name : {"pack", "factor", "writeback", "factor_batch"}) {
+    EXPECT_TRUE(std::any_of(spans_a.begin(), spans_a.end(),
+                            [&](const SpanKey& k) {
+                              return std::get<0>(k) == name;
+                            }))
+        << "expected at least one '" << name << "' span";
+  }
+}
+
+// The exported artifacts of two identical runs are byte-identical after
+// the same normalization — this is the property a replay harness built on
+// the JSONL export relies on. Normalizing JSONL lines: drop ts_ns and tid.
+TEST(ObsReplay, JsonlExportReplaysAfterNormalization) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "observability layer compiled out (IBCHOL_OBS=OFF)";
+  }
+  auto normalized_jsonl = [] {
+    const std::string jsonl = obs::trace_jsonl(obs::collect_spans());
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < jsonl.size()) {
+      const std::size_t eol = jsonl.find('\n', pos);
+      std::string line = jsonl.substr(pos, eol - pos);
+      pos = eol + 1;
+      const std::size_t ts = line.find(", \"ts_ns\":");
+      if (ts != std::string::npos) line.resize(ts);  // ts/dur/tid trail
+      lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  (void)traced_run();
+  const std::vector<std::string> a = normalized_jsonl();
+  (void)traced_run();
+  const std::vector<std::string> b = normalized_jsonl();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -1,0 +1,199 @@
+// Unit tests of the observability layer: span recording and session
+// semantics, ring-buffer overflow accounting, the named-counter registry,
+// both exporters, and the graceful degradation of the hardware counters.
+//
+// Everything that needs a live trace session is skipped (not failed) when
+// the layer is compiled out (IBCHOL_OBS=OFF) — the OFF build still runs
+// this binary, and the skip marker documents which configuration ran.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/trace.hpp"
+
+namespace ibchol::obs {
+namespace {
+
+#define SKIP_IF_OBS_OFF()                                             \
+  if (!kEnabled) GTEST_SKIP() << "observability layer compiled out "  \
+                                 "(IBCHOL_OBS=OFF)"
+
+TEST(Trace, ScopeRecordsWhileSessionActive) {
+  SKIP_IF_OBS_OFF();
+  start_tracing();
+  {
+    TraceScope scope("unit_span", "test", 7);
+  }
+  stop_tracing();
+  const std::vector<TraceSpan> spans = collect_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "unit_span");
+  EXPECT_STREQ(spans[0].cat, "test");
+  EXPECT_EQ(spans[0].arg, 7);
+}
+
+TEST(Trace, InactiveScopeRecordsNothing) {
+  SKIP_IF_OBS_OFF();
+  start_tracing();
+  stop_tracing();  // drains the previous test's session, nothing active
+  {
+    TraceScope scope("should_not_appear", "test");
+  }
+  EXPECT_TRUE(collect_spans().empty());
+  EXPECT_FALSE(tracing_active());
+}
+
+TEST(Trace, StartTracingDiscardsPreviousSession) {
+  SKIP_IF_OBS_OFF();
+  start_tracing();
+  record_span("old", "test", -1, now_ns(), 10);
+  stop_tracing();
+  start_tracing();
+  record_span("new", "test", -1, now_ns(), 10);
+  stop_tracing();
+  const std::vector<TraceSpan> spans = collect_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "new");
+}
+
+TEST(Trace, RingOverflowDropsOldestAndCounts) {
+  SKIP_IF_OBS_OFF();
+  constexpr std::uint64_t kExtra = 100;
+  start_tracing();
+  for (std::uint64_t i = 0; i < kRingCapacity + kExtra; ++i) {
+    record_span("flood", "test", static_cast<std::int64_t>(i), now_ns(), 1);
+  }
+  stop_tracing();
+  const std::vector<TraceSpan> spans = collect_spans();
+  ASSERT_EQ(spans.size(), kRingCapacity);
+  EXPECT_EQ(dropped_spans(), kExtra);
+  // Oldest-first order: the survivors are the last kRingCapacity records.
+  EXPECT_EQ(spans.front().arg, static_cast<std::int64_t>(kExtra));
+  EXPECT_EQ(spans.back().arg,
+            static_cast<std::int64_t>(kRingCapacity + kExtra - 1));
+}
+
+TEST(Trace, ChromeExportContainsSpansAndCounters) {
+  SKIP_IF_OBS_OFF();
+  reset_counters();
+  counter("test.export_marker").add(3);
+  start_tracing();
+  record_span("exported", "test", 5, now_ns(), 1000);
+  stop_tracing();
+  const std::string json = chrome_trace_json(collect_spans());
+  EXPECT_NE(json.find("\"name\": \"exported\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.export_marker"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\": 0"), std::string::npos);
+}
+
+TEST(Trace, JsonlExportOneLinePerSpanPlusTrailer) {
+  SKIP_IF_OBS_OFF();
+  start_tracing();
+  record_span("a", "test", 1, now_ns(), 1);
+  record_span("b", "test", 2, now_ns(), 1);
+  stop_tracing();
+  const std::string jsonl = trace_jsonl(collect_spans());
+  std::istringstream is(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // two spans + counters trailer
+  EXPECT_NE(jsonl.find("\"counters\""), std::string::npos);
+}
+
+TEST(Trace, ExportTraceWritesFileByExtension) {
+  SKIP_IF_OBS_OFF();
+  start_tracing();
+  record_span("file_span", "test", -1, now_ns(), 1);
+  stop_tracing();
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.jsonl";
+  ASSERT_TRUE(export_trace(path));
+  std::ifstream f(path);
+  std::string first;
+  ASSERT_TRUE(std::getline(f, first));
+  EXPECT_NE(first.find("file_span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ExportTraceFailsWhenCompiledOut) {
+  if (kEnabled) GTEST_SKIP() << "only meaningful with IBCHOL_OBS=OFF";
+  EXPECT_FALSE(tracing_active());
+  EXPECT_FALSE(export_trace(::testing::TempDir() + "/never_written.json"));
+}
+
+// ----------------------------------------------------------- counters ----
+
+TEST(Counters, RegistryAccumulatesAndResets) {
+  reset_counters();
+  counter("test.alpha").add(2);
+  counter("test.alpha").add(3);
+  counter("test.beta").add(1);
+  EXPECT_EQ(counter_value("test.alpha"), 5u);
+  EXPECT_EQ(counter_value("test.beta"), 1u);
+  EXPECT_EQ(counter_value("test.never_touched"), 0u);
+  reset_counters();
+  EXPECT_EQ(counter_value("test.alpha"), 0u);
+}
+
+TEST(Counters, SnapshotIsSortedByName) {
+  reset_counters();
+  counter("test.zz").add(1);
+  counter("test.aa").add(1);
+  const auto snap = counters_snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+}
+
+TEST(Counters, CountMacroCompilesInBothModes) {
+  reset_counters();
+  IBCHOL_COUNT("test.macro", 4);
+  IBCHOL_COUNT("test.macro", 1);
+  // With the layer off the macro expands to nothing and the value is 0.
+  EXPECT_EQ(counter_value("test.macro"), kEnabled ? 5u : 0u);
+}
+
+// ------------------------------------------------------- hw counters -----
+
+// perf_event availability depends on the kernel and the container
+// (perf_event_paranoid / seccomp commonly deny it); the contract is
+// graceful degradation, never an error. Both branches are legitimate
+// outcomes of this test.
+TEST(HwCountersTest, DegradesGracefullyOrMeasures) {
+  HwCounters hw;
+  hw.start();
+  volatile double sink = 1.0;
+  for (int i = 0; i < 100000; ++i) sink = sink * 1.0000001 + 0.5;
+  const HwSample s = hw.stop();
+  if (hw.available()) {
+    ASSERT_TRUE(s.valid);
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.instructions, 0u);
+    EXPECT_GT(s.ipc(), 0.0);
+  } else {
+    EXPECT_FALSE(s.valid);
+    EXPECT_EQ(s.ipc(), 0.0);
+  }
+}
+
+TEST(HwCountersTest, StopWithoutStartIsSafe) {
+  HwCounters hw;
+  const HwSample s = hw.stop();
+  if (!hw.available()) EXPECT_FALSE(s.valid);
+}
+
+}  // namespace
+}  // namespace ibchol::obs

@@ -1,0 +1,332 @@
+// Open-loop load generator for the batch-factorization service
+// (svc::BatchService): the throughput-regime harness the service layer is
+// built for, where requests arrive continuously and tail latency — not
+// per-call wall time — is the figure of merit.
+//
+// Two phases:
+//
+//  1. **Throughput compare** — N requests factored back-to-back, once
+//     through the synchronous OpenMP driver (factor_batch_cpu) and once
+//     pipelined through the service (submit all, wait all). Reports both
+//     rates and the service/sync speedup; on a multi-core host the service
+//     overlaps the per-call team-spawn/join gaps the sync path serializes
+//     on. Results are checked bit-identical per matrix size first.
+//
+//  2. **Open-loop latency** — requests arrive on a fixed schedule
+//     (--rate, --duration) regardless of completions (open loop: a slow
+//     server makes the backlog grow, it does not slow the generator). The
+//     per-request latency distribution comes from the service's own
+//     "svc.request_ns"/"svc.queue_ns" histograms (src/obs/histogram.hpp)
+//     and is reported as p50/p95/p99.
+//
+// Flags:
+//   --rate=R        arrivals per second for the open-loop phase [200]
+//   --duration=S    open-loop phase length in seconds [1.0]
+//   --mix=SPEC      request mix "n:weight,n:weight,..." [8:2,16:2]
+//   --batch=B       matrices per request [256]
+//   --requests=N    requests in the throughput phase [40]
+//   --threads=T     service worker threads (0 = hardware default) [0]
+//   --grain=G       steal granularity in pipeline units [1]
+//   --chunk=C       pack chunk size (lanes) for simple interleaved [64]
+//   --json=PATH     machine-readable results (BENCH_load_service.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cpu/batch_factor.hpp"
+#include "cpu/thread_util.hpp"
+#include "layout/generate.hpp"
+#include "layout/layout.hpp"
+#include "obs/histogram.hpp"
+#include "svc/batch_service.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace ibchol::bench {
+namespace {
+
+struct MixEntry {
+  int n = 0;
+  int weight = 1;
+};
+
+std::vector<MixEntry> parse_mix(const std::string& spec) {
+  std::vector<MixEntry> mix;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto colon = item.find(':');
+    MixEntry e;
+    e.n = std::stoi(item.substr(0, colon));
+    e.weight = colon == std::string::npos
+                   ? 1
+                   : std::stoi(item.substr(colon + 1));
+    IBCHOL_CHECK(e.n >= 1 && e.weight >= 1, "bad --mix entry: " + item);
+    mix.push_back(e);
+  }
+  IBCHOL_CHECK(!mix.empty(), "--mix parsed to nothing");
+  return mix;
+}
+
+/// The request working set: one reusable workload per mix slot. The
+/// generator cycles through kDepth buffers per size so up to kDepth
+/// requests of one size can be in flight at once.
+struct Workload {
+  BatchLayout layout;
+  CpuFactorOptions options;
+  AlignedBuffer<float> data;
+  std::vector<std::int32_t> info;
+
+  Workload(int n, std::int64_t batch, int chunk)
+      : layout(BatchLayout::interleaved(n, batch)),
+        data(layout.size_elems()),
+        info(static_cast<std::size_t>(batch)) {
+    options.chunk_size = chunk;
+    regenerate();
+  }
+
+  void regenerate() {
+    generate_spd_batch<float>(layout, data.span(),
+                              {SpdKind::kGramPlusDiagonal, 42, 50.0});
+  }
+
+  [[nodiscard]] double flops() const {
+    const double n = layout.n();
+    return static_cast<double>(layout.batch()) * (n * n * n / 3.0);
+  }
+};
+
+/// Per-size bit-identity check: the service must reproduce the sync driver
+/// exactly (units are schedule-agnostic; IEEE math).
+bool check_bit_identity(svc::BatchService& service, int n,
+                        std::int64_t batch, int chunk) {
+  Workload sync_w(n, batch, chunk);
+  Workload svc_w(n, batch, chunk);
+  const FactorResult a = factor_batch_cpu<float>(
+      sync_w.layout, sync_w.data.span(), sync_w.options, sync_w.info);
+  const FactorResult b = service.factor<float>(
+      svc_w.layout, svc_w.data.span(), svc_w.options, svc_w.info);
+  return a.failed_count == b.failed_count && sync_w.info == svc_w.info &&
+         std::memcmp(sync_w.data.span().data(), svc_w.data.span().data(),
+                     sync_w.data.span().size() * sizeof(float)) == 0;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct PhaseResult {
+  double elapsed_s = 0;
+  double reqs_per_s = 0;
+  double gflops = 0;
+};
+
+PhaseResult run_sync(std::vector<Workload>& pool, int requests) {
+  const auto t0 = std::chrono::steady_clock::now();
+  double flops = 0;
+  for (int i = 0; i < requests; ++i) {
+    Workload& w = pool[static_cast<std::size_t>(i) % pool.size()];
+    (void)factor_batch_cpu<float>(w.layout, w.data.span(), w.options, w.info);
+    flops += w.flops();
+  }
+  PhaseResult r;
+  r.elapsed_s = seconds_since(t0);
+  r.reqs_per_s = requests / r.elapsed_s;
+  r.gflops = flops / r.elapsed_s / 1e9;
+  return r;
+}
+
+PhaseResult run_service_throughput(svc::BatchService& service,
+                                   std::vector<Workload>& pool,
+                                   int requests) {
+  const auto t0 = std::chrono::steady_clock::now();
+  double flops = 0;
+  std::vector<svc::FactorFuture> futures;
+  futures.reserve(static_cast<std::size_t>(requests));
+  // Submission cycles the pool; pool.size() bounds the in-flight depth so
+  // a buffer is never resubmitted while a previous request still owns it.
+  const std::size_t depth = pool.size();
+  for (int i = 0; i < requests; ++i) {
+    if (static_cast<std::size_t>(i) >= depth) {
+      (void)futures[static_cast<std::size_t>(i) - depth].wait();
+    }
+    Workload& w = pool[static_cast<std::size_t>(i) % depth];
+    futures.push_back(
+        service.submit<float>(w.layout, w.data.span(), w.options, w.info));
+    flops += w.flops();
+  }
+  for (auto& f : futures) (void)f.wait();
+  PhaseResult r;
+  r.elapsed_s = seconds_since(t0);
+  r.reqs_per_s = requests / r.elapsed_s;
+  r.gflops = flops / r.elapsed_s / 1e9;
+  return r;
+}
+
+struct OpenLoopResult {
+  std::int64_t submitted = 0;
+  std::int64_t late = 0;  ///< arrivals that fired behind schedule
+  double elapsed_s = 0;
+  obs::HistogramSnapshot request_ns;
+  obs::HistogramSnapshot queue_ns;
+};
+
+OpenLoopResult run_open_loop(svc::BatchService& service,
+                             std::vector<Workload>& pool, double rate,
+                             double duration_s) {
+  obs::reset_histograms();
+  OpenLoopResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  const double interval_s = 1.0 / rate;
+  const std::size_t depth = pool.size();
+  std::vector<svc::FactorFuture> futures;
+  for (std::int64_t i = 0;; ++i) {
+    const double target = static_cast<double>(i) * interval_s;
+    if (target >= duration_s) break;
+    const double now = seconds_since(t0);
+    if (now < target) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(target - now));
+    } else if (now > target + interval_s) {
+      ++r.late;  // open loop: we submit anyway, just record the slip
+    }
+    if (static_cast<std::size_t>(i) >= depth) {
+      // Reclaim the buffer scheduled depth requests ago. Waiting here is
+      // buffer recycling, not closed-loop pacing: the arrival schedule
+      // above never moves.
+      (void)futures[static_cast<std::size_t>(i) - depth].wait();
+    }
+    Workload& w = pool[static_cast<std::size_t>(i) % depth];
+    futures.push_back(
+        service.submit<float>(w.layout, w.data.span(), w.options, w.info));
+    ++r.submitted;
+  }
+  for (auto& f : futures) (void)f.wait();
+  r.elapsed_s = seconds_since(t0);
+  for (const auto& [name, snap] : obs::histograms_snapshot()) {
+    if (name == "svc.request_ns") r.request_ns = snap;
+    if (name == "svc.queue_ns") r.queue_ns = snap;
+  }
+  return r;
+}
+
+void print_hist(const char* name, const obs::HistogramSnapshot& s) {
+  std::cout << "  " << name << ": count=" << s.count
+            << " p50=" << s.p50 / 1e6 << "ms p95=" << s.p95 / 1e6
+            << "ms p99=" << s.p99 / 1e6 << "ms max=" << s.max / 1e6
+            << "ms\n";
+}
+
+void write_json(const std::string& path, int threads, double rate,
+                const PhaseResult& sync_r, const PhaseResult& svc_r,
+                const OpenLoopResult& ol, bool identical) {
+  std::ostringstream os;
+  os << "{\"bench\": \"load_service\", \"threads\": " << threads
+     << ", \"bit_identical\": " << (identical ? "true" : "false")
+     << ", \"sync\": {\"reqs_per_s\": " << sync_r.reqs_per_s
+     << ", \"gflops\": " << sync_r.gflops << "}"
+     << ", \"service\": {\"reqs_per_s\": " << svc_r.reqs_per_s
+     << ", \"gflops\": " << svc_r.gflops << "}"
+     << ", \"speedup\": " << svc_r.reqs_per_s / sync_r.reqs_per_s
+     << ", \"open_loop\": {\"rate\": " << rate
+     << ", \"submitted\": " << ol.submitted << ", \"late\": " << ol.late
+     << ", \"request_ns\": {\"p50\": " << ol.request_ns.p50
+     << ", \"p95\": " << ol.request_ns.p95
+     << ", \"p99\": " << ol.request_ns.p99
+     << ", \"max\": " << ol.request_ns.max << "}"
+     << ", \"queue_ns\": {\"p50\": " << ol.queue_ns.p50
+     << ", \"p95\": " << ol.queue_ns.p95
+     << ", \"p99\": " << ol.queue_ns.p99 << "}}}";
+  std::ofstream out(path);
+  IBCHOL_CHECK(out.good(), "cannot write " + path);
+  out << os.str() << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+int run(int argc, const char* const* argv) {
+  const Cli cli(argc, argv);
+  const double rate = cli.get_double("rate", 200.0);
+  const double duration_s = cli.get_double("duration", 1.0);
+  const std::string mix_spec = cli.get("mix", "8:2,16:2");
+  const auto batch = static_cast<std::int64_t>(cli.get_int("batch", 256));
+  const int requests = static_cast<int>(cli.get_int("requests", 40));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
+  const int grain = static_cast<int>(cli.get_int("grain", 1));
+  const int chunk = static_cast<int>(cli.get_int("chunk", 64));
+  const std::string json_path = cli.get("json", "");
+
+  const std::vector<MixEntry> mix = parse_mix(mix_spec);
+  svc::BatchService service(
+      {.num_threads = threads, .steal_grain = grain});
+
+  std::cout << "load_service: service threads=" << service.threads()
+            << " sync threads=" << cached_default_threads()
+            << " mix=" << mix_spec << " batch=" << batch << "\n\n";
+
+  // Phase 0: the service must be bit-identical before its speed means
+  // anything.
+  bool identical = true;
+  for (const MixEntry& e : mix) {
+    const bool ok = check_bit_identity(service, e.n, batch, chunk);
+    identical = identical && ok;
+    std::cout << "bit-identity n=" << e.n << ": "
+              << (ok ? "ok" : "MISMATCH") << "\n";
+  }
+
+  // The request pool realizes the mix by weight; 3 rotating buffers per
+  // mix slot bound the async in-flight depth.
+  std::vector<Workload> pool;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const MixEntry& e : mix) {
+      for (int w = 0; w < e.weight; ++w) {
+        pool.emplace_back(e.n, batch, chunk);
+      }
+    }
+  }
+
+  std::cout << "\nthroughput (" << requests << " requests):\n";
+  const PhaseResult sync_r = run_sync(pool, requests);
+  std::cout << "  sync:    " << sync_r.reqs_per_s << " req/s ("
+            << sync_r.gflops << " GFLOP/s)\n";
+  const PhaseResult svc_r = run_service_throughput(service, pool, requests);
+  std::cout << "  service: " << svc_r.reqs_per_s << " req/s ("
+            << svc_r.gflops << " GFLOP/s)\n";
+  std::cout << "  speedup: " << svc_r.reqs_per_s / sync_r.reqs_per_s
+            << "x\n";
+
+  std::cout << "\nopen loop (rate=" << rate << "/s for " << duration_s
+            << "s):\n";
+  const OpenLoopResult ol = run_open_loop(service, pool, rate, duration_s);
+  std::cout << "  submitted=" << ol.submitted << " late=" << ol.late
+            << " elapsed=" << ol.elapsed_s << "s\n";
+  print_hist("request latency", ol.request_ns);
+  print_hist("queue wait     ", ol.queue_ns);
+
+  if (!json_path.empty()) {
+    write_json(json_path, service.threads(), rate, sync_r, svc_r, ol,
+               identical);
+  }
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ibchol::bench
+
+int main(int argc, char** argv) {
+  try {
+    return ibchol::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "load_service: " << e.what() << "\n";
+    return 1;
+  }
+}

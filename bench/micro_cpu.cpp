@@ -32,6 +32,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_cholesky.hpp"
@@ -481,7 +482,9 @@ void write_exec_summary(const std::string& path, bool chunked, int chunk) {
   os << "{\n  \"bench\": \"micro_cpu\",\n  \"batch\": " << kBatch
      << ",\n  \"simd_isa\": \""
      << to_string(resolve_simd_isa(SimdIsa::kAuto))
-     << "\",\n  \"layout\": \"" << (chunked ? "chunked" : "interleaved")
+     << "\",\n  \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency()
+     << ",\n  \"layout\": \"" << (chunked ? "chunked" : "interleaved")
      << "\",\n  \"obs_enabled\": " << (obs::kEnabled ? "true" : "false")
      << ",\n  \"obs_inactive_span_ns\": " << span_ns
      << ",\n  \"summary\": [";

@@ -9,12 +9,43 @@ present in both files. Sizes only in one file are reported but never fail
 the gate (the sweep grid may grow). The comparison is only meaningful when
 both summaries measured the same layout; a mismatch fails loudly rather
 than gating apples against oranges.
+
+Exit codes:
+  0 — no regression past the threshold
+  1 — regression or layout mismatch (a real gate failure)
+  3 — environment mismatch: the recorded baseline was measured on a host
+      with a different core count (``hardware_concurrency``) or SIMD tier
+      (``simd_isa``). Absolute GF/s numbers from different hardware are not
+      comparable, so the gate declines to judge instead of reporting a
+      false regression (or a false pass). The caller should re-record the
+      baseline on the current host. Baselines from before these fields were
+      recorded compare permissively (no skip) so the first re-record
+      upgrades them in place.
 """
 
 import json
 import sys
 
 MAX_DROP = 0.15
+
+# Exit status for "environment differs from the baseline's; refusing to
+# judge" — distinct from a perf failure (1) so callers can re-record
+# instead of failing the build.
+EXIT_ENV_SKIP = 3
+
+# (json key, human name) pairs that pin a summary to its host environment.
+ENV_KEYS = (("hardware_concurrency", "core count"), ("simd_isa", "SIMD tier"))
+
+
+def env_mismatch(recorded, fresh):
+    """First environment field present in both docs but disagreeing, as a
+    printable description — or None when the environments are comparable."""
+    for key, name in ENV_KEYS:
+        old = recorded.get(key)
+        new = fresh.get(key)
+        if old is not None and new is not None and old != new:
+            return f"{name} ({key}: recorded {old!r}, fresh {new!r})"
+    return None
 
 
 def rows_by_n(doc):
@@ -57,6 +88,16 @@ def main(argv):
         recorded = json.load(f)
     with open(args[1]) as f:
         fresh = json.load(f)
+
+    mismatch = env_mismatch(recorded, fresh)
+    if mismatch is not None:
+        print(f"bench gate: environment mismatch: {mismatch}")
+        print(
+            "bench gate: baseline numbers are from different hardware; "
+            "skipping the comparison — re-record BENCH_cpu.json on this "
+            "host"
+        )
+        return EXIT_ENV_SKIP
 
     old_layout = recorded.get("layout", "chunked")
     new_layout = fresh.get("layout", "chunked")

@@ -24,13 +24,15 @@ GATE = (
 )
 
 
-def summary(layout, rows):
-    return {
+def summary(layout, rows, **env):
+    doc = {
         "bench": "micro_cpu",
         "batch": 4096,
         "layout": layout,
         "summary": rows,
     }
+    doc.update(env)
+    return doc
 
 
 def row(n, vec, stages=None):
@@ -123,6 +125,46 @@ def main():
     )
     failures += check("layout mismatch refuses", code == 1
                       and "layout mismatch" in out, out)
+
+    # Environment mismatch: a baseline recorded on a host with a different
+    # core count is not comparable — exit 3 (environmental skip), never 1,
+    # even when the numbers look like a huge regression.
+    code, out = run_gate(
+        summary("chunked", [row(8, 100.0)], hardware_concurrency=8),
+        summary("chunked", [row(8, 40.0)], hardware_concurrency=1),
+    )
+    failures += check("core-count mismatch skips with exit 3", code == 3, out)
+    failures += check("core-count mismatch names the field",
+                      "hardware_concurrency" in out, out)
+    failures += check("skip advises re-recording", "re-record" in out, out)
+
+    # Same for a SIMD-tier mismatch (baseline from an AVX-512 host gated on
+    # an AVX2 host, say).
+    code, out = run_gate(
+        summary("chunked", [row(8, 100.0)], simd_isa="avx512"),
+        summary("chunked", [row(8, 60.0)], simd_isa="avx2"),
+    )
+    failures += check("SIMD-tier mismatch skips with exit 3", code == 3, out)
+    failures += check("SIMD-tier mismatch names the field",
+                      "simd_isa" in out, out)
+
+    # Matching environments still gate normally...
+    code, out = run_gate(
+        summary("chunked", [row(8, 100.0)],
+                hardware_concurrency=4, simd_isa="avx2"),
+        summary("chunked", [row(8, 50.0)],
+                hardware_concurrency=4, simd_isa="avx2"),
+    )
+    failures += check("matching environment still gates", code == 1, out)
+
+    # ...and a pre-upgrade baseline with no environment fields compares
+    # permissively (no skip) so the first re-record upgrades it in place.
+    code, out = run_gate(
+        summary("chunked", [row(8, 100.0)]),
+        summary("chunked", [row(8, 100.0)], hardware_concurrency=4),
+    )
+    failures += check("legacy baseline without env fields still passes",
+                      code == 0, out)
 
     if failures:
         print(f"bench_gate_test: {failures} check(s) failed")

@@ -1,6 +1,27 @@
 #include "core/batch_cholesky.hpp"
 
+#include <cstdlib>
+
+#include "svc/batch_service.hpp"
+
 namespace ibchol {
+
+namespace {
+
+// Opt-in routing of the facade through the persistent service
+// (svc::BatchService::global()): set IBCHOL_SERVICE=1 in the environment.
+// Results are bit-identical to the synchronous path (units are
+// schedule-agnostic); what changes is the execution substrate — a
+// long-lived work-stealing pool instead of a per-call OpenMP team.
+bool use_service() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("IBCHOL_SERVICE");
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 TuningParams recommended_params(int n) {
   TuningParams p;
@@ -87,6 +108,11 @@ template <typename T>
 FactorResult BatchCholesky::factorize(std::span<T> data,
                                       std::span<std::int32_t> info) const {
   const CpuFactorOptions opts = to_cpu_options(params_, layout_.n(), triangle_);
+  if (use_service()) {
+    return svc::BatchService::global().factor<T>(
+        layout_, data, opts, info,
+        program_.has_value() ? &*program_ : nullptr);
+  }
   if (program_.has_value()) {
     return factor_batch_cpu_with_program<T>(layout_, data, *program_, opts,
                                             info);
@@ -99,6 +125,11 @@ RecoveryReport BatchCholesky::factorize_recover(
     std::span<T> data, const RecoveryOptions& recovery,
     std::span<std::int32_t> info) const {
   const CpuFactorOptions opts = to_cpu_options(params_, layout_.n(), triangle_);
+  if (use_service()) {
+    return svc::BatchService::global().recover<T>(
+        layout_, data, opts, recovery, info,
+        program_.has_value() ? &*program_ : nullptr);
+  }
   return factor_batch_recover<T>(layout_, data, opts, recovery, info,
                                  program_.has_value() ? &*program_ : nullptr);
 }

@@ -198,60 +198,51 @@ void merge_lane_info(const std::int32_t* local, std::int64_t start,
   }
 }
 
-// Everything the per-lane-block executor needs, resolved once before the
-// parallel region so the hot loop carries no re-resolution.
+// Runs the resolved executor for one lane block; `wm_scratch` is the
+// worker's whole-matrix scratch (null unless plan.need_wm_scratch).
 template <typename T>
-struct LaneExecutor {
-  CpuExec exec = CpuExec::kSpecialized;
-  bool whole_matrix = false;  ///< full unrolling
-  bool fused_spec = false;    ///< specialized fused whole-program kernel
-  MathMode math = MathMode::kIeee;
-  Triangle triangle = Triangle::kLower;
-  const TileProgram* program = nullptr;
-  const SpecializedProgram<T>* spec = nullptr;
-  const VecKernels<T>* vk = nullptr;
-  bool vec_nt_stores = false;  ///< run_program streaming stores (env hook)
-  int n = 0;
-  bool need_scratch = false;  ///< interpreter scratch-triangle fallback
-
-  // Runs one lane block; `scratch` is the thread's whole-matrix scratch
-  // (null unless need_scratch).
-  void run(T* base, std::int64_t estride, std::int32_t* local_info,
-           T* scratch) const {
-    if (exec == CpuExec::kVectorized) {
-      if (whole_matrix) {
-        // Fused (compile-time n), then the cache-blocked panel body once
-        // the lane block outgrows L1, then the unblocked runtime-n body,
-        // then the interpreter's scratch-triangle path past
-        // kMaxVecWholeDim.
-        if (vk->fused(n, math, base, estride, local_info, triangle)) return;
-        if (n >= kVecBlockedMinDim &&
-            vk->blocked(n, math, base, estride, local_info, triangle)) {
-          return;
-        }
-        if (vk->whole_matrix(n, math, base, estride, local_info, triangle)) {
-          return;
-        }
-        execute_whole_matrix_lane_block<T>(n, math, base, estride, local_info,
-                                           scratch, triangle);
-      } else {
-        vk->run_program(*program, math, base, estride, local_info, triangle,
-                        vec_nt_stores);
+inline void run_lane_block(const ChunkExecPlan<T>& plan, T* base,
+                           std::int64_t estride, std::int32_t* local_info,
+                           T* wm_scratch) {
+  if (plan.exec == CpuExec::kVectorized) {
+    if (plan.whole_matrix) {
+      // Fused (compile-time n), then the cache-blocked panel body once
+      // the lane block outgrows L1, then the unblocked runtime-n body,
+      // then the interpreter's scratch-triangle path past
+      // kMaxVecWholeDim.
+      if (plan.vk->fused(plan.n, plan.math, base, estride, local_info,
+                         plan.triangle)) {
+        return;
       }
-    } else if (fused_spec) {
-      execute_fused_lane_block<T>(n, math, base, estride, local_info,
-                                  triangle);
-    } else if (whole_matrix) {
-      execute_whole_matrix_lane_block<T>(n, math, base, estride, local_info,
-                                         scratch, triangle);
-    } else if (spec != nullptr) {
-      spec->run(base, estride, local_info, triangle);
+      if (plan.n >= kVecBlockedMinDim &&
+          plan.vk->blocked(plan.n, plan.math, base, estride, local_info,
+                           plan.triangle)) {
+        return;
+      }
+      if (plan.vk->whole_matrix(plan.n, plan.math, base, estride, local_info,
+                                plan.triangle)) {
+        return;
+      }
+      execute_whole_matrix_lane_block<T>(plan.n, plan.math, base, estride,
+                                         local_info, wm_scratch,
+                                         plan.triangle);
     } else {
-      execute_program_lane_block<T>(*program, math, base, estride, local_info,
-                                    triangle);
+      plan.vk->run_program(*plan.program, plan.math, base, estride, local_info,
+                           plan.triangle, plan.vec_nt_stores);
     }
+  } else if (plan.fused_spec) {
+    execute_fused_lane_block<T>(plan.n, plan.math, base, estride, local_info,
+                                plan.triangle);
+  } else if (plan.whole_matrix) {
+    execute_whole_matrix_lane_block<T>(plan.n, plan.math, base, estride,
+                                       local_info, wm_scratch, plan.triangle);
+  } else if (plan.spec != nullptr) {
+    plan.spec->run(base, estride, local_info, plan.triangle);
+  } else {
+    execute_program_lane_block<T>(*plan.program, plan.math, base, estride,
+                                  local_info, plan.triangle);
   }
-};
+}
 
 // Env override for the write-back policy: IBCHOL_CHUNK_NT=1 forces
 // streaming stores, =0 forbids them, unset defers to the footprint rule.
@@ -262,9 +253,28 @@ bool resolve_nt_stores(std::size_t batch_bytes) {
   return batch_bytes >= kNtStoreMinBytes;
 }
 
-// Tallies one executor dispatch. IBCHOL_COUNT caches its registry lookup
-// per call site, so each executor needs its own literal.
-void count_exec_dispatch(CpuExec exec) {
+}  // namespace
+
+void fold_unit_counters(const ChunkUnitCounters& counters) {
+  if (counters.packed_units > 0) {
+    IBCHOL_COUNT("pipeline.packed_chunks", counters.packed_units);
+  }
+  if (counters.inplace_lane_blocks > 0) {
+    IBCHOL_COUNT("pipeline.inplace_lane_blocks",
+                 counters.inplace_lane_blocks);
+  }
+  if (counters.prefetched_lane_blocks > 0) {
+    IBCHOL_COUNT("pipeline.prefetched_lane_blocks",
+                 counters.prefetched_lane_blocks);
+  }
+  if (counters.nt_store_bytes > 0) {
+    IBCHOL_COUNT("pipeline.nt_store_bytes", counters.nt_store_bytes);
+  }
+}
+
+// IBCHOL_COUNT caches its registry lookup per call site, so each executor
+// needs its own literal.
+void note_exec_dispatch(CpuExec exec) {
   switch (exec) {
     case CpuExec::kInterpreter:
       IBCHOL_COUNT("cpu.exec.interpreter", 1);
@@ -280,68 +290,57 @@ void count_exec_dispatch(CpuExec exec) {
   }
 }
 
-}  // namespace
-
 template <typename T>
-FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
-                                const TileProgram* program,
-                                const CpuFactorOptions& options,
-                                std::span<std::int32_t> info) {
+ChunkExecPlan<T> plan_chunk_exec(const BatchLayout& layout, const T* data,
+                                 const TileProgram* program,
+                                 const CpuFactorOptions& options) {
   IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
                "the chunk pipeline runs interleaved layouts");
-  const int n = layout.n();
-  IBCHOL_TRACE_SPAN("chunk_pipeline", "cpu", n);
+  ChunkExecPlan<T> plan;
+  plan.layout = layout;
+  plan.n = layout.n();
 
   // kAuto: consult the measured dispatch table. When it picks the
   // vectorized executor the whole-matrix pipeline (fused/blocked) is the
   // winning strategy at every supported n, so full unrolling is implied;
   // when it picks the specialized executor the caller's unrolling choice
   // stands (the table only fires for n where both unrollings are valid).
-  CpuExec exec = options.exec;
-  bool whole_matrix = options.unroll == Unroll::kFull;
-  if (exec == CpuExec::kAuto) {
-    exec = resolve_cpu_exec(n, options.isa);
-    if (exec == CpuExec::kVectorized) whole_matrix = true;
+  plan.exec = options.exec;
+  plan.whole_matrix = options.unroll == Unroll::kFull;
+  if (plan.exec == CpuExec::kAuto) {
+    plan.exec = resolve_cpu_exec(plan.n, options.isa);
+    if (plan.exec == CpuExec::kVectorized) plan.whole_matrix = true;
   }
-  count_exec_dispatch(exec);
-  IBCHOL_CHECK(whole_matrix || program != nullptr,
+  IBCHOL_CHECK(plan.whole_matrix || program != nullptr,
                "partial unrolling requires a tile program");
 
-  LaneExecutor<T> ex;
-  ex.exec = exec;
-  ex.whole_matrix = whole_matrix;
-  ex.math = options.math;
-  ex.triangle = options.triangle;
-  ex.program = program;
-  ex.n = n;
-  ex.fused_spec = exec == CpuExec::kSpecialized && whole_matrix &&
-                  n <= kMaxFusedDim;
-  std::optional<SpecializedProgram<T>> spec;
-  if (exec == CpuExec::kSpecialized && !whole_matrix) {
-    spec.emplace(*program, options.math);
-    ex.spec = &*spec;
-  }
-  if (exec == CpuExec::kVectorized) {
+  plan.math = options.math;
+  plan.triangle = options.triangle;
+  plan.program = program;
+  plan.fused_spec = plan.exec == CpuExec::kSpecialized && plan.whole_matrix &&
+                    plan.n <= kMaxFusedDim;
+  if (plan.exec == CpuExec::kVectorized) {
     // Tier resolution (cpuid + IBCHOL_SIMD_ISA override) happens once, out
     // here; the intrinsic bodies then run with no per-block branching.
-    ex.vk = &vec_kernels<T>(options.isa);
-    ex.vec_nt_stores = std::getenv("IBCHOL_VEC_NT_STORES") != nullptr;
+    plan.vk = &vec_kernels<T>(options.isa);
+    plan.vec_nt_stores = std::getenv("IBCHOL_VEC_NT_STORES") != nullptr;
   }
-  ex.need_scratch =
-      whole_matrix && (exec == CpuExec::kVectorized
-                           ? n > kMaxVecWholeDim
-                           : !ex.fused_spec);
+  plan.need_wm_scratch =
+      plan.whole_matrix && (plan.exec == CpuExec::kVectorized
+                                ? plan.n > kMaxVecWholeDim
+                                : !plan.fused_spec);
+  plan.wm_scratch_elems =
+      plan.need_wm_scratch ? whole_matrix_scratch_elems(plan.n) : 0;
 
   const std::int64_t padded = layout.padded_batch();
-  const std::int64_t batch = layout.batch();
+  const std::int64_t elems = static_cast<std::int64_t>(plan.n) * plan.n;
 
   // Pack only the simple-interleaved layout, only when a chunk is a strict
   // subset of the batch (otherwise scratch would be a copy of the whole
   // buffer with the identical stride), and never for the interpreter,
   // which stays the untouched oracle path.
-  int pack_lanes = 0;
   if (layout.kind() == LayoutKind::kInterleaved &&
-      exec != CpuExec::kInterpreter) {
+      plan.exec != CpuExec::kInterpreter) {
     // Automatic sizing only packs once the batch has clearly outgrown the
     // cache hierarchy (pack_threshold_bytes); below that the in-place
     // sweeps hit cache anyway and the pack/unpack round trip is pure
@@ -349,20 +348,20 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
     // always honored.
     std::int64_t c = options.chunk_size;
     if (c == 0 && layout.size_elems() * sizeof(T) >= pack_threshold_bytes()) {
-      c = chunk_scratch_lanes(n, sizeof(T));
+      c = chunk_scratch_lanes(plan.n, sizeof(T));
     }
     IBCHOL_CHECK(c % kLaneBlock == 0,
                  "pipeline chunk size must be a multiple of the lane block");
-    if (c > 0 && c < padded) pack_lanes = static_cast<int>(c);
+    if (c > 0 && c < padded) plan.pack_lanes = static_cast<int>(c);
   }
 
-  if (exec == CpuExec::kVectorized && pack_lanes == 0) {
+  if (plan.exec == CpuExec::kVectorized && plan.pack_lanes == 0) {
     // In-place execution issues aligned vector loads/stores straight into
     // the caller's buffer; AlignedBuffer plus the interleaved layouts
     // guarantee this by construction. (The packed path runs on its own
     // scratch, which is aligned by construction, and touches the caller's
     // buffer only through memcpy/streaming rows.)
-    IBCHOL_CHECK(reinterpret_cast<std::uintptr_t>(data.data()) % 64 == 0,
+    IBCHOL_CHECK(reinterpret_cast<std::uintptr_t>(data) % 64 == 0,
                  "vectorized executor requires 64-byte aligned batch data "
                  "(use AlignedBuffer)");
     IBCHOL_CHECK(
@@ -371,115 +370,147 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
         "of 64 bytes");
   }
 
-  std::int64_t failed = 0;
-  std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
-  const std::int64_t elems = static_cast<std::int64_t>(n) * n;
+  if (plan.pack_lanes > 0) {
+    plan.unit_lanes = plan.pack_lanes;
+    plan.nt_stores = resolve_nt_stores(layout.size_elems() * sizeof(T));
+    plan.pack_scratch_elems =
+        static_cast<std::size_t>(elems) * plan.pack_lanes;
+  } else if (layout.kind() == LayoutKind::kInterleavedChunked) {
+    // The address map is already chunk-local; one unit per layout chunk
+    // keeps a whole chunk on one worker, the schedule the layout exists
+    // for.
+    plan.unit_lanes = layout.chunk();
+  } else {
+    // Simple interleaved batch small enough to stay in place: the unit is
+    // a locality granule of the same size the pack scratch would use, so
+    // the traversal still walks a cache-sized window of lanes at a time.
+    plan.unit_lanes =
+        std::min<std::int64_t>(padded, chunk_scratch_lanes(plan.n, sizeof(T)));
+  }
+  plan.num_units = (padded + plan.unit_lanes - 1) / plan.unit_lanes;
+  return plan;
+}
 
-  if (pack_lanes > 0) {
-    const bool nt =
-        resolve_nt_stores(layout.size_elems() * sizeof(T));
-    const std::int64_t nchunks = (padded + pack_lanes - 1) / pack_lanes;
-#pragma omp parallel num_threads(resolve_threads(options.num_threads))
-    {
-      AlignedBuffer<T> scratch(static_cast<std::size_t>(elems) * pack_lanes);
-      std::vector<T> wm_scratch;
-      if (ex.need_scratch) wm_scratch.resize(whole_matrix_scratch_elems(n));
-      std::int64_t local_failed = 0;
-      std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
-      // Counter deltas accumulate in plain thread-locals and fold into
-      // the shared registry once per thread — the hot loop never touches
-      // an atomic.
-      std::int64_t local_chunks = 0;
-      std::int64_t local_prefetches = 0;
-      std::int64_t local_nt_bytes = 0;
-#pragma omp for schedule(static)
-      for (std::int64_t c = 0; c < nchunks; ++c) {
-        const std::int64_t c0 = c * pack_lanes;
-        const std::int64_t lanes =
-            std::min<std::int64_t>(pack_lanes, padded - c0);
-        {
-          IBCHOL_TRACE_SPAN("pack", "pipeline", c);
-          pack_chunk(data.data() + c0, padded, scratch.data(), lanes, elems);
-        }
-        {
-          IBCHOL_TRACE_SPAN("factor", "pipeline", c);
-          for (std::int64_t b = 0; b < lanes; b += kLaneBlock) {
-            if (b + kLaneBlock < lanes) {
-              prefetch_lane_block(scratch.data() + b + kLaneBlock, n, lanes);
-              ++local_prefetches;
-            }
-            alignas(64) std::int32_t local_info[kLaneBlock] = {};
-            ex.run(scratch.data() + b, lanes, local_info, wm_scratch.data());
-            const std::int64_t start = c0 + b;
-            if (start < batch) {
-              merge_lane_info(local_info, start, batch, info, local_failed,
-                              local_first);
-            }
-          }
-        }
-        {
-          IBCHOL_TRACE_SPAN("writeback", "pipeline", c);
-          unpack_chunk(scratch.data(), lanes, data.data() + c0, padded, elems,
-                       nt);
-        }
-        ++local_chunks;
-        if (nt) local_nt_bytes += elems * lanes * sizeof(T);
+template <typename T>
+void pack_unit(const ChunkExecPlan<T>& plan, const T* data, std::int64_t unit,
+               T* scratch) {
+  IBCHOL_TRACE_SPAN("pack", "pipeline", unit);
+  const std::int64_t c0 = plan.first_lane(unit);
+  pack_chunk(data + c0, plan.layout.padded_batch(), scratch,
+             plan.lanes_of(unit),
+             static_cast<std::int64_t>(plan.n) * plan.n);
+}
+
+template <typename T>
+void factor_unit(const ChunkExecPlan<T>& plan, T* data, std::int64_t unit,
+                 T* pack_scratch, T* wm_scratch, std::span<std::int32_t> info,
+                 std::int64_t& failed, std::int64_t& first_failed,
+                 ChunkUnitCounters& counters) {
+  IBCHOL_TRACE_SPAN("factor", "pipeline", unit);
+  const std::int64_t batch = plan.layout.batch();
+  const std::int64_t c0 = plan.first_lane(unit);
+  const std::int64_t lanes = plan.lanes_of(unit);
+
+  if (plan.pack_lanes > 0) {
+    for (std::int64_t b = 0; b < lanes; b += kLaneBlock) {
+      if (b + kLaneBlock < lanes) {
+        prefetch_lane_block(pack_scratch + b + kLaneBlock, plan.n, lanes);
+        ++counters.prefetched_lane_blocks;
       }
-      if (local_chunks > 0) {
-        IBCHOL_COUNT("pipeline.packed_chunks", local_chunks);
-        IBCHOL_COUNT("pipeline.prefetched_lane_blocks", local_prefetches);
-        if (local_nt_bytes > 0) {
-          IBCHOL_COUNT("pipeline.nt_store_bytes", local_nt_bytes);
-        }
-      }
-#pragma omp critical
-      {
-        failed += local_failed;
-        first_failed = std::min(first_failed, local_first);
+      alignas(64) std::int32_t local_info[kLaneBlock] = {};
+      run_lane_block(plan, pack_scratch + b, lanes, local_info, wm_scratch);
+      const std::int64_t start = c0 + b;
+      if (start < batch) {
+        merge_lane_info(local_info, start, batch, info, failed, first_failed);
       }
     }
-    return finalize_factor_result(failed, first_failed);
+    ++counters.packed_units;
+    return;
   }
 
-  // In-place path: chunked layouts are chunk-resident by address map, and
-  // lane blocks of one chunk are adjacent, so walking blocks in order under
-  // a static schedule is the chunk-by-chunk traversal.
-  const std::int64_t blocks = padded / kLaneBlock;
-  const std::int64_t chunk = layout.chunk();
+  // In-place: chunked layouts are chunk-resident by address map, and lane
+  // blocks of one chunk are adjacent, so walking the unit's blocks in order
+  // is the chunk-by-chunk traversal.
+  const std::int64_t chunk = plan.layout.chunk();
+  for (std::int64_t b = 0; b < lanes; b += kLaneBlock) {
+    const std::int64_t start = c0 + b;
+    T* base = data + plan.layout.chunk_base(start) + (start % chunk);
+    if ((start + kLaneBlock) % chunk != 0) {
+      // Next lane block lives in the same chunk, one block over.
+      prefetch_lane_block(base + kLaneBlock, plan.n, chunk);
+      ++counters.prefetched_lane_blocks;
+    }
+    alignas(64) std::int32_t local_info[kLaneBlock] = {};
+    run_lane_block(plan, base, chunk, local_info, wm_scratch);
+    if (start < batch) {
+      merge_lane_info(local_info, start, batch, info, failed, first_failed);
+    }
+    ++counters.inplace_lane_blocks;
+  }
+}
+
+template <typename T>
+void writeback_unit(const ChunkExecPlan<T>& plan, const T* scratch, T* data,
+                    std::int64_t unit, ChunkUnitCounters& counters) {
+  IBCHOL_TRACE_SPAN("writeback", "pipeline", unit);
+  const std::int64_t c0 = plan.first_lane(unit);
+  const std::int64_t lanes = plan.lanes_of(unit);
+  const std::int64_t elems = static_cast<std::int64_t>(plan.n) * plan.n;
+  unpack_chunk(scratch, lanes, data + c0, plan.layout.padded_batch(), elems,
+               plan.nt_stores);
+  if (plan.nt_stores) counters.nt_store_bytes += elems * lanes * sizeof(T);
+}
+
+template <typename T>
+void run_unit(const ChunkExecPlan<T>& plan, T* data, std::int64_t unit,
+              T* pack_scratch, T* wm_scratch, std::span<std::int32_t> info,
+              std::int64_t& failed, std::int64_t& first_failed,
+              ChunkUnitCounters& counters) {
+  if (plan.pack_lanes > 0) {
+    pack_unit(plan, data, unit, pack_scratch);
+    factor_unit(plan, data, unit, pack_scratch, wm_scratch, info, failed,
+                first_failed, counters);
+    writeback_unit(plan, pack_scratch, data, unit, counters);
+  } else {
+    factor_unit(plan, data, unit, pack_scratch, wm_scratch, info, failed,
+                first_failed, counters);
+  }
+}
+
+template <typename T>
+FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
+                                const TileProgram* program,
+                                const CpuFactorOptions& options,
+                                std::span<std::int32_t> info) {
+  IBCHOL_TRACE_SPAN("chunk_pipeline", "cpu", layout.n());
+  ChunkExecPlan<T> plan =
+      plan_chunk_exec<T>(layout, data.data(), program, options);
+  note_exec_dispatch(plan.exec);
+  std::optional<SpecializedProgram<T>> spec;
+  if (plan.needs_spec_program()) {
+    spec.emplace(*program, options.math);
+    plan.spec = &*spec;
+  }
+
+  std::int64_t failed = 0;
+  std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
+
 #pragma omp parallel num_threads(resolve_threads(options.num_threads))
   {
-    std::vector<T> wm_scratch;
-    if (ex.need_scratch) wm_scratch.resize(whole_matrix_scratch_elems(n));
+    AlignedBuffer<T> scratch(plan.pack_scratch_elems);
+    std::vector<T> wm_scratch(plan.wm_scratch_elems);
     std::int64_t local_failed = 0;
     std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
-    std::int64_t local_blocks = 0;
-    std::int64_t local_prefetches = 0;
+    // Counter deltas accumulate in plain thread-locals and fold into the
+    // shared registry once per thread — the hot loop never touches an
+    // atomic.
+    ChunkUnitCounters counters;
 #pragma omp for schedule(static)
-    for (std::int64_t blk = 0; blk < blocks; ++blk) {
-      const std::int64_t start = blk * kLaneBlock;
-      T* base =
-          data.data() + layout.chunk_base(start) + (start % chunk);
-      if ((start + kLaneBlock) % chunk != 0) {
-        // Next lane block lives in the same chunk, one block over.
-        prefetch_lane_block(base + kLaneBlock, n, chunk);
-        ++local_prefetches;
-      }
-      // One factor span per lane block, tagged with the chunk it lives
-      // in — the in-place path has no pack/write-back stages, so this is
-      // the whole per-chunk story.
-      IBCHOL_TRACE_SPAN("factor", "pipeline", start / chunk);
-      alignas(64) std::int32_t local_info[kLaneBlock] = {};
-      ex.run(base, chunk, local_info, wm_scratch.data());
-      if (start < batch) {
-        merge_lane_info(local_info, start, batch, info, local_failed,
-                        local_first);
-      }
-      ++local_blocks;
+    for (std::int64_t u = 0; u < plan.num_units; ++u) {
+      run_unit(plan, data.data(), u, scratch.data(), wm_scratch.data(), info,
+               local_failed, local_first, counters);
     }
-    if (local_blocks > 0) {
-      IBCHOL_COUNT("pipeline.inplace_lane_blocks", local_blocks);
-      IBCHOL_COUNT("pipeline.prefetched_lane_blocks", local_prefetches);
-    }
+    fold_unit_counters(counters);
 #pragma omp critical
     {
       failed += local_failed;
@@ -497,15 +528,28 @@ template void unpack_chunk<float>(const float*, std::int64_t, float*,
                                   std::int64_t, std::int64_t, bool);
 template void unpack_chunk<double>(const double*, std::int64_t, double*,
                                    std::int64_t, std::int64_t, bool);
-template FactorResult run_chunk_pipeline<float>(const BatchLayout&,
-                                                std::span<float>,
-                                                const TileProgram*,
-                                                const CpuFactorOptions&,
-                                                std::span<std::int32_t>);
-template FactorResult run_chunk_pipeline<double>(const BatchLayout&,
-                                                 std::span<double>,
-                                                 const TileProgram*,
-                                                 const CpuFactorOptions&,
-                                                 std::span<std::int32_t>);
+
+#define IBCHOL_INSTANTIATE_PLAN(T)                                          \
+  template ChunkExecPlan<T> plan_chunk_exec<T>(                             \
+      const BatchLayout&, const T*, const TileProgram*,                     \
+      const CpuFactorOptions&);                                             \
+  template void pack_unit<T>(const ChunkExecPlan<T>&, const T*,             \
+                             std::int64_t, T*);                             \
+  template void factor_unit<T>(const ChunkExecPlan<T>&, T*, std::int64_t,   \
+                               T*, T*, std::span<std::int32_t>,             \
+                               std::int64_t&, std::int64_t&,                \
+                               ChunkUnitCounters&);                         \
+  template void writeback_unit<T>(const ChunkExecPlan<T>&, const T*, T*,    \
+                                  std::int64_t, ChunkUnitCounters&);        \
+  template void run_unit<T>(const ChunkExecPlan<T>&, T*, std::int64_t, T*,  \
+                            T*, std::span<std::int32_t>, std::int64_t&,     \
+                            std::int64_t&, ChunkUnitCounters&);             \
+  template FactorResult run_chunk_pipeline<T>(                              \
+      const BatchLayout&, std::span<T>, const TileProgram*,                 \
+      const CpuFactorOptions&, std::span<std::int32_t>);
+
+IBCHOL_INSTANTIATE_PLAN(float)
+IBCHOL_INSTANTIATE_PLAN(double)
+#undef IBCHOL_INSTANTIATE_PLAN
 
 }  // namespace ibchol

@@ -100,6 +100,127 @@ void unpack_chunk(const T* src, std::int64_t lanes, T* dst,
                   std::int64_t dst_stride, std::int64_t elems,
                   bool nt_stores);
 
+template <typename T>
+class SpecializedProgram;
+template <typename T>
+struct VecKernels;
+
+/// Per-worker pipeline event tallies, accumulated in plain integers on the
+/// hot path and folded into the obs counter registry once per worker (see
+/// fold_unit_counters). Both the OpenMP driver and the persistent service
+/// workers (src/svc/) use this so a counter never costs per-lane-block
+/// atomics.
+struct ChunkUnitCounters {
+  std::int64_t packed_units = 0;
+  std::int64_t inplace_lane_blocks = 0;
+  std::int64_t prefetched_lane_blocks = 0;
+  std::int64_t nt_store_bytes = 0;
+};
+
+/// Folds nonzero tallies into the "pipeline.*" obs counters.
+void fold_unit_counters(const ChunkUnitCounters& counters);
+
+/// Tallies one executor dispatch in the "cpu.exec.*" obs counters. `exec`
+/// must be a resolved executor (never kAuto).
+void note_exec_dispatch(CpuExec exec);
+
+/// Everything one interleaved-layout factorization resolves before its hot
+/// loop, plus the unit geometry that loop iterates over. A *unit* is the
+/// pipeline's scheduling granule: one packed chunk of pack_lanes lanes when
+/// the batch is staged through scratch, otherwise unit_lanes consecutive
+/// lanes of the in-place traversal (one layout chunk for the chunked
+/// layout). Units are independent — any thread may run any unit in any
+/// order and the factor bits are identical — which is what lets the
+/// persistent work-stealing service (src/svc/) drive the same stage
+/// functions as the OpenMP driver below.
+///
+/// The struct holds non-owning pointers only (program/spec/vk outlive the
+/// run; spec is set by the caller when needs_spec_program()), so a plan is
+/// trivially copyable and can live in a pooled request slot without heap
+/// traffic.
+template <typename T>
+struct ChunkExecPlan {
+  BatchLayout layout = BatchLayout::interleaved(1, 1);
+  int n = 0;
+  CpuExec exec = CpuExec::kSpecialized;
+  bool whole_matrix = false;  ///< full unrolling
+  bool fused_spec = false;    ///< specialized fused whole-program kernel
+  MathMode math = MathMode::kIeee;
+  Triangle triangle = Triangle::kLower;
+  const TileProgram* program = nullptr;
+  const SpecializedProgram<T>* spec = nullptr;
+  const VecKernels<T>* vk = nullptr;
+  bool vec_nt_stores = false;  ///< run_program streaming stores (env hook)
+  bool need_wm_scratch = false;  ///< interpreter scratch-triangle fallback
+
+  std::int64_t unit_lanes = 0;  ///< lanes per unit (multiple of kLaneBlock)
+  std::int64_t num_units = 0;
+  int pack_lanes = 0;    ///< >0: units stage through pack scratch
+  bool nt_stores = false;  ///< packed write-back streams past the caches
+  std::size_t pack_scratch_elems = 0;  ///< n²·pack_lanes, 0 when in-place
+  std::size_t wm_scratch_elems = 0;    ///< per-worker whole-matrix scratch
+
+  /// True when the caller must bind a SpecializedProgram (specialized
+  /// executor, partial unrolling) into `spec` before running units.
+  [[nodiscard]] bool needs_spec_program() const noexcept {
+    return exec == CpuExec::kSpecialized && !whole_matrix && !fused_spec;
+  }
+
+  [[nodiscard]] std::int64_t first_lane(std::int64_t unit) const noexcept {
+    return unit * unit_lanes;
+  }
+  [[nodiscard]] std::int64_t lanes_of(std::int64_t unit) const noexcept {
+    const std::int64_t rest = layout.padded_batch() - first_lane(unit);
+    return rest < unit_lanes ? rest : unit_lanes;
+  }
+};
+
+/// Resolves the execution plan for one batch: kAuto dispatch, the packing
+/// decision (pack_threshold_bytes / explicit chunk_size), the write-back
+/// policy, alignment checks for the in-place vectorized path, and the unit
+/// geometry. `data` is only inspected for alignment, never dereferenced.
+/// Throws on the same precondition violations run_chunk_pipeline always
+/// rejected.
+template <typename T>
+[[nodiscard]] ChunkExecPlan<T> plan_chunk_exec(const BatchLayout& layout,
+                                               const T* data,
+                                               const TileProgram* program,
+                                               const CpuFactorOptions& options);
+
+/// Stage 1 of a packed unit: copies the unit's lanes from the interleaved
+/// batch into chunk scratch (pack_scratch_elems elements). Packed plans
+/// only.
+template <typename T>
+void pack_unit(const ChunkExecPlan<T>& plan, const T* data, std::int64_t unit,
+               T* scratch);
+
+/// Stage 2: factors every lane block of the unit — over `pack_scratch` for
+/// packed plans (after pack_unit), in place otherwise (`pack_scratch` may
+/// be null). `wm_scratch` must hold wm_scratch_elems elements when
+/// need_wm_scratch. Per-matrix statuses for the unit's non-padding lanes
+/// land in `info` (when non-empty) and the reduction-local counters.
+template <typename T>
+void factor_unit(const ChunkExecPlan<T>& plan, T* data, std::int64_t unit,
+                 T* pack_scratch, T* wm_scratch, std::span<std::int32_t> info,
+                 std::int64_t& failed, std::int64_t& first_failed,
+                 ChunkUnitCounters& counters);
+
+/// Stage 3 of a packed unit: writes the factored scratch back into the
+/// batch, with non-temporal streaming stores when the plan calls for them.
+template <typename T>
+void writeback_unit(const ChunkExecPlan<T>& plan, const T* scratch, T* data,
+                    std::int64_t unit, ChunkUnitCounters& counters);
+
+/// All stages of one unit back to back — the synchronous (non-overlapped)
+/// schedule the OpenMP driver uses. The service's workers instead call the
+/// stages directly so the pack of unit k+1 can overlap the write-back of
+/// unit k (double buffering).
+template <typename T>
+void run_unit(const ChunkExecPlan<T>& plan, T* data, std::int64_t unit,
+              T* pack_scratch, T* wm_scratch, std::span<std::int32_t> info,
+              std::int64_t& failed, std::int64_t& first_failed,
+              ChunkUnitCounters& counters);
+
 /// Factors an interleaved-layout batch through the chunk-resident
 /// pipeline. `program` may be null when no tile program is needed (full
 /// unrolling, or kAuto resolving to a programless path). This is the

@@ -79,11 +79,12 @@ std::vector<std::uint8_t> screen_triangle(const BatchLayout& layout,
   return bad;
 }
 
-// Dispatches exactly like BatchCholesky::factorize: the caller's prebuilt
+// The default factorization backend (RecoverFactorFn signature):
+// dispatches exactly like BatchCholesky::factorize — the caller's prebuilt
 // tile program when one applies, the plain driver otherwise.
 template <typename T>
-FactorResult run_factor(const BatchLayout& layout, std::span<T> data,
-                        const CpuFactorOptions& options,
+FactorResult run_factor(void* /*ctx*/, const BatchLayout& layout,
+                        std::span<T> data, const CpuFactorOptions& options,
                         const TileProgram* program,
                         std::span<std::int32_t> info) {
   if (program != nullptr && layout.kind() != LayoutKind::kCanonical &&
@@ -147,6 +148,18 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
                                     const RecoveryOptions& recovery,
                                     std::span<std::int32_t> info,
                                     const TileProgram* program) {
+  return factor_batch_recover_via<T>(&run_factor<T>, nullptr, layout, data,
+                                     options, recovery, info, program);
+}
+
+template <typename T>
+RecoveryReport factor_batch_recover_via(RecoverFactorFn<T> factor_fn,
+                                        void* ctx, const BatchLayout& layout,
+                                        std::span<T> data,
+                                        const CpuFactorOptions& options,
+                                        const RecoveryOptions& recovery,
+                                        std::span<std::int32_t> info,
+                                        const TileProgram* program) {
   IBCHOL_CHECK(data.size() >= layout.size_elems(),
                "data span too small for layout " + layout.to_string());
   IBCHOL_CHECK(info.empty() ||
@@ -225,7 +238,7 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
   // 3. First factorization pass over the whole batch.
   {
     IBCHOL_TRACE_SPAN("first_pass", "recover", batch);
-    (void)run_factor<T>(layout, data, options, program, st);
+    (void)factor_fn(ctx, layout, data, options, program, st);
   }
 
   // 4. Hand non-finite inputs back untouched under the distinct code.
@@ -304,8 +317,7 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
     fill_padding_identity<T>(rlayout, rdata.span());
 
     std::vector<std::int32_t> rinfo(pending.size());
-    (void)run_factor<T>(rlayout, rdata.span(), options, program,
-                        rinfo);
+    (void)factor_fn(ctx, rlayout, rdata.span(), options, program, rinfo);
 
     std::vector<std::int64_t> still;
     for (std::int64_t k = 0; k < m; ++k) {
@@ -348,5 +360,13 @@ template RecoveryReport factor_batch_recover<float>(
 template RecoveryReport factor_batch_recover<double>(
     const BatchLayout&, std::span<double>, const CpuFactorOptions&,
     const RecoveryOptions&, std::span<std::int32_t>, const TileProgram*);
+template RecoveryReport factor_batch_recover_via<float>(
+    RecoverFactorFn<float>, void*, const BatchLayout&, std::span<float>,
+    const CpuFactorOptions&, const RecoveryOptions&, std::span<std::int32_t>,
+    const TileProgram*);
+template RecoveryReport factor_batch_recover_via<double>(
+    RecoverFactorFn<double>, void*, const BatchLayout&, std::span<double>,
+    const CpuFactorOptions&, const RecoveryOptions&, std::span<std::int32_t>,
+    const TileProgram*);
 
 }  // namespace ibchol

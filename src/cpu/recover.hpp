@@ -95,4 +95,30 @@ RecoveryReport factor_batch_recover(const BatchLayout& layout,
                                     std::span<std::int32_t> info = {},
                                     const TileProgram* program = nullptr);
 
+/// Pluggable factorization backend for the recovery driver: invoked for
+/// the first whole-batch pass and for every shifted-retry sub-batch, with
+/// the same contract as factor_batch_cpu(_with_program). `ctx` is the
+/// caller's closure state (a function pointer + void* rather than
+/// std::function keeps the recovery path allocation-free and lets higher
+/// layers — the service in src/svc/ — plug in without this layer
+/// depending on them).
+template <typename T>
+using RecoverFactorFn = FactorResult (*)(void* ctx, const BatchLayout& layout,
+                                         std::span<T> data,
+                                         const CpuFactorOptions& options,
+                                         const TileProgram* program,
+                                         std::span<std::int32_t> info);
+
+/// factor_batch_recover with every factorization pass routed through
+/// `factor_fn` instead of the built-in OpenMP driver. factor_batch_recover
+/// is this with the plain driver plugged in.
+template <typename T>
+RecoveryReport factor_batch_recover_via(RecoverFactorFn<T> factor_fn,
+                                        void* ctx, const BatchLayout& layout,
+                                        std::span<T> data,
+                                        const CpuFactorOptions& options,
+                                        const RecoveryOptions& recovery,
+                                        std::span<std::int32_t> info = {},
+                                        const TileProgram* program = nullptr);
+
 }  // namespace ibchol

@@ -9,10 +9,21 @@
 
 namespace ibchol {
 
+/// The process's default worker count, resolved from the OpenMP runtime
+/// exactly once (first call) and cached. The runtime answer cannot change
+/// after startup in this codebase (nothing calls omp_set_num_threads), and
+/// resolving it per factorization call made every driver invocation pay a
+/// libgomp query on its hot path; the persistent service additionally
+/// freezes its pool size from this value for its whole lifetime.
+inline int cached_default_threads() {
+  static const int count = omp_get_max_threads();
+  return count;
+}
+
 /// Resolves a requested thread count: positive values are taken verbatim,
-/// zero (and negatives) fall back to omp_get_max_threads().
+/// zero (and negatives) fall back to the cached OpenMP default.
 inline int resolve_threads(int requested) {
-  return requested > 0 ? requested : omp_get_max_threads();
+  return requested > 0 ? requested : cached_default_threads();
 }
 
 }  // namespace ibchol

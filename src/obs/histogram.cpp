@@ -1,0 +1,95 @@
+#include "obs/histogram.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ibchol::obs {
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  std::uint64_t counts[kNumBuckets];
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count += counts[b];
+  }
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+
+  // Walk the cumulative distribution once for all four quantiles. The
+  // rank convention is "smallest value with cumulative count >= q*count"
+  // (nearest-rank), reported as the bucket midpoint.
+  struct Q {
+    double q;
+    double* out;
+  };
+  Q quantiles[] = {{0.50, &s.p50}, {0.90, &s.p90}, {0.95, &s.p95},
+                   {0.99, &s.p99}};
+  std::size_t qi = 0;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kNumBuckets && qi < std::size(quantiles); ++b) {
+    cum += counts[b];
+    while (qi < std::size(quantiles) &&
+           static_cast<double>(cum) >=
+               quantiles[qi].q * static_cast<double>(s.count)) {
+      *quantiles[qi].out = bucket_mid(b);
+      ++qi;
+    }
+  }
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Leaked for the same shutdown-ordering reason as the counter registry:
+// IBCHOL_HIST sites hold references into it for the process lifetime.
+struct HistogramRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+HistogramRegistry& registry() {
+  static HistogramRegistry* r = new HistogramRegistry;
+  return *r;
+}
+
+}  // namespace
+
+Histogram& histogram(std::string_view name) {
+  HistogramRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.histograms.find(name);
+  if (it != reg.histograms.end()) return *it->second;
+  return *reg.histograms
+              .emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> histograms_snapshot() {
+  HistogramRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(reg.histograms.size());
+  for (const auto& [name, h] : reg.histograms) {
+    out.emplace_back(name, h->snapshot());
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void reset_histograms() {
+  HistogramRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, h] : reg.histograms) h->reset();
+}
+
+}  // namespace ibchol::obs

@@ -1,0 +1,137 @@
+// Process-wide named latency/size histogram registry.
+//
+// Histograms record value *distributions* where counters record tallies —
+// the canonical use is per-request service latency (p50/p95/p99), where a
+// mean hides exactly the tail the service layer exists to control. Like
+// counters they are always live while the layer is compiled in, need no
+// tracing session, and cost one relaxed fetch_add per record on the hot
+// path; trace exports attach a snapshot next to the counter snapshot.
+//
+// Buckets are log-linear (HdrHistogram-style): 8 linear sub-buckets per
+// power of two, 512 buckets total, covering the full uint64 range with a
+// worst-case quantile error of one part in 16 — nanosecond latencies from
+// sub-microsecond to hours fit one fixed 4 KiB array, no allocation or
+// rescaling ever happens on the record path, and every operation is a
+// relaxed atomic (safe to scrape concurrently with writers).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"  // IBCHOL_OBS_ENABLED / kEnabled
+
+namespace ibchol::obs {
+
+/// Point-in-time view of one histogram. Quantiles are bucket midpoints, so
+/// they carry the bucket's relative error (≤ 1/16); min/max are exact.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// Fixed-footprint concurrent histogram of uint64 samples.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;  ///< 8 linear sub-buckets per octave
+  static constexpr int kNumBuckets = 512;
+
+  /// Records one sample. Wait-free; relaxed atomics only.
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    update_min(value);
+    update_max(value);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+  /// Bucket index of `value` (public for the bucket-boundary tests).
+  [[nodiscard]] static int bucket_of(std::uint64_t value) noexcept {
+    if (value < (std::uint64_t{1} << kSubBits)) {
+      return static_cast<int>(value);  // exact buckets for 0..7
+    }
+    const int exp = 63 - std::countl_zero(value);
+    const auto sub = static_cast<int>((value >> (exp - kSubBits)) &
+                                      ((std::uint64_t{1} << kSubBits) - 1));
+    return ((exp - kSubBits + 1) << kSubBits) | sub;
+  }
+
+  /// Midpoint of bucket `b`, the value quantiles report for it. Computed
+  /// in floating point (ldexp, not shifts): the top buckets of the range
+  /// have exp > 63, where a uint64 shift would be undefined; the operands
+  /// carry at most 4 significant bits, so the double arithmetic is exact.
+  [[nodiscard]] static double bucket_mid(int b) noexcept {
+    if (b < (1 << kSubBits)) return static_cast<double>(b);
+    const int exp = (b >> kSubBits) + kSubBits - 1;
+    const int sub = b & ((1 << kSubBits) - 1);
+    const double lo = std::ldexp(1.0, exp) +
+                      std::ldexp(static_cast<double>(sub), exp - kSubBits);
+    const double width = std::ldexp(1.0, exp - kSubBits);
+    return lo + width / 2.0;
+  }
+
+ private:
+  void update_min(std::uint64_t v) noexcept {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// The histogram registered under `name`, created on first use. References
+/// stay valid for the process lifetime. Thread-safe.
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+/// Snapshot of every registered histogram, sorted by name.
+[[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+histograms_snapshot();
+
+/// Resets every registered histogram (tests/benchmarks wanting per-run
+/// distributions).
+void reset_histograms();
+
+}  // namespace ibchol::obs
+
+#if IBCHOL_OBS_ENABLED
+/// Records `value` into the histogram named by the string literal `name`.
+/// The registry lookup happens once per call site (function-local static).
+#define IBCHOL_HIST(name, value)                                  \
+  do {                                                            \
+    static ::ibchol::obs::Histogram& ibchol_obs_hist_ref_ =       \
+        ::ibchol::obs::histogram(name);                           \
+    ibchol_obs_hist_ref_.record(static_cast<std::uint64_t>(value)); \
+  } while (0)
+#else
+#define IBCHOL_HIST(name, value) static_cast<void>(0)
+#endif

@@ -8,10 +8,27 @@
 #include <sstream>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace ibchol::obs {
 
 namespace {
+
+// Shared trailer fragment: the histogram snapshot both exporters attach
+// next to the counter snapshot.
+void append_histograms_json(std::ostringstream& os) {
+  os << ", \"histograms\": {";
+  bool first = true;
+  for (const auto& [name, h] : histograms_snapshot()) {
+    os << (first ? "" : ", ") << '"' << name << "\": {\"count\": " << h.count
+       << ", \"mean\": " << h.mean() << ", \"p50\": " << h.p50
+       << ", \"p90\": " << h.p90 << ", \"p95\": " << h.p95
+       << ", \"p99\": " << h.p99 << ", \"min\": " << h.min
+       << ", \"max\": " << h.max << "}";
+    first = false;
+  }
+  os << "}";
+}
 
 std::atomic<bool> g_active{false};
 std::atomic<std::uint64_t> g_epoch{0};
@@ -207,7 +224,9 @@ std::string chrome_trace_json(const std::vector<TraceSpan>& spans) {
     os << (first ? "" : ", ") << '"' << name << "\": " << value;
     first = false;
   }
-  os << "}}\n}\n";
+  os << "}";
+  append_histograms_json(os);
+  os << "}\n}\n";
   return os.str();
 }
 
@@ -227,7 +246,9 @@ std::string trace_jsonl(const std::vector<TraceSpan>& spans) {
     os << (first ? "" : ", ") << '"' << name << "\": " << value;
     first = false;
   }
-  os << "}}\n";
+  os << "}";
+  append_histograms_json(os);
+  os << "}\n";
   return os.str();
 }
 

@@ -1,0 +1,76 @@
+#include "svc/arena.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "util/aligned_buffer.hpp"
+#include "util/error.hpp"
+
+namespace ibchol::svc {
+
+void ArenaLease::reset() {
+  if (arena_ != nullptr) arena_->release(data_, cls_);
+  arena_ = nullptr;
+  data_ = nullptr;
+  bytes_ = 0;
+  cls_ = -1;
+}
+
+ScratchArena::~ScratchArena() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& list : free_lists_) {
+    for (void* p : list) std::free(p);
+    list.clear();
+  }
+}
+
+ArenaLease ScratchArena::acquire(std::size_t bytes) {
+  int cls = 0;
+  std::size_t cls_bytes = kMinBlockBytes;
+  while (cls_bytes < bytes) {
+    cls_bytes <<= 1;
+    ++cls;
+    IBCHOL_CHECK(cls < kNumClasses, "scratch request exceeds the arena");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquires;
+    auto& list = free_lists_[cls];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      ++stats_.reuses;
+      ++stats_.live_leases;
+      --stats_.cached_blocks;
+      stats_.cached_bytes -= cls_bytes;
+      return {this, p, cls_bytes, cls};
+    }
+    ++stats_.upstream_allocs;
+    stats_.upstream_bytes += cls_bytes;
+    ++stats_.live_leases;
+  }
+  // Upstream path outside the lock: aligned_alloc can be slow and a miss
+  // is warm-up, not steady state. cls_bytes is a multiple of the
+  // alignment by construction (4KiB minimum, power-of-two classes).
+  void* p = std::aligned_alloc(kBatchAlignment, cls_bytes);
+  if (p == nullptr) throw std::bad_alloc{};
+  std::memset(p, 0, cls_bytes);
+  return {this, p, cls_bytes, cls};
+}
+
+void ScratchArena::release(void* data, int cls) {
+  const std::size_t cls_bytes = kMinBlockBytes << cls;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_lists_[cls].push_back(data);
+  --stats_.live_leases;
+  ++stats_.cached_blocks;
+  stats_.cached_bytes += cls_bytes;
+}
+
+ArenaStats ScratchArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ibchol::svc

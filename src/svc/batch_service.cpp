@@ -1,0 +1,708 @@
+#include "svc/batch_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "cpu/chunk_pipeline.hpp"
+#include "cpu/reference.hpp"
+#include "cpu/thread_util.hpp"
+#include "cpu/tile_exec_spec.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+#include "svc/mpmc_queue.hpp"
+#include "svc/work_deque.hpp"
+#include "util/error.hpp"
+
+namespace ibchol::svc {
+
+namespace detail {
+
+namespace {
+
+constexpr std::int64_t kNotSeen = std::numeric_limits<std::int64_t>::max();
+
+/// Matrices per canonical-layout unit: small enough that a handful of big
+/// matrices still spreads across workers, large enough that tiny ones are
+/// not all scheduling overhead (the interleaved lane block, by analogy).
+constexpr std::int64_t kCanonicalUnit = 32;
+
+}  // namespace
+
+/// One pooled request. Everything before the atomics is written by
+/// submit() and published to workers through the submission queue's
+/// release/acquire edge (and onward to thieves through the deque's).
+struct alignas(64) Slot {
+  enum class Mode : std::uint8_t {
+    kChunkF32,
+    kChunkF64,
+    kCanonF32,
+    kCanonF64
+  };
+
+  // Immutable while in flight.
+  Mode mode = Mode::kChunkF32;
+  ChunkExecPlan<float> plan_f;
+  ChunkExecPlan<double> plan_d;
+  BatchLayout layout = BatchLayout::interleaved(1, 1);  // canonical path
+  int nb = 8;
+  Triangle triangle = Triangle::kLower;
+  void* data = nullptr;
+  std::int32_t* info = nullptr;
+  std::size_t info_size = 0;
+  std::int64_t num_units = 0;
+  std::uint64_t submit_ns = 0;
+  std::int64_t seq = 0;  ///< submission sequence (span payload)
+
+  // Progress.
+  std::atomic<int> status{static_cast<int>(RequestStatus::kQueued)};
+  std::atomic<std::int64_t> remaining{0};
+  std::atomic<std::int64_t> failed{0};
+  std::atomic<std::int64_t> first_failed{kNotSeen};
+  std::atomic<int> refs{0};  ///< execution side + future side
+
+  // Completion (mu guards result/completed; cv wakes waiters).
+  std::mutex mu;
+  std::condition_variable cv;
+  bool completed = false;
+  FactorResult result;
+};
+
+struct ServiceShared {
+  ServiceOptions opts;
+  int threads = 1;
+  int grain = 1;
+
+  std::vector<std::unique_ptr<Slot>> slots;
+  std::unique_ptr<MpmcQueue<std::uint32_t>> free_slots;
+  std::unique_ptr<MpmcQueue<std::uint32_t>> submissions;
+  std::vector<std::unique_ptr<WorkDeque>> deques;
+  std::vector<std::thread> workers;
+  ScratchArena arena;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> inflight{0};
+  std::atomic<std::int64_t> seq{0};
+
+  // Idle protocol: workers spin briefly, then sleep on the cv; the epoch
+  // closes the check-then-sleep race (a publisher bumping it between a
+  // sleeper's last look and its wait makes the wait a no-op), and the
+  // bounded wait_for bounds the cost of a lost wakeup anyway.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  std::atomic<std::uint64_t> work_epoch{0};
+  std::atomic<int> sleepers{0};
+
+  // Program/specialization caches: built once per configuration, reused
+  // by every later request (the steady-state zero-allocation path).
+  std::mutex cache_mu;
+  std::map<std::tuple<int, int, int>, std::unique_ptr<TileProgram>> programs;
+  std::map<std::tuple<const TileProgram*, int>,
+           std::unique_ptr<SpecializedProgram<float>>>
+      specs_f;
+  std::map<std::tuple<const TileProgram*, int>,
+           std::unique_ptr<SpecializedProgram<double>>>
+      specs_d;
+};
+
+namespace {
+
+void notify_work(ServiceShared& s) {
+  s.work_epoch.fetch_add(1, std::memory_order_release);
+  if (s.sleepers.load(std::memory_order_acquire) > 0) {
+    // The lock pairs with the sleeper's epoch check; notify outside it.
+    { std::lock_guard<std::mutex> lock(s.idle_mu); }
+    s.idle_cv.notify_all();
+  }
+}
+
+void release_slot(ServiceShared& s, std::uint32_t idx) {
+  Slot& slot = *s.slots[idx];
+  if (slot.refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    while (!s.free_slots->try_push(idx)) {
+    }  // capacity == slot count: succeeds immediately
+  }
+}
+
+void complete_request(ServiceShared& s, std::uint32_t idx) {
+  Slot& slot = *s.slots[idx];
+  const FactorResult result = finalize_factor_result(
+      slot.failed.load(std::memory_order_relaxed),
+      slot.first_failed.load(std::memory_order_relaxed));
+  slot.status.store(static_cast<int>(RequestStatus::kDone),
+                    std::memory_order_release);
+  const std::uint64_t now = obs::now_ns();
+  IBCHOL_HIST("svc.request_ns", now - slot.submit_ns);
+  if constexpr (obs::kEnabled) {
+    if (obs::tracing_active()) {
+      obs::record_span("request", "svc", slot.seq, slot.submit_ns,
+                       now - slot.submit_ns);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.result = result;
+    slot.completed = true;
+  }
+  slot.cv.notify_all();
+  s.inflight.fetch_sub(1, std::memory_order_acq_rel);
+  release_slot(s, idx);
+  // A drain-waiting destructor (or an exit-checking worker) may be
+  // sleeping on the idle cv.
+  notify_work(s);
+}
+
+void finish_units(ServiceShared& s, std::uint32_t idx, std::int64_t units,
+                  std::int64_t failed, std::int64_t first_failed) {
+  Slot& slot = *s.slots[idx];
+  if (failed > 0) {
+    slot.failed.fetch_add(failed, std::memory_order_relaxed);
+    std::int64_t cur = slot.first_failed.load(std::memory_order_relaxed);
+    while (first_failed < cur &&
+           !slot.first_failed.compare_exchange_weak(
+               cur, first_failed, std::memory_order_relaxed)) {
+    }
+  }
+  // acq_rel: releases this worker's info[] writes to whoever completes,
+  // and the completer acquires every other worker's.
+  if (slot.remaining.fetch_sub(units, std::memory_order_acq_rel) == units) {
+    complete_request(s, idx);
+  }
+}
+
+// Offers the tail of the running range to thieves when the worker's deque
+// has run dry. `floor_` is the first unit the worker may still give away.
+// Returns the new (possibly shrunk) end.
+std::int64_t maybe_split(ServiceShared& s, WorkDeque& deque,
+                         std::uint32_t idx, std::int64_t floor_,
+                         std::int64_t end) {
+  if (end - floor_ > s.grain && deque.empty_approx()) {
+    const std::int64_t mid = floor_ + (end - floor_) / 2;
+    if (deque.push({idx, mid, end})) {
+      notify_work(s);
+      return mid;
+    }
+  }
+  return end;
+}
+
+template <typename T>
+void run_chunk_range(ServiceShared& s, WorkDeque& deque, std::uint32_t idx,
+                     const ChunkExecPlan<T>& plan, UnitTask t) {
+  Slot& slot = *s.slots[idx];
+  auto* data = static_cast<T*>(slot.data);
+  const std::span<std::int32_t> info(slot.info, slot.info_size);
+  std::int64_t failed = 0;
+  std::int64_t first = kNotSeen;
+  ChunkUnitCounters counters;
+
+  ArenaLease wm_lease;
+  T* wm = nullptr;
+  if (plan.wm_scratch_elems > 0) {
+    wm_lease = s.arena.acquire(plan.wm_scratch_elems * sizeof(T));
+    wm = wm_lease.as<T>();
+  }
+
+  if (plan.pack_lanes > 0) {
+    // Double-buffered schedule: pack(k+1) runs between factor(k) and
+    // writeback(k), so the next chunk's loads are in flight while the
+    // previous chunk's streaming stores drain — the write-back never
+    // serializes the pipeline. Two scratch buffers swap roles per unit.
+    ArenaLease lease_a =
+        s.arena.acquire(plan.pack_scratch_elems * sizeof(T));
+    ArenaLease lease_b;
+    T* cur = lease_a.as<T>();
+    T* nxt = nullptr;
+    t.end = maybe_split(s, deque, idx, t.begin + 1, t.end);
+    if (t.size() > 1) {
+      lease_b = s.arena.acquire(plan.pack_scratch_elems * sizeof(T));
+      nxt = lease_b.as<T>();
+    }
+    pack_unit(plan, data, t.begin, cur);
+    for (std::int64_t u = t.begin; u < t.end; ++u) {
+      factor_unit(plan, data, u, cur, wm, info, failed, first, counters);
+      if (u + 1 < t.end) pack_unit(plan, data, u + 1, nxt);
+      writeback_unit(plan, cur, data, u, counters);
+      std::swap(cur, nxt);
+      // Unit u+1 is already packed into `cur`; only [u+2, end) may move.
+      t.end = maybe_split(s, deque, idx, u + 2, t.end);
+    }
+  } else {
+    for (std::int64_t u = t.begin; u < t.end; ++u) {
+      factor_unit(plan, data, u, static_cast<T*>(nullptr), wm, info, failed,
+                  first, counters);
+      t.end = maybe_split(s, deque, idx, u + 1, t.end);
+    }
+  }
+  fold_unit_counters(counters);
+  finish_units(s, idx, t.size(), failed, first);
+}
+
+template <typename T>
+void run_canonical_range(ServiceShared& s, WorkDeque& deque,
+                         std::uint32_t idx, UnitTask t) {
+  Slot& slot = *s.slots[idx];
+  auto* data = static_cast<T*>(slot.data);
+  const BatchLayout& layout = slot.layout;
+  const int n = layout.n();
+  const int nb = std::min(slot.nb, n);
+  const std::int64_t batch = layout.batch();
+  std::int64_t failed = 0;
+  std::int64_t first = kNotSeen;
+  for (std::int64_t u = t.begin; u < t.end; ++u) {
+    const std::int64_t b0 = u * kCanonicalUnit;
+    const std::int64_t b1 = std::min(batch, b0 + kCanonicalUnit);
+    for (std::int64_t b = b0; b < b1; ++b) {
+      T* a = data + layout.index(b, 0, 0);
+      const int st = slot.triangle == Triangle::kUpper
+                         ? potrf_unblocked_upper(n, a, n)
+                         : potrf_blocked(n, nb, a, n);
+      if (slot.info != nullptr) slot.info[b] = st;
+      if (st != 0) {
+        ++failed;
+        first = std::min(first, b);
+      }
+    }
+    t.end = maybe_split(s, deque, idx, u + 1, t.end);
+  }
+  finish_units(s, idx, t.size(), failed, first);
+}
+
+void run_range(ServiceShared& s, int wid, UnitTask t) {
+  WorkDeque& deque = *s.deques[wid];
+  Slot& slot = *s.slots[t.slot];
+  switch (slot.mode) {
+    case Slot::Mode::kChunkF32:
+      run_chunk_range<float>(s, deque, t.slot, slot.plan_f, t);
+      break;
+    case Slot::Mode::kChunkF64:
+      run_chunk_range<double>(s, deque, t.slot, slot.plan_d, t);
+      break;
+    case Slot::Mode::kCanonF32:
+      run_canonical_range<float>(s, deque, t.slot, t);
+      break;
+    case Slot::Mode::kCanonF64:
+      run_canonical_range<double>(s, deque, t.slot, t);
+      break;
+  }
+}
+
+void claim_request(ServiceShared& s, int wid, std::uint32_t idx) {
+  Slot& slot = *s.slots[idx];
+  int expected = static_cast<int>(RequestStatus::kQueued);
+  if (!slot.status.compare_exchange_strong(
+          expected, static_cast<int>(RequestStatus::kRunning),
+          std::memory_order_acq_rel)) {
+    // Cancelled while queued; the canceller already completed the future
+    // and dropped it from the inflight count — just drop the exec ref.
+    release_slot(s, idx);
+    return;
+  }
+  const std::uint64_t now = obs::now_ns();
+  IBCHOL_HIST("svc.queue_ns", now - slot.submit_ns);
+  if constexpr (obs::kEnabled) {
+    if (obs::tracing_active()) {
+      obs::record_span("queue_wait", "svc", slot.seq, slot.submit_ns,
+                       now - slot.submit_ns);
+    }
+  }
+  run_range(s, wid, {idx, 0, slot.num_units});
+}
+
+bool find_and_run(ServiceShared& s, int wid) {
+  UnitTask t;
+  if (s.deques[wid]->pop(t)) {
+    run_range(s, wid, t);
+    return true;
+  }
+  std::uint32_t idx;
+  if (s.submissions->try_pop(idx)) {
+    claim_request(s, wid, idx);
+    return true;
+  }
+  for (int i = 1; i < s.threads; ++i) {
+    const int victim = (wid + i) % s.threads;
+    if (s.deques[victim]->steal(t)) {
+      IBCHOL_COUNT("svc.steals", 1);
+      run_range(s, wid, t);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool drained(ServiceShared& s) {
+  return s.stop.load(std::memory_order_acquire) &&
+         s.inflight.load(std::memory_order_acquire) == 0;
+}
+
+void worker_loop(ServiceShared& s, int wid) {
+  int idle_spins = 0;
+  for (;;) {
+    if (find_and_run(s, wid)) {
+      idle_spins = 0;
+      continue;
+    }
+    if (drained(s)) return;
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t epoch =
+        s.work_epoch.load(std::memory_order_acquire);
+    // One more look after snapshotting the epoch, so work published just
+    // before the snapshot cannot be slept through.
+    if (find_and_run(s, wid)) {
+      idle_spins = 0;
+      continue;
+    }
+    if (drained(s)) return;
+    {
+      std::unique_lock<std::mutex> lock(s.idle_mu);
+      if (s.work_epoch.load(std::memory_order_relaxed) == epoch) {
+        s.sleepers.fetch_add(1, std::memory_order_release);
+        s.idle_cv.wait_for(lock, std::chrono::milliseconds(1));
+        s.sleepers.fetch_sub(1, std::memory_order_release);
+      }
+    }
+    idle_spins = 0;
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+using detail::ServiceShared;
+using detail::Slot;
+
+// ------------------------------------------------------- FactorFuture ----
+
+FactorResult FactorFuture::wait() {
+  IBCHOL_CHECK(valid(), "wait() on an empty future");
+  Slot& slot = *shared_->slots[slot_];
+  std::unique_lock<std::mutex> lock(slot.mu);
+  slot.cv.wait(lock, [&] { return slot.completed; });
+  return slot.result;
+}
+
+bool FactorFuture::try_cancel() {
+  IBCHOL_CHECK(valid(), "try_cancel() on an empty future");
+  Slot& slot = *shared_->slots[slot_];
+  int expected = static_cast<int>(RequestStatus::kQueued);
+  if (!slot.status.compare_exchange_strong(
+          expected, static_cast<int>(RequestStatus::kCancelled),
+          std::memory_order_acq_rel)) {
+    return false;
+  }
+  IBCHOL_COUNT("svc.cancelled", 1);
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.result = FactorResult{};
+    slot.completed = true;
+  }
+  slot.cv.notify_all();
+  shared_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  detail::notify_work(*shared_);  // a drain-waiter may be parked
+  return true;
+}
+
+RequestStatus FactorFuture::status() const {
+  IBCHOL_CHECK(valid(), "status() on an empty future");
+  return static_cast<RequestStatus>(
+      shared_->slots[slot_]->status.load(std::memory_order_acquire));
+}
+
+void FactorFuture::release() noexcept {
+  if (shared_ != nullptr) {
+    detail::release_slot(*shared_, slot_);
+    shared_.reset();
+  }
+}
+
+// -------------------------------------------------------- BatchService ----
+
+BatchService::BatchService(const ServiceOptions& options)
+    : shared_(std::make_shared<ServiceShared>()) {
+  ServiceShared& s = *shared_;
+  s.opts = options;
+  // Thread count is resolved once here and frozen for the service
+  // lifetime — no per-call libgomp queries, no per-call team spawn.
+  s.threads = options.num_threads > 0 ? options.num_threads
+                                      : cached_default_threads();
+  IBCHOL_CHECK(s.threads >= 1, "service needs at least one worker");
+  s.grain = std::max(1, options.steal_grain);
+  const std::size_t nslots = std::min<std::size_t>(
+      std::max<std::size_t>(1, options.max_inflight), kMaxSlots);
+  s.slots.reserve(nslots);
+  for (std::size_t i = 0; i < nslots; ++i) {
+    s.slots.push_back(std::make_unique<Slot>());
+  }
+  s.free_slots = std::make_unique<MpmcQueue<std::uint32_t>>(nslots);
+  s.submissions = std::make_unique<MpmcQueue<std::uint32_t>>(nslots);
+  for (std::uint32_t i = 0; i < nslots; ++i) {
+    (void)s.free_slots->try_push(i);
+  }
+  s.deques.reserve(static_cast<std::size_t>(s.threads));
+  for (int i = 0; i < s.threads; ++i) {
+    s.deques.push_back(std::make_unique<WorkDeque>());
+  }
+  s.workers.reserve(static_cast<std::size_t>(s.threads));
+  for (int i = 0; i < s.threads; ++i) {
+    s.workers.emplace_back([shared = shared_, i] {
+      detail::worker_loop(*shared, i);
+    });
+  }
+}
+
+BatchService::~BatchService() {
+  ServiceShared& s = *shared_;
+  s.stop.store(true, std::memory_order_release);
+  detail::notify_work(s);
+  for (std::thread& t : s.workers) t.join();
+  // Slots of requests cancelled at the shutdown edge may still sit in the
+  // submission queue holding their execution-side reference.
+  std::uint32_t idx;
+  while (s.submissions->try_pop(idx)) detail::release_slot(s, idx);
+}
+
+int BatchService::threads() const noexcept { return shared_->threads; }
+
+ArenaStats BatchService::arena_stats() const {
+  return shared_->arena.stats();
+}
+
+BatchService& BatchService::global() {
+  // Leaked: the global service must outlive every static-destruction-time
+  // caller, like the obs registries.
+  static BatchService* service = new BatchService;
+  return *service;
+}
+
+namespace {
+
+const TileProgram* cached_program(ServiceShared& s, int n, int nb,
+                                  Looking looking) {
+  const std::tuple<int, int, int> key{n, nb, static_cast<int>(looking)};
+  std::lock_guard<std::mutex> lock(s.cache_mu);
+  auto it = s.programs.find(key);
+  if (it == s.programs.end()) {
+    it = s.programs
+             .emplace(key, std::make_unique<TileProgram>(
+                               build_tile_program(n, nb, looking)))
+             .first;
+  }
+  return it->second.get();
+}
+
+template <typename T>
+const SpecializedProgram<T>* cached_spec(ServiceShared& s,
+                                         const TileProgram* program,
+                                         MathMode math);
+
+template <>
+const SpecializedProgram<float>* cached_spec<float>(ServiceShared& s,
+                                                    const TileProgram* program,
+                                                    MathMode math) {
+  const std::tuple<const TileProgram*, int> key{program,
+                                                static_cast<int>(math)};
+  std::lock_guard<std::mutex> lock(s.cache_mu);
+  auto it = s.specs_f.find(key);
+  if (it == s.specs_f.end()) {
+    it = s.specs_f
+             .emplace(key, std::make_unique<SpecializedProgram<float>>(
+                               *program, math))
+             .first;
+  }
+  return it->second.get();
+}
+
+template <>
+const SpecializedProgram<double>* cached_spec<double>(
+    ServiceShared& s, const TileProgram* program, MathMode math) {
+  const std::tuple<const TileProgram*, int> key{program,
+                                                static_cast<int>(math)};
+  std::lock_guard<std::mutex> lock(s.cache_mu);
+  auto it = s.specs_d.find(key);
+  if (it == s.specs_d.end()) {
+    it = s.specs_d
+             .emplace(key, std::make_unique<SpecializedProgram<double>>(
+                               *program, math))
+             .first;
+  }
+  return it->second.get();
+}
+
+template <typename T>
+void bind_plan(Slot& slot, const ChunkExecPlan<T>& plan);
+
+template <>
+void bind_plan<float>(Slot& slot, const ChunkExecPlan<float>& plan) {
+  slot.mode = Slot::Mode::kChunkF32;
+  slot.plan_f = plan;
+}
+
+template <>
+void bind_plan<double>(Slot& slot, const ChunkExecPlan<double>& plan) {
+  slot.mode = Slot::Mode::kChunkF64;
+  slot.plan_d = plan;
+}
+
+}  // namespace
+
+template <typename T>
+FactorFuture BatchService::submit(const BatchLayout& layout,
+                                  std::span<T> data,
+                                  const CpuFactorOptions& options,
+                                  std::span<std::int32_t> info,
+                                  const TileProgram* program) {
+  ServiceShared& s = *shared_;
+  IBCHOL_CHECK(!s.stop.load(std::memory_order_acquire),
+               "submit() on a service being destroyed");
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  IBCHOL_CHECK(info.empty() ||
+                   info.size() >= static_cast<std::size_t>(layout.batch()),
+               "info span too small for batch");
+
+  // Resolve the full execution plan before touching the pool, so every
+  // precondition failure surfaces here, on the submitting thread.
+  ChunkExecPlan<T> plan;
+  std::int64_t num_units;
+  const bool canonical = layout.kind() == LayoutKind::kCanonical;
+  if (canonical) {
+    num_units = (layout.batch() + detail::kCanonicalUnit - 1) /
+                detail::kCanonicalUnit;
+    IBCHOL_COUNT("cpu.exec.canonical", 1);
+  } else {
+    const TileProgram* prog = program;
+    if (prog == nullptr && options.unroll == Unroll::kPartial) {
+      prog = cached_program(s, layout.n(),
+                            std::min(options.nb, layout.n()),
+                            options.looking);
+    }
+    plan = plan_chunk_exec<T>(layout, data.data(), prog, options);
+    if (plan.needs_spec_program()) {
+      plan.spec = cached_spec<T>(s, prog, options.math);
+    }
+    note_exec_dispatch(plan.exec);
+    num_units = plan.num_units;
+  }
+  IBCHOL_CHECK(num_units < kMaxUnits,
+               "batch too large for one request; split it");
+
+  // Backpressure: all slots in flight means the caller is ahead of the
+  // pool; yield until a completion recycles one.
+  std::uint32_t idx;
+  while (!s.free_slots->try_pop(idx)) {
+    std::this_thread::yield();
+  }
+  Slot& slot = *s.slots[idx];
+  if (canonical) {
+    slot.mode = std::is_same_v<T, float> ? Slot::Mode::kCanonF32
+                                         : Slot::Mode::kCanonF64;
+    slot.layout = layout;
+    slot.nb = options.nb;
+    slot.triangle = options.triangle;
+  } else {
+    bind_plan<T>(slot, plan);
+  }
+  slot.data = data.data();
+  slot.info = info.empty() ? nullptr : info.data();
+  slot.info_size = info.empty() ? 0 : info.size();
+  slot.num_units = num_units;
+  slot.submit_ns = obs::now_ns();
+  slot.seq = s.seq.fetch_add(1, std::memory_order_relaxed);
+  slot.status.store(static_cast<int>(RequestStatus::kQueued),
+                    std::memory_order_relaxed);
+  slot.remaining.store(num_units, std::memory_order_relaxed);
+  slot.failed.store(0, std::memory_order_relaxed);
+  slot.first_failed.store(detail::kNotSeen, std::memory_order_relaxed);
+  slot.refs.store(2, std::memory_order_relaxed);  // exec side + future
+  slot.completed = false;
+
+  s.inflight.fetch_add(1, std::memory_order_acq_rel);
+  IBCHOL_COUNT("svc.submitted", 1);
+  while (!s.submissions->try_push(idx)) {
+    std::this_thread::yield();  // capacity == slots: effectively immediate
+  }
+  detail::notify_work(s);
+  return FactorFuture(shared_, idx);
+}
+
+template <typename T>
+FactorResult BatchService::factor(const BatchLayout& layout,
+                                  std::span<T> data,
+                                  const CpuFactorOptions& options,
+                                  std::span<std::int32_t> info,
+                                  const TileProgram* program) {
+  return submit<T>(layout, data, options, info, program).wait();
+}
+
+namespace {
+
+template <typename T>
+FactorResult service_factor_thunk(void* ctx, const BatchLayout& layout,
+                                  std::span<T> data,
+                                  const CpuFactorOptions& options,
+                                  const TileProgram* program,
+                                  std::span<std::int32_t> info) {
+  auto* service = static_cast<BatchService*>(ctx);
+  const TileProgram* prog =
+      (program != nullptr && layout.kind() != LayoutKind::kCanonical &&
+       options.unroll == Unroll::kPartial)
+          ? program
+          : nullptr;
+  return service->factor<T>(layout, data, options, info, prog);
+}
+
+}  // namespace
+
+template <typename T>
+RecoveryReport BatchService::recover(const BatchLayout& layout,
+                                     std::span<T> data,
+                                     const CpuFactorOptions& options,
+                                     const RecoveryOptions& recovery,
+                                     std::span<std::int32_t> info,
+                                     const TileProgram* program) {
+  return factor_batch_recover_via<T>(&service_factor_thunk<T>, this, layout,
+                                     data, options, recovery, info, program);
+}
+
+template FactorFuture BatchService::submit<float>(const BatchLayout&,
+                                                  std::span<float>,
+                                                  const CpuFactorOptions&,
+                                                  std::span<std::int32_t>,
+                                                  const TileProgram*);
+template FactorFuture BatchService::submit<double>(const BatchLayout&,
+                                                   std::span<double>,
+                                                   const CpuFactorOptions&,
+                                                   std::span<std::int32_t>,
+                                                   const TileProgram*);
+template FactorResult BatchService::factor<float>(const BatchLayout&,
+                                                  std::span<float>,
+                                                  const CpuFactorOptions&,
+                                                  std::span<std::int32_t>,
+                                                  const TileProgram*);
+template FactorResult BatchService::factor<double>(const BatchLayout&,
+                                                   std::span<double>,
+                                                   const CpuFactorOptions&,
+                                                   std::span<std::int32_t>,
+                                                   const TileProgram*);
+template RecoveryReport BatchService::recover<float>(
+    const BatchLayout&, std::span<float>, const CpuFactorOptions&,
+    const RecoveryOptions&, std::span<std::int32_t>, const TileProgram*);
+template RecoveryReport BatchService::recover<double>(
+    const BatchLayout&, std::span<double>, const CpuFactorOptions&,
+    const RecoveryOptions&, std::span<std::int32_t>, const TileProgram*);
+
+}  // namespace ibchol::svc

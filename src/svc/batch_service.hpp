@@ -1,0 +1,190 @@
+// Long-lived batch-factorization service: persistent work-stealing
+// executor over the chunk pipeline's unit API.
+//
+// The synchronous drivers (factor_batch_cpu) spawn an OpenMP team, carve
+// the batch into pipeline units, join, and tear everything down — per
+// call. For the throughput regime the paper targets (millions of small
+// factorizations per second arriving continuously) that per-call team
+// spawn, scratch allocation, and join barrier dominate: no worker can
+// start the next request's units while any worker still finishes the
+// current one. BatchService keeps the execution machinery alive across
+// requests:
+//
+//  * submission — a bounded lock-free MPMC queue (MpmcQueue) of pooled
+//    request slots; submit() is wait-free apart from the slot pop and
+//    returns a FactorFuture. A full pool is backpressure, not an error.
+//  * execution — a persistent pool of workers, each owning a Chase-Lev
+//    deque (WorkDeque) of unit-range tasks. A claimed request enters as
+//    one root task; workers split ranges lazily (halving, down to
+//    ServiceOptions::steal_grain units) so division only happens when a
+//    thief is actually idle. Units are independent and schedule-agnostic
+//    (see ChunkExecPlan), so service results are bit-identical to the
+//    synchronous path — under IEEE math, to the last ulp.
+//  * double buffering — within a packed-plan task the worker packs unit
+//    k+1 between factor(k) and writeback(k) on a second scratch buffer,
+//    so the next chunk's loads overlap the previous chunk's streaming
+//    write-back instead of serializing behind it.
+//  * memory — all scratch (pack, whole-matrix, double buffers) comes from
+//    a size-classed ScratchArena; request slots, queue cells, and deque
+//    cells are preallocated. After warm-up, steady-state operation
+//    performs zero heap allocations (ScratchArena::stats().upstream_allocs
+//    is the test hook for that claim).
+//  * observability — per-request "request"/"queue_wait" spans (category
+//    "svc") and the "svc.request_ns"/"svc.queue_ns" latency histograms
+//    (p50/p95/p99) via src/obs/histogram.hpp.
+//
+// Thread-count and steal-granularity are live tuning axes
+// (ServiceOptions::num_threads / steal_grain); bench/load_service sweeps
+// them. DESIGN §10 documents the architecture.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "cpu/batch_factor.hpp"
+#include "cpu/recover.hpp"
+#include "kernels/tile_program.hpp"
+#include "layout/layout.hpp"
+#include "svc/arena.hpp"
+
+namespace ibchol::svc {
+
+namespace detail {
+struct ServiceShared;
+}
+
+struct ServiceOptions {
+  /// Worker threads; 0 = the cached process default
+  /// (cached_default_threads()), resolved once for the service lifetime.
+  int num_threads = 0;
+  /// Smallest unit-range a task is split down to. 1 = maximal stealing
+  /// parallelism; larger grains cut steal traffic for tiny units. A live
+  /// tuning axis.
+  int steal_grain = 1;
+  /// Request slots preallocated for in-flight requests (also the
+  /// submission-queue capacity). A slot stays busy until its request
+  /// completed AND its FactorFuture was released (the future reads the
+  /// result out of the slot), so this must cover futures the client
+  /// holds, not just requests the pool is working on; submit() blocks
+  /// (backpressure) when all slots are busy. Clamped to the packed-task
+  /// slot limit (kMaxSlots).
+  std::size_t max_inflight = 256;
+};
+
+/// Lifecycle of one submitted request.
+enum class RequestStatus : int {
+  kQueued = 0,    ///< accepted, no worker has claimed it yet
+  kRunning = 1,   ///< workers are factoring units
+  kDone = 2,      ///< complete; result valid, data/info fully written
+  kCancelled = 3  ///< cancelled before any work started; data untouched
+};
+
+/// Completion handle for one submitted batch. Move-only; dropping it
+/// without wait() is allowed (the service completes the request and
+/// recycles the slot once both sides are done). Futures may outlive the
+/// service — they share ownership of the slot pool.
+class FactorFuture {
+ public:
+  FactorFuture() = default;
+  FactorFuture(FactorFuture&& other) noexcept { swap(other); }
+  FactorFuture& operator=(FactorFuture&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  FactorFuture(const FactorFuture&) = delete;
+  FactorFuture& operator=(const FactorFuture&) = delete;
+  ~FactorFuture() { release(); }
+
+  [[nodiscard]] bool valid() const noexcept { return shared_ != nullptr; }
+
+  /// Blocks until the request is done (or cancelled) and returns the
+  /// result; a cancelled request reports zero failures and untouched
+  /// data. Idempotent.
+  FactorResult wait();
+
+  /// Attempts to cancel: succeeds only while no worker has started the
+  /// request (kQueued). On success the batch data is untouched and wait()
+  /// returns immediately. A request already running cannot be cancelled —
+  /// wait for it instead (partial factors are never exposed).
+  bool try_cancel();
+
+  [[nodiscard]] RequestStatus status() const;
+
+ private:
+  friend class BatchService;
+  FactorFuture(std::shared_ptr<detail::ServiceShared> shared,
+               std::uint32_t slot) noexcept
+      : shared_(std::move(shared)), slot_(slot) {}
+
+  void swap(FactorFuture& other) noexcept {
+    std::swap(shared_, other.shared_);
+    std::swap(slot_, other.slot_);
+  }
+  void release() noexcept;
+
+  std::shared_ptr<detail::ServiceShared> shared_;
+  std::uint32_t slot_ = 0;
+};
+
+/// The persistent batch-factorization service. Thread-safe: any thread may
+/// submit concurrently. Destruction drains — every accepted request is
+/// completed (or was cancelled) before the workers join, and outstanding
+/// futures remain valid afterwards.
+class BatchService {
+ public:
+  explicit BatchService(const ServiceOptions& options = {});
+  ~BatchService();
+  BatchService(const BatchService&) = delete;
+  BatchService& operator=(const BatchService&) = delete;
+
+  /// Submits a batch for asynchronous factorization. Identical semantics
+  /// and (for IEEE math) bit-identical results to factor_batch_cpu with
+  /// the same arguments; `options.num_threads` is ignored (the pool is
+  /// fixed). `data`, `info`, and `*program` must stay alive and untouched
+  /// by the caller until the returned future completes. Blocks briefly
+  /// only when all request slots are in flight (backpressure).
+  template <typename T>
+  [[nodiscard]] FactorFuture submit(const BatchLayout& layout,
+                                    std::span<T> data,
+                                    const CpuFactorOptions& options,
+                                    std::span<std::int32_t> info = {},
+                                    const TileProgram* program = nullptr);
+
+  /// The synchronous API on top of the service: submit + wait.
+  template <typename T>
+  FactorResult factor(const BatchLayout& layout, std::span<T> data,
+                      const CpuFactorOptions& options,
+                      std::span<std::int32_t> info = {},
+                      const TileProgram* program = nullptr);
+
+  /// Recovery-retry factorization whose factorization passes (first pass
+  /// and every shifted retry sub-batch) run on the service instead of
+  /// spawning OpenMP teams; semantics of factor_batch_recover.
+  template <typename T>
+  RecoveryReport recover(const BatchLayout& layout, std::span<T> data,
+                         const CpuFactorOptions& options,
+                         const RecoveryOptions& recovery,
+                         std::span<std::int32_t> info = {},
+                         const TileProgram* program = nullptr);
+
+  /// Resolved worker count (fixed for the service lifetime).
+  [[nodiscard]] int threads() const noexcept;
+
+  /// Scratch-pool counters — the zero-steady-state-allocation test hook.
+  [[nodiscard]] ArenaStats arena_stats() const;
+
+  /// Lazily started process-wide service with default options, shared by
+  /// callers that opt in via IBCHOL_SERVICE=1 (see BatchCholesky) and by
+  /// anything else content with one shared pool. Never torn down before
+  /// process exit.
+  static BatchService& global();
+
+ private:
+  std::shared_ptr<detail::ServiceShared> shared_;
+};
+
+}  // namespace ibchol::svc

@@ -1,0 +1,140 @@
+// Fixed-capacity Chase-Lev work-stealing deque over packed unit-range
+// tasks.
+//
+// Each service worker owns one deque. The owner pushes and pops at the
+// bottom (LIFO, so the hottest chunk scratch is reused first); idle workers
+// steal from the top (FIFO, so thieves take the work the owner will reach
+// last — the largest surviving range under lazy splitting). Tasks are
+// *ranges of pipeline units* (see ChunkExecPlan): a worker executing a
+// range bigger than the steal grain splits it in half, pushes one half back
+// for thieves, and recurses on the other — work is divided only when
+// someone is actually idle to take it, which keeps the common uncontended
+// case one deque push per request.
+//
+// A task packs (request slot, unit range) into a single 64-bit word so the
+// ring cells are plain lock-free atomics: no allocation, no ABA, no
+// pointer-reuse hazard, and nothing for ThreadSanitizer to flag. The index
+// variables use seq_cst operations instead of the standalone fences of the
+// weak-memory formulation — TSAN does not model fences, and the seq_cst
+// variant is the form the original algorithm was proved in.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ibchol::svc {
+
+/// A contiguous range [begin, end) of one request's pipeline units.
+/// Packable when slot < 2^16 and end <= 2^24 (kMaxUnits) — the service
+/// checks both bounds at submission time.
+struct UnitTask {
+  std::uint32_t slot = 0;   ///< pooled request slot
+  std::int64_t begin = 0;   ///< first unit
+  std::int64_t end = 0;     ///< one past the last unit
+
+  [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+};
+
+/// Largest unit index a packed task can carry (24 bits each for begin/end).
+inline constexpr std::int64_t kMaxUnits = std::int64_t{1} << 24;
+/// Largest request-slot index a packed task can carry.
+inline constexpr std::uint32_t kMaxSlots = 1u << 16;
+
+[[nodiscard]] inline std::uint64_t pack_task(const UnitTask& t) noexcept {
+  return (static_cast<std::uint64_t>(t.slot) << 48) |
+         (static_cast<std::uint64_t>(t.begin) << 24) |
+         static_cast<std::uint64_t>(t.end);
+}
+
+[[nodiscard]] inline UnitTask unpack_task(std::uint64_t v) noexcept {
+  UnitTask t;
+  t.slot = static_cast<std::uint32_t>(v >> 48);
+  t.begin = static_cast<std::int64_t>((v >> 24) & (kMaxUnits - 1));
+  t.end = static_cast<std::int64_t>(v & (kMaxUnits - 1));
+  return t;
+}
+
+/// Single-owner/multi-thief deque of packed tasks. Capacity is fixed; the
+/// owner handles a full deque by executing the task inline unsplit (the
+/// service never loses work to overflow, it just momentarily stops
+/// feeding thieves).
+class WorkDeque {
+ public:
+  explicit WorkDeque(std::size_t min_capacity = 256) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::vector<std::atomic<std::uint64_t>>(cap);
+  }
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner only: pushes a task at the bottom. False when full.
+  bool push(const UnitTask& t) {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    const std::int64_t top = top_.load(std::memory_order_seq_cst);
+    if (b - top > static_cast<std::int64_t>(mask_)) return false;
+    cells_[static_cast<std::size_t>(b) & mask_].store(
+        pack_task(t), std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only: pops the most recently pushed task. False when empty.
+  bool pop(UnitTask& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t < b) {
+      out = unpack_task(cells_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_relaxed));
+      return true;
+    }
+    bool won = false;
+    if (t == b) {
+      // Last element: race the thieves for it via top.
+      won = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst);
+      if (won) {
+        out = unpack_task(cells_[static_cast<std::size_t>(b) & mask_].load(
+            std::memory_order_relaxed));
+      }
+    }
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return won;
+  }
+
+  /// Any thief: steals the oldest task. False when empty or when the
+  /// steal lost a race (callers just move on to the next victim).
+  bool steal(UnitTask& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    // Read the cell before claiming it: after the CAS the owner may
+    // legitimately overwrite the slot on a later lap.
+    const std::uint64_t v = cells_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst)) {
+      return false;
+    }
+    out = unpack_task(v);
+    return true;
+  }
+
+  /// Racy emptiness check, for idle heuristics only.
+  [[nodiscard]] bool empty_approx() const noexcept {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace ibchol::svc

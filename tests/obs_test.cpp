@@ -7,13 +7,16 @@
 // this binary, and the skip marker documents which configuration ran.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 
@@ -193,6 +196,151 @@ TEST(HwCountersTest, StopWithoutStartIsSafe) {
   HwCounters hw;
   const HwSample s = hw.stop();
   if (!hw.available()) EXPECT_FALSE(s.valid);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  Histogram h;
+  for (std::uint64_t v : {5u, 100u, 3u, 1000000u, 42u}) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 5u + 100u + 3u + 1000000u + 42u);
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 1000000u);
+  EXPECT_DOUBLE_EQ(s.mean(), static_cast<double>(s.sum) / 5.0);
+}
+
+TEST(HistogramTest, SmallValuesHaveExactBuckets) {
+  // 0..7 map to dedicated buckets: quantiles on small values are exact.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(static_cast<std::uint64_t>(i % 8));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);  // uniform over 0..7: median bucket is 3
+}
+
+TEST(HistogramTest, BucketIndexIsMonotoneAndCovering) {
+  int prev = -1;
+  for (std::uint64_t v = 0; v < 10000; ++v) {
+    const int b = Histogram::bucket_of(v);
+    ASSERT_GE(b, prev);  // never decreases
+    ASSERT_LT(b, Histogram::kNumBuckets);
+    prev = b;
+  }
+  // The extremes stay in range.
+  EXPECT_LT(Histogram::bucket_of(~std::uint64_t{0}), Histogram::kNumBuckets);
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+}
+
+TEST(HistogramTest, BucketMidFallsInsideItsOwnBucket) {
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    const double mid = Histogram::bucket_mid(b);
+    // Above 2^53 a double cannot represent the midpoint exactly and the
+    // round trip may land one bucket off; quantiles at that magnitude
+    // (three-month latencies in ns) are approximate anyway.
+    if (mid >= 9.0e15) continue;
+    EXPECT_EQ(Histogram::bucket_of(static_cast<std::uint64_t>(mid)), b)
+        << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, QuantileRelativeErrorBounded) {
+  // A known distribution: 1000 samples at each of several magnitudes.
+  Histogram h;
+  const std::uint64_t values[] = {1000, 10000, 100000, 1000000};
+  for (std::uint64_t v : values) {
+    for (int i = 0; i < 1000; ++i) h.record(v);
+  }
+  const HistogramSnapshot s = h.snapshot();
+  // p50 = 2000th of 4000 samples → within one bucket of 10000.
+  EXPECT_NEAR(s.p50, 10000.0, 10000.0 / 16.0);
+  EXPECT_NEAR(s.p90, 1000000.0, 1000000.0 / 16.0);
+  EXPECT_NEAR(s.p95, 1000000.0, 1000000.0 / 16.0);
+  EXPECT_NEAR(s.p99, 1000000.0, 1000000.0 / 16.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.record(12345);
+  h.reset();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  // Usable after reset.
+  h.record(7);
+  EXPECT_EQ(h.snapshot().count, 1u);
+  EXPECT_EQ(h.snapshot().min, 7u);
+}
+
+TEST(HistogramTest, RegistryNamesAndSorting) {
+  reset_histograms();
+  histogram("zz.second").record(2);
+  histogram("aa.first").record(1);
+  histogram("aa.first").record(3);  // same histogram, by reference
+  const auto snap = histograms_snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  // Sorted by name; our two entries in order with accumulated counts.
+  std::uint64_t aa_count = 0, zz_count = 0;
+  std::size_t aa_pos = 0, zz_pos = 0;
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (snap[i].first == "aa.first") { aa_count = snap[i].second.count; aa_pos = i; }
+    if (snap[i].first == "zz.second") { zz_count = snap[i].second.count; zz_pos = i; }
+  }
+  EXPECT_EQ(aa_count, 2u);
+  EXPECT_EQ(zz_count, 1u);
+  EXPECT_LT(aa_pos, zz_pos);
+  reset_histograms();
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, kPerThread - 1u);
+}
+
+TEST(HistogramTest, ExportersAttachHistogramSnapshot) {
+  SKIP_IF_OBS_OFF();
+  reset_histograms();
+  histogram("test.latency_ns").record(1234);
+  start_tracing();
+  record_span("a", "test", 1, now_ns(), 1);
+  stop_tracing();
+  const std::string jsonl = trace_jsonl(collect_spans());
+  EXPECT_NE(jsonl.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(jsonl.find("test.latency_ns"), std::string::npos);
+  // Still one line per span plus exactly one trailer line.
+  std::istringstream is(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 2u);  // one span + trailer
+  const std::string chrome = chrome_trace_json(collect_spans());
+  EXPECT_NE(chrome.find("\"histograms\""), std::string::npos);
+  reset_histograms();
 }
 
 }  // namespace

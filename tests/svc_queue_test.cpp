@@ -1,0 +1,200 @@
+// Tests for the service's lock-free primitives: the Vyukov MPMC submission
+// queue and the Chase-Lev work-stealing deque. The single-threaded tests
+// pin the sequential semantics (FIFO/LIFO order, full/empty edges); the
+// multi-threaded tests are exactly-once stress runs that double as the
+// TSAN workload for check.sh --tsan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "svc/mpmc_queue.hpp"
+#include "svc/work_deque.hpp"
+
+namespace ibchol::svc {
+namespace {
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpmcQueue<int>(256).capacity(), 256u);
+  EXPECT_EQ(MpmcQueue<int>(257).capacity(), 512u);
+}
+
+TEST(MpmcQueue, FifoOrderSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpmcQueue, FullAndEmptyEdges) {
+  MpmcQueue<int> q(4);
+  int v = -1;
+  EXPECT_FALSE(q.try_pop(v));  // empty from the start
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(q.try_push(99));  // one slot free again
+  // Drain: 1, 2, 3, 99.
+  std::vector<int> rest;
+  while (q.try_pop(v)) rest.push_back(v);
+  EXPECT_EQ(rest, (std::vector<int>{1, 2, 3, 99}));
+}
+
+TEST(MpmcQueue, WrapsAroundManyLaps) {
+  MpmcQueue<std::int64_t> q(4);
+  std::int64_t v = -1;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+// N producers × N consumers, every pushed value popped exactly once.
+TEST(MpmcQueue, ConcurrentExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 20000;
+  MpmcQueue<std::int64_t> q(64);  // small: forces full/empty contention
+  std::atomic<int> producers_left{kProducers};
+  std::vector<std::vector<std::int64_t>> popped(kConsumers);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::int64_t v = static_cast<std::int64_t>(p) * kPerProducer + i;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+      producers_left.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      std::int64_t v;
+      for (;;) {
+        if (q.try_pop(v)) {
+          popped[c].push_back(v);
+        } else if (producers_left.load(std::memory_order_acquire) == 0) {
+          if (!q.try_pop(v)) break;  // drained after the last producer
+          popped[c].push_back(v);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<std::int64_t> all;
+  for (const auto& vec : popped) all.insert(all.end(), vec.begin(), vec.end());
+  ASSERT_EQ(all.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(UnitTaskPacking, RoundTripsBoundaryValues) {
+  const UnitTask cases[] = {
+      {0, 0, 0},
+      {0, 0, 1},
+      {kMaxSlots - 1, 0, kMaxUnits - 1},
+      {12345, 7, 4096},
+      {1, kMaxUnits - 2, kMaxUnits - 1},
+  };
+  for (const UnitTask& t : cases) {
+    const UnitTask r = unpack_task(pack_task(t));
+    EXPECT_EQ(r.slot, t.slot);
+    EXPECT_EQ(r.begin, t.begin);
+    EXPECT_EQ(r.end, t.end);
+  }
+}
+
+TEST(WorkDeque, OwnerLifoThiefFifo) {
+  WorkDeque d(8);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(d.push({0, i, i + 1}));
+  }
+  UnitTask t;
+  // Owner pops the newest...
+  ASSERT_TRUE(d.pop(t));
+  EXPECT_EQ(t.begin, 3);
+  // ...a thief steals the oldest.
+  ASSERT_TRUE(d.steal(t));
+  EXPECT_EQ(t.begin, 0);
+  ASSERT_TRUE(d.steal(t));
+  EXPECT_EQ(t.begin, 1);
+  ASSERT_TRUE(d.pop(t));
+  EXPECT_EQ(t.begin, 2);
+  EXPECT_FALSE(d.pop(t));
+  EXPECT_FALSE(d.steal(t));
+  EXPECT_TRUE(d.empty_approx());
+}
+
+TEST(WorkDeque, PushFailsWhenFull) {
+  WorkDeque d(2);
+  EXPECT_TRUE(d.push({0, 0, 1}));
+  EXPECT_TRUE(d.push({0, 1, 2}));
+  EXPECT_FALSE(d.push({0, 2, 3}));
+  UnitTask t;
+  ASSERT_TRUE(d.pop(t));
+  EXPECT_TRUE(d.push({0, 2, 3}));
+}
+
+// Owner pushes/pops while thieves hammer steal; every task is executed
+// exactly once (the sum of all task sizes is conserved).
+TEST(WorkDeque, ConcurrentStealExactlyOnce) {
+  constexpr int kThieves = 3;
+  constexpr std::int64_t kTasks = 50000;
+  WorkDeque d(512);
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> stolen_sum{0};
+
+  std::vector<std::thread> thieves;
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      UnitTask t;
+      std::int64_t local = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (d.steal(t)) local += t.size();
+      }
+      while (d.steal(t)) local += t.size();  // final drain
+      stolen_sum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  // Owner: push batches, pop some back — the classic producer pattern.
+  // Conservation invariant: every unit pushed is consumed exactly once,
+  // either by an owner pop or by a thief steal.
+  std::int64_t pushed_sum = 0;
+  std::int64_t popped_sum = 0;
+  UnitTask t;
+  for (std::int64_t i = 0; i < kTasks; ++i) {
+    const std::int64_t size = 1 + (i % 7);
+    // (begin, end) only need to pack; reuse small in-range values.
+    const std::int64_t begin = i % 1024;
+    if (d.push({0, begin, begin + size})) pushed_sum += size;
+    if (i % 3 == 0 && d.pop(t)) popped_sum += t.size();
+  }
+  while (d.pop(t)) popped_sum += t.size();
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(popped_sum + stolen_sum.load(), pushed_sum);
+}
+
+}  // namespace
+}  // namespace ibchol::svc

@@ -19,6 +19,15 @@
 //     "svc.request_ns"/"svc.queue_ns" histograms (src/obs/histogram.hpp)
 //     and is reported as p50/p95/p99.
 //
+//  3. **Overload sweep** (--rates) — the open-loop generator is driven at
+//     several arrival rates spanning the saturation point against a
+//     deliberately small slot pool, every request carrying a deadline
+//     (--deadline-ms) under a shedding admission policy (--policy). Each
+//     rate reports offered vs completed throughput, shed/expired
+//     percentages, goodput, and the completed-request p50/p99 — the
+//     overload claim is that shedding keeps p99 bounded while goodput
+//     plateaus instead of collapsing.
+//
 // Flags:
 //   --rate=R        arrivals per second for the open-loop phase [200]
 //   --duration=S    open-loop phase length in seconds [1.0]
@@ -28,6 +37,10 @@
 //   --threads=T     service worker threads (0 = hardware default) [0]
 //   --grain=G       steal granularity in pipeline units [1]
 //   --chunk=C       pack chunk size (lanes) for simple interleaved [64]
+//   --rates=A,B,C   overload-sweep arrival rates (empty = skip the sweep)
+//   --policy=P      sweep admission policy: block|reject|shed|wait [shed]
+//   --deadline-ms=D per-request deadline in the sweep, 0 = none [50]
+//   --inflight=S    sweep slot-pool size (small => overload bites) [32]
 //   --json=PATH     machine-readable results (BENCH_load_service.json)
 #include <algorithm>
 #include <chrono>
@@ -220,6 +233,117 @@ OpenLoopResult run_open_loop(svc::BatchService& service,
   return r;
 }
 
+// ------------------------------------------------------- overload sweep ----
+
+svc::AdmitPolicy parse_policy(const std::string& name) {
+  if (name == "block") return svc::AdmitPolicy::kBlock;
+  if (name == "reject") return svc::AdmitPolicy::kReject;
+  if (name == "shed") return svc::AdmitPolicy::kShedOldest;
+  if (name == "wait") return svc::AdmitPolicy::kBoundedWait;
+  IBCHOL_CHECK(false, "unknown --policy (block|reject|shed|wait): " + name);
+  return svc::AdmitPolicy::kBlock;
+}
+
+std::vector<double> parse_rates(const std::string& spec) {
+  std::vector<double> rates;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const double r = std::stod(item);
+    IBCHOL_CHECK(r > 0.0, "bad --rates entry: " + item);
+    rates.push_back(r);
+  }
+  return rates;
+}
+
+struct ServiceConfig {
+  int threads = 0;
+  int grain = 1;
+  int inflight = 32;
+  svc::AdmitPolicy policy = svc::AdmitPolicy::kShedOldest;
+  double deadline_ms = 50.0;
+};
+
+struct OverloadRow {
+  double rate = 0;           ///< offered arrivals per second
+  std::int64_t submitted = 0;
+  std::int64_t done = 0;
+  std::int64_t shed = 0;     ///< kOverloaded at admission
+  std::int64_t expired = 0;  ///< kDeadlineExceeded in the queue
+  std::int64_t other = 0;    ///< anything else terminal (aborts, ...)
+  double elapsed_s = 0;
+  obs::HistogramSnapshot request_ns;  ///< completed requests only
+};
+
+/// One open-loop phase at `rate` against a fresh service configured for
+/// overload (small slot pool, shedding policy, per-request deadline).
+/// Each service is new so per-rate rows never share queue backlog.
+OverloadRow run_overload_rate(std::vector<Workload>& pool, double rate,
+                              double duration_s, const ServiceConfig& cfg) {
+  svc::ServiceOptions opts;
+  opts.num_threads = cfg.threads;
+  opts.steal_grain = cfg.grain;
+  opts.max_inflight = static_cast<std::size_t>(cfg.inflight);
+  opts.policy.admit = cfg.policy;
+  svc::BatchService service(opts);
+  obs::reset_histograms();
+
+  svc::SubmitOptions sopts;
+  sopts.timeout_ns = static_cast<std::int64_t>(cfg.deadline_ms * 1e6);
+
+  OverloadRow row;
+  row.rate = rate;
+  const auto t0 = std::chrono::steady_clock::now();
+  const double interval_s = 1.0 / rate;
+  const std::size_t depth = pool.size();
+  std::vector<svc::FactorFuture> futures;
+  const auto account = [&](svc::FactorFuture& f) {
+    (void)f.wait();
+    switch (f.status()) {
+      case svc::RequestStatus::kDone:
+        ++row.done;
+        break;
+      case svc::RequestStatus::kOverloaded:
+        ++row.shed;
+        break;
+      case svc::RequestStatus::kDeadlineExceeded:
+        ++row.expired;
+        break;
+      default:
+        ++row.other;
+    }
+    f = svc::FactorFuture{};  // release: lets the slot recycle
+  };
+  for (std::int64_t i = 0;; ++i) {
+    const double target = static_cast<double>(i) * interval_s;
+    if (target >= duration_s) break;
+    const double now = seconds_since(t0);
+    if (now < target) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(target - now));
+    }
+    if (static_cast<std::size_t>(i) >= depth) {
+      // Recycles the buffer from depth arrivals ago; under overload that
+      // future is usually already terminal (shed or expired), so this
+      // wait does not close the loop.
+      account(futures[static_cast<std::size_t>(i) - depth]);
+    }
+    Workload& w = pool[static_cast<std::size_t>(i) % depth];
+    futures.push_back(service.submit<float>(w.layout, w.data.span(),
+                                            w.options, w.info, nullptr,
+                                            sopts));
+    ++row.submitted;
+  }
+  for (auto& f : futures) {
+    if (f.valid()) account(f);
+  }
+  row.elapsed_s = seconds_since(t0);
+  for (const auto& [name, snap] : obs::histograms_snapshot()) {
+    if (name == "svc.request_ns") row.request_ns = snap;
+  }
+  return row;
+}
+
 void print_hist(const char* name, const obs::HistogramSnapshot& s) {
   std::cout << "  " << name << ": count=" << s.count
             << " p50=" << s.p50 / 1e6 << "ms p95=" << s.p95 / 1e6
@@ -229,7 +353,9 @@ void print_hist(const char* name, const obs::HistogramSnapshot& s) {
 
 void write_json(const std::string& path, int threads, double rate,
                 const PhaseResult& sync_r, const PhaseResult& svc_r,
-                const OpenLoopResult& ol, bool identical) {
+                const OpenLoopResult& ol, bool identical,
+                const std::string& policy,
+                const std::vector<OverloadRow>& sweep) {
   std::ostringstream os;
   os << "{\"bench\": \"load_service\", \"threads\": " << threads
      << ", \"bit_identical\": " << (identical ? "true" : "false")
@@ -246,7 +372,29 @@ void write_json(const std::string& path, int threads, double rate,
      << ", \"max\": " << ol.request_ns.max << "}"
      << ", \"queue_ns\": {\"p50\": " << ol.queue_ns.p50
      << ", \"p95\": " << ol.queue_ns.p95
-     << ", \"p99\": " << ol.queue_ns.p99 << "}}}";
+     << ", \"p99\": " << ol.queue_ns.p99 << "}}";
+  if (!sweep.empty()) {
+    os << ", \"overload\": {\"policy\": \"" << policy << "\", \"rows\": [";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const OverloadRow& r = sweep[i];
+      const double shed_pct =
+          r.submitted > 0
+              ? 100.0 * static_cast<double>(r.shed + r.expired) /
+                    static_cast<double>(r.submitted)
+              : 0.0;
+      os << (i > 0 ? ", " : "") << "{\"rate\": " << r.rate
+         << ", \"submitted\": " << r.submitted << ", \"done\": " << r.done
+         << ", \"shed\": " << r.shed << ", \"expired\": " << r.expired
+         << ", \"other\": " << r.other << ", \"shed_pct\": " << shed_pct
+         << ", \"goodput_per_s\": "
+         << static_cast<double>(r.done) / r.elapsed_s
+         << ", \"request_ns\": {\"p50\": " << r.request_ns.p50
+         << ", \"p99\": " << r.request_ns.p99
+         << ", \"max\": " << r.request_ns.max << "}}";
+    }
+    os << "]}";
+  }
+  os << "}";
   std::ofstream out(path);
   IBCHOL_CHECK(out.good(), "cannot write " + path);
   out << os.str() << "\n";
@@ -263,6 +411,10 @@ int run(int argc, const char* const* argv) {
   const int threads = static_cast<int>(cli.get_int("threads", 0));
   const int grain = static_cast<int>(cli.get_int("grain", 1));
   const int chunk = static_cast<int>(cli.get_int("chunk", 64));
+  const std::string rates_spec = cli.get("rates", "");
+  const std::string policy_name = cli.get("policy", "shed");
+  const double deadline_ms = cli.get_double("deadline-ms", 50.0);
+  const int inflight = static_cast<int>(cli.get_int("inflight", 32));
   const std::string json_path = cli.get("json", "");
 
   const std::vector<MixEntry> mix = parse_mix(mix_spec);
@@ -312,9 +464,38 @@ int run(int argc, const char* const* argv) {
   print_hist("request latency", ol.request_ns);
   print_hist("queue wait     ", ol.queue_ns);
 
+  std::vector<OverloadRow> sweep;
+  if (!rates_spec.empty()) {
+    ServiceConfig cfg;
+    cfg.threads = threads;
+    cfg.grain = grain;
+    cfg.inflight = inflight;
+    cfg.policy = parse_policy(policy_name);
+    cfg.deadline_ms = deadline_ms;
+    std::cout << "\noverload sweep (policy=" << policy_name
+              << " deadline=" << deadline_ms << "ms inflight=" << inflight
+              << " duration=" << duration_s << "s):\n";
+    for (const double r : parse_rates(rates_spec)) {
+      const OverloadRow row = run_overload_rate(pool, r, duration_s, cfg);
+      sweep.push_back(row);
+      const double shed_pct =
+          row.submitted > 0
+              ? 100.0 * static_cast<double>(row.shed + row.expired) /
+                    static_cast<double>(row.submitted)
+              : 0.0;
+      std::cout << "  rate=" << row.rate << "/s submitted=" << row.submitted
+                << " done=" << row.done << " shed=" << row.shed
+                << " expired=" << row.expired << " (" << shed_pct
+                << "% dropped) goodput="
+                << static_cast<double>(row.done) / row.elapsed_s
+                << " req/s p50=" << row.request_ns.p50 / 1e6
+                << "ms p99=" << row.request_ns.p99 / 1e6 << "ms\n";
+    }
+  }
+
   if (!json_path.empty()) {
     write_json(json_path, service.threads(), rate, sync_r, svc_r, ol,
-               identical);
+               identical, policy_name, sweep);
   }
   return identical ? 0 : 1;
 }

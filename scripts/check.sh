@@ -3,7 +3,7 @@
 # benchmark binary. This is the command sequence EXPERIMENTS.md expects.
 #
 #   scripts/check.sh [--sanitize] [--tsan] [--faults] [--bench] [--obs] \
-#                    [cmake args...]
+#                    [--chaos] [cmake args...]
 #
 # --sanitize adds a second build under AddressSanitizer + UBSan with
 # warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it
@@ -22,6 +22,15 @@
 # TSAN cannot see its barriers and would report false races inside every
 # OpenMP team; the service's own pthread-based pool is exactly what this
 # mode is meant to prove out, and it is unaffected by the OpenMP clamp.
+#
+# --chaos runs the service overload/fault suite (deadlines, admission
+# shedding, scratch-exhaustion aborts, poison quarantine, the watchdog,
+# and the seeded chaos soak) under both ASan+UBSan and TSAN, pinning the
+# soak to each of three fixed seeds (IBCHOL_CHAOS_SEED=1,2,3) so every
+# seed's decision sequence is exercised in isolation and a failure names
+# its seed. A final smoke drives the env-spec path: IBCHOL_CHAOS with
+# stall/delay rates (result-preserving faults) against the plain build's
+# bit-identity suite. Implies building the --sanitize and --tsan trees.
 #
 # --faults runs the resilience suite (fault injection, recovery, journaled
 # sweeps) against the sanitizer build, then a kill-and-resume smoke test:
@@ -62,6 +71,7 @@ TSAN=0
 FAULTS=0
 BENCH=0
 OBS=0
+CHAOS=0
 CMAKE_ARGS=()
 for arg in "$@"; do
   case "${arg}" in
@@ -70,6 +80,7 @@ for arg in "$@"; do
     --faults) FAULTS=1 ;;
     --bench) BENCH=1 ;;
     --obs) OBS=1 ;;
+    --chaos) CHAOS=1 ;;
     *) CMAKE_ARGS+=("${arg}") ;;
   esac
 done
@@ -80,10 +91,13 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 configure_sanitize_build() {
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  # -Wno-maybe-uninitialized: under sanitizer instrumentation GCC 12 flags
+  # the _mm512_undefined_* pattern inside its own avx512fintrin.h header;
+  # -Werror stays on for everything else (same exception as the TSAN tree).
   cmake -B build-sanitize -G Ninja \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DIBCHOL_WERROR=ON \
-    -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+    -DCMAKE_CXX_FLAGS="${SAN_FLAGS} -Wno-maybe-uninitialized" \
     -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}" \
     ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
   cmake --build build-sanitize
@@ -126,8 +140,44 @@ if [[ "${TSAN}" == 1 ]]; then
   # libgomp's barriers.
   OMP_NUM_THREADS=1 ctest --test-dir build-tsan --output-on-failure \
     -j "$(nproc)" \
-    -R 'MpmcQueue|WorkDeque|UnitTaskPacking|ScratchArena|BatchService|ChunkPipeline|Trace|Counters|HistogramTest'
+    -R 'MpmcQueue|WorkDeque|UnitTaskPacking|ScratchArena|BatchService|ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ChunkPipeline|Trace|Counters|HistogramTest'
   echo "tsan check: service/pipeline/obs suites clean under ThreadSanitizer"
+fi
+
+if [[ "${CHAOS}" == 1 ]]; then
+  # Overload/fault semantics under both sanitizers. The suite regex covers
+  # the chaos tests plus the primitives they lean on (arena failure paths,
+  # queue wrap-around, the service teardown races).
+  CHAOS_SUITES='ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ScratchArena|MpmcQueue|BatchService'
+  configure_sanitize_build
+  if [[ "${TSAN}" != 1 ]]; then
+    # Reuse the --tsan tree when that mode already built it.
+    TSAN_FLAGS="-fsanitize=thread"
+    cmake -B build-tsan -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DIBCHOL_WERROR=ON \
+      -DCMAKE_CXX_FLAGS="${TSAN_FLAGS} -Wno-maybe-uninitialized" \
+      -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}" \
+      ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
+    cmake --build build-tsan
+  fi
+  # Three fixed seeds, each a full pass: the seed pins the per-site chaos
+  # decision sequences, so seed-by-seed runs are reproducible and a
+  # failure log names the seed to rerun.
+  for seed in 1 2 3; do
+    IBCHOL_CHAOS_SEED="${seed}" ctest --test-dir build-sanitize \
+      --output-on-failure -j "$(nproc)" -R "${CHAOS_SUITES}"
+    IBCHOL_CHAOS_SEED="${seed}" OMP_NUM_THREADS=1 ctest \
+      --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+      -R "${CHAOS_SUITES}"
+  done
+  # Env-spec smoke: chaos installed through IBCHOL_CHAOS (the latch path,
+  # not install_svc_chaos). Stall/delay faults only — they perturb timing,
+  # never results, so the bit-identity suite must still pass verbatim.
+  IBCHOL_CHAOS='seed=2,stall_rate=0.02,stall_ms=1,writeback_delay_rate=0.02,writeback_delay_ms=0.5' \
+    ctest --test-dir build --output-on-failure -j "$(nproc)" \
+    -R 'BatchService.BitIdentical'
+  echo "chaos check: overload/fault suites clean under ASan+UBSan and TSAN (seeds 1 2 3), env-spec smoke bit-identical"
 fi
 
 if [[ "${FAULTS}" == 1 ]]; then
@@ -222,3 +272,21 @@ for b in build/bench/*; do
   echo "===== ${b}"
   "${b}"
 done
+
+# Mode summary: every optional gate is named whether it ran or not, so a
+# forgotten --chaos (or --tsan, ...) is visible in the default output
+# instead of silently absent.
+echo "===== check.sh mode summary"
+summary_mode() {
+  if [[ "$2" == 1 ]]; then
+    echo "  $1: ran"
+  else
+    echo "  $1: SKIPPED (enable with --$1)"
+  fi
+}
+summary_mode sanitize "${SANITIZE}"
+summary_mode tsan "${TSAN}"
+summary_mode chaos "${CHAOS}"
+summary_mode faults "${FAULTS}"
+summary_mode bench "${BENCH}"
+summary_mode obs "${OBS}"

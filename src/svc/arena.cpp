@@ -6,6 +6,7 @@
 
 #include "util/aligned_buffer.hpp"
 #include "util/error.hpp"
+#include "util/fault_inject.hpp"
 
 namespace ibchol::svc {
 
@@ -46,16 +47,28 @@ ArenaLease ScratchArena::acquire(std::size_t bytes) {
       stats_.cached_bytes -= cls_bytes;
       return {this, p, cls_bytes, cls};
     }
-    ++stats_.upstream_allocs;
-    stats_.upstream_bytes += cls_bytes;
-    ++stats_.live_leases;
   }
   // Upstream path outside the lock: aligned_alloc can be slow and a miss
   // is warm-up, not steady state. cls_bytes is a multiple of the
   // alignment by construction (4KiB minimum, power-of-two classes).
-  void* p = std::aligned_alloc(kBatchAlignment, cls_bytes);
-  if (p == nullptr) throw std::bad_alloc{};
+  // Stats are committed only after the allocation succeeds, so a failure
+  // leaves no phantom live lease behind; the chaos hook fails the upstream
+  // exactly where a real OOM would.
+  void* p = chaos::chaos_fail_alloc()
+                ? nullptr
+                : std::aligned_alloc(kBatchAlignment, cls_bytes);
+  if (p == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failed_allocs;
+    throw std::bad_alloc{};
+  }
   std::memset(p, 0, cls_bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.upstream_allocs;
+    stats_.upstream_bytes += cls_bytes;
+    ++stats_.live_leases;
+  }
   return {this, p, cls_bytes, cls};
 }
 

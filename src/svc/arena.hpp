@@ -79,6 +79,7 @@ struct ArenaStats {
   std::uint64_t upstream_bytes = 0;   ///< bytes fetched from the upstream
   std::uint64_t acquires = 0;         ///< total acquire() calls
   std::uint64_t reuses = 0;           ///< acquires served from a free list
+  std::uint64_t failed_allocs = 0;    ///< upstream failures (throw, no lease)
   std::uint64_t live_leases = 0;      ///< blocks currently leased out
   std::uint64_t cached_blocks = 0;    ///< blocks parked on free lists
   std::uint64_t cached_bytes = 0;     ///< bytes parked on free lists
@@ -102,6 +103,12 @@ class ScratchArena {
   /// Leases a block of at least `bytes` bytes (zero-filled only on the
   /// first, upstream-backed acquisition — reused blocks carry stale
   /// contents, which every pipeline stage overwrites anyway).
+  ///
+  /// Throws std::bad_alloc when the class's free list is empty and the
+  /// upstream allocation fails (including chaos-forced failures). A failed
+  /// acquire leaves the arena unchanged except for `acquires` and
+  /// `failed_allocs`: no lease is counted live and no upstream stats move,
+  /// so callers can retry and tests can assert exact accounting.
   [[nodiscard]] ArenaLease acquire(std::size_t bytes);
 
   [[nodiscard]] ArenaStats stats() const;

@@ -8,6 +8,7 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "svc/mpmc_queue.hpp"
 #include "svc/work_deque.hpp"
 #include "util/error.hpp"
+#include "util/fault_inject.hpp"
 
 namespace ibchol::svc {
 
@@ -36,7 +38,29 @@ constexpr std::int64_t kNotSeen = std::numeric_limits<std::int64_t>::max();
 /// not all scheduling overhead (the interleaved lane block, by analogy).
 constexpr std::int64_t kCanonicalUnit = 32;
 
+/// Watchdog view of one worker slot.
+enum WorkerPhase : int {
+  kUnborn = 0,   ///< slot reserved for a future respawn
+  kActive = 1,   ///< running worker_loop
+  kSuspect = 2,  ///< declared stalled; a replacement is already running
+  kRetired = 3,  ///< exited (suspect that came back, or joined at teardown)
+};
+
 }  // namespace
+
+/// Per-worker liveness state, sampled by the watchdog. The atomics are the
+/// worker-to-watchdog channel (relaxed: the watchdog is a heuristic
+/// sampler, phase transitions carry the only ordering); the plain fields
+/// are the watchdog's private sampling memory.
+struct alignas(64) WorkerState {
+  std::atomic<std::uint64_t> heartbeat{0};  ///< bumped per loop + per unit
+  std::atomic<bool> busy{false};            ///< inside find_and_run
+  std::atomic<int> phase{kUnborn};
+
+  // Watchdog-private (single-threaded: only the monitor touches them).
+  std::uint64_t last_beat = 0;
+  std::uint64_t last_change_ns = 0;
+};
 
 /// One pooled request. Everything before the atomics is written by
 /// submit() and published to workers through the submission queue's
@@ -53,7 +77,7 @@ struct alignas(64) Slot {
   Mode mode = Mode::kChunkF32;
   ChunkExecPlan<float> plan_f;
   ChunkExecPlan<double> plan_d;
-  BatchLayout layout = BatchLayout::interleaved(1, 1);  // canonical path
+  BatchLayout layout = BatchLayout::interleaved(1, 1);
   int nb = 8;
   Triangle triangle = Triangle::kLower;
   void* data = nullptr;
@@ -61,6 +85,8 @@ struct alignas(64) Slot {
   std::size_t info_size = 0;
   std::int64_t num_units = 0;
   std::uint64_t submit_ns = 0;
+  std::uint64_t deadline_ns = 0;  ///< absolute now_ns() expiry; 0 = none
+  bool screen = false;
   std::int64_t seq = 0;  ///< submission sequence (span payload)
 
   // Progress.
@@ -69,29 +95,39 @@ struct alignas(64) Slot {
   std::atomic<std::int64_t> failed{0};
   std::atomic<std::int64_t> first_failed{kNotSeen};
   std::atomic<int> refs{0};  ///< execution side + future side
+  std::atomic<bool> aborted{false};     ///< scratch allocation failed
+  std::atomic<bool> quarantined{false}; ///< poison slow path ran
 
-  // Completion (mu guards result/completed; cv wakes waiters).
+  // Completion (mu guards result/recovery/completed; cv wakes waiters).
   std::mutex mu;
   std::condition_variable cv;
   bool completed = false;
   FactorResult result;
+  RecoveryReport recovery;
 };
 
 struct ServiceShared {
   ServiceOptions opts;
-  int threads = 1;
+  int threads = 1;      ///< initial worker count
+  int max_workers = 1;  ///< threads + watchdog respawn budget
   int grain = 1;
 
   std::vector<std::unique_ptr<Slot>> slots;
   std::unique_ptr<MpmcQueue<std::uint32_t>> free_slots;
   std::unique_ptr<MpmcQueue<std::uint32_t>> submissions;
-  std::vector<std::unique_ptr<WorkDeque>> deques;
+  std::unique_ptr<MpmcQueue<std::uint32_t>> submissions_hi;
+  std::vector<std::unique_ptr<WorkDeque>> deques;     ///< max_workers
+  std::vector<std::unique_ptr<WorkerState>> wstates;  ///< max_workers
+  /// Mutated by the constructor and then only by the watchdog thread; the
+  /// destructor reads it after joining the watchdog.
   std::vector<std::thread> workers;
+  std::thread watchdog;
   ScratchArena arena;
 
   std::atomic<bool> stop{false};
   std::atomic<std::int64_t> inflight{0};
   std::atomic<std::int64_t> seq{0};
+  std::atomic<int> num_workers{0};  ///< worker slots in use (grows only)
 
   // Idle protocol: workers spin briefly, then sleep on the cv; the epoch
   // closes the check-then-sleep race (a publisher bumping it between a
@@ -101,6 +137,10 @@ struct ServiceShared {
   std::condition_variable idle_cv;
   std::atomic<std::uint64_t> work_epoch{0};
   std::atomic<int> sleepers{0};
+
+  // Watchdog sleep/shutdown channel.
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
 
   // Program/specialization caches: built once per configuration, reused
   // by every later request (the steady-state zero-allocation path).
@@ -138,7 +178,14 @@ void complete_request(ServiceShared& s, std::uint32_t idx) {
   const FactorResult result = finalize_factor_result(
       slot.failed.load(std::memory_order_relaxed),
       slot.first_failed.load(std::memory_order_relaxed));
-  slot.status.store(static_cast<int>(RequestStatus::kDone),
+  RequestStatus final_status = RequestStatus::kDone;
+  if (slot.aborted.load(std::memory_order_relaxed)) {
+    final_status = RequestStatus::kResourceExhausted;
+    IBCHOL_COUNT("svc.aborted", 1);
+  } else if (slot.quarantined.load(std::memory_order_relaxed)) {
+    final_status = RequestStatus::kPoisoned;
+  }
+  slot.status.store(static_cast<int>(final_status),
                     std::memory_order_release);
   const std::uint64_t now = obs::now_ns();
   IBCHOL_HIST("svc.request_ns", now - slot.submit_ns);
@@ -161,6 +208,36 @@ void complete_request(ServiceShared& s, std::uint32_t idx) {
   notify_work(s);
 }
 
+/// Completes a request that never executed (expired or shed while
+/// queued). The caller already moved `status` to the terminal state via
+/// its CAS; the batch data is untouched, and the info span records that
+/// with kInfoNotExecuted.
+void complete_unrun(ServiceShared& s, std::uint32_t idx,
+                    const char* span_name) {
+  Slot& slot = *s.slots[idx];
+  if (slot.info != nullptr) {
+    const std::int64_t count = std::min<std::int64_t>(
+        slot.layout.batch(), static_cast<std::int64_t>(slot.info_size));
+    std::fill_n(slot.info, count, kInfoNotExecuted);
+  }
+  if constexpr (obs::kEnabled) {
+    if (obs::tracing_active()) {
+      const std::uint64_t now = obs::now_ns();
+      obs::record_span(span_name, "svc", slot.seq, slot.submit_ns,
+                       now - slot.submit_ns);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.result = FactorResult{};
+    slot.completed = true;
+  }
+  slot.cv.notify_all();
+  s.inflight.fetch_sub(1, std::memory_order_acq_rel);
+  release_slot(s, idx);
+  notify_work(s);
+}
+
 void finish_units(ServiceShared& s, std::uint32_t idx, std::int64_t units,
                   std::int64_t failed, std::int64_t first_failed) {
   Slot& slot = *s.slots[idx];
@@ -177,6 +254,43 @@ void finish_units(ServiceShared& s, std::uint32_t idx, std::int64_t units,
   if (slot.remaining.fetch_sub(units, std::memory_order_acq_rel) == units) {
     complete_request(s, idx);
   }
+}
+
+/// Marks one unit range as not executed after a scratch allocation
+/// failure: the matrices keep their input contents, their info entries
+/// say so, and the request will complete kResourceExhausted. Routing the
+/// abort through finish_units keeps the `remaining` accounting identical
+/// to a successful range, so concurrent ranges of the same request are
+/// unaffected.
+template <typename T>
+void abort_units(ServiceShared& s, std::uint32_t idx,
+                 const ChunkExecPlan<T>& plan, UnitTask t) {
+  Slot& slot = *s.slots[idx];
+  slot.aborted.store(true, std::memory_order_relaxed);
+  IBCHOL_COUNT("svc.aborted_units", t.size());
+  const std::int64_t batch = plan.layout.batch();
+  const std::int64_t b0 = std::min(batch, plan.first_lane(t.begin));
+  const std::int64_t b1 = std::min(batch, plan.first_lane(t.end));
+  if (slot.info != nullptr && b1 > b0) {
+    std::fill(slot.info + b0, slot.info + b1, kInfoNotExecuted);
+  }
+  const std::int64_t failed = b1 - b0;
+  finish_units(s, idx, t.size(), failed, failed > 0 ? b0 : kNotSeen);
+}
+
+/// abort_units for a whole request whose screening/quarantine path lost
+/// its scratch before any unit ran.
+void abort_whole(ServiceShared& s, std::uint32_t idx) {
+  Slot& slot = *s.slots[idx];
+  slot.aborted.store(true, std::memory_order_relaxed);
+  IBCHOL_COUNT("svc.aborted_units", slot.num_units);
+  const std::int64_t batch = slot.layout.batch();
+  if (slot.info != nullptr) {
+    const std::int64_t count = std::min<std::int64_t>(
+        batch, static_cast<std::int64_t>(slot.info_size));
+    std::fill_n(slot.info, count, kInfoNotExecuted);
+  }
+  finish_units(s, idx, slot.num_units, batch, batch > 0 ? 0 : kNotSeen);
 }
 
 // Offers the tail of the running range to thieves when the worker's deque
@@ -196,8 +310,10 @@ std::int64_t maybe_split(ServiceShared& s, WorkDeque& deque,
 }
 
 template <typename T>
-void run_chunk_range(ServiceShared& s, WorkDeque& deque, std::uint32_t idx,
+void run_chunk_range(ServiceShared& s, int wid, std::uint32_t idx,
                      const ChunkExecPlan<T>& plan, UnitTask t) {
+  WorkDeque& deque = *s.deques[wid];
+  WorkerState& me = *s.wstates[wid];
   Slot& slot = *s.slots[idx];
   auto* data = static_cast<T*>(slot.data);
   const std::span<std::int32_t> info(slot.info, slot.info_size);
@@ -205,11 +321,34 @@ void run_chunk_range(ServiceShared& s, WorkDeque& deque, std::uint32_t idx,
   std::int64_t first = kNotSeen;
   ChunkUnitCounters counters;
 
+  // All scratch is leased up front; the unit loops below never allocate.
+  // A failed lease (real OOM or chaos) aborts just this range.
   ArenaLease wm_lease;
+  ArenaLease lease_a;
+  ArenaLease lease_b;
   T* wm = nullptr;
-  if (plan.wm_scratch_elems > 0) {
-    wm_lease = s.arena.acquire(plan.wm_scratch_elems * sizeof(T));
-    wm = wm_lease.as<T>();
+  T* cur = nullptr;
+  T* nxt = nullptr;
+  try {
+    if (plan.wm_scratch_elems > 0) {
+      wm_lease = s.arena.acquire(plan.wm_scratch_elems * sizeof(T));
+      wm = wm_lease.as<T>();
+    }
+    if (plan.pack_lanes > 0) {
+      lease_a = s.arena.acquire(plan.pack_scratch_elems * sizeof(T));
+      cur = lease_a.as<T>();
+      t.end = maybe_split(s, deque, idx, t.begin + 1, t.end);
+      if (t.size() > 1) {
+        lease_b = s.arena.acquire(plan.pack_scratch_elems * sizeof(T));
+        nxt = lease_b.as<T>();
+      }
+    }
+  } catch (const std::bad_alloc&) {
+    lease_b.reset();
+    lease_a.reset();
+    wm_lease.reset();
+    abort_units(s, idx, plan, t);
+    return;
   }
 
   if (plan.pack_lanes > 0) {
@@ -217,39 +356,41 @@ void run_chunk_range(ServiceShared& s, WorkDeque& deque, std::uint32_t idx,
     // writeback(k), so the next chunk's loads are in flight while the
     // previous chunk's streaming stores drain — the write-back never
     // serializes the pipeline. Two scratch buffers swap roles per unit.
-    ArenaLease lease_a =
-        s.arena.acquire(plan.pack_scratch_elems * sizeof(T));
-    ArenaLease lease_b;
-    T* cur = lease_a.as<T>();
-    T* nxt = nullptr;
-    t.end = maybe_split(s, deque, idx, t.begin + 1, t.end);
-    if (t.size() > 1) {
-      lease_b = s.arena.acquire(plan.pack_scratch_elems * sizeof(T));
-      nxt = lease_b.as<T>();
-    }
     pack_unit(plan, data, t.begin, cur);
     for (std::int64_t u = t.begin; u < t.end; ++u) {
+      chaos::chaos_stall_unit();
       factor_unit(plan, data, u, cur, wm, info, failed, first, counters);
       if (u + 1 < t.end) pack_unit(plan, data, u + 1, nxt);
+      chaos::chaos_delay_writeback();
       writeback_unit(plan, cur, data, u, counters);
       std::swap(cur, nxt);
+      me.heartbeat.fetch_add(1, std::memory_order_relaxed);
       // Unit u+1 is already packed into `cur`; only [u+2, end) may move.
       t.end = maybe_split(s, deque, idx, u + 2, t.end);
     }
   } else {
     for (std::int64_t u = t.begin; u < t.end; ++u) {
+      chaos::chaos_stall_unit();
       factor_unit(plan, data, u, static_cast<T*>(nullptr), wm, info, failed,
                   first, counters);
+      me.heartbeat.fetch_add(1, std::memory_order_relaxed);
       t.end = maybe_split(s, deque, idx, u + 1, t.end);
     }
   }
   fold_unit_counters(counters);
+  // Return scratch before completing: a waiter that observes the done
+  // request must also observe live_leases back at its resting level.
+  lease_b.reset();
+  lease_a.reset();
+  wm_lease.reset();
   finish_units(s, idx, t.size(), failed, first);
 }
 
 template <typename T>
-void run_canonical_range(ServiceShared& s, WorkDeque& deque,
-                         std::uint32_t idx, UnitTask t) {
+void run_canonical_range(ServiceShared& s, int wid, std::uint32_t idx,
+                         UnitTask t) {
+  WorkDeque& deque = *s.deques[wid];
+  WorkerState& me = *s.wstates[wid];
   Slot& slot = *s.slots[idx];
   auto* data = static_cast<T*>(slot.data);
   const BatchLayout& layout = slot.layout;
@@ -259,6 +400,7 @@ void run_canonical_range(ServiceShared& s, WorkDeque& deque,
   std::int64_t failed = 0;
   std::int64_t first = kNotSeen;
   for (std::int64_t u = t.begin; u < t.end; ++u) {
+    chaos::chaos_stall_unit();
     const std::int64_t b0 = u * kCanonicalUnit;
     const std::int64_t b1 = std::min(batch, b0 + kCanonicalUnit);
     for (std::int64_t b = b0; b < b1; ++b) {
@@ -272,32 +414,225 @@ void run_canonical_range(ServiceShared& s, WorkDeque& deque,
         first = std::min(first, b);
       }
     }
+    me.heartbeat.fetch_add(1, std::memory_order_relaxed);
     t.end = maybe_split(s, deque, idx, u + 1, t.end);
   }
   finish_units(s, idx, t.size(), failed, first);
 }
 
 void run_range(ServiceShared& s, int wid, UnitTask t) {
-  WorkDeque& deque = *s.deques[wid];
   Slot& slot = *s.slots[t.slot];
   switch (slot.mode) {
     case Slot::Mode::kChunkF32:
-      run_chunk_range<float>(s, deque, t.slot, slot.plan_f, t);
+      run_chunk_range<float>(s, wid, t.slot, slot.plan_f, t);
       break;
     case Slot::Mode::kChunkF64:
-      run_chunk_range<double>(s, deque, t.slot, slot.plan_d, t);
+      run_chunk_range<double>(s, wid, t.slot, slot.plan_d, t);
       break;
     case Slot::Mode::kCanonF32:
-      run_canonical_range<float>(s, deque, t.slot, t);
+      run_canonical_range<float>(s, wid, t.slot, t);
       break;
     case Slot::Mode::kCanonF64:
-      run_canonical_range<double>(s, deque, t.slot, t);
+      run_canonical_range<double>(s, wid, t.slot, t);
       break;
   }
 }
 
+// ------------------------------------------------ poison quarantine ----
+
+/// Sequential single-buffer execution of a whole quarantined chunk-mode
+/// request: no double buffering (one pack buffer, not two) and no splits
+/// (the range is never offered to thieves), so a poisoned batch occupies
+/// one worker and one scratch buffer, nothing more. Failure counts are
+/// recomputed from the info array afterwards, so the locals here are
+/// scratch.
+template <typename T>
+void quarantine_chunk(ServiceShared& s, int wid, Slot& slot,
+                      const ChunkExecPlan<T>& plan,
+                      std::span<std::int32_t> eff_info) {
+  WorkerState& me = *s.wstates[wid];
+  auto* data = static_cast<T*>(slot.data);
+  std::int64_t failed = 0;
+  std::int64_t first = kNotSeen;
+  ChunkUnitCounters counters;
+  ArenaLease wm_lease;
+  T* wm = nullptr;
+  if (plan.wm_scratch_elems > 0) {
+    wm_lease = s.arena.acquire(plan.wm_scratch_elems * sizeof(T));
+    wm = wm_lease.as<T>();
+  }
+  ArenaLease pack_lease;
+  T* buf = nullptr;
+  if (plan.pack_lanes > 0) {
+    pack_lease = s.arena.acquire(plan.pack_scratch_elems * sizeof(T));
+    buf = pack_lease.as<T>();
+  }
+  for (std::int64_t u = 0; u < plan.num_units; ++u) {
+    chaos::chaos_stall_unit();
+    if (buf != nullptr) {
+      pack_unit(plan, data, u, buf);
+      factor_unit(plan, data, u, buf, wm, eff_info, failed, first, counters);
+      chaos::chaos_delay_writeback();
+      writeback_unit(plan, buf, data, u, counters);
+    } else {
+      factor_unit(plan, data, u, static_cast<T*>(nullptr), wm, eff_info,
+                  failed, first, counters);
+    }
+    me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  }
+  fold_unit_counters(counters);
+}
+
+/// Canonical-mode counterpart of quarantine_chunk.
+template <typename T>
+void quarantine_canonical(ServiceShared& s, int wid, Slot& slot,
+                          std::span<std::int32_t> eff_info) {
+  WorkerState& me = *s.wstates[wid];
+  auto* data = static_cast<T*>(slot.data);
+  const BatchLayout& layout = slot.layout;
+  const int n = layout.n();
+  const int nb = std::min(slot.nb, n);
+  for (std::int64_t b = 0; b < layout.batch(); ++b) {
+    if (b % kCanonicalUnit == 0) {
+      chaos::chaos_stall_unit();
+      me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    }
+    T* a = data + layout.index(b, 0, 0);
+    eff_info[static_cast<std::size_t>(b)] =
+        slot.triangle == Triangle::kUpper ? potrf_unblocked_upper(n, a, n)
+                                          : potrf_blocked(n, nb, a, n);
+  }
+}
+
+/// Runs the NaN/Inf screen on a claimed request. Clean batch: returns
+/// false and the caller proceeds on the normal parallel path (results
+/// stay bit-identical to an unscreened submit). Poisoned batch: runs the
+/// whole request on this worker's quarantine path, completes it
+/// (kPoisoned) with a RecoveryReport, and returns true. May throw
+/// std::bad_alloc (scratch for the screen); the caller aborts the request.
+template <typename T>
+bool screen_quarantine_impl(ServiceShared& s, int wid, std::uint32_t idx,
+                            const ChunkExecPlan<T>* plan) {
+  Slot& slot = *s.slots[idx];
+  const BatchLayout& layout = slot.layout;
+  const std::int64_t batch = layout.batch();
+  auto* data = static_cast<T*>(slot.data);
+
+  // The screen writes into scratch, never the caller's info: screened
+  // indices must be recoverable without trusting whatever the caller's
+  // (possibly uninitialized) span held.
+  ArenaLease sinfo_lease =
+      s.arena.acquire(static_cast<std::size_t>(batch) * sizeof(std::int32_t));
+  const std::span<std::int32_t> sinfo(sinfo_lease.as<std::int32_t>(),
+                                      static_cast<std::size_t>(batch));
+  std::memset(sinfo.data(), 0, sinfo.size_bytes());
+  const std::int64_t nonfinite = screen_nonfinite<T>(
+      layout, std::span<const T>(data, layout.size_elems()), slot.triangle,
+      sinfo);
+  if (nonfinite == 0) return false;
+
+  const std::uint64_t q_start = obs::now_ns();
+  slot.quarantined.store(true, std::memory_order_relaxed);
+  IBCHOL_COUNT("svc.quarantined", 1);
+
+  std::vector<std::int64_t> screened;  // off the steady-state path
+  screened.reserve(static_cast<std::size_t>(nonfinite));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    if (sinfo[static_cast<std::size_t>(b)] == kInfoNonFinite) {
+      screened.push_back(b);
+    }
+  }
+
+  // The factorization writes every non-padding matrix's status, so the
+  // screen scratch can double as the kernel target when the caller gave
+  // no info span.
+  std::span<std::int32_t> eff_info =
+      slot.info != nullptr ? std::span<std::int32_t>(slot.info, slot.info_size)
+                           : sinfo;
+  if (slot.info == nullptr) {
+    std::memset(sinfo.data(), 0, sinfo.size_bytes());
+  }
+  if (plan != nullptr) {
+    quarantine_chunk<T>(s, wid, slot, *plan, eff_info);
+  } else {
+    quarantine_canonical<T>(s, wid, slot, eff_info);
+  }
+
+  // Poisoned matrices report kInfoNonFinite regardless of what the
+  // factorization made of their garbage (recover.cpp's convention), and
+  // the failure counts come from the final info state — deterministic
+  // under any kernel behavior on NaN/Inf inputs.
+  for (const std::int64_t b : screened) {
+    eff_info[static_cast<std::size_t>(b)] = kInfoNonFinite;
+  }
+  std::int64_t failed = 0;
+  std::int64_t first = kNotSeen;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    if (eff_info[static_cast<std::size_t>(b)] != 0) {
+      ++failed;
+      first = std::min(first, b);
+    }
+  }
+
+  RecoveryReport report;
+  report.nonfinite = nonfinite;
+  report.unrecoverable = nonfinite;
+  report.failed = failed - nonfinite;
+  report.matrices.reserve(screened.size());
+  for (const std::int64_t b : screened) {
+    MatrixRecovery m;
+    m.index = b;
+    m.first_info = kInfoNonFinite;
+    report.matrices.push_back(m);
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.recovery = std::move(report);
+  }
+  if constexpr (obs::kEnabled) {
+    if (obs::tracing_active()) {
+      obs::record_span("quarantine", "svc", slot.seq, q_start,
+                       obs::now_ns() - q_start);
+    }
+  }
+  sinfo_lease.reset();  // before completion, as in run_chunk_range
+  finish_units(s, idx, slot.num_units, failed, first);
+  return true;
+}
+
+bool screen_and_quarantine(ServiceShared& s, int wid, std::uint32_t idx) {
+  Slot& slot = *s.slots[idx];
+  switch (slot.mode) {
+    case Slot::Mode::kChunkF32:
+      return screen_quarantine_impl<float>(s, wid, idx, &slot.plan_f);
+    case Slot::Mode::kChunkF64:
+      return screen_quarantine_impl<double>(s, wid, idx, &slot.plan_d);
+    case Slot::Mode::kCanonF32:
+      return screen_quarantine_impl<float>(s, wid, idx, nullptr);
+    case Slot::Mode::kCanonF64:
+      return screen_quarantine_impl<double>(s, wid, idx, nullptr);
+  }
+  return false;
+}
+
+// ------------------------------------------------------ claim & loop ----
+
 void claim_request(ServiceShared& s, int wid, std::uint32_t idx) {
   Slot& slot = *s.slots[idx];
+  if (slot.deadline_ns != 0 && obs::now_ns() >= slot.deadline_ns) {
+    // Expired while queued: complete without touching the batch. The CAS
+    // races cancellation; whoever wins completes the future.
+    int expected = static_cast<int>(RequestStatus::kQueued);
+    if (slot.status.compare_exchange_strong(
+            expected, static_cast<int>(RequestStatus::kDeadlineExceeded),
+            std::memory_order_acq_rel)) {
+      IBCHOL_COUNT("svc.deadline_miss", 1);
+      complete_unrun(s, idx, "expired");
+    } else {
+      release_slot(s, idx);
+    }
+    return;
+  }
   int expected = static_cast<int>(RequestStatus::kQueued);
   if (!slot.status.compare_exchange_strong(
           expected, static_cast<int>(RequestStatus::kRunning),
@@ -309,11 +644,24 @@ void claim_request(ServiceShared& s, int wid, std::uint32_t idx) {
   }
   const std::uint64_t now = obs::now_ns();
   IBCHOL_HIST("svc.queue_ns", now - slot.submit_ns);
+  if (slot.deadline_ns != 0) {
+    IBCHOL_HIST("svc.slack_ns", slot.deadline_ns - now);
+  }
   if constexpr (obs::kEnabled) {
     if (obs::tracing_active()) {
       obs::record_span("queue_wait", "svc", slot.seq, slot.submit_ns,
                        now - slot.submit_ns);
     }
+  }
+  if (slot.screen) {
+    bool handled = false;
+    try {
+      handled = screen_and_quarantine(s, wid, idx);
+    } catch (const std::bad_alloc&) {
+      abort_whole(s, idx);
+      return;
+    }
+    if (handled) return;
   }
   run_range(s, wid, {idx, 0, slot.num_units});
 }
@@ -325,12 +673,19 @@ bool find_and_run(ServiceShared& s, int wid) {
     return true;
   }
   std::uint32_t idx;
+  if (s.submissions_hi->try_pop(idx)) {
+    claim_request(s, wid, idx);
+    return true;
+  }
   if (s.submissions->try_pop(idx)) {
     claim_request(s, wid, idx);
     return true;
   }
-  for (int i = 1; i < s.threads; ++i) {
-    const int victim = (wid + i) % s.threads;
+  // Steal from every worker slot ever started — including suspect and
+  // retired workers, whose deques may still hold live ranges.
+  const int nw = s.num_workers.load(std::memory_order_acquire);
+  for (int i = 1; i < nw; ++i) {
+    const int victim = (wid + i) % nw;
     if (s.deques[victim]->steal(t)) {
       IBCHOL_COUNT("svc.steals", 1);
       run_range(s, wid, t);
@@ -346,9 +701,21 @@ bool drained(ServiceShared& s) {
 }
 
 void worker_loop(ServiceShared& s, int wid) {
+  WorkerState& me = *s.wstates[wid];
   int idle_spins = 0;
   for (;;) {
-    if (find_and_run(s, wid)) {
+    me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    if (me.phase.load(std::memory_order_acquire) == kSuspect) {
+      // The watchdog already runs a replacement; retire so the pool's
+      // worker count stays constant. Our deque drains via thieves.
+      me.busy.store(false, std::memory_order_relaxed);
+      me.phase.store(kRetired, std::memory_order_release);
+      return;
+    }
+    me.busy.store(true, std::memory_order_relaxed);
+    const bool ran = find_and_run(s, wid);
+    me.busy.store(false, std::memory_order_relaxed);
+    if (ran) {
       idle_spins = 0;
       continue;
     }
@@ -361,7 +728,10 @@ void worker_loop(ServiceShared& s, int wid) {
         s.work_epoch.load(std::memory_order_acquire);
     // One more look after snapshotting the epoch, so work published just
     // before the snapshot cannot be slept through.
-    if (find_and_run(s, wid)) {
+    me.busy.store(true, std::memory_order_relaxed);
+    const bool ran2 = find_and_run(s, wid);
+    me.busy.store(false, std::memory_order_relaxed);
+    if (ran2) {
       idle_spins = 0;
       continue;
     }
@@ -378,6 +748,137 @@ void worker_loop(ServiceShared& s, int wid) {
   }
 }
 
+// ----------------------------------------------------------- watchdog ----
+
+void watchdog_loop(const std::shared_ptr<ServiceShared>& sp) {
+  ServiceShared& s = *sp;
+  const WatchdogOptions& wd = s.opts.watchdog;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(s.wd_mu);
+      s.wd_cv.wait_for(
+          lock, std::chrono::nanoseconds(wd.check_interval_ns),
+          [&] { return s.stop.load(std::memory_order_acquire); });
+    }
+    if (s.stop.load(std::memory_order_acquire)) return;
+    IBCHOL_COUNT("svc.watchdog.checks", 1);
+    const std::uint64_t now = obs::now_ns();
+    const int nw = s.num_workers.load(std::memory_order_acquire);
+    for (int wid = 0; wid < nw; ++wid) {
+      WorkerState& w = *s.wstates[wid];
+      if (w.phase.load(std::memory_order_acquire) != kActive) continue;
+      const std::uint64_t hb = w.heartbeat.load(std::memory_order_relaxed);
+      if (!w.busy.load(std::memory_order_relaxed) || hb != w.last_beat) {
+        w.last_beat = hb;
+        w.last_change_ns = now;
+        continue;
+      }
+      if (now - w.last_change_ns <
+          static_cast<std::uint64_t>(wd.stall_threshold_ns)) {
+        continue;
+      }
+      // Stalled: busy, heartbeat flat past the threshold. Respawn only
+      // while a preallocated worker slot remains — marking a worker
+      // suspect retires it, and retiring without a replacement could
+      // empty the pool.
+      const int next = s.num_workers.load(std::memory_order_relaxed);
+      if (next >= s.max_workers) continue;
+      w.phase.store(kSuspect, std::memory_order_release);
+      IBCHOL_COUNT("svc.watchdog.suspects", 1);
+      WorkerState& fresh = *s.wstates[next];
+      fresh.last_beat = 0;
+      fresh.last_change_ns = now;
+      fresh.phase.store(kActive, std::memory_order_release);
+      // Publish the new worker count before its thread exists: thieves
+      // iterate [0, num_workers) and must see the deque as scannable no
+      // later than the worker that owns it.
+      s.num_workers.store(next + 1, std::memory_order_release);
+      s.workers.emplace_back([sp, next] { worker_loop(*sp, next); });
+      IBCHOL_COUNT("svc.watchdog.respawns", 1);
+      if constexpr (obs::kEnabled) {
+        if (obs::tracing_active()) {
+          obs::record_span("watchdog_respawn", "svc", wid, now,
+                           obs::now_ns() - now);
+        }
+      }
+      notify_work(s);
+    }
+  }
+}
+
+// ----------------------------------------------------------- admission ----
+
+/// One shed-oldest pass: rotates through the currently-queued
+/// normal-priority requests, completing those past their deadline with
+/// kDeadlineExceeded. Returns how many were shed. Unexpired requests go
+/// back to the tail (documented reordering); cancelled stragglers get
+/// their exec ref dropped, exactly as a claiming worker would.
+std::int64_t shed_expired_queued(ServiceShared& s) {
+  std::int64_t sheds = 0;
+  const std::size_t scan = s.submissions->size_approx();
+  const std::uint64_t now = obs::now_ns();
+  for (std::size_t i = 0; i < scan; ++i) {
+    std::uint32_t idx;
+    if (!s.submissions->try_pop(idx)) break;
+    Slot& slot = *s.slots[idx];
+    if (slot.deadline_ns != 0 && now >= slot.deadline_ns) {
+      int expected = static_cast<int>(RequestStatus::kQueued);
+      if (slot.status.compare_exchange_strong(
+              expected, static_cast<int>(RequestStatus::kDeadlineExceeded),
+              std::memory_order_acq_rel)) {
+        IBCHOL_COUNT("svc.deadline_miss", 1);
+        IBCHOL_COUNT("svc.shed", 1);
+        complete_unrun(s, idx, "expired");
+        ++sheds;
+        continue;
+      }
+    }
+    if (slot.status.load(std::memory_order_acquire) ==
+        static_cast<int>(RequestStatus::kQueued)) {
+      while (!s.submissions->try_push(idx)) {
+        std::this_thread::yield();
+      }
+    } else {
+      // Cancelled between pop and here: drop the exec ref.
+      release_slot(s, idx);
+    }
+  }
+  return sheds;
+}
+
+/// Pops a free request slot per the service's admission policy. Returns
+/// false when the request should be shed (kOverloaded).
+bool admit_slot(ServiceShared& s, std::uint32_t& idx) {
+  if (s.free_slots->try_pop(idx)) return true;
+  const AdmitPolicy policy = s.opts.policy.admit;
+  const std::uint64_t start =
+      policy == AdmitPolicy::kBoundedWait ? obs::now_ns() : 0;
+  for (;;) {
+    if (s.free_slots->try_pop(idx)) return true;
+    switch (policy) {
+      case AdmitPolicy::kBlock:
+        std::this_thread::yield();
+        break;
+      case AdmitPolicy::kReject:
+        return false;
+      case AdmitPolicy::kShedOldest:
+        // Shedding frees exec refs; a slot recycles only if its future
+        // was also released, so retry the pop and reject when a pass
+        // reclaims nothing.
+        if (shed_expired_queued(s) == 0) return false;
+        break;
+      case AdmitPolicy::kBoundedWait:
+        if (obs::now_ns() - start >=
+            static_cast<std::uint64_t>(
+                std::max<std::int64_t>(0, s.opts.policy.max_wait_ns))) {
+          return false;
+        }
+        std::this_thread::yield();
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 }  // namespace detail
@@ -389,6 +890,7 @@ using detail::Slot;
 
 FactorResult FactorFuture::wait() {
   IBCHOL_CHECK(valid(), "wait() on an empty future");
+  if (overloaded_) return FactorResult{};
   Slot& slot = *shared_->slots[slot_];
   std::unique_lock<std::mutex> lock(slot.mu);
   slot.cv.wait(lock, [&] { return slot.completed; });
@@ -397,6 +899,7 @@ FactorResult FactorFuture::wait() {
 
 bool FactorFuture::try_cancel() {
   IBCHOL_CHECK(valid(), "try_cancel() on an empty future");
+  if (overloaded_) return false;
   Slot& slot = *shared_->slots[slot_];
   int expected = static_cast<int>(RequestStatus::kQueued);
   if (!slot.status.compare_exchange_strong(
@@ -418,8 +921,18 @@ bool FactorFuture::try_cancel() {
 
 RequestStatus FactorFuture::status() const {
   IBCHOL_CHECK(valid(), "status() on an empty future");
+  if (overloaded_) return RequestStatus::kOverloaded;
   return static_cast<RequestStatus>(
       shared_->slots[slot_]->status.load(std::memory_order_acquire));
+}
+
+RecoveryReport FactorFuture::recovery_report() {
+  IBCHOL_CHECK(valid(), "recovery_report() on an empty future");
+  if (overloaded_) return RecoveryReport{};
+  Slot& slot = *shared_->slots[slot_];
+  std::unique_lock<std::mutex> lock(slot.mu);
+  slot.cv.wait(lock, [&] { return slot.completed; });
+  return slot.recovery;
 }
 
 void FactorFuture::release() noexcept {
@@ -427,6 +940,7 @@ void FactorFuture::release() noexcept {
     detail::release_slot(*shared_, slot_);
     shared_.reset();
   }
+  overloaded_ = false;
 }
 
 // -------------------------------------------------------- BatchService ----
@@ -441,6 +955,13 @@ BatchService::BatchService(const ServiceOptions& options)
                                       : cached_default_threads();
   IBCHOL_CHECK(s.threads >= 1, "service needs at least one worker");
   s.grain = std::max(1, options.steal_grain);
+  const WatchdogOptions& wd = options.watchdog;
+  if (wd.enabled) {
+    IBCHOL_CHECK(wd.check_interval_ns > 0 && wd.stall_threshold_ns > 0,
+                 "watchdog intervals must be positive");
+  }
+  s.max_workers =
+      s.threads + (wd.enabled ? std::max(0, wd.max_respawns) : 0);
   const std::size_t nslots = std::min<std::size_t>(
       std::max<std::size_t>(1, options.max_inflight), kMaxSlots);
   s.slots.reserve(nslots);
@@ -449,17 +970,35 @@ BatchService::BatchService(const ServiceOptions& options)
   }
   s.free_slots = std::make_unique<MpmcQueue<std::uint32_t>>(nslots);
   s.submissions = std::make_unique<MpmcQueue<std::uint32_t>>(nslots);
+  s.submissions_hi = std::make_unique<MpmcQueue<std::uint32_t>>(nslots);
   for (std::uint32_t i = 0; i < nslots; ++i) {
     (void)s.free_slots->try_push(i);
   }
-  s.deques.reserve(static_cast<std::size_t>(s.threads));
-  for (int i = 0; i < s.threads; ++i) {
+  // Deques and worker states for every slot the watchdog may ever fill
+  // are preallocated so respawns never resize a vector thieves iterate.
+  const auto max_workers = static_cast<std::size_t>(s.max_workers);
+  s.deques.reserve(max_workers);
+  s.wstates.reserve(max_workers);
+  for (std::size_t i = 0; i < max_workers; ++i) {
     s.deques.push_back(std::make_unique<WorkDeque>());
+    s.wstates.push_back(std::make_unique<detail::WorkerState>());
   }
-  s.workers.reserve(static_cast<std::size_t>(s.threads));
+  const std::uint64_t now = obs::now_ns();
+  for (int i = 0; i < s.threads; ++i) {
+    s.wstates[static_cast<std::size_t>(i)]->last_change_ns = now;
+    s.wstates[static_cast<std::size_t>(i)]->phase.store(
+        detail::kActive, std::memory_order_relaxed);
+  }
+  s.num_workers.store(s.threads, std::memory_order_release);
+  s.workers.reserve(max_workers);
   for (int i = 0; i < s.threads; ++i) {
     s.workers.emplace_back([shared = shared_, i] {
       detail::worker_loop(*shared, i);
+    });
+  }
+  if (wd.enabled) {
+    s.watchdog = std::thread([shared = shared_] {
+      detail::watchdog_loop(shared);
     });
   }
 }
@@ -467,15 +1006,27 @@ BatchService::BatchService(const ServiceOptions& options)
 BatchService::~BatchService() {
   ServiceShared& s = *shared_;
   s.stop.store(true, std::memory_order_release);
+  // Watchdog first: after it joins, the workers vector is frozen and no
+  // new worker can appear mid-teardown.
+  if (s.watchdog.joinable()) {
+    { std::lock_guard<std::mutex> lock(s.wd_mu); }
+    s.wd_cv.notify_all();
+    s.watchdog.join();
+  }
   detail::notify_work(s);
   for (std::thread& t : s.workers) t.join();
   // Slots of requests cancelled at the shutdown edge may still sit in the
-  // submission queue holding their execution-side reference.
+  // submission queues holding their execution-side reference.
   std::uint32_t idx;
+  while (s.submissions_hi->try_pop(idx)) detail::release_slot(s, idx);
   while (s.submissions->try_pop(idx)) detail::release_slot(s, idx);
 }
 
 int BatchService::threads() const noexcept { return shared_->threads; }
+
+int BatchService::workers_started() const noexcept {
+  return shared_->num_workers.load(std::memory_order_acquire);
+}
 
 ArenaStats BatchService::arena_stats() const {
   return shared_->arena.stats();
@@ -564,7 +1115,8 @@ FactorFuture BatchService::submit(const BatchLayout& layout,
                                   std::span<T> data,
                                   const CpuFactorOptions& options,
                                   std::span<std::int32_t> info,
-                                  const TileProgram* program) {
+                                  const TileProgram* program,
+                                  const SubmitOptions& sopts) {
   ServiceShared& s = *shared_;
   IBCHOL_CHECK(!s.stop.load(std::memory_order_acquire),
                "submit() on a service being destroyed");
@@ -573,6 +1125,7 @@ FactorFuture BatchService::submit(const BatchLayout& layout,
   IBCHOL_CHECK(info.empty() ||
                    info.size() >= static_cast<std::size_t>(layout.batch()),
                "info span too small for batch");
+  IBCHOL_CHECK(sopts.timeout_ns >= 0, "negative submit timeout");
 
   // Resolve the full execution plan before touching the pool, so every
   // precondition failure surfaces here, on the submitting thread.
@@ -600,39 +1153,59 @@ FactorFuture BatchService::submit(const BatchLayout& layout,
   IBCHOL_CHECK(num_units < kMaxUnits,
                "batch too large for one request; split it");
 
-  // Backpressure: all slots in flight means the caller is ahead of the
-  // pool; yield until a completion recycles one.
+  // Admission: a full pool means the caller is ahead of the pool, and
+  // the policy decides between backpressure and load shedding.
   std::uint32_t idx;
-  while (!s.free_slots->try_pop(idx)) {
-    std::this_thread::yield();
+  if (!detail::admit_slot(s, idx)) {
+    IBCHOL_COUNT("svc.shed", 1);
+    if (!info.empty()) {
+      std::fill_n(info.data(),
+                  std::min<std::size_t>(
+                      info.size(),
+                      static_cast<std::size_t>(layout.batch())),
+                  kInfoNotExecuted);
+    }
+    return FactorFuture::overloaded();
   }
   Slot& slot = *s.slots[idx];
   if (canonical) {
     slot.mode = std::is_same_v<T, float> ? Slot::Mode::kCanonF32
                                          : Slot::Mode::kCanonF64;
-    slot.layout = layout;
-    slot.nb = options.nb;
-    slot.triangle = options.triangle;
   } else {
     bind_plan<T>(slot, plan);
   }
+  slot.layout = layout;
+  slot.nb = options.nb;
+  slot.triangle = options.triangle;
   slot.data = data.data();
   slot.info = info.empty() ? nullptr : info.data();
   slot.info_size = info.empty() ? 0 : info.size();
   slot.num_units = num_units;
   slot.submit_ns = obs::now_ns();
+  slot.deadline_ns =
+      sopts.timeout_ns > 0
+          ? slot.submit_ns + static_cast<std::uint64_t>(sopts.timeout_ns)
+          : 0;
+  slot.screen = sopts.screen;
   slot.seq = s.seq.fetch_add(1, std::memory_order_relaxed);
   slot.status.store(static_cast<int>(RequestStatus::kQueued),
                     std::memory_order_relaxed);
   slot.remaining.store(num_units, std::memory_order_relaxed);
   slot.failed.store(0, std::memory_order_relaxed);
   slot.first_failed.store(detail::kNotSeen, std::memory_order_relaxed);
+  slot.aborted.store(false, std::memory_order_relaxed);
+  slot.quarantined.store(false, std::memory_order_relaxed);
   slot.refs.store(2, std::memory_order_relaxed);  // exec side + future
-  slot.completed = false;
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.completed = false;
+    slot.recovery = RecoveryReport{};
+  }
 
   s.inflight.fetch_add(1, std::memory_order_acq_rel);
   IBCHOL_COUNT("svc.submitted", 1);
-  while (!s.submissions->try_push(idx)) {
+  auto& queue = sopts.priority > 0 ? *s.submissions_hi : *s.submissions;
+  while (!queue.try_push(idx)) {
     std::this_thread::yield();  // capacity == slots: effectively immediate
   }
   detail::notify_work(s);
@@ -682,12 +1255,14 @@ template FactorFuture BatchService::submit<float>(const BatchLayout&,
                                                   std::span<float>,
                                                   const CpuFactorOptions&,
                                                   std::span<std::int32_t>,
-                                                  const TileProgram*);
+                                                  const TileProgram*,
+                                                  const SubmitOptions&);
 template FactorFuture BatchService::submit<double>(const BatchLayout&,
                                                    std::span<double>,
                                                    const CpuFactorOptions&,
                                                    std::span<std::int32_t>,
-                                                   const TileProgram*);
+                                                   const TileProgram*,
+                                                   const SubmitOptions&);
 template FactorResult BatchService::factor<float>(const BatchLayout&,
                                                   std::span<float>,
                                                   const CpuFactorOptions&,

@@ -12,7 +12,16 @@
 //
 //  * submission — a bounded lock-free MPMC queue (MpmcQueue) of pooled
 //    request slots; submit() is wait-free apart from the slot pop and
-//    returns a FactorFuture. A full pool is backpressure, not an error.
+//    returns a FactorFuture. What a full pool means is the admission
+//    policy's call (ServicePolicy): backpressure (block), immediate load
+//    shedding (kOverloaded), shedding of already-expired queued requests,
+//    or a bounded wait. High-priority submissions (SubmitOptions::
+//    priority) are claimed before normal ones.
+//  * deadlines — SubmitOptions::timeout_ns stamps a request with an
+//    absolute deadline; a worker that claims an expired request completes
+//    its future with kDeadlineExceeded without touching the batch (the
+//    info span is marked kInfoNotExecuted), so a backlogged service
+//    spends its cycles only on work whose answer somebody still wants.
 //  * execution — a persistent pool of workers, each owning a Chase-Lev
 //    deque (WorkDeque) of unit-range tasks. A claimed request enters as
 //    one root task; workers split ranges lazily (halving, down to
@@ -20,22 +29,37 @@
 //    thief is actually idle. Units are independent and schedule-agnostic
 //    (see ChunkExecPlan), so service results are bit-identical to the
 //    synchronous path — under IEEE math, to the last ulp.
-//  * double buffering — within a packed-plan task the worker packs unit
-//    k+1 between factor(k) and writeback(k) on a second scratch buffer,
-//    so the next chunk's loads overlap the previous chunk's streaming
-//    write-back instead of serializing behind it.
+//  * watchdog — an optional monitor thread (ServiceOptions::watchdog)
+//    samples per-worker heartbeat counters; a worker that stays busy
+//    without a heartbeat past the stall threshold is marked suspect and a
+//    replacement worker is spawned from a preallocated worker slot, so
+//    one stuck request cannot idle the whole pool. Thieves keep draining
+//    a suspect's deque (its queued units are not lost); the suspect
+//    retires once it comes back. Interventions are visible as
+//    svc.watchdog.* counters and "watchdog_respawn" trace spans.
+//  * poison isolation — SubmitOptions::screen runs the cpu/recover
+//    NaN/Inf screen when a request is claimed; a batch carrying
+//    non-finite matrices is quarantined to a single-worker, single-buffer
+//    slow path (it cannot occupy the double-buffered scratch or fan out
+//    across the pool), completes with kPoisoned, and surfaces a
+//    per-request RecoveryReport through FactorFuture::recovery_report().
 //  * memory — all scratch (pack, whole-matrix, double buffers) comes from
 //    a size-classed ScratchArena; request slots, queue cells, and deque
 //    cells are preallocated. After warm-up, steady-state operation
 //    performs zero heap allocations (ScratchArena::stats().upstream_allocs
-//    is the test hook for that claim).
+//    is the test hook for that claim). If an arena upstream allocation
+//    fails mid-request (real OOM or the chaos harness), the affected unit
+//    range is marked kInfoNotExecuted and the request completes with
+//    kResourceExhausted instead of crashing a worker.
 //  * observability — per-request "request"/"queue_wait" spans (category
-//    "svc") and the "svc.request_ns"/"svc.queue_ns" latency histograms
-//    (p50/p95/p99) via src/obs/histogram.hpp.
+//    "svc"), the "svc.request_ns"/"svc.queue_ns"/"svc.slack_ns" latency
+//    histograms, and the svc.shed / svc.deadline_miss / svc.quarantined /
+//    svc.watchdog.* overload counters (docs/OBSERVABILITY.md).
 //
 // Thread-count and steal-granularity are live tuning axes
 // (ServiceOptions::num_threads / steal_grain); bench/load_service sweeps
-// them. DESIGN §10 documents the architecture.
+// them and drives overload phases against the admission policies. DESIGN
+// §10 documents the architecture, §11 the overload & fault semantics.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +78,57 @@ namespace detail {
 struct ServiceShared;
 }
 
+/// Per-matrix `info` code for matrices the service never executed: the
+/// request was shed at admission, expired before a worker claimed it, or
+/// lost its scratch to an allocation failure. Distinct from 0 (success),
+/// positive failing-pivot columns, and kInfoNonFinite (-1).
+inline constexpr std::int32_t kInfoNotExecuted = -2;
+
+/// What submit() does when every request slot is in flight.
+enum class AdmitPolicy : int {
+  /// Wait (yielding) until a completion recycles a slot — backpressure,
+  /// the pre-overload default. Latency is unbounded but nothing is lost.
+  kBlock = 0,
+  /// Complete the new request immediately with kOverloaded; the service
+  /// never touches its data (info is marked kInfoNotExecuted). Bounds
+  /// both queue occupancy and admitted-request latency.
+  kReject = 1,
+  /// Scan the normal-priority submission queue once, completing queued
+  /// requests already past their deadline with kDeadlineExceeded (their
+  /// answer is worthless anyway), then retry admission; reject with
+  /// kOverloaded when nothing reclaimable remains. Unexpired requests
+  /// are re-enqueued at the tail, so FIFO order within the normal class
+  /// is traded for bounded occupancy. High-priority requests are never
+  /// shed.
+  kShedOldest = 2,
+  /// kBlock for at most ServicePolicy::max_wait_ns, then kReject.
+  kBoundedWait = 3,
+};
+
+/// Overload-response configuration (see AdmitPolicy).
+struct ServicePolicy {
+  AdmitPolicy admit = AdmitPolicy::kBlock;
+  /// Admission-wait budget for AdmitPolicy::kBoundedWait.
+  std::int64_t max_wait_ns = 1'000'000;
+};
+
+/// Worker-stall monitor configuration. Disabled by default: detection
+/// keys off "busy but no heartbeat for stall_threshold_ns", and on an
+/// oversubscribed host the OS can legitimately park a busy worker that
+/// long — a false respawn would add threads exactly when the machine has
+/// none to give. Enable it where stalls mean wedged code or injected
+/// faults, not scheduler pressure, and size the threshold generously.
+struct WatchdogOptions {
+  bool enabled = false;
+  /// Sampling period of the monitor thread.
+  std::int64_t check_interval_ns = 10'000'000;
+  /// A busy worker whose heartbeat is flat this long is declared stalled.
+  std::int64_t stall_threshold_ns = 250'000'000;
+  /// Replacement workers that may ever be spawned (preallocated worker
+  /// slots). Once exhausted, stalled workers are left alone.
+  int max_respawns = 4;
+};
+
 struct ServiceOptions {
   /// Worker threads; 0 = the cached process default
   /// (cached_default_threads()), resolved once for the service lifetime.
@@ -66,18 +141,49 @@ struct ServiceOptions {
   /// submission-queue capacity). A slot stays busy until its request
   /// completed AND its FactorFuture was released (the future reads the
   /// result out of the slot), so this must cover futures the client
-  /// holds, not just requests the pool is working on; submit() blocks
-  /// (backpressure) when all slots are busy. Clamped to the packed-task
-  /// slot limit (kMaxSlots).
+  /// holds, not just requests the pool is working on; a full pool is
+  /// handled per `policy`. Clamped to the packed-task slot limit
+  /// (kMaxSlots).
   std::size_t max_inflight = 256;
+  /// Overload response at admission.
+  ServicePolicy policy;
+  /// Worker-stall monitoring (off by default; see WatchdogOptions).
+  WatchdogOptions watchdog;
 };
 
-/// Lifecycle of one submitted request.
+/// Per-request submission knobs (all optional; defaults reproduce the
+/// plain submit semantics).
+struct SubmitOptions {
+  /// Relative deadline: the request expires timeout_ns after submission.
+  /// 0 = never. An expired request still queued when a worker reaches it
+  /// completes with kDeadlineExceeded and untouched data.
+  std::int64_t timeout_ns = 0;
+  /// > 0: high priority — claimed before every queued normal-priority
+  /// request (two FIFO classes, not a full priority order).
+  int priority = 0;
+  /// Screen the batch for NaN/Inf on claim and quarantine poisoned
+  /// requests to the single-worker slow path (status kPoisoned, report
+  /// via FactorFuture::recovery_report()). Off by default: screening
+  /// reads the whole batch once before factoring.
+  bool screen = false;
+};
+
+/// Lifecycle of one submitted request. Terminal states are kDone,
+/// kCancelled, kDeadlineExceeded, kOverloaded, kResourceExhausted, and
+/// kPoisoned; DESIGN §11 tabulates what each means for the batch data.
 enum class RequestStatus : int {
   kQueued = 0,    ///< accepted, no worker has claimed it yet
   kRunning = 1,   ///< workers are factoring units
   kDone = 2,      ///< complete; result valid, data/info fully written
-  kCancelled = 3  ///< cancelled before any work started; data untouched
+  kCancelled = 3, ///< cancelled before any work started; data untouched
+  kDeadlineExceeded = 4,  ///< expired before any work started; data
+                          ///< untouched, info = kInfoNotExecuted
+  kOverloaded = 5,        ///< shed at admission; data untouched, info =
+                          ///< kInfoNotExecuted, no slot was consumed
+  kResourceExhausted = 6, ///< scratch allocation failed mid-flight; the
+                          ///< affected matrices carry kInfoNotExecuted
+  kPoisoned = 7,          ///< completed via quarantine: the batch carried
+                          ///< non-finite matrices (info kInfoNonFinite)
 };
 
 /// Completion handle for one submitted batch. Move-only; dropping it
@@ -99,11 +205,14 @@ class FactorFuture {
   FactorFuture& operator=(const FactorFuture&) = delete;
   ~FactorFuture() { release(); }
 
-  [[nodiscard]] bool valid() const noexcept { return shared_ != nullptr; }
+  [[nodiscard]] bool valid() const noexcept {
+    return shared_ != nullptr || overloaded_;
+  }
 
-  /// Blocks until the request is done (or cancelled) and returns the
-  /// result; a cancelled request reports zero failures and untouched
-  /// data. Idempotent.
+  /// Blocks until the request reaches a terminal state and returns the
+  /// result. Requests that never executed (cancelled, expired, shed)
+  /// report zero failures and untouched data — distinguish them via
+  /// status(). Idempotent.
   FactorResult wait();
 
   /// Attempts to cancel: succeeds only while no worker has started the
@@ -114,20 +223,35 @@ class FactorFuture {
 
   [[nodiscard]] RequestStatus status() const;
 
+  /// Blocks like wait() and returns the quarantine report: empty unless
+  /// the request completed kPoisoned (screening found non-finite
+  /// matrices; report.matrices lists them).
+  RecoveryReport recovery_report();
+
  private:
   friend class BatchService;
   FactorFuture(std::shared_ptr<detail::ServiceShared> shared,
                std::uint32_t slot) noexcept
       : shared_(std::move(shared)), slot_(slot) {}
 
+  /// An admission-shed future: already terminal (kOverloaded), owns no
+  /// slot — rejection must not consume the resource being protected.
+  static FactorFuture overloaded() noexcept {
+    FactorFuture f;
+    f.overloaded_ = true;
+    return f;
+  }
+
   void swap(FactorFuture& other) noexcept {
     std::swap(shared_, other.shared_);
     std::swap(slot_, other.slot_);
+    std::swap(overloaded_, other.overloaded_);
   }
   void release() noexcept;
 
   std::shared_ptr<detail::ServiceShared> shared_;
   std::uint32_t slot_ = 0;
+  bool overloaded_ = false;
 };
 
 /// The persistent batch-factorization service. Thread-safe: any thread may
@@ -145,14 +269,16 @@ class BatchService {
   /// and (for IEEE math) bit-identical results to factor_batch_cpu with
   /// the same arguments; `options.num_threads` is ignored (the pool is
   /// fixed). `data`, `info`, and `*program` must stay alive and untouched
-  /// by the caller until the returned future completes. Blocks briefly
-  /// only when all request slots are in flight (backpressure).
+  /// by the caller until the returned future completes. A full slot pool
+  /// is handled per ServicePolicy (block, reject, shed, bounded wait);
+  /// `sopts` adds the per-request deadline/priority/screen knobs.
   template <typename T>
   [[nodiscard]] FactorFuture submit(const BatchLayout& layout,
                                     std::span<T> data,
                                     const CpuFactorOptions& options,
                                     std::span<std::int32_t> info = {},
-                                    const TileProgram* program = nullptr);
+                                    const TileProgram* program = nullptr,
+                                    const SubmitOptions& sopts = {});
 
   /// The synchronous API on top of the service: submit + wait.
   template <typename T>
@@ -171,8 +297,12 @@ class BatchService {
                          std::span<std::int32_t> info = {},
                          const TileProgram* program = nullptr);
 
-  /// Resolved worker count (fixed for the service lifetime).
+  /// Resolved initial worker count (fixed for the service lifetime).
   [[nodiscard]] int threads() const noexcept;
+
+  /// Worker threads ever started, including watchdog respawns — equals
+  /// threads() until the watchdog intervenes (test/telemetry hook).
+  [[nodiscard]] int workers_started() const noexcept;
 
   /// Scratch-pool counters — the zero-steady-state-allocation test hook.
   [[nodiscard]] ArenaStats arena_stats() const;

@@ -44,6 +44,24 @@ class MpmcQueue {
     }
   }
 
+  /// Test-only: starts the position counters at `start_pos` instead of 0,
+  /// so a wrap-around (and, with a start near INT64_MAX, a sequence-counter
+  /// overflow) is reachable in a handful of operations instead of billions.
+  /// The queue begins empty, exactly as if `start_pos` pushes and pops had
+  /// already happened.
+  MpmcQueue(std::size_t min_capacity, std::int64_t start_pos)
+      : MpmcQueue(min_capacity) {
+    const auto cap = static_cast<std::int64_t>(mask_ + 1);
+    IBCHOL_CHECK(start_pos % cap == 0,
+                 "start_pos must be a multiple of the rounded capacity");
+    for (std::size_t i = 0; i < static_cast<std::size_t>(cap); ++i) {
+      cells_[i].seq.store(start_pos + static_cast<std::int64_t>(i),
+                          std::memory_order_relaxed);
+    }
+    head_.store(start_pos, std::memory_order_relaxed);
+    tail_.store(start_pos, std::memory_order_relaxed);
+  }
+
   MpmcQueue(const MpmcQueue&) = delete;
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 

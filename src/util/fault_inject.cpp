@@ -1,8 +1,11 @@
 #include "util/fault_inject.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -156,5 +159,171 @@ std::int64_t FlakyEvaluator::faults_fired() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return faults_;
 }
+
+namespace chaos {
+
+namespace {
+
+/// Draw sites. Each keeps its own counter so one site's draw frequency
+/// cannot shift another's sequence.
+enum Site : int { kStall = 0, kWriteback = 1, kAlloc = 2, kNumSites = 3 };
+
+struct ChaosState {
+  // The plan is written only while inactive (install/uninstall flip
+  // `active` last/first), so decision points read it without a lock.
+  SvcChaosPlan plan;
+  std::atomic<bool> active{false};
+  std::atomic<bool> latched{false};  ///< env was consulted (or install ran)
+  std::atomic<std::uint64_t> draws[kNumSites];
+  std::atomic<std::uint64_t> fired{0};
+  std::mutex install_mu;
+};
+
+ChaosState& state() {
+  static ChaosState* s = new ChaosState;  // leaked: usable at static dtor time
+  return *s;
+}
+
+/// SplitMix64 finalizer: uniform draw in [0, 1) from (seed, site, n).
+double chaos_uniform(std::uint64_t seed, int site, std::uint64_t n) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL *
+                               (n * kNumSites + static_cast<std::uint64_t>(site) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+/// One decision at `site`: true when the site's next draw lands under
+/// `rate`.
+bool draw(ChaosState& s, int site, double rate) {
+  if (rate <= 0.0) return false;
+  const std::uint64_t n =
+      s.draws[site].fetch_add(1, std::memory_order_relaxed);
+  if (chaos_uniform(s.plan.seed, site, n) >= rate) return false;
+  s.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void latch_env(ChaosState& s) {
+  const std::lock_guard<std::mutex> lock(s.install_mu);
+  if (s.latched.load(std::memory_order_acquire)) return;
+  const char* env = std::getenv("IBCHOL_CHAOS");
+  if (env != nullptr && env[0] != '\0') {
+    s.plan = parse_svc_chaos(env);
+    s.active.store(s.plan.any(), std::memory_order_release);
+  }
+  s.latched.store(true, std::memory_order_release);
+}
+
+void sleep_ms(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+}  // namespace
+
+SvcChaosPlan parse_svc_chaos(const std::string& spec) {
+  SvcChaosPlan plan;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    IBCHOL_CHECK(eq != std::string::npos,
+                 "IBCHOL_CHAOS entry needs key=value: " + item);
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = std::stoull(value);
+    } else if (key == "stall_rate") {
+      plan.stall_rate = std::stod(value);
+    } else if (key == "stall_ms") {
+      plan.stall_ms = std::stod(value);
+    } else if (key == "writeback_delay_rate") {
+      plan.writeback_delay_rate = std::stod(value);
+    } else if (key == "writeback_delay_ms") {
+      plan.writeback_delay_ms = std::stod(value);
+    } else if (key == "alloc_fail_rate") {
+      plan.alloc_fail_rate = std::stod(value);
+    } else if (key == "poison_rate") {
+      plan.poison_rate = std::stod(value);
+    } else {
+      IBCHOL_CHECK(false, "unknown IBCHOL_CHAOS key: " + key);
+    }
+  }
+  for (double rate : {plan.stall_rate, plan.writeback_delay_rate,
+                      plan.alloc_fail_rate, plan.poison_rate}) {
+    IBCHOL_CHECK(rate >= 0.0 && rate <= 1.0,
+                 "chaos rates must be in [0, 1]");
+  }
+  IBCHOL_CHECK(plan.stall_ms >= 0.0 && plan.writeback_delay_ms >= 0.0,
+               "chaos durations must be non-negative");
+  return plan;
+}
+
+void install_svc_chaos(const SvcChaosPlan& plan) {
+  if constexpr (!kEnabled) return;
+  ChaosState& s = state();
+  const std::lock_guard<std::mutex> lock(s.install_mu);
+  s.active.store(false, std::memory_order_release);
+  s.plan = plan;
+  for (auto& d : s.draws) d.store(0, std::memory_order_relaxed);
+  s.fired.store(0, std::memory_order_relaxed);
+  s.latched.store(true, std::memory_order_release);
+  s.active.store(plan.any(), std::memory_order_release);
+}
+
+void uninstall_svc_chaos() {
+  if constexpr (!kEnabled) return;
+  ChaosState& s = state();
+  const std::lock_guard<std::mutex> lock(s.install_mu);
+  s.active.store(false, std::memory_order_release);
+  s.plan = SvcChaosPlan{};
+  s.latched.store(true, std::memory_order_release);
+}
+
+bool svc_chaos_active() {
+  if constexpr (!kEnabled) return false;
+  ChaosState& s = state();
+  if (!s.latched.load(std::memory_order_acquire)) latch_env(s);
+  return s.active.load(std::memory_order_relaxed);
+}
+
+SvcChaosPlan svc_chaos_plan() {
+  if constexpr (!kEnabled) return {};
+  ChaosState& s = state();
+  if (!s.latched.load(std::memory_order_acquire)) latch_env(s);
+  const std::lock_guard<std::mutex> lock(s.install_mu);
+  return s.plan;
+}
+
+void chaos_stall_unit() {
+  if (!svc_chaos_active()) return;
+  ChaosState& s = state();
+  if (draw(s, kStall, s.plan.stall_rate)) sleep_ms(s.plan.stall_ms);
+}
+
+void chaos_delay_writeback() {
+  if (!svc_chaos_active()) return;
+  ChaosState& s = state();
+  if (draw(s, kWriteback, s.plan.writeback_delay_rate)) {
+    sleep_ms(s.plan.writeback_delay_ms);
+  }
+}
+
+bool chaos_fail_alloc() {
+  if (!svc_chaos_active()) return false;
+  ChaosState& s = state();
+  return draw(s, kAlloc, s.plan.alloc_fail_rate);
+}
+
+std::uint64_t chaos_faults_fired() {
+  if constexpr (!kEnabled) return 0;
+  return state().fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace chaos
 
 }  // namespace ibchol

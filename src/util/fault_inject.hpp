@@ -15,6 +15,18 @@
 //  * FlakyEvaluator — a decorator that makes scripted sweep points throw
 //    (a configurable number of times) or stall before answering, for
 //    exercising the sweep driver's retry/deadline/journal machinery.
+//  * SvcChaosPlan / ibchol::chaos — seeded chaos hooks for the persistent
+//    batch service (src/svc/): worker stalls before a unit's factorization,
+//    delayed write-backs, and forced upstream allocation failures in
+//    ScratchArena. Decision points draw from a seeded hash of a per-site
+//    counter, so a fixed plan yields a fixed decision *sequence* per site
+//    regardless of which worker lands on which draw — the chaos suite
+//    asserts invariants (no deadlock, no leak, correct statuses, bit-exact
+//    successful results) that must hold under any interleaving anyway.
+//    Activated programmatically (install_svc_chaos) or via the IBCHOL_CHAOS
+//    environment variable ("stall_rate=0.05,stall_ms=10,alloc_fail_rate=
+//    0.2,seed=3", latched on first query); compiled to inert stubs with
+//    -DIBCHOL_CHAOS=OFF.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +37,10 @@
 
 #include "autotune/evaluator.hpp"
 #include "layout/layout.hpp"
+
+#ifndef IBCHOL_CHAOS_ENABLED
+#define IBCHOL_CHAOS_ENABLED 1
+#endif
 
 namespace ibchol {
 
@@ -120,5 +136,63 @@ class FlakyEvaluator final : public Evaluator {
   std::int64_t calls_ = 0;
   std::int64_t faults_ = 0;
 };
+
+namespace chaos {
+
+/// Compile-time gate (-DIBCHOL_CHAOS=OFF): when false every hook below is
+/// an inert stub and install_svc_chaos / IBCHOL_CHAOS have no effect.
+inline constexpr bool kEnabled = IBCHOL_CHAOS_ENABLED != 0;
+
+/// One chaos configuration for the service layer. All rates are per-draw
+/// probabilities in [0, 1]; a zero rate disables that fault class.
+struct SvcChaosPlan {
+  std::uint64_t seed = 1;            ///< same plan + same seed => same draws
+  double stall_rate = 0.0;           ///< P(worker stalls before a unit)
+  double stall_ms = 20.0;            ///< stall duration when drawn
+  double writeback_delay_rate = 0.0; ///< P(write-back of a unit is delayed)
+  double writeback_delay_ms = 1.0;   ///< delay duration when drawn
+  double alloc_fail_rate = 0.0;      ///< P(ScratchArena upstream alloc fails)
+  /// Suggested poison-injection rate for harnesses that corrupt request
+  /// batches via plan_faults/inject_faults. The service itself never reads
+  /// it — poisoning happens to the data, not inside the service.
+  double poison_rate = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return stall_rate > 0.0 || writeback_delay_rate > 0.0 ||
+           alloc_fail_rate > 0.0 || poison_rate > 0.0;
+  }
+};
+
+/// Parses an IBCHOL_CHAOS-style spec: comma-separated key=value pairs with
+/// the SvcChaosPlan field names ("seed=3,stall_rate=0.05,stall_ms=10").
+/// Empty spec => default (inactive) plan. Throws on unknown keys, rates
+/// outside [0, 1], or negative durations.
+[[nodiscard]] SvcChaosPlan parse_svc_chaos(const std::string& spec);
+
+/// Installs `plan` process-wide and resets the per-site draw counters, so
+/// consecutive test cases with the same plan see the same decision
+/// sequences. Overrides any IBCHOL_CHAOS environment plan.
+void install_svc_chaos(const SvcChaosPlan& plan);
+
+/// Deactivates chaos (decision points all answer "no fault").
+void uninstall_svc_chaos();
+
+/// True when a plan with any nonzero rate is active. The first call latches
+/// IBCHOL_CHAOS from the environment if install_svc_chaos was never called.
+[[nodiscard]] bool svc_chaos_active();
+
+/// The active plan (default-constructed when inactive).
+[[nodiscard]] SvcChaosPlan svc_chaos_plan();
+
+/// Decision points, called by the service layer. Each site draws from its
+/// own counter; inactive chaos costs one relaxed atomic load per call.
+void chaos_stall_unit();       ///< sleeps stall_ms when drawn
+void chaos_delay_writeback();  ///< sleeps writeback_delay_ms when drawn
+[[nodiscard]] bool chaos_fail_alloc();  ///< true: arena must fail upstream
+
+/// Total draws answered "fault" since the last install (test hook).
+[[nodiscard]] std::uint64_t chaos_faults_fired();
+
+}  // namespace chaos
 
 }  // namespace ibchol

@@ -3,13 +3,16 @@
 // semantics, and thread-safety under concurrent acquire/release.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <thread>
 #include <vector>
 
 #include "svc/arena.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/fault_inject.hpp"
 
 namespace ibchol::svc {
 namespace {
@@ -148,6 +151,96 @@ TEST(ScratchArena, ConcurrentAcquireReleaseIsSafe) {
   EXPECT_EQ(stats.acquires, stats.reuses + stats.upstream_allocs);
   // At most kThreads blocks of each of the 3 classes ever live at once.
   EXPECT_LE(stats.upstream_allocs, 3u * kThreads);
+}
+
+// ---------------------------------------------- upstream failure paths ----
+// Chaos-forced allocation failures stand in for real OOM: same code path,
+// deterministic trigger. Gated on the compile-time chaos switch.
+
+TEST(ScratchArena, FailedAllocLeavesAccountingClean) {
+  if constexpr (!chaos::kEnabled) {
+    GTEST_SKIP() << "chaos hooks compiled out (IBCHOL_CHAOS=OFF)";
+  }
+  ScratchArena arena;
+  chaos::SvcChaosPlan plan;
+  plan.alloc_fail_rate = 1.0;
+  chaos::install_svc_chaos(plan);
+  EXPECT_THROW((void)arena.acquire(4096), std::bad_alloc);
+  EXPECT_THROW((void)arena.acquire(1 << 20), std::bad_alloc);
+  chaos::uninstall_svc_chaos();
+
+  // A failed acquire moves only `acquires` and `failed_allocs`: no lease
+  // went live, nothing was fetched upstream, nothing leaked.
+  const ArenaStats after = arena.stats();
+  EXPECT_EQ(after.acquires, 2u);
+  EXPECT_EQ(after.failed_allocs, 2u);
+  EXPECT_EQ(after.upstream_allocs, 0u);
+  EXPECT_EQ(after.upstream_bytes, 0u);
+  EXPECT_EQ(after.live_leases, 0u);
+  EXPECT_EQ(after.cached_blocks, 0u);
+
+  // The arena is unharmed: the same request now succeeds.
+  ArenaLease lease = arena.acquire(4096);
+  EXPECT_TRUE(lease.valid());
+  EXPECT_EQ(arena.stats().upstream_allocs, 1u);
+}
+
+TEST(ScratchArena, FreeListHitsAreImmuneToUpstreamFailure) {
+  if constexpr (!chaos::kEnabled) {
+    GTEST_SKIP() << "chaos hooks compiled out (IBCHOL_CHAOS=OFF)";
+  }
+  ScratchArena arena;
+  { ArenaLease warm = arena.acquire(4096); }  // parks one 4KiB block
+
+  chaos::SvcChaosPlan plan;
+  plan.alloc_fail_rate = 1.0;
+  chaos::install_svc_chaos(plan);
+  // Pool hit: no upstream draw, so total upstream failure cannot touch it.
+  ArenaLease lease = arena.acquire(4096);
+  EXPECT_TRUE(lease.valid());
+  // Pool miss in another class still fails.
+  EXPECT_THROW((void)arena.acquire(1 << 20), std::bad_alloc);
+  chaos::uninstall_svc_chaos();
+
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.failed_allocs, 1u);
+  EXPECT_EQ(stats.upstream_allocs, 1u);  // only the warm-up block
+}
+
+TEST(ScratchArena, SeededPartialFailureSequenceIsReproducible) {
+  if constexpr (!chaos::kEnabled) {
+    GTEST_SKIP() << "chaos hooks compiled out (IBCHOL_CHAOS=OFF)";
+  }
+  // Same seed + same draw index => same verdict: run the identical draw
+  // sequence twice and compare the failure patterns bit for bit. Leases
+  // are held so every acquire is an upstream draw.
+  const auto run = [] {
+    chaos::SvcChaosPlan plan;
+    plan.seed = 5;
+    plan.alloc_fail_rate = 0.5;
+    chaos::install_svc_chaos(plan);
+    ScratchArena arena;
+    std::vector<ArenaLease> held;
+    std::vector<bool> pattern;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        held.push_back(arena.acquire(4096));
+        pattern.push_back(true);
+      } catch (const std::bad_alloc&) {
+        pattern.push_back(false);
+      }
+    }
+    chaos::uninstall_svc_chaos();
+    return pattern;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // A 0.5 rate over 32 draws leaves both outcomes present (deterministic
+  // given the fixed seed — this pins that the rate is actually applied).
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
 }
 
 }  // namespace

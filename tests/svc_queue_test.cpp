@@ -61,6 +61,94 @@ TEST(MpmcQueue, WrapsAroundManyLaps) {
   }
 }
 
+// The test-only start-position constructor fast-forwards the sequence
+// counters, making lap boundaries that would take billions of operations
+// reachable in a handful: a fresh queue at lap N must be indistinguishable
+// from one that really did N pushes and pops.
+TEST(MpmcQueue, StartPosQueueBehavesLikeFresh) {
+  const std::int64_t start = std::int64_t{1} << 40;  // multiple of cap = 4
+  MpmcQueue<int> q(4, start);
+  int v = -1;
+  EXPECT_FALSE(q.try_pop(v));  // empty at the boundary
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full exactly at capacity
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpmcQueue, FifoAcrossManyLapsFromLargeStartPos) {
+  const std::int64_t start = (std::int64_t{1} << 56);
+  MpmcQueue<std::int64_t> q(8, start);
+  // Interleaved push/pop streams cross the ring boundary repeatedly with
+  // partial occupancy, so cell sequence numbers pass through every
+  // "same-index, different-lap" case near the huge start position.
+  std::int64_t pushed = 0;
+  std::int64_t popped = 0;
+  std::int64_t v = -1;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(q.try_push(pushed));
+      ++pushed;
+    }
+    for (int i = 0; i < (round % 2 == 0 ? 2 : 4); ++i) {
+      if (popped == pushed) break;
+      ASSERT_TRUE(q.try_pop(v));
+      EXPECT_EQ(v, popped);
+      ++popped;
+    }
+  }
+  while (popped < pushed) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, popped);
+    ++popped;
+  }
+}
+
+TEST(MpmcQueue, ConcurrentExactlyOnceAtSequenceBoundary) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  // Start a few ops short of a power-of-two lap boundary so the contended
+  // phase spans the wrap itself.
+  const std::int64_t start = (std::int64_t{1} << 48) - 64;  // 64 = multiple
+  MpmcQueue<std::int64_t> q(64, start);
+  std::atomic<int> producers_left{kThreads};
+  std::atomic<std::int64_t> popped_sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kThreads; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::int64_t v =
+            static_cast<std::int64_t>(p) * kPerThread + i;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+      producers_left.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  for (int c = 0; c < kThreads; ++c) {
+    threads.emplace_back([&] {
+      std::int64_t v;
+      std::int64_t local = 0;
+      for (;;) {
+        if (q.try_pop(v)) {
+          local += v;
+        } else if (producers_left.load(std::memory_order_acquire) == 0) {
+          if (!q.try_pop(v)) break;
+          local += v;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      popped_sum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::int64_t total = std::int64_t{kThreads} * kPerThread;
+  EXPECT_EQ(popped_sum.load(), total * (total - 1) / 2);
+}
+
 // N producers × N consumers, every pushed value popped exactly once.
 TEST(MpmcQueue, ConcurrentExactlyOnce) {
   constexpr int kProducers = 4;

@@ -294,6 +294,55 @@ TEST(BatchService, DroppedFutureStillCompletesAndRecyclesSlot) {
   // Destructor drains whatever is still running.
 }
 
+// Destruction racing pending cancels: clients submit and cancel while the
+// service is being torn down. The destructor must complete every accepted
+// request (run or cancelled), join cleanly, and leave every future
+// terminal — repeated many times to give the races room to interleave.
+TEST(BatchService, SubmitCancelDestroyRaceLoop) {
+  const BatchLayout layout = BatchLayout::interleaved(8, 128);
+  constexpr int kIters = 25;
+  constexpr int kRequests = 6;
+  std::vector<Workload<float>> batches;
+  for (int i = 0; i < kRequests; ++i) {
+    batches.push_back(Workload<float>(layout).clone());
+  }
+  for (int iter = 0; iter < kIters; ++iter) {
+    // Completed iterations leave factors behind; restore SPD inputs.
+    for (auto& b : batches) {
+      generate_spd_batch<float>(layout, b.data.span(),
+                                {SpdKind::kGramPlusDiagonal, 42, 50.0});
+    }
+    std::vector<FactorFuture> futures;
+    futures.reserve(kRequests);
+    std::thread canceller;
+    {
+      // Slots must cover the held futures (kBlock would wait on them).
+      BatchService service({.num_threads = 2, .max_inflight = kRequests});
+      for (auto& b : batches) {
+        futures.push_back(
+            service.submit<float>(layout, b.data.span(), {}, b.info));
+      }
+      // Cancel half of them concurrently with teardown: the destructor
+      // runs while cancels are still landing (futures share ownership of
+      // the slot pool, so cancelling a dying service is legal).
+      canceller = std::thread([&] {
+        for (int i = 0; i < kRequests; i += 2) {
+          (void)futures[static_cast<std::size_t>(i)].try_cancel();
+        }
+      });
+    }  // ~BatchService drains: no hang, no leak, no double-complete
+    canceller.join();
+    for (auto& f : futures) {
+      const FactorResult r = f.wait();  // must not block after teardown
+      const RequestStatus st = f.status();
+      EXPECT_TRUE(st == RequestStatus::kDone ||
+                  st == RequestStatus::kCancelled)
+          << "status " << static_cast<int>(st) << " at iter " << iter;
+      if (st == RequestStatus::kDone) EXPECT_EQ(r.failed_count, 0);
+    }
+  }
+}
+
 TEST(BatchService, SteadyStateHeapAllocationsAreZero) {
   // One worker: the split/lease pattern is deterministic, so the warm-up
   // provably reaches the steady-state working set. An explicit chunk_size

@@ -31,7 +31,10 @@
 // Flags:
 //   --rate=R        arrivals per second for the open-loop phase [200]
 //   --duration=S    open-loop phase length in seconds [1.0]
-//   --mix=SPEC      request mix "n:weight,n:weight,..." [8:2,16:2]
+//   --mix=SPEC      request mix "n:weight[:prec],..." where prec is
+//                   fp32|bf16|fp16 (default fp32); reduced-precision
+//                   entries go through submit_mixed and the open-loop
+//                   report gains per-precision p50/p95/p99 rows [8:2,16:2]
 //   --batch=B       matrices per request [256]
 //   --requests=N    requests in the throughput phase [40]
 //   --threads=T     service worker threads (0 = hardware default) [0]
@@ -55,6 +58,7 @@
 
 #include "bench_common.hpp"
 #include "cpu/batch_factor.hpp"
+#include "cpu/simd/convert.hpp"
 #include "cpu/thread_util.hpp"
 #include "layout/generate.hpp"
 #include "layout/layout.hpp"
@@ -70,6 +74,7 @@ namespace {
 struct MixEntry {
   int n = 0;
   int weight = 1;
+  StoragePrec prec = StoragePrec::kFp32;
 };
 
 std::vector<MixEntry> parse_mix(const std::string& spec) {
@@ -77,12 +82,16 @@ std::vector<MixEntry> parse_mix(const std::string& spec) {
   std::istringstream is(spec);
   std::string item;
   while (std::getline(is, item, ',')) {
-    const auto colon = item.find(':');
+    std::istringstream fields(item);
+    std::string field;
     MixEntry e;
-    e.n = std::stoi(item.substr(0, colon));
-    e.weight = colon == std::string::npos
-                   ? 1
-                   : std::stoi(item.substr(colon + 1));
+    IBCHOL_CHECK(std::getline(fields, field, ':'),
+                 "bad --mix entry: " + item);
+    e.n = std::stoi(field);
+    if (std::getline(fields, field, ':')) e.weight = std::stoi(field);
+    if (std::getline(fields, field, ':')) {
+      e.prec = storage_prec_from_string(field);
+    }
     IBCHOL_CHECK(e.n >= 1 && e.weight >= 1, "bad --mix entry: " + item);
     mix.push_back(e);
   }
@@ -96,20 +105,32 @@ std::vector<MixEntry> parse_mix(const std::string& spec) {
 struct Workload {
   BatchLayout layout;
   CpuFactorOptions options;
+  StoragePrec prec = StoragePrec::kFp32;
   AlignedBuffer<float> data;
+  /// Reduced-precision entries carry the same batch narrowed to 16-bit
+  /// words; `data` stays as the fp32 master the narrowing regenerates from.
+  AlignedBuffer<std::uint16_t> data16;
   std::vector<std::int32_t> info;
 
-  Workload(int n, std::int64_t batch, int chunk)
+  Workload(int n, std::int64_t batch, int chunk,
+           StoragePrec p = StoragePrec::kFp32)
       : layout(BatchLayout::interleaved(n, batch)),
+        prec(p),
         data(layout.size_elems()),
         info(static_cast<std::size_t>(batch)) {
     options.chunk_size = chunk;
+    if (prec != StoragePrec::kFp32) data16.resize(layout.size_elems());
     regenerate();
   }
 
   void regenerate() {
     generate_spd_batch<float>(layout, data.span(),
                               {SpdKind::kGramPlusDiagonal, 42, 50.0});
+    if (prec != StoragePrec::kFp32) {
+      narrow_row(resolve_convert_isa(), prec, data.data(), data16.data(),
+                 static_cast<std::int64_t>(layout.size_elems()),
+                 /*nt_stores=*/false);
+    }
   }
 
   [[nodiscard]] double flops() const {
@@ -118,12 +139,53 @@ struct Workload {
   }
 };
 
+/// Routes a request to the lane its precision requires (submit vs
+/// submit_mixed); all phases go through this so the mix's precision column
+/// applies everywhere.
+svc::FactorFuture submit_workload(svc::BatchService& service, Workload& w,
+                                  const svc::SubmitOptions& sopts = {}) {
+  if (w.prec != StoragePrec::kFp32) {
+    svc::SubmitOptions so = sopts;
+    so.storage = w.prec;
+    return service.submit_mixed(w.layout, w.data16.span(), w.options, w.info,
+                                nullptr, so);
+  }
+  return service.submit<float>(w.layout, w.data.span(), w.options, w.info,
+                               nullptr, sopts);
+}
+
+/// The sync counterpart of submit_workload for the throughput compare.
+void factor_workload_sync(Workload& w) {
+  if (w.prec != StoragePrec::kFp32) {
+    (void)factor_batch_cpu_mixed(w.layout, w.data16.span(), w.prec,
+                                 w.options, w.info);
+    return;
+  }
+  (void)factor_batch_cpu<float>(w.layout, w.data.span(), w.options, w.info);
+}
+
 /// Per-size bit-identity check: the service must reproduce the sync driver
-/// exactly (units are schedule-agnostic; IEEE math).
-bool check_bit_identity(svc::BatchService& service, int n,
+/// exactly (units are schedule-agnostic; IEEE math). Reduced-precision
+/// entries compare the 16-bit words of the mixed lane instead.
+bool check_bit_identity(svc::BatchService& service, const MixEntry& e,
                         std::int64_t batch, int chunk) {
-  Workload sync_w(n, batch, chunk);
-  Workload svc_w(n, batch, chunk);
+  Workload sync_w(e.n, batch, chunk, e.prec);
+  Workload svc_w(e.n, batch, chunk, e.prec);
+  if (e.prec != StoragePrec::kFp32) {
+    const FactorResult a = factor_batch_cpu_mixed(
+        sync_w.layout, sync_w.data16.span(), e.prec, sync_w.options,
+        sync_w.info);
+    svc::SubmitOptions so;
+    so.storage = e.prec;
+    const FactorResult b = service.factor_mixed(
+        svc_w.layout, svc_w.data16.span(), svc_w.options, svc_w.info,
+        nullptr, so);
+    return a.failed_count == b.failed_count && sync_w.info == svc_w.info &&
+           std::memcmp(sync_w.data16.span().data(),
+                       svc_w.data16.span().data(),
+                       sync_w.data16.span().size() *
+                           sizeof(std::uint16_t)) == 0;
+  }
   const FactorResult a = factor_batch_cpu<float>(
       sync_w.layout, sync_w.data.span(), sync_w.options, sync_w.info);
   const FactorResult b = service.factor<float>(
@@ -149,7 +211,7 @@ PhaseResult run_sync(std::vector<Workload>& pool, int requests) {
   double flops = 0;
   for (int i = 0; i < requests; ++i) {
     Workload& w = pool[static_cast<std::size_t>(i) % pool.size()];
-    (void)factor_batch_cpu<float>(w.layout, w.data.span(), w.options, w.info);
+    factor_workload_sync(w);
     flops += w.flops();
   }
   PhaseResult r;
@@ -174,8 +236,7 @@ PhaseResult run_service_throughput(svc::BatchService& service,
       (void)futures[static_cast<std::size_t>(i) - depth].wait();
     }
     Workload& w = pool[static_cast<std::size_t>(i) % depth];
-    futures.push_back(
-        service.submit<float>(w.layout, w.data.span(), w.options, w.info));
+    futures.push_back(submit_workload(service, w));
     flops += w.flops();
   }
   for (auto& f : futures) (void)f.wait();
@@ -192,6 +253,9 @@ struct OpenLoopResult {
   double elapsed_s = 0;
   obs::HistogramSnapshot request_ns;
   obs::HistogramSnapshot queue_ns;
+  /// Per-precision request-latency lanes ("fp32", "bf16", ...) from the
+  /// service's svc.request_ns.<prec> histograms, sorted by lane name.
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> prec_request_ns;
 };
 
 OpenLoopResult run_open_loop(svc::BatchService& service,
@@ -220,15 +284,18 @@ OpenLoopResult run_open_loop(svc::BatchService& service,
       (void)futures[static_cast<std::size_t>(i) - depth].wait();
     }
     Workload& w = pool[static_cast<std::size_t>(i) % depth];
-    futures.push_back(
-        service.submit<float>(w.layout, w.data.span(), w.options, w.info));
+    futures.push_back(submit_workload(service, w));
     ++r.submitted;
   }
   for (auto& f : futures) (void)f.wait();
   r.elapsed_s = seconds_since(t0);
+  const std::string prec_prefix = "svc.request_ns.";
   for (const auto& [name, snap] : obs::histograms_snapshot()) {
     if (name == "svc.request_ns") r.request_ns = snap;
     if (name == "svc.queue_ns") r.queue_ns = snap;
+    if (name.rfind(prec_prefix, 0) == 0 && snap.count > 0) {
+      r.prec_request_ns.emplace_back(name.substr(prec_prefix.size()), snap);
+    }
   }
   return r;
 }
@@ -329,9 +396,7 @@ OverloadRow run_overload_rate(std::vector<Workload>& pool, double rate,
       account(futures[static_cast<std::size_t>(i) - depth]);
     }
     Workload& w = pool[static_cast<std::size_t>(i) % depth];
-    futures.push_back(service.submit<float>(w.layout, w.data.span(),
-                                            w.options, w.info, nullptr,
-                                            sopts));
+    futures.push_back(submit_workload(service, w, sopts));
     ++row.submitted;
   }
   for (auto& f : futures) {
@@ -372,7 +437,18 @@ void write_json(const std::string& path, int threads, double rate,
      << ", \"max\": " << ol.request_ns.max << "}"
      << ", \"queue_ns\": {\"p50\": " << ol.queue_ns.p50
      << ", \"p95\": " << ol.queue_ns.p95
-     << ", \"p99\": " << ol.queue_ns.p99 << "}}";
+     << ", \"p99\": " << ol.queue_ns.p99 << "}";
+  if (!ol.prec_request_ns.empty()) {
+    os << ", \"prec_request_ns\": {";
+    for (std::size_t i = 0; i < ol.prec_request_ns.size(); ++i) {
+      const auto& [lane, snap] = ol.prec_request_ns[i];
+      os << (i > 0 ? ", " : "") << "\"" << lane
+         << "\": {\"count\": " << snap.count << ", \"p50\": " << snap.p50
+         << ", \"p95\": " << snap.p95 << ", \"p99\": " << snap.p99 << "}";
+    }
+    os << "}";
+  }
+  os << "}";
   if (!sweep.empty()) {
     os << ", \"overload\": {\"policy\": \"" << policy << "\", \"rows\": [";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
@@ -429,10 +505,10 @@ int run(int argc, const char* const* argv) {
   // anything.
   bool identical = true;
   for (const MixEntry& e : mix) {
-    const bool ok = check_bit_identity(service, e.n, batch, chunk);
+    const bool ok = check_bit_identity(service, e, batch, chunk);
     identical = identical && ok;
-    std::cout << "bit-identity n=" << e.n << ": "
-              << (ok ? "ok" : "MISMATCH") << "\n";
+    std::cout << "bit-identity n=" << e.n << " prec=" << to_string(e.prec)
+              << ": " << (ok ? "ok" : "MISMATCH") << "\n";
   }
 
   // The request pool realizes the mix by weight; 3 rotating buffers per
@@ -441,7 +517,7 @@ int run(int argc, const char* const* argv) {
   for (int rep = 0; rep < 3; ++rep) {
     for (const MixEntry& e : mix) {
       for (int w = 0; w < e.weight; ++w) {
-        pool.emplace_back(e.n, batch, chunk);
+        pool.emplace_back(e.n, batch, chunk, e.prec);
       }
     }
   }
@@ -463,6 +539,9 @@ int run(int argc, const char* const* argv) {
             << " elapsed=" << ol.elapsed_s << "s\n";
   print_hist("request latency", ol.request_ns);
   print_hist("queue wait     ", ol.queue_ns);
+  for (const auto& [lane, snap] : ol.prec_request_ns) {
+    print_hist(("request latency [" + lane + "]").c_str(), snap);
+  }
 
   std::vector<OverloadRow> sweep;
   if (!rates_spec.empty()) {

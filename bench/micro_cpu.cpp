@@ -15,7 +15,10 @@
 // (BENCH_*.json). --layout=chunked|interleaved selects the interleaved
 // layout the summary measures (default chunked); --chunk=N sets its chunk
 // size (for --layout=interleaved it sizes the pipeline's pack scratch;
-// 0 = the automatic sizing rule).
+// 0 = the automatic sizing rule). --prec=fp32|bf16|fp16 selects the
+// reduced-precision storage lane the summary measures alongside the fp32
+// columns (default bf16; fp32 disables the mixed lane) — each row then
+// carries "storage_prec" and "<prec>_gflops" fields.
 //
 // --trace=<path> records a pipeline trace instead: the packed chunk
 // pipeline (pack / factor / write-back spans per chunk) and the chunked
@@ -41,6 +44,7 @@
 #include "cpu/batch_solve.hpp"
 #include "cpu/chunk_pipeline.hpp"
 #include "cpu/refine.hpp"
+#include "cpu/simd/convert.hpp"
 #include "cpu/simd/isa.hpp"
 #include "cpu/simd/vec_exec.hpp"
 #include "cpu/tile_exec.hpp"
@@ -182,6 +186,39 @@ void BM_FactorExec(benchmark::State& state) {
 BENCHMARK(BM_FactorExec)
     ->ArgsProduct({{4, 8, 16, 24, 32, 48, 64}, {0, 1, 2}})
     ->ArgNames({"n", "exec"});
+
+// Mixed-precision storage lane: matrices held as bf16/fp16 16-bit words,
+// widened into the fp32 pack scratch, factored by the same fp32 bodies,
+// narrowed on write-back. Compare against BM_FactorExec's vectorized rows
+// to see the half-traffic effect. Narrowing the pristine batch is input
+// preparation and stays outside the timed region.
+void BM_FactorMixed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto prec = static_cast<StoragePrec>(state.range(1));
+  TuningParams p = recommended_params(n);
+  p.storage = prec;
+  const BatchLayout layout = BatchCholesky::make_layout(n, kBatch, p);
+  const BatchCholesky chol(layout, p);
+  AlignedBuffer<float> fpristine(layout.size_elems());
+  generate_spd_batch<float>(layout, fpristine.span());
+  AlignedBuffer<std::uint16_t> pristine(layout.size_elems());
+  narrow_row(resolve_convert_isa(), prec, fpristine.data(), pristine.data(),
+             static_cast<std::int64_t>(layout.size_elems()),
+             /*nt_stores=*/false);
+  AlignedBuffer<std::uint16_t> work(layout.size_elems());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(pristine.begin(), pristine.end(), work.begin());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(chol.factorize_mixed(work.span()));
+  }
+  set_flops(state, n, kBatch);
+}
+BENCHMARK(BM_FactorMixed)
+    ->ArgsProduct({{8, 16, 32, 64},
+                   {static_cast<long>(StoragePrec::kBf16),
+                    static_cast<long>(StoragePrec::kFp16)}})
+    ->ArgNames({"n", "prec"});
 
 // ------------------------------------------------------------ layout -----
 
@@ -344,6 +381,23 @@ double time_factor(const BatchLayout& layout,
   return best;
 }
 
+// Mixed-lane counterpart: same best-of-5 protocol over a 16-bit batch.
+double time_factor_mixed(const BatchLayout& layout,
+                         const AlignedBuffer<std::uint16_t>& pristine,
+                         AlignedBuffer<std::uint16_t>& work, StoragePrec prec,
+                         const CpuFactorOptions& opt) {
+  const std::size_t bytes = layout.size_elems() * sizeof(std::uint16_t);
+  double best = 1e300;
+  for (int rep = 0; rep < 6; ++rep) {  // one warmup + five timed
+    std::memcpy(work.data(), pristine.data(), bytes);
+    Timer t;
+    (void)factor_batch_cpu_mixed(layout, work.span(), prec, opt);
+    const double s = t.seconds();
+    if (rep > 0 && s < best) best = s;
+  }
+  return best;
+}
+
 double to_gflops(int n, std::int64_t batch, double seconds) {
   return seconds <= 0.0 ? 0.0
                         : static_cast<double>(batch) *
@@ -465,8 +519,11 @@ int run_trace_scenario(const std::string& path) {
 // summary across the head-to-head sizes, written as one JSON document.
 // `chunked` selects the summary's interleaved layout; `chunk` its chunk
 // size (for the simple interleaved layout it sizes the pipeline's pack
-// scratch, 0 = automatic).
-void write_exec_summary(const std::string& path, bool chunked, int chunk) {
+// scratch, 0 = automatic). `prec` adds a reduced-precision storage lane
+// measured with the vec column's exact compute configuration (kFp32
+// disables it).
+void write_exec_summary(const std::string& path, bool chunked, int chunk,
+                        StoragePrec prec) {
   // Per-site cost of an inactive span. With the layer compiled out this is
   // the zero-overhead assertion of the OFF configuration; compiled in it
   // documents the one-relaxed-load price of a quiet site.
@@ -485,6 +542,7 @@ void write_exec_summary(const std::string& path, bool chunked, int chunk) {
      << "\",\n  \"hardware_concurrency\": "
      << std::thread::hardware_concurrency()
      << ",\n  \"layout\": \"" << (chunked ? "chunked" : "interleaved")
+     << "\",\n  \"storage_prec\": \"" << to_string(prec)
      << "\",\n  \"obs_enabled\": " << (obs::kEnabled ? "true" : "false")
      << ",\n  \"obs_inactive_span_ns\": " << span_ns
      << ",\n  \"summary\": [";
@@ -532,6 +590,20 @@ void write_exec_summary(const std::string& path, bool chunked, int chunk) {
     // this breakdown when a size regresses.
     const std::map<std::string, double> stages =
         trace_stages(il, ipristine, iwork, opt);
+    // Mixed-precision storage lane: the vec column's exact compute
+    // configuration, matrices held as 16-bit words. Narrowing the pristine
+    // batch is input preparation, not measured time (padding identities
+    // narrow exactly, preserving the pipeline's invariant).
+    double mixed = 0.0;
+    if (prec != StoragePrec::kFp32) {
+      AlignedBuffer<std::uint16_t> hpristine(il.size_elems());
+      narrow_row(resolve_convert_isa(), prec, ipristine.data(),
+                 hpristine.data(),
+                 static_cast<std::int64_t>(il.size_elems()),
+                 /*nt_stores=*/false);
+      AlignedBuffer<std::uint16_t> hwork(il.size_elems());
+      mixed = time_factor_mixed(il, hpristine, hwork, prec, opt);
+    }
     opt.unroll = saved_unroll;
     opt.exec = CpuExec::kAuto;
     const double autoex = time_factor(il, ipristine, iwork, opt);
@@ -553,8 +625,17 @@ void write_exec_summary(const std::string& path, bool chunked, int chunk) {
        << ", \"vec_speedup\": " << (vec > 0.0 ? spec / vec : 0.0)
        << ", \"canonical_gflops\": " << to_gflops(n, kBatch, canonical)
        << ", \"interleaved_gflops\": " << to_gflops(n, kBatch, vec)
-       << ", \"layout_speedup\": " << (vec > 0.0 ? canonical / vec : 0.0)
-       << ", \"stages\": {";
+       << ", \"layout_speedup\": " << (vec > 0.0 ? canonical / vec : 0.0);
+    if (prec != StoragePrec::kFp32) {
+      // Field name carries the precision ("bf16_gflops"/"fp16_gflops") so
+      // gate baselines from different lanes never compare against each
+      // other; prec_speedup is mixed-over-vec throughput.
+      os << ", \"storage_prec\": \"" << to_string(prec) << "\", \""
+         << to_string(prec)
+         << "_gflops\": " << to_gflops(n, kBatch, mixed)
+         << ", \"prec_speedup\": " << (mixed > 0.0 ? vec / mixed : 0.0);
+    }
+    os << ", \"stages\": {";
     bool sfirst = true;
     for (const auto& [stage, secs] : stages) {
       os << (sfirst ? "" : ", ") << '"' << stage << "\": " << secs;
@@ -576,6 +657,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool chunked = true;
   int chunk = 64;
+  StoragePrec prec = StoragePrec::kBf16;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -597,6 +679,18 @@ int main(int argc, char** argv) {
       }
     } else if (a.rfind("--chunk=", 0) == 0) {
       chunk = std::atoi(a.c_str() + 8);
+    } else if (a.rfind("--prec=", 0) == 0) {
+      const std::string s = a.substr(7);
+      if (s == "fp32") {
+        prec = StoragePrec::kFp32;
+      } else if (s == "bf16") {
+        prec = StoragePrec::kBf16;
+      } else if (s == "fp16") {
+        prec = StoragePrec::kFp16;
+      } else {
+        std::fprintf(stderr, "unknown --prec=%s\n", s.c_str());
+        return 1;
+      }
     } else {
       args.push_back(argv[i]);
     }
@@ -605,7 +699,7 @@ int main(int argc, char** argv) {
     return run_trace_scenario(trace_path);
   }
   if (!json_path.empty()) {
-    write_exec_summary(json_path, chunked, chunk);
+    write_exec_summary(json_path, chunked, chunk, prec);
     return 0;
   }
   int filtered_argc = static_cast<int>(args.size());

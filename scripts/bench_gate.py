@@ -10,17 +10,28 @@ the gate (the sweep grid may grow). The comparison is only meaningful when
 both summaries measured the same layout; a mismatch fails loudly rather
 than gating apples against oranges.
 
+Summaries may additionally carry a reduced-precision storage lane
+(micro_cpu --prec=bf16|fp16): rows gain ``storage_prec`` and
+``<prec>_gflops`` fields. When the recorded baseline has such rows they are
+gated with the same threshold; a fresh summary missing them (recorded with
+--prec=fp32, or with a different lane) is an environmental skip (exit 3),
+never a pass — the caller should re-record with the matching --prec.
+Legacy baselines without precision rows compare permissively so the first
+re-record upgrades them in place. The fp32 vec_gflops gate is unchanged
+either way.
+
 Exit codes:
   0 — no regression past the threshold
   1 — regression or layout mismatch (a real gate failure)
   3 — environment mismatch: the recorded baseline was measured on a host
       with a different core count (``hardware_concurrency``) or SIMD tier
-      (``simd_isa``). Absolute GF/s numbers from different hardware are not
-      comparable, so the gate declines to judge instead of reporting a
-      false regression (or a false pass). The caller should re-record the
-      baseline on the current host. Baselines from before these fields were
-      recorded compare permissively (no skip) so the first re-record
-      upgrades them in place.
+      (``simd_isa``), or carries precision rows the fresh summary lacks.
+      Absolute GF/s numbers from different hardware (or different storage
+      lanes) are not comparable, so the gate declines to judge instead of
+      reporting a false regression (or a false pass). The caller should
+      re-record the baseline on the current host. Baselines from before
+      these fields were recorded compare permissively (no skip) so the
+      first re-record upgrades them in place.
 """
 
 import json
@@ -50,6 +61,17 @@ def env_mismatch(recorded, fresh):
 
 def rows_by_n(doc):
     return {row["n"]: row for row in doc.get("summary", [])}
+
+
+def prec_lane(doc):
+    """The reduced-precision storage lane a summary carries ("bf16" or
+    "fp16"), or None when no row has one. A row belongs to a lane when it
+    names its precision and carries the matching throughput field."""
+    for row in doc.get("summary", []):
+        prec = row.get("storage_prec")
+        if prec and prec != "fp32" and f"{prec}_gflops" in row:
+            return prec
+    return None
 
 
 def stage_breakdown(old_row, new_row):
@@ -132,12 +154,63 @@ def main(argv):
     for n in sorted(set(new_rows) - set(old_rows)):
         print(f"bench gate: n={n} new in fresh summary")
 
+    # Reduced-precision lane: gated only when the baseline recorded one.
+    prec_failures = []
+    prec_skip = None
+    old_prec = prec_lane(recorded)
+    new_prec = prec_lane(fresh)
+    if old_prec is None:
+        if new_prec is not None:
+            print(f"bench gate: {new_prec} precision lane new in fresh "
+                  "summary (no baseline to gate against)")
+    elif new_prec is None:
+        prec_skip = (f"baseline carries {old_prec} precision rows but the "
+                     "fresh summary has none")
+    elif new_prec != old_prec:
+        prec_skip = (f"precision lane mismatch (recorded {old_prec!r}, "
+                     f"fresh {new_prec!r})")
+    else:
+        key = f"{old_prec}_gflops"
+        for n in sorted(old_rows):
+            if n not in new_rows:
+                continue
+            old_gf = old_rows[n].get(key)
+            new_gf = new_rows[n].get(key)
+            if old_gf is None or old_gf <= 0.0:
+                continue
+            if new_gf is None or new_gf <= 0.0:
+                prec_skip = (f"n={n} {old_prec} row missing from fresh "
+                             "summary")
+                break
+            ratio = new_gf / old_gf
+            marker = "FAIL" if ratio < 1.0 - max_drop else "ok"
+            print(
+                f"bench gate: n={n:3d} {old_prec} {old_gf:8.2f} -> "
+                f"{new_gf:8.2f} GF/s ({ratio:5.2f}x) {marker}"
+            )
+            if ratio < 1.0 - max_drop:
+                prec_failures.append(n)
+
     if failures:
         print(
             f"bench gate: vec_gflops dropped more than {max_drop:.0%} at "
             f"n in {failures}"
         )
         return 1
+    if prec_failures:
+        print(
+            f"bench gate: {old_prec}_gflops dropped more than "
+            f"{max_drop:.0%} at n in {prec_failures}"
+        )
+        return 1
+    if prec_skip is not None:
+        print(f"bench gate: {prec_skip}")
+        print(
+            "bench gate: precision rows are not comparable; skipping the "
+            "precision lane — re-record BENCH_cpu.json with the matching "
+            "--prec"
+        )
+        return EXIT_ENV_SKIP
     print("bench gate: no regression past the threshold")
     return 0
 

@@ -35,10 +35,13 @@ def summary(layout, rows, **env):
     return doc
 
 
-def row(n, vec, stages=None):
+def row(n, vec, stages=None, prec=None, prec_gf=None):
     r = {"n": n, "vec_gflops": vec}
     if stages is not None:
         r["stages"] = stages
+    if prec is not None:
+        r["storage_prec"] = prec
+        r[f"{prec}_gflops"] = prec_gf
     return r
 
 
@@ -164,6 +167,59 @@ def main():
         summary("chunked", [row(8, 100.0)], hardware_concurrency=4),
     )
     failures += check("legacy baseline without env fields still passes",
+                      code == 0, out)
+
+    # Precision lane: both summaries carrying bf16 rows gate them with the
+    # same threshold as vec_gflops.
+    code, out = run_gate(
+        summary("chunked", [row(16, 200.0, prec="bf16", prec_gf=300.0)]),
+        summary("chunked", [row(16, 200.0, prec="bf16", prec_gf=310.0)]),
+    )
+    failures += check("healthy bf16 lane passes", code == 0, out)
+    code, out = run_gate(
+        summary("chunked", [row(16, 200.0, prec="bf16", prec_gf=300.0)]),
+        summary("chunked", [row(16, 200.0, prec="bf16", prec_gf=200.0)]),
+    )
+    failures += check("bf16 drop fails the gate", code == 1, out)
+    failures += check("bf16 failure names the lane", "bf16_gflops" in out, out)
+
+    # A baseline with precision rows gated against a fresh summary without
+    # them (recorded with --prec=fp32, say) is an environmental skip — the
+    # lanes are not comparable, but nothing regressed either.
+    code, out = run_gate(
+        summary("chunked", [row(16, 200.0, prec="bf16", prec_gf=300.0)]),
+        summary("chunked", [row(16, 200.0)]),
+    )
+    failures += check("missing precision rows skip with exit 3", code == 3,
+                      out)
+    failures += check("precision skip advises re-recording",
+                      "re-record" in out and "--prec" in out, out)
+
+    # Different lanes (bf16 baseline vs fp16 fresh) are equally
+    # incomparable.
+    code, out = run_gate(
+        summary("chunked", [row(16, 200.0, prec="bf16", prec_gf=300.0)]),
+        summary("chunked", [row(16, 200.0, prec="fp16", prec_gf=300.0)]),
+    )
+    failures += check("precision lane mismatch skips with exit 3", code == 3,
+                      out)
+
+    # A real vec regression still fails (exit 1) even when the precision
+    # lane would have skipped — a skip never masks a regression.
+    code, out = run_gate(
+        summary("chunked", [row(16, 200.0, prec="bf16", prec_gf=300.0)]),
+        summary("chunked", [row(16, 120.0)]),
+    )
+    failures += check("vec regression outranks precision skip", code == 1,
+                      out)
+
+    # Legacy baselines without precision rows compare permissively; the
+    # fresh lane is reported as new, not gated.
+    code, out = run_gate(
+        summary("chunked", [row(16, 200.0)]),
+        summary("chunked", [row(16, 200.0, prec="bf16", prec_gf=300.0)]),
+    )
+    failures += check("legacy baseline without precision rows passes",
                       code == 0, out)
 
     if failures:

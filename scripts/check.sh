@@ -3,7 +3,7 @@
 # benchmark binary. This is the command sequence EXPERIMENTS.md expects.
 #
 #   scripts/check.sh [--sanitize] [--tsan] [--faults] [--bench] [--obs] \
-#                    [--chaos] [cmake args...]
+#                    [--chaos] [--prec] [cmake args...]
 #
 # --sanitize adds a second build under AddressSanitizer + UBSan with
 # warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it
@@ -48,6 +48,17 @@
 # place, while a single-core host keeps the existing one (absolute numbers
 # from a 1-CPU container would poison the baseline for every real host).
 #
+# --prec verifies the reduced-precision storage lanes (bf16/fp16 words,
+# fp32 accumulate — DESIGN §12) under ASan+UBSan: the conversion property
+# suite, the mixed pipeline/refinement/recovery/service suites, first with
+# runtime dispatch free and then with IBCHOL_CONVERT_ISA=scalar +
+# IBCHOL_SIMD_ISA=scalar forcing both the conversion primitives and the
+# compute body onto their portable scalar tiers (the only tiers the
+# sanitizers can see into lane by lane; the SIMD tiers are bit-identical
+# to them by construction, which the Convert tier tests assert). A final
+# pass against the plain build re-runs the fp32 differential/bit-identity
+# suites, pinning that the fp32 lane is untouched by the mixed machinery.
+#
 # --obs verifies the observability layer in both compile modes: a build
 # with IBCHOL_OBS=OFF runs the full suite (proving every instrumentation
 # site compiles to nothing), then the plain ON build runs the obs/replay
@@ -72,6 +83,7 @@ FAULTS=0
 BENCH=0
 OBS=0
 CHAOS=0
+PREC=0
 CMAKE_ARGS=()
 for arg in "$@"; do
   case "${arg}" in
@@ -81,6 +93,7 @@ for arg in "$@"; do
     --bench) BENCH=1 ;;
     --obs) OBS=1 ;;
     --chaos) CHAOS=1 ;;
+    --prec) PREC=1 ;;
     *) CMAKE_ARGS+=("${arg}") ;;
   esac
 done
@@ -140,7 +153,7 @@ if [[ "${TSAN}" == 1 ]]; then
   # libgomp's barriers.
   OMP_NUM_THREADS=1 ctest --test-dir build-tsan --output-on-failure \
     -j "$(nproc)" \
-    -R 'MpmcQueue|WorkDeque|UnitTaskPacking|ScratchArena|BatchService|ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ChunkPipeline|Trace|Counters|HistogramTest'
+    -R 'MpmcQueue|WorkDeque|UnitTaskPacking|ScratchArena|BatchService|ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ServiceMixed|ChunkPipeline|Trace|Counters|HistogramTest'
   echo "tsan check: service/pipeline/obs suites clean under ThreadSanitizer"
 fi
 
@@ -148,7 +161,7 @@ if [[ "${CHAOS}" == 1 ]]; then
   # Overload/fault semantics under both sanitizers. The suite regex covers
   # the chaos tests plus the primitives they lean on (arena failure paths,
   # queue wrap-around, the service teardown races).
-  CHAOS_SUITES='ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ScratchArena|MpmcQueue|BatchService'
+  CHAOS_SUITES='ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ServiceMixed|ScratchArena|MpmcQueue|BatchService'
   configure_sanitize_build
   if [[ "${TSAN}" != 1 ]]; then
     # Reuse the --tsan tree when that mode already built it.
@@ -178,6 +191,30 @@ if [[ "${CHAOS}" == 1 ]]; then
     ctest --test-dir build --output-on-failure -j "$(nproc)" \
     -R 'BatchService.BitIdentical'
   echo "chaos check: overload/fault suites clean under ASan+UBSan and TSAN (seeds 1 2 3), env-spec smoke bit-identical"
+fi
+
+if [[ "${PREC}" == 1 ]]; then
+  PREC_SUITES='Convert|MixedPrec|ServiceMixed|Refine'
+  configure_sanitize_build
+  # Pass 1: runtime dispatch free — the host's best conversion and compute
+  # tiers run under ASan+UBSan.
+  ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)" \
+    -R "${PREC_SUITES}"
+  # Pass 2: both the conversion primitives and the compute body forced
+  # onto their scalar tiers, giving the sanitizers per-lane visibility
+  # into the narrow/widen arithmetic and the mixed pack/write-back
+  # staging. The SIMD tiers are bit-identical by construction (asserted
+  # by the Convert tier tests), so scalar coverage is full coverage.
+  IBCHOL_CONVERT_ISA=scalar IBCHOL_SIMD_ISA=scalar ctest \
+    --test-dir build-sanitize --output-on-failure -j "$(nproc)" \
+    -R "${PREC_SUITES}"
+  # fp32 untouched: the differential grid and the bit-identity suites on
+  # the plain build must still hold — the mixed machinery shares the
+  # chunk pipeline with the fp32 lane, and this pins that sharing never
+  # perturbs an fp32 result.
+  ctest --test-dir build --output-on-failure -j "$(nproc)" \
+    -R 'DifferentialExec|BitIdentical'
+  echo "prec check: conversion + mixed-precision suites clean under ASan+UBSan (auto and forced-scalar tiers), fp32 bit-identity intact"
 fi
 
 if [[ "${FAULTS}" == 1 ]]; then
@@ -287,6 +324,7 @@ summary_mode() {
 summary_mode sanitize "${SANITIZE}"
 summary_mode tsan "${TSAN}"
 summary_mode chaos "${CHAOS}"
+summary_mode prec "${PREC}"
 summary_mode faults "${FAULTS}"
 summary_mode bench "${BENCH}"
 summary_mode obs "${OBS}"

@@ -9,7 +9,8 @@ namespace ibchol {
 const std::vector<std::string>& analysis_feature_names() {
   static const std::vector<std::string> names{
       "n",         "nb",        "looking", "chunking",
-      "chunk_size", "unrolling", "cache",   "isa"};
+      "chunk_size", "unrolling", "cache",   "isa",
+      "storage"};
   return names;
 }
 
@@ -34,6 +35,9 @@ AnalysisData build_analysis_data(const SweepDataset& dataset) {
         r.params.exec == CpuExec::kVectorized
             ? static_cast<double>(static_cast<int>(r.params.isa))
             : 0.0,
+        // Storage precision, ordinal in word width: fp32 (0) is the
+        // classic lane, bf16 (1) and fp16 (2) the 16-bit ones.
+        static_cast<double>(static_cast<int>(r.params.storage)),
     };
     data.features.add_row(row);
     data.target.push_back(r.gflops);
@@ -55,11 +59,13 @@ AnalysisResult analyze_dataset(const SweepDataset& dataset,
   result.oob_mse = forest.oob_mse();
 
   static const char* kTypes[] = {"integer", "integer", "ternary", "binary",
-                                 "integer", "binary",  "binary",  "ordinal"};
+                                 "integer", "binary",  "binary",  "ordinal",
+                                 "ternary"};
   static const char* kExplanations[] = {
       "size of single matrix", "internal blocking",    "Left, Right, or Top",
       "yes or no",             "matrix count in chunk", "use unrolling?",
-      "more L1 or shared mem.", "SIMD tier (vectorized)"};
+      "more L1 or shared mem.", "SIMD tier (vectorized)",
+      "fp32, bf16, or fp16 storage"};
   const std::vector<double> importance = forest.permutation_importance();
   for (std::size_t f = 0; f < analysis_feature_names().size(); ++f) {
     PredictivePower p;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/batch_cholesky.hpp"
+#include "cpu/simd/convert.hpp"
 #include "kernels/counts.hpp"
 #include "layout/generate.hpp"
 #include "util/rng.hpp"
@@ -57,15 +58,28 @@ std::string ModelEvaluator::name() const {
 CpuMeasuredEvaluator::CachedBatch& CpuMeasuredEvaluator::batch_for(
     int n, std::int64_t batch, const TuningParams& p) {
   const BatchLayout layout = BatchCholesky::make_layout(n, batch, p);
-  const std::string key = layout.to_string();
+  // Storage precision is part of the cache identity: reduced-precision
+  // points carry the pristine batch pre-narrowed to their format.
+  const std::string key = layout.to_string() + '|' + to_string(p.storage);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     auto cached = std::make_unique<CachedBatch>();
     cached->pristine.resize(layout.size_elems());
-    cached->work.resize(layout.size_elems());
     SpdOptions gen;
     gen.seed = options_.seed;
     generate_spd_batch<float>(layout, cached->pristine.span(), gen);
+    if (p.storage == StoragePrec::kFp32) {
+      cached->work.resize(layout.size_elems());
+    } else {
+      cached->pristine_u16.resize(layout.size_elems());
+      cached->work_u16.resize(layout.size_elems());
+      // Padding identities narrow exactly (1.0 / 0.0 are representable),
+      // so the u16 batch keeps the pipeline's padding invariant.
+      narrow_row(resolve_convert_isa(), p.storage, cached->pristine.data(),
+                 cached->pristine_u16.data(),
+                 static_cast<std::int64_t>(layout.size_elems()),
+                 /*nt_stores=*/false);
+    }
     it = cache_.emplace(key, std::move(cached)).first;
   }
   return *it->second;
@@ -76,9 +90,20 @@ double CpuMeasuredEvaluator::seconds(int n, std::int64_t batch,
   const BatchLayout layout = BatchCholesky::make_layout(n, batch, params);
   const BatchCholesky chol(layout, params);
   CachedBatch& data = batch_for(n, batch, params);
-  const std::size_t bytes = layout.size_elems() * sizeof(float);
 
   double best = 1e300;
+  if (params.storage != StoragePrec::kFp32) {
+    const std::size_t bytes = layout.size_elems() * sizeof(std::uint16_t);
+    for (int rep = 0; rep < options_.warmup + options_.reps; ++rep) {
+      std::memcpy(data.work_u16.data(), data.pristine_u16.data(), bytes);
+      Timer t;
+      (void)chol.factorize_mixed(data.work_u16.span());
+      const double s = t.seconds();
+      if (rep >= options_.warmup && s < best) best = s;
+    }
+    return best;
+  }
+  const std::size_t bytes = layout.size_elems() * sizeof(float);
   for (int rep = 0; rep < options_.warmup + options_.reps; ++rep) {
     std::memcpy(data.work.data(), data.pristine.data(), bytes);
     Timer t;

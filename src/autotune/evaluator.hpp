@@ -103,6 +103,12 @@ class CpuMeasuredEvaluator final : public Evaluator {
   struct CachedBatch {
     AlignedBuffer<float> pristine;
     AlignedBuffer<float> work;
+    /// Reduced-precision points: the same pristine batch pre-narrowed to
+    /// the point's 16-bit storage format, plus a u16 work buffer, so the
+    /// measured loop is memcpy + factor exactly like the fp32 one (the
+    /// narrowing conversion is input preparation, not measured time).
+    AlignedBuffer<std::uint16_t> pristine_u16;
+    AlignedBuffer<std::uint16_t> work_u16;
   };
 
   CachedBatch& batch_for(int n, std::int64_t batch, const TuningParams& p);

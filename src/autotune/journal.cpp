@@ -89,6 +89,7 @@ std::string journal_line(const SweepRecord& r) {
          "\"";
   out += ",\"exec\":\"" + to_string(r.params.exec) + "\"";
   out += ",\"isa\":\"" + to_string(r.params.isa) + "\"";
+  out += ",\"storage\":\"" + to_string(r.params.storage) + "\"";
   out += ",\"seconds\":" + json_double(r.seconds);
   out += ",\"gflops\":" + json_double(r.gflops);
   out += ",\"attempts\":" + std::to_string(r.attempts);
@@ -128,12 +129,18 @@ std::optional<SweepRecord> parse_journal_line(const std::string& raw) {
   // to kVectorized, which those journals never recorded).
   std::string isa;
   const bool has_isa = scan_string(line, "isa", isa);
+  // Likewise journals written before the reduced-precision lanes carry no
+  // "storage" field; every such record measured fp32 storage.
+  std::string storage;
+  const bool has_storage = scan_string(line, "storage", storage);
   try {
     r.params.looking = looking_from_string(looking);
     r.params.unroll = unroll_from_string(unroll);
     r.params.math = math_from_string(math);
     r.params.exec = cpu_exec_from_string(exec);
     r.params.isa = has_isa ? simd_isa_from_string(isa) : SimdIsa::kAuto;
+    r.params.storage = has_storage ? storage_prec_from_string(storage)
+                                   : StoragePrec::kFp32;
   } catch (const std::exception&) {
     return std::nullopt;
   }

@@ -53,7 +53,8 @@ CsvTable SweepDataset::to_csv() const {
   CsvTable t;
   t.header = {"n",          "batch",   "nb",     "looking", "chunked",
               "chunk_size", "unroll",  "math",   "cache",   "exec",
-              "isa",        "seconds", "gflops", "attempts", "failed"};
+              "isa",        "storage", "seconds", "gflops", "attempts",
+              "failed"};
   for (const auto& r : records_) {
     t.rows.push_back({std::to_string(r.n), std::to_string(r.batch),
                       std::to_string(r.params.nb),
@@ -63,6 +64,7 @@ CsvTable SweepDataset::to_csv() const {
                       to_string(r.params.unroll), to_string(r.params.math),
                       r.params.prefer_shared ? "shared" : "l1",
                       to_string(r.params.exec), to_string(r.params.isa),
+                      to_string(r.params.storage),
                       std::to_string(r.seconds), std::to_string(r.gflops),
                       std::to_string(r.attempts), r.failed ? "1" : "0"});
   }
@@ -97,6 +99,13 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
   const bool has_isa = cisa_it != table.header.end();
   const std::size_t cisa =
       static_cast<std::size_t>(cisa_it - table.header.begin());
+  // Datasets persisted before the reduced-precision storage lanes have no
+  // "storage" column; every such record measured the fp32 path.
+  const auto cst_it = std::find(table.header.begin(), table.header.end(),
+                                std::string("storage"));
+  const bool has_storage = cst_it != table.header.end();
+  const std::size_t cst =
+      static_cast<std::size_t>(cst_it - table.header.begin());
   // Likewise, datasets persisted before the resilient sweep existed have no
   // attempts/failed columns; those records were single-attempt successes.
   const auto cat_it = std::find(table.header.begin(), table.header.end(),
@@ -123,6 +132,8 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
     r.params.exec =
         has_exec ? cpu_exec_from_string(row[cex]) : CpuExec::kSpecialized;
     r.params.isa = has_isa ? simd_isa_from_string(row[cisa]) : SimdIsa::kAuto;
+    r.params.storage = has_storage ? storage_prec_from_string(row[cst])
+                                   : StoragePrec::kFp32;
     r.seconds = std::stod(row[cs]);
     r.gflops = std::stod(row[cg]);
     r.attempts = has_attempts ? std::stoi(row[cat]) : 1;

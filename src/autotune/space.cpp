@@ -23,6 +23,10 @@ std::vector<TuningParams> enumerate_space(int n, const SpaceOptions& options) {
       }
     }
   }
+  const std::vector<StoragePrec> storages =
+      options.storage_precs.empty()
+          ? std::vector<StoragePrec>{StoragePrec::kFp32}
+          : options.storage_precs;
 
   for (const int nb : options.tile_sizes) {
     if (nb > n) continue;
@@ -32,29 +36,32 @@ std::vector<TuningParams> enumerate_space(int n, const SpaceOptions& options) {
         for (const MathMode math : maths) {
           for (const bool prefer_shared : caches) {
             for (const auto& [exec, isa] : execs) {
-              auto add = [&](bool chunked, int chunk_size) {
-                TuningParams p;
-                p.nb = nb;
-                p.looking = looking;
-                p.unroll = unroll;
-                p.math = math;
-                p.prefer_shared = prefer_shared;
-                p.chunked = chunked;
-                p.chunk_size = chunk_size;
-                p.exec = exec;
-                p.isa = isa;
-                space.push_back(p);
-              };
-              if (options.include_non_chunked) {
-                if (options.pack_chunk_sizes.empty()) {
-                  add(false, 0);
-                } else {
-                  // chunk_size stays live for the non-chunked layout as
-                  // the pipeline's pack-scratch lane count.
-                  for (const int c : options.pack_chunk_sizes) add(false, c);
+              for (const StoragePrec storage : storages) {
+                auto add = [&](bool chunked, int chunk_size) {
+                  TuningParams p;
+                  p.nb = nb;
+                  p.looking = looking;
+                  p.unroll = unroll;
+                  p.math = math;
+                  p.prefer_shared = prefer_shared;
+                  p.chunked = chunked;
+                  p.chunk_size = chunk_size;
+                  p.exec = exec;
+                  p.isa = isa;
+                  p.storage = storage;
+                  space.push_back(p);
+                };
+                if (options.include_non_chunked) {
+                  if (options.pack_chunk_sizes.empty()) {
+                    add(false, 0);
+                  } else {
+                    // chunk_size stays live for the non-chunked layout as
+                    // the pipeline's pack-scratch lane count.
+                    for (const int c : options.pack_chunk_sizes) add(false, c);
+                  }
                 }
+                for (const int c : options.chunk_sizes) add(true, c);
               }
-              for (const int c : options.chunk_sizes) add(true, c);
             }
           }
         }

@@ -34,6 +34,10 @@ struct SpaceOptions {
   /// ISA tiers enumerated for CpuExec::kVectorized entries in `execs`
   /// (ignored for the other executors). kAuto = the host's best tier.
   std::vector<SimdIsa> isas = {SimdIsa::kAuto};
+  /// Storage precisions enumerated (the seventh axis). The default keeps
+  /// the historical fp32-only grid; adding kBf16/kFp16 multiplies the
+  /// space by the reduced-precision storage lanes.
+  std::vector<StoragePrec> storage_precs = {StoragePrec::kFp32};
 };
 
 /// All valid tuning points for an n×n batch. Tile sizes larger than n are

@@ -134,6 +134,42 @@ RecoveryReport BatchCholesky::factorize_recover(
                                  program_.has_value() ? &*program_ : nullptr);
 }
 
+FactorResult BatchCholesky::factorize_mixed(std::span<std::uint16_t> data,
+                                            std::span<std::int32_t> info) const {
+  IBCHOL_CHECK(params_.storage != StoragePrec::kFp32,
+               "factorize_mixed needs TuningParams::storage = kBf16 or kFp16");
+  const CpuFactorOptions opts = to_cpu_options(params_, layout_.n(), triangle_);
+  if (use_service()) {
+    svc::SubmitOptions sopts;
+    sopts.storage = params_.storage;
+    return svc::BatchService::global().factor_mixed(
+        layout_, data, opts, info,
+        program_.has_value() ? &*program_ : nullptr, sopts);
+  }
+  if (program_.has_value()) {
+    return factor_batch_cpu_mixed_with_program(layout_, data, params_.storage,
+                                               *program_, opts, info);
+  }
+  return factor_batch_cpu_mixed(layout_, data, params_.storage, opts, info);
+}
+
+RecoveryReport BatchCholesky::factorize_recover_mixed(
+    std::span<std::uint16_t> data, const RecoveryOptions& recovery,
+    std::span<std::int32_t> info) const {
+  IBCHOL_CHECK(params_.storage != StoragePrec::kFp32,
+               "factorize_recover_mixed needs TuningParams::storage = kBf16 "
+               "or kFp16");
+  const CpuFactorOptions opts = to_cpu_options(params_, layout_.n(), triangle_);
+  if (use_service()) {
+    return svc::BatchService::global().recover_mixed(
+        layout_, data, params_.storage, opts, recovery, info,
+        program_.has_value() ? &*program_ : nullptr);
+  }
+  return factor_batch_recover_mixed(layout_, data, params_.storage, opts,
+                                    recovery, info,
+                                    program_.has_value() ? &*program_ : nullptr);
+}
+
 namespace {
 
 // rhs elements of matrices whose factorization failed, saved around a solve

@@ -67,6 +67,20 @@ class BatchCholesky {
                                    const RecoveryOptions& recovery = {},
                                    std::span<std::int32_t> info = {}) const;
 
+  /// factorize() for a reduced-precision batch: `data` holds the matrices
+  /// as 16-bit words in params().storage format (which must be kBf16 or
+  /// kFp16), arithmetic accumulates in fp32 (factor_batch_cpu_mixed).
+  /// Routed through the persistent service when IBCHOL_SERVICE=1, like
+  /// factorize().
+  FactorResult factorize_mixed(std::span<std::uint16_t> data,
+                               std::span<std::int32_t> info = {}) const;
+
+  /// factorize_recover() for a reduced-precision batch: widen → fp32
+  /// screen/factor/shifted-retry → narrow (factor_batch_recover_mixed).
+  RecoveryReport factorize_recover_mixed(
+      std::span<std::uint16_t> data, const RecoveryOptions& recovery = {},
+      std::span<std::int32_t> info = {}) const;
+
   /// Solves L·Lᵀ x = b for every matrix after factorize(); `rhs` is
   /// overwritten with the solutions. The vector layout must match
   /// (BatchVectorLayout::matching(layout())).

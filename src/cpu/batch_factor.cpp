@@ -85,6 +85,46 @@ FactorResult factor_batch_cpu_with_program(const BatchLayout& layout,
   return run_chunk_pipeline(layout, data, &program, options, info);
 }
 
+FactorResult factor_batch_cpu_mixed(const BatchLayout& layout,
+                                    std::span<std::uint16_t> data,
+                                    StoragePrec storage,
+                                    const CpuFactorOptions& options,
+                                    std::span<std::int32_t> info) {
+  IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
+               "reduced-precision storage runs interleaved layouts");
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  IBCHOL_CHECK(info.empty() ||
+                   info.size() >= static_cast<std::size_t>(layout.batch()),
+               "info span too small for batch");
+  IBCHOL_TRACE_SPAN("factor_batch", "cpu", layout.batch());
+  if (options.unroll == Unroll::kFull) {
+    return run_chunk_pipeline_mixed(layout, data, nullptr, options, storage,
+                                    info);
+  }
+  const int nb = std::min(options.nb, layout.n());
+  const TileProgram program =
+      build_tile_program(layout.n(), nb, options.looking);
+  return run_chunk_pipeline_mixed(layout, data, &program, options, storage,
+                                  info);
+}
+
+FactorResult factor_batch_cpu_mixed_with_program(
+    const BatchLayout& layout, std::span<std::uint16_t> data,
+    StoragePrec storage, const TileProgram& program,
+    const CpuFactorOptions& options, std::span<std::int32_t> info) {
+  IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
+               "tile programs run on interleaved layouts");
+  IBCHOL_CHECK(program.n == layout.n(), "program/layout dimension mismatch");
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  IBCHOL_CHECK(info.empty() ||
+                   info.size() >= static_cast<std::size_t>(layout.batch()),
+               "info span too small for batch");
+  return run_chunk_pipeline_mixed(layout, data, &program, options, storage,
+                                  info);
+}
+
 template FactorResult factor_batch_cpu<float>(const BatchLayout&,
                                               std::span<float>,
                                               const CpuFactorOptions&,

@@ -82,4 +82,25 @@ FactorResult factor_batch_cpu_with_program(const BatchLayout& layout,
                                            const CpuFactorOptions& options,
                                            std::span<std::int32_t> info = {});
 
+/// Factors a reduced-precision batch: `data` holds layout.size_elems()
+/// 16-bit words in `storage` format (kBf16 or kFp16 — kFp32 is rejected;
+/// use factor_batch_cpu). The chunk pipeline widens each chunk into fp32
+/// scratch, runs the unchanged fp32 compute body, and narrows the factor
+/// back RN-even, so arithmetic is bit-identical to the fp32 executors and
+/// only the stored operands round. Interleaved layouts only. The storage
+/// rounding perturbs A by up to one half-ulp per element, so expect
+/// occasional positive info codes near-singular fp32 would survive —
+/// factor_batch_recover_mixed / refine self-healing handle those.
+FactorResult factor_batch_cpu_mixed(const BatchLayout& layout,
+                                    std::span<std::uint16_t> data,
+                                    StoragePrec storage,
+                                    const CpuFactorOptions& options,
+                                    std::span<std::int32_t> info = {});
+
+/// As above with a caller-supplied tile program (partial unrolling).
+FactorResult factor_batch_cpu_mixed_with_program(
+    const BatchLayout& layout, std::span<std::uint16_t> data,
+    StoragePrec storage, const TileProgram& program,
+    const CpuFactorOptions& options, std::span<std::int32_t> info = {});
+
 }  // namespace ibchol

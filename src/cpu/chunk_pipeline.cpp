@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/simd/convert.hpp"
 #include "cpu/simd/isa.hpp"
 #include "cpu/simd/vec_exec.hpp"
 #include "cpu/thread_util.hpp"
@@ -509,6 +510,217 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
     for (std::int64_t u = 0; u < plan.num_units; ++u) {
       run_unit(plan, data.data(), u, scratch.data(), wm_scratch.data(), info,
                local_failed, local_first, counters);
+    }
+    fold_unit_counters(counters);
+#pragma omp critical
+    {
+      failed += local_failed;
+      first_failed = std::min(first_failed, local_first);
+    }
+  }
+  return finalize_factor_result(failed, first_failed);
+}
+
+// ------------------------------------------- reduced-precision storage ---
+
+ChunkExecPlan<float> plan_chunk_exec_mixed(const BatchLayout& layout,
+                                           const TileProgram* program,
+                                           const CpuFactorOptions& options,
+                                           StoragePrec storage) {
+  IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
+               "reduced-precision storage runs interleaved layouts");
+  IBCHOL_CHECK(storage != StoragePrec::kFp32,
+               "mixed plans are for reduced storage precisions only");
+  ChunkExecPlan<float> plan;
+  plan.layout = layout;
+  plan.n = layout.n();
+  plan.storage = storage;
+  plan.convert_isa = resolve_convert_isa();
+
+  plan.exec = options.exec;
+  plan.whole_matrix = options.unroll == Unroll::kFull;
+  if (plan.exec == CpuExec::kAuto) {
+    plan.exec = resolve_cpu_exec(plan.n, options.isa);
+    if (plan.exec == CpuExec::kVectorized) plan.whole_matrix = true;
+  }
+  IBCHOL_CHECK(plan.whole_matrix || program != nullptr,
+               "partial unrolling requires a tile program");
+
+  plan.math = options.math;
+  plan.triangle = options.triangle;
+  plan.program = program;
+  plan.fused_spec = plan.exec == CpuExec::kSpecialized && plan.whole_matrix &&
+                    plan.n <= kMaxFusedDim;
+  if (plan.exec == CpuExec::kVectorized) {
+    plan.vk = &vec_kernels<float>(options.isa);
+    plan.vec_nt_stores = std::getenv("IBCHOL_VEC_NT_STORES") != nullptr;
+  }
+  plan.need_wm_scratch =
+      plan.whole_matrix && (plan.exec == CpuExec::kVectorized
+                                ? plan.n > kMaxVecWholeDim
+                                : !plan.fused_spec);
+  plan.wm_scratch_elems =
+      plan.need_wm_scratch ? whole_matrix_scratch_elems(plan.n) : 0;
+
+  const std::int64_t padded = layout.padded_batch();
+  const std::int64_t elems = static_cast<std::int64_t>(plan.n) * plan.n;
+
+  // A u16 batch cannot be factored in place — widening IS the pack — so
+  // every mixed plan packs, the interpreter oracle and the chunked layout
+  // included. One unit is one layout chunk when the address map already
+  // has one; otherwise chunk_size keeps its meaning as the pack-scratch
+  // lane count (0 = the fp32 sizing rule, so the fp32 scratch footprint
+  // stays within the budget).
+  std::int64_t c;
+  if (layout.kind() == LayoutKind::kInterleavedChunked) {
+    c = layout.chunk();
+  } else {
+    c = options.chunk_size > 0
+            ? options.chunk_size
+            : chunk_scratch_lanes(plan.n, sizeof(float));
+    IBCHOL_CHECK(c % kLaneBlock == 0,
+                 "pipeline chunk size must be a multiple of the lane block");
+    c = std::min<std::int64_t>(c, padded);
+  }
+  plan.pack_lanes = static_cast<int>(c);
+  plan.unit_lanes = c;
+  plan.nt_stores =
+      resolve_nt_stores(layout.size_elems() * sizeof(std::uint16_t));
+  plan.pack_scratch_elems = static_cast<std::size_t>(elems) * c;
+  plan.num_units = (padded + c - 1) / c;
+  return plan;
+}
+
+namespace {
+
+// The conversion stages only touch the element rows the factorization
+// reads and writes: the stored triangle. Column j (elements j·n .. j·n+n,
+// column-major) keeps rows [j, n) under kLower and [0, j] under kUpper —
+// a contiguous element-row run either way, which halves the conversion
+// work against a full-square sweep. The other triangle's stored words are
+// left exactly as submitted (the full-square round trip would have
+// rewritten them bit-identically: widen is exact and RN-even narrowing of
+// an exactly-widened value restores the original word, so skipping it
+// changes nothing but the traffic). The matching scratch region stays
+// unwritten, which is fine for the same reason the fp32 in-place paths
+// are: no compute body dereferences the unfactored triangle.
+//
+// Per column the run is `rows` element-rows of `lanes` elements at
+// `stride`; when the stride equals the unit's lane count (a chunked layout
+// walked in whole-chunk units) the rows abut and the whole run is one
+// contiguous conversion call.
+struct TriangleRun {
+  std::int64_t e0 = 0;    ///< first element row of the run
+  std::int64_t rows = 0;  ///< element rows in the run
+};
+
+inline TriangleRun column_run(int n, int j, Triangle triangle) {
+  const std::int64_t lo = triangle == Triangle::kLower ? j : 0;
+  const std::int64_t hi = triangle == Triangle::kLower ? n : j + 1;
+  return {static_cast<std::int64_t>(j) * n + lo, hi - lo};
+}
+
+}  // namespace
+
+void pack_unit_mixed(const ChunkExecPlan<float>& plan,
+                     const std::uint16_t* data, std::int64_t unit,
+                     float* scratch) {
+  IBCHOL_TRACE_SPAN("pack", "pipeline", unit);
+  const std::int64_t c0 = plan.first_lane(unit);
+  const std::int64_t lanes = plan.lanes_of(unit);
+  const bool chunked = plan.layout.kind() == LayoutKind::kInterleavedChunked;
+  const std::uint16_t* src =
+      chunked ? data + plan.layout.chunk_base(c0) : data + c0;
+  const std::int64_t stride =
+      chunked ? plan.layout.chunk() : plan.layout.padded_batch();
+  for (int j = 0; j < plan.n; ++j) {
+    const TriangleRun run = column_run(plan.n, j, plan.triangle);
+    if (stride == lanes) {
+      widen_row(plan.convert_isa, plan.storage, src + run.e0 * stride,
+                scratch + run.e0 * lanes, run.rows * lanes);
+      continue;
+    }
+    for (std::int64_t e = run.e0; e < run.e0 + run.rows; ++e) {
+      widen_row(plan.convert_isa, plan.storage, src + e * stride,
+                scratch + e * lanes, lanes);
+    }
+  }
+}
+
+void writeback_unit_mixed(const ChunkExecPlan<float>& plan,
+                          const float* scratch, std::uint16_t* data,
+                          std::int64_t unit, ChunkUnitCounters& counters) {
+  IBCHOL_TRACE_SPAN("writeback", "pipeline", unit);
+  const std::int64_t c0 = plan.first_lane(unit);
+  const std::int64_t lanes = plan.lanes_of(unit);
+  const bool chunked = plan.layout.kind() == LayoutKind::kInterleavedChunked;
+  std::uint16_t* dst =
+      chunked ? data + plan.layout.chunk_base(c0) : data + c0;
+  const std::int64_t stride =
+      chunked ? plan.layout.chunk() : plan.layout.padded_batch();
+  std::int64_t converted = 0;
+  for (int j = 0; j < plan.n; ++j) {
+    const TriangleRun run = column_run(plan.n, j, plan.triangle);
+    converted += run.rows * lanes;
+    if (stride == lanes) {
+      narrow_row(plan.convert_isa, plan.storage, scratch + run.e0 * lanes,
+                 dst + run.e0 * stride, run.rows * lanes, plan.nt_stores);
+      continue;
+    }
+    for (std::int64_t e = run.e0; e < run.e0 + run.rows; ++e) {
+      narrow_row(plan.convert_isa, plan.storage, scratch + e * lanes,
+                 dst + e * stride, lanes, plan.nt_stores);
+    }
+  }
+  if (plan.nt_stores) {
+    narrow_fence();
+    counters.nt_store_bytes +=
+        converted * static_cast<std::int64_t>(sizeof(std::uint16_t));
+  }
+}
+
+void run_unit_mixed(const ChunkExecPlan<float>& plan, std::uint16_t* data,
+                    std::int64_t unit, float* pack_scratch, float* wm_scratch,
+                    std::span<std::int32_t> info, std::int64_t& failed,
+                    std::int64_t& first_failed, ChunkUnitCounters& counters) {
+  pack_unit_mixed(plan, data, unit, pack_scratch);
+  // The packed branch of factor_unit never dereferences `data` — the fp32
+  // compute body is reused verbatim over the widened scratch.
+  factor_unit<float>(plan, nullptr, unit, pack_scratch, wm_scratch, info,
+                     failed, first_failed, counters);
+  writeback_unit_mixed(plan, pack_scratch, data, unit, counters);
+}
+
+FactorResult run_chunk_pipeline_mixed(const BatchLayout& layout,
+                                      std::span<std::uint16_t> data,
+                                      const TileProgram* program,
+                                      const CpuFactorOptions& options,
+                                      StoragePrec storage,
+                                      std::span<std::int32_t> info) {
+  IBCHOL_TRACE_SPAN("chunk_pipeline", "cpu", layout.n());
+  ChunkExecPlan<float> plan =
+      plan_chunk_exec_mixed(layout, program, options, storage);
+  note_exec_dispatch(plan.exec);
+  std::optional<SpecializedProgram<float>> spec;
+  if (plan.needs_spec_program()) {
+    spec.emplace(*program, options.math);
+    plan.spec = &*spec;
+  }
+
+  std::int64_t failed = 0;
+  std::int64_t first_failed = std::numeric_limits<std::int64_t>::max();
+
+#pragma omp parallel num_threads(resolve_threads(options.num_threads))
+  {
+    AlignedBuffer<float> scratch(plan.pack_scratch_elems);
+    std::vector<float> wm_scratch(plan.wm_scratch_elems);
+    std::int64_t local_failed = 0;
+    std::int64_t local_first = std::numeric_limits<std::int64_t>::max();
+    ChunkUnitCounters counters;
+#pragma omp for schedule(static)
+    for (std::int64_t u = 0; u < plan.num_units; ++u) {
+      run_unit_mixed(plan, data.data(), u, scratch.data(), wm_scratch.data(),
+                     info, local_failed, local_first, counters);
     }
     fold_unit_counters(counters);
 #pragma omp critical

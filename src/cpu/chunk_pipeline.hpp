@@ -153,6 +153,17 @@ struct ChunkExecPlan {
   bool vec_nt_stores = false;  ///< run_program streaming stores (env hook)
   bool need_wm_scratch = false;  ///< interpreter scratch-triangle fallback
 
+  /// Element width of the *caller's* batch. kFp32 is the classic path
+  /// (storage == compute == T). Reduced-precision plans (built by
+  /// plan_chunk_exec_mixed, T = float only) hold the batch as 16-bit words
+  /// and always stage units through fp32 pack scratch: pack_unit_mixed
+  /// widens rows on the way into L2, the unchanged factor_unit runs the
+  /// fp32 compute body over scratch, writeback_unit_mixed narrows on the
+  /// way out. convert_isa is the conversion tier resolved once at plan
+  /// time (IBCHOL_CONVERT_ISA hook), never kAuto.
+  StoragePrec storage = StoragePrec::kFp32;
+  SimdIsa convert_isa = SimdIsa::kScalar;
+
   std::int64_t unit_lanes = 0;  ///< lanes per unit (multiple of kLaneBlock)
   std::int64_t num_units = 0;
   int pack_lanes = 0;    ///< >0: units stage through pack scratch
@@ -230,5 +241,53 @@ FactorResult run_chunk_pipeline(const BatchLayout& layout, std::span<T> data,
                                 const TileProgram* program,
                                 const CpuFactorOptions& options,
                                 std::span<std::int32_t> info);
+
+// ------------------------------------------- reduced-precision storage ---
+//
+// The mixed lanes reuse the fp32 plan and stage functions wholesale: a
+// mixed plan is a ChunkExecPlan<float> whose `storage` names the 16-bit
+// element width of the caller's batch and which *always* packs (every
+// executor including the interpreter oracle, and the chunked layout too —
+// the u16 batch cannot be factored in place, widening IS the pack). The
+// fp32 factor_unit runs unchanged over the widened scratch, so the compute
+// body is bit-identical to the fp32 path; only the pack/write-back stages
+// convert. One unit is one layout chunk for kInterleavedChunked, else
+// chunk_size lanes (0 = the fp32 scratch sizing rule).
+
+/// Plans a reduced-precision factorization (storage must not be kFp32).
+/// `options.chunk_size` keeps its fp32 meaning; alignment of the caller's
+/// u16 batch is never constrained (conversions load/store unaligned).
+[[nodiscard]] ChunkExecPlan<float> plan_chunk_exec_mixed(
+    const BatchLayout& layout, const TileProgram* program,
+    const CpuFactorOptions& options, StoragePrec storage);
+
+/// Stage 1 of a mixed unit: widens the unit's 16-bit lanes into fp32 chunk
+/// scratch (pack_scratch_elems floats).
+void pack_unit_mixed(const ChunkExecPlan<float>& plan,
+                     const std::uint16_t* data, std::int64_t unit,
+                     float* scratch);
+
+/// Stage 3 of a mixed unit: narrows the factored fp32 scratch back into
+/// the 16-bit batch (RN-even), streaming past the caches when the plan
+/// calls for it (the store fence is issued before returning).
+void writeback_unit_mixed(const ChunkExecPlan<float>& plan,
+                          const float* scratch, std::uint16_t* data,
+                          std::int64_t unit, ChunkUnitCounters& counters);
+
+/// All stages of one mixed unit back to back (stage 2 is the unchanged
+/// fp32 factor_unit over the scratch).
+void run_unit_mixed(const ChunkExecPlan<float>& plan, std::uint16_t* data,
+                    std::int64_t unit, float* pack_scratch, float* wm_scratch,
+                    std::span<std::int32_t> info, std::int64_t& failed,
+                    std::int64_t& first_failed, ChunkUnitCounters& counters);
+
+/// Factors a reduced-precision interleaved-layout batch (bf16/fp16 words,
+/// fp32 accumulate). The execution engine behind factor_batch_cpu_mixed.
+FactorResult run_chunk_pipeline_mixed(const BatchLayout& layout,
+                                      std::span<std::uint16_t> data,
+                                      const TileProgram* program,
+                                      const CpuFactorOptions& options,
+                                      StoragePrec storage,
+                                      std::span<std::int32_t> info);
 
 }  // namespace ibchol

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "cpu/simd/convert.hpp"
 #include "layout/convert.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -345,6 +346,91 @@ RecoveryReport factor_batch_recover_via(RecoverFactorFn<T> factor_fn,
       report.nonfinite + static_cast<std::int64_t>(pending.size());
   report.matrices = std::move(entries);
   return report;
+}
+
+std::int64_t screen_nonfinite_mixed(const BatchLayout& layout,
+                                    std::span<const std::uint16_t> data,
+                                    StoragePrec storage, Triangle triangle,
+                                    std::span<std::int32_t> info) {
+  IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
+               "reduced-precision storage runs interleaved layouts");
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  IBCHOL_CHECK(info.size() >= static_cast<std::size_t>(layout.batch()),
+               "info span too small for batch");
+  const int n = layout.n();
+  const std::int64_t batch = layout.batch();
+  std::vector<std::int32_t> elems;
+  for_each_triangle(n, triangle,
+                    [&](int i, int j) { elems.push_back(j * n + i); });
+  // Same element-major walk as screen_triangle, but the finiteness test is
+  // a bit mask on the 16-bit word (exponent all-ones) — no widening pass.
+  const std::int64_t chunk = layout.kind() == LayoutKind::kInterleaved
+                                 ? layout.padded_batch()
+                                 : layout.chunk();
+  const std::int64_t nchunks = (batch + chunk - 1) / chunk;
+  std::vector<std::uint8_t> bad(static_cast<std::size_t>(batch), 0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::uint16_t* base =
+        data.data() + static_cast<std::size_t>(c) *
+                          static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(chunk);
+    const std::int64_t lanes = std::min(chunk, batch - c * chunk);
+    std::uint8_t* flags = bad.data() + c * chunk;
+    for (const std::int32_t e : elems) {
+      const std::uint16_t* col = base + static_cast<std::size_t>(e) *
+                                            static_cast<std::size_t>(chunk);
+      for (std::int64_t l = 0; l < lanes; ++l) {
+        if (is_nonfinite_prec(col[l], storage)) flags[l] = 1;
+      }
+    }
+  }
+  std::int64_t count = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    if (bad[static_cast<std::size_t>(b)]) {
+      info[b] = kInfoNonFinite;
+      ++count;
+    }
+  }
+  return count;
+}
+
+RecoveryReport factor_batch_recover_mixed_via(
+    RecoverFactorFn<float> factor_fn, void* ctx, const BatchLayout& layout,
+    std::span<std::uint16_t> data, StoragePrec storage,
+    const CpuFactorOptions& options, const RecoveryOptions& recovery,
+    std::span<std::int32_t> info, const TileProgram* program) {
+  IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
+               "reduced-precision storage runs interleaved layouts");
+  IBCHOL_CHECK(storage != StoragePrec::kFp32,
+               "mixed recovery is for reduced storage precisions");
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  const SimdIsa cisa = resolve_convert_isa();
+  AlignedBuffer<float> wide(layout.size_elems());
+  const auto count = static_cast<std::int64_t>(layout.size_elems());
+  // Widening preserves NaN/Inf exactly, so the fp32 screen sees the same
+  // non-finite set a bit-level u16 screen would.
+  widen_row(cisa, storage, data.data(), wide.data(), count);
+  RecoveryReport report = factor_batch_recover_via<float>(
+      factor_fn, ctx, layout, wide.span(), options, recovery, info, program);
+  narrow_row(cisa, storage, wide.data(), data.data(), count,
+             /*nt_stores=*/false);
+  return report;
+}
+
+RecoveryReport factor_batch_recover_mixed(const BatchLayout& layout,
+                                          std::span<std::uint16_t> data,
+                                          StoragePrec storage,
+                                          const CpuFactorOptions& options,
+                                          const RecoveryOptions& recovery,
+                                          std::span<std::int32_t> info,
+                                          const TileProgram* program) {
+  return factor_batch_recover_mixed_via(&run_factor<float>, nullptr, layout,
+                                        data, storage, options, recovery,
+                                        info, program);
 }
 
 template std::int64_t screen_nonfinite<float>(const BatchLayout&,

@@ -80,6 +80,14 @@ std::int64_t screen_nonfinite(const BatchLayout& layout,
                               std::span<const T> data, Triangle triangle,
                               std::span<std::int32_t> info);
 
+/// screen_nonfinite for a reduced-precision batch: the NaN/Inf test runs at
+/// the bit level on the 16-bit words (exponent field all-ones), so no fp32
+/// widening pass is needed to screen. Interleaved layouts only.
+std::int64_t screen_nonfinite_mixed(const BatchLayout& layout,
+                                    std::span<const std::uint16_t> data,
+                                    StoragePrec storage, Triangle triangle,
+                                    std::span<std::int32_t> info);
+
 /// Factors the batch in place like factor_batch_cpu, then recovers failed
 /// matrices per `recovery` (see the file comment). `info`, when non-empty,
 /// receives the final per-matrix status: 0 (possibly after recovery),
@@ -120,5 +128,30 @@ RecoveryReport factor_batch_recover_via(RecoverFactorFn<T> factor_fn,
                                         const RecoveryOptions& recovery,
                                         std::span<std::int32_t> info = {},
                                         const TileProgram* program = nullptr);
+
+/// factor_batch_recover for a reduced-precision batch (bf16/fp16 words in
+/// `storage` format; interleaved layouts only). Recovery is a cold path,
+/// so the whole batch is widened once into fp32 scratch, the full fp32
+/// screen/factor/shifted-retry machinery runs there (the shift schedule
+/// operates on fp32 values, exactly as the mixed pipeline's compute does),
+/// and the result — recovered factors, preserved non-finite inputs, NaN
+/// residue of unrecoverable matrices — is narrowed back RN-even.
+RecoveryReport factor_batch_recover_mixed(const BatchLayout& layout,
+                                          std::span<std::uint16_t> data,
+                                          StoragePrec storage,
+                                          const CpuFactorOptions& options,
+                                          const RecoveryOptions& recovery,
+                                          std::span<std::int32_t> info = {},
+                                          const TileProgram* program = nullptr);
+
+/// factor_batch_recover_mixed with the fp32 passes routed through
+/// `factor_fn` (the service plugs its pool in here, exactly as it does for
+/// factor_batch_recover_via). factor_batch_recover_mixed is this with the
+/// plain OpenMP driver plugged in.
+RecoveryReport factor_batch_recover_mixed_via(
+    RecoverFactorFn<float> factor_fn, void* ctx, const BatchLayout& layout,
+    std::span<std::uint16_t> data, StoragePrec storage,
+    const CpuFactorOptions& options, const RecoveryOptions& recovery,
+    std::span<std::int32_t> info = {}, const TileProgram* program = nullptr);
 
 }  // namespace ibchol

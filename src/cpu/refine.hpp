@@ -7,15 +7,31 @@
 //     r = b - A·x  (accumulated in double) ;  L·Lᵀ d = r ;  x += d.
 // Each correction solve reuses the float factor; the residual is the only
 // double-precision work.
+// Reduced-precision storage (bf16/fp16 factors, fp32 accumulate) leans on
+// the same loop: the factor is rounded to 16 bits, so refinement against
+// the fp32-held right-hand side is what recovers the lost accuracy —
+// typically in one or two sweeps. Matrices whose sweeps stall get the
+// distinct kInfoRefineStalled code and the self-healing escalation ladder
+// (solve_batch_refine_recover_mixed): refine → shifted fp32 refactor of
+// just the stalled sub-batch → re-refine — so half-precision failures
+// degrade gracefully instead of erroring (DESIGN §12).
 #pragma once
 
+#include <cstdint>
 #include <span>
 
+#include "cpu/recover.hpp"
 #include "kernels/options.hpp"
 #include "layout/layout.hpp"
 #include "layout/vector_layout.hpp"
 
 namespace ibchol {
+
+/// Per-matrix `info` code for matrices whose iterative refinement did not
+/// reach the tolerance within max_iterations. Like kInfoNonFinite it is
+/// negative (never a pivot column) and recoverable: the escalation ladder
+/// and the service's quarantine path treat it as one more retryable code.
+inline constexpr std::int32_t kInfoRefineStalled = -3;
 
 /// Refinement configuration.
 struct RefineOptions {
@@ -45,5 +61,60 @@ RefineResult refine_batch_solve(const BatchLayout& mlayout,
                                 const BatchVectorLayout& vlayout,
                                 std::span<const float> b, std::span<float> x,
                                 const RefineOptions& options = {});
+
+/// Outcome of a per-matrix-converged refinement run (the mixed lanes need
+/// per-matrix resolution: one stalled matrix must not fail the batch).
+struct MixedRefineResult {
+  int iterations = 0;             ///< sweeps actually run
+  double final_correction = 0.0;  ///< max |d|/|x| over unconverged matrices
+  std::int64_t stalled = 0;       ///< matrices that never met tolerance
+  bool converged = false;         ///< every matrix converged
+
+  [[nodiscard]] bool all_converged() const { return stalled == 0; }
+};
+
+/// refine_batch_solve for reduced-precision factors: `factors` holds the
+/// batch as 16-bit words in `storage` format (the output of
+/// factor_batch_cpu_mixed); they are widened once into fp32 scratch and
+/// every solve runs in fp32 against the fp32-held `b`. Convergence is
+/// tracked per matrix (a matrix freezes once its relative correction drops
+/// below the tolerance); `info`, when non-empty, receives 0 for converged
+/// matrices and kInfoRefineStalled for the rest.
+MixedRefineResult refine_batch_solve_mixed(
+    const BatchLayout& mlayout, std::span<const float> originals,
+    std::span<const std::uint16_t> factors, StoragePrec storage,
+    const BatchVectorLayout& vlayout, std::span<const float> b,
+    std::span<float> x, std::span<std::int32_t> info = {},
+    const RefineOptions& options = {});
+
+/// Aggregate outcome of the self-healing mixed solve ladder.
+struct MixedSolveReport {
+  MixedRefineResult refine;   ///< the first refinement pass
+  RecoveryReport recovery;    ///< shifted refactor of the stalled sub-batch
+  std::int64_t healed = 0;    ///< stalled matrices the ladder recovered
+  std::int64_t unrecovered = 0;  ///< still stalled after every rung
+
+  [[nodiscard]] bool ok() const { return unrecovered == 0; }
+};
+
+/// The escalation ladder for reduced-precision solves (DESIGN §12):
+///   1. solve + iterative refinement against the 16-bit factors;
+///   2. matrices that stall are gathered into a compact fp32 sub-batch
+///      rebuilt from `originals` and refactored through the shifted-retry
+///      schedule (factor_batch_recover);
+///   3. the sub-batch is re-refined against the shifted factors, healed
+///      solutions are scattered back into `x`, healed factors are narrowed
+///      back into `factors`, and healed `info` entries reset to 0.
+/// Matrices that exhaust the ladder keep kInfoRefineStalled. `factors`
+/// must be the in-place output of factor_batch_cpu_mixed over `originals`
+/// (already-rounded input, factored); `fopts` configures the sub-batch
+/// refactorizations.
+MixedSolveReport solve_batch_refine_recover_mixed(
+    const BatchLayout& mlayout, std::span<const float> originals,
+    std::span<std::uint16_t> factors, StoragePrec storage,
+    const BatchVectorLayout& vlayout, std::span<const float> b,
+    std::span<float> x, const RefineOptions& options = {},
+    const RecoveryOptions& recovery = {}, const CpuFactorOptions& fopts = {},
+    std::span<std::int32_t> info = {});
 
 }  // namespace ibchol

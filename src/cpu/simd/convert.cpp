@@ -1,0 +1,109 @@
+// Scalar tier + runtime dispatch of the storage conversion kernels. The
+// scalar bodies are straight loops over the exact header primitives — they
+// are the semantics the SIMD tiers must match (bit-identical for bf16 on
+// every tier; bit-identical for fp16 on all finite values and Inf).
+#include "cpu/simd/convert.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "cpu/simd/convert_impl.hpp"
+#include "cpu/simd/isa.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace ibchol {
+
+namespace detail {
+
+void widen_row_scalar(StoragePrec prec, const std::uint16_t* src, float* dst,
+                      std::int64_t count) {
+  if (prec == StoragePrec::kFp16) {
+    for (std::int64_t i = 0; i < count; ++i) dst[i] = f32_from_fp16(src[i]);
+  } else {
+    for (std::int64_t i = 0; i < count; ++i) dst[i] = f32_from_bf16(src[i]);
+  }
+}
+
+void narrow_row_scalar(StoragePrec prec, const float* src, std::uint16_t* dst,
+                       std::int64_t count) {
+  if (prec == StoragePrec::kFp16) {
+    for (std::int64_t i = 0; i < count; ++i) dst[i] = fp16_from_f32(src[i]);
+  } else {
+    for (std::int64_t i = 0; i < count; ++i) dst[i] = bf16_from_f32(src[i]);
+  }
+}
+
+bool cpu_has_f16c() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool has = [] {
+    __builtin_cpu_init();
+    return static_cast<bool>(__builtin_cpu_supports("f16c"));
+  }();
+  return has;
+#else
+  return false;
+#endif
+}
+
+}  // namespace detail
+
+SimdIsa resolve_convert_isa() {
+  if (const char* env = std::getenv("IBCHOL_CONVERT_ISA")) {
+    const std::string s(env);
+    SimdIsa req = SimdIsa::kAuto;
+    bool known = true;
+    if (s == "scalar") req = SimdIsa::kScalar;
+    else if (s == "avx2") req = SimdIsa::kAvx2;
+    else if (s == "avx512") req = SimdIsa::kAvx512;
+    else if (s == "auto") req = SimdIsa::kAuto;
+    else known = false;  // typo'd override must never crash a run
+    if (known) {
+      const SimdIsa detected = detect_simd_isa();
+      if (req == SimdIsa::kAuto) return detected;
+      return static_cast<int>(req) <= static_cast<int>(detected) ? req
+                                                                 : detected;
+    }
+  }
+  return resolve_simd_isa(SimdIsa::kAuto);
+}
+
+void widen_row(SimdIsa tier, StoragePrec prec, const std::uint16_t* src,
+               float* dst, std::int64_t count) {
+  switch (tier) {
+    case SimdIsa::kAvx512:
+      detail::widen_row_avx512(prec, src, dst, count);
+      return;
+    case SimdIsa::kAvx2:
+      detail::widen_row_avx2(prec, src, dst, count);
+      return;
+    default:
+      detail::widen_row_scalar(prec, src, dst, count);
+      return;
+  }
+}
+
+void narrow_row(SimdIsa tier, StoragePrec prec, const float* src,
+                std::uint16_t* dst, std::int64_t count, bool nt_stores) {
+  switch (tier) {
+    case SimdIsa::kAvx512:
+      detail::narrow_row_avx512(prec, src, dst, count, nt_stores);
+      return;
+    case SimdIsa::kAvx2:
+      detail::narrow_row_avx2(prec, src, dst, count, nt_stores);
+      return;
+    default:
+      detail::narrow_row_scalar(prec, src, dst, count);
+      return;
+  }
+}
+
+void narrow_fence() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_sfence();
+#endif
+}
+
+}  // namespace ibchol

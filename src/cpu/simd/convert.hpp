@@ -1,0 +1,177 @@
+// Storage-precision conversion primitives: fp32 <-> bf16 / fp16.
+//
+// Reduced-precision *storage* lanes hold the interleaved batch as 16-bit
+// words; the chunk pipeline widens rows into fp32 pack scratch on the way
+// into L2 and narrows on write-back, so every tile-op still accumulates in
+// full fp32 registers and only the memory traffic halves. These are the
+// conversion kernels that sit on that boundary.
+//
+// Design rules:
+//  - The scalar primitives below are the semantics. They are exact
+//    round-to-nearest-even, preserve NaN (quietened, payload-truncating),
+//    Inf, and signed zero, and convert fp32 denormals correctly (no
+//    flush). Property tests exercise them exhaustively.
+//  - The bf16 SIMD tiers use pure integer emulation of the same
+//    add-half-ulp trick on every tier, so bf16 conversion is bit-identical
+//    scalar vs AVX2 vs AVX-512. We deliberately do NOT use the native
+//    vcvtneps2bf16 family: it flushes input denormals to zero, which would
+//    make the forced-scalar sanitizer build diverge from production.
+//  - The fp16 SIMD tiers use F16C (vcvtph2ps / vcvtps2ph with explicit
+//    round-to-nearest), gated at runtime on cpuid; hosts without F16C run
+//    the exact scalar bodies inside the vector tier. F16C matches the
+//    scalar algorithm bit-for-bit on all finite values and infinities;
+//    NaNs stay NaNs on both paths (payload handling may differ).
+//
+// The row APIs take a *resolved* tier (never kAuto) so hot loops resolve
+// dispatch once per pipeline plan, not per row; resolve_convert_isa()
+// performs that resolution and honors the IBCHOL_CONVERT_ISA override
+// (falling back to the IBCHOL_SIMD_ISA behavior when unset) — the hook
+// check.sh --prec uses to soak the scalar bodies under sanitizers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "kernels/options.hpp"
+
+namespace ibchol {
+
+// ------------------------------------------------------- scalar: bf16 ----
+
+/// fp32 bits -> bf16 bits, round-to-nearest-even. NaN payloads are
+/// truncated to the high mantissa bits with the quiet bit forced on (so a
+/// signaling NaN cannot narrow to Inf).
+[[nodiscard]] inline std::uint16_t bf16_bits_from_f32_bits(std::uint32_t x) {
+  if ((x & 0x7FFFFFFFu) > 0x7F800000u) {  // NaN
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  }
+  const std::uint32_t rounding = 0x7FFFu + ((x >> 16) & 1u);
+  return static_cast<std::uint16_t>((x + rounding) >> 16);
+}
+
+[[nodiscard]] inline std::uint32_t f32_bits_from_bf16_bits(std::uint16_t h) {
+  return static_cast<std::uint32_t>(h) << 16;
+}
+
+[[nodiscard]] inline std::uint16_t bf16_from_f32(float f) {
+  return bf16_bits_from_f32_bits(std::bit_cast<std::uint32_t>(f));
+}
+
+[[nodiscard]] inline float f32_from_bf16(std::uint16_t h) {
+  return std::bit_cast<float>(f32_bits_from_bf16_bits(h));
+}
+
+// ------------------------------------------------------- scalar: fp16 ----
+
+/// fp32 bits -> IEEE binary16 bits, round-to-nearest-even across the
+/// normal, subnormal, overflow-to-Inf, and underflow-to-signed-zero
+/// ranges. The mantissa-increment rounding carries naturally into the
+/// exponent (65520 -> Inf, largest-subnormal -> smallest-normal).
+[[nodiscard]] inline std::uint16_t fp16_bits_from_f32_bits(std::uint32_t x) {
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7FFFFFFFu;
+  if (abs > 0x7F800000u) {  // NaN: truncate payload, force quiet bit
+    return static_cast<std::uint16_t>(sign | 0x7C00u | ((abs >> 13) & 0x3FFu) |
+                                      0x200u);
+  }
+  const int e = static_cast<int>(abs >> 23) - 127;
+  const std::uint32_t m = abs & 0x7FFFFFu;
+  if (e > 15) {  // includes Inf; finite e>15 is >= 2^16 > max fp16 + ulp/2
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (e >= -14) {  // normal range (carry may round up to Inf)
+    std::uint32_t h =
+        sign | (static_cast<std::uint32_t>(e + 15) << 10) | (m >> 13);
+    const std::uint32_t rem = m & 0x1FFFu;
+    h += (rem > 0x1000u) || (rem == 0x1000u && (h & 1u));
+    return static_cast<std::uint16_t>(h);
+  }
+  if (e >= -25) {  // subnormal range (carry may round up to smallest normal)
+    const std::uint32_t full = m | 0x800000u;
+    const int shift = -e - 1;  // 14..24
+    std::uint32_t h = full >> shift;
+    const std::uint32_t rem = full & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    h += (rem > half) || (rem == half && (h & 1u));
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  return static_cast<std::uint16_t>(sign);  // underflows to signed zero
+}
+
+[[nodiscard]] inline std::uint32_t f32_bits_from_fp16_bits(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  std::uint32_t exp = (static_cast<std::uint32_t>(h) >> 10) & 0x1Fu;
+  std::uint32_t man = static_cast<std::uint32_t>(h) & 0x3FFu;
+  if (exp == 0x1Fu) {  // Inf / NaN (payload widens in place, stays quiet)
+    return sign | 0x7F800000u | (man << 13);
+  }
+  if (exp == 0) {
+    if (man == 0) return sign;  // signed zero
+    std::uint32_t shift = 0;    // subnormal: renormalize
+    while (!(man & 0x400u)) {
+      man <<= 1;
+      ++shift;
+    }
+    man &= 0x3FFu;
+    return sign | ((113u - shift) << 23) | (man << 13);
+  }
+  return sign | ((exp + 112u) << 23) | (man << 13);
+}
+
+[[nodiscard]] inline std::uint16_t fp16_from_f32(float f) {
+  return fp16_bits_from_f32_bits(std::bit_cast<std::uint32_t>(f));
+}
+
+[[nodiscard]] inline float f32_from_fp16(std::uint16_t h) {
+  return std::bit_cast<float>(f32_bits_from_fp16_bits(h));
+}
+
+// ------------------------------------------------ precision-generic ------
+
+/// Narrow one fp32 value to the given storage precision (kFp32 is invalid
+/// here — reduced-precision code paths only).
+[[nodiscard]] inline std::uint16_t narrow_f32(float f, StoragePrec prec) {
+  return prec == StoragePrec::kFp16 ? fp16_from_f32(f) : bf16_from_f32(f);
+}
+
+[[nodiscard]] inline float widen_f32(std::uint16_t h, StoragePrec prec) {
+  return prec == StoragePrec::kFp16 ? f32_from_fp16(h) : f32_from_bf16(h);
+}
+
+/// Bit-level non-finite screens for stored 16-bit words (the service's
+/// poison screen runs these instead of widening): all-ones exponent field.
+[[nodiscard]] inline bool is_nonfinite_bf16(std::uint16_t h) {
+  return (h & 0x7F80u) == 0x7F80u;
+}
+[[nodiscard]] inline bool is_nonfinite_fp16(std::uint16_t h) {
+  return (h & 0x7C00u) == 0x7C00u;
+}
+[[nodiscard]] inline bool is_nonfinite_prec(std::uint16_t h, StoragePrec p) {
+  return p == StoragePrec::kFp16 ? is_nonfinite_fp16(h) : is_nonfinite_bf16(h);
+}
+
+// --------------------------------------------------------- row APIs ------
+
+/// Resolved conversion tier (never kAuto). IBCHOL_CONVERT_ISA
+/// ("scalar"/"avx2"/"avx512"/"auto") overrides when set (clamped to the
+/// detected host tier, unknown spellings ignored); otherwise follows
+/// resolve_simd_isa(kAuto), i.e. the IBCHOL_SIMD_ISA behavior. Reads the
+/// environment on every call — resolve once per plan, not per row.
+[[nodiscard]] SimdIsa resolve_convert_isa();
+
+/// Widen `count` stored 16-bit elements to fp32. `tier` must be resolved
+/// (kAuto is treated as scalar). Exact on every tier.
+void widen_row(SimdIsa tier, StoragePrec prec, const std::uint16_t* src,
+               float* dst, std::int64_t count);
+
+/// Narrow `count` fp32 elements to the storage precision, RN-even. With
+/// `nt_stores` the aligned body of the row is written with non-temporal
+/// stores (scalar tier ignores the hint); callers must fence afterwards
+/// via narrow_fence() once per unit, not per row.
+void narrow_row(SimdIsa tier, StoragePrec prec, const float* src,
+                std::uint16_t* dst, std::int64_t count, bool nt_stores);
+
+/// Store fence pairing with narrow_row(nt_stores=true).
+void narrow_fence();
+
+}  // namespace ibchol

@@ -1,0 +1,118 @@
+// AVX2 tier of the storage conversion kernels (8 elements per step).
+//
+// bf16 uses pure integer emulation of the scalar add-half-ulp RN-even
+// trick — bit-identical to the scalar tier on every input including fp32
+// denormals (the native vcvtneps2bf16 family flushes them, so we avoid
+// it). fp16 uses F16C when the host executes it (runtime cpuid gate), the
+// exact scalar bodies otherwise.
+//
+// Compiled with -mavx2 -mfma -mf16c when the compiler supports them (see
+// src/cpu/CMakeLists.txt); otherwise this TU compiles with default flags
+// and decays to the scalar tier.
+#include "cpu/simd/convert.hpp"
+#include "cpu/simd/convert_impl.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace ibchol::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+
+inline __m128i narrow8_bf16(const float* src) {
+  const __m256i x = _mm256_castps_si256(_mm256_loadu_ps(src));
+  const __m256i abs = _mm256_and_si256(x, _mm256_set1_epi32(0x7FFFFFFF));
+  // NaN lanes: abs > 0x7F800000 — both sides fit signed-positive range, so
+  // the signed compare is exact. (A negative-NaN bit pattern wraps the
+  // rounding add below, but its lane is blended away here.)
+  const __m256i nan = _mm256_cmpgt_epi32(abs, _mm256_set1_epi32(0x7F800000));
+  const __m256i lsb =
+      _mm256_and_si256(_mm256_srli_epi32(x, 16), _mm256_set1_epi32(1));
+  __m256i r = _mm256_srli_epi32(
+      _mm256_add_epi32(_mm256_add_epi32(x, _mm256_set1_epi32(0x7FFF)), lsb),
+      16);
+  const __m256i qnan =
+      _mm256_or_si256(_mm256_srli_epi32(x, 16), _mm256_set1_epi32(0x40));
+  r = _mm256_blendv_epi8(r, qnan, nan);
+  // Pack 8x u32 (each <= 0xFFFF, so packus cannot saturate) down to 8x u16:
+  // per-lane pack duplicates, permute picks the low qword of each lane.
+  const __m256i packed = _mm256_packus_epi32(r, r);
+  return _mm256_castsi256_si128(_mm256_permute4x64_epi64(packed, 0x08));
+}
+
+inline void store8_u16(std::uint16_t* dst, __m128i v, bool nt) {
+  if (nt && (reinterpret_cast<std::uintptr_t>(dst) & 15u) == 0) {
+    _mm_stream_si128(reinterpret_cast<__m128i*>(dst), v);
+  } else {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), v);
+  }
+}
+
+}  // namespace
+
+void widen_row_avx2(StoragePrec prec, const std::uint16_t* src, float* dst,
+                    std::int64_t count) {
+  std::int64_t i = 0;
+  if (prec == StoragePrec::kFp16) {
+#if defined(__F16C__)
+    if (cpu_has_f16c()) {
+      for (; i + 8 <= count; i += 8) {
+        const __m128i h =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+        _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+      }
+    }
+#endif
+    for (; i < count; ++i) dst[i] = f32_from_fp16(src[i]);
+    return;
+  }
+  for (; i + 8 <= count; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m256i w = _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+    _mm256_storeu_ps(dst + i, _mm256_castsi256_ps(w));
+  }
+  for (; i < count; ++i) dst[i] = f32_from_bf16(src[i]);
+}
+
+void narrow_row_avx2(StoragePrec prec, const float* src, std::uint16_t* dst,
+                     std::int64_t count, bool nt_stores) {
+  std::int64_t i = 0;
+  if (prec == StoragePrec::kFp16) {
+#if defined(__F16C__)
+    if (cpu_has_f16c()) {
+      for (; i + 8 <= count; i += 8) {
+        const __m128i h = _mm256_cvtps_ph(
+            _mm256_loadu_ps(src + i),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        store8_u16(dst + i, h, nt_stores);
+      }
+    }
+#endif
+    for (; i < count; ++i) dst[i] = fp16_from_f32(src[i]);
+    return;
+  }
+  for (; i + 8 <= count; i += 8) {
+    store8_u16(dst + i, narrow8_bf16(src + i), nt_stores);
+  }
+  for (; i < count; ++i) dst[i] = bf16_from_f32(src[i]);
+}
+
+#else  // !__AVX2__ — compiler cannot target this tier; decay to scalar.
+
+void widen_row_avx2(StoragePrec prec, const std::uint16_t* src, float* dst,
+                    std::int64_t count) {
+  widen_row_scalar(prec, src, dst, count);
+}
+
+void narrow_row_avx2(StoragePrec prec, const float* src, std::uint16_t* dst,
+                     std::int64_t count, bool /*nt_stores*/) {
+  narrow_row_scalar(prec, src, dst, count);
+}
+
+#endif
+
+}  // namespace ibchol::detail

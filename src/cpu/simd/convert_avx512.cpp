@@ -1,0 +1,103 @@
+// AVX-512F tier of the storage conversion kernels (16 elements per step).
+//
+// bf16 runs the same integer RN-even emulation as the scalar and AVX2
+// tiers (bit-identical; the native vcvtne2ps2bf16 flushes denormals so we
+// emulate instead). fp16 uses the AVX-512F zmm forms of vcvtph2ps /
+// vcvtps2ph — part of AVX-512F itself, no separate F16C gate needed.
+//
+// Compiled with -mavx512f -mfma when the compiler supports them; otherwise
+// this TU decays to the AVX2 tier (which itself decays to scalar).
+#include "cpu/simd/convert.hpp"
+#include "cpu/simd/convert_impl.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace ibchol::detail {
+
+#if defined(__AVX512F__)
+
+namespace {
+
+inline __m256i narrow16_bf16(const float* src) {
+  const __m512i x = _mm512_castps_si512(_mm512_loadu_ps(src));
+  const __m512i abs = _mm512_and_si512(x, _mm512_set1_epi32(0x7FFFFFFF));
+  const __mmask16 nan =
+      _mm512_cmpgt_epi32_mask(abs, _mm512_set1_epi32(0x7F800000));
+  const __m512i lsb =
+      _mm512_and_si512(_mm512_srli_epi32(x, 16), _mm512_set1_epi32(1));
+  __m512i r = _mm512_srli_epi32(
+      _mm512_add_epi32(_mm512_add_epi32(x, _mm512_set1_epi32(0x7FFF)), lsb),
+      16);
+  const __m512i qnan =
+      _mm512_or_si512(_mm512_srli_epi32(x, 16), _mm512_set1_epi32(0x40));
+  r = _mm512_mask_mov_epi32(r, nan, qnan);
+  return _mm512_cvtepi32_epi16(r);  // each lane <= 0xFFFF: plain truncate
+}
+
+inline void store16_u16(std::uint16_t* dst, __m256i v, bool nt) {
+  if (nt && (reinterpret_cast<std::uintptr_t>(dst) & 31u) == 0) {
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(dst), v);
+  } else {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), v);
+  }
+}
+
+}  // namespace
+
+void widen_row_avx512(StoragePrec prec, const std::uint16_t* src, float* dst,
+                      std::int64_t count) {
+  std::int64_t i = 0;
+  if (prec == StoragePrec::kFp16) {
+    for (; i + 16 <= count; i += 16) {
+      const __m256i h =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      _mm512_storeu_ps(dst + i, _mm512_cvtph_ps(h));
+    }
+    for (; i < count; ++i) dst[i] = f32_from_fp16(src[i]);
+    return;
+  }
+  for (; i + 16 <= count; i += 16) {
+    const __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m512i w = _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16);
+    _mm512_storeu_ps(dst + i, _mm512_castsi512_ps(w));
+  }
+  for (; i < count; ++i) dst[i] = f32_from_bf16(src[i]);
+}
+
+void narrow_row_avx512(StoragePrec prec, const float* src, std::uint16_t* dst,
+                       std::int64_t count, bool nt_stores) {
+  std::int64_t i = 0;
+  if (prec == StoragePrec::kFp16) {
+    for (; i + 16 <= count; i += 16) {
+      const __m256i h = _mm512_cvtps_ph(
+          _mm512_loadu_ps(src + i),
+          _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+      store16_u16(dst + i, h, nt_stores);
+    }
+    for (; i < count; ++i) dst[i] = fp16_from_f32(src[i]);
+    return;
+  }
+  for (; i + 16 <= count; i += 16) {
+    store16_u16(dst + i, narrow16_bf16(src + i), nt_stores);
+  }
+  for (; i < count; ++i) dst[i] = bf16_from_f32(src[i]);
+}
+
+#else  // !__AVX512F__ — decay to the AVX2 tier.
+
+void widen_row_avx512(StoragePrec prec, const std::uint16_t* src, float* dst,
+                      std::int64_t count) {
+  widen_row_avx2(prec, src, dst, count);
+}
+
+void narrow_row_avx512(StoragePrec prec, const float* src, std::uint16_t* dst,
+                       std::int64_t count, bool nt_stores) {
+  narrow_row_avx2(prec, src, dst, count, nt_stores);
+}
+
+#endif
+
+}  // namespace ibchol::detail

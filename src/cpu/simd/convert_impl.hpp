@@ -1,0 +1,34 @@
+// Internal per-tier entry points of the storage conversion kernels. Each
+// tier lives in its own translation unit with per-file -m flags (mirroring
+// vec_exec_*): when the compiler cannot target a tier its TU compiles with
+// default flags and forwards to the tier below, so the symbols always
+// exist and runtime dispatch stays a plain call.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/options.hpp"
+
+namespace ibchol::detail {
+
+void widen_row_scalar(StoragePrec prec, const std::uint16_t* src, float* dst,
+                      std::int64_t count);
+void narrow_row_scalar(StoragePrec prec, const float* src, std::uint16_t* dst,
+                       std::int64_t count);
+
+void widen_row_avx2(StoragePrec prec, const std::uint16_t* src, float* dst,
+                    std::int64_t count);
+void narrow_row_avx2(StoragePrec prec, const float* src, std::uint16_t* dst,
+                     std::int64_t count, bool nt_stores);
+
+void widen_row_avx512(StoragePrec prec, const std::uint16_t* src, float* dst,
+                      std::int64_t count);
+void narrow_row_avx512(StoragePrec prec, const float* src, std::uint16_t* dst,
+                       std::int64_t count, bool nt_stores);
+
+/// Cached cpuid probe: true when the host executes F16C (vcvtph2ps /
+/// vcvtps2ph). The vector tiers gate their fp16 bodies on this at runtime
+/// — compile-time -mf16c alone must never fault a lesser host.
+[[nodiscard]] bool cpu_has_f16c();
+
+}  // namespace ibchol::detail

@@ -50,12 +50,23 @@ enum class CpuExec : std::uint8_t {
 /// above the detected tier are clamped, never faulted.
 enum class SimdIsa : std::uint8_t { kAuto, kScalar, kAvx2, kAvx512 };
 
+/// Element width of the matrices as *stored* in the interleaved layout.
+/// kFp32 is the classic path (storage == compute). kBf16/kFp16 hold the
+/// batch as 16-bit words and widen to fp32 on the way into the chunk
+/// pipeline's pack scratch, so every tile-op accumulates in full fp32
+/// registers and only the memory traffic halves. Reduced storage rounds
+/// the input once on ingest and the factor once on write-back; iterative
+/// refinement (cpu/refine.*) recovers solve accuracy against an
+/// fp32-held right-hand side.
+enum class StoragePrec : std::uint8_t { kFp32, kBf16, kFp16 };
+
 [[nodiscard]] std::string to_string(Looking looking);
 [[nodiscard]] std::string to_string(Unroll unroll);
 [[nodiscard]] std::string to_string(MathMode math);
 [[nodiscard]] std::string to_string(Triangle triangle);
 [[nodiscard]] std::string to_string(CpuExec exec);
 [[nodiscard]] std::string to_string(SimdIsa isa);
+[[nodiscard]] std::string to_string(StoragePrec prec);
 
 /// Parse helpers (accept the to_string spellings); throw ibchol::Error on
 /// unknown values.
@@ -64,5 +75,6 @@ enum class SimdIsa : std::uint8_t { kAuto, kScalar, kAvx2, kAvx512 };
 [[nodiscard]] MathMode math_from_string(const std::string& s);
 [[nodiscard]] CpuExec cpu_exec_from_string(const std::string& s);
 [[nodiscard]] SimdIsa simd_isa_from_string(const std::string& s);
+[[nodiscard]] StoragePrec storage_prec_from_string(const std::string& s);
 
 }  // namespace ibchol

@@ -81,6 +81,22 @@ SimdIsa simd_isa_from_string(const std::string& s) {
   throw Error("unknown simd isa tier: " + s);
 }
 
+std::string to_string(StoragePrec prec) {
+  switch (prec) {
+    case StoragePrec::kFp32: return "fp32";
+    case StoragePrec::kBf16: return "bf16";
+    case StoragePrec::kFp16: return "fp16";
+  }
+  return "?";
+}
+
+StoragePrec storage_prec_from_string(const std::string& s) {
+  if (s == "fp32") return StoragePrec::kFp32;
+  if (s == "bf16") return StoragePrec::kBf16;
+  if (s == "fp16") return StoragePrec::kFp16;
+  throw Error("unknown storage precision: " + s);
+}
+
 std::string to_string(TileOp::Kind kind) {
   switch (kind) {
     case TileOp::Kind::kLoadFull: return "load_full";

@@ -29,6 +29,9 @@ std::string TuningParams::to_string() const {
      << ", cache=" << (prefer_shared ? "shared" : "L1")
      << ", exec=" << ibchol::to_string(exec);
   if (exec == CpuExec::kVectorized) os << ", isa=" << ibchol::to_string(isa);
+  if (storage != StoragePrec::kFp32) {
+    os << ", storage=" << ibchol::to_string(storage);
+  }
   os << ")";
   return os.str();
 }
@@ -52,6 +55,9 @@ std::string TuningParams::key() const {
     os << "_vec";
     if (isa != SimdIsa::kAuto) os << '_' << ibchol::to_string(isa);
   }
+  // Storage precision, the seventh axis, follows the same deviation-only
+  // rule: fp32 points keep their historical keys.
+  if (storage != StoragePrec::kFp32) os << '_' << ibchol::to_string(storage);
   return os.str();
 }
 

@@ -37,6 +37,12 @@ struct TuningParams {
   /// runtime cpuid dispatch; explicit tiers force a narrower body (clamped
   /// to what the host offers). Ignored unless exec == kVectorized.
   SimdIsa isa = SimdIsa::kAuto;
+  /// Storage precision of the batch (the seventh parameter): fp32 is the
+  /// classic path; kBf16/kFp16 hold matrices as 16-bit words and stage
+  /// units through fp32 pack scratch (factor_batch_cpu_mixed), halving
+  /// memory traffic at the cost of rounded storage. Only interleaved
+  /// layouts support the reduced precisions.
+  StoragePrec storage = StoragePrec::kFp32;
 
   /// Validates against a matrix dimension; throws ibchol::Error.
   void validate(int n) const;

@@ -70,7 +70,11 @@ struct alignas(64) Slot {
     kChunkF32,
     kChunkF64,
     kCanonF32,
-    kCanonF64
+    kCanonF64,
+    /// Reduced-precision storage (bf16/fp16 words, fp32 accumulate):
+    /// plan_f is a mixed plan (plan_chunk_exec_mixed) whose `storage`
+    /// field names the element format; data points at std::uint16_t.
+    kChunkMixed
   };
 
   // Immutable while in flight.
@@ -190,6 +194,19 @@ void complete_request(ServiceShared& s, std::uint32_t idx) {
   const std::uint64_t now = obs::now_ns();
   IBCHOL_HIST("svc.request_ns", now - slot.submit_ns);
   if constexpr (obs::kEnabled) {
+    // Per-precision latency lane: load_service reports p50/p95/p99 per
+    // storage format from these. Runtime-named, so no macro cache — one
+    // registry lookup per completed request, noise next to a factorization.
+    const char* lane =
+        slot.mode == Slot::Mode::kChunkMixed
+            ? (slot.plan_f.storage == StoragePrec::kBf16
+                   ? "svc.request_ns.bf16"
+                   : "svc.request_ns.fp16")
+        : (slot.mode == Slot::Mode::kChunkF64 ||
+           slot.mode == Slot::Mode::kCanonF64)
+            ? "svc.request_ns.fp64"
+            : "svc.request_ns.fp32";
+    obs::histogram(lane).record(now - slot.submit_ns);
     if (obs::tracing_active()) {
       obs::record_span("request", "svc", slot.seq, slot.submit_ns,
                        now - slot.submit_ns);
@@ -386,6 +403,67 @@ void run_chunk_range(ServiceShared& s, int wid, std::uint32_t idx,
   finish_units(s, idx, t.size(), failed, first);
 }
 
+/// run_chunk_range for a reduced-precision request: same double-buffered
+/// pack/factor/writeback schedule and steal protocol, with the pack stage
+/// widening 16-bit lanes into fp32 scratch and the write-back narrowing
+/// them again. Mixed plans always pack, so there is no in-place branch;
+/// the fp32 factor_unit never touches the u16 batch (nullptr data).
+void run_chunk_range_mixed(ServiceShared& s, int wid, std::uint32_t idx,
+                           const ChunkExecPlan<float>& plan, UnitTask t) {
+  WorkDeque& deque = *s.deques[wid];
+  WorkerState& me = *s.wstates[wid];
+  Slot& slot = *s.slots[idx];
+  auto* data = static_cast<std::uint16_t*>(slot.data);
+  const std::span<std::int32_t> info(slot.info, slot.info_size);
+  std::int64_t failed = 0;
+  std::int64_t first = kNotSeen;
+  ChunkUnitCounters counters;
+
+  ArenaLease wm_lease;
+  ArenaLease lease_a;
+  ArenaLease lease_b;
+  float* wm = nullptr;
+  float* cur = nullptr;
+  float* nxt = nullptr;
+  try {
+    if (plan.wm_scratch_elems > 0) {
+      wm_lease = s.arena.acquire(plan.wm_scratch_elems * sizeof(float));
+      wm = wm_lease.as<float>();
+    }
+    lease_a = s.arena.acquire(plan.pack_scratch_elems * sizeof(float));
+    cur = lease_a.as<float>();
+    t.end = maybe_split(s, deque, idx, t.begin + 1, t.end);
+    if (t.size() > 1) {
+      lease_b = s.arena.acquire(plan.pack_scratch_elems * sizeof(float));
+      nxt = lease_b.as<float>();
+    }
+  } catch (const std::bad_alloc&) {
+    lease_b.reset();
+    lease_a.reset();
+    wm_lease.reset();
+    abort_units(s, idx, plan, t);
+    return;
+  }
+
+  pack_unit_mixed(plan, data, t.begin, cur);
+  for (std::int64_t u = t.begin; u < t.end; ++u) {
+    chaos::chaos_stall_unit();
+    factor_unit(plan, static_cast<float*>(nullptr), u, cur, wm, info, failed,
+                first, counters);
+    if (u + 1 < t.end) pack_unit_mixed(plan, data, u + 1, nxt);
+    chaos::chaos_delay_writeback();
+    writeback_unit_mixed(plan, cur, data, u, counters);
+    std::swap(cur, nxt);
+    me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    t.end = maybe_split(s, deque, idx, u + 2, t.end);
+  }
+  fold_unit_counters(counters);
+  lease_b.reset();
+  lease_a.reset();
+  wm_lease.reset();
+  finish_units(s, idx, t.size(), failed, first);
+}
+
 template <typename T>
 void run_canonical_range(ServiceShared& s, int wid, std::uint32_t idx,
                          UnitTask t) {
@@ -435,6 +513,9 @@ void run_range(ServiceShared& s, int wid, UnitTask t) {
     case Slot::Mode::kCanonF64:
       run_canonical_range<double>(s, wid, t.slot, t);
       break;
+    case Slot::Mode::kChunkMixed:
+      run_chunk_range_mixed(s, wid, t.slot, slot.plan_f, t);
+      break;
   }
 }
 
@@ -483,6 +564,37 @@ void quarantine_chunk(ServiceShared& s, int wid, Slot& slot,
   fold_unit_counters(counters);
 }
 
+/// Reduced-precision counterpart of quarantine_chunk: single fp32 pack
+/// buffer, no splits, widen/factor/narrow per unit.
+void quarantine_chunk_mixed(ServiceShared& s, int wid, Slot& slot,
+                            const ChunkExecPlan<float>& plan,
+                            std::span<std::int32_t> eff_info) {
+  WorkerState& me = *s.wstates[wid];
+  auto* data = static_cast<std::uint16_t*>(slot.data);
+  std::int64_t failed = 0;
+  std::int64_t first = kNotSeen;
+  ChunkUnitCounters counters;
+  ArenaLease wm_lease;
+  float* wm = nullptr;
+  if (plan.wm_scratch_elems > 0) {
+    wm_lease = s.arena.acquire(plan.wm_scratch_elems * sizeof(float));
+    wm = wm_lease.as<float>();
+  }
+  ArenaLease pack_lease =
+      s.arena.acquire(plan.pack_scratch_elems * sizeof(float));
+  float* buf = pack_lease.as<float>();
+  for (std::int64_t u = 0; u < plan.num_units; ++u) {
+    chaos::chaos_stall_unit();
+    pack_unit_mixed(plan, data, u, buf);
+    factor_unit(plan, static_cast<float*>(nullptr), u, buf, wm, eff_info,
+                failed, first, counters);
+    chaos::chaos_delay_writeback();
+    writeback_unit_mixed(plan, buf, data, u, counters);
+    me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  }
+  fold_unit_counters(counters);
+}
+
 /// Canonical-mode counterpart of quarantine_chunk.
 template <typename T>
 void quarantine_canonical(ServiceShared& s, int wid, Slot& slot,
@@ -510,13 +622,13 @@ void quarantine_canonical(ServiceShared& s, int wid, Slot& slot,
 /// whole request on this worker's quarantine path, completes it
 /// (kPoisoned) with a RecoveryReport, and returns true. May throw
 /// std::bad_alloc (scratch for the screen); the caller aborts the request.
-template <typename T>
-bool screen_quarantine_impl(ServiceShared& s, int wid, std::uint32_t idx,
-                            const ChunkExecPlan<T>* plan) {
+template <typename ScreenFn, typename QuarantineFn>
+bool screen_quarantine_generic(ServiceShared& s, std::uint32_t idx,
+                               ScreenFn&& screen_fn,
+                               QuarantineFn&& quarantine_fn) {
   Slot& slot = *s.slots[idx];
   const BatchLayout& layout = slot.layout;
   const std::int64_t batch = layout.batch();
-  auto* data = static_cast<T*>(slot.data);
 
   // The screen writes into scratch, never the caller's info: screened
   // indices must be recoverable without trusting whatever the caller's
@@ -526,9 +638,7 @@ bool screen_quarantine_impl(ServiceShared& s, int wid, std::uint32_t idx,
   const std::span<std::int32_t> sinfo(sinfo_lease.as<std::int32_t>(),
                                       static_cast<std::size_t>(batch));
   std::memset(sinfo.data(), 0, sinfo.size_bytes());
-  const std::int64_t nonfinite = screen_nonfinite<T>(
-      layout, std::span<const T>(data, layout.size_elems()), slot.triangle,
-      sinfo);
+  const std::int64_t nonfinite = screen_fn(sinfo);
   if (nonfinite == 0) return false;
 
   const std::uint64_t q_start = obs::now_ns();
@@ -552,11 +662,7 @@ bool screen_quarantine_impl(ServiceShared& s, int wid, std::uint32_t idx,
   if (slot.info == nullptr) {
     std::memset(sinfo.data(), 0, sinfo.size_bytes());
   }
-  if (plan != nullptr) {
-    quarantine_chunk<T>(s, wid, slot, *plan, eff_info);
-  } else {
-    quarantine_canonical<T>(s, wid, slot, eff_info);
-  }
+  quarantine_fn(eff_info);
 
   // Poisoned matrices report kInfoNonFinite regardless of what the
   // factorization made of their garbage (recover.cpp's convention), and
@@ -600,6 +706,47 @@ bool screen_quarantine_impl(ServiceShared& s, int wid, std::uint32_t idx,
   return true;
 }
 
+template <typename T>
+bool screen_quarantine_impl(ServiceShared& s, int wid, std::uint32_t idx,
+                            const ChunkExecPlan<T>* plan) {
+  Slot& slot = *s.slots[idx];
+  auto* data = static_cast<T*>(slot.data);
+  return screen_quarantine_generic(
+      s, idx,
+      [&](std::span<std::int32_t> sinfo) {
+        return screen_nonfinite<T>(
+            slot.layout,
+            std::span<const T>(data, slot.layout.size_elems()),
+            slot.triangle, sinfo);
+      },
+      [&](std::span<std::int32_t> eff_info) {
+        if (plan != nullptr) {
+          quarantine_chunk<T>(s, wid, slot, *plan, eff_info);
+        } else {
+          quarantine_canonical<T>(s, wid, slot, eff_info);
+        }
+      });
+}
+
+/// screen_quarantine_impl for reduced-precision requests: the screen is a
+/// bit-level test on the 16-bit words (no widening pass), the quarantine
+/// run is the mixed single-buffer path.
+bool screen_quarantine_mixed(ServiceShared& s, int wid, std::uint32_t idx) {
+  Slot& slot = *s.slots[idx];
+  auto* data = static_cast<const std::uint16_t*>(slot.data);
+  return screen_quarantine_generic(
+      s, idx,
+      [&](std::span<std::int32_t> sinfo) {
+        return screen_nonfinite_mixed(
+            slot.layout,
+            std::span<const std::uint16_t>(data, slot.layout.size_elems()),
+            slot.plan_f.storage, slot.triangle, sinfo);
+      },
+      [&](std::span<std::int32_t> eff_info) {
+        quarantine_chunk_mixed(s, wid, slot, slot.plan_f, eff_info);
+      });
+}
+
 bool screen_and_quarantine(ServiceShared& s, int wid, std::uint32_t idx) {
   Slot& slot = *s.slots[idx];
   switch (slot.mode) {
@@ -611,6 +758,8 @@ bool screen_and_quarantine(ServiceShared& s, int wid, std::uint32_t idx) {
       return screen_quarantine_impl<float>(s, wid, idx, nullptr);
     case Slot::Mode::kCanonF64:
       return screen_quarantine_impl<double>(s, wid, idx, nullptr);
+    case Slot::Mode::kChunkMixed:
+      return screen_quarantine_mixed(s, wid, idx);
   }
   return false;
 }
@@ -1126,6 +1275,8 @@ FactorFuture BatchService::submit(const BatchLayout& layout,
                    info.size() >= static_cast<std::size_t>(layout.batch()),
                "info span too small for batch");
   IBCHOL_CHECK(sopts.timeout_ns >= 0, "negative submit timeout");
+  IBCHOL_CHECK(sopts.storage == StoragePrec::kFp32,
+               "reduced-precision batches go through submit_mixed");
 
   // Resolve the full execution plan before touching the pool, so every
   // precondition failure surfaces here, on the submitting thread.
@@ -1249,6 +1400,117 @@ RecoveryReport BatchService::recover(const BatchLayout& layout,
                                      const TileProgram* program) {
   return factor_batch_recover_via<T>(&service_factor_thunk<T>, this, layout,
                                      data, options, recovery, info, program);
+}
+
+FactorFuture BatchService::submit_mixed(const BatchLayout& layout,
+                                        std::span<std::uint16_t> data,
+                                        const CpuFactorOptions& options,
+                                        std::span<std::int32_t> info,
+                                        const TileProgram* program,
+                                        const SubmitOptions& sopts) {
+  ServiceShared& s = *shared_;
+  IBCHOL_CHECK(!s.stop.load(std::memory_order_acquire),
+               "submit_mixed() on a service being destroyed");
+  IBCHOL_CHECK(layout.kind() != LayoutKind::kCanonical,
+               "reduced-precision storage runs interleaved layouts");
+  IBCHOL_CHECK(sopts.storage != StoragePrec::kFp32,
+               "submit_mixed needs SubmitOptions::storage = kBf16 or kFp16");
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  IBCHOL_CHECK(info.empty() ||
+                   info.size() >= static_cast<std::size_t>(layout.batch()),
+               "info span too small for batch");
+  IBCHOL_CHECK(sopts.timeout_ns >= 0, "negative submit timeout");
+
+  // Plan resolution on the submitting thread, as in submit<T>. The plan
+  // is a mixed fp32 plan: conversion tier and storage format travel in it.
+  const TileProgram* prog = program;
+  if (prog == nullptr && options.unroll == Unroll::kPartial) {
+    prog = cached_program(s, layout.n(), std::min(options.nb, layout.n()),
+                          options.looking);
+  }
+  ChunkExecPlan<float> plan =
+      plan_chunk_exec_mixed(layout, prog, options, sopts.storage);
+  if (plan.needs_spec_program()) {
+    plan.spec = cached_spec<float>(s, prog, options.math);
+  }
+  note_exec_dispatch(plan.exec);
+  const std::int64_t num_units = plan.num_units;
+  IBCHOL_CHECK(num_units < kMaxUnits,
+               "batch too large for one request; split it");
+
+  std::uint32_t idx;
+  if (!detail::admit_slot(s, idx)) {
+    IBCHOL_COUNT("svc.shed", 1);
+    if (!info.empty()) {
+      std::fill_n(info.data(),
+                  std::min<std::size_t>(
+                      info.size(),
+                      static_cast<std::size_t>(layout.batch())),
+                  kInfoNotExecuted);
+    }
+    return FactorFuture::overloaded();
+  }
+  Slot& slot = *s.slots[idx];
+  slot.mode = Slot::Mode::kChunkMixed;
+  slot.plan_f = plan;
+  slot.layout = layout;
+  slot.nb = options.nb;
+  slot.triangle = options.triangle;
+  slot.data = data.data();
+  slot.info = info.empty() ? nullptr : info.data();
+  slot.info_size = info.empty() ? 0 : info.size();
+  slot.num_units = num_units;
+  slot.submit_ns = obs::now_ns();
+  slot.deadline_ns =
+      sopts.timeout_ns > 0
+          ? slot.submit_ns + static_cast<std::uint64_t>(sopts.timeout_ns)
+          : 0;
+  slot.screen = sopts.screen;
+  slot.seq = s.seq.fetch_add(1, std::memory_order_relaxed);
+  slot.status.store(static_cast<int>(RequestStatus::kQueued),
+                    std::memory_order_relaxed);
+  slot.remaining.store(num_units, std::memory_order_relaxed);
+  slot.failed.store(0, std::memory_order_relaxed);
+  slot.first_failed.store(detail::kNotSeen, std::memory_order_relaxed);
+  slot.aborted.store(false, std::memory_order_relaxed);
+  slot.quarantined.store(false, std::memory_order_relaxed);
+  slot.refs.store(2, std::memory_order_relaxed);  // exec side + future
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.completed = false;
+    slot.recovery = RecoveryReport{};
+  }
+
+  s.inflight.fetch_add(1, std::memory_order_acq_rel);
+  IBCHOL_COUNT("svc.submitted", 1);
+  auto& queue = sopts.priority > 0 ? *s.submissions_hi : *s.submissions;
+  while (!queue.try_push(idx)) {
+    std::this_thread::yield();
+  }
+  detail::notify_work(s);
+  return FactorFuture(shared_, idx);
+}
+
+FactorResult BatchService::factor_mixed(const BatchLayout& layout,
+                                        std::span<std::uint16_t> data,
+                                        const CpuFactorOptions& options,
+                                        std::span<std::int32_t> info,
+                                        const TileProgram* program,
+                                        const SubmitOptions& sopts) {
+  return submit_mixed(layout, data, options, info, program, sopts).wait();
+}
+
+RecoveryReport BatchService::recover_mixed(const BatchLayout& layout,
+                                           std::span<std::uint16_t> data,
+                                           StoragePrec storage,
+                                           const CpuFactorOptions& options,
+                                           const RecoveryOptions& recovery,
+                                           std::span<std::int32_t> info,
+                                           const TileProgram* program) {
+  return factor_batch_recover_mixed_via(&service_factor_thunk<float>, this,
+                                        layout, data, storage, options,
+                                        recovery, info, program);
 }
 
 template FactorFuture BatchService::submit<float>(const BatchLayout&,

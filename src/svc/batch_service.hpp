@@ -164,8 +164,14 @@ struct SubmitOptions {
   /// Screen the batch for NaN/Inf on claim and quarantine poisoned
   /// requests to the single-worker slow path (status kPoisoned, report
   /// via FactorFuture::recovery_report()). Off by default: screening
-  /// reads the whole batch once before factoring.
+  /// reads the whole batch once before factoring. For reduced-precision
+  /// requests the screen is a bit-level test on the 16-bit words.
   bool screen = false;
+  /// Storage precision of the request's batch data, so mixed fleets share
+  /// one pool. kFp32 is the plain submit<T> path; the reduced precisions
+  /// (kBf16/kFp16, 16-bit words + fp32 accumulate) go through
+  /// submit_mixed, which requires a non-fp32 value here.
+  StoragePrec storage = StoragePrec::kFp32;
 };
 
 /// Lifecycle of one submitted request. Terminal states are kDone,
@@ -296,6 +302,39 @@ class BatchService {
                          const RecoveryOptions& recovery,
                          std::span<std::int32_t> info = {},
                          const TileProgram* program = nullptr);
+
+  /// submit for a reduced-precision batch: `data` holds 16-bit words in
+  /// `sopts.storage` format (which must be kBf16 or kFp16), arithmetic
+  /// accumulates in fp32 exactly as factor_batch_cpu_mixed, and results
+  /// are bit-identical to that synchronous path. Interleaved layouts
+  /// only. Mixed and fp32/fp64 requests share the same pool, slots, and
+  /// admission policy; SubmitOptions::screen runs a bit-level NaN/Inf
+  /// test on the 16-bit words.
+  [[nodiscard]] FactorFuture submit_mixed(const BatchLayout& layout,
+                                          std::span<std::uint16_t> data,
+                                          const CpuFactorOptions& options,
+                                          std::span<std::int32_t> info = {},
+                                          const TileProgram* program = nullptr,
+                                          const SubmitOptions& sopts = {});
+
+  /// The synchronous reduced-precision API: submit_mixed + wait.
+  FactorResult factor_mixed(const BatchLayout& layout,
+                            std::span<std::uint16_t> data,
+                            const CpuFactorOptions& options,
+                            std::span<std::int32_t> info = {},
+                            const TileProgram* program = nullptr,
+                            const SubmitOptions& sopts = {});
+
+  /// factor_batch_recover_mixed with the fp32 passes pooled: the batch is
+  /// widened once, screened/factored/shift-retried through the service,
+  /// and narrowed back to `storage`.
+  RecoveryReport recover_mixed(const BatchLayout& layout,
+                               std::span<std::uint16_t> data,
+                               StoragePrec storage,
+                               const CpuFactorOptions& options,
+                               const RecoveryOptions& recovery,
+                               std::span<std::int32_t> info = {},
+                               const TileProgram* program = nullptr);
 
   /// Resolved initial worker count (fixed for the service lifetime).
   [[nodiscard]] int threads() const noexcept;

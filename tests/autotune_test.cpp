@@ -334,7 +334,7 @@ TEST(Analyze, TableAndCorrelation) {
   fopt.tree.mtry = 3;
   const AnalysisResult res = analyze_dataset(ds, fopt);
 
-  ASSERT_EQ(res.table.size(), 8u);
+  ASSERT_EQ(res.table.size(), 9u);
   EXPECT_EQ(res.table[0].parameter, "n");
   EXPECT_EQ(res.num_trees, 120);
   EXPECT_GT(res.average_depth, 2.0);
@@ -386,7 +386,7 @@ TEST(Analyze, FeatureMatrixShape) {
   const SweepDataset ds = run_sweep(eval, opt);
   const AnalysisData data = build_analysis_data(ds);
   EXPECT_EQ(data.features.rows(), ds.size());
-  EXPECT_EQ(data.features.cols(), 8u);
+  EXPECT_EQ(data.features.cols(), 9u);
   EXPECT_EQ(data.target.size(), ds.size());
 }
 

@@ -1,0 +1,260 @@
+// Property tests for the storage-precision conversion primitives
+// (cpu/simd/convert.*): the scalar bodies are the semantics, so they are
+// pinned exhaustively over the whole 16-bit space, and every SIMD tier is
+// held to the scalar result (bf16 bit-identical everywhere by design;
+// fp16 bit-identical on finite values with NaN-stays-NaN).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "cpu/simd/convert.hpp"
+#include "cpu/simd/isa.hpp"
+
+namespace ibchol {
+namespace {
+
+bool f32_is_nan(std::uint32_t bits) {
+  return (bits & 0x7FFFFFFFu) > 0x7F800000u;
+}
+
+// Every tier the host can actually run, scalar first.
+std::vector<SimdIsa> host_tiers() {
+  std::vector<SimdIsa> tiers = {SimdIsa::kScalar};
+  const SimdIsa best = detect_simd_isa();
+  if (best == SimdIsa::kAvx2 || best == SimdIsa::kAvx512) {
+    tiers.push_back(SimdIsa::kAvx2);
+  }
+  if (best == SimdIsa::kAvx512) tiers.push_back(SimdIsa::kAvx512);
+  return tiers;
+}
+
+// ------------------------------------------------------------- bf16 -----
+
+// Widening a bf16 word is exact (bits << 16), so narrowing it back must
+// restore the identical word for every finite value; NaNs stay NaNs with
+// the quiet bit forced. Exhaustive over all 65536 words.
+TEST(Convert, Bf16RoundTripExhaustive) {
+  for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const auto word = static_cast<std::uint16_t>(h);
+    const float wide = f32_from_bf16(word);
+    const std::uint16_t back = bf16_from_f32(wide);
+    if ((word & 0x7F80u) == 0x7F80u && (word & 0x007Fu) != 0) {  // NaN
+      EXPECT_TRUE(std::isnan(wide)) << "word " << h;
+      EXPECT_EQ(back, word | 0x0040u) << "word " << h;
+    } else {
+      EXPECT_EQ(back, word) << "word " << h;
+    }
+  }
+}
+
+// Round-to-nearest with ties to even, checked at exact tie points around
+// 1.0 (bf16 ulp there is 2^-7, so half-ulp ties sit at odd multiples of
+// 2^-8).
+TEST(Convert, Bf16TiesToEven) {
+  const float ulp = 0x1.0p-7f;
+  // 1 + ulp/2: tie between mantissa 0 (even) and 1 (odd) -> stays 1.0.
+  EXPECT_EQ(bf16_from_f32(1.0f + 0x1.0p-8f), bf16_from_f32(1.0f));
+  // 1 + 3*ulp/2: tie between mantissa 1 (odd) and 2 (even) -> rounds up.
+  EXPECT_EQ(bf16_from_f32(1.0f + 0x3.0p-8f), bf16_from_f32(1.0f + 2 * ulp));
+  // Just past a tie rounds away from the tie regardless of parity.
+  EXPECT_EQ(bf16_from_f32(std::nextafter(1.0f + 0x1.0p-8f, 2.0f)),
+            bf16_from_f32(1.0f + ulp));
+}
+
+TEST(Convert, Bf16SpecialValues) {
+  EXPECT_EQ(bf16_from_f32(0.0f), 0x0000u);
+  EXPECT_EQ(bf16_from_f32(-0.0f), 0x8000u);
+  EXPECT_EQ(bf16_from_f32(INFINITY), 0x7F80u);
+  EXPECT_EQ(bf16_from_f32(-INFINITY), 0xFF80u);
+  EXPECT_TRUE(std::isnan(f32_from_bf16(bf16_from_f32(NAN))));
+  // A signaling NaN narrows to a quiet NaN, never to Inf.
+  const float snan = std::bit_cast<float>(0x7F800001u);
+  const std::uint16_t h = bf16_from_f32(snan);
+  EXPECT_TRUE((h & 0x7F80u) == 0x7F80u && (h & 0x007Fu) != 0);
+  EXPECT_TRUE(h & 0x0040u);
+  // fp32 denormals narrow without flushing (bf16 shares the exponent
+  // range, so the top mantissa bits survive).
+  const float denorm = std::bit_cast<float>(0x00400000u);  // 2^-127
+  EXPECT_EQ(f32_from_bf16(bf16_from_f32(denorm)), denorm);
+}
+
+// ------------------------------------------------------------- fp16 -----
+
+// binary16 -> fp32 widening is exact, so the round trip restores every
+// finite word and both infinities; NaN payloads widen in place and narrow
+// back with the quiet bit forced.
+TEST(Convert, Fp16RoundTripExhaustive) {
+  for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const auto word = static_cast<std::uint16_t>(h);
+    const float wide = f32_from_fp16(word);
+    const std::uint16_t back = fp16_from_f32(wide);
+    if ((word & 0x7C00u) == 0x7C00u && (word & 0x03FFu) != 0) {  // NaN
+      EXPECT_TRUE(std::isnan(wide)) << "word " << h;
+      EXPECT_EQ(back, word | 0x0200u) << "word " << h;
+    } else {
+      EXPECT_EQ(back, word) << "word " << h;
+    }
+  }
+}
+
+TEST(Convert, Fp16TiesAndRanges) {
+  // Ties to even at 1.0 (fp16 ulp 2^-10).
+  EXPECT_EQ(fp16_from_f32(1.0f + 0x1.0p-11f), fp16_from_f32(1.0f));
+  EXPECT_EQ(fp16_from_f32(1.0f + 0x3.0p-11f), fp16_from_f32(1.0f + 0x1.0p-9f));
+  // Overflow: max finite is 65504; the rounding boundary to Inf is 65520.
+  EXPECT_EQ(fp16_from_f32(65504.0f), 0x7BFFu);
+  EXPECT_EQ(fp16_from_f32(65519.996f), 0x7BFFu);
+  EXPECT_EQ(fp16_from_f32(65520.0f), 0x7C00u);  // tie rounds up to Inf
+  EXPECT_EQ(fp16_from_f32(1e6f), 0x7C00u);
+  EXPECT_EQ(fp16_from_f32(-1e6f), 0xFC00u);
+  // Subnormals: smallest is 2^-24; half of it ties down to +0, anything
+  // above the tie rounds up.
+  EXPECT_EQ(fp16_from_f32(0x1.0p-24f), 0x0001u);
+  EXPECT_EQ(fp16_from_f32(0x1.0p-25f), 0x0000u);  // tie to even (zero)
+  EXPECT_EQ(fp16_from_f32(std::nextafter(0x1.0p-25f, 1.0f)), 0x0001u);
+  // Largest subnormal rounds up into the smallest normal when the carry
+  // demands it.
+  EXPECT_EQ(fp16_from_f32(std::nextafter(0x1.0p-14f, 0.0f)), 0x0400u);
+  // Signed zero and deep underflow.
+  EXPECT_EQ(fp16_from_f32(-0.0f), 0x8000u);
+  EXPECT_EQ(fp16_from_f32(-0x1.0p-30f), 0x8000u);
+}
+
+// -------------------------------------------------- non-finite screen ---
+
+// The service's poison screen tests the 16-bit words directly; the bit
+// test must agree with isfinite() of the widened value on every word.
+TEST(Convert, NonFiniteScreenMatchesWiden) {
+  for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const auto word = static_cast<std::uint16_t>(h);
+    EXPECT_EQ(is_nonfinite_bf16(word), !std::isfinite(f32_from_bf16(word)))
+        << "bf16 word " << h;
+    EXPECT_EQ(is_nonfinite_fp16(word), !std::isfinite(f32_from_fp16(word)))
+        << "fp16 word " << h;
+  }
+  EXPECT_TRUE(is_nonfinite_prec(0x7F80u, StoragePrec::kBf16));
+  EXPECT_TRUE(is_nonfinite_prec(0x7C00u, StoragePrec::kFp16));
+  EXPECT_FALSE(is_nonfinite_prec(0x7C00u, StoragePrec::kBf16));
+}
+
+// ----------------------------------------------------- row-API tiers ----
+
+// Input vector mixing edge cases with randoms, at a length that exercises
+// the vector bodies, their tails, and misaligned starts.
+std::vector<float> edge_and_random_floats(std::size_t count) {
+  std::vector<float> v = {
+      0.0f,      -0.0f,         1.0f,          -1.0f,
+      INFINITY,  -INFINITY,     0x1.0p-24f,    0x1.0p-25f,
+      65504.0f,  65520.0f,      1.0f + 0x1.0p-11f, 1.0f + 0x1.0p-8f,
+      std::bit_cast<float>(0x00400000u),  // fp32 denormal
+      std::bit_cast<float>(0x7FC00001u),  // quiet NaN with payload
+  };
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<float> dist(-100.0f, 100.0f);
+  while (v.size() < count) v.push_back(dist(rng));
+  return v;
+}
+
+// bf16 conversion is pure integer emulation on every tier, so narrow_row
+// and widen_row must be bit-identical to the scalar primitives everywhere
+// — including NaN payloads and denormals (no vcvtneps2bf16 flush).
+TEST(Convert, Bf16RowTiersBitIdenticalToScalar) {
+  const std::vector<float> src = edge_and_random_floats(517);
+  for (SimdIsa tier : host_tiers()) {
+    for (std::size_t offset : {std::size_t{0}, std::size_t{3}}) {
+      const std::size_t count = src.size() - offset;
+      std::vector<std::uint16_t> narrow(count);
+      narrow_row(tier, StoragePrec::kBf16, src.data() + offset, narrow.data(),
+                 static_cast<std::int64_t>(count), false);
+      std::vector<float> wide(count);
+      widen_row(tier, StoragePrec::kBf16, narrow.data(), wide.data(),
+                static_cast<std::int64_t>(count));
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(narrow[i], bf16_from_f32(src[offset + i]))
+            << "tier " << static_cast<int>(tier) << " i=" << i;
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(wide[i]),
+                  f32_bits_from_bf16_bits(narrow[i]))
+            << "tier " << static_cast<int>(tier) << " i=" << i;
+      }
+    }
+  }
+}
+
+// fp16 tiers (F16C) match the scalar algorithm bit-for-bit on all finite
+// values and infinities; NaNs must stay NaNs on both paths.
+TEST(Convert, Fp16RowTiersMatchScalar) {
+  const std::vector<float> src = edge_and_random_floats(517);
+  for (SimdIsa tier : host_tiers()) {
+    std::vector<std::uint16_t> narrow(src.size());
+    narrow_row(tier, StoragePrec::kFp16, src.data(), narrow.data(),
+               static_cast<std::int64_t>(src.size()), false);
+    std::vector<float> wide(src.size());
+    widen_row(tier, StoragePrec::kFp16, narrow.data(), wide.data(),
+              static_cast<std::int64_t>(src.size()));
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const std::uint16_t want = fp16_from_f32(src[i]);
+      if (f32_is_nan(std::bit_cast<std::uint32_t>(src[i]))) {
+        EXPECT_TRUE((narrow[i] & 0x7C00u) == 0x7C00u &&
+                    (narrow[i] & 0x03FFu) != 0)
+            << "tier " << static_cast<int>(tier) << " i=" << i;
+        EXPECT_TRUE(std::isnan(wide[i]));
+      } else {
+        EXPECT_EQ(narrow[i], want)
+            << "tier " << static_cast<int>(tier) << " i=" << i;
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(wide[i]),
+                  f32_bits_from_fp16_bits(narrow[i]));
+      }
+    }
+  }
+}
+
+// Non-temporal narrowing writes the same bits as the plain path (the hint
+// changes the store instruction, never the value); pair with the fence.
+TEST(Convert, NarrowRowNtStoresSameBits) {
+  const std::vector<float> src = edge_and_random_floats(1024);
+  for (SimdIsa tier : host_tiers()) {
+    for (StoragePrec prec : {StoragePrec::kBf16, StoragePrec::kFp16}) {
+      std::vector<std::uint16_t> plain(src.size()), nt(src.size());
+      narrow_row(tier, prec, src.data(), plain.data(),
+                 static_cast<std::int64_t>(src.size()), false);
+      narrow_row(tier, prec, src.data(), nt.data(),
+                 static_cast<std::int64_t>(src.size()), true);
+      narrow_fence();
+      EXPECT_EQ(plain, nt) << "tier " << static_cast<int>(tier) << " prec "
+                           << to_string(prec);
+    }
+  }
+}
+
+// IBCHOL_CONVERT_ISA forces the conversion tier independently of the
+// compute tier — the hook check.sh --prec uses to soak the scalar bodies.
+TEST(Convert, ResolveConvertIsaHonorsEnvOverride) {
+  const char* saved = std::getenv("IBCHOL_CONVERT_ISA");
+  const std::string saved_copy = saved ? saved : "";
+  setenv("IBCHOL_CONVERT_ISA", "scalar", 1);
+  EXPECT_EQ(resolve_convert_isa(), SimdIsa::kScalar);
+  // Unknown spellings are ignored, falling back to the default resolution
+  // (never kAuto).
+  setenv("IBCHOL_CONVERT_ISA", "quantum", 1);
+  EXPECT_NE(resolve_convert_isa(), SimdIsa::kAuto);
+  if (saved) {
+    setenv("IBCHOL_CONVERT_ISA", saved_copy.c_str(), 1);
+  } else {
+    unsetenv("IBCHOL_CONVERT_ISA");
+  }
+}
+
+// narrow_f32 / widen_f32 dispatch to the right format.
+TEST(Convert, PrecisionGenericHelpers) {
+  EXPECT_EQ(narrow_f32(1.5f, StoragePrec::kBf16), bf16_from_f32(1.5f));
+  EXPECT_EQ(narrow_f32(1.5f, StoragePrec::kFp16), fp16_from_f32(1.5f));
+  EXPECT_EQ(widen_f32(0x3FC0u, StoragePrec::kBf16), 1.5f);
+  EXPECT_EQ(widen_f32(0x3E00u, StoragePrec::kFp16), 1.5f);
+}
+
+}  // namespace
+}  // namespace ibchol

@@ -20,6 +20,14 @@ Legacy baselines without precision rows compare permissively so the first
 re-record upgrades them in place. The fp32 vec_gflops gate is unchanged
 either way.
 
+Summaries may also carry a large-n tiled lane (``large_summary`` rows from
+fig_large_tiled, merged in by scripts/check.sh --bench): per-n
+``tiled_gflops`` of the task-parallel DAG path past the n = 64 ceiling.
+When the recorded baseline has the lane it is gated with the same
+threshold; a fresh summary without it is an environmental skip (exit 3) —
+the caller should re-record with fig_large_tiled included. Legacy
+baselines without the lane compare permissively.
+
 Exit codes:
   0 — no regression past the threshold
   1 — regression or layout mismatch (a real gate failure)
@@ -61,6 +69,12 @@ def env_mismatch(recorded, fresh):
 
 def rows_by_n(doc):
     return {row["n"]: row for row in doc.get("summary", [])}
+
+
+def large_rows(doc):
+    """Rows of the large-n tiled lane (fig_large_tiled's per-n summary),
+    keyed by n — empty for summaries recorded before the lane existed."""
+    return {row["n"]: row for row in doc.get("large_summary", [])}
 
 
 def prec_lane(doc):
@@ -191,10 +205,51 @@ def main(argv):
             if ratio < 1.0 - max_drop:
                 prec_failures.append(n)
 
+    # Large-n tiled lane: gated only when the baseline recorded one.
+    tiled_failures = []
+    tiled_skip = None
+    old_large = large_rows(recorded)
+    new_large = large_rows(fresh)
+    if not old_large:
+        if new_large:
+            print("bench gate: large-n tiled lane new in fresh summary "
+                  "(no baseline to gate against)")
+    elif not new_large:
+        tiled_skip = ("baseline carries large-n tiled rows but the fresh "
+                      "summary has none")
+    else:
+        for n in sorted(old_large):
+            if n not in new_large:
+                print(f"bench gate: tiled n={n} missing from fresh summary "
+                      "(skipped)")
+                continue
+            old_gf = old_large[n].get("tiled_gflops", 0.0)
+            new_gf = new_large[n].get("tiled_gflops", 0.0)
+            if old_gf <= 0.0:
+                continue
+            ratio = new_gf / old_gf
+            marker = "FAIL" if ratio < 1.0 - max_drop else "ok"
+            print(
+                f"bench gate: n={n:4d} tiled {old_gf:8.2f} -> {new_gf:8.2f} "
+                f"GF/s ({ratio:5.2f}x) {marker}"
+            )
+            if ratio < 1.0 - max_drop:
+                tiled_failures.append(n)
+                for line in stage_breakdown(old_large[n], new_large[n]):
+                    print(line)
+        for n in sorted(set(new_large) - set(old_large)):
+            print(f"bench gate: tiled n={n} new in fresh summary")
+
     if failures:
         print(
             f"bench gate: vec_gflops dropped more than {max_drop:.0%} at "
             f"n in {failures}"
+        )
+        return 1
+    if tiled_failures:
+        print(
+            f"bench gate: tiled_gflops dropped more than {max_drop:.0%} at "
+            f"n in {tiled_failures}"
         )
         return 1
     if prec_failures:
@@ -209,6 +264,14 @@ def main(argv):
             "bench gate: precision rows are not comparable; skipping the "
             "precision lane — re-record BENCH_cpu.json with the matching "
             "--prec"
+        )
+        return EXIT_ENV_SKIP
+    if tiled_skip is not None:
+        print(f"bench gate: {tiled_skip}")
+        print(
+            "bench gate: large-n rows are not comparable; skipping the "
+            "tiled lane — re-record BENCH_cpu.json with fig_large_tiled "
+            "included"
         )
         return EXIT_ENV_SKIP
     print("bench gate: no regression past the threshold")

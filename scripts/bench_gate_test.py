@@ -45,6 +45,13 @@ def row(n, vec, stages=None, prec=None, prec_gf=None):
     return r
 
 
+def large_row(n, tiled, stages=None):
+    r = {"n": n, "tiled_gflops": tiled}
+    if stages is not None:
+        r["stages"] = stages
+    return r
+
+
 def run_gate(recorded, fresh):
     with tempfile.TemporaryDirectory() as tmp:
         rec_path = os.path.join(tmp, "recorded.json")
@@ -221,6 +228,49 @@ def main():
     )
     failures += check("legacy baseline without precision rows passes",
                       code == 0, out)
+
+    # Large-n tiled lane: both summaries carrying large_summary rows gate
+    # tiled_gflops with the same threshold as vec_gflops.
+    base = summary("chunked", [row(16, 200.0)])
+    base["large_summary"] = [large_row(512, 40.0), large_row(1024, 60.0)]
+    good = summary("chunked", [row(16, 200.0)])
+    good["large_summary"] = [large_row(512, 42.0), large_row(1024, 61.0)]
+    code, out = run_gate(base, good)
+    failures += check("healthy tiled lane passes", code == 0, out)
+
+    bad = summary("chunked", [row(16, 200.0)])
+    bad["large_summary"] = [
+        large_row(512, 25.0, {"gemm": 0.020, "pack": 0.005}),
+        large_row(1024, 61.0),
+    ]
+    base_staged = summary("chunked", [row(16, 200.0)])
+    base_staged["large_summary"] = [
+        large_row(512, 40.0, {"gemm": 0.010, "pack": 0.005}),
+        large_row(1024, 60.0),
+    ]
+    code, out = run_gate(base_staged, bad)
+    failures += check("tiled drop fails the gate", code == 1, out)
+    failures += check("tiled failure names the lane", "tiled_gflops" in out,
+                      out)
+    failures += check("tiled failure prints stages", "gemm" in out, out)
+
+    # A baseline with the tiled lane gated against a fresh summary without
+    # it is an environmental skip, never a pass.
+    code, out = run_gate(base, summary("chunked", [row(16, 200.0)]))
+    failures += check("missing tiled lane skips with exit 3", code == 3, out)
+    failures += check("tiled skip advises re-recording",
+                      "re-record" in out and "fig_large_tiled" in out, out)
+
+    # Legacy baselines without the lane compare permissively; the fresh
+    # lane is reported as new, not gated.
+    code, out = run_gate(summary("chunked", [row(16, 200.0)]), good)
+    failures += check("legacy baseline without tiled lane passes",
+                      code == 0, out)
+
+    # A real vec regression still fails even when the tiled lane would
+    # have skipped.
+    code, out = run_gate(base, summary("chunked", [row(16, 120.0)]))
+    failures += check("vec regression outranks tiled skip", code == 1, out)
 
     if failures:
         print(f"bench_gate_test: {failures} check(s) failed")

@@ -3,7 +3,7 @@
 # benchmark binary. This is the command sequence EXPERIMENTS.md expects.
 #
 #   scripts/check.sh [--sanitize] [--tsan] [--faults] [--bench] [--obs] \
-#                    [--chaos] [--prec] [cmake args...]
+#                    [--chaos] [--prec] [--tiled] [cmake args...]
 #
 # --sanitize adds a second build under AddressSanitizer + UBSan with
 # warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it
@@ -37,8 +37,18 @@
 # a sweep halted hard at 50% and resumed from its journal must produce a
 # dataset byte-identical to an uninterrupted run.
 #
+# --tiled verifies the large-N task-parallel path (DESIGN §13) under
+# ASan+UBSan: the tile layout/DAG/reference suites and the service
+# bit-identity grid, first with runtime SIMD dispatch free and then with
+# IBCHOL_SIMD_ISA=scalar (the tile microkernels are plain autovectorized
+# loops, so the forced-scalar pass pins the facade's routing and the
+# pipeline interplay rather than intrinsic tiers). The TiledService suites
+# also run under --tsan's ThreadSanitizer pass, where the work-stealing
+# release chains are the thing being proved.
+#
 # --bench regenerates the canonical cross-PR perf summary BENCH_cpu.json
-# (interpreter vs specialized vs vectorized executor) from the plain build.
+# (interpreter vs specialized vs vectorized executor, plus the large-n
+# tiled lane merged in from fig_large_tiled) from the plain build.
 # Before overwriting, the fresh numbers are gated against the recorded
 # ones: a drop of more than 15% in vec_gflops at any n fails the check, so
 # a PR cannot silently regress the executor's throughput. When the gate
@@ -84,6 +94,7 @@ BENCH=0
 OBS=0
 CHAOS=0
 PREC=0
+TILED=0
 CMAKE_ARGS=()
 for arg in "$@"; do
   case "${arg}" in
@@ -94,6 +105,7 @@ for arg in "$@"; do
     --obs) OBS=1 ;;
     --chaos) CHAOS=1 ;;
     --prec) PREC=1 ;;
+    --tiled) TILED=1 ;;
     *) CMAKE_ARGS+=("${arg}") ;;
   esac
 done
@@ -153,7 +165,7 @@ if [[ "${TSAN}" == 1 ]]; then
   # libgomp's barriers.
   OMP_NUM_THREADS=1 ctest --test-dir build-tsan --output-on-failure \
     -j "$(nproc)" \
-    -R 'MpmcQueue|WorkDeque|UnitTaskPacking|ScratchArena|BatchService|ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ServiceMixed|ChunkPipeline|Trace|Counters|HistogramTest'
+    -R 'MpmcQueue|WorkDeque|UnitTaskPacking|ScratchArena|BatchService|ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ServiceMixed|TiledService|TiledFacade|ChunkPipeline|Trace|Counters|HistogramTest'
   echo "tsan check: service/pipeline/obs suites clean under ThreadSanitizer"
 fi
 
@@ -215,6 +227,23 @@ if [[ "${PREC}" == 1 ]]; then
   ctest --test-dir build --output-on-failure -j "$(nproc)" \
     -R 'DifferentialExec|BitIdentical'
   echo "prec check: conversion + mixed-precision suites clean under ASan+UBSan (auto and forced-scalar tiers), fp32 bit-identity intact"
+fi
+
+if [[ "${TILED}" == 1 ]]; then
+  TILED_SUITES='TileLayout|DagSpec|TiledReference|TiledService|TiledFacade'
+  configure_sanitize_build
+  # Pass 1: runtime dispatch free — the host's best tiers under ASan+UBSan
+  # (the DAG release chains and arena staging are what the sanitizers
+  # watch; the tile microkernels are plain loops either way).
+  ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)" \
+    -R "${TILED_SUITES}"
+  # Pass 2: forced-scalar. The tiled executor itself has no intrinsic
+  # tiers, but the facade's small-n/large-n routing boundary does — this
+  # pins that the boundary behaves identically when the vectorized
+  # executor is clamped to its portable tier.
+  IBCHOL_SIMD_ISA=scalar ctest --test-dir build-sanitize \
+    --output-on-failure -j "$(nproc)" -R "${TILED_SUITES}"
+  echo "tiled check: layout/DAG/reference/service/facade suites clean under ASan+UBSan (auto and forced-scalar)"
 fi
 
 if [[ "${FAULTS}" == 1 ]]; then
@@ -280,6 +309,22 @@ if [[ "${BENCH}" == 1 ]]; then
   BENCH_TMP="$(mktemp --suffix=.json)"
   CLEANUP_PATHS+=("${BENCH_TMP}")
   build/bench/micro_cpu --json="${BENCH_TMP}"
+  # The large-n tiled lane rides along in the same document: merged in as
+  # "large_summary" so one baseline file carries every gated lane.
+  LARGE_TMP="$(mktemp --suffix=.json)"
+  CLEANUP_PATHS+=("${LARGE_TMP}")
+  build/bench/fig_large_tiled --json="${LARGE_TMP}"
+  python3 - "${BENCH_TMP}" "${LARGE_TMP}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+with open(sys.argv[2]) as f:
+    large = json.load(f)
+doc["large_summary"] = large.get("large_summary", [])
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PY
   gate_status=0
   if [[ -f BENCH_cpu.json ]]; then
     set +e
@@ -325,6 +370,7 @@ summary_mode sanitize "${SANITIZE}"
 summary_mode tsan "${TSAN}"
 summary_mode chaos "${CHAOS}"
 summary_mode prec "${PREC}"
+summary_mode tiled "${TILED}"
 summary_mode faults "${FAULTS}"
 summary_mode bench "${BENCH}"
 summary_mode obs "${OBS}"

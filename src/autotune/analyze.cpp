@@ -10,7 +10,7 @@ const std::vector<std::string>& analysis_feature_names() {
   static const std::vector<std::string> names{
       "n",         "nb",        "looking", "chunking",
       "chunk_size", "unrolling", "cache",   "isa",
-      "storage"};
+      "storage",    "lookahead"};
   return names;
 }
 
@@ -38,6 +38,9 @@ AnalysisData build_analysis_data(const SweepDataset& dataset) {
         // Storage precision, ordinal in word width: fp32 (0) is the
         // classic lane, bf16 (1) and fp16 (2) the 16-bit ones.
         static_cast<double>(static_cast<int>(r.params.storage)),
+        // Tiled-path panel lookahead; small-n records all sit at the
+        // default so the feature carries signal only for tiled sweeps.
+        static_cast<double>(r.params.lookahead),
     };
     data.features.add_row(row);
     data.target.push_back(r.gflops);
@@ -60,12 +63,12 @@ AnalysisResult analyze_dataset(const SweepDataset& dataset,
 
   static const char* kTypes[] = {"integer", "integer", "ternary", "binary",
                                  "integer", "binary",  "binary",  "ordinal",
-                                 "ternary"};
+                                 "ternary", "integer"};
   static const char* kExplanations[] = {
       "size of single matrix", "internal blocking",    "Left, Right, or Top",
       "yes or no",             "matrix count in chunk", "use unrolling?",
       "more L1 or shared mem.", "SIMD tier (vectorized)",
-      "fp32, bf16, or fp16 storage"};
+      "fp32, bf16, or fp16 storage", "tiled panel lookahead"};
   const std::vector<double> importance = forest.permutation_importance();
   for (std::size_t f = 0; f < analysis_feature_names().size(); ++f) {
     PredictivePower p;

@@ -90,6 +90,7 @@ std::string journal_line(const SweepRecord& r) {
   out += ",\"exec\":\"" + to_string(r.params.exec) + "\"";
   out += ",\"isa\":\"" + to_string(r.params.isa) + "\"";
   out += ",\"storage\":\"" + to_string(r.params.storage) + "\"";
+  out += ",\"lookahead\":" + std::to_string(r.params.lookahead);
   out += ",\"seconds\":" + json_double(r.seconds);
   out += ",\"gflops\":" + json_double(r.gflops);
   out += ",\"attempts\":" + std::to_string(r.attempts);
@@ -133,6 +134,13 @@ std::optional<SweepRecord> parse_journal_line(const std::string& raw) {
   // "storage" field; every such record measured fp32 storage.
   std::string storage;
   const bool has_storage = scan_string(line, "storage", storage);
+  // And journals written before the tiled large-N lane carry no
+  // "lookahead" field; only the tiled executor reads it, so the default
+  // is faithful for every such record.
+  int lookahead = 0;
+  if (scan_int(line, "lookahead", lookahead)) {
+    r.params.lookahead = lookahead;
+  }
   try {
     r.params.looking = looking_from_string(looking);
     r.params.unroll = unroll_from_string(unroll);
@@ -165,6 +173,16 @@ JournalWriter::JournalWriter(const std::string& path)
     : out_(path, std::ios::app) {
   IBCHOL_CHECK(static_cast<bool>(out_),
                "cannot open sweep journal for append: " + path);
+  // A crash can tear the final line mid-write. Appending directly after the
+  // torn fragment would glue the next record onto it, yielding one line
+  // whose key scans read the fragment's (truncated) values — so start on a
+  // fresh line whenever the file does not already end in one.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (in && in.tellg() > 0) {
+    in.seekg(-1, std::ios::end);
+    char last = '\n';
+    if (in.get(last) && last != '\n') out_ << '\n';
+  }
 }
 
 void JournalWriter::append(const SweepRecord& record) {

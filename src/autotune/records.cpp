@@ -51,10 +51,10 @@ std::map<int, SweepRecord> SweepDataset::best_by_n(
 
 CsvTable SweepDataset::to_csv() const {
   CsvTable t;
-  t.header = {"n",          "batch",   "nb",     "looking", "chunked",
-              "chunk_size", "unroll",  "math",   "cache",   "exec",
-              "isa",        "storage", "seconds", "gflops", "attempts",
-              "failed"};
+  t.header = {"n",          "batch",   "nb",        "looking", "chunked",
+              "chunk_size", "unroll",  "math",      "cache",   "exec",
+              "isa",        "storage", "lookahead", "seconds", "gflops",
+              "attempts",   "failed"};
   for (const auto& r : records_) {
     t.rows.push_back({std::to_string(r.n), std::to_string(r.batch),
                       std::to_string(r.params.nb),
@@ -65,6 +65,7 @@ CsvTable SweepDataset::to_csv() const {
                       r.params.prefer_shared ? "shared" : "l1",
                       to_string(r.params.exec), to_string(r.params.isa),
                       to_string(r.params.storage),
+                      std::to_string(r.params.lookahead),
                       std::to_string(r.seconds), std::to_string(r.gflops),
                       std::to_string(r.attempts), r.failed ? "1" : "0"});
   }
@@ -106,6 +107,13 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
   const bool has_storage = cst_it != table.header.end();
   const std::size_t cst =
       static_cast<std::size_t>(cst_it - table.header.begin());
+  // Datasets persisted before the tiled large-N lane have no "lookahead"
+  // column; only the tiled executor reads it, so the default is faithful.
+  const auto cla_it = std::find(table.header.begin(), table.header.end(),
+                                std::string("lookahead"));
+  const bool has_lookahead = cla_it != table.header.end();
+  const std::size_t cla =
+      static_cast<std::size_t>(cla_it - table.header.begin());
   // Likewise, datasets persisted before the resilient sweep existed have no
   // attempts/failed columns; those records were single-attempt successes.
   const auto cat_it = std::find(table.header.begin(), table.header.end(),
@@ -134,6 +142,7 @@ SweepDataset SweepDataset::from_csv(const CsvTable& table) {
     r.params.isa = has_isa ? simd_isa_from_string(row[cisa]) : SimdIsa::kAuto;
     r.params.storage = has_storage ? storage_prec_from_string(row[cst])
                                    : StoragePrec::kFp32;
+    if (has_lookahead) r.params.lookahead = std::stoi(row[cla]);
     r.seconds = std::stod(row[cs]);
     r.gflops = std::stod(row[cg]);
     r.attempts = has_attempts ? std::stoi(row[cat]) : 1;

@@ -1,5 +1,7 @@
 #include "autotune/space.hpp"
 
+#include "tiled/dag.hpp"
+
 namespace ibchol {
 
 std::vector<TuningParams> enumerate_space(int n, const SpaceOptions& options) {
@@ -68,6 +70,27 @@ std::vector<TuningParams> enumerate_space(int n, const SpaceOptions& options) {
       }
     }
   }
+  // Tiled large-N lane: appended after the classic grid so that, with the
+  // lane off (the default), the enumeration is byte-identical to the
+  // historical one. Each point pins the small-n axes at their defaults
+  // (the tiled executor does not read them) and varies only the DAG axes:
+  // tile size (cache-fit ladder) × lookahead.
+  if (options.include_tiled && n > 64) {
+    const std::vector<int> lookaheads = options.tiled_lookaheads.empty()
+                                            ? std::vector<int>{2}
+                                            : options.tiled_lookaheads;
+    for (const int nb : tiled::tiled_nb_candidates(n, sizeof(float))) {
+      for (const int la : lookaheads) {
+        TuningParams p;
+        p.exec = CpuExec::kAuto;  // routes to tiled past n = 64
+        p.chunked = false;
+        p.chunk_size = 0;
+        p.nb = nb;
+        p.lookahead = la;
+        space.push_back(p);
+      }
+    }
+  }
   return space;
 }
 
@@ -78,5 +101,7 @@ std::vector<int> standard_sizes() {
 }
 
 std::vector<int> quick_sizes() { return {4, 8, 16, 24, 32, 48, 64}; }
+
+std::vector<int> tiled_sizes() { return {96, 128, 256, 512, 1024}; }
 
 }  // namespace ibchol

@@ -38,6 +38,16 @@ struct SpaceOptions {
   /// the historical fp32-only grid; adding kBf16/kFp16 multiplies the
   /// space by the reduced-precision storage lanes.
   std::vector<StoragePrec> storage_precs = {StoragePrec::kFp32};
+  /// Tiled large-N lane (the eighth axis, off by default so existing
+  /// sweeps and journals stay byte-identical): at n > 64, appends
+  /// exec = kAuto points whose nb comes from tiled::tiled_nb_candidates
+  /// (the I/O-lower-bound cache-fit ladder) crossed with
+  /// `tiled_lookaheads`. These points route through the task-parallel DAG
+  /// executor; the classic small-n axes (looking/unroll/math) are pinned
+  /// to their defaults since the tiled path does not read them. No effect
+  /// at n ≤ 64.
+  bool include_tiled = false;
+  std::vector<int> tiled_lookaheads = {1, 2, 4};
 };
 
 /// All valid tuning points for an n×n batch. Tile sizes larger than n are
@@ -51,5 +61,10 @@ struct SpaceOptions {
 /// A reduced size list for quick runs (powers of two plus the paper's
 /// featured sizes 24 and 48).
 [[nodiscard]] std::vector<int> quick_sizes();
+
+/// The matrix sizes of the tiled large-N lane (past the small-n
+/// executors' n = 64 ceiling). Sweeps that set SpaceOptions::include_tiled
+/// append these to their size list.
+[[nodiscard]] std::vector<int> tiled_sizes();
 
 }  // namespace ibchol

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "cpu/simd/vec_exec.hpp"
+#include "obs/counters.hpp"
 #include "svc/batch_service.hpp"
 
 namespace ibchol {
@@ -75,7 +77,16 @@ BatchCholesky::BatchCholesky(BatchLayout layout, TuningParams params,
                  "tuning parameters request no chunking but the layout is "
                  "chunked");
   }
-  if (layout_.kind() != LayoutKind::kCanonical &&
+  // Past the small-n executors' ceiling, kAuto routes whole matrices to
+  // the tiled task-parallel path (lower triangle, fp32 storage only —
+  // upper/mixed configurations keep the traditional executors). The tile
+  // program is skipped for routed configurations: at n = 1024 it would
+  // enumerate millions of ops the tiled path never interprets.
+  use_tiled_ = layout_.n() > kMaxVecWholeDim &&
+               params_.exec == CpuExec::kAuto &&
+               triangle_ == Triangle::kLower &&
+               params_.storage == StoragePrec::kFp32;
+  if (!use_tiled_ && layout_.kind() != LayoutKind::kCanonical &&
       params_.unroll == Unroll::kPartial) {
     program_ = build_tile_program(layout_.n(),
                                   params_.effective_nb(layout_.n()),
@@ -107,6 +118,17 @@ CpuFactorOptions to_cpu_options(const TuningParams& p, int n,
 template <typename T>
 FactorResult BatchCholesky::factorize(std::span<T> data,
                                       std::span<std::int32_t> info) const {
+  if (use_tiled_) {
+    IBCHOL_COUNT("tiled.routed", 1);
+    svc::TiledOptions topts;
+    // The paper-era small-n tile sizes (nb ≤ 8) are meaningless at DAG
+    // granularity; honor an explicit large tile size, otherwise let the
+    // cache-fit rule pick.
+    topts.nb = params_.nb >= 16 ? params_.nb : 0;
+    topts.lookahead = params_.lookahead;
+    return svc::BatchService::global().factor_tiled<T>(layout_, data, topts,
+                                                       info);
+  }
   const CpuFactorOptions opts = to_cpu_options(params_, layout_.n(), triangle_);
   if (use_service()) {
     return svc::BatchService::global().factor<T>(

@@ -108,16 +108,25 @@ class BatchCholesky {
   [[nodiscard]] Triangle triangle() const { return triangle_; }
 
   /// The tile program this configuration executes (empty for full
-  /// unrolling, which uses the whole-matrix registerized path).
+  /// unrolling, which uses the whole-matrix registerized path, and for
+  /// configurations routed to the tiled large-N path).
   [[nodiscard]] const std::optional<TileProgram>& program() const {
     return program_;
   }
+
+  /// True when factorize() routes through the tiled task-parallel DAG
+  /// executor (n > 64, exec = kAuto, lower triangle, fp32 storage): the
+  /// small-n executors stop at n = 64, so past it the facade hands whole
+  /// matrices to svc::BatchService::factor_tiled instead of silently
+  /// falling back to the interpreter's scalar path.
+  [[nodiscard]] bool uses_tiled() const { return use_tiled_; }
 
  private:
   BatchLayout layout_;
   TuningParams params_;
   Triangle triangle_ = Triangle::kLower;
   std::optional<TileProgram> program_;
+  bool use_tiled_ = false;
 };
 
 /// One-shot convenience: derive the layout from the params, factor `data`.

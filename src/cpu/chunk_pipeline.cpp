@@ -59,6 +59,11 @@ CpuExec resolve_cpu_exec(int n, SimdIsa isa) {
   static constexpr Row kScalarTable[] = {
       {std::numeric_limits<int>::max(), CpuExec::kSpecialized},
   };
+  // Past the whole-dim ceiling every small-n executor degrades (the
+  // specialized path interprets, the vectorized path falls back): count
+  // it, so a facade that should have routed to the tiled large-N path is
+  // visible in the obs snapshot rather than silently slow.
+  if (n > kMaxVecWholeDim) IBCHOL_COUNT("cpu.large_n_fallback", 1);
   const SimdIsa tier = resolve_simd_isa(isa);
   const Row* table = tier == SimdIsa::kScalar ? kScalarTable : kAvxTable;
   for (const Row* r = table;; ++r) {

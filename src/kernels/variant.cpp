@@ -17,6 +17,7 @@ void TuningParams::validate(int n) const {
   IBCHOL_CHECK(chunked || chunk_size == 0 || chunk_size % kWarpSize == 0,
                "pack-scratch chunk size must be 0 (auto) or a multiple of "
                "the warp size");
+  IBCHOL_CHECK(lookahead >= 1, "tiled lookahead must be at least 1");
 }
 
 std::string TuningParams::to_string() const {
@@ -32,6 +33,7 @@ std::string TuningParams::to_string() const {
   if (storage != StoragePrec::kFp32) {
     os << ", storage=" << ibchol::to_string(storage);
   }
+  if (lookahead != 2) os << ", lookahead=" << lookahead;
   os << ")";
   return os.str();
 }
@@ -58,6 +60,9 @@ std::string TuningParams::key() const {
   // Storage precision, the seventh axis, follows the same deviation-only
   // rule: fp32 points keep their historical keys.
   if (storage != StoragePrec::kFp32) os << '_' << ibchol::to_string(storage);
+  // Tiled lookahead, the eighth axis: deviation-only again, so every
+  // small-n point (which never reads it) keeps its historical key.
+  if (lookahead != 2) os << "_la" << lookahead;
   return os.str();
 }
 

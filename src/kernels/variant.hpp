@@ -43,6 +43,13 @@ struct TuningParams {
   /// memory traffic at the cost of rounded storage. Only interleaved
   /// layouts support the reduced precisions.
   StoragePrec storage = StoragePrec::kFp32;
+  /// Panel-lookahead depth of the tiled large-N path (the eighth
+  /// parameter): how many steps the trailing update wavefront may run
+  /// ahead of the last factored panel. Only the tiled DAG executor reads
+  /// it (n > 64 routed through svc::BatchService::factor_tiled); it is
+  /// order-preserving there, so a perf-only axis. The small-n executors
+  /// ignore it.
+  int lookahead = 2;
 
   /// Validates against a matrix dimension; throws ibchol::Error.
   void validate(int n) const;

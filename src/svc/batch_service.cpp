@@ -1,6 +1,7 @@
 #include "svc/batch_service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -22,6 +23,9 @@
 #include "obs/trace.hpp"
 #include "svc/mpmc_queue.hpp"
 #include "svc/work_deque.hpp"
+#include "tiled/dag.hpp"
+#include "tiled/tile_kernels.hpp"
+#include "tiled/tile_layout.hpp"
 #include "util/error.hpp"
 #include "util/fault_inject.hpp"
 
@@ -74,7 +78,13 @@ struct alignas(64) Slot {
     /// Reduced-precision storage (bf16/fp16 words, fp32 accumulate):
     /// plan_f is a mixed plan (plan_chunk_exec_mixed) whose `storage`
     /// field names the element format; data points at std::uint16_t.
-    kChunkMixed
+    kChunkMixed,
+    /// Large-N tiled task DAG (see tiled/dag.hpp): units are individual
+    /// tile tasks gated by per-tile in-degree counters in tiled_state,
+    /// operating on tile-major scratch in tiled_tiles. `dag` points at the
+    /// shared immutable spec cached in ServiceShared.
+    kTiledF32,
+    kTiledF64
   };
 
   // Immutable while in flight.
@@ -92,6 +102,15 @@ struct alignas(64) Slot {
   std::uint64_t deadline_ns = 0;  ///< absolute now_ns() expiry; 0 = none
   bool screen = false;
   std::int64_t seq = 0;  ///< submission sequence (span payload)
+
+  // Tiled-mode request state, acquired at claim time and returned by
+  // complete_request. tiled_tiles holds batch × TileLayout::size_elems()
+  // tile-major elements; tiled_state holds, as int32 words accessed
+  // through std::atomic_ref: [batch × rest_per_matrix in-degrees]
+  // [batch fail-min columns][batch per-matrix task countdowns].
+  const tiled::DagSpec* dag = nullptr;
+  ArenaLease tiled_tiles;
+  ArenaLease tiled_state;
 
   // Progress.
   std::atomic<int> status{static_cast<int>(RequestStatus::kQueued)};
@@ -156,6 +175,9 @@ struct ServiceShared {
   std::map<std::tuple<const TileProgram*, int>,
            std::unique_ptr<SpecializedProgram<double>>>
       specs_d;
+  /// Tiled DAG specs keyed (n, nb, clamped lookahead); immutable once
+  /// built, so slots can hold bare pointers across requests.
+  std::map<std::tuple<int, int, int>, std::unique_ptr<tiled::DagSpec>> dags;
 };
 
 namespace {
@@ -179,6 +201,11 @@ void release_slot(ServiceShared& s, std::uint32_t idx) {
 
 void complete_request(ServiceShared& s, std::uint32_t idx) {
   Slot& slot = *s.slots[idx];
+  // Tiled scratch goes back to the arena before the future wakes: by the
+  // time remaining hit zero every task body had finished (each body
+  // precedes its own finish_units), so nothing touches the leases now.
+  slot.tiled_tiles.reset();
+  slot.tiled_state.reset();
   const FactorResult result = finalize_factor_result(
       slot.failed.load(std::memory_order_relaxed),
       slot.first_failed.load(std::memory_order_relaxed));
@@ -203,7 +230,8 @@ void complete_request(ServiceShared& s, std::uint32_t idx) {
                    ? "svc.request_ns.bf16"
                    : "svc.request_ns.fp16")
         : (slot.mode == Slot::Mode::kChunkF64 ||
-           slot.mode == Slot::Mode::kCanonF64)
+           slot.mode == Slot::Mode::kCanonF64 ||
+           slot.mode == Slot::Mode::kTiledF64)
             ? "svc.request_ns.fp64"
             : "svc.request_ns.fp32";
     obs::histogram(lane).record(now - slot.submit_ns);
@@ -498,6 +526,234 @@ void run_canonical_range(ServiceShared& s, int wid, std::uint32_t idx,
   finish_units(s, idx, t.size(), failed, first);
 }
 
+// ------------------------------------------------ tiled large-N path ----
+
+/// Acquires and initializes the per-request tiled state at claim time:
+/// tile-major scratch for every matrix plus the in-degree / fail-min /
+/// countdown words. Throws std::bad_alloc on arena exhaustion (the caller
+/// aborts the whole request). The plain-store initialization here is
+/// published to other workers by the seq_cst deque pushes that seed the
+/// PACK range afterwards.
+void setup_tiled_request(ServiceShared& s, std::uint32_t idx) {
+  Slot& slot = *s.slots[idx];
+  const tiled::DagSpec& spec = *slot.dag;
+  const tiled::TileLayout tl(spec.n, spec.nb);
+  const std::int64_t batch = slot.layout.batch();
+  const std::size_t elem =
+      slot.mode == Slot::Mode::kTiledF64 ? sizeof(double) : sizeof(float);
+  ArenaLease tiles;
+  ArenaLease state;
+  try {
+    tiles = s.arena.acquire(static_cast<std::size_t>(batch) *
+                            static_cast<std::size_t>(tl.size_elems()) * elem);
+    state = s.arena.acquire(
+        static_cast<std::size_t>(batch) *
+        static_cast<std::size_t>(spec.rest_per_matrix + 2) *
+        sizeof(std::int32_t));
+  } catch (...) {
+    state.reset();
+    tiles.reset();
+    throw;
+  }
+  std::int32_t* words = state.as<std::int32_t>();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::memcpy(words + b * spec.rest_per_matrix, spec.init_indegree.data(),
+                static_cast<std::size_t>(spec.rest_per_matrix) *
+                    sizeof(std::int32_t));
+  }
+  std::int32_t* fail_min = words + batch * spec.rest_per_matrix;
+  std::int32_t* mat_remaining = fail_min + batch;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    fail_min[b] = std::numeric_limits<std::int32_t>::max();
+    mat_remaining[b] = static_cast<std::int32_t>(spec.tasks_per_matrix);
+  }
+  slot.tiled_tiles = std::move(tiles);
+  slot.tiled_state = std::move(state);
+}
+
+/// Executes one tile task: decode, run the body, record the failing
+/// column on a non-positive pivot, decrement successors' in-degrees, and
+/// push newly ready tasks (ascending ALAP priority so the owner's LIFO
+/// pop takes the most critical first). When the deque rejects a push the
+/// task id goes to `overflow` and the caller runs it inline — forward
+/// progress never depends on deque capacity. Each task finishes exactly
+/// one unit; the matrix's last task writes info[b], and the globally last
+/// completes the request (inside finish_units).
+template <typename T>
+void execute_tiled_task(ServiceShared& s, int wid, std::uint32_t idx,
+                        std::int64_t unit,
+                        std::vector<std::int64_t>& overflow) {
+  Slot& slot = *s.slots[idx];
+  const tiled::DagSpec& spec = *slot.dag;
+  const BatchLayout& layout = slot.layout;
+  const tiled::TileLayout tl(spec.n, spec.nb);
+  const std::int64_t batch = layout.batch();
+  const std::int64_t nt = spec.nt;
+  // Global unit id → (matrix, local task id): the PACK tasks of every
+  // matrix occupy [0, batch·nt) so the root range seeds all DAGs at once;
+  // the gated remainder lives per matrix above that.
+  const std::int64_t pack_units = batch * nt;
+  std::int64_t b;
+  std::int64_t local;
+  if (unit < pack_units) {
+    b = unit / nt;
+    local = unit % nt;
+  } else {
+    const std::int64_t r = unit - pack_units;
+    b = r / spec.rest_per_matrix;
+    local = nt + r % spec.rest_per_matrix;
+  }
+  auto* data = static_cast<T*>(slot.data);
+  T* tiles = slot.tiled_tiles.as<T>() + b * tl.size_elems();
+  std::int32_t* words = slot.tiled_state.as<std::int32_t>();
+  std::int32_t* indegree = words + b * spec.rest_per_matrix;
+  std::int32_t* fail_min = words + batch * spec.rest_per_matrix;
+  std::int32_t* mat_remaining = fail_min + batch;
+
+  const tiled::TileTask task = spec.decode(local);
+  const int nb = tl.nb();
+  std::uint64_t t0 = 0;
+  if constexpr (obs::kEnabled) t0 = obs::now_ns();
+  switch (task.kind) {
+    case tiled::TaskKind::kPack:
+      tiled::pack_tile_column(tl, task.k, tiles, [&](int gi, int gj) {
+        return data[layout.index(b, gi, gj)];
+      });
+      break;
+    case tiled::TaskKind::kPotrf: {
+      const int r = tiled::tile_potrf(
+          tl.dim(task.k), tiles + tl.tile_offset(task.k, task.k), nb);
+      if (r != 0) {
+        // First failing global column per matrix, 1-based: the CAS-min
+        // makes the report schedule-independent (matches the sequential
+        // reference, which sees the smallest k first).
+        const std::int32_t col = task.k * nb + r;
+        std::atomic_ref<std::int32_t> fm(fail_min[b]);
+        std::int32_t cur = fm.load(std::memory_order_relaxed);
+        while (col < cur && !fm.compare_exchange_weak(
+                                cur, col, std::memory_order_relaxed)) {
+        }
+      }
+      break;
+    }
+    case tiled::TaskKind::kTrsm:
+      tiled::tile_trsm(tl.dim(task.i), tl.dim(task.k),
+                       tiles + tl.tile_offset(task.k, task.k), nb,
+                       tiles + tl.tile_offset(task.i, task.k), nb);
+      break;
+    case tiled::TaskKind::kSyrk:
+      tiled::tile_syrk_ln(tl.dim(task.i), tl.dim(task.k),
+                          tiles + tl.tile_offset(task.i, task.k), nb,
+                          tiles + tl.tile_offset(task.i, task.i), nb);
+      break;
+    case tiled::TaskKind::kGemm:
+      tiled::tile_gemm_nt(tl.dim(task.i), tl.dim(task.j), tl.dim(task.k),
+                          tiles + tl.tile_offset(task.i, task.k), nb,
+                          tiles + tl.tile_offset(task.j, task.k), nb,
+                          tiles + tl.tile_offset(task.i, task.j), nb);
+      break;
+    case tiled::TaskKind::kUnpack:
+      tiled::unpack_tile_column(tl, task.k, tiles,
+                                [&](int gi, int gj, T v) {
+                                  data[layout.index(b, gi, gj)] = v;
+                                });
+      break;
+  }
+  if constexpr (obs::kEnabled) {
+    const std::uint64_t dur = obs::now_ns() - t0;
+    IBCHOL_HIST("tiled.task_ns", dur);
+    switch (task.kind) {
+      case tiled::TaskKind::kPack: IBCHOL_HIST("tiled.pack_ns", dur); break;
+      case tiled::TaskKind::kPotrf: IBCHOL_HIST("tiled.potrf_ns", dur); break;
+      case tiled::TaskKind::kTrsm: IBCHOL_HIST("tiled.trsm_ns", dur); break;
+      case tiled::TaskKind::kSyrk: IBCHOL_HIST("tiled.syrk_ns", dur); break;
+      case tiled::TaskKind::kGemm: IBCHOL_HIST("tiled.gemm_ns", dur); break;
+      case tiled::TaskKind::kUnpack:
+        IBCHOL_HIST("tiled.unpack_ns", dur);
+        break;
+    }
+  }
+  IBCHOL_COUNT("tiled.tasks", 1);
+
+  // Release successors. The acq_rel decrement forms a release sequence on
+  // each counter: the worker that takes it to zero has acquired every
+  // predecessor's tile writes, and the seq_cst deque push/steal carries
+  // them onward to whoever executes the task. At most one task per target
+  // tile can become ready here (chains serialize per-tile updates), so
+  // the burst is bounded by ~2·nt regardless of throttle fan-out.
+  std::array<std::int64_t, 2 * tiled::kMaxNt + 8> ready;
+  int nready = 0;
+  spec.for_each_successor(local, /*include_throttle=*/true,
+                          [&](std::int64_t succ) {
+    std::atomic_ref<std::int32_t> deg(
+        indegree[succ - nt]);
+    if (deg.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ready[static_cast<std::size_t>(nready++)] = succ;
+    }
+  });
+  if (nready > 0) {
+    std::sort(ready.begin(), ready.begin() + nready,
+              [&](std::int64_t x, std::int64_t y) {
+                return spec.priority[static_cast<std::size_t>(x)] <
+                       spec.priority[static_cast<std::size_t>(y)];
+              });
+    WorkDeque& deque = *s.deques[wid];
+    const std::int64_t rest_base = pack_units + b * spec.rest_per_matrix - nt;
+    bool pushed = false;
+    for (int r = 0; r < nready; ++r) {
+      const std::int64_t g = rest_base + ready[static_cast<std::size_t>(r)];
+      if (deque.push({idx, g, g + 1})) {
+        pushed = true;
+      } else {
+        overflow.push_back(g);
+      }
+    }
+    if (pushed) notify_work(s);
+  }
+
+  // Per-matrix completion: the last task of matrix b publishes its info
+  // entry (0 or the recorded failing column) and charges the failure to
+  // the request-level counters through finish_units.
+  std::int64_t failed = 0;
+  std::int64_t first = kNotSeen;
+  std::atomic_ref<std::int32_t> rem(mat_remaining[b]);
+  if (rem.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::atomic_ref<std::int32_t> fm(fail_min[b]);
+    const std::int32_t raw = fm.load(std::memory_order_acquire);
+    const std::int32_t st =
+        raw == std::numeric_limits<std::int32_t>::max() ? 0 : raw;
+    if (slot.info != nullptr) slot.info[b] = st;
+    if (st != 0) {
+      failed = 1;
+      first = b;
+    }
+  }
+  finish_units(s, idx, 1, failed, first);
+}
+
+/// Executes a range of tiled units, draining any deque-overflow tasks
+/// inline (LIFO, so the drain follows the same critical-first order the
+/// deque would have). The overflow vector allocates only on the overflow
+/// path — the steady state is allocation-free.
+template <typename T>
+void run_tiled_range(ServiceShared& s, int wid, std::uint32_t idx,
+                     UnitTask t) {
+  WorkDeque& deque = *s.deques[wid];
+  WorkerState& me = *s.wstates[wid];
+  std::vector<std::int64_t> overflow;
+  for (std::int64_t u = t.begin; u < t.end; ++u) {
+    chaos::chaos_stall_unit();
+    execute_tiled_task<T>(s, wid, idx, u, overflow);
+    while (!overflow.empty()) {
+      const std::int64_t g = overflow.back();
+      overflow.pop_back();
+      execute_tiled_task<T>(s, wid, idx, g, overflow);
+    }
+    me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    t.end = maybe_split(s, deque, idx, u + 1, t.end);
+  }
+}
+
 void run_range(ServiceShared& s, int wid, UnitTask t) {
   Slot& slot = *s.slots[t.slot];
   switch (slot.mode) {
@@ -515,6 +771,12 @@ void run_range(ServiceShared& s, int wid, UnitTask t) {
       break;
     case Slot::Mode::kChunkMixed:
       run_chunk_range_mixed(s, wid, t.slot, slot.plan_f, t);
+      break;
+    case Slot::Mode::kTiledF32:
+      run_tiled_range<float>(s, wid, t.slot, t);
+      break;
+    case Slot::Mode::kTiledF64:
+      run_tiled_range<double>(s, wid, t.slot, t);
       break;
   }
 }
@@ -760,6 +1022,9 @@ bool screen_and_quarantine(ServiceShared& s, int wid, std::uint32_t idx) {
       return screen_quarantine_impl<double>(s, wid, idx, nullptr);
     case Slot::Mode::kChunkMixed:
       return screen_quarantine_mixed(s, wid, idx);
+    case Slot::Mode::kTiledF32:
+    case Slot::Mode::kTiledF64:
+      return false;  // submit_tiled rejects screen; unreachable
   }
   return false;
 }
@@ -811,6 +1076,20 @@ void claim_request(ServiceShared& s, int wid, std::uint32_t idx) {
       return;
     }
     if (handled) return;
+  }
+  if (slot.mode == Slot::Mode::kTiledF32 ||
+      slot.mode == Slot::Mode::kTiledF64) {
+    // Acquire the request's tile scratch and DAG counters, then seed only
+    // the PACK region — everything else is gated by in-degrees and enters
+    // the deques as tasks become ready.
+    try {
+      setup_tiled_request(s, idx);
+    } catch (const std::bad_alloc&) {
+      abort_whole(s, idx);
+      return;
+    }
+    run_range(s, wid, {idx, 0, slot.layout.batch() * slot.dag->nt});
+    return;
   }
   run_range(s, wid, {idx, 0, slot.num_units});
 }
@@ -1129,7 +1408,11 @@ BatchService::BatchService(const ServiceOptions& options)
   s.deques.reserve(max_workers);
   s.wstates.reserve(max_workers);
   for (std::size_t i = 0; i < max_workers; ++i) {
-    s.deques.push_back(std::make_unique<WorkDeque>());
+    // Sized for the tiled path's ready-task bursts (up to ~2·kMaxNt single
+    // tasks per completed POTRF) on top of ordinary range splits; overflow
+    // is still handled (inline execution), this just keeps it off the
+    // steady-state path.
+    s.deques.push_back(std::make_unique<WorkDeque>(4096));
     s.wstates.push_back(std::make_unique<detail::WorkerState>());
   }
   const std::uint64_t now = obs::now_ns();
@@ -1402,6 +1685,120 @@ RecoveryReport BatchService::recover(const BatchLayout& layout,
                                      data, options, recovery, info, program);
 }
 
+namespace {
+
+/// Looks up (building on miss) the shared DAG spec for (n, nb, lookahead).
+/// The lookahead is clamped before keying so equivalent requests share one
+/// spec. Throws ibchol::Error on nt > kMaxNt — on the submitting thread.
+const tiled::DagSpec* cached_dag(ServiceShared& s, int n, int nb,
+                                 int lookahead) {
+  const int nt = (n + nb - 1) / nb;
+  const int la = std::clamp(lookahead, 1, nt);
+  const std::tuple<int, int, int> key{n, nb, la};
+  std::lock_guard<std::mutex> lock(s.cache_mu);
+  auto it = s.dags.find(key);
+  if (it == s.dags.end()) {
+    it = s.dags
+             .emplace(key, std::make_unique<tiled::DagSpec>(
+                               tiled::build_dag_spec(n, nb, la)))
+             .first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+template <typename T>
+FactorFuture BatchService::submit_tiled(const BatchLayout& layout,
+                                        std::span<T> data,
+                                        const TiledOptions& topts,
+                                        std::span<std::int32_t> info,
+                                        const SubmitOptions& sopts) {
+  ServiceShared& s = *shared_;
+  IBCHOL_CHECK(!s.stop.load(std::memory_order_acquire),
+               "submit_tiled() on a service being destroyed");
+  IBCHOL_CHECK(data.size() >= layout.size_elems(),
+               "data span too small for layout " + layout.to_string());
+  IBCHOL_CHECK(info.empty() ||
+                   info.size() >= static_cast<std::size_t>(layout.batch()),
+               "info span too small for batch");
+  IBCHOL_CHECK(sopts.timeout_ns >= 0, "negative submit timeout");
+  IBCHOL_CHECK(!sopts.screen, "tiled requests do not support screening");
+  IBCHOL_CHECK(sopts.storage == StoragePrec::kFp32,
+               "tiled requests store full-precision elements");
+  IBCHOL_CHECK(layout.batch() >= 1, "tiled batch must be non-empty");
+
+  const int n = layout.n();
+  const int nb = topts.nb > 0 ? topts.nb
+                              : tiled::recommended_nb(n, sizeof(T));
+  const tiled::DagSpec* spec = cached_dag(s, n, nb, topts.lookahead);
+  const std::int64_t num_units = layout.batch() * spec->tasks_per_matrix;
+  IBCHOL_CHECK(num_units < kMaxUnits,
+               "tiled batch too large for one request; split it");
+
+  std::uint32_t idx;
+  if (!detail::admit_slot(s, idx)) {
+    IBCHOL_COUNT("svc.shed", 1);
+    if (!info.empty()) {
+      std::fill_n(info.data(),
+                  std::min<std::size_t>(
+                      info.size(),
+                      static_cast<std::size_t>(layout.batch())),
+                  kInfoNotExecuted);
+    }
+    return FactorFuture::overloaded();
+  }
+  Slot& slot = *s.slots[idx];
+  slot.mode = std::is_same_v<T, float> ? Slot::Mode::kTiledF32
+                                       : Slot::Mode::kTiledF64;
+  slot.dag = spec;
+  slot.layout = layout;
+  slot.nb = spec->nb;
+  slot.triangle = Triangle::kLower;
+  slot.data = data.data();
+  slot.info = info.empty() ? nullptr : info.data();
+  slot.info_size = info.empty() ? 0 : info.size();
+  slot.num_units = num_units;
+  slot.submit_ns = obs::now_ns();
+  slot.deadline_ns =
+      sopts.timeout_ns > 0
+          ? slot.submit_ns + static_cast<std::uint64_t>(sopts.timeout_ns)
+          : 0;
+  slot.screen = false;
+  slot.seq = s.seq.fetch_add(1, std::memory_order_relaxed);
+  slot.status.store(static_cast<int>(RequestStatus::kQueued),
+                    std::memory_order_relaxed);
+  slot.remaining.store(num_units, std::memory_order_relaxed);
+  slot.failed.store(0, std::memory_order_relaxed);
+  slot.first_failed.store(detail::kNotSeen, std::memory_order_relaxed);
+  slot.aborted.store(false, std::memory_order_relaxed);
+  slot.quarantined.store(false, std::memory_order_relaxed);
+  slot.refs.store(2, std::memory_order_relaxed);  // exec side + future
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.completed = false;
+    slot.recovery = RecoveryReport{};
+  }
+
+  s.inflight.fetch_add(1, std::memory_order_acq_rel);
+  IBCHOL_COUNT("svc.submitted", 1);
+  IBCHOL_COUNT("tiled.submitted", 1);
+  auto& queue = sopts.priority > 0 ? *s.submissions_hi : *s.submissions;
+  while (!queue.try_push(idx)) {
+    std::this_thread::yield();  // capacity == slots: effectively immediate
+  }
+  detail::notify_work(s);
+  return FactorFuture(shared_, idx);
+}
+
+template <typename T>
+FactorResult BatchService::factor_tiled(const BatchLayout& layout,
+                                        std::span<T> data,
+                                        const TiledOptions& topts,
+                                        std::span<std::int32_t> info) {
+  return submit_tiled<T>(layout, data, topts, info).wait();
+}
+
 FactorFuture BatchService::submit_mixed(const BatchLayout& layout,
                                         std::span<std::uint16_t> data,
                                         const CpuFactorOptions& options,
@@ -1541,5 +1938,17 @@ template RecoveryReport BatchService::recover<float>(
 template RecoveryReport BatchService::recover<double>(
     const BatchLayout&, std::span<double>, const CpuFactorOptions&,
     const RecoveryOptions&, std::span<std::int32_t>, const TileProgram*);
+template FactorFuture BatchService::submit_tiled<float>(
+    const BatchLayout&, std::span<float>, const TiledOptions&,
+    std::span<std::int32_t>, const SubmitOptions&);
+template FactorFuture BatchService::submit_tiled<double>(
+    const BatchLayout&, std::span<double>, const TiledOptions&,
+    std::span<std::int32_t>, const SubmitOptions&);
+template FactorResult BatchService::factor_tiled<float>(
+    const BatchLayout&, std::span<float>, const TiledOptions&,
+    std::span<std::int32_t>);
+template FactorResult BatchService::factor_tiled<double>(
+    const BatchLayout&, std::span<double>, const TiledOptions&,
+    std::span<std::int32_t>);
 
 }  // namespace ibchol::svc

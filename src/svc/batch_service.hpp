@@ -151,6 +151,19 @@ struct ServiceOptions {
   WatchdogOptions watchdog;
 };
 
+/// Knobs of the tiled large-N path (submit_tiled): one task DAG per
+/// matrix over an nb×nb tile grid, executed on the same worker pool (see
+/// src/tiled/dag.hpp and DESIGN §13).
+struct TiledOptions {
+  /// Tile size; 0 = tiled::recommended_nb for the element type (the
+  /// I/O-lower-bound cache-fit rule).
+  int nb = 0;
+  /// Panel-lookahead throttle: how many steps ahead of the last factored
+  /// panel the trailing updates may run. Clamped to [1, nt]; values >= nt
+  /// disable the throttle. Order-preserving, so a perf-only axis.
+  int lookahead = 2;
+};
+
 /// Per-request submission knobs (all optional; defaults reproduce the
 /// plain submit semantics).
 struct SubmitOptions {
@@ -324,6 +337,29 @@ class BatchService {
                             std::span<std::int32_t> info = {},
                             const TileProgram* program = nullptr,
                             const SubmitOptions& sopts = {});
+
+  /// Submits a batch of *large* matrices (any layout, lower triangle)
+  /// through the tiled task-parallel path: each matrix becomes one
+  /// POTRF/TRSM/SYRK/GEMM task DAG over an nb×nb tile grid, all DAGs
+  /// share the pool concurrently, and per-tile update chains make the
+  /// result bit-identical to tiled::potrf_tiled_reference under any
+  /// stealing schedule. info reports the 1-based global column of the
+  /// first non-positive pivot per matrix. Deadlines, priorities, and
+  /// admission policies apply as in submit; screening does not (the
+  /// request is rejected if sopts.screen is set — large single matrices
+  /// are not the poison-fleet regime).
+  template <typename T>
+  [[nodiscard]] FactorFuture submit_tiled(const BatchLayout& layout,
+                                          std::span<T> data,
+                                          const TiledOptions& topts = {},
+                                          std::span<std::int32_t> info = {},
+                                          const SubmitOptions& sopts = {});
+
+  /// The synchronous tiled API: submit_tiled + wait.
+  template <typename T>
+  FactorResult factor_tiled(const BatchLayout& layout, std::span<T> data,
+                            const TiledOptions& topts = {},
+                            std::span<std::int32_t> info = {});
 
   /// factor_batch_recover_mixed with the fp32 passes pooled: the batch is
   /// widened once, screened/factored/shift-retried through the service,

@@ -1,0 +1,153 @@
+#include "tiled/dag.hpp"
+
+#include <algorithm>
+
+#include "cpu/chunk_pipeline.hpp"
+#include "util/error.hpp"
+
+namespace ibchol::tiled {
+
+TileTask DagSpec::decode(std::int64_t local_id) const {
+  TileTask t;
+  if (local_id < nt) {
+    t.kind = TaskKind::kPack;
+    t.k = static_cast<int>(local_id);
+    return t;
+  }
+  if (local_id >= unpack_base) {
+    t.kind = TaskKind::kUnpack;
+    t.k = static_cast<int>(local_id - unpack_base);
+    return t;
+  }
+  // Step lookup: step_base is strictly increasing, step_base[0] == nt.
+  const auto it =
+      std::upper_bound(step_base.begin(), step_base.end(), local_id);
+  const int k = static_cast<int>(it - step_base.begin()) - 1;
+  t.k = k;
+  const std::int64_t m = nt - k - 1;
+  std::int64_t off = local_id - step_base[k];
+  if (off == 0) {
+    t.kind = TaskKind::kPotrf;
+    return t;
+  }
+  off -= 1;
+  if (off < m) {
+    t.kind = TaskKind::kTrsm;
+    t.i = k + 1 + static_cast<int>(off);
+    return t;
+  }
+  off -= m;
+  if (off < m) {
+    t.kind = TaskKind::kSyrk;
+    t.i = k + 1 + static_cast<int>(off);
+    return t;
+  }
+  off -= m;
+  // GEMM block: pairs ordered by target column a = j-k-1, then row. Column
+  // a starts at offset a·m − a(a+1)/2; binary-search the largest such a.
+  t.kind = TaskKind::kGemm;
+  std::int64_t lo = 0;
+  std::int64_t hi = m - 1;  // a ranges over [0, m-1)
+  while (lo < hi) {
+    const std::int64_t mid = (lo + hi + 1) / 2;
+    if (mid * m - mid * (mid + 1) / 2 <= off) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const std::int64_t a = lo;
+  t.j = k + 1 + static_cast<int>(a);
+  t.i = t.j + 1 + static_cast<int>(off - (a * m - a * (a + 1) / 2));
+  return t;
+}
+
+DagSpec build_dag_spec(int n, int nb, int lookahead) {
+  DagSpec s;
+  const TileLayout tl(n, nb);
+  s.n = n;
+  s.nb = tl.nb();
+  s.nt = tl.nt();
+  IBCHOL_CHECK(s.nt <= kMaxNt,
+               "tiled: tile grid too fine (raise nb or shrink n)");
+  s.lookahead = std::clamp(lookahead, 1, s.nt);
+
+  s.step_base.resize(s.nt + 1);
+  std::int64_t base = s.nt;  // PACK tasks occupy [0, nt)
+  for (int k = 0; k < s.nt; ++k) {
+    s.step_base[k] = base;
+    const std::int64_t m = s.nt - k - 1;
+    base += 1 + 2 * m + m * (m - 1) / 2;
+  }
+  s.step_base[s.nt] = base;
+  s.unpack_base = base;
+  s.tasks_per_matrix = base + s.nt;
+  s.rest_per_matrix = s.tasks_per_matrix - s.nt;
+
+  // In-degrees by edge accumulation: the executor decrements exactly what
+  // for_each_successor enumerates, so building the counts from the same
+  // enumeration keeps the two consistent by construction. PACK tasks have
+  // no incoming edges (they are the seeds) and carry no counter.
+  s.init_indegree.assign(s.rest_per_matrix, 0);
+  for (std::int64_t id = 0; id < s.tasks_per_matrix; ++id) {
+    s.for_each_successor(id, /*include_throttle=*/true,
+                         [&](std::int64_t succ) {
+                           s.init_indegree[succ - s.nt] += 1;
+                         });
+  }
+
+  // ALAP heights over the un-throttled DAG: visit in reverse topological
+  // order (UNPACKs, then steps nt-1…0 — within a step GEMM/SYRK successors
+  // live in later steps and TRSM/POTRF successors in the already-visited
+  // remainder of the same step — then PACKs) so every successor's height is
+  // final when read.
+  s.priority.assign(s.tasks_per_matrix, 0);
+  auto visit = [&](std::int64_t id) {
+    std::int32_t best = 0;
+    s.for_each_successor(id, /*include_throttle=*/false,
+                         [&](std::int64_t succ) {
+                           best = std::max(best, s.priority[succ]);
+                         });
+    s.priority[id] = best + 1;
+  };
+  for (int j = 0; j < s.nt; ++j) visit(s.unpack_id(j));
+  for (int k = s.nt - 1; k >= 0; --k) {
+    for (int j = k + 1; j < s.nt; ++j) {
+      for (int i = j + 1; i < s.nt; ++i) visit(s.gemm_id(k, i, j));
+    }
+    for (int i = k + 1; i < s.nt; ++i) visit(s.syrk_id(k, i));
+    for (int i = k + 1; i < s.nt; ++i) visit(s.trsm_id(k, i));
+    visit(s.potrf_id(k));
+  }
+  for (int j = 0; j < s.nt; ++j) visit(s.pack_id(j));
+  return s;
+}
+
+int recommended_nb(int n, int elem_size) {
+  // pack_threshold_bytes() is 4× the detected LLC (with a floor); recover
+  // the LLC estimate and give the three live tiles of a GEMM task half of
+  // it, leaving room for concurrent workers and the pack scratch.
+  const auto llc = static_cast<std::int64_t>(pack_threshold_bytes() / 4);
+  int nb = 32;
+  while (nb < 256 &&
+         3 * static_cast<std::int64_t>(2 * nb) * (2 * nb) * elem_size <=
+             llc / 2) {
+    nb *= 2;
+  }
+  while ((n + nb - 1) / nb > kMaxNt) nb *= 2;
+  return nb;
+}
+
+std::vector<int> tiled_nb_candidates(int n, int elem_size) {
+  const int pivot = recommended_nb(n, elem_size);
+  std::vector<int> out;
+  for (int nb = pivot / 2; nb <= pivot * 2; nb *= 2) {
+    if (nb < 16 || nb >= 2 * n) continue;
+    if ((n + nb - 1) / nb > kMaxNt) continue;
+    out.push_back(nb);
+  }
+  if (out.empty()) out.push_back(pivot);
+  return out;
+}
+
+}  // namespace ibchol::tiled

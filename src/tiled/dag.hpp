@@ -1,0 +1,188 @@
+// Task DAG of the blocked right-looking tiled Cholesky.
+//
+// For an nt×nt tile grid the factorization is the classic dependence graph
+//
+//   for k = 0 … nt-1:
+//     POTRF(k)                          — factor diagonal tile (k,k)
+//     TRSM(i,k)   for i in (k, nt)      — A(i,k) ← A(i,k)·L(k,k)^{-T}
+//     SYRK(i,k)   for i in (k, nt)      — A(i,i) ← A(i,i) − A(i,k)·A(i,k)ᵀ
+//     GEMM(i,j,k) for k < j < i < nt    — A(i,j) ← A(i,j) − A(i,k)·A(j,k)ᵀ
+//
+// bracketed by per-tile-column PACK/UNPACK tasks that convert between the
+// caller's BatchLayout and the tile-major scratch. Edges:
+//
+//   PACK(0)      → POTRF(0)
+//   PACK(c)      → SYRK(c,0), GEMM(i,c,0)          (target-column pack)
+//   POTRF(k)     → TRSM(i,k) ∀i,  UNPACK(k)
+//   TRSM(i,k)    → SYRK(i,k), GEMM(i,j,k) j<i, GEMM(i',i,k) i'>i, UNPACK(k)
+//   SYRK(i,k)    → SYRK(i,k+1)   (or POTRF(i) when k+1 == i)
+//   GEMM(i,j,k)  → GEMM(i,j,k+1) (or TRSM(i,j) when k+1 == j)
+//
+// The SYRK/GEMM *chains* are the determinism contract: every tile's update
+// sequence is totally ordered by step index, so any topological execution
+// (hence any stealing schedule) applies the same operations to each tile in
+// the same order and the result is bit-identical to the sequential
+// reference.
+//
+// Lookahead throttle (perf-only, order-preserving): an update task whose
+// target column c is more than `lookahead` steps ahead of its own step k
+// gains one extra edge POTRF(c − lookahead) → task. This bounds how far the
+// trailing update wavefront can run ahead of the panel (bounding live tile
+// traffic) without touching any chain, so bit-identity is preserved for
+// every lookahead value. lookahead is clamped to ≥ 1 — at 0 the extra edge
+// POTRF(c) → SYRK(c,k) closes a cycle — and values ≥ nt disable the
+// throttle. Priorities are ALAP heights (longest path to the sink, Quach &
+// Langou arXiv:1510.05107) computed on the un-throttled DAG; the executor
+// releases ready successors in ascending height so the owner's LIFO pop
+// runs the most critical task first while FIFO thieves drain the slack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tiled/tile_layout.hpp"
+
+namespace ibchol::tiled {
+
+/// Hard cap on the tile-grid order (nt). Keeps per-task bookkeeping
+/// (ready-successor bursts, DAG spec vectors) bounded; n = 4096 at the
+/// minimum supported nb of 16 is nt = 256.
+inline constexpr int kMaxNt = 512;
+
+enum class TaskKind : std::uint8_t {
+  kPack,    ///< gather tile-column k from the caller's layout
+  kPotrf,   ///< factor diagonal tile (k,k)
+  kTrsm,    ///< solve panel tile (i,k)
+  kSyrk,    ///< rank-update diagonal tile (i,i) from step k
+  kGemm,    ///< rank-update tile (i,j) from step k
+  kUnpack,  ///< scatter tile-column k back to the caller's layout
+};
+
+/// A decoded task. k is the step (for pack/unpack: the tile column); i/j
+/// are tile indices where the kind uses them.
+struct TileTask {
+  TaskKind kind = TaskKind::kPack;
+  int k = 0;
+  int i = 0;
+  int j = 0;
+};
+
+/// Immutable, shareable description of one matrix's task DAG. Local task
+/// ids occupy [0, tasks_per_matrix): PACK tasks at [0, nt), then per-step
+/// blocks {POTRF, TRSMs, SYRKs, GEMMs} at [step_base[k], step_base[k+1]),
+/// then UNPACK tasks at [unpack_base, unpack_base + nt).
+struct DagSpec {
+  int n = 0;
+  int nb = 0;
+  int nt = 0;
+  int lookahead = 1;  ///< clamped to [1, nt]
+
+  std::int64_t tasks_per_matrix = 0;
+  std::int64_t rest_per_matrix = 0;  ///< tasks_per_matrix - nt (non-PACK)
+  std::int64_t unpack_base = 0;
+  std::vector<std::int64_t> step_base;  ///< [nt + 1]
+
+  /// Initial in-degree of every non-PACK task, indexed by local_id - nt.
+  /// Built by accumulating for_each_successor so the executor's decrements
+  /// match the edge enumeration by construction.
+  std::vector<std::int32_t> init_indegree;
+
+  /// ALAP height of every task (higher = more critical), [tasks_per_matrix].
+  std::vector<std::int32_t> priority;
+
+  // ---- id algebra ------------------------------------------------------
+  [[nodiscard]] std::int64_t pack_id(int j) const { return j; }
+  [[nodiscard]] std::int64_t potrf_id(int k) const { return step_base[k]; }
+  [[nodiscard]] std::int64_t trsm_id(int k, int i) const {
+    return step_base[k] + 1 + (i - k - 1);
+  }
+  [[nodiscard]] std::int64_t syrk_id(int k, int i) const {
+    return step_base[k] + 1 + (nt - k - 1) + (i - k - 1);
+  }
+  [[nodiscard]] std::int64_t gemm_id(int k, int i, int j) const {
+    const std::int64_t m = nt - k - 1;
+    const std::int64_t a = j - k - 1;
+    return step_base[k] + 1 + 2 * m + a * m - a * (a + 1) / 2 + (i - j - 1);
+  }
+  [[nodiscard]] std::int64_t unpack_id(int j) const { return unpack_base + j; }
+
+  [[nodiscard]] TileTask decode(std::int64_t local_id) const;
+
+  /// Calls fn(successor_local_id) for every out-edge of `local_id`.
+  /// Throttle edges (POTRF → far-ahead updates) are included only when
+  /// `include_throttle`; the executor includes them, ALAP heights do not.
+  template <typename Fn>
+  void for_each_successor(std::int64_t local_id, bool include_throttle,
+                          Fn&& fn) const;
+};
+
+/// Builds the DAG spec for an n×n matrix with tile size nb. `lookahead` is
+/// clamped to [1, nt]. Throws ibchol::Error when nt would exceed kMaxNt.
+[[nodiscard]] DagSpec build_dag_spec(int n, int nb, int lookahead);
+
+/// I/O-lower-bound-seeded default tile size: the largest power-of-two nb
+/// (within [32, 256]) whose three-tile working set fits the detected
+/// last-level cache share, per the communication lower bound of Kwasniewski
+/// et al. (a GEMM task streams A(i,k), B(j,k) and updates C(i,j)).
+[[nodiscard]] int recommended_nb(int n, int elem_size);
+
+/// nb candidates for the autotune tiled lane at dimension n (power-of-two
+/// ladder around recommended_nb, clamped so nt stays within kMaxNt).
+[[nodiscard]] std::vector<int> tiled_nb_candidates(int n, int elem_size);
+
+// ---- template bodies ---------------------------------------------------
+
+template <typename Fn>
+void DagSpec::for_each_successor(std::int64_t local_id, bool include_throttle,
+                                 Fn&& fn) const {
+  const TileTask t = decode(local_id);
+  switch (t.kind) {
+    case TaskKind::kPack:
+      // Column 0 gates POTRF(0); every later column gates the first update
+      // that writes into it (the step-0 SYRK/GEMMs targeting column t.k).
+      if (t.k == 0) {
+        fn(potrf_id(0));
+      } else if (nt > 1) {
+        fn(syrk_id(0, t.k));
+        for (int i = t.k + 1; i < nt; ++i) fn(gemm_id(0, i, t.k));
+      }
+      break;
+    case TaskKind::kPotrf:
+      for (int i = t.k + 1; i < nt; ++i) fn(trsm_id(t.k, i));
+      fn(unpack_id(t.k));
+      if (include_throttle) {
+        const int c = t.k + lookahead;
+        if (c < nt) {
+          for (int kp = 0; kp < t.k; ++kp) {
+            fn(syrk_id(kp, c));
+            for (int i = c + 1; i < nt; ++i) fn(gemm_id(kp, i, c));
+          }
+        }
+      }
+      break;
+    case TaskKind::kTrsm:
+      fn(syrk_id(t.k, t.i));
+      for (int j = t.k + 1; j < t.i; ++j) fn(gemm_id(t.k, t.i, j));
+      for (int i = t.i + 1; i < nt; ++i) fn(gemm_id(t.k, i, t.i));
+      fn(unpack_id(t.k));
+      break;
+    case TaskKind::kSyrk:
+      if (t.k + 1 == t.i) {
+        fn(potrf_id(t.i));
+      } else {
+        fn(syrk_id(t.k + 1, t.i));
+      }
+      break;
+    case TaskKind::kGemm:
+      if (t.k + 1 == t.j) {
+        fn(trsm_id(t.j, t.i));
+      } else {
+        fn(gemm_id(t.k + 1, t.i, t.j));
+      }
+      break;
+    case TaskKind::kUnpack:
+      break;
+  }
+}
+
+}  // namespace ibchol::tiled

@@ -1,0 +1,58 @@
+#include "tiled/reference.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tiled/tile_kernels.hpp"
+#include "tiled/tile_layout.hpp"
+
+namespace ibchol::tiled {
+
+template <typename T>
+int potrf_tiled_reference(int n, int nb, T* a, int lda) {
+  const TileLayout tl(n, nb);
+  const int nt = tl.nt();
+  const int bnb = tl.nb();
+  std::vector<T> tiles(static_cast<std::size_t>(tl.size_elems()));
+  for (int j = 0; j < nt; ++j) {
+    pack_tile_column(tl, j, tiles.data(), [&](int gi, int gj) {
+      return a[static_cast<std::int64_t>(gj) * lda + gi];
+    });
+  }
+
+  int info = 0;
+  for (int k = 0; k < nt; ++k) {
+    const int kk = tl.dim(k);
+    T* dkk = tiles.data() + tl.tile_offset(k, k);
+    const int r = tile_potrf(kk, dkk, bnb);
+    if (r != 0 && info == 0) info = k * bnb + r;
+    for (int i = k + 1; i < nt; ++i) {
+      tile_trsm(tl.dim(i), kk, dkk, bnb,
+                tiles.data() + tl.tile_offset(i, k), bnb);
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      tile_syrk_ln(tl.dim(i), kk, tiles.data() + tl.tile_offset(i, k), bnb,
+                   tiles.data() + tl.tile_offset(i, i), bnb);
+    }
+    for (int j = k + 1; j < nt; ++j) {
+      for (int i = j + 1; i < nt; ++i) {
+        tile_gemm_nt(tl.dim(i), tl.dim(j), kk,
+                     tiles.data() + tl.tile_offset(i, k), bnb,
+                     tiles.data() + tl.tile_offset(j, k), bnb,
+                     tiles.data() + tl.tile_offset(i, j), bnb);
+      }
+    }
+  }
+
+  for (int j = 0; j < nt; ++j) {
+    unpack_tile_column(tl, j, tiles.data(), [&](int gi, int gj, T v) {
+      a[static_cast<std::int64_t>(gj) * lda + gi] = v;
+    });
+  }
+  return info;
+}
+
+template int potrf_tiled_reference<float>(int, int, float*, int);
+template int potrf_tiled_reference<double>(int, int, double*, int);
+
+}  // namespace ibchol::tiled

@@ -1,0 +1,24 @@
+// Single-threaded blocked reference for the tiled path: executes the same
+// tile task bodies (tile_kernels.hpp) in canonical order (steps ascending;
+// POTRF, then TRSMs, SYRKs, GEMMs by ascending tile index). This is one
+// particular topological order of the task DAG, so the parallel executor is
+// bit-identical to it under any stealing schedule — the determinism oracle
+// the tiled tests pin against.
+#pragma once
+
+#include <cstdint>
+
+namespace ibchol::tiled {
+
+/// Factors the column-major n×n matrix `a` (leading dimension lda, lower
+/// triangle) in place through the tile-major path: pack → tiled right-
+/// looking Cholesky with tile size nb → unpack. Returns 0 on success or
+/// the 1-based global index of the first non-positive pivot column. After
+/// a failed diagonal-tile factorization the remaining task bodies still
+/// run (on whatever the failed tile holds), mirroring the parallel
+/// executor's run-everything semantics, so failed outputs match bitwise
+/// too.
+template <typename T>
+int potrf_tiled_reference(int n, int nb, T* a, int lda);
+
+}  // namespace ibchol::tiled

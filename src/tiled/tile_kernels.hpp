@@ -1,0 +1,123 @@
+// Tile task bodies for the large-N tiled Cholesky path.
+//
+// One function per DAG task kind, each operating on whole nb×nb column-major
+// tiles (lda = nb, edge tiles pass their true dims). These bodies are the
+// *only* arithmetic the tiled path performs, and they are shared verbatim
+// between the task-parallel executor (svc) and the single-threaded blocked
+// reference (tiled/reference.cpp). Combined with the per-tile update chains
+// in the DAG (each tile's SYRK/GEMM updates are serialized in ascending
+// step order), this makes the parallel result bit-identical to the
+// sequential one under any stealing schedule: every tile sees the same
+// sequence of the same compiled functions with the same operands.
+//
+// GEMM/SYRK use a 4-wide rank-update inner structure (four B columns held
+// in registers, contiguous stride-1 sweep down the C/A columns) so the
+// compiler can autovectorize the i-loop at whatever ISA the build targets;
+// determinism is unaffected because both executors call the same compiled
+// body. TRSM mirrors the reference column sweep without its zero-skip so
+// the i-loop stays branch-free. POTRF delegates to the blocked reference
+// factorization (its flop share is O(1/nt²) of the DAG — not worth a
+// separate body).
+#pragma once
+
+#include "cpu/reference.hpp"
+
+// The task bodies must never be inlined: inlining into different call sites
+// can change floating-point contraction (fma fusion) per context, and the
+// bit-identity contract requires the parallel executor and the sequential
+// reference to run the *same* instructions. Out-of-line comdat copies are
+// compiled with identical flags in every TU and deduplicated at link time.
+#if defined(__GNUC__) || defined(__clang__)
+#define IBCHOL_TILED_NOINLINE [[gnu::noinline]]
+#else
+#define IBCHOL_TILED_NOINLINE
+#endif
+
+namespace ibchol::tiled {
+
+/// Inner panel width of the per-tile POTRF (LAPACK-style blocked panel).
+inline constexpr int kPotrfPanel = 32;
+
+/// Factors the kk×kk diagonal tile in place. Returns 0 or the 1-based
+/// failing column within the tile.
+template <typename T>
+IBCHOL_TILED_NOINLINE int tile_potrf(int kk, T* a, int lda) {
+  return potrf_blocked(kk, kPotrfPanel, a, lda);
+}
+
+/// B <- B · tril(L)^{-T}; B is m×kk, L is the kk×kk factored diagonal tile.
+template <typename T>
+IBCHOL_TILED_NOINLINE void tile_trsm(int m, int kk, const T* l, int ldl,
+                                     T* b, int ldb) {
+  for (int j = 0; j < kk; ++j) {
+    T* bj = b + static_cast<std::int64_t>(j) * ldb;
+    for (int p = 0; p < j; ++p) {
+      const T ljp = l[static_cast<std::int64_t>(p) * ldl + j];
+      const T* bp = b + static_cast<std::int64_t>(p) * ldb;
+      for (int i = 0; i < m; ++i) bj[i] -= bp[i] * ljp;
+    }
+    const T d = l[static_cast<std::int64_t>(j) * ldl + j];
+    for (int i = 0; i < m; ++i) bj[i] /= d;
+  }
+}
+
+/// C <- C - A·Bᵀ (full block). C is m×n, A is m×kk, B is n×kk; all
+/// column-major. Four B rows are broadcast per pass so the stride-1 i-loop
+/// carries four fused updates — the register-tiled panel-GEMM shape.
+template <typename T>
+IBCHOL_TILED_NOINLINE void tile_gemm_nt(int m, int n, int kk, const T* a,
+                                        int lda, const T* b, int ldb, T* c,
+                                        int ldc) {
+  for (int j = 0; j < n; ++j) {
+    T* cj = c + static_cast<std::int64_t>(j) * ldc;
+    int p = 0;
+    for (; p + 4 <= kk; p += 4) {
+      const T b0 = b[static_cast<std::int64_t>(p + 0) * ldb + j];
+      const T b1 = b[static_cast<std::int64_t>(p + 1) * ldb + j];
+      const T b2 = b[static_cast<std::int64_t>(p + 2) * ldb + j];
+      const T b3 = b[static_cast<std::int64_t>(p + 3) * ldb + j];
+      const T* a0 = a + static_cast<std::int64_t>(p + 0) * lda;
+      const T* a1 = a + static_cast<std::int64_t>(p + 1) * lda;
+      const T* a2 = a + static_cast<std::int64_t>(p + 2) * lda;
+      const T* a3 = a + static_cast<std::int64_t>(p + 3) * lda;
+      for (int i = 0; i < m; ++i) {
+        cj[i] -= a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+      }
+    }
+    for (; p < kk; ++p) {
+      const T bp = b[static_cast<std::int64_t>(p) * ldb + j];
+      const T* ap = a + static_cast<std::int64_t>(p) * lda;
+      for (int i = 0; i < m; ++i) cj[i] -= ap[i] * bp;
+    }
+  }
+}
+
+/// C <- C - A·Aᵀ, lower triangle only. C is n×n, A is n×kk.
+template <typename T>
+IBCHOL_TILED_NOINLINE void tile_syrk_ln(int n, int kk, const T* a, int lda,
+                                        T* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    T* cj = c + static_cast<std::int64_t>(j) * ldc;
+    int p = 0;
+    for (; p + 4 <= kk; p += 4) {
+      const T b0 = a[static_cast<std::int64_t>(p + 0) * lda + j];
+      const T b1 = a[static_cast<std::int64_t>(p + 1) * lda + j];
+      const T b2 = a[static_cast<std::int64_t>(p + 2) * lda + j];
+      const T b3 = a[static_cast<std::int64_t>(p + 3) * lda + j];
+      const T* a0 = a + static_cast<std::int64_t>(p + 0) * lda;
+      const T* a1 = a + static_cast<std::int64_t>(p + 1) * lda;
+      const T* a2 = a + static_cast<std::int64_t>(p + 2) * lda;
+      const T* a3 = a + static_cast<std::int64_t>(p + 3) * lda;
+      for (int i = j; i < n; ++i) {
+        cj[i] -= a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+      }
+    }
+    for (; p < kk; ++p) {
+      const T bp = a[static_cast<std::int64_t>(p) * lda + j];
+      const T* ap = a + static_cast<std::int64_t>(p) * lda;
+      for (int i = j; i < n; ++i) cj[i] -= ap[i] * bp;
+    }
+  }
+}
+
+}  // namespace ibchol::tiled

@@ -1,0 +1,112 @@
+// Tile-major (2D partitioned-block) storage for one large lower-triangular
+// matrix, the layout the tiled task-parallel Cholesky path factors in.
+//
+// The n×n matrix is partitioned into an nt×nt grid of nb×nb tiles
+// (nt = ceil(n/nb)); only the lower-triangular tiles (I >= J) are stored,
+// each as a contiguous nb×nb column-major block with leading dimension nb.
+// Edge tiles occupy a full nb×nb slot but only their leading
+// dim(I)×dim(J) corner is meaningful. Kim et al. (arXiv:1601.05871) show
+// this partitioned-block shape beats flat layouts for task-parallel
+// Cholesky: every task touches whole contiguous tiles, so the working set
+// of a task is exactly the tiles it names.
+//
+// Linear block order is column-of-tiles major: tile (I, J) lives at block
+// index J*nt - J*(J-1)/2 + (I - J), i.e. columns of tiles stored
+// top-to-bottom, left-to-right — the same order PACK/UNPACK tasks walk.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace ibchol::tiled {
+
+/// Descriptor of the tile-major packed-lower layout (no data ownership).
+class TileLayout {
+ public:
+  TileLayout(int n, int nb) : n_(n), nb_(nb < n ? nb : n) {
+    IBCHOL_CHECK(n >= 1, "tiled: matrix dimension must be positive");
+    IBCHOL_CHECK(nb >= 1, "tiled: tile size must be positive");
+    nt_ = (n_ + nb_ - 1) / nb_;
+  }
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int nb() const noexcept { return nb_; }
+  [[nodiscard]] int nt() const noexcept { return nt_; }
+
+  /// Rows (== cols) of tile row/column index t: nb except a short last tile.
+  [[nodiscard]] int dim(int t) const noexcept {
+    const int rem = n_ - t * nb_;
+    return rem < nb_ ? rem : nb_;
+  }
+
+  /// Linear block index of tile (I, J), I >= J.
+  [[nodiscard]] std::int64_t block(int I, int J) const noexcept {
+    return static_cast<std::int64_t>(J) * nt_ -
+           static_cast<std::int64_t>(J) * (J - 1) / 2 + (I - J);
+  }
+
+  /// Element offset of tile (I, J) in the packed-lower tile buffer.
+  [[nodiscard]] std::int64_t tile_offset(int I, int J) const noexcept {
+    return block(I, J) * nb_ * nb_;
+  }
+
+  /// Number of stored (lower-triangular) tiles.
+  [[nodiscard]] std::int64_t num_blocks() const noexcept {
+    return static_cast<std::int64_t>(nt_) * (nt_ + 1) / 2;
+  }
+
+  /// Element count of the packed-lower tile buffer for one matrix.
+  [[nodiscard]] std::int64_t size_elems() const noexcept {
+    return num_blocks() * nb_ * nb_;
+  }
+
+ private:
+  int n_;
+  int nb_;
+  int nt_;
+};
+
+/// Copies the lower triangle of tile-column J from a gather/scatter source
+/// into tile-major storage. `load(i, j)` must return element (i, j) of the
+/// source matrix (global indices); only i >= j is read.
+template <typename T, typename LoadFn>
+void pack_tile_column(const TileLayout& tl, int J, T* tiles, LoadFn&& load) {
+  const int nb = tl.nb();
+  const int jb = tl.dim(J);
+  const int j0 = J * nb;
+  for (int I = J; I < tl.nt(); ++I) {
+    T* tile = tiles + tl.tile_offset(I, J);
+    const int ib = tl.dim(I);
+    const int i0 = I * nb;
+    for (int j = 0; j < jb; ++j) {
+      const int lo = I == J ? j : 0;  // diagonal tiles: lower part only
+      for (int i = lo; i < ib; ++i) {
+        tile[j * nb + i] = load(i0 + i, j0 + j);
+      }
+    }
+  }
+}
+
+/// Writes the lower triangle of tile-column J back through `store(i, j, v)`
+/// (global indices, i >= j only).
+template <typename T, typename StoreFn>
+void unpack_tile_column(const TileLayout& tl, int J, const T* tiles,
+                        StoreFn&& store) {
+  const int nb = tl.nb();
+  const int jb = tl.dim(J);
+  const int j0 = J * nb;
+  for (int I = J; I < tl.nt(); ++I) {
+    const T* tile = tiles + tl.tile_offset(I, J);
+    const int ib = tl.dim(I);
+    const int i0 = I * nb;
+    for (int j = 0; j < jb; ++j) {
+      const int lo = I == J ? j : 0;
+      for (int i = lo; i < ib; ++i) {
+        store(i0 + i, j0 + j, tile[j * nb + i]);
+      }
+    }
+  }
+}
+
+}  // namespace ibchol::tiled

@@ -1,6 +1,7 @@
 // Tests for the autotuner: space enumeration, sweeps, records, analysis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -94,6 +95,39 @@ TEST(Space, SizesLists) {
   EXPECT_EQ(standard_sizes().front(), 2);
   EXPECT_EQ(standard_sizes().back(), 64);
   EXPECT_FALSE(quick_sizes().empty());
+  // Every tiled-lane size sits past the small-n executors' ceiling.
+  for (const int n : tiled_sizes()) EXPECT_GT(n, 64);
+}
+
+TEST(Space, TiledLaneOffByDefaultAndGated) {
+  // With the lane off the enumeration is byte-identical to the historical
+  // grid: no exec=kAuto points, no non-default lookahead.
+  for (const auto& p : enumerate_space(256, {})) {
+    EXPECT_NE(p.exec, CpuExec::kAuto);
+    EXPECT_EQ(p.lookahead, 2);
+  }
+  SpaceOptions opt;
+  opt.include_tiled = true;
+  const auto base = enumerate_space(256, {});
+  const auto space = enumerate_space(256, opt);
+  ASSERT_GT(space.size(), base.size());
+  // The lane appends after the classic grid, leaving its prefix intact.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(space[i].key(), base[i].key()) << i;
+  }
+  std::set<std::string> keys;
+  std::set<int> lookaheads;
+  for (const auto& p : space) {
+    p.validate(256);
+    EXPECT_TRUE(keys.insert(p.key()).second) << p.key();
+    if (p.exec == CpuExec::kAuto) {
+      EXPECT_GE(p.nb, 16);  // the cache-fit ladder, not the small-n sizes
+      lookaheads.insert(p.lookahead);
+    }
+  }
+  EXPECT_EQ(lookaheads, (std::set<int>{1, 2, 4}));
+  // At and below the ceiling the lane contributes nothing.
+  EXPECT_EQ(enumerate_space(64, opt).size(), enumerate_space(64, {}).size());
 }
 
 // --------------------------------------------------------------- sweep ---
@@ -277,6 +311,56 @@ TEST_F(SweepTest, ChunkSizeKnobRoundTripsCsvAndJournal) {
   EXPECT_EQ(back.records()[0].params.chunk_size, 128);
 }
 
+TEST_F(SweepTest, LookaheadRoundTripsCsvAndJournal) {
+  // A tiled-lane record (kAuto executor, non-default panel lookahead) must
+  // survive both persistence formats so large-n sweeps resume and re-load
+  // exactly; archives written before the column keep the default.
+  SweepRecord r;
+  r.n = 256;
+  r.batch = 32;
+  r.params.nb = 64;
+  r.params.exec = CpuExec::kAuto;
+  r.params.chunked = false;
+  r.params.chunk_size = 0;
+  r.params.lookahead = 4;
+  r.seconds = 2.5e-2;
+  r.gflops = 17.5;
+  const auto parsed = parse_journal_line(journal_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params, r.params);
+  EXPECT_EQ(parsed->params.lookahead, 4);
+
+  SweepDataset ds;
+  ds.add(r);
+  const SweepDataset back = SweepDataset::from_csv(ds.to_csv());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.records()[0].params, r.params);
+  EXPECT_EQ(back.records()[0].params.lookahead, 4);
+
+  // Pre-lane journal lines carry no "lookahead" field: parse defaults it.
+  std::string old_line = journal_line(r);
+  const std::size_t at = old_line.find(",\"lookahead\":4");
+  ASSERT_NE(at, std::string::npos);
+  old_line.erase(at, std::string(",\"lookahead\":4").size());
+  const auto old_back = parse_journal_line(old_line);
+  ASSERT_TRUE(old_back.has_value());
+  EXPECT_EQ(old_back->params.lookahead, 2);
+
+  // Likewise a pre-lane CSV without the column.
+  CsvTable t = ds.to_csv();
+  const auto col = std::find(t.header.begin(), t.header.end(),
+                             std::string("lookahead"));
+  ASSERT_NE(col, t.header.end());
+  const std::size_t ci = static_cast<std::size_t>(col - t.header.begin());
+  t.header.erase(t.header.begin() + static_cast<std::ptrdiff_t>(ci));
+  for (auto& row : t.rows) {
+    row.erase(row.begin() + static_cast<std::ptrdiff_t>(ci));
+  }
+  const SweepDataset old_ds = SweepDataset::from_csv(t);
+  ASSERT_EQ(old_ds.size(), 1u);
+  EXPECT_EQ(old_ds.records()[0].params.lookahead, 2);
+}
+
 TEST_F(SweepTest, RejectsEmptyConfiguration) {
   ModelEvaluator eval(KernelModel(GpuSpec::p100()));
   SweepOptions opt;
@@ -334,7 +418,7 @@ TEST(Analyze, TableAndCorrelation) {
   fopt.tree.mtry = 3;
   const AnalysisResult res = analyze_dataset(ds, fopt);
 
-  ASSERT_EQ(res.table.size(), 9u);
+  ASSERT_EQ(res.table.size(), 10u);
   EXPECT_EQ(res.table[0].parameter, "n");
   EXPECT_EQ(res.num_trees, 120);
   EXPECT_GT(res.average_depth, 2.0);
@@ -386,7 +470,7 @@ TEST(Analyze, FeatureMatrixShape) {
   const SweepDataset ds = run_sweep(eval, opt);
   const AnalysisData data = build_analysis_data(ds);
   EXPECT_EQ(data.features.rows(), ds.size());
-  EXPECT_EQ(data.features.cols(), 9u);
+  EXPECT_EQ(data.features.cols(), 10u);
   EXPECT_EQ(data.target.size(), ds.size());
 }
 

@@ -124,7 +124,7 @@ TEST(Integration, FullAnalysisPipelineOnModelData) {
   fopt.num_trees = 40;
   const AnalysisResult res = analyze_dataset(ds, fopt);
   EXPECT_GT(res.correlation, 0.85);
-  EXPECT_EQ(res.table.size(), 9u);
+  EXPECT_EQ(res.table.size(), 10u);
 
   // CSV round trip of the full dataset reproduces the analysis inputs.
   const SweepDataset back = SweepDataset::from_csv(ds.to_csv());

@@ -820,6 +820,35 @@ TEST(Journal, MissingFileIsEmptyNotFatal) {
   EXPECT_TRUE(read_journal("/nonexistent/ibchol/journal.jsonl").empty());
 }
 
+TEST(Journal, AppendAfterTornLineStartsFresh) {
+  // A crash can leave the file ending in a torn fragment with no newline.
+  // The writer must not glue the next record onto it — the concatenation
+  // would parse as one line whose key scans read the fragment's values.
+  SweepRecord r;
+  r.n = 8;
+  r.batch = 64;
+  r.params.nb = 4;
+  r.seconds = 1e-4;
+  r.gflops = 10.0;
+  const std::string good = journal_line(r);
+
+  const std::string path = ::testing::TempDir() + "/ibchol_torn_append.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << good << "\n";
+    out << good.substr(0, good.size() / 2);  // crash mid-write, no newline
+  }
+  {
+    JournalWriter writer(path);
+    writer.append(r);
+  }
+  const auto records = read_journal(path);
+  ASSERT_EQ(records.size(), 2u);  // torn fragment skipped, append intact
+  EXPECT_EQ(records[1].params, r.params);
+  EXPECT_EQ(records[1].seconds, r.seconds);
+  std::remove(path.c_str());
+}
+
 // -------------------------------------------------------------- resume ----
 
 TEST_F(ResilientSweepTest, ResumedSweepByteIdenticalToUninterrupted) {

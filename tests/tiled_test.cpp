@@ -1,0 +1,578 @@
+// Tests for the tiled task-parallel large-N Cholesky path: tile layout
+// round trips, DAG structural invariants, randomized-schedule dependence
+// stress, the bit-identity contract (parallel executor vs single-threaded
+// blocked reference under distinct stealing schedules), the n ≤ 64 overlap
+// against the interpreter oracle, failure-report determinism, and the
+// facade routing at n > 64.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/batch_cholesky.hpp"
+#include "cpu/chunk_pipeline.hpp"
+#include "cpu/reference.hpp"
+#include "obs/counters.hpp"
+#include "svc/batch_service.hpp"
+#include "tiled/dag.hpp"
+#include "tiled/reference.hpp"
+#include "tiled/tile_layout.hpp"
+#include "util/error.hpp"
+
+namespace ibchol {
+namespace {
+
+// Dense column-major SPD matrix: A = B·Bᵀ + n·I with B uniform in [0,1).
+std::vector<float> make_spd(int n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> b(static_cast<std::size_t>(n) * n);
+  for (auto& v : b) v = dist(rng);
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 0.0f);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      float s = i == j ? static_cast<float>(n) : 0.0f;
+      for (int k = 0; k < n; ++k) s += b[k * n + i] * b[k * n + j];
+      a[j * n + i] = s;
+      a[i * n + j] = s;
+    }
+  }
+  return a;
+}
+
+// ---------------------------------------------------------- TileLayout ----
+
+TEST(TileLayout, DimsBlocksAndSizes) {
+  const tiled::TileLayout tl(100, 32);  // nt = 4, last tile 4 wide
+  EXPECT_EQ(tl.nt(), 4);
+  EXPECT_EQ(tl.dim(0), 32);
+  EXPECT_EQ(tl.dim(3), 4);
+  EXPECT_EQ(tl.num_blocks(), 10);
+  EXPECT_EQ(tl.size_elems(), 10 * 32 * 32);
+  // Column-of-tiles-major block order, packed lower.
+  EXPECT_EQ(tl.block(0, 0), 0);
+  EXPECT_EQ(tl.block(3, 0), 3);
+  EXPECT_EQ(tl.block(1, 1), 4);
+  EXPECT_EQ(tl.block(3, 3), 9);
+}
+
+TEST(TileLayout, NbClampedToN) {
+  const tiled::TileLayout tl(24, 128);
+  EXPECT_EQ(tl.nb(), 24);
+  EXPECT_EQ(tl.nt(), 1);
+}
+
+TEST(TileLayout, PackUnpackRoundTripsLowerTriangle) {
+  for (const auto& [n, nb] : {std::pair{96, 32}, {100, 32}, {64, 48}}) {
+    const tiled::TileLayout tl(n, nb);
+    const std::vector<float> a = make_spd(n, 7);
+    std::vector<float> tiles(static_cast<std::size_t>(tl.size_elems()),
+                             -1.0f);
+    std::vector<float> out(static_cast<std::size_t>(n) * n, 0.0f);
+    for (int J = 0; J < tl.nt(); ++J) {
+      tiled::pack_tile_column(tl, J, tiles.data(), [&](int i, int j) {
+        return a[static_cast<std::size_t>(j) * n + i];
+      });
+    }
+    for (int J = 0; J < tl.nt(); ++J) {
+      tiled::unpack_tile_column(tl, J, tiles.data(),
+                                [&](int i, int j, float v) {
+                                  out[static_cast<std::size_t>(j) * n + i] = v;
+                                });
+    }
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(j) * n + i],
+                  a[static_cast<std::size_t>(j) * n + i])
+            << "n=" << n << " nb=" << nb << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- DagSpec ----
+
+// Closed-form task count: nt packs + nt unpacks + nt POTRFs + per-step
+// TRSM/SYRK (nt-1-k each) + GEMMs (m(m-1)/2 at step k, m = nt-1-k).
+std::int64_t expected_tasks(int nt) {
+  std::int64_t total = 3 * nt;
+  for (int k = 0; k < nt; ++k) {
+    const std::int64_t m = nt - 1 - k;
+    total += 2 * m + m * (m - 1) / 2;
+  }
+  return total;
+}
+
+TEST(DagSpec, TaskCountsAndDecodeRoundTrip) {
+  for (const auto& [n, nb, la] :
+       {std::tuple{96, 32, 2}, {100, 32, 1}, {256, 32, 100}, {64, 16, 2}}) {
+    const tiled::DagSpec spec = tiled::build_dag_spec(n, nb, la);
+    EXPECT_EQ(spec.tasks_per_matrix, expected_tasks(spec.nt));
+    EXPECT_EQ(spec.rest_per_matrix, spec.tasks_per_matrix - spec.nt);
+    // Every id decodes, and re-encoding the decoded task returns the id.
+    for (std::int64_t id = 0; id < spec.tasks_per_matrix; ++id) {
+      const tiled::TileTask t = spec.decode(id);
+      std::int64_t back = -1;
+      switch (t.kind) {
+        case tiled::TaskKind::kPack: back = spec.pack_id(t.k); break;
+        case tiled::TaskKind::kPotrf: back = spec.potrf_id(t.k); break;
+        case tiled::TaskKind::kTrsm: back = spec.trsm_id(t.k, t.i); break;
+        case tiled::TaskKind::kSyrk: back = spec.syrk_id(t.k, t.i); break;
+        case tiled::TaskKind::kGemm:
+          back = spec.gemm_id(t.k, t.i, t.j);
+          break;
+        case tiled::TaskKind::kUnpack: back = spec.unpack_id(t.k); break;
+      }
+      ASSERT_EQ(back, id) << "n=" << n << " nb=" << nb;
+    }
+  }
+}
+
+TEST(DagSpec, InDegreesMatchEdgeEnumeration) {
+  const tiled::DagSpec spec = tiled::build_dag_spec(160, 32, 2);
+  std::vector<std::int32_t> indeg(
+      static_cast<std::size_t>(spec.rest_per_matrix), 0);
+  for (std::int64_t id = 0; id < spec.tasks_per_matrix; ++id) {
+    spec.for_each_successor(id, /*include_throttle=*/true,
+                            [&](std::int64_t succ) {
+                              ASSERT_GE(succ, spec.nt);
+                              ASSERT_LT(succ, spec.tasks_per_matrix);
+                              ++indeg[static_cast<std::size_t>(succ -
+                                                               spec.nt)];
+                            });
+  }
+  EXPECT_EQ(indeg, spec.init_indegree);
+}
+
+TEST(DagSpec, PrioritiesDecreaseAlongUnthrottledEdges) {
+  const tiled::DagSpec spec = tiled::build_dag_spec(160, 32, 3);
+  for (std::int64_t id = 0; id < spec.tasks_per_matrix; ++id) {
+    const std::int32_t p = spec.priority[static_cast<std::size_t>(id)];
+    spec.for_each_successor(id, /*include_throttle=*/false,
+                            [&](std::int64_t succ) {
+                              EXPECT_GT(p, spec.priority[static_cast<
+                                               std::size_t>(succ)])
+                                  << id << " -> " << succ;
+                            });
+  }
+}
+
+TEST(DagSpec, ThrottleNeverCreatesACycle) {
+  // A cycle would deadlock the simulated execution below; run the tightest
+  // lookahead over several shapes and require completion.
+  for (const auto& [n, nb] : {std::pair{160, 32}, {100, 20}, {256, 32}}) {
+    const tiled::DagSpec spec = tiled::build_dag_spec(n, nb, 1);
+    std::vector<std::int32_t> indeg = spec.init_indegree;
+    std::vector<std::int64_t> ready;
+    for (int j = 0; j < spec.nt; ++j) ready.push_back(spec.pack_id(j));
+    std::int64_t done = 0;
+    while (!ready.empty()) {
+      const std::int64_t id = ready.back();
+      ready.pop_back();
+      ++done;
+      spec.for_each_successor(id, true, [&](std::int64_t succ) {
+        if (--indeg[static_cast<std::size_t>(succ - spec.nt)] == 0) {
+          ready.push_back(succ);
+        }
+      });
+    }
+    EXPECT_EQ(done, spec.tasks_per_matrix) << "n=" << n << " nb=" << nb;
+  }
+}
+
+TEST(DagSpec, RandomizedCompletionOrderRespectsDependences) {
+  // Simulate the executor under adversarial schedules: repeatedly pick a
+  // *random* ready task. Assert every task runs exactly once, never before
+  // its in-degree reached zero, and that each tile's SYRK/GEMM updates run
+  // in ascending step order (the bit-identity precondition).
+  for (const int lookahead : {1, 2, 1000}) {
+    for (const std::uint32_t seed : {11u, 22u, 33u}) {
+      const tiled::DagSpec spec = tiled::build_dag_spec(200, 40, lookahead);
+      std::mt19937 rng(seed);
+      std::vector<std::int32_t> indeg = spec.init_indegree;
+      std::vector<char> ran(static_cast<std::size_t>(spec.tasks_per_matrix),
+                            0);
+      // last_step[(i,j)] = step of the latest update applied to tile (i,j).
+      const tiled::TileLayout tl(spec.n, spec.nb);
+      std::vector<int> last_step(static_cast<std::size_t>(tl.num_blocks()),
+                                 -1);
+      std::vector<std::int64_t> ready;
+      for (int j = 0; j < spec.nt; ++j) ready.push_back(spec.pack_id(j));
+      std::int64_t done = 0;
+      while (!ready.empty()) {
+        std::uniform_int_distribution<std::size_t> pick(0, ready.size() - 1);
+        const std::size_t at = pick(rng);
+        const std::int64_t id = ready[at];
+        ready[at] = ready.back();
+        ready.pop_back();
+        ASSERT_FALSE(ran[static_cast<std::size_t>(id)]);
+        ran[static_cast<std::size_t>(id)] = 1;
+        if (id >= spec.nt) {
+          ASSERT_EQ(indeg[static_cast<std::size_t>(id - spec.nt)], 0);
+        }
+        const tiled::TileTask t = spec.decode(id);
+        if (t.kind == tiled::TaskKind::kSyrk ||
+            t.kind == tiled::TaskKind::kGemm) {
+          const int j = t.kind == tiled::TaskKind::kSyrk ? t.i : t.j;
+          int& last = last_step[static_cast<std::size_t>(tl.block(t.i, j))];
+          ASSERT_EQ(last, t.k - 1) << "tile updates out of order";
+          last = t.k;
+        }
+        ++done;
+        spec.for_each_successor(id, true, [&](std::int64_t succ) {
+          if (--indeg[static_cast<std::size_t>(succ - spec.nt)] == 0) {
+            ready.push_back(succ);
+          }
+        });
+      }
+      EXPECT_EQ(done, spec.tasks_per_matrix);
+    }
+  }
+}
+
+TEST(DagSpec, RejectsTooFineGrids) {
+  // nt would exceed kMaxNt.
+  EXPECT_THROW(tiled::build_dag_spec(16 * tiled::kMaxNt + 16, 16, 2), Error);
+}
+
+TEST(DagSpec, NbRecommendationIsSane) {
+  for (const int n : {96, 256, 1024, 4096}) {
+    const int nb = tiled::recommended_nb(n, sizeof(float));
+    EXPECT_GE(nb, 32);
+    EXPECT_LE(nb, 256);
+    EXPECT_LE((n + nb - 1) / nb, tiled::kMaxNt);
+    const std::vector<int> cands = tiled::tiled_nb_candidates(n, 4);
+    EXPECT_FALSE(cands.empty());
+    for (const int c : cands) {
+      EXPECT_GE(c, 16);
+      EXPECT_LE((n + c - 1) / c, tiled::kMaxNt);
+    }
+  }
+}
+
+// ----------------------------------------------------------- reference ----
+
+TEST(TiledReference, MatchesUnblockedResidualAtSmallN) {
+  // n ≤ 64 overlap: the tiled blocked reference and the plain unblocked
+  // factorization agree to factorization accuracy (not bitwise — different
+  // operation order), checked via reconstruction error.
+  for (const auto& [n, nb] : {std::pair{24, 8}, {64, 16}, {64, 48}}) {
+    const std::vector<float> a = make_spd(n, 3);
+    std::vector<float> t = a;
+    std::vector<float> u = a;
+    ASSERT_EQ(tiled::potrf_tiled_reference<float>(n, nb, t.data(), n), 0);
+    ASSERT_EQ(potrf_unblocked(n, u.data(), n), 0);
+    const double et = reconstruction_error<float>(
+        n, std::span<const float>(a), std::span<const float>(t));
+    const double eu = reconstruction_error<float>(
+        n, std::span<const float>(a), std::span<const float>(u));
+    EXPECT_LT(et, 1e-5);
+    EXPECT_LT(et, 10 * eu + 1e-7) << "n=" << n << " nb=" << nb;
+  }
+}
+
+TEST(TiledReference, FailureColumnMatchesUnblocked) {
+  const int n = 96;
+  std::vector<float> a = make_spd(n, 5);
+  a[40 * n + 40] = -1.0f;  // breaks positive-definiteness at column 41
+  std::vector<float> t = a;
+  std::vector<float> u = a;
+  const int st_t = tiled::potrf_tiled_reference<float>(n, 32, t.data(), n);
+  const int st_u = potrf_unblocked(n, u.data(), n);
+  EXPECT_NE(st_t, 0);
+  EXPECT_NE(st_u, 0);
+  EXPECT_EQ(st_t, st_u);
+}
+
+// -------------------------------------------------- service bit-identity --
+
+struct TiledCase {
+  int n;
+  int nb;
+  std::int64_t batch;
+};
+
+// Factors `batch` copies of seeded SPD matrices through a private service
+// and asserts bitwise equality with the single-threaded tiled reference.
+void check_bit_identity(const TiledCase& tc, int threads, int steal_grain,
+                        int lookahead) {
+  svc::ServiceOptions sopts;
+  sopts.num_threads = threads;
+  sopts.steal_grain = steal_grain;
+  svc::BatchService service(sopts);
+  const auto layout = BatchLayout::interleaved(tc.n, tc.batch);
+  std::vector<float> data(layout.size_elems());
+  std::vector<std::vector<float>> dense(
+      static_cast<std::size_t>(tc.batch));
+  for (std::int64_t b = 0; b < tc.batch; ++b) {
+    dense[static_cast<std::size_t>(b)] =
+        make_spd(tc.n, static_cast<std::uint32_t>(100 + b));
+    const auto& a = dense[static_cast<std::size_t>(b)];
+    for (int j = 0; j < tc.n; ++j) {
+      for (int i = j; i < tc.n; ++i) {
+        data[layout.index(b, i, j)] = a[static_cast<std::size_t>(j) * tc.n + i];
+      }
+    }
+  }
+  svc::TiledOptions topts;
+  topts.nb = tc.nb;
+  topts.lookahead = lookahead;
+  std::vector<std::int32_t> info(static_cast<std::size_t>(tc.batch), -7);
+  const FactorResult res = service.factor_tiled<float>(
+      layout, std::span<float>(data), topts, info);
+  EXPECT_TRUE(res.ok());
+  for (std::int64_t b = 0; b < tc.batch; ++b) {
+    std::vector<float>& r = dense[static_cast<std::size_t>(b)];
+    ASSERT_EQ(tiled::potrf_tiled_reference<float>(tc.n, tc.nb, r.data(),
+                                                  tc.n),
+              0);
+    EXPECT_EQ(info[static_cast<std::size_t>(b)], 0);
+    for (int j = 0; j < tc.n; ++j) {
+      for (int i = j; i < tc.n; ++i) {
+        ASSERT_EQ(data[layout.index(b, i, j)],
+                  r[static_cast<std::size_t>(j) * tc.n + i])
+            << "n=" << tc.n << " nb=" << tc.nb << " threads=" << threads
+            << " b=" << b << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(TiledService, BitIdenticalToReferenceAcrossSchedules) {
+  // Three distinct stealing schedules per shape: single worker (pure
+  // sequential drain), 2 workers, and 4 workers with a coarser steal
+  // grain. Shapes cover even and ragged tile grids.
+  const TiledCase cases[] = {{96, 32, 2}, {192, 64, 2}, {250, 48, 1}};
+  for (const TiledCase& tc : cases) {
+    check_bit_identity(tc, /*threads=*/1, /*steal_grain=*/1, /*lookahead=*/2);
+    check_bit_identity(tc, /*threads=*/2, /*steal_grain=*/1, /*lookahead=*/2);
+    check_bit_identity(tc, /*threads=*/4, /*steal_grain=*/2, /*lookahead=*/2);
+  }
+}
+
+TEST(TiledService, BitIdenticalAcrossLookaheads) {
+  // The throttle is order-preserving: every lookahead yields the same bits.
+  for (const int la : {1, 3, 1000}) {
+    check_bit_identity({160, 32, 2}, /*threads=*/4, /*steal_grain=*/1, la);
+  }
+}
+
+TEST(TiledService, ChunkedLayoutRoundTrips) {
+  // The tiled path reads/writes through layout.index, so chunked
+  // interleaved storage must work unchanged.
+  svc::BatchService service(svc::ServiceOptions{});
+  const int n = 96;
+  const std::int64_t batch = 3;
+  const auto layout = BatchLayout::interleaved_chunked(n, batch, 64);
+  std::vector<float> data(layout.size_elems(), 0.0f);
+  std::vector<float> a = make_spd(n, 17);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        data[layout.index(b, i, j)] = a[static_cast<std::size_t>(j) * n + i];
+      }
+    }
+  }
+  svc::TiledOptions topts;
+  topts.nb = 32;
+  const FactorResult res =
+      service.factor_tiled<float>(layout, std::span<float>(data), topts);
+  EXPECT_TRUE(res.ok());
+  ASSERT_EQ(tiled::potrf_tiled_reference<float>(n, 32, a.data(), n), 0);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        ASSERT_EQ(data[layout.index(b, i, j)],
+                  a[static_cast<std::size_t>(j) * n + i]);
+      }
+    }
+  }
+}
+
+TEST(TiledService, DoublePrecisionWorks) {
+  svc::BatchService service(svc::ServiceOptions{});
+  const int n = 96;
+  const auto layout = BatchLayout::interleaved(n, 1);
+  const std::vector<float> af = make_spd(n, 23);
+  std::vector<double> a(af.begin(), af.end());
+  std::vector<double> data(layout.size_elems());
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      data[layout.index(0, i, j)] = a[static_cast<std::size_t>(j) * n + i];
+    }
+  }
+  svc::TiledOptions topts;
+  topts.nb = 32;
+  const FactorResult res =
+      service.factor_tiled<double>(layout, std::span<double>(data), topts);
+  EXPECT_TRUE(res.ok());
+  ASSERT_EQ(tiled::potrf_tiled_reference<double>(n, 32, a.data(), n), 0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      ASSERT_EQ(data[layout.index(0, i, j)],
+                a[static_cast<std::size_t>(j) * n + i]);
+    }
+  }
+}
+
+TEST(TiledService, NonSpdReportsDeterministicInfoAndBits) {
+  // A failed matrix must report the same column and produce the same bits
+  // as the sequential reference, under a parallel schedule, while healthy
+  // neighbours factor normally.
+  svc::BatchService service([] {
+    svc::ServiceOptions o;
+    o.num_threads = 4;
+    return o;
+  }());
+  const int n = 160;
+  const int nb = 32;
+  const std::int64_t batch = 3;
+  const auto layout = BatchLayout::interleaved(n, batch);
+  std::vector<float> data(layout.size_elems());
+  std::vector<std::vector<float>> dense(static_cast<std::size_t>(batch));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    dense[static_cast<std::size_t>(b)] =
+        make_spd(n, static_cast<std::uint32_t>(300 + b));
+  }
+  dense[1][70 * n + 70] = -2.0f;  // poison matrix 1 at column 71
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const auto& a = dense[static_cast<std::size_t>(b)];
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        data[layout.index(b, i, j)] = a[static_cast<std::size_t>(j) * n + i];
+      }
+    }
+  }
+  std::vector<std::int32_t> info(static_cast<std::size_t>(batch), -7);
+  const FactorResult res = service.factor_tiled<float>(
+      layout, std::span<float>(data), svc::TiledOptions{nb, 2}, info);
+  EXPECT_EQ(res.failed_count, 1);
+  EXPECT_EQ(res.first_failed, 1);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::vector<float>& r = dense[static_cast<std::size_t>(b)];
+    const int st = tiled::potrf_tiled_reference<float>(n, nb, r.data(), n);
+    EXPECT_EQ(info[static_cast<std::size_t>(b)], st);
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        ASSERT_EQ(data[layout.index(b, i, j)],
+                  r[static_cast<std::size_t>(j) * n + i])
+            << "b=" << b;
+      }
+    }
+  }
+}
+
+TEST(TiledService, RejectsScreening) {
+  svc::BatchService service(svc::ServiceOptions{});
+  const auto layout = BatchLayout::interleaved(96, 1);
+  std::vector<float> data(layout.size_elems(), 1.0f);
+  svc::SubmitOptions sopts;
+  sopts.screen = true;
+  EXPECT_THROW(
+      {
+        auto f = service.submit_tiled<float>(layout, std::span<float>(data),
+                                             {}, {}, sopts);
+        f.wait();
+      },
+      Error);
+}
+
+TEST(TiledService, HonorsDeadlines) {
+  // A generous deadline completes normally.
+  svc::BatchService service(svc::ServiceOptions{});
+  const int n = 96;
+  const auto layout = BatchLayout::interleaved(n, 1);
+  std::vector<float> a = make_spd(n, 31);
+  std::vector<float> data(layout.size_elems());
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      data[layout.index(0, i, j)] = a[static_cast<std::size_t>(j) * n + i];
+    }
+  }
+  svc::SubmitOptions sopts;
+  sopts.timeout_ns = std::int64_t{60} * 1000 * 1000 * 1000;
+  auto future = service.submit_tiled<float>(layout, std::span<float>(data),
+                                            svc::TiledOptions{32, 2}, {},
+                                            sopts);
+  const FactorResult res = future.wait();
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(future.status(), svc::RequestStatus::kDone);
+}
+
+// ------------------------------------------------------ facade routing ----
+
+TEST(TiledFacade, RoutesLargeAutoToTiled) {
+  const int n = 96;
+  TuningParams p = recommended_params(n);
+  p.exec = CpuExec::kAuto;
+  const auto layout = BatchCholesky::make_layout(n, 2, p);
+  const BatchCholesky chol(layout, p);
+  EXPECT_TRUE(chol.uses_tiled());
+  EXPECT_FALSE(chol.program().has_value());
+
+  std::vector<float> data(layout.size_elems());
+  std::vector<float> a = make_spd(n, 41);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        data[layout.index(b, i, j)] = a[static_cast<std::size_t>(j) * n + i];
+      }
+    }
+  }
+  const std::uint64_t routed_before = obs::counter_value("tiled.routed");
+  const FactorResult res = chol.factorize<float>(std::span<float>(data));
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(obs::counter_value("tiled.routed"), routed_before + 1);
+  // Residual check against the original matrix.
+  std::vector<float> fact(static_cast<std::size_t>(n) * n, 0.0f);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      fact[static_cast<std::size_t>(j) * n + i] = data[layout.index(0, i, j)];
+    }
+  }
+  EXPECT_LT(reconstruction_error<float>(n, std::span<const float>(a),
+                                        std::span<const float>(fact)),
+            1e-5);
+}
+
+TEST(TiledFacade, SmallNAndExplicitExecutorsKeepOldPath) {
+  TuningParams p = recommended_params(32);
+  p.exec = CpuExec::kAuto;
+  const BatchCholesky small(BatchCholesky::make_layout(32, 2, p), p);
+  EXPECT_FALSE(small.uses_tiled());
+
+  TuningParams pi = recommended_params(96);
+  pi.exec = CpuExec::kInterpreter;  // oracle stays reachable past 64
+  const BatchCholesky interp(BatchCholesky::make_layout(96, 2, pi), pi);
+  EXPECT_FALSE(interp.uses_tiled());
+
+  TuningParams pu = recommended_params(96);
+  pu.exec = CpuExec::kAuto;
+  const BatchCholesky upper(BatchCholesky::make_layout(96, 2, pu), pu,
+                            Triangle::kUpper);
+  EXPECT_FALSE(upper.uses_tiled());
+}
+
+TEST(TiledFacade, LargeNFallbackCounterFires) {
+  const std::uint64_t before = obs::counter_value("cpu.large_n_fallback");
+  (void)resolve_cpu_exec(96, SimdIsa::kAuto);
+  EXPECT_EQ(obs::counter_value("cpu.large_n_fallback"), before + 1);
+  (void)resolve_cpu_exec(64, SimdIsa::kAuto);
+  EXPECT_EQ(obs::counter_value("cpu.large_n_fallback"), before + 1);
+}
+
+TEST(TiledFacade, LookaheadIsADeviationOnlyKeyAxis) {
+  TuningParams p;
+  const std::string base = p.key();
+  p.lookahead = 4;
+  EXPECT_EQ(p.key(), base + "_la4");
+  p.lookahead = 2;
+  EXPECT_EQ(p.key(), base);
+}
+
+}  // namespace
+}  // namespace ibchol

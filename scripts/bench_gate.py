@@ -28,6 +28,16 @@ threshold; a fresh summary without it is an environmental skip (exit 3) —
 the caller should re-record with fig_large_tiled included. Legacy
 baselines without the lane compare permissively.
 
+Summaries may also carry an instant-tuning lane (``instant_summary`` rows
+from fig_instant_tune, merged in by scripts/check.sh --bench): per-n
+``probe_gflops``, the measured rate of the configuration the model-guided
+probe selected. Gating it pins the *selection quality* of the calibrated
+model + stratified top-K planner (DESIGN §14) — a model change that starts
+picking bad configurations fails here even if every kernel is as fast as
+ever. Same threshold, same skip semantics: a baseline with the lane and a
+fresh summary without it is an environmental skip (exit 3); legacy
+baselines compare permissively.
+
 Exit codes:
   0 — no regression past the threshold
   1 — regression or layout mismatch (a real gate failure)
@@ -75,6 +85,12 @@ def large_rows(doc):
     """Rows of the large-n tiled lane (fig_large_tiled's per-n summary),
     keyed by n — empty for summaries recorded before the lane existed."""
     return {row["n"]: row for row in doc.get("large_summary", [])}
+
+
+def instant_rows(doc):
+    """Rows of the instant-tuning lane (fig_instant_tune's per-n summary),
+    keyed by n — empty for summaries recorded before the lane existed."""
+    return {row["n"]: row for row in doc.get("instant_summary", [])}
 
 
 def prec_lane(doc):
@@ -240,6 +256,39 @@ def main(argv):
         for n in sorted(set(new_large) - set(old_large)):
             print(f"bench gate: tiled n={n} new in fresh summary")
 
+    # Instant-tuning lane: gated only when the baseline recorded one.
+    instant_failures = []
+    instant_skip = None
+    old_instant = instant_rows(recorded)
+    new_instant = instant_rows(fresh)
+    if not old_instant:
+        if new_instant:
+            print("bench gate: instant-tuning lane new in fresh summary "
+                  "(no baseline to gate against)")
+    elif not new_instant:
+        instant_skip = ("baseline carries instant-tuning rows but the "
+                        "fresh summary has none")
+    else:
+        for n in sorted(old_instant):
+            if n not in new_instant:
+                print(f"bench gate: instant n={n} missing from fresh "
+                      "summary (skipped)")
+                continue
+            old_gf = old_instant[n].get("probe_gflops", 0.0)
+            new_gf = new_instant[n].get("probe_gflops", 0.0)
+            if old_gf <= 0.0:
+                continue
+            ratio = new_gf / old_gf
+            marker = "FAIL" if ratio < 1.0 - max_drop else "ok"
+            print(
+                f"bench gate: n={n:3d} probe {old_gf:8.2f} -> {new_gf:8.2f} "
+                f"GF/s ({ratio:5.2f}x) {marker}"
+            )
+            if ratio < 1.0 - max_drop:
+                instant_failures.append(n)
+        for n in sorted(set(new_instant) - set(old_instant)):
+            print(f"bench gate: instant n={n} new in fresh summary")
+
     if failures:
         print(
             f"bench gate: vec_gflops dropped more than {max_drop:.0%} at "
@@ -258,6 +307,12 @@ def main(argv):
             f"{max_drop:.0%} at n in {prec_failures}"
         )
         return 1
+    if instant_failures:
+        print(
+            f"bench gate: probe_gflops dropped more than {max_drop:.0%} at "
+            f"n in {instant_failures}"
+        )
+        return 1
     if prec_skip is not None:
         print(f"bench gate: {prec_skip}")
         print(
@@ -272,6 +327,14 @@ def main(argv):
             "bench gate: large-n rows are not comparable; skipping the "
             "tiled lane — re-record BENCH_cpu.json with fig_large_tiled "
             "included"
+        )
+        return EXIT_ENV_SKIP
+    if instant_skip is not None:
+        print(f"bench gate: {instant_skip}")
+        print(
+            "bench gate: instant-tuning rows are not comparable; skipping "
+            "the instant lane — re-record BENCH_cpu.json with "
+            "fig_instant_tune included"
         )
         return EXIT_ENV_SKIP
     print("bench gate: no regression past the threshold")

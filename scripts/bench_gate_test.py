@@ -52,6 +52,11 @@ def large_row(n, tiled, stages=None):
     return r
 
 
+def instant_row(n, probe):
+    return {"n": n, "batch": 4096, "space_points": 108, "probe_points": 8,
+            "probe_gflops": probe, "warm_identical": True}
+
+
 def run_gate(recorded, fresh):
     with tempfile.TemporaryDirectory() as tmp:
         rec_path = os.path.join(tmp, "recorded.json")
@@ -271,6 +276,42 @@ def main():
     # have skipped.
     code, out = run_gate(base, summary("chunked", [row(16, 120.0)]))
     failures += check("vec regression outranks tiled skip", code == 1, out)
+
+    # Instant-tuning lane: both summaries carrying instant_summary rows
+    # gate probe_gflops (the model-guided selection's measured quality)
+    # with the same threshold as vec_gflops.
+    ibase = summary("chunked", [row(16, 200.0)])
+    ibase["instant_summary"] = [instant_row(8, 30.0), instant_row(32, 80.0)]
+    igood = summary("chunked", [row(16, 200.0)])
+    igood["instant_summary"] = [instant_row(8, 31.0), instant_row(32, 82.0)]
+    code, out = run_gate(ibase, igood)
+    failures += check("healthy instant lane passes", code == 0, out)
+
+    ibad = summary("chunked", [row(16, 200.0)])
+    ibad["instant_summary"] = [instant_row(8, 30.0), instant_row(32, 50.0)]
+    code, out = run_gate(ibase, ibad)
+    failures += check("instant probe drop fails the gate", code == 1, out)
+    failures += check("instant failure names the lane",
+                      "probe_gflops" in out, out)
+
+    # A baseline with the instant lane gated against a fresh summary
+    # without it is an environmental skip, never a pass.
+    code, out = run_gate(ibase, summary("chunked", [row(16, 200.0)]))
+    failures += check("missing instant lane skips with exit 3", code == 3,
+                      out)
+    failures += check("instant skip advises re-recording",
+                      "re-record" in out and "fig_instant_tune" in out, out)
+
+    # Legacy baselines without the lane compare permissively; the fresh
+    # lane is reported as new, not gated.
+    code, out = run_gate(summary("chunked", [row(16, 200.0)]), igood)
+    failures += check("legacy baseline without instant lane passes",
+                      code == 0, out)
+
+    # A real vec regression still fails even when the instant lane would
+    # have skipped.
+    code, out = run_gate(ibase, summary("chunked", [row(16, 120.0)]))
+    failures += check("vec regression outranks instant skip", code == 1, out)
 
     if failures:
         print(f"bench_gate_test: {failures} check(s) failed")

@@ -3,7 +3,7 @@
 # benchmark binary. This is the command sequence EXPERIMENTS.md expects.
 #
 #   scripts/check.sh [--sanitize] [--tsan] [--faults] [--bench] [--obs] \
-#                    [--chaos] [--prec] [--tiled] [cmake args...]
+#                    [--chaos] [--prec] [--tiled] [--tune] [cmake args...]
 #
 # --sanitize adds a second build under AddressSanitizer + UBSan with
 # warnings-as-errors (IBCHOL_WERROR=ON) and runs the test suite against it
@@ -48,7 +48,8 @@
 #
 # --bench regenerates the canonical cross-PR perf summary BENCH_cpu.json
 # (interpreter vs specialized vs vectorized executor, plus the large-n
-# tiled lane merged in from fig_large_tiled) from the plain build.
+# tiled lane merged in from fig_large_tiled and the instant-tuning lane
+# from fig_instant_tune) from the plain build.
 # Before overwriting, the fresh numbers are gated against the recorded
 # ones: a drop of more than 15% in vec_gflops at any n fails the check, so
 # a PR cannot silently regress the executor's throughput. When the gate
@@ -57,6 +58,17 @@
 # skipped instead of failed; a multi-core host re-records the baseline in
 # place, while a single-core host keeps the existing one (absolute numbers
 # from a 1-CPU container would poison the baseline for every real host).
+#
+# --tune verifies the instant-tuning stack (DESIGN §14) under ASan+UBSan:
+# the model-vs-exhaustive property suite and the cache-robustness suite,
+# first with runtime SIMD dispatch free and then with IBCHOL_SIMD_ISA=scalar
+# (the forced tier changes the host fingerprint, so the cache keying and
+# exec-override paths are exercised on a second tier). A cache-corruption
+# matrix then drives each failure mode (truncation, checksum flip, version
+# bump, mixed good/bad files, a wholly garbage cache behind the tuner) as
+# its own sanitizer-instrumented invocation, asserting cold-start behavior
+# and exit 0 for every mode. The TuneCacheConcurrency suite also runs under
+# --tsan's ThreadSanitizer pass.
 #
 # --prec verifies the reduced-precision storage lanes (bf16/fp16 words,
 # fp32 accumulate — DESIGN §12) under ASan+UBSan: the conversion property
@@ -95,6 +107,7 @@ OBS=0
 CHAOS=0
 PREC=0
 TILED=0
+TUNE=0
 CMAKE_ARGS=()
 for arg in "$@"; do
   case "${arg}" in
@@ -106,6 +119,7 @@ for arg in "$@"; do
     --chaos) CHAOS=1 ;;
     --prec) PREC=1 ;;
     --tiled) TILED=1 ;;
+    --tune) TUNE=1 ;;
     *) CMAKE_ARGS+=("${arg}") ;;
   esac
 done
@@ -165,7 +179,7 @@ if [[ "${TSAN}" == 1 ]]; then
   # libgomp's barriers.
   OMP_NUM_THREADS=1 ctest --test-dir build-tsan --output-on-failure \
     -j "$(nproc)" \
-    -R 'MpmcQueue|WorkDeque|UnitTaskPacking|ScratchArena|BatchService|ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ServiceMixed|TiledService|TiledFacade|ChunkPipeline|Trace|Counters|HistogramTest'
+    -R 'MpmcQueue|WorkDeque|UnitTaskPacking|ScratchArena|BatchService|ServiceDeadline|ServicePriority|ServiceAdmission|ServiceChaos|ServiceScreen|ServiceWatchdog|ServiceMixed|TiledService|TiledFacade|ChunkPipeline|Trace|Counters|HistogramTest|TuneCacheConcurrency'
   echo "tsan check: service/pipeline/obs suites clean under ThreadSanitizer"
 fi
 
@@ -246,6 +260,37 @@ if [[ "${TILED}" == 1 ]]; then
   echo "tiled check: layout/DAG/reference/service/facade suites clean under ASan+UBSan (auto and forced-scalar)"
 fi
 
+if [[ "${TUNE}" == 1 ]]; then
+  TUNE_SUITES='TuneProperty|TuneCache|TuneCacheConcurrency|Analyze'
+  configure_sanitize_build
+  # Pass 1: runtime dispatch free — the model-vs-exhaustive property suite,
+  # the cache-robustness suite, and the feature-schema suite under
+  # ASan+UBSan (the cache parser over adversarial bytes is exactly where
+  # the sanitizers earn their keep).
+  ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)" \
+    -R "${TUNE_SUITES}"
+  # Pass 2: forced-scalar. The SIMD tier is part of the host fingerprint
+  # and of every cached entry's key, so clamping the tier exercises cache
+  # keying, exec overrides, and the probe paths on a second tier.
+  IBCHOL_SIMD_ISA=scalar ctest --test-dir build-sanitize \
+    --output-on-failure -j "$(nproc)" -R 'TuneProperty|TuneCache'
+  # Cache-corruption matrix: each failure mode as its own
+  # sanitizer-instrumented invocation, so a regression log names the mode
+  # (truncation, checksum flip, version bump, mixed files, torn tail,
+  # garbage cache behind the tuner) instead of one opaque suite failure.
+  for mode in \
+      TuneCache.EveryTruncationParsesAsNothing \
+      TuneCache.CorruptPayloadOrChecksumFailsClosed \
+      TuneCache.VersionBumpSkipsLine \
+      TuneCache.LoadSkipsBadLinesAndKeepsEveryGoodOne \
+      TuneCache.AppendAfterTornLineStartsFresh \
+      TuneCache.InstantTunerColdStartsFromCorruptFile; do
+    build-sanitize/tests/tune_cache_test --gtest_brief=1 \
+      --gtest_filter="${mode}"
+  done
+  echo "tune check: property/cache/schema suites clean under ASan+UBSan (auto and forced-scalar tiers), corruption matrix cold-starts every mode"
+fi
+
 if [[ "${FAULTS}" == 1 ]]; then
   configure_sanitize_build
   # The fault-injection / recovery / journaling suite under instrumentation.
@@ -314,13 +359,21 @@ if [[ "${BENCH}" == 1 ]]; then
   LARGE_TMP="$(mktemp --suffix=.json)"
   CLEANUP_PATHS+=("${LARGE_TMP}")
   build/bench/fig_large_tiled --json="${LARGE_TMP}"
-  python3 - "${BENCH_TMP}" "${LARGE_TMP}" <<'PY'
+  # The instant-tuning lane too: selection quality of the model-guided
+  # probe (probe_gflops) is gated the same way the executors are.
+  INSTANT_TMP="$(mktemp --suffix=.json)"
+  CLEANUP_PATHS+=("${INSTANT_TMP}")
+  build/bench/fig_instant_tune --json="${INSTANT_TMP}"
+  python3 - "${BENCH_TMP}" "${LARGE_TMP}" "${INSTANT_TMP}" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 with open(sys.argv[2]) as f:
     large = json.load(f)
+with open(sys.argv[3]) as f:
+    instant = json.load(f)
 doc["large_summary"] = large.get("large_summary", [])
+doc["instant_summary"] = instant.get("instant_summary", [])
 with open(sys.argv[1], "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
@@ -371,6 +424,7 @@ summary_mode tsan "${TSAN}"
 summary_mode chaos "${CHAOS}"
 summary_mode prec "${PREC}"
 summary_mode tiled "${TILED}"
+summary_mode tune "${TUNE}"
 summary_mode faults "${FAULTS}"
 summary_mode bench "${BENCH}"
 summary_mode obs "${OBS}"

@@ -6,12 +6,57 @@
 
 namespace ibchol {
 
+const std::vector<FeatureSpec>& analysis_feature_schema() {
+  // THE feature table (see analyze.hpp): column order here is the encoding
+  // order of analysis_features_for, and Table I's type/explanation columns
+  // ride along so no second array can fall out of sync with the count.
+  static const std::vector<FeatureSpec> schema{
+      {"n", "integer", "size of single matrix"},
+      {"nb", "integer", "internal blocking"},
+      {"looking", "ternary", "Left, Right, or Top"},
+      {"chunking", "binary", "yes or no"},
+      {"chunk_size", "integer", "matrix count in chunk"},
+      {"unrolling", "binary", "use unrolling?"},
+      {"cache", "binary", "more L1 or shared mem."},
+      {"isa", "ordinal", "SIMD tier (vectorized)"},
+      {"storage", "ternary", "fp32, bf16, or fp16 storage"},
+      {"lookahead", "integer", "tiled panel lookahead"},
+  };
+  return schema;
+}
+
 const std::vector<std::string>& analysis_feature_names() {
-  static const std::vector<std::string> names{
-      "n",         "nb",        "looking", "chunking",
-      "chunk_size", "unrolling", "cache",   "isa",
-      "storage",    "lookahead"};
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const FeatureSpec& f : analysis_feature_schema()) {
+      out.emplace_back(f.name);
+    }
+    return out;
+  }();
   return names;
+}
+
+std::vector<double> analysis_features_for(int n, const TuningParams& p) {
+  return {
+      static_cast<double>(n),
+      static_cast<double>(p.nb),
+      static_cast<double>(static_cast<int>(p.looking)),
+      p.chunked ? 1.0 : 0.0,
+      static_cast<double>(p.chunk_size),
+      p.unroll == Unroll::kFull ? 1.0 : 0.0,
+      p.prefer_shared ? 1.0 : 0.0,
+      // SIMD tier of the vectorized executor, ordinal in vector width
+      // (auto/scalar/avx2/avx512); non-vectorized records sit at 0.
+      p.exec == CpuExec::kVectorized
+          ? static_cast<double>(static_cast<int>(p.isa))
+          : 0.0,
+      // Storage precision, ordinal in word width: fp32 (0) is the
+      // classic lane, bf16 (1) and fp16 (2) the 16-bit ones.
+      static_cast<double>(static_cast<int>(p.storage)),
+      // Tiled-path panel lookahead; small-n records all sit at the
+      // default so the feature carries signal only for tiled sweeps.
+      static_cast<double>(p.lookahead),
+  };
 }
 
 AnalysisData build_analysis_data(const SweepDataset& dataset) {
@@ -22,27 +67,7 @@ AnalysisData build_analysis_data(const SweepDataset& dataset) {
     // Failed points carry NaN targets; one NaN would poison every split's
     // variance, so the forest trains on successful measurements only.
     if (r.failed || !std::isfinite(r.gflops)) continue;
-    const double row[] = {
-        static_cast<double>(r.n),
-        static_cast<double>(r.params.nb),
-        static_cast<double>(static_cast<int>(r.params.looking)),
-        r.params.chunked ? 1.0 : 0.0,
-        static_cast<double>(r.params.chunk_size),
-        r.params.unroll == Unroll::kFull ? 1.0 : 0.0,
-        r.params.prefer_shared ? 1.0 : 0.0,
-        // SIMD tier of the vectorized executor, ordinal in vector width
-        // (auto/scalar/avx2/avx512); non-vectorized records sit at 0.
-        r.params.exec == CpuExec::kVectorized
-            ? static_cast<double>(static_cast<int>(r.params.isa))
-            : 0.0,
-        // Storage precision, ordinal in word width: fp32 (0) is the
-        // classic lane, bf16 (1) and fp16 (2) the 16-bit ones.
-        static_cast<double>(static_cast<int>(r.params.storage)),
-        // Tiled-path panel lookahead; small-n records all sit at the
-        // default so the feature carries signal only for tiled sweeps.
-        static_cast<double>(r.params.lookahead),
-    };
-    data.features.add_row(row);
+    data.features.add_row(analysis_features_for(r.n, r.params));
     data.target.push_back(r.gflops);
   }
   return data;
@@ -61,21 +86,14 @@ AnalysisResult analyze_dataset(const SweepDataset& dataset,
   result.average_depth = forest.average_depth();
   result.oob_mse = forest.oob_mse();
 
-  static const char* kTypes[] = {"integer", "integer", "ternary", "binary",
-                                 "integer", "binary",  "binary",  "ordinal",
-                                 "ternary", "integer"};
-  static const char* kExplanations[] = {
-      "size of single matrix", "internal blocking",    "Left, Right, or Top",
-      "yes or no",             "matrix count in chunk", "use unrolling?",
-      "more L1 or shared mem.", "SIMD tier (vectorized)",
-      "fp32, bf16, or fp16 storage", "tiled panel lookahead"};
   const std::vector<double> importance = forest.permutation_importance();
-  for (std::size_t f = 0; f < analysis_feature_names().size(); ++f) {
+  const std::vector<FeatureSpec>& schema = analysis_feature_schema();
+  for (std::size_t f = 0; f < schema.size(); ++f) {
     PredictivePower p;
-    p.parameter = analysis_feature_names()[f];
+    p.parameter = schema[f].name;
     p.inc_mse = importance[f];
-    p.type = kTypes[f];
-    p.explanation = kExplanations[f];
+    p.type = schema[f].type;
+    p.explanation = schema[f].explanation;
     result.table.push_back(std::move(p));
   }
 

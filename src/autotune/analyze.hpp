@@ -15,8 +15,30 @@
 
 namespace ibchol {
 
-/// The Table I feature columns, in order.
+/// One column of the analysis feature schema: name, Table I type tag, and
+/// the explanation column. The schema (analysis_feature_schema) is THE
+/// single source of truth for the feature set — names, count, encoding
+/// order, and Table I metadata all derive from it, so adding a feature is
+/// one table row plus one encoder line in analysis_features_for, and the
+/// two can never disagree on the count.
+struct FeatureSpec {
+  const char* name;
+  const char* type;         ///< integer / binary / ternary / ordinal
+  const char* explanation;  ///< Table I wording
+};
+
+/// The full schema, in column order.
+[[nodiscard]] const std::vector<FeatureSpec>& analysis_feature_schema();
+
+/// The Table I feature columns, in order (derived from the schema).
 [[nodiscard]] const std::vector<std::string>& analysis_feature_names();
+
+/// Encodes one tuning point as an analysis feature row. The row length
+/// always equals analysis_feature_schema().size(); both the dataset
+/// builder below and the tune layer's forest ranking use this encoder, so
+/// train- and predict-time encodings cannot drift apart.
+[[nodiscard]] std::vector<double> analysis_features_for(
+    int n, const TuningParams& params);
 
 /// Builds the feature matrix + target (GFLOP/s) from a sweep dataset.
 struct AnalysisData {

@@ -2,9 +2,11 @@
 
 #include <cstdlib>
 
+#include "core/tuned_overrides.hpp"
 #include "cpu/simd/vec_exec.hpp"
 #include "obs/counters.hpp"
 #include "svc/batch_service.hpp"
+#include "util/timer.hpp"
 
 namespace ibchol {
 
@@ -26,6 +28,9 @@ bool use_service() {
 }  // namespace
 
 TuningParams recommended_params(int n) {
+  // An installed instant-tuning table (src/tune/instant.hpp) wins over the
+  // paper defaults: its entries are measured winners for this very host.
+  if (auto tuned = lookup_recommended_override(n)) return *tuned;
   TuningParams p;
   p.chunked = true;
   p.chunk_size = 64;
@@ -118,6 +123,20 @@ CpuFactorOptions to_cpu_options(const TuningParams& p, int n,
 template <typename T>
 FactorResult BatchCholesky::factorize(std::span<T> data,
                                       std::span<std::int32_t> info) const {
+  // The drift detector of the instant tuner listens here; the clock only
+  // runs when an observer is actually installed.
+  if (factor_observer_installed()) {
+    Timer t;
+    const FactorResult r = factorize_dispatch<T>(data, info);
+    note_factor_seconds(layout_.n(), layout_.batch(), t.seconds());
+    return r;
+  }
+  return factorize_dispatch<T>(data, info);
+}
+
+template <typename T>
+FactorResult BatchCholesky::factorize_dispatch(
+    std::span<T> data, std::span<std::int32_t> info) const {
   if (use_tiled_) {
     IBCHOL_COUNT("tiled.routed", 1);
     svc::TiledOptions topts;

@@ -122,6 +122,12 @@ class BatchCholesky {
   [[nodiscard]] bool uses_tiled() const { return use_tiled_; }
 
  private:
+  /// factorize() minus the observer timing wrapper: the tiled/service/
+  /// synchronous routing itself.
+  template <typename T>
+  FactorResult factorize_dispatch(std::span<T> data,
+                                  std::span<std::int32_t> info) const;
+
   BatchLayout layout_;
   TuningParams params_;
   Triangle triangle_ = Triangle::kLower;

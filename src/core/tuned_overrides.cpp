@@ -1,0 +1,54 @@
+#include "core/tuned_overrides.hpp"
+
+#include <atomic>
+
+#include "obs/counters.hpp"
+
+namespace ibchol {
+
+namespace {
+
+// Atomic shared_ptr slots: lock-free for readers on the facade's hot path,
+// and the snapshot a reader obtained stays alive across the whole call even
+// if an installer swaps mid-flight.
+std::atomic<std::shared_ptr<const std::map<int, TuningParams>>>&
+override_slot() {
+  static std::atomic<std::shared_ptr<const std::map<int, TuningParams>>> slot;
+  return slot;
+}
+
+std::atomic<std::shared_ptr<const FactorObserver>>& observer_slot() {
+  static std::atomic<std::shared_ptr<const FactorObserver>> slot;
+  return slot;
+}
+
+}  // namespace
+
+void set_recommended_overrides(
+    std::shared_ptr<const std::map<int, TuningParams>> table) {
+  override_slot().store(std::move(table));
+}
+
+std::optional<TuningParams> lookup_recommended_override(int n) {
+  const auto table = override_slot().load();
+  if (table == nullptr) return std::nullopt;
+  const auto it = table->find(n);
+  if (it == table->end()) return std::nullopt;
+  IBCHOL_COUNT("tune.override_hit", 1);
+  return it->second;
+}
+
+void set_factor_observer(std::shared_ptr<const FactorObserver> observer) {
+  observer_slot().store(std::move(observer));
+}
+
+bool factor_observer_installed() {
+  return observer_slot().load() != nullptr;
+}
+
+void note_factor_seconds(int n, std::int64_t batch, double seconds) {
+  const auto observer = observer_slot().load();
+  if (observer != nullptr && *observer) (*observer)(n, batch, seconds);
+}
+
+}  // namespace ibchol

@@ -1,0 +1,52 @@
+// Hot-swappable tuned-dispatch hooks consulted by the facade.
+//
+// The instant-tuning subsystem (src/tune/) lives *above* core in the
+// dependency order — it drives evaluators, the analytical model, and the
+// persistent cache. But its winners must take effect inside
+// recommended_params() and the facade's factorize path, which live here.
+// These hooks break the cycle: core owns two atomically swappable tables
+// (a size → TuningParams override map and a factorization-time observer)
+// and consults them when installed; the tune layer installs and replaces
+// them. Tables are immutable snapshots behind shared_ptr, so readers are
+// wait-free and an installer never mutates state a concurrent factorize
+// call is reading.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "kernels/variant.hpp"
+
+namespace ibchol {
+
+/// Installs (or, with nullptr, clears) the recommended-params override
+/// table. recommended_params(n) returns table entries verbatim before
+/// falling back to the paper defaults.
+void set_recommended_overrides(
+    std::shared_ptr<const std::map<int, TuningParams>> table);
+
+/// The override for size n, if one is installed (counts
+/// "tune.override_hit").
+[[nodiscard]] std::optional<TuningParams> lookup_recommended_override(int n);
+
+/// Observer of facade factorization times: (n, batch, wall seconds) per
+/// BatchCholesky::factorize call. The instant tuner's drift detector feeds
+/// on this.
+using FactorObserver =
+    std::function<void(int n, std::int64_t batch, double seconds)>;
+
+/// Installs (or, with nullptr, clears) the factor observer.
+void set_factor_observer(std::shared_ptr<const FactorObserver> observer);
+
+/// Cheap guard: true when an observer is installed (the facade only times
+/// itself when someone is listening).
+[[nodiscard]] bool factor_observer_installed();
+
+/// Delivers one timing to the installed observer (no-op when cleared
+/// between the guard and the call).
+void note_factor_seconds(int n, std::int64_t batch, double seconds);
+
+}  // namespace ibchol

@@ -1,6 +1,7 @@
 #include "cpu/chunk_pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +39,25 @@ int chunk_scratch_lanes(int n, std::size_t elem_size) {
   return static_cast<int>(lanes);
 }
 
+namespace {
+
+// Instant-tuning override table for the kAuto dispatch below: an immutable
+// snapshot swapped atomically, so the hot path is one lock-free load.
+std::atomic<std::shared_ptr<const std::map<std::pair<int, SimdIsa>, CpuExec>>>&
+exec_override_slot() {
+  static std::atomic<
+      std::shared_ptr<const std::map<std::pair<int, SimdIsa>, CpuExec>>>
+      slot;
+  return slot;
+}
+
+}  // namespace
+
+void set_cpu_exec_overrides(
+    std::shared_ptr<const std::map<std::pair<int, SimdIsa>, CpuExec>> table) {
+  exec_override_slot().store(std::move(table));
+}
+
 CpuExec resolve_cpu_exec(int n, SimdIsa isa) {
   // Measured crossovers on the CPU substrate (AVX-512 host, see DESIGN §8
   // for provenance): with the chunk-resident pipeline the vectorized
@@ -65,6 +85,15 @@ CpuExec resolve_cpu_exec(int n, SimdIsa isa) {
   // visible in the obs snapshot rather than silently slow.
   if (n > kMaxVecWholeDim) IBCHOL_COUNT("cpu.large_n_fallback", 1);
   const SimdIsa tier = resolve_simd_isa(isa);
+  // Measured instant-tuning winners override the static crossover table
+  // for their exact (n, tier); everything else keeps the seeded defaults.
+  if (const auto overrides = exec_override_slot().load()) {
+    const auto it = overrides->find({n, tier});
+    if (it != overrides->end() && it->second != CpuExec::kAuto) {
+      IBCHOL_COUNT("tune.exec_override", 1);
+      return it->second;
+    }
+  }
   const Row* table = tier == SimdIsa::kScalar ? kScalarTable : kAvxTable;
   for (const Row* r = table;; ++r) {
     if (n <= r->max_n) return r->exec;

@@ -26,7 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <span>
+#include <utility>
 
 #include "cpu/batch_factor.hpp"
 #include "kernels/options.hpp"
@@ -81,8 +84,18 @@ inline constexpr int kVecBlockedMinDim = 28;
 /// crossovers on the CPU substrate: the vectorized fused/blocked in-place
 /// pipeline wins at every n ≤ kMaxVecWholeDim on the AVX tiers; the scalar
 /// tier and larger n belong to the specialized executor (whose tile
-/// kernels the compiler autovectorizes). Never returns kAuto.
+/// kernels the compiler autovectorizes). An installed instant-tuning
+/// override (set_cpu_exec_overrides) wins over the static table for its
+/// (n, resolved tier) entries. Never returns kAuto.
 [[nodiscard]] CpuExec resolve_cpu_exec(int n, SimdIsa isa);
+
+/// Hot-swappable overrides for the kAuto dispatch table above, keyed on
+/// (n, resolved SIMD tier). Installed by the instant-tuning subsystem
+/// (src/tune/instant.hpp) from measured winners; nullptr restores the
+/// static table. The table is an immutable snapshot behind shared_ptr, so
+/// concurrent resolve_cpu_exec calls never observe a half-applied swap.
+void set_cpu_exec_overrides(
+    std::shared_ptr<const std::map<std::pair<int, SimdIsa>, CpuExec>> table);
 
 /// Packs `lanes` lanes of a simple-interleaved region into chunk scratch:
 /// element-row e (of `elems` = n² rows) moves from src[e*src_stride .. +

@@ -1,0 +1,170 @@
+#include "tune/cache.hpp"
+
+#include <cstdlib>
+
+#include "autotune/journal.hpp"
+#include "obs/counters.hpp"
+#include "tune/hash.hpp"
+#include "util/error.hpp"
+
+namespace ibchol::tune {
+
+namespace {
+
+// Local key scanners, mirroring the journal's tolerant style: a missing or
+// malformed field fails the whole line, which the loader then skips.
+bool scan_string(const std::string& line, const std::string& key,
+                 std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  out = line.substr(start, end - start);
+  return true;
+}
+
+bool scan_int(const std::string& line, const std::string& key, long long& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  out = std::strtoll(start, &end, 10);
+  return end != start;
+}
+
+}  // namespace
+
+std::string TuneKey::to_string() const {
+  return host + "|n" + std::to_string(n) + "|b" + std::to_string(batch) +
+         '|' + layout + '|' + ibchol::to_string(tier) + '|' +
+         ibchol::to_string(storage);
+}
+
+std::string tune_cache_line(const TuneCacheEntry& entry) {
+  // The checksummed payload: a complete JSON object whose exact bytes the
+  // crc covers. The inner record reuses the journal serialization (which
+  // already carries n and batch).
+  std::string payload = "{\"host\":\"" + entry.key.host + "\"";
+  payload += ",\"layout\":\"" + entry.key.layout + "\"";
+  payload += ",\"tier\":\"" + ibchol::to_string(entry.key.tier) + "\"";
+  payload += ",\"prec\":\"" + ibchol::to_string(entry.key.storage) + "\"";
+  payload += ",\"rec\":" + journal_line(entry.record);
+  payload += "}";
+  return "{\"v\":" + std::to_string(kTuneCacheVersion) + ",\"crc\":\"" +
+         to_hex16(fnv1a64(payload)) + "\",\"entry\":" + payload + "}";
+}
+
+std::optional<TuneCacheEntry> parse_tune_cache_line(const std::string& raw) {
+  std::string line = raw;
+  while (!line.empty() &&
+         (line.back() == '\r' || line.back() == ' ' || line.back() == '\n')) {
+    line.pop_back();
+  }
+  if (line.empty()) return std::nullopt;
+  auto bad = [&]() -> std::optional<TuneCacheEntry> {
+    IBCHOL_COUNT("tune.cache_bad_line", 1);
+    return std::nullopt;
+  };
+  if (line.front() != '{' || line.back() != '}') return bad();
+  long long version = 0;
+  if (!scan_int(line, "v", version)) return bad();
+  if (version != kTuneCacheVersion) {
+    IBCHOL_COUNT("tune.cache_version_skip", 1);
+    return bad();
+  }
+  std::string crc;
+  if (!scan_string(line, "crc", crc)) return bad();
+  const std::string marker = "\"entry\":";
+  const std::size_t at = line.find(marker);
+  if (at == std::string::npos) return bad();
+  const std::size_t start = at + marker.size();
+  // The payload runs to the character before the outer object's closing
+  // brace (the line's last byte).
+  if (start >= line.size() - 1) return bad();
+  const std::string payload = line.substr(start, line.size() - 1 - start);
+  if (payload.empty() || payload.front() != '{' || payload.back() != '}') {
+    return bad();
+  }
+  if (to_hex16(fnv1a64(payload)) != crc) return bad();
+  TuneCacheEntry entry;
+  std::string tier, prec;
+  if (!scan_string(payload, "host", entry.key.host) ||
+      !scan_string(payload, "layout", entry.key.layout) ||
+      !scan_string(payload, "tier", tier) ||
+      !scan_string(payload, "prec", prec)) {
+    return bad();
+  }
+  const std::string rec_marker = "\"rec\":";
+  const std::size_t rec_at = payload.find(rec_marker);
+  if (rec_at == std::string::npos) return bad();
+  const std::size_t rec_start = rec_at + rec_marker.size();
+  if (rec_start >= payload.size() - 1) return bad();
+  // The record object ends where the payload does (payload's last byte is
+  // its own closing brace).
+  const auto rec = parse_journal_line(
+      payload.substr(rec_start, payload.size() - 1 - rec_start));
+  if (!rec.has_value()) return bad();
+  entry.record = *rec;
+  entry.key.n = rec->n;
+  entry.key.batch = rec->batch;
+  try {
+    entry.key.tier = simd_isa_from_string(tier);
+    entry.key.storage = storage_prec_from_string(prec);
+  } catch (const std::exception&) {
+    return bad();
+  }
+  return entry;
+}
+
+TuneCache TuneCache::load(const std::string& path) {
+  TuneCache cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto entry = parse_tune_cache_line(line)) {
+      // Last entry per key wins: a re-tune appends rather than rewriting.
+      cache.entries_[entry->key.to_string()] = std::move(*entry);
+    }
+  }
+  IBCHOL_COUNT("tune.cache_load", 1);
+  return cache;
+}
+
+const TuneCacheEntry* TuneCache::find(const TuneKey& key) const {
+  const auto it = entries_.find(key.to_string());
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+TuneCacheWriter::TuneCacheWriter(const std::string& path)
+    : out_(path, std::ios::app) {
+  IBCHOL_CHECK(static_cast<bool>(out_),
+               "cannot open tuning cache for append: " + path);
+  // Heal a torn final line exactly like JournalWriter: appending onto the
+  // fragment would corrupt the next entry too; starting a fresh line
+  // sacrifices only the already-lost one (its crc fails closed).
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (in && in.tellg() > 0) {
+    in.seekg(-1, std::ios::end);
+    char last = '\n';
+    if (in.get(last) && last != '\n') out_ << '\n';
+  }
+}
+
+void TuneCacheWriter::append(const TuneCacheEntry& entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << tune_cache_line(entry) << '\n';
+  out_.flush();
+  IBCHOL_COUNT("tune.cache_append", 1);
+}
+
+std::string default_tune_cache_path() {
+  const char* v = std::getenv("IBCHOL_TUNE_CACHE");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+}  // namespace ibchol::tune

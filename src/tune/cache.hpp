@@ -1,0 +1,102 @@
+// Persistent tuning cache: winners survive process restarts.
+//
+// JSONL like the sweep journal (autotune/journal.hpp), one entry per line:
+//
+//   {"v":1,"crc":"<fnv1a64 hex>","entry":{"host":"<fingerprint>",
+//    "layout":"any","tier":"avx2","prec":"fp32","rec":{<journal record>}}}
+//
+// The "entry" object is the checksummed payload — `crc` is FNV-1a-64 over
+// its exact byte serialization, so a torn tail, a bit flip, or a hand edit
+// fails closed: the line is skipped (cold start for that key), never half
+// applied. `v` is the format version; any mismatch skips the line the same
+// way, so a downgrade reading a future cache degrades to re-tuning instead
+// of misparsing. The inner "rec" reuses journal_line/parse_journal_line
+// verbatim (including the %.17g doubles that make round-trips
+// byte-identical).
+//
+// Entries are keyed per (host fingerprint, n, batch, layout domain, SIMD
+// tier, storage precision) — everything that changes which winner is valid.
+// Readers take the *last* entry per key, so a re-tune simply appends.
+// The cache path comes from IBCHOL_TUNE_CACHE (default_tune_cache_path);
+// an empty path disables persistence.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "autotune/records.hpp"
+
+namespace ibchol::tune {
+
+/// Format version of a cache line. Bump on any schema change: old readers
+/// skip newer lines (and vice versa) instead of misparsing them.
+inline constexpr int kTuneCacheVersion = 1;
+
+/// Everything that selects which cached winner applies.
+struct TuneKey {
+  std::string host;    ///< HostProfile::fingerprint()
+  int n = 0;
+  std::int64_t batch = 0;
+  /// Layout domain the winner was searched over: "any" (both layouts
+  /// enumerated), "chunked", or "simple".
+  std::string layout = "any";
+  SimdIsa tier = SimdIsa::kScalar;  ///< resolved host tier
+  StoragePrec storage = StoragePrec::kFp32;
+
+  /// Canonical map key, e.g. "1a2b…|n16|b16384|any|avx2|fp32".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One cached winner.
+struct TuneCacheEntry {
+  TuneKey key;
+  SweepRecord record;  ///< the measured winner (params + time + rate)
+};
+
+/// Serializes one entry as a cache line (no trailing newline).
+[[nodiscard]] std::string tune_cache_line(const TuneCacheEntry& entry);
+
+/// Parses one line; nullopt for anything malformed, torn, checksum-bad, or
+/// version-mismatched (counted as "tune.cache_bad_line", version skips
+/// additionally as "tune.cache_version_skip"). Never throws.
+[[nodiscard]] std::optional<TuneCacheEntry> parse_tune_cache_line(
+    const std::string& line);
+
+/// An in-memory snapshot of a cache file, last entry per key winning.
+class TuneCache {
+ public:
+  /// Loads `path`; a missing or unreadable file is an empty cache (cold
+  /// start), never an error.
+  [[nodiscard]] static TuneCache load(const std::string& path);
+
+  [[nodiscard]] const TuneCacheEntry* find(const TuneKey& key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::map<std::string, TuneCacheEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, TuneCacheEntry> entries_;  ///< by TuneKey::to_string
+};
+
+/// Append-only cache writer: every entry is flushed on its own line, and a
+/// torn final line (a crash mid-write) is healed by starting on a fresh
+/// line — the same contract as autotune's JournalWriter.
+class TuneCacheWriter {
+ public:
+  explicit TuneCacheWriter(const std::string& path);
+  void append(const TuneCacheEntry& entry);
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+/// The IBCHOL_TUNE_CACHE environment path, or "" (persistence disabled).
+[[nodiscard]] std::string default_tune_cache_path();
+
+}  // namespace ibchol::tune

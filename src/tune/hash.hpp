@@ -1,0 +1,35 @@
+// FNV-1a hashing shared by the instant-tuning subsystem.
+//
+// Two consumers: the host fingerprint (host_probe) and the per-line
+// checksum of the persistent tuning cache (cache). FNV-1a is not
+// cryptographic — both uses only need a stable, dependency-free digest
+// that flags torn or bit-flipped lines and distinguishes hosts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ibchol::tune {
+
+/// 64-bit FNV-1a over a byte string.
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Fixed-width (16 hex digits) lowercase rendering, stable across hosts.
+[[nodiscard]] inline std::string to_hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace ibchol::tune

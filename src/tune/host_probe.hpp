@@ -1,0 +1,69 @@
+// Host calibration for the instant-tuning subsystem (ROADMAP item 4).
+//
+// The paper tunes by exhaustively measuring every kernel variant on the
+// target GPU. Instant tuning instead parameterizes the analytical SIMT
+// model (src/simt/kernel_model.hpp) with the *actual host*: cache geometry
+// read from sysfs, the SIMD tier from cpuid, and two micro-probes — a
+// streaming-copy bandwidth run (standing in for DRAM bandwidth, which is
+// what the pack/unpack stages of the chunk pipeline see) and a vector FMA
+// throughput loop (standing in for peak issue rate). The calibrated model
+// then ranks TuningParams candidates analytically in microseconds, and only
+// the model's top-K candidates are ever measured (src/tune/probe_plan.hpp).
+//
+// The host *fingerprint* keys the persistent tuning cache
+// (src/tune/cache.hpp). It hashes only the stable identity fields — CPU
+// name, core count, resolved SIMD tier, cache sizes, line size — never the
+// micro-probe measurements, which jitter run to run and would spuriously
+// invalidate every cached winner. A forced tier (IBCHOL_SIMD_ISA=scalar)
+// flows through resolve_simd_isa into the fingerprint by design: a
+// scalar-clamped process must not reuse winners tuned for the AVX tiers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "kernels/options.hpp"
+#include "simt/gpu_spec.hpp"
+#include "simt/kernel_model.hpp"
+
+namespace ibchol::tune {
+
+/// Everything the calibration measured or read about the executing host.
+struct HostProfile {
+  // Stable identity (hashed into fingerprint()).
+  std::string cpu_name;        ///< /proc/cpuinfo "model name", "" if unknown
+  int logical_cores = 1;       ///< std::thread::hardware_concurrency
+  SimdIsa isa = SimdIsa::kScalar;  ///< resolved tier (env override included)
+  std::size_t l1d_bytes = 0;   ///< per-core L1 data cache, 0 if undetected
+  std::size_t l2_bytes = 0;    ///< per-core L2, 0 if undetected
+  std::size_t llc_bytes = 0;   ///< last-level cache, 0 if undetected
+  int line_bytes = 64;         ///< coherency line size
+
+  // Micro-probe measurements (0.0 when the probes were skipped or failed;
+  // consumers fall back to conservative defaults). NOT fingerprinted.
+  double copy_bw_bytes = 0.0;  ///< streaming memcpy bandwidth, bytes/s
+  double fma_gflops = 0.0;     ///< single-thread vector FMA rate, GF/s
+
+  /// FNV-1a-64 hex digest over the stable identity fields only.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Reads sysfs/cpuid identity and (optionally) runs the micro-probes.
+/// Never throws: undetectable fields keep their zero defaults.
+[[nodiscard]] HostProfile detect_host_profile(bool run_microprobes = true);
+
+/// The process-wide profile, detected (with micro-probes) exactly once.
+[[nodiscard]] const HostProfile& cached_host_profile();
+
+/// Maps the CPU onto the model's GpuSpec vocabulary: one "SM" per logical
+/// core, "cores per SM" = SIMD lanes of the resolved tier, clock derived
+/// from the measured FMA rate, DRAM bandwidth from the copy probe, L2 from
+/// the LLC. Occupancy ceilings stay at GPU-like values so they never bind —
+/// on the CPU substrate parallelism is the core count, not warp residency.
+[[nodiscard]] GpuSpec cpu_spec_from_profile(const HostProfile& profile);
+
+/// A KernelModel calibrated to this host (cpu_spec_from_profile + the
+/// default ModelCalibration, whose layout/locality shape terms carry over).
+[[nodiscard]] KernelModel calibrated_kernel_model(const HostProfile& profile);
+
+}  // namespace ibchol::tune

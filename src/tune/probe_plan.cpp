@@ -1,0 +1,159 @@
+#include "tune/probe_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "autotune/analyze.hpp"
+#include "autotune/journal.hpp"
+#include "kernels/counts.hpp"
+#include "obs/counters.hpp"
+#include "util/error.hpp"
+
+namespace ibchol::tune {
+
+namespace {
+
+double to_gflops(int n, std::int64_t batch, double seconds) {
+  return seconds <= 0.0 ? 0.0
+                        : static_cast<double>(batch) *
+                              nominal_flops_per_matrix(n) / seconds / 1e9;
+}
+
+}  // namespace
+
+ProbePlan plan_probes(const KernelModel& model, int n, std::int64_t batch,
+                      const SpaceOptions& space, int top_k) {
+  IBCHOL_CHECK(top_k > 0, "plan_probes needs top_k >= 1");
+  const std::vector<TuningParams> points = enumerate_space(n, space);
+  IBCHOL_CHECK(!points.empty(),
+               "plan_probes: the tuning space is empty for n = " +
+                   std::to_string(n));
+  ProbePlan plan;
+  plan.n = n;
+  plan.batch = batch;
+  plan.space_points = points.size();
+  plan.candidates.reserve(points.size());
+  for (const TuningParams& p : points) {
+    const ModelResult r = model.evaluate(n, batch, p);
+    plan.candidates.push_back({p, r.seconds, r.gflops});
+  }
+  // Stable: candidates the model cannot distinguish (the executor axes it
+  // ignores) keep enumeration order, clustering the executor variants of
+  // the strongest configurations inside the top-K.
+  std::stable_sort(plan.candidates.begin(), plan.candidates.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.model_seconds < b.model_seconds;
+                   });
+  if (plan.candidates.size() > static_cast<std::size_t>(top_k)) {
+    // Stratified selection rather than a plain head-K: the SIMT model's
+    // *within*-stratum ordering (tile size, looking, chunk size) tracks the
+    // CPU substrate well, but its cross-stratum penalty on the unrolling
+    // axis is a GPU artifact — full unrolling costs a GPU occupancy but
+    // costs a CPU nothing, and a plain head-K would then never probe a
+    // full-unroll point at all. Hedge exactly that bias: bucket by unroll,
+    // keep each bucket model-ordered, and fill the K slots round-robin
+    // across buckets (best bucket first). Every stratum's strongest
+    // candidates get measured, and the real evaluator — not the model —
+    // settles the cross-stratum question.
+    std::vector<std::pair<int, std::vector<RankedCandidate>>> strata;
+    for (const RankedCandidate& c : plan.candidates) {
+      const int key = c.params.unroll == Unroll::kFull ? 1 : 0;
+      auto it = std::find_if(strata.begin(), strata.end(),
+                             [&](const auto& s) { return s.first == key; });
+      if (it == strata.end()) {
+        strata.push_back({key, {}});
+        it = std::prev(strata.end());
+      }
+      it->second.push_back(c);
+    }
+    // Strata are discovered in model order, so strata[0] starts with the
+    // model's global best candidate.
+    std::vector<RankedCandidate> picked;
+    picked.reserve(static_cast<std::size_t>(top_k));
+    for (std::size_t round = 0;
+         picked.size() < static_cast<std::size_t>(top_k); ++round) {
+      bool any = false;
+      for (auto& [key, bucket] : strata) {
+        if (round >= bucket.size()) continue;
+        any = true;
+        picked.push_back(bucket[round]);
+        if (picked.size() == static_cast<std::size_t>(top_k)) break;
+      }
+      if (!any) break;
+    }
+    // Present the plan best-model-time-first regardless of which round a
+    // candidate was picked in.
+    std::stable_sort(picked.begin(), picked.end(),
+                     [](const RankedCandidate& a, const RankedCandidate& b) {
+                       return a.model_seconds < b.model_seconds;
+                     });
+    plan.candidates = std::move(picked);
+  }
+  IBCHOL_COUNT("tune.plan", 1);
+  IBCHOL_COUNT("tune.plan_points",
+               static_cast<std::int64_t>(plan.space_points));
+  return plan;
+}
+
+ProbeResult run_probe_plan(Evaluator& eval, const ProbePlan& plan,
+                           const std::string& journal_path) {
+  IBCHOL_CHECK(!plan.candidates.empty(), "run_probe_plan: empty plan");
+  std::unique_ptr<JournalWriter> journal;
+  if (!journal_path.empty()) {
+    journal = std::make_unique<JournalWriter>(journal_path);
+  }
+  ProbeResult result;
+  result.measured.reserve(plan.candidates.size());
+  const SweepRecord* best = nullptr;
+  for (const RankedCandidate& c : plan.candidates) {
+    SweepRecord r;
+    r.n = plan.n;
+    r.batch = plan.batch;
+    r.params = c.params;
+    r.seconds = eval.seconds(plan.n, plan.batch, c.params);
+    // gflops straight from the measured time: Evaluator::gflops would call
+    // seconds() again, which re-measures on wall-clock backends.
+    r.gflops = to_gflops(plan.n, plan.batch, r.seconds);
+    r.failed = !std::isfinite(r.seconds) || r.seconds <= 0.0;
+    ++result.evaluations;
+    IBCHOL_COUNT("tune.probe", 1);
+    if (journal) journal->append(r);
+    result.measured.push_back(std::move(r));
+    const SweepRecord& added = result.measured.back();
+    if (!added.failed && (best == nullptr || added.seconds < best->seconds)) {
+      best = &added;
+    }
+  }
+  IBCHOL_CHECK(best != nullptr,
+               "run_probe_plan: every probe failed for n = " +
+                   std::to_string(plan.n));
+  result.winner = *best;
+  return result;
+}
+
+std::vector<RankedCandidate> rank_with_forest(
+    const RandomForest& forest, int n, const std::vector<TuningParams>& space,
+    int top_k) {
+  std::vector<RankedCandidate> ranked;
+  ranked.reserve(space.size());
+  for (const TuningParams& p : space) {
+    const std::vector<double> row = analysis_features_for(n, p);
+    RankedCandidate c;
+    c.params = p;
+    c.model_gflops = forest.predict(row);
+    ranked.push_back(std::move(c));
+  }
+  // Descending predicted rate; stable for the same tie-order contract as
+  // plan_probes.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.model_gflops > b.model_gflops;
+                   });
+  if (top_k > 0 && ranked.size() > static_cast<std::size_t>(top_k)) {
+    ranked.resize(static_cast<std::size_t>(top_k));
+  }
+  return ranked;
+}
+
+}  // namespace ibchol::tune

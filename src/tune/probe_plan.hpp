@@ -1,0 +1,82 @@
+// Model-guided probe planning: shrink the exhaustive sweep to the
+// calibrated model's top-K candidates.
+//
+// The paper sweeps every point of the tuning space ("our goal is not the
+// minimal search time"); ROADMAP item 4 inverts that for production use:
+// the host-calibrated analytical model (src/tune/host_probe.hpp) ranks the
+// whole space in microseconds, and only the K most promising candidates are
+// measured with a real Evaluator. The model deliberately ignores the
+// CPU-substrate executor axes (exec/isa/storage), so candidates differing
+// only there tie exactly — the stable sort keeps them in enumeration order,
+// which clusters the executor variants of the strongest paper-axis
+// configurations at the top, exactly the set worth measuring.
+//
+// A fitted random forest (src/forest/) can rank the same candidate set via
+// rank_with_forest, giving the model-vs-learned comparison the analysis
+// benches plot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autotune/evaluator.hpp"
+#include "autotune/records.hpp"
+#include "autotune/space.hpp"
+#include "forest/forest.hpp"
+#include "simt/kernel_model.hpp"
+
+namespace ibchol::tune {
+
+/// One model-ranked candidate.
+struct RankedCandidate {
+  TuningParams params;
+  double model_seconds = 0.0;
+  double model_gflops = 0.0;
+};
+
+/// The shrunken sweep: the model's top-K candidates for one (n, batch).
+struct ProbePlan {
+  int n = 0;
+  std::int64_t batch = 0;
+  std::size_t space_points = 0;  ///< size of the full enumeration
+  std::vector<RankedCandidate> candidates;  ///< best model time first
+};
+
+/// Ranks enumerate_space(n, space) with the model and keeps `top_k`
+/// candidates (all of them when the space is smaller). Ties break by
+/// enumeration order (stable sort — see header comment). Selection is
+/// stratified across the axis whose model cost transfers worst to the CPU
+/// substrate (unrolling): each stratum's model-best candidates fill the K
+/// slots round-robin, so a cross-stratum model bias (the GPU-only
+/// full-unroll occupancy penalty) can cost ranking quality but can never
+/// exclude a whole stratum from measurement.
+[[nodiscard]] ProbePlan plan_probes(const KernelModel& model, int n,
+                                    std::int64_t batch,
+                                    const SpaceOptions& space = {},
+                                    int top_k = 8);
+
+/// Outcome of measuring a plan's candidates.
+struct ProbeResult {
+  SweepRecord winner;                 ///< best measured time
+  std::vector<SweepRecord> measured;  ///< every probed point, plan order
+  int evaluations = 0;                ///< evaluator probes actually run
+};
+
+/// Measures every candidate of the plan with `eval` (the probes; counted
+/// as "tune.probe"), optionally appending each record to a sweep journal
+/// (autotune/journal format) at `journal_path`. Throws ibchol::Error when
+/// the plan is empty or every probe failed.
+[[nodiscard]] ProbeResult run_probe_plan(Evaluator& eval,
+                                         const ProbePlan& plan,
+                                         const std::string& journal_path = "");
+
+/// Ranks `space` for size n with a fitted forest (features via
+/// analysis_features_for, so the encoding is pinned to the analysis
+/// schema). Returns the predicted-GFLOP/s top-K, best first;
+/// model_seconds is left 0 (the forest predicts a rate, not a time).
+[[nodiscard]] std::vector<RankedCandidate> rank_with_forest(
+    const RandomForest& forest, int n,
+    const std::vector<TuningParams>& space, int top_k = 8);
+
+}  // namespace ibchol::tune

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -472,6 +473,82 @@ TEST(Analyze, FeatureMatrixShape) {
   EXPECT_EQ(data.features.rows(), ds.size());
   EXPECT_EQ(data.features.cols(), 10u);
   EXPECT_EQ(data.target.size(), ds.size());
+}
+
+// The feature count is pinned in exactly one place (the schema): the
+// names, the Table I metadata, and the per-record encoder must all agree
+// on it, so a new axis can never widen one and not the others.
+TEST(Analyze, FeatureCountPinnedBySchema) {
+  const auto& schema = analysis_feature_schema();
+  EXPECT_EQ(analysis_feature_names().size(), schema.size());
+  EXPECT_EQ(analysis_features_for(8, TuningParams{}).size(), schema.size());
+  for (std::size_t f = 0; f < schema.size(); ++f) {
+    EXPECT_EQ(analysis_feature_names()[f], schema[f].name);
+  }
+}
+
+// Differential: a pre-lookahead (9-feature era) CSV and a current
+// 10-column CSV must both parse, both build full-width feature matrices,
+// and — when lookahead sat at its default throughout — train forests that
+// predict identically, because the missing column back-fills the default.
+TEST(Analyze, OldNineFeatureCsvParsesAndPredictsLikeNew) {
+  ModelEvaluator eval(KernelModel(GpuSpec::p100()), 0.02);
+  SweepOptions opt;
+  opt.sizes = {8, 16};
+  opt.space.tile_sizes = {1, 2, 4, 8};
+  opt.space.chunk_sizes = {32, 128};
+  const SweepDataset ds = run_sweep(eval, opt);
+
+  // The current serialization, and the same table with the "lookahead"
+  // column dropped — what a PR-8-era sweep run wrote to disk.
+  const CsvTable csv_new = ds.to_csv();
+  const std::size_t la = csv_new.column("lookahead");
+  CsvTable csv_old = csv_new;
+  csv_old.header.erase(csv_old.header.begin() + static_cast<long>(la));
+  const std::string la_default = std::to_string(TuningParams{}.lookahead);
+  for (auto& row : csv_old.rows) {
+    // A small-n sweep never moves lookahead off its default, so dropping
+    // the column loses no information — exactly the 9-feature era.
+    ASSERT_EQ(row[la], la_default);
+    row.erase(row.begin() + static_cast<long>(la));
+  }
+
+  const SweepDataset ds_new = SweepDataset::from_csv(csv_new);
+  const SweepDataset ds_old = SweepDataset::from_csv(csv_old);
+  ASSERT_EQ(ds_new.size(), ds.size());
+  ASSERT_EQ(ds_old.size(), ds.size());
+
+  // Both eras encode to the full schema width.
+  const AnalysisData d_new = build_analysis_data(ds_new);
+  const AnalysisData d_old = build_analysis_data(ds_old);
+  const std::size_t width = analysis_feature_schema().size();
+  EXPECT_EQ(d_new.features.cols(), width);
+  EXPECT_EQ(d_old.features.cols(), width);
+  EXPECT_EQ(d_new.features.cols(), analysis_feature_names().size());
+
+  // Row-for-row identical matrices: the dropped column back-filled its
+  // default, which is exactly what the records held.
+  ASSERT_EQ(d_new.features.rows(), d_old.features.rows());
+  for (std::size_t i = 0; i < d_new.features.rows(); ++i) {
+    for (std::size_t f = 0; f < width; ++f) {
+      ASSERT_EQ(d_new.features.at(i, f), d_old.features.at(i, f))
+          << "row " << i << " feature " << analysis_feature_names()[f];
+    }
+  }
+
+  // Forests fit on either era predict finite, identical values (same
+  // data, same seeded training).
+  ForestOptions fopt;
+  fopt.num_trees = 40;
+  RandomForest f_new, f_old;
+  f_new.fit(d_new.features, d_new.target, fopt);
+  f_old.fit(d_old.features, d_old.target, fopt);
+  const std::vector<double> probe =
+      analysis_features_for(16, ds.records().front().params);
+  const double p_new = f_new.predict(probe);
+  const double p_old = f_old.predict(probe);
+  EXPECT_TRUE(std::isfinite(p_new));
+  EXPECT_DOUBLE_EQ(p_new, p_old);
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Robustness tests for the persistent tuning cache (ISSUE 10 satellite 2).
+//
+// The contract under attack: torn, truncated, checksum-corrupt, or
+// version-bumped lines must load as a cold start for their key — never a
+// crash, never a half-applied entry — while every intact line keeps
+// loading; a writer appending after a torn line starts fresh (mirroring
+// Journal.AppendAfterTornLineStartsFresh); and concurrent readers racing
+// one writer stay clean (run under check.sh --tsan).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autotune/evaluator.hpp"
+#include "autotune/journal.hpp"
+#include "obs/counters.hpp"
+#include "tune/cache.hpp"
+#include "tune/host_probe.hpp"
+#include "tune/instant.hpp"
+
+namespace ibchol {
+namespace {
+
+using tune::TuneCache;
+using tune::TuneCacheEntry;
+using tune::TuneCacheWriter;
+using tune::TuneKey;
+
+TuneCacheEntry make_entry(int n, double seconds = 1.25e-3) {
+  TuneCacheEntry e;
+  e.key.host = "0123456789abcdef";
+  e.key.n = n;
+  e.key.batch = 4096;
+  e.key.layout = "any";
+  e.key.tier = SimdIsa::kScalar;
+  e.key.storage = StoragePrec::kFp32;
+  e.record.n = n;
+  e.record.batch = 4096;
+  e.record.params.nb = 4;
+  e.record.params.looking = Looking::kLeft;
+  e.record.params.chunked = true;
+  e.record.params.chunk_size = 64;
+  e.record.seconds = seconds;
+  e.record.gflops = 17.5;
+  return e;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+TEST(TuneCache, LineRoundTripIsByteIdentical) {
+  const TuneCacheEntry e = make_entry(16, 7.062748534892125e-4);
+  const std::string line = tune_cache_line(e);
+  const auto back = tune::parse_tune_cache_line(line);
+  ASSERT_TRUE(back.has_value());
+  // Re-serializing the parsed entry reproduces the exact bytes — the same
+  // %.17g round-trip guarantee the sweep journal gives.
+  EXPECT_EQ(tune_cache_line(*back), line);
+  EXPECT_EQ(back->key.to_string(), e.key.to_string());
+  EXPECT_EQ(back->record.params, e.record.params);
+  EXPECT_EQ(back->record.seconds, e.record.seconds);
+}
+
+TEST(TuneCache, EveryTruncationParsesAsNothing) {
+  const std::string line = tune_cache_line(make_entry(8));
+  // A torn write can stop after any byte; no prefix may parse (the crc
+  // covers the full payload) and none may crash.
+  for (std::size_t len = 0; len < line.size(); ++len) {
+    EXPECT_FALSE(tune::parse_tune_cache_line(line.substr(0, len)).has_value())
+        << "prefix of length " << len << " parsed";
+  }
+  EXPECT_TRUE(tune::parse_tune_cache_line(line).has_value());
+}
+
+TEST(TuneCache, CorruptPayloadOrChecksumFailsClosed) {
+  const std::string line = tune_cache_line(make_entry(8));
+  // Flip one byte inside the checksummed payload (mutate a digit, keeping
+  // the line structurally valid JSON-ish).
+  const std::size_t digit = line.find("4096");
+  ASSERT_NE(digit, std::string::npos);
+  std::string payload_flip = line;
+  payload_flip[digit] = '7';
+  EXPECT_FALSE(tune::parse_tune_cache_line(payload_flip).has_value());
+
+  // Flip one hex digit of the crc itself.
+  const std::size_t crc_at = line.find("\"crc\":\"") + 7;
+  std::string crc_flip = line;
+  crc_flip[crc_at] = crc_flip[crc_at] == '0' ? '1' : '0';
+  EXPECT_FALSE(tune::parse_tune_cache_line(crc_flip).has_value());
+}
+
+TEST(TuneCache, VersionBumpSkipsLine) {
+  const std::string line = tune_cache_line(make_entry(8));
+  std::string bumped = line;
+  const std::size_t v_at = bumped.find("\"v\":");
+  ASSERT_NE(v_at, std::string::npos);
+  bumped.replace(v_at, 5, "\"v\":9");
+  obs::reset_counters();
+  EXPECT_FALSE(tune::parse_tune_cache_line(bumped).has_value());
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(obs::counter_value("tune.cache_version_skip"), 1u);
+  }
+}
+
+TEST(TuneCache, LoadSkipsBadLinesAndKeepsEveryGoodOne) {
+  const std::string path = temp_path("tune_cache_mixed.jsonl");
+  const TuneCacheEntry a = make_entry(8);
+  const TuneCacheEntry b = make_entry(16);
+  const TuneCacheEntry a2 = make_entry(8, 9.9e-4);  // same key, re-tuned
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << tune_cache_line(a) << '\n';
+    out << "{\"v\":1,\"crc\":\"0000000000000000\",\"entry\":{}}" << '\n';
+    out << tune_cache_line(b) << '\n';
+    out << "not json at all" << '\n';
+    std::string bumped = tune_cache_line(make_entry(24));
+    bumped.replace(bumped.find("\"v\":"), 5, "\"v\":9");
+    out << bumped << '\n';
+    out << tune_cache_line(a2) << '\n';
+    // Torn final line: a crash mid-append.
+    out << tune_cache_line(make_entry(32)).substr(0, 40);
+  }
+  const TuneCache cache = TuneCache::load(path);
+  // Bad lines are skipped whole — never half-applied — and good lines all
+  // land, the later same-key entry winning.
+  EXPECT_EQ(cache.size(), 2u);
+  const TuneCacheEntry* got_a = cache.find(a.key);
+  ASSERT_NE(got_a, nullptr);
+  EXPECT_EQ(got_a->record.seconds, a2.record.seconds);
+  const TuneCacheEntry* got_b = cache.find(b.key);
+  ASSERT_NE(got_b, nullptr);
+  EXPECT_EQ(got_b->record.params, b.record.params);
+  TuneKey missing = make_entry(24).key;
+  EXPECT_EQ(cache.find(missing), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(TuneCache, LoadMissingFileIsEmptyColdStart) {
+  const TuneCache cache = TuneCache::load(temp_path("does_not_exist.jsonl"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// Mirror of Journal.AppendAfterTornLineStartsFresh for the cache writer.
+TEST(TuneCache, AppendAfterTornLineStartsFresh) {
+  const std::string path = temp_path("tune_cache_torn.jsonl");
+  const TuneCacheEntry a = make_entry(8);
+  const TuneCacheEntry b = make_entry(16);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << tune_cache_line(a) << '\n';
+    out << tune_cache_line(make_entry(32)).substr(0, 57);  // torn, no \n
+  }
+  {
+    TuneCacheWriter writer(path);
+    writer.append(b);
+  }
+  const TuneCache cache = TuneCache::load(path);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find(a.key), nullptr);
+  EXPECT_NE(cache.find(b.key), nullptr);
+  // The torn fragment stayed torn (its crc fails closed); the fresh entry
+  // began on its own line rather than gluing onto the fragment.
+  std::ifstream in(path);
+  std::string line;
+  int parsed = 0, lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    if (tune::parse_tune_cache_line(line)) ++parsed;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(parsed, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TuneCache, EnvVariableSelectsDefaultPath) {
+  ASSERT_EQ(setenv("IBCHOL_TUNE_CACHE", "/tmp/ibchol_cache_env.jsonl", 1), 0);
+  EXPECT_EQ(tune::default_tune_cache_path(), "/tmp/ibchol_cache_env.jsonl");
+  ASSERT_EQ(unsetenv("IBCHOL_TUNE_CACHE"), 0);
+  EXPECT_EQ(tune::default_tune_cache_path(), "");
+}
+
+// A tuner pointed at a wholly corrupt cache must come up cold and then
+// tune normally — corruption can cost a re-tune, never correctness.
+TEST(TuneCache, InstantTunerColdStartsFromCorruptFile) {
+  const std::string path = temp_path("tune_cache_garbage.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "garbage\n{\"v\":1,\"crc\":\"ffff\",\"entry\":{\"host\":\n\x01\x02";
+  }
+  tune::InstantOptions opts;
+  opts.cache_path = path;
+  opts.batch = 1024;
+  opts.install_overrides = false;
+  ModelEvaluator eval(
+      tune::calibrated_kernel_model(tune::detect_host_profile(false)));
+  obs::reset_counters();
+  tune::InstantTuner tuner(eval, opts, tune::detect_host_profile(false));
+  const TuningParams p = tuner.params_for(8);
+  EXPECT_GT(p.nb, 0);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(obs::counter_value("tune.cache_hit"), 0u);
+    EXPECT_EQ(obs::counter_value("tune.cache_miss"), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+// One writer appending while readers reload continuously: no torn reads
+// surface (every parsed entry is intact) and no data race exists (this
+// suite runs under check.sh --tsan).
+TEST(TuneCacheConcurrency, ConcurrentReadersAndOneWriter) {
+  const std::string path = temp_path("tune_cache_race.jsonl");
+  std::remove(path.c_str());
+  constexpr int kEntries = 64;
+  constexpr int kReaders = 3;
+
+  std::thread writer([&] {
+    TuneCacheWriter w(path);
+    for (int i = 0; i < kEntries; ++i) w.append(make_entry(2 + i));
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::size_t last = 0;
+      for (int pass = 0; pass < 50; ++pass) {
+        const TuneCache cache = TuneCache::load(path);
+        // Appends only: the visible entry count never goes backwards, and
+        // every loaded entry passed its checksum.
+        EXPECT_GE(cache.size(), last);
+        last = cache.size();
+        for (const auto& [key, entry] : cache.entries()) {
+          EXPECT_EQ(key, entry.key.to_string());
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  const TuneCache final_cache = TuneCache::load(path);
+  EXPECT_EQ(final_cache.size(), static_cast<std::size_t>(kEntries));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ibchol
